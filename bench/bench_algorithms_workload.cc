@@ -1,0 +1,95 @@
+// SNB-Algorithms workload preview (paper section 1): PageRank, BFS,
+// Community Detection, Clustering and Connected Components on the same
+// generated dataset used by SNB-Interactive, plus the structure validation
+// the generator claims (correlated graph vs degree-matched random graph).
+#include <cstdio>
+#include <map>
+
+#include "algorithms/graph_algorithms.h"
+#include "bench/bench_util.h"
+#include "util/latency_recorder.h"
+
+namespace snb::bench {
+namespace {
+
+using algorithms::CsrGraph;
+
+void RunAt(double sf) {
+  datagen::DatagenConfig config =
+      datagen::DatagenConfig::ForScaleFactor(sf);
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  CsrGraph graph =
+      CsrGraph::FromKnows(config.num_persons, ds.bulk.knows);
+  std::printf("\n  mini SF %.2f: %u vertices, %llu edges\n", sf,
+              graph.num_vertices(), (unsigned long long)graph.num_edges());
+
+  util::Stopwatch watch;
+  std::vector<double> pr = algorithms::PageRank(graph);
+  double pr_ms = watch.ElapsedMicros() / 1000.0;
+
+  watch.Reset();
+  uint64_t reached = 0;
+  algorithms::BreadthFirstSearch(graph, 0, &reached);
+  double bfs_ms = watch.ElapsedMicros() / 1000.0;
+
+  watch.Reset();
+  uint64_t components = 0;
+  algorithms::ConnectedComponents(graph, &components);
+  double cc_ms = watch.ElapsedMicros() / 1000.0;
+
+  watch.Reset();
+  std::vector<uint32_t> communities = algorithms::Louvain(graph);
+  double louvain_ms = watch.ElapsedMicros() / 1000.0;
+  double q = algorithms::Modularity(graph, communities);
+  std::map<uint32_t, int> sizes;
+  for (uint32_t c : communities) ++sizes[c];
+
+  watch.Reset();
+  double clustering = algorithms::AverageClusteringCoefficient(graph);
+  double clus_ms = watch.ElapsedMicros() / 1000.0;
+  uint64_t triangles = algorithms::CountTriangles(graph);
+
+  std::printf("  %-28s %10s %s\n", "algorithm", "ms", "result");
+  std::printf("  %-28s %10.2f top-degree vertex rank corr.\n", "PageRank(30 iter)",
+              pr_ms);
+  std::printf("  %-28s %10.2f reached %llu\n", "BFS (from person 0)",
+              bfs_ms, (unsigned long long)reached);
+  std::printf("  %-28s %10.2f %llu components\n", "ConnectedComponents",
+              cc_ms, (unsigned long long)components);
+  std::printf("  %-28s %10.2f %zu communities, modularity %.3f\n",
+              "Community detection (Louvain)", louvain_ms, sizes.size(), q);
+  std::printf("  %-28s %10.2f avg CC %.3f, %llu triangles\n",
+              "Clustering coefficient", clus_ms, clustering,
+              (unsigned long long)triangles);
+  (void)pr;
+
+  // Structure validation: correlated vs degree-matched random graph.
+  util::Rng rng(13, 1, util::RandomPurpose::kFriendPick);
+  CsrGraph random = graph.DegreeMatchedRandom(rng);
+  double random_cc = algorithms::AverageClusteringCoefficient(random);
+  double random_q =
+      algorithms::Modularity(random, algorithms::Louvain(random));
+  std::printf("  structure vs degree-matched random rewiring:\n");
+  std::printf("    clustering  %.3f vs %.3f (%.1fx)\n", clustering,
+              random_cc, random_cc > 0 ? clustering / random_cc : 0.0);
+  std::printf("    modularity  %.3f vs %.3f\n", q, random_q);
+}
+
+void Run() {
+  PrintHeader("SNB-Algorithms workload (paper sec. 1) + structure validation");
+  RunAt(kSmallSf);
+  RunAt(kLargeSf);
+  std::printf(
+      "\n  Shape to check: one giant component; clustering coefficient and\n"
+      "  modularity well above the degree-matched random graph — the\n"
+      "  community-like structure the correlated generator claims [13].\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

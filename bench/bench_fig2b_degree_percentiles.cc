@@ -1,0 +1,41 @@
+// Figure 2b reproduction: maximum degree of each percentile of the
+// (Facebook-shaped) reference degree distribution used by DATAGEN.
+#include <cmath>
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/degree_model.h"
+
+namespace snb::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 2b — max degree per percentile (reference curve)");
+  datagen::DegreeModel model(datagen::PersonsForScaleFactor(kMediumSf));
+  std::printf("  %-11s %-8s (log-scale bar)\n", "percentile", "max-deg");
+  double log_hi =
+      std::log10(model.ReferenceMaxDegree(datagen::DegreeModel::kPercentiles - 1));
+  for (int p = 0; p < datagen::DegreeModel::kPercentiles; p += 5) {
+    uint32_t d = model.ReferenceMaxDegree(p);
+    std::printf("  %-11d %-8u %s\n", p, d,
+                Bar(std::log10(std::max(1u, d)), log_hi, 40).c_str());
+  }
+  std::printf("\n  avg_degree(n) anchors: n=700M -> %.0f (paper: ~200),"
+              " n=%llu -> %.1f\n",
+              datagen::DegreeModel::AverageDegreeFormula(700000000ULL),
+              (unsigned long long)datagen::PersonsForScaleFactor(kMediumSf),
+              model.target_avg_degree());
+  std::printf(
+      "  Shape to check: 10..5000 span, convex growth on the log scale\n"
+      "  (the published Facebook curve), scaled to the network size by\n"
+      "  avg_degree = n^(0.512 - 0.028 log10 n).\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

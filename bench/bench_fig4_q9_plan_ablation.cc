@@ -1,0 +1,94 @@
+// Figure 4 reproduction: the intended execution plan of Query 9 and the
+// choke point behind it — join-type choice. The paper reports that
+// replacing the index-nested-loop joins of the intended plan with hash
+// joins costs ~50% in HyPer/Virtuoso. We execute Q9 under all plan
+// variants and report runtime plus de-facto intermediate cardinalities.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "curation/parameter_curation.h"
+#include "queries/query9_plans.h"
+#include "util/histogram.h"
+#include "util/latency_recorder.h"
+
+namespace snb::bench {
+namespace {
+
+using queries::JoinStrategy;
+using queries::Q9PlanStats;
+
+const char* Short(JoinStrategy s) {
+  return s == JoinStrategy::kIndexNestedLoop ? "INL " : "HASH";
+}
+
+void Run() {
+  PrintHeader("Figure 4 — Query 9 intended plan & join-type ablation");
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf);
+  curation::PcTable table =
+      curation::BuildTwoHopTable(world->dataset.stats);
+  std::vector<uint64_t> params = curation::CurateParameters(table, 20);
+  util::TimestampMs max_date =
+      util::kNetworkStartMs + 30 * util::kMillisPerMonth;
+
+  struct Plan {
+    JoinStrategy j1, j2, j3;
+    const char* note;
+  };
+  // The intended plan is INL-INL-HASH (Figure 4): the last join's input is
+  // too large for index lookups per tuple in the paper's systems.
+  std::vector<Plan> plans = {
+      {JoinStrategy::kIndexNestedLoop, JoinStrategy::kIndexNestedLoop,
+       JoinStrategy::kHash, "intended plan (Fig. 4)"},
+      {JoinStrategy::kIndexNestedLoop, JoinStrategy::kIndexNestedLoop,
+       JoinStrategy::kIndexNestedLoop, "all-INL (creator index)"},
+      {JoinStrategy::kHash, JoinStrategy::kIndexNestedLoop,
+       JoinStrategy::kHash, "hash join1 (paper: ~50% penalty)"},
+      {JoinStrategy::kHash, JoinStrategy::kHash, JoinStrategy::kHash,
+       "all-hash"},
+  };
+
+  std::printf("  %-16s %10s %10s %10s %10s %10s  %s\n", "plan(j1,j2,j3)",
+              "mean ms", "|join1|", "|join2|", "|join3|", "build",
+              "note");
+  double intended_ms = 0;
+  for (const Plan& plan : plans) {
+    util::SampleStats stats;
+    Q9PlanStats agg{};
+    for (uint64_t p : params) {
+      Q9PlanStats s;
+      util::Stopwatch watch;
+      queries::Query9WithPlan(world->store, p, max_date, 20, plan.j1,
+                              plan.j2, plan.j3, &s);
+      stats.Add(watch.ElapsedMicros() / 1000.0);
+      agg.join1_output += s.join1_output;
+      agg.join2_output += s.join2_output;
+      agg.join3_output += s.join3_output;
+      agg.build_tuples += s.build_tuples;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s-%s-%s", Short(plan.j1),
+                  Short(plan.j2), Short(plan.j3));
+    std::printf("  %-16s %10.3f %10llu %10llu %10llu %10llu  %s\n", name,
+                stats.Mean(),
+                (unsigned long long)(agg.join1_output / params.size()),
+                (unsigned long long)(agg.join2_output / params.size()),
+                (unsigned long long)(agg.join3_output / params.size()),
+                (unsigned long long)(agg.build_tuples / params.size()),
+                plan.note);
+    if (plan.note[0] == 'i') intended_ms = stats.Mean();
+  }
+  std::printf(
+      "\n  Cardinality profile of the intended plan (paper: 120 friends ->\n"
+      "  ~thousands of fof -> millions of messages): |join1| << |join2| <<\n"
+      "  messages scanned; picking hash for join1/join2 pays a full\n"
+      "  Friends-table build for a ~120-tuple input.\n");
+  std::printf("  intended-plan mean: %.3f ms\n\n", intended_ms);
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

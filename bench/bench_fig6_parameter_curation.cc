@@ -1,0 +1,68 @@
+// Figure 6 reproduction: the Parameter-Count table of Query 2 and the
+// greedy window selection. Prints sample PC-table rows, the curated
+// bindings, and the variance of their intermediate-result counts.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "curation/parameter_curation.h"
+#include "util/rng.h"
+
+namespace snb::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 6 — Parameter-Count table & greedy curation (Query 2)");
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, false, false);
+  curation::PcTable table =
+      curation::BuildQuery2Table(world->dataset.stats);
+
+  std::printf("  Intended plan (Fig. 6a): (Person |> friends) |> messages,"
+              " sort, top-20\n");
+  std::printf("  PC table: %zu rows x %zu columns"
+              " (|join1| = friends, |join2| = friends' messages)\n\n",
+              table.num_rows(), table.num_columns());
+
+  constexpr size_t kPick = 10;
+  std::vector<uint64_t> curated = curation::CurateParameters(table, kPick);
+
+  std::printf("  %-12s %10s %10s %s\n", "PersonID", "|join1|", "|join2|",
+              "curated?");
+  // Print rows around the curated window plus a few contrasting rows.
+  std::vector<uint64_t> show = curated;
+  util::Rng rng(5, 5, util::RandomPurpose::kParameterPick);
+  for (int i = 0; i < 6; ++i) show.push_back(rng.NextBounded(table.num_rows()));
+  std::sort(show.begin(), show.end());
+  show.erase(std::unique(show.begin(), show.end()), show.end());
+  for (uint64_t key : show) {
+    bool is_curated =
+        std::find(curated.begin(), curated.end(), key) != curated.end();
+    std::printf("  %-12llu %10llu %10llu %s\n", (unsigned long long)key,
+                (unsigned long long)table.columns[0][key],
+                (unsigned long long)table.columns[1][key],
+                is_curated ? "  <== selected" : "");
+  }
+
+  double curated_var = curation::SelectionCoutVariance(table, curated);
+  double uniform_var = 0;
+  for (int s = 0; s < 10; ++s) {
+    uniform_var += curation::SelectionCoutVariance(
+        table, curation::UniformParameters(table, kPick, rng));
+  }
+  uniform_var /= 10;
+  std::printf("\n  Cout variance: curated %.1f vs uniform %.1f (%.0fx)\n",
+              curated_var, uniform_var,
+              curated_var > 0 ? uniform_var / curated_var : 1e9);
+  std::printf(
+      "  Shape to check: selected PersonIDs share near-identical |join1|\n"
+      "  and |join2| (the dark-gray window of Fig. 6b); their Cout variance\n"
+      "  is orders of magnitude below a uniform sample's.\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks of the store's primitive operations —
+// the building blocks whose costs compose into Tables 6/7/9.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "util/rng.h"
+
+namespace snb::bench {
+namespace {
+
+BenchWorld& SharedWorld() {
+  static BenchWorld* world = MakeWorld(kMediumSf).release();
+  return *world;
+}
+
+void BM_FindPerson(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(1, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  auto lock = world.store.ReadLock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.store.FindPerson(rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_FindPerson);
+
+void BM_AreFriends(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(2, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  auto lock = world.store.ReadLock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.store.AreFriends(rng.NextBounded(n), rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_AreFriends);
+
+void BM_FindMessage(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(3, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.store.MessageIdBound();
+  auto lock = world.store.ReadLock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.store.FindMessage(rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_FindMessage);
+
+void BM_TwoHopCircle(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(4, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queries::TwoHopCircle(world.store, rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_TwoHopCircle);
+
+void BM_ShortRead_Profile(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(5, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queries::ShortQuery1PersonProfile(world.store, rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_ShortRead_Profile);
+
+void BM_ComplexQuery2(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(6, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queries::Query2(world.store, rng.NextBounded(n), mid));
+  }
+}
+BENCHMARK(BM_ComplexQuery2);
+
+void BM_ComplexQuery9(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(7, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queries::Query9(world.store, rng.NextBounded(n), mid));
+  }
+}
+BENCHMARK(BM_ComplexQuery9);
+
+void BM_ShortestPath(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  util::Rng rng(8, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queries::Query13(world.store, rng.NextBounded(n), rng.NextBounded(n)));
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+}  // namespace
+}  // namespace snb::bench
+
+BENCHMARK_MAIN();

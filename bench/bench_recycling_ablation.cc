@@ -1,0 +1,109 @@
+// Result-recycling ablation (paper section 3, "Parallelism and result
+// reuse"): because the Person domain is small and most complex reads fetch
+// 1..2-hop neighbourhoods, recycling the 2-hop retrieval across queries
+// pays off. Q9 with repeating (curated) parameters, with and without the
+// recycler, plus the behaviour under concurrent friendship updates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "curation/parameter_curation.h"
+#include "queries/complex_queries.h"
+#include "queries/recycler.h"
+#include "queries/update_queries.h"
+#include "util/latency_recorder.h"
+#include "util/rng.h"
+
+namespace snb::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — intermediate-result recycling (sec. 3 choke point)");
+  std::unique_ptr<BenchWorld> world = MakeWorld(kLargeSf, false);
+  curation::PcTable table = curation::BuildTwoHopTable(world->dataset.stats);
+  std::vector<uint64_t> params = curation::CurateParameters(table, 20);
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+
+  constexpr int kRounds = 40;  // Every parameter repeats 40x.
+  util::Stopwatch watch;
+  for (int r = 0; r < kRounds; ++r) {
+    for (uint64_t p : params) {
+      queries::Query9(world->store, p, mid);
+    }
+  }
+  double plain_ms = watch.ElapsedMicros() / 1000.0;
+
+  queries::TwoHopRecycler recycler;
+  watch.Reset();
+  for (int r = 0; r < kRounds; ++r) {
+    for (uint64_t p : params) {
+      queries::Query9Recycled(world->store, recycler, p, mid);
+    }
+  }
+  double recycled_ms = watch.ElapsedMicros() / 1000.0;
+
+  std::printf("  Q9 x %zu params x %d repeats:\n", params.size(), kRounds);
+  std::printf("    plain     %10.1f ms\n", plain_ms);
+  std::printf("    recycled  %10.1f ms  (%.2fx end-to-end, %llu hits /"
+              " %llu misses)\n",
+              recycled_ms, plain_ms / recycled_ms,
+              (unsigned long long)recycler.hits(),
+              (unsigned long long)recycler.misses());
+
+  // The partial result itself: 2-hop retrieval cost, plain vs recycled.
+  watch.Reset();
+  for (int r = 0; r < kRounds; ++r) {
+    for (uint64_t p : params) queries::TwoHopCircle(world->store, p);
+  }
+  double circle_plain_ms = watch.ElapsedMicros() / 1000.0;
+  queries::TwoHopRecycler circle_recycler;
+  watch.Reset();
+  for (int r = 0; r < kRounds; ++r) {
+    for (uint64_t p : params) circle_recycler.Get(world->store, p);
+  }
+  double circle_recycled_ms = watch.ElapsedMicros() / 1000.0;
+  std::printf("    2-hop retrieval alone: %.1f ms plain vs %.1f ms recycled"
+              " (%.0fx)\n",
+              circle_plain_ms, circle_recycled_ms,
+              circle_plain_ms / std::max(circle_recycled_ms, 0.001));
+
+  // Under updates: apply the update stream while querying; every
+  // AddFriendship invalidates, so hit rate drops but results stay correct.
+  queries::TwoHopRecycler live_recycler;
+  uint64_t checked = 0;
+  size_t update_index = 0;
+  const auto& updates = world->dataset.updates;
+  watch.Reset();
+  for (int r = 0; r < 10; ++r) {
+    // Interleave a slice of updates.
+    for (int u = 0; u < 50 && update_index < updates.size(); ++u) {
+      queries::ApplyUpdate(world->store, updates[update_index++]);
+    }
+    for (uint64_t p : params) {
+      auto a = queries::Query9Recycled(world->store, live_recycler, p, mid);
+      ++checked;
+      (void)a;
+    }
+  }
+  std::printf("\n  with concurrent updates (invalidation live): %llu queries,"
+              " %llu hits / %llu misses\n",
+              (unsigned long long)checked,
+              (unsigned long long)live_recycler.hits(),
+              (unsigned long long)live_recycler.misses());
+  std::printf(
+      "  Shape to check: the recycled partial result (2-hop retrieval) is\n"
+      "  tens of times cheaper than recomputing it; the end-to-end gain\n"
+      "  depends on the retrieval's share of the query (at mini scale Q9 is\n"
+      "  dominated by the message scan, at server scale the random-access\n"
+      "  neighbourhood retrieval dominates — the paper's 'high value'\n"
+      "  criterion). Friendship updates shrink the hit rate via\n"
+      "  conservative whole-cache invalidation without ever serving stale\n"
+      "  circles (tests/recycler_test.cc).\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

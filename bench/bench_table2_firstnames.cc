@@ -1,0 +1,75 @@
+// Table 2 reproduction: top-10 person.firstNames for persons located in
+// Germany vs China. The paper's point: both follow the same skewed shape
+// but the value order is permuted per country (typical names on top).
+//
+// Name assignment only needs the person-generation stage, so this bench
+// runs a persons-only generation at a larger scale for a solid sample.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/person_generator.h"
+#include "util/thread_pool.h"
+
+namespace snb::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 2 — top-10 first names, Germany vs China");
+  datagen::DatagenConfig config;
+  config.num_persons = 60000;
+  schema::Dictionaries dict(config.seed);
+  util::ThreadPool pool(4);
+  std::vector<schema::Person> persons =
+      datagen::GeneratePersons(config, dict, pool);
+
+  schema::PlaceId germany = 0, china = 0;
+  for (size_t c = 0; c < dict.countries().size(); ++c) {
+    if (dict.countries()[c].name == "Germany") {
+      germany = static_cast<schema::PlaceId>(c);
+    }
+    if (dict.countries()[c].name == "China") {
+      china = static_cast<schema::PlaceId>(c);
+    }
+  }
+
+  auto top10 = [&](schema::PlaceId country) {
+    std::map<std::string, int> counts;
+    for (const schema::Person& p : persons) {
+      if (dict.CountryOfCity(p.city_id) == country) ++counts[p.first_name];
+    }
+    std::vector<std::pair<int, std::string>> ranked;
+    for (auto& [name, n] : counts) ranked.push_back({n, name});
+    std::sort(ranked.rbegin(), ranked.rend());
+    if (ranked.size() > 10) ranked.resize(10);
+    return ranked;
+  };
+
+  auto german = top10(germany);
+  auto chinese = top10(china);
+  std::printf("  %-22s %-8s | %-22s %-8s\n", "Name (Germany)", "Number",
+              "Name (China)", "Number");
+  std::printf("  ------------------------------- | -------------------------------\n");
+  size_t rows = std::max(german.size(), chinese.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::printf("  %-22s %-8d | %-22s %-8d\n",
+                i < german.size() ? german[i].second.c_str() : "",
+                i < german.size() ? german[i].first : 0,
+                i < chinese.size() ? chinese[i].second.c_str() : "",
+                i < chinese.size() ? chinese[i].first : 0);
+  }
+  std::printf("\n  Paper (SF=10): Karl 215 / Hans 190 / Wolfgang 174 ... vs\n"
+              "                 Yang 961 / Chen 929 / Wei 887 ...\n");
+  std::printf("  Shape to check: disjoint, country-typical top-10 lists with\n"
+              "  heavily skewed counts (same distribution shape, permuted order).\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Table 4 reproduction: the calibrated query mix. First prints the paper's
+// published frequencies, then performs the paper's *calibration procedure*
+// against this repository's SUT (snb::store): measure per-operation costs,
+// set relative frequencies so each complex query gets equal CPU time within
+// a 50% share, and pick random-walk parameters so short reads fill 40% —
+// leaving ~10% for updates. The calibration is iterated (as the paper's
+// was, experimentally): measured costs shift under the mixed load, so each
+// round re-calibrates against the previous round's measurements.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "driver/driver.h"
+#include "driver/query_mix.h"
+
+namespace snb::bench {
+namespace {
+
+struct MixOutcome {
+  double update_share = 0.0;
+  double complex_share = 0.0;
+  double short_share = 0.0;
+  std::array<double, 14> complex_cost{};  // Mean us per query.
+  double update_cost = 0.0;
+  double short_cost = 0.0;
+  uint64_t updates = 0, complex = 0, shorts = 0, failed = 0;
+};
+
+// Baseline mean update cost (us), measured from an update-only replay so
+// reader contention does not inflate it (the calibration budgets CPU time,
+// not lock waiting).
+double MeasureUpdateBaseline() {
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, false, true);
+  driver::QueryMixConfig mix;
+  mix.include_complex_reads = false;
+  driver::Workload workload =
+      driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
+  util::LatencyRecorder latencies;
+  driver::StoreConnector connector(&world->store, &world->dataset.updates,
+                                   world->dictionaries.get(), &latencies,
+                                   driver::ShortReadWalkConfig(), 50);
+  driver::DriverConfig config;
+  config.num_partitions = 4;
+  driver::RunWorkload(workload.operations, connector, config);
+  double total = latencies.TotalMicrosWithPrefix("update.");
+  uint64_t count = 0;
+  for (const std::string& op : latencies.Operations()) {
+    if (op.rfind("update.", 0) == 0) count += latencies.Get(op).count();
+  }
+  return count > 0 ? total / count : 1.0;
+}
+
+MixOutcome RunMix(const driver::MixCalibration& cal) {
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, false, true);
+  driver::QueryMixConfig mix;
+  mix.frequencies = cal.frequencies;
+  driver::Workload workload =
+      driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
+  util::LatencyRecorder latencies;
+  driver::ShortReadWalkConfig walk;
+  walk.initial_probability = cal.short_read_initial_probability;
+  walk.decay = cal.short_read_decay;
+  // Emulate the paper's client-server setting: every operation pays a
+  // fixed dispatch (round-trip) overhead, without which in-process point
+  // lookups are so cheap that no walk length can reach a 40% share.
+  constexpr int64_t kDispatchOverheadUs = 50;
+  driver::StoreConnector connector(&world->store, &world->dataset.updates,
+                                   world->dictionaries.get(), &latencies,
+                                   walk, kDispatchOverheadUs);
+  driver::DriverConfig config;
+  config.num_partitions = 4;
+  driver::DriverReport report =
+      driver::RunWorkload(workload.operations, connector, config);
+
+  MixOutcome out;
+  double update_us = latencies.TotalMicrosWithPrefix("update.");
+  double complex_us = latencies.TotalMicrosWithPrefix("complex.");
+  double short_us = latencies.TotalMicrosWithPrefix("short.");
+  double total = update_us + complex_us + short_us;
+  out.update_share = update_us / total;
+  out.complex_share = complex_us / total;
+  out.short_share = short_us / total;
+  for (int q = 1; q <= 14; ++q) {
+    out.complex_cost[q - 1] =
+        latencies.Get("complex.Q" + std::to_string(q)).Mean();
+  }
+  uint64_t update_count = 0, short_count = 0;
+  for (const std::string& op : latencies.Operations()) {
+    util::SampleStats s = latencies.Get(op);
+    if (op.rfind("update.", 0) == 0) update_count += s.count();
+    if (op.rfind("short.", 0) == 0) short_count += s.count();
+  }
+  out.update_cost = update_count ? update_us / update_count : 1.0;
+  out.short_cost = short_count ? short_us / short_count : 1.0;
+  out.updates = workload.num_updates;
+  out.complex = workload.num_complex_reads;
+  out.shorts = connector.short_reads_executed();
+  out.failed = report.operations_failed;
+  return out;
+}
+
+void PrintFrequencies(const char* label,
+                      const std::array<uint32_t, 14>& freq) {
+  std::printf("  %-24s", label);
+  for (uint32_t f : freq) std::printf("%7u", f);
+  std::printf("\n");
+}
+
+void Run() {
+  PrintHeader("Table 4 — query-mix frequencies & 10/50/40 calibration");
+  std::printf("  %-24s", "query");
+  for (int q = 1; q <= 14; ++q) {
+    std::printf("%7s", ("Q" + std::to_string(q)).c_str());
+  }
+  std::printf("\n");
+  PrintFrequencies("paper (Virtuoso cal.)", driver::kTable4Frequencies);
+
+  // Round 0: start from the paper's frequencies (compressed to suit the
+  // mini update stream) and a default walk.
+  driver::MixCalibration cal;
+  for (int q = 0; q < 14; ++q) {
+    cal.frequencies[q] =
+        std::max<uint32_t>(1, driver::kTable4Frequencies[q] / 12);
+  }
+  cal.short_read_initial_probability = 0.5;
+  cal.short_read_decay = 0.08;
+
+  double update_baseline_us = MeasureUpdateBaseline();
+  std::printf("  update baseline (isolated): %.1f us/op\n",
+              update_baseline_us);
+
+  MixOutcome outcome;
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    outcome = RunMix(cal);
+    std::printf("\n  round %d: split %4.1f%% / %4.1f%% / %4.1f%%"
+                " (upd/complex/short), %llu failed\n",
+                round, 100 * outcome.update_share,
+                100 * outcome.complex_share, 100 * outcome.short_share,
+                (unsigned long long)outcome.failed);
+    cal = driver::CalibrateMix(outcome.complex_cost, outcome.updates,
+                               update_baseline_us, outcome.short_cost);
+  }
+  PrintFrequencies("calibrated (snb::store)", cal.frequencies);
+  std::printf("  short-read walk: P=%.2f decay=%.5f (expected length %.0f)\n",
+              cal.short_read_initial_probability, cal.short_read_decay,
+              cal.expected_walk_length);
+
+  outcome = RunMix(cal);
+  std::printf("\n  Final calibrated run: %llu updates, %llu complex reads,"
+              " %llu short reads\n",
+              (unsigned long long)outcome.updates,
+              (unsigned long long)outcome.complex,
+              (unsigned long long)outcome.shorts);
+  std::printf("\n  Achieved CPU-time split (paper target 10/50/40):\n");
+  std::printf("    updates        %5.1f%%\n", 100 * outcome.update_share);
+  std::printf("    complex reads  %5.1f%%\n", 100 * outcome.complex_share);
+  std::printf("    short reads    %5.1f%%\n", 100 * outcome.short_share);
+  std::printf(
+      "\n  Shape to check: heavier queries get proportionally lower\n"
+      "  frequencies (like Q6/Q9 in the paper's Table 4); iterated\n"
+      "  calibration converges towards the 10/50/40 split; every complex\n"
+      "  query consumes a comparable CPU share.\n"
+      "  Note: the measured update share includes reader-writer lock waits\n"
+      "  (snb::store serializes writers), which inflates it above the pure\n"
+      "  service-time budget the calibration controls.\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 5 reproduction: driver ops/second vs. number of partitions with a
+// sleeping dummy connector (1 ms and 100 us per op), updates only.
+// Also runs the execution-mode ablation the paper motivates: per-forum
+// sequential streams vs. tracking every dependency through T_GC.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "driver/driver.h"
+#include "driver/query_mix.h"
+
+namespace snb::bench {
+namespace {
+
+double RunOnce(const std::vector<driver::Operation>& ops,
+               int64_t sleep_micros, uint32_t partitions,
+               driver::ExecutionMode mode) {
+  driver::SleepingConnector connector(sleep_micros);
+  driver::DriverConfig config;
+  config.num_partitions = partitions;
+  config.mode = mode;
+  driver::DriverReport report =
+      driver::RunWorkload(ops, connector, config);
+  if (report.operations_failed != 0) {
+    std::fprintf(stderr, "failures: %s\n", report.first_error.c_str());
+  }
+  return report.ops_per_second;
+}
+
+void Run() {
+  PrintHeader("Table 5 — driver op/second vs #partitions (sleep connector)");
+
+  // Update-only workload, as in the paper ("the chosen workload consists
+  // only of the SNB-Interactive updates").
+  std::unique_ptr<BenchWorld> world = MakeWorld(kLargeSf, false, true);
+  driver::QueryMixConfig mix;
+  mix.include_complex_reads = false;
+  driver::Workload workload =
+      driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
+  std::printf("  update stream: %zu operations\n\n",
+              workload.operations.size());
+
+  std::vector<uint32_t> partition_counts = {1, 2, 4, 8, 12};
+  std::printf("  %-12s", "partitions:");
+  for (uint32_t p : partition_counts) std::printf("%9u", p);
+  std::printf("\n");
+  for (int64_t sleep_us : {1000, 100}) {
+    // Cap the replayed prefix so the single-partition run stays ~5 s.
+    size_t cap = sleep_us == 1000 ? 5000 : 40000;
+    std::vector<driver::Operation> ops(
+        workload.operations.begin(),
+        workload.operations.begin() +
+            std::min(cap, workload.operations.size()));
+    std::printf("  %-12s",
+                sleep_us == 1000 ? "1ms" : "100us");
+    for (uint32_t p : partition_counts) {
+      double rate = RunOnce(ops, sleep_us, p,
+                            driver::ExecutionMode::kSequentialForum);
+      std::printf("%9.0f", rate);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n  Paper Table 5 (SF10, 32M ops):\n"
+      "    1ms   :   997  1990  3969  7836  11298\n"
+      "    100us :  9745 19245 38285 78913 110837\n"
+      "  Shape to check: near-linear scaling with partition count at both\n"
+      "  sleep durations despite inter-partition dependencies.\n");
+
+  PrintHeader("Ablation — execution mode at 8 partitions, 100us connector");
+  std::vector<driver::Operation> ablation_ops(
+      workload.operations.begin(),
+      workload.operations.begin() +
+          std::min<size_t>(40000, workload.operations.size()));
+  std::printf("  %-18s %10s %14s %14s\n", "mode", "ops/s",
+              "deps tracked", "T_GC waits");
+  for (driver::ExecutionMode mode :
+       {driver::ExecutionMode::kSequentialForum,
+        driver::ExecutionMode::kParallelGct,
+        driver::ExecutionMode::kWindowed}) {
+    driver::SleepingConnector connector(100);
+    driver::DriverConfig config;
+    config.num_partitions = 8;
+    config.mode = mode;
+    driver::DriverReport r =
+        driver::RunWorkload(ablation_ops, connector, config);
+    std::printf("  %-18s %10.0f %14llu %14llu\n",
+                driver::ExecutionModeName(mode), r.ops_per_second,
+                (unsigned long long)r.dependencies_tracked,
+                (unsigned long long)r.dependent_waits);
+  }
+  std::printf(
+      "  Shape to check: per-forum sequential streams capture intra-forum\n"
+      "  dependencies implicitly, so they register orders of magnitude\n"
+      "  fewer operations with the dependency services than tracking every\n"
+      "  update through T_GC; windowed execution removes per-op T_GC waits\n"
+      "  entirely (one barrier per T_SAFE of simulation time).\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

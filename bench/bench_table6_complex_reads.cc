@@ -1,0 +1,216 @@
+// Table 6 reproduction: mean runtime of the 14 complex read-only queries —
+// two systems (native graph store vs relational baseline) at two (mini)
+// scale factors, with curated parameters. Mirrors the paper's
+// Sparksee@SF10 / Virtuoso@SF300 structure.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "curation/parameter_curation.h"
+#include "queries/complex_queries.h"
+#include "relational/rel_queries.h"
+#include "util/histogram.h"
+#include "util/latency_recorder.h"
+#include "util/rng.h"
+
+namespace snb::bench {
+namespace {
+
+// Static dispatch shims: same query API on both SUTs.
+struct GraphApi {
+  using Db = store::GraphStore;
+  template <typename... A>
+  static auto Q1(A&&... a) { return queries::Query1(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q2(A&&... a) { return queries::Query2(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q3(A&&... a) { return queries::Query3(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q4(A&&... a) { return queries::Query4(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q5(A&&... a) { return queries::Query5(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q6(A&&... a) { return queries::Query6(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q7(A&&... a) { return queries::Query7(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q8(A&&... a) { return queries::Query8(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q9(A&&... a) { return queries::Query9(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q10(A&&... a) { return queries::Query10(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q11(A&&... a) { return queries::Query11(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q12(A&&... a) { return queries::Query12(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q13(A&&... a) { return queries::Query13(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q14(A&&... a) { return queries::Query14(std::forward<A>(a)...); }
+};
+
+struct RelApi {
+  using Db = rel::RelationalDb;
+  template <typename... A>
+  static auto Q1(A&&... a) { return rel::Query1(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q2(A&&... a) { return rel::Query2(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q3(A&&... a) { return rel::Query3(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q4(A&&... a) { return rel::Query4(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q5(A&&... a) { return rel::Query5(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q6(A&&... a) { return rel::Query6(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q7(A&&... a) { return rel::Query7(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q8(A&&... a) { return rel::Query8(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q9(A&&... a) { return rel::Query9(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q10(A&&... a) { return rel::Query10(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q11(A&&... a) { return rel::Query11(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q12(A&&... a) { return rel::Query12(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q13(A&&... a) { return rel::Query13(std::forward<A>(a)...); }
+  template <typename... A>
+  static auto Q14(A&&... a) { return rel::Query14(std::forward<A>(a)...); }
+};
+
+template <typename Api>
+std::vector<double> MeasureComplexQueries(const typename Api::Db& db,
+                                          BenchWorld& world, int runs) {
+  const schema::Dictionaries& dict = *world.dictionaries;
+  curation::PcTable one_hop = curation::BuildQuery2Table(world.dataset.stats);
+  curation::PcTable two_hop = curation::BuildTwoHopTable(world.dataset.stats);
+  std::vector<uint64_t> one_params =
+      curation::CurateParameters(one_hop, runs);
+  std::vector<uint64_t> two_params =
+      curation::CurateParameters(two_hop, runs);
+
+  util::Rng rng(7, 7, util::RandomPurpose::kParameterPick);
+  util::TimestampMs mid =
+      util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  std::vector<std::vector<bool>> tag_in_class(
+      dict.tag_classes().size(),
+      std::vector<bool>(dict.tags().size(), false));
+  for (size_t t = 0; t < dict.tags().size(); ++t) {
+    tag_in_class[dict.tags()[t].tag_class_id][t] = true;
+  }
+
+  std::vector<double> means(15, 0.0);
+  for (int q = 1; q <= 14; ++q) {
+    util::SampleStats stats;
+    for (int r = 0; r < runs; ++r) {
+      schema::PersonId one = one_params[r % one_params.size()];
+      schema::PersonId two = two_params[r % two_params.size()];
+      util::Stopwatch watch;
+      switch (q) {
+        case 1:
+          Api::Q1(db, two, dict.FirstName(rng.NextBounded(30)), 20);
+          break;
+        case 2:
+          Api::Q2(db, one, mid, 20);
+          break;
+        case 3:
+          Api::Q3(db, two, world.city_country,
+                  static_cast<schema::PlaceId>(rng.NextBounded(30)),
+                  static_cast<schema::PlaceId>(rng.NextBounded(30)),
+                  mid - 90 * util::kMillisPerDay, 90, 20);
+          break;
+        case 4:
+          Api::Q4(db, one, mid - 30 * util::kMillisPerDay, 30, 10);
+          break;
+        case 5:
+          Api::Q5(db, two, mid - 60 * util::kMillisPerDay, 20);
+          break;
+        case 6:
+          Api::Q6(db, two,
+                  static_cast<schema::TagId>(
+                      rng.NextBounded(dict.tags().size())),
+                  10);
+          break;
+        case 7:
+          Api::Q7(db, one, 20);
+          break;
+        case 8:
+          Api::Q8(db, one, 20);
+          break;
+        case 9:
+          Api::Q9(db, two, mid, 20);
+          break;
+        case 10:
+          Api::Q10(db, two, static_cast<int>(1 + rng.NextBounded(12)), 10);
+          break;
+        case 11:
+          Api::Q11(db, two, world.company_country,
+                   static_cast<schema::PlaceId>(rng.NextBounded(30)),
+                   static_cast<uint16_t>(2013), 10);
+          break;
+        case 12:
+          Api::Q12(db, one, tag_in_class[rng.NextBounded(tag_in_class.size())],
+                   20);
+          break;
+        case 13:
+          Api::Q13(db, two, two_params[(r + 3) % two_params.size()]);
+          break;
+        case 14:
+          Api::Q14(db, two, two_params[(r + 3) % two_params.size()]);
+          break;
+      }
+      stats.Add(watch.ElapsedMicros() / 1000.0);
+    }
+    means[q] = stats.Mean();
+  }
+  return means;
+}
+
+void PrintRow(const char* label, const std::vector<double>& ms) {
+  std::printf("  %-24s", label);
+  for (int q = 1; q <= 14; ++q) std::printf("%8.3f", ms[q]);
+  std::printf("\n");
+}
+
+void RunAt(double sf, const char* graph_label, const char* rel_label) {
+  std::unique_ptr<BenchWorld> world = MakeWorld(sf);
+  rel::RelationalDb relational;
+  if (!relational.BulkLoad(world->dataset.bulk).ok()) std::abort();
+  for (const datagen::UpdateOperation& op : world->dataset.updates) {
+    if (!rel::ApplyUpdate(relational, op).ok()) std::abort();
+  }
+  PrintRow(graph_label,
+           MeasureComplexQueries<GraphApi>(world->store, *world, 25));
+  PrintRow(rel_label,
+           MeasureComplexQueries<RelApi>(relational, *world, 25));
+}
+
+void Run() {
+  PrintHeader("Table 6 — mean runtime of complex read-only queries (ms)");
+  std::printf("  %-24s", "system,scale");
+  for (int q = 1; q <= 14; ++q) {
+    std::printf("%8s", ("Q" + std::to_string(q)).c_str());
+  }
+  std::printf("\n");
+  RunAt(kSmallSf, "graph,SF0.05", "relational,SF0.05");
+  RunAt(kLargeSf, "graph,SF0.4", "relational,SF0.4");
+  std::printf("\n  Paper (ms): Sparksee,SF10 : 20 44 441 31 100 41 11 38 3376 194 66 177 794 2009\n");
+  std::printf("              Virtuoso,SF300: 941 1493 4232 1163 2688 16090 1000 32 18464 1257 762 1519 559 742\n");
+  std::printf(
+      "  Shape to check: two systems, same workload — the 2..3-hop +\n"
+      "  message-scan queries (Q3/Q5/Q6/Q9) dominate on both; costs grow\n"
+      "  with scale; the relational engine pays O(log n) per index probe\n"
+      "  where the graph store pays O(1) adjacency chasing.\n\n");
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main() {
+  snb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// A complete SNB-Interactive benchmark run, following the paper's
+// protocol (section 4, "Rules and Metrics"):
+//
+//   1. generate the dataset; bulk-load the first 32 simulated months;
+//   2. build the query mix: the pre-generated update stream interleaved
+//      with complex reads at the Table 4 frequencies, short reads spawned
+//      by the random walk;
+//   3. pick an acceleration factor (simulation time / real time) and replay
+//      the workload at that pace;
+//   4. the run is successful if the pace was sustained; report the
+//      acceleration factor and per-query latencies (mean and p99).
+//
+//   ./examples/benchmark_run [scale_factor] [acceleration]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/datagen.h"
+#include "driver/driver.h"
+#include "driver/query_mix.h"
+#include "store/graph_store.h"
+
+int main(int argc, char** argv) {
+  using namespace snb;
+
+  double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.1;
+  // Default: replay the 4 simulated months in ~5 seconds of real time.
+  double acceleration = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+  std::printf("=== SNB-Interactive benchmark run (mini SF %.2f) ===\n\n",
+              scale_factor);
+  datagen::DatagenConfig config =
+      datagen::DatagenConfig::ForScaleFactor(scale_factor);
+  datagen::Dataset dataset = datagen::Generate(config);
+  schema::Dictionaries dictionaries(config.seed);
+  std::printf("dataset: %llu persons, %llu knows, %llu messages"
+              " (%.4f CSV-GB)\n",
+              (unsigned long long)dataset.stats.num_persons,
+              (unsigned long long)dataset.stats.num_knows,
+              (unsigned long long)dataset.stats.NumMessages(),
+              dataset.stats.csv_bytes / 1e9);
+
+  store::GraphStore store;
+  util::Status status = store.BulkLoad(dataset.bulk);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bulk-loaded first %d simulated months (%zu update ops to"
+              " stream)\n\n", util::kBulkLoadMonths, dataset.updates.size());
+
+  driver::QueryMixConfig mix;
+  // Compress Table 4 frequencies so the mini stream exercises all queries,
+  // then apply the paper's log scaling rule for this dataset size.
+  for (auto& f : mix.frequencies) f = std::max<uint32_t>(1, f / 10);
+  mix.frequency_scale =
+      driver::FrequencyLogScale(dataset.stats.num_persons);
+  driver::Workload workload =
+      driver::BuildWorkload(dataset, dictionaries, mix);
+  std::printf("workload: %llu updates + %llu complex reads (+ random-walk"
+              " short reads)\n",
+              (unsigned long long)workload.num_updates,
+              (unsigned long long)workload.num_complex_reads);
+
+  if (acceleration <= 0.0) {
+    // Auto-pick: replay the simulated span in ~5 s.
+    util::TimestampMs span = workload.operations.back().due_time -
+                             workload.operations.front().due_time;
+    acceleration = static_cast<double>(span) / 5000.0;
+  }
+  std::printf("acceleration factor: %.0fx (simulation/real time)\n\n",
+              acceleration);
+
+  util::LatencyRecorder latencies;
+  driver::StoreConnector connector(&store, &dataset.updates, &dictionaries,
+                                   &latencies);
+  driver::DriverConfig driver_config;
+  driver_config.num_partitions = 4;
+  driver_config.acceleration = acceleration;
+  driver::DriverReport report =
+      driver::RunWorkload(workload.operations, connector, driver_config);
+
+  std::printf("=== results ===\n");
+  std::printf("executed %llu driver ops in %.2f s (%.0f ops/s), %llu failed\n",
+              (unsigned long long)report.operations_executed,
+              report.elapsed_seconds, report.ops_per_second,
+              (unsigned long long)report.operations_failed);
+  std::printf("max schedule lag: %.1f ms -> run %s at acceleration %.0fx\n\n",
+              report.max_schedule_lag_ms,
+              report.sustained ? "SUSTAINED" : "NOT SUSTAINED",
+              acceleration);
+
+  std::printf("%-14s %8s %10s %10s %10s\n", "operation", "count",
+              "mean ms", "p99 ms", "max ms");
+  for (const std::string& op : latencies.Operations()) {
+    util::SampleStats stats = latencies.Get(op);
+    std::printf("%-14s %8zu %10.3f %10.3f %10.3f\n", op.c_str(),
+                stats.count(), stats.Mean() / 1000.0,
+                stats.Percentile(99) / 1000.0, stats.Max() / 1000.0);
+  }
+  std::printf("\nbenchmark metric: acceleration-factor %.0fx %s\n",
+              acceleration,
+              report.sustained ? "(valid run)" : "(lower the factor)");
+  return report.sustained ? 0 : 2;
+}

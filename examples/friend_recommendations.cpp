@@ -1,0 +1,88 @@
+// Friend recommendation scenario: the "people you may know" panel of a
+// social network, built from the SNB interactive queries.
+//
+// For a user it combines
+//   Q10 — friends-of-friends with matching horoscope sign, ranked by
+//         interest similarity,
+//   Q1  — people with the same first name nearby in the graph,
+//   Q14 — the strongest connection paths to a recommended person.
+//
+//   ./examples/friend_recommendations
+#include <algorithm>
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "store/graph_store.h"
+
+int main() {
+  using namespace snb;
+
+  datagen::DatagenConfig config = datagen::DatagenConfig::ForScaleFactor(0.1);
+  config.split_update_stream = false;
+  datagen::Dataset dataset = datagen::Generate(config);
+  store::GraphStore store;
+  if (!store.BulkLoad(dataset.bulk).ok()) return 1;
+
+  // Choose a mid-degree user (a typical member, not a hub).
+  schema::PersonId user = 0;
+  {
+    auto lock = store.ReadLock();
+    for (schema::PersonId id : store.PersonIds()) {
+      const store::PersonRecord* p = store.FindPerson(id);
+      if (p != nullptr && p->friends.size() >= 8 &&
+          p->friends.size() <= 20) {
+        user = id;
+        break;
+      }
+    }
+  }
+  queries::S1Result profile = queries::ShortQuery1PersonProfile(store, user);
+  std::printf("Recommendations for %s %s (person %llu)\n",
+              profile.first_name.c_str(), profile.last_name.c_str(),
+              (unsigned long long)user);
+
+  // Q10 across all horoscope months; merge the best candidates.
+  std::vector<queries::Q10Result> best;
+  for (int month = 1; month <= 12; ++month) {
+    for (const queries::Q10Result& r :
+         queries::Query10(store, user, month, 3)) {
+      best.push_back(r);
+    }
+  }
+  std::sort(best.begin(), best.end(),
+            [](const queries::Q10Result& a, const queries::Q10Result& b) {
+              return a.similarity > b.similarity;
+            });
+  if (best.size() > 5) best.resize(5);
+
+  std::printf("\nPeople you may know (interest-similarity ranked):\n");
+  for (const queries::Q10Result& r : best) {
+    queries::S1Result p = queries::ShortQuery1PersonProfile(store, r.person_id);
+    std::printf("  %s %s (person %llu), similarity %+d\n",
+                p.first_name.c_str(), p.last_name.c_str(),
+                (unsigned long long)r.person_id, r.similarity);
+    // Q14: how is this candidate connected to the user?
+    auto paths = queries::Query14(store, user, r.person_id);
+    if (!paths.empty()) {
+      std::printf("    strongest path (weight %.1f): ", paths[0].weight);
+      for (size_t i = 0; i < paths[0].path.size(); ++i) {
+        std::printf("%s%llu", i ? " -> " : "",
+                    (unsigned long long)paths[0].path[i]);
+      }
+      std::printf("  [%zu shortest path(s)]\n", paths.size());
+    }
+  }
+
+  // Q1: namesakes within 3 hops — "is this the person you meant?"
+  auto namesakes = queries::Query1(store, user, profile.first_name, 5);
+  std::printf("\nOther '%s' within 3 hops:\n", profile.first_name.c_str());
+  for (const queries::Q1Result& r : namesakes) {
+    std::printf("  person %llu, %s, distance %u\n",
+                (unsigned long long)r.person_id, r.last_name.c_str(),
+                r.distance);
+  }
+  if (namesakes.empty()) std::printf("  (none)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: generate a small SNB social network, load it into the graph
+// store, apply the update stream, and run a few interactive queries.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "queries/update_queries.h"
+#include "store/graph_store.h"
+
+int main() {
+  using namespace snb;
+
+  // 1. Generate a deterministic social network (~600 persons, 3 simulated
+  //    years; the last 4 months become the update stream).
+  datagen::DatagenConfig config = datagen::DatagenConfig::ForScaleFactor(0.1);
+  std::printf("Generating network with %llu persons...\n",
+              (unsigned long long)config.num_persons);
+  datagen::Dataset dataset = datagen::Generate(config);
+  std::printf("  bulk: %zu persons, %zu friendships, %zu messages\n",
+              dataset.bulk.persons.size(), dataset.bulk.knows.size(),
+              dataset.bulk.messages.size());
+  std::printf("  update stream: %zu operations\n", dataset.updates.size());
+
+  // 2. Bulk-load the first 32 months into the store.
+  store::GraphStore store;
+  util::Status status = store.BulkLoad(dataset.bulk);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Apply the final 4 months as individual transactions.
+  for (const datagen::UpdateOperation& op : dataset.updates) {
+    status = queries::ApplyUpdate(store, op);
+    if (!status.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("Store now holds %llu persons, %llu messages, %llu likes.\n\n",
+              (unsigned long long)store.NumPersons(),
+              (unsigned long long)store.NumMessages(),
+              (unsigned long long)store.NumLikes());
+
+  // 4. Run interactive queries. Pick a well-connected person as the start.
+  schema::PersonId start = 0;
+  {
+    auto lock = store.ReadLock();
+    size_t best = 0;
+    for (schema::PersonId id : store.PersonIds()) {
+      const store::PersonRecord* p = store.FindPerson(id);
+      if (p != nullptr && p->friends.size() > best) {
+        best = p->friends.size();
+        start = id;
+      }
+    }
+  }
+  queries::S1Result profile = queries::ShortQuery1PersonProfile(store, start);
+  std::printf("Start person #%llu: %s %s (%zu friends)\n",
+              (unsigned long long)start, profile.first_name.c_str(),
+              profile.last_name.c_str(),
+              queries::FriendIds(store, start).size());
+
+  // Q2: newest messages from friends.
+  util::TimestampMs now = util::NetworkEndMs();
+  auto feed = queries::Query2(store, start, now, 5);
+  std::printf("\nQ2 — newest 5 messages from friends:\n");
+  for (const auto& item : feed) {
+    auto content = queries::ShortQuery4MessageContent(store, item.message_id);
+    auto creator = queries::ShortQuery5MessageCreator(store, item.message_id);
+    std::printf("  [%s] msg %llu by %s %s: %.48s...\n",
+                util::FormatTimestamp(item.creation_date).c_str(),
+                (unsigned long long)item.message_id,
+                creator.first_name.c_str(), creator.last_name.c_str(),
+                content.content.c_str());
+  }
+
+  // Q13: how far apart are two people?
+  schema::PersonId other = (start + 17) % store.NumPersons();
+  int distance = queries::Query13(store, start, other);
+  std::printf("\nQ13 — shortest Knows-path from %llu to %llu: %d hops\n",
+              (unsigned long long)start, (unsigned long long)other, distance);
+
+  // Q9: recent messages in the 2-hop circle.
+  auto circle_feed = queries::Query9(store, start, now, 3);
+  std::printf("\nQ9 — newest 3 messages from the 2-hop circle:\n");
+  for (const auto& item : circle_feed) {
+    std::printf("  msg %llu by person %llu at %s\n",
+                (unsigned long long)item.message_id,
+                (unsigned long long)item.creator_id,
+                util::FormatTimestamp(item.creation_date).c_str());
+  }
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// SNB-Algorithms workload (paper section 1): the graph-analysis algorithms
+// the benchmark suite plans to run on the same generated dataset —
+// PageRank, Breadth-First Search, Community Detection and Clustering — plus
+// connected components. All operate on a compact CSR snapshot of the Knows
+// graph.
+//
+// Beyond being the third workload, these algorithms validate the
+// generator's structure claims: the correlated friendship graph must show
+// clustering/community structure that a degree-matched random graph lacks
+// (Prat & Dominguez-Sal, GRADES 2014 — cited as [13]).
+#ifndef SNB_ALGORITHMS_GRAPH_ALGORITHMS_H_
+#define SNB_ALGORITHMS_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/entities.h"
+#include "util/rng.h"
+
+namespace snb::algorithms {
+
+/// Immutable CSR view of an undirected graph over dense vertex ids.
+class CsrGraph {
+ public:
+  /// Builds from undirected edges over vertices [0, num_vertices).
+  /// Adjacency lists are sorted; parallel edges collapse.
+  CsrGraph(uint64_t num_vertices,
+           const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  /// Builds from the Knows edges of a generated network (vertex = PersonId,
+  /// which datagen keeps dense).
+  static CsrGraph FromKnows(uint64_t num_persons,
+                            const std::vector<schema::Knows>& knows);
+
+  /// A degree-preserving randomized rewiring of this graph (configuration-
+  /// model style), used as the "no correlation dimensions" null model.
+  CsrGraph DegreeMatchedRandom(util::Rng& rng) const;
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return targets_.size() / 2; }
+
+  uint32_t Degree(uint32_t v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  const uint32_t* NeighborsBegin(uint32_t v) const {
+    return targets_.data() + offsets_[v];
+  }
+  const uint32_t* NeighborsEnd(uint32_t v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+
+ private:
+  CsrGraph() = default;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> targets_;
+};
+
+/// PageRank by power iteration with uniform teleport.
+/// Returns per-vertex scores summing to ~1.
+std::vector<double> PageRank(const CsrGraph& graph, double damping = 0.85,
+                             int iterations = 30);
+
+/// BFS levels from `source`; unreachable vertices get -1. Returns the
+/// number of reached vertices through `reached` if non-null.
+std::vector<int32_t> BreadthFirstSearch(const CsrGraph& graph,
+                                        uint32_t source,
+                                        uint64_t* reached = nullptr);
+
+/// Connected components; returns per-vertex component id (smallest vertex
+/// id in the component) and the number of components via `count`.
+std::vector<uint32_t> ConnectedComponents(const CsrGraph& graph,
+                                          uint64_t* count = nullptr);
+
+/// Community detection by synchronous label propagation with deterministic
+/// tie-breaking. Returns per-vertex community labels.
+std::vector<uint32_t> LabelPropagation(const CsrGraph& graph,
+                                       int max_iterations = 20);
+
+/// Community detection by Louvain-style greedy modularity optimization
+/// (local moving + graph aggregation). More robust than label propagation
+/// on small-diameter graphs. Returns per-vertex community labels.
+std::vector<uint32_t> Louvain(const CsrGraph& graph, int max_levels = 5);
+
+/// Newman modularity of a labeling in [-0.5, 1].
+double Modularity(const CsrGraph& graph,
+                  const std::vector<uint32_t>& labels);
+
+/// Local clustering coefficient of one vertex (triangles / possible pairs).
+double LocalClusteringCoefficient(const CsrGraph& graph, uint32_t v);
+
+/// Mean local clustering coefficient over vertices with degree >= 2.
+double AverageClusteringCoefficient(const CsrGraph& graph);
+
+/// Total number of triangles in the graph.
+uint64_t CountTriangles(const CsrGraph& graph);
+
+}  // namespace snb::algorithms
+
+#endif  // SNB_ALGORITHMS_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,145 @@
+#include "curation/parameter_curation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace snb::curation {
+namespace {
+
+/// Minimum-variance contiguous window of size `window` over `rows` (which
+/// must already be sorted by the column). Returns the begin offset.
+/// Sliding-window variance in O(n) via running sums.
+size_t MinVarianceWindow(const std::vector<uint64_t>& col,
+                         const std::vector<uint32_t>& rows, size_t window) {
+  size_t n = rows.size();
+  assert(window >= 1 && window <= n);
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < window; ++i) {
+    double v = static_cast<double>(col[rows[i]]);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double w = static_cast<double>(window);
+  double best_var = sum_sq / w - (sum / w) * (sum / w);
+  size_t best_begin = 0;
+  for (size_t begin = 1; begin + window <= n; ++begin) {
+    double out = static_cast<double>(col[rows[begin - 1]]);
+    double in = static_cast<double>(col[rows[begin + window - 1]]);
+    sum += in - out;
+    sum_sq += in * in - out * out;
+    double var = sum_sq / w - (sum / w) * (sum / w);
+    if (var < best_var - 1e-9) {
+      best_var = var;
+      best_begin = begin;
+    }
+  }
+  return best_begin;
+}
+
+}  // namespace
+
+std::vector<uint64_t> CurateParameters(const PcTable& table, size_t k) {
+  size_t n = table.num_rows();
+  if (n == 0 || k == 0) return {};
+  if (k > n) k = n;
+
+  // Current candidate rows; shrinks column by column. Window sizes shrink
+  // geometrically so every column gets refinement room, with the final
+  // column pinning exactly k rows.
+  std::vector<uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+
+  size_t num_cols = table.num_columns();
+  for (size_t c = 0; c < num_cols; ++c) {
+    const std::vector<uint64_t>& col = table.columns[c];
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+    size_t remaining_cols = num_cols - c - 1;
+    // Window size: k * 4^(remaining columns), capped at the current set.
+    size_t window = k;
+    for (size_t i = 0; i < remaining_cols && window < rows.size() / 4; ++i) {
+      window *= 4;
+    }
+    window = std::min(window, rows.size());
+    size_t begin = MinVarianceWindow(col, rows, window);
+    rows = std::vector<uint32_t>(rows.begin() + begin,
+                                 rows.begin() + begin + window);
+  }
+  // The last column's window may still exceed k (when column count is 0 or
+  // clamping kicked in); trim deterministically around the median.
+  if (rows.size() > k) {
+    size_t begin = (rows.size() - k) / 2;
+    rows = std::vector<uint32_t>(rows.begin() + begin,
+                                 rows.begin() + begin + k);
+  }
+
+  std::vector<uint64_t> keys;
+  keys.reserve(rows.size());
+  for (uint32_t r : rows) keys.push_back(table.keys[r]);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<uint64_t> UniformParameters(const PcTable& table, size_t k,
+                                        util::Rng& rng) {
+  std::vector<uint64_t> keys;
+  size_t n = table.num_rows();
+  if (n == 0) return keys;
+  keys.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    keys.push_back(table.keys[rng.NextBounded(n)]);
+  }
+  return keys;
+}
+
+double SelectionCoutVariance(const PcTable& table,
+                             const std::vector<uint64_t>& keys) {
+  if (keys.size() < 2) return 0.0;
+  std::unordered_map<uint64_t, size_t> row_of;
+  row_of.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) row_of[table.keys[r]] = r;
+  double mean = 0.0;
+  std::vector<double> couts;
+  couts.reserve(keys.size());
+  for (uint64_t key : keys) {
+    auto it = row_of.find(key);
+    double cout =
+        it == row_of.end() ? 0.0 : static_cast<double>(table.RowCout(it->second));
+    couts.push_back(cout);
+    mean += cout;
+  }
+  mean /= static_cast<double>(couts.size());
+  double var = 0.0;
+  for (double c : couts) var += (c - mean) * (c - mean);
+  return var / static_cast<double>(couts.size());
+}
+
+int TimestampBucket(util::TimestampMs ts) { return util::MonthIndex(ts); }
+
+std::vector<CuratedPair> CuratePairs(
+    const std::vector<uint64_t>& keys,
+    const std::vector<std::vector<uint64_t>>& counts, size_t k) {
+  // Flatten (key, bucket) pairs into a single-column PC table and reuse the
+  // single-parameter machinery.
+  PcTable flat;
+  std::vector<CuratedPair> pairs;
+  std::vector<uint64_t> col;
+  for (size_t r = 0; r < keys.size(); ++r) {
+    for (size_t b = 0; b < counts[r].size(); ++b) {
+      flat.keys.push_back(flat.keys.size());
+      pairs.push_back({keys[r], static_cast<int>(b)});
+      col.push_back(counts[r][b]);
+    }
+  }
+  flat.columns.push_back(std::move(col));
+  std::vector<uint64_t> selected = CurateParameters(flat, k);
+  std::vector<CuratedPair> out;
+  out.reserve(selected.size());
+  for (uint64_t flat_key : selected) out.push_back(pairs[flat_key]);
+  return out;
+}
+
+}  // namespace snb::curation

@@ -1,0 +1,58 @@
+// Greedy parameter curation (paper section 4.1, "Parameter Curation at
+// scale", step 2).
+//
+// Given a Parameter-Count table, select k bindings whose intermediate
+// result counts have minimal variance across every column of the intended
+// plan, so the resulting queries satisfy
+//   P1 bounded runtime variance,
+//   P2 stable runtime distribution across samples,
+//   P3 identical optimal logical plan.
+// The heuristic refines windows column by column: sort by the first column,
+// pick the minimum-variance window, then within it pick the minimum-variance
+// sub-window on the next column, and so on until k rows remain.
+#ifndef SNB_CURATION_PARAMETER_CURATION_H_
+#define SNB_CURATION_PARAMETER_CURATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "curation/pc_table.h"
+#include "util/datetime.h"
+#include "util/rng.h"
+
+namespace snb::curation {
+
+/// Selects `k` parameter bindings from `table` with the greedy
+/// window-refinement heuristic. Returns fewer than k only when the table has
+/// fewer rows. Deterministic.
+std::vector<uint64_t> CurateParameters(const PcTable& table, size_t k);
+
+/// Baseline for comparison (Figure 5b "uniform" case): a uniform random
+/// sample of k keys.
+std::vector<uint64_t> UniformParameters(const PcTable& table, size_t k,
+                                        util::Rng& rng);
+
+/// Variance of the total intermediate-result count (Cout) over a selection;
+/// the objective the curation minimizes.
+double SelectionCoutVariance(const PcTable& table,
+                             const std::vector<uint64_t>& keys);
+
+/// Buckets a continuous timestamp domain into month-sized buckets (the
+/// paper's treatment of continuous parameters): returns the bucket index.
+int TimestampBucket(util::TimestampMs ts);
+
+/// Curation for a (discrete, bucketed-continuous) parameter pair, e.g.
+/// (PersonId, month). `counts[r][b]` is the intermediate-result count for
+/// key r in bucket b; selects k (key, bucket) pairs with minimal count
+/// variance.
+struct CuratedPair {
+  uint64_t key = 0;
+  int bucket = 0;
+};
+std::vector<CuratedPair> CuratePairs(
+    const std::vector<uint64_t>& keys,
+    const std::vector<std::vector<uint64_t>>& counts, size_t k);
+
+}  // namespace snb::curation
+
+#endif  // SNB_CURATION_PARAMETER_CURATION_H_

@@ -1,0 +1,49 @@
+#include "curation/pc_table.h"
+
+#include <cassert>
+
+namespace snb::curation {
+
+PcTable BuildTable(std::vector<uint64_t> keys,
+                   std::vector<std::vector<uint64_t>> columns) {
+  PcTable table;
+  table.keys = std::move(keys);
+  table.columns = std::move(columns);
+  for (const std::vector<uint64_t>& col : table.columns) {
+    assert(col.size() == table.keys.size());
+    (void)col;
+  }
+  return table;
+}
+
+PcTable BuildQuery2Table(const datagen::GenerationStats& stats) {
+  size_t n = stats.friend_count.size();
+  PcTable table;
+  table.keys.reserve(n);
+  std::vector<uint64_t> join1(n), join2(n);
+  for (size_t i = 0; i < n; ++i) {
+    table.keys.push_back(i);
+    join1[i] = stats.friend_count[i];
+    join2[i] = stats.friend_message_count[i];
+  }
+  table.columns.push_back(std::move(join1));
+  table.columns.push_back(std::move(join2));
+  return table;
+}
+
+PcTable BuildTwoHopTable(const datagen::GenerationStats& stats) {
+  size_t n = stats.friend_count.size();
+  PcTable table;
+  table.keys.reserve(n);
+  std::vector<uint64_t> join1(n), join2(n);
+  for (size_t i = 0; i < n; ++i) {
+    table.keys.push_back(i);
+    join1[i] = stats.friend_count[i];
+    join2[i] = stats.two_hop_count[i];
+  }
+  table.columns.push_back(std::move(join1));
+  table.columns.push_back(std::move(join2));
+  return table;
+}
+
+}  // namespace snb::curation

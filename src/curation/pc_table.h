@@ -1,0 +1,51 @@
+// Parameter-Count tables (paper section 4.1, Figure 6b).
+//
+// A PC table has one row per candidate parameter binding and one column per
+// intermediate result of the query template's intended plan. SNB-Interactive
+// obtains the counts as a by-product of data generation (strategy (ii) of
+// the paper) — see builders below, which read GenerationStats.
+#ifndef SNB_CURATION_PC_TABLE_H_
+#define SNB_CURATION_PC_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/statistics.h"
+
+namespace snb::curation {
+
+/// One row per parameter binding; column-major count storage.
+struct PcTable {
+  /// Parameter bindings (e.g. PersonIds).
+  std::vector<uint64_t> keys;
+  /// columns[c][r] = |intermediate result of subplan c| for binding r.
+  std::vector<std::vector<uint64_t>> columns;
+
+  size_t num_rows() const { return keys.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Total intermediate result count (the paper's Cout) for a row.
+  uint64_t RowCout(size_t row) const {
+    uint64_t total = 0;
+    for (const std::vector<uint64_t>& col : columns) total += col[row];
+    return total;
+  }
+};
+
+/// PC table for Query 2's intended plan (Figure 6a):
+/// |join1| = number of friends, |join2| = messages created by friends.
+PcTable BuildQuery2Table(const datagen::GenerationStats& stats);
+
+/// PC table for the 2-hop queries (Q5/Q9 shape):
+/// |join1| = friends, |join2| = distinct 2-hop circle size.
+PcTable BuildTwoHopTable(const datagen::GenerationStats& stats);
+
+/// Generic builder from per-key count columns (all columns must have the
+/// same length as keys).
+PcTable BuildTable(std::vector<uint64_t> keys,
+                   std::vector<std::vector<uint64_t>> columns);
+
+}  // namespace snb::curation
+
+#endif  // SNB_CURATION_PC_TABLE_H_

@@ -1,0 +1,527 @@
+#include "datagen/activity_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+namespace {
+
+using schema::Dictionaries;
+using schema::Forum;
+using schema::ForumMembership;
+using schema::Like;
+using schema::Message;
+using schema::MessageKind;
+using schema::Person;
+using schema::SocialNetwork;
+using util::Mix64;
+using util::Rng;
+using util::RandomPurpose;
+using util::TimestampMs;
+
+// --- Activity volume knobs -------------------------------------------------
+// Posts a person writes scale linearly with its friendship count ("people
+// having more friends are likely more active and post more messages").
+constexpr double kPostsPerFriend = 1.2;
+// Mean number of comments under a post (geometric fan).
+constexpr double kMeanCommentsPerPost = 2.0;
+// Mean number of likes per message.
+constexpr double kMeanLikesPerMessage = 0.8;
+// Probability a friend joins one of the owner's group forums.
+constexpr double kGroupJoinProb = 0.5;
+// Photos per person in its album, per friend.
+constexpr double kPhotosPerFriend = 0.4;
+// Probability that a post is event-driven (when spikes are enabled).
+constexpr double kEventDrivenProb = 0.35;
+// Probability a message is posted while travelling in a foreign country
+// (exercised by Query 3).
+constexpr double kTravelProb = 0.08;
+// Mean delay between an event and a post about it (the spike decay).
+constexpr double kEventDecayMs = 3.0 * util::kMillisPerDay;
+
+// Trending events over the 36-month timeline. A small pool with heavy-tailed
+// magnitudes concentrates posts into visible spikes (Figure 2a).
+constexpr int kNumEvents = 60;
+
+// Forum id space: per-owner slots so ids are stable across thread counts.
+constexpr uint64_t kForumSlotsPerPerson = 8;
+constexpr uint64_t kWallSlot = 0;
+constexpr uint64_t kAlbumSlot = 1;
+constexpr uint64_t kFirstGroupSlot = 2;
+
+struct FriendRef {
+  schema::PersonId id;
+  TimestampMs since;  // Friendship creation date.
+};
+
+// Per-worker output buffers, merged deterministically after the parallel
+// phase.
+struct ActivityChunk {
+  std::vector<Forum> forums;
+  std::vector<ForumMembership> memberships;
+  std::vector<Message> messages;  // Temp ids = index into this vector later.
+  std::vector<Like> likes;
+};
+
+// Country a message is sent from: usually home, sometimes a travel
+// destination.
+schema::PlaceId MessageCountry(const Dictionaries& dict,
+                               schema::PlaceId home, Rng& rng) {
+  if (rng.NextBool(kTravelProb)) {
+    return static_cast<schema::PlaceId>(
+        rng.NextBounded(dict.countries().size()));
+  }
+  return home;
+}
+
+TimestampMs ClampToTimeline(TimestampMs ts) {
+  TimestampMs lo = util::kNetworkStartMs;
+  TimestampMs hi = util::NetworkEndMs() - 1;
+  return ts < lo ? lo : (ts > hi ? hi : ts);
+}
+
+// Samples a post creation date in [earliest, end): uniform, or event-driven
+// around an event matching the creator's interests.
+TimestampMs SamplePostDate(const std::vector<TrendEvent>& events,
+                           const std::vector<schema::TagId>& interests,
+                           bool event_driven, TimestampMs earliest,
+                           Rng& rng, schema::TagId* topic_out) {
+  TimestampMs end = util::NetworkEndMs() - 1;
+  if (earliest >= end) earliest = end - 1;
+  if (event_driven && rng.NextBool(kEventDrivenProb)) {
+    // Pick a candidate event magnitude-weighted among events inside the
+    // permitted time span. Persons interested in the event's topic always
+    // post about it; big events also attract persons who are not (broad
+    // news coverage), with reduced probability.
+    double total = 0.0;
+    for (const TrendEvent& e : events) {
+      if (e.time < earliest || e.time >= end) continue;
+      total += e.magnitude;
+    }
+    if (total > 0.0) {
+      double u = rng.NextDouble() * total;
+      const TrendEvent* chosen = nullptr;
+      for (const TrendEvent& e : events) {
+        if (e.time < earliest || e.time >= end) continue;
+        u -= e.magnitude;
+        if (u <= 0.0) {
+          chosen = &e;
+          break;
+        }
+      }
+      if (chosen != nullptr) {
+        bool interested = false;
+        for (schema::TagId t : interests) {
+          if (t == chosen->tag) {
+            interested = true;
+            break;
+          }
+        }
+        if (interested || rng.NextBool(0.5)) {
+          double delay = util::SampleExponential(rng, 1.0 / kEventDecayMs);
+          TimestampMs ts = chosen->time + static_cast<TimestampMs>(delay);
+          if (ts >= end) ts = end - 1;
+          if (ts < earliest) ts = earliest;
+          if (topic_out != nullptr) *topic_out = chosen->tag;
+          return ts;
+        }
+      }
+    }
+  }
+  // Uniform over the permitted span.
+  return earliest + static_cast<TimestampMs>(
+                        rng.NextDouble() *
+                        static_cast<double>(end - earliest));
+}
+
+// Generates all activity owned by one person: its wall, album, group forums,
+// the posts of those forums, comment trees and likes.
+void GeneratePersonActivity(const DatagenConfig& config,
+                            const Dictionaries& dict,
+                            const std::vector<TrendEvent>& events,
+                            const std::vector<Person>& persons,
+                            const std::vector<std::vector<FriendRef>>& friends,
+                            schema::PersonId owner_id,
+                            ActivityChunk& out) {
+  const uint64_t seed = config.seed;
+  const Person& owner = persons[owner_id];
+  const std::vector<FriendRef>& owner_friends = friends[owner_id];
+
+  Rng forum_rng(seed, owner_id, RandomPurpose::kForumCount);
+
+  // Forums this person owns: wall (always), album (always), 0-2 groups.
+  struct LocalForum {
+    schema::ForumId id;
+    TimestampMs created;
+    bool is_album;
+    std::vector<schema::TagId> tags;
+    // Members with their join dates (owner included).
+    std::vector<FriendRef> members;
+  };
+  std::vector<LocalForum> local_forums;
+
+  auto forum_id_for_slot = [&](uint64_t slot) {
+    return static_cast<schema::ForumId>(owner_id * kForumSlotsPerPerson +
+                                        slot);
+  };
+
+  TimestampMs owner_active = owner.creation_date + kTSafeMs;
+
+  auto make_forum = [&](uint64_t slot, const char* kind_name,
+                        bool is_album) {
+    LocalForum forum;
+    forum.id = forum_id_for_slot(slot);
+    // Forum created shortly after the owner joined.
+    double gap = util::SampleExponential(forum_rng,
+                                         1.0 / (7.0 * util::kMillisPerDay));
+    forum.created =
+        ClampToTimeline(owner_active + static_cast<TimestampMs>(gap));
+    // Keep room for the owner's membership (+T_SAFE) before timeline end.
+    TimestampMs forum_latest = util::NetworkEndMs() - 2 * kTSafeMs;
+    if (forum.created > forum_latest) forum.created = forum_latest;
+    forum.is_album = is_album;
+    int num_tags =
+        std::min<int>(static_cast<int>(owner.interests.size()), 3);
+    forum.tags.assign(owner.interests.begin(),
+                      owner.interests.begin() + num_tags);
+
+    Forum record;
+    record.id = forum.id;
+    record.title = std::string(kind_name) + "_of_" + owner.first_name + "_" +
+                   owner.last_name + "_" + std::to_string(owner_id);
+    record.moderator_id = owner_id;
+    record.creation_date = forum.created;
+    record.tags = forum.tags;
+    out.forums.push_back(std::move(record));
+
+    // Owner membership, T_SAFE after the forum exists so that the driver may
+    // schedule it independently of the AddForum operation.
+    TimestampMs owner_join = forum.created + kTSafeMs;
+    forum.members.push_back({owner_id, owner_join});
+    out.memberships.push_back({forum.id, owner_id, owner_join});
+    local_forums.push_back(std::move(forum));
+  };
+
+  make_forum(kWallSlot, "Wall", false);
+  make_forum(kAlbumSlot, "Album", true);
+  uint64_t num_groups = forum_rng.NextBounded(3);  // 0..2 groups.
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    make_forum(kFirstGroupSlot + g, "Group", false);
+  }
+
+  // Friends join: the wall gets all friends, groups get a subset. Join date
+  // is after both the friendship and the forum creation (+T_SAFE: a member
+  // may only post T_SAFE after joining the network; joining a forum follows
+  // the friendship by at least T_SAFE so windowed execution stays safe).
+  Rng member_rng(seed, owner_id, RandomPurpose::kMembership);
+  for (const FriendRef& fr : owner_friends) {
+    for (size_t fi = 0; fi < local_forums.size(); ++fi) {
+      LocalForum& forum = local_forums[fi];
+      if (forum.is_album) continue;  // Albums: owner-only photos.
+      bool is_wall = fi == 0;
+      if (!is_wall && !member_rng.NextBool(kGroupJoinProb)) continue;
+      TimestampMs join =
+          std::max(fr.since, forum.created) + kTSafeMs +
+          static_cast<TimestampMs>(member_rng.NextBounded(
+              3 * util::kMillisPerDay));
+      if (join >= util::NetworkEndMs()) continue;
+      forum.members.push_back({fr.id, join});
+      out.memberships.push_back({forum.id, fr.id, join});
+    }
+  }
+
+  // --- Posts -----------------------------------------------------------
+  // The owner's posting budget scales with its friend count; posts go to the
+  // owner's wall/groups. (Friends' own posts to this wall are generated when
+  // processing those friends' activity against *their* walls; comments below
+  // are what bring friends into this forum's discussion trees.)
+  Rng post_rng(seed, owner_id, RandomPurpose::kPostCount);
+  auto num_posts = static_cast<uint32_t>(
+      kPostsPerFriend * static_cast<double>(owner_friends.size()) + 0.999);
+  if (num_posts == 0) num_posts = 1;
+
+  // Only non-album forums receive text posts.
+  std::vector<size_t> postable;
+  for (size_t fi = 0; fi < local_forums.size(); ++fi) {
+    if (!local_forums[fi].is_album) postable.push_back(fi);
+  }
+
+  Rng topic_rng(seed, owner_id, RandomPurpose::kPostTopic);
+  Rng text_rng(seed, owner_id, RandomPurpose::kPostText);
+  Rng date_rng(seed, owner_id, RandomPurpose::kPostDate);
+  Rng comment_rng(seed, owner_id, RandomPurpose::kCommentFan);
+  Rng like_rng(seed, owner_id, RandomPurpose::kLikeFan);
+
+  for (uint32_t pi = 0; pi < num_posts; ++pi) {
+    const LocalForum& forum =
+        local_forums[postable[post_rng.NextBounded(postable.size())]];
+    // Post topic: one of the owner's interests (Table 1:
+    // person.interests -> person.forum.post.topic). May be overridden by an
+    // event tag for event-driven posts.
+    schema::TagId topic =
+        owner.interests.empty()
+            ? static_cast<schema::TagId>(0)
+            : owner.interests[topic_rng.NextBounded(owner.interests.size())];
+    TimestampMs earliest = forum.created + kTSafeMs;
+    TimestampMs post_date =
+        SamplePostDate(events, owner.interests, config.event_driven_posts,
+                       earliest, date_rng, &topic);
+
+    Message post;
+    post.kind = MessageKind::kPost;
+    post.creator_id = owner_id;
+    post.creation_date = post_date;
+    post.forum_id = forum.id;
+    post.tags.push_back(topic);
+    // Posts carry up to two secondary tags from the creator's interests
+    // (tag co-occurrence, exercised by Query 6).
+    for (int extra = 0; extra < 2; ++extra) {
+      if (owner.interests.empty() || !topic_rng.NextBool(0.4)) continue;
+      schema::TagId t =
+          owner.interests[topic_rng.NextBounded(owner.interests.size())];
+      if (std::find(post.tags.begin(), post.tags.end(), t) ==
+          post.tags.end()) {
+        post.tags.push_back(t);
+      }
+    }
+    post.language = owner.languages.empty() ? 0 : owner.languages[0];
+    post.country_id = MessageCountry(
+        dict, dict.CountryOfCity(persons[owner_id].city_id), topic_rng);
+    post.content = dict.GenerateText(topic, 10, 60, text_rng);
+    size_t post_index = out.messages.size();
+    out.messages.push_back(std::move(post));
+
+    // --- Comment tree under this post --------------------------------
+    // Commenters are forum members who became friends of the owner before
+    // commenting; a comment replies to the post or to an earlier comment.
+    uint64_t num_comments = 0;
+    {
+      double mean = kMeanCommentsPerPost;
+      // Geometric with the given mean.
+      double p = 1.0 / (1.0 + mean);
+      while (num_comments < 64 && !comment_rng.NextBool(p)) ++num_comments;
+    }
+    std::vector<size_t> tree;  // Indices into out.messages.
+    tree.push_back(post_index);
+    for (uint64_t c = 0; c < num_comments; ++c) {
+      if (forum.members.size() < 2) break;
+      // Pick a commenter among members (excluding picks that are not yet
+      // members when the parent was written is approximated by date
+      // maxing below).
+      const FriendRef& member =
+          forum.members[1 + comment_rng.NextBounded(forum.members.size() -
+                                                    1)];
+      // Reply target: the root post with probability 1/2, otherwise a
+      // uniform earlier node (deeper threads for popular posts).
+      size_t parent_index =
+          comment_rng.NextBool(0.5)
+              ? post_index
+              : tree[comment_rng.NextBounded(tree.size())];
+      const Message& parent = out.messages[parent_index];
+      TimestampMs comment_earliest =
+          std::max(parent.creation_date, member.since + kTSafeMs) +
+          util::kMillisPerHour;
+      if (comment_earliest >= util::NetworkEndMs()) continue;
+      double gap = util::SampleExponential(
+          comment_rng, 1.0 / (12.0 * util::kMillisPerHour));
+      TimestampMs comment_date =
+          comment_earliest + static_cast<TimestampMs>(gap);
+      // Activity that would fall past the simulated timeline is dropped
+      // rather than clamped (clamping would pile messages onto the final
+      // instant).
+      if (comment_date >= util::NetworkEndMs()) continue;
+
+      Message comment;
+      comment.kind = MessageKind::kComment;
+      comment.creator_id = member.id;
+      comment.creation_date = comment_date;
+      comment.forum_id = forum.id;
+      comment.reply_to_id = static_cast<schema::MessageId>(parent_index);
+      comment.root_post_id = static_cast<schema::MessageId>(post_index);
+      // Comment topic follows the post topic; text correlates with it.
+      comment.tags.push_back(topic);
+      comment.language = persons[member.id].languages.empty()
+                             ? 0
+                             : persons[member.id].languages[0];
+      comment.country_id = MessageCountry(
+          dict, dict.CountryOfCity(persons[member.id].city_id), comment_rng);
+      comment.content = dict.GenerateText(topic, 4, 30, text_rng);
+      tree.push_back(out.messages.size());
+      out.messages.push_back(std::move(comment));
+    }
+
+    // --- Likes on the whole tree --------------------------------------
+    for (size_t node : tree) {
+      const Message& msg = out.messages[node];
+      uint64_t num_likes = 0;
+      double p = 1.0 / (1.0 + kMeanLikesPerMessage);
+      while (num_likes < 64 && !like_rng.NextBool(p)) ++num_likes;
+      for (uint64_t l = 0; l < num_likes && !forum.members.empty(); ++l) {
+        const FriendRef& member =
+            forum.members[like_rng.NextBounded(forum.members.size())];
+        if (member.id == msg.creator_id) continue;
+        TimestampMs like_earliest =
+            std::max(msg.creation_date, member.since + kTSafeMs) + 1;
+        if (like_earliest >= util::NetworkEndMs()) continue;
+        double gap = util::SampleExponential(
+            like_rng, 1.0 / (6.0 * util::kMillisPerHour));
+        TimestampMs like_date =
+            like_earliest + static_cast<TimestampMs>(gap);
+        if (like_date >= util::NetworkEndMs()) continue;
+        Like like;
+        like.person_id = member.id;
+        like.message_id = static_cast<schema::MessageId>(node);
+        like.creation_date = like_date;
+        out.likes.push_back(like);
+      }
+    }
+  }
+
+  // --- Photos in the album --------------------------------------------
+  Rng photo_rng(seed, owner_id, RandomPurpose::kPhoto);
+  const LocalForum& album = local_forums[1];
+  auto num_photos = static_cast<uint32_t>(
+      kPhotosPerFriend * static_cast<double>(owner_friends.size()));
+  schema::PlaceId owner_country = dict.CountryOfCity(owner.city_id);
+  const schema::Country& country = dict.countries()[owner_country];
+  for (uint32_t ph = 0; ph < num_photos; ++ph) {
+    Message photo;
+    photo.kind = MessageKind::kPhoto;
+    photo.creator_id = owner_id;
+    photo.forum_id = album.id;
+    TimestampMs earliest = album.created + kTSafeMs;
+    photo.creation_date = SamplePostDate(events, owner.interests, false,
+                                         earliest, photo_rng, nullptr);
+    photo.country_id = owner_country;
+    // Table 1: photo location matches its coordinates.
+    photo.latitude =
+        country.latitude + photo_rng.NextDouble() * 4.0 - 2.0;
+    photo.longitude =
+        country.longitude + photo_rng.NextDouble() * 4.0 - 2.0;
+    photo.language = owner.languages.empty() ? 0 : owner.languages[0];
+    if (!owner.interests.empty()) {
+      photo.tags.push_back(
+          owner.interests[photo_rng.NextBounded(owner.interests.size())]);
+    }
+    out.messages.push_back(std::move(photo));
+  }
+}
+
+}  // namespace
+
+std::vector<TrendEvent> MakeTrendEvents(uint64_t seed) {
+  std::vector<TrendEvent> events;
+  events.reserve(kNumEvents);
+  Rng rng(seed, 0xe7e47ULL, RandomPurpose::kEventSpike);
+  util::BoundedParetoSampler magnitude(0.7, 1.0, 400.0);
+  const Dictionaries dict_probe(seed);
+  for (int e = 0; e < kNumEvents; ++e) {
+    TrendEvent event;
+    event.time = util::kNetworkStartMs +
+                 static_cast<TimestampMs>(
+                     rng.NextDouble() *
+                     static_cast<double>(util::kSimulationMonths *
+                                         util::kMillisPerMonth));
+    // Events concern topics that are *popular* somewhere: sample a tag with
+    // the interest skew of a random country, so a large share of that
+    // country's members is interested and the spike is visible.
+    auto country = static_cast<schema::PlaceId>(
+        rng.NextBounded(dict_probe.countries().size()));
+    event.tag = dict_probe.SampleInterestTag(country, rng);
+    event.magnitude = magnitude.Sample(rng);
+    events.push_back(event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TrendEvent& a, const TrendEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+void GenerateActivity(const DatagenConfig& config,
+                      const Dictionaries& dictionaries,
+                      SocialNetwork& network, util::ThreadPool& pool) {
+  const std::vector<Person>& persons = network.persons;
+  const size_t n = persons.size();
+
+  // Friend lists with friendship dates (only friends comment/like, and only
+  // after the friendship exists).
+  std::vector<std::vector<FriendRef>> friends(n);
+  for (const schema::Knows& k : network.knows) {
+    friends[k.person1_id].push_back({k.person2_id, k.creation_date});
+    friends[k.person2_id].push_back({k.person1_id, k.creation_date});
+  }
+
+  std::vector<TrendEvent> events = MakeTrendEvents(config.seed);
+
+  size_t workers = pool.num_threads();
+  std::vector<ActivityChunk> chunks(workers);
+  pool.ParallelForRanges(n, [&](size_t begin, size_t end, size_t worker) {
+    for (size_t i = begin; i < end; ++i) {
+      GeneratePersonActivity(config, dictionaries, events, persons, friends,
+                             static_cast<schema::PersonId>(i),
+                             chunks[worker]);
+    }
+  });
+
+  // Deterministic merge. Message temp-ids are chunk-local; rebase them while
+  // concatenating.
+  for (ActivityChunk& chunk : chunks) {
+    uint64_t base = network.messages.size();
+    for (Message& m : chunk.messages) {
+      if (m.reply_to_id != schema::kInvalidId) m.reply_to_id += base;
+      if (m.root_post_id != schema::kInvalidId) m.root_post_id += base;
+      network.messages.push_back(std::move(m));
+    }
+    for (Like& l : chunk.likes) {
+      l.message_id += base;
+      network.likes.push_back(l);
+    }
+    for (Forum& f : chunk.forums) network.forums.push_back(std::move(f));
+    for (ForumMembership& fm : chunk.memberships) {
+      network.memberships.push_back(fm);
+    }
+    chunk = ActivityChunk();
+  }
+
+  // Re-assign message ids in creation-time order (ids increase with time).
+  size_t num_messages = network.messages.size();
+  std::vector<uint64_t> order(num_messages);
+  for (size_t i = 0; i < num_messages; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    const Message& ma = network.messages[a];
+    const Message& mb = network.messages[b];
+    if (ma.creation_date != mb.creation_date) {
+      return ma.creation_date < mb.creation_date;
+    }
+    return a < b;
+  });
+  std::vector<uint64_t> new_id(num_messages);
+  for (size_t rank = 0; rank < num_messages; ++rank) {
+    new_id[order[rank]] = rank;
+  }
+  for (Message& m : network.messages) {
+    m.id = new_id[&m - network.messages.data()];
+    if (m.reply_to_id != schema::kInvalidId) {
+      m.reply_to_id = new_id[m.reply_to_id];
+    }
+    if (m.root_post_id != schema::kInvalidId) {
+      m.root_post_id = new_id[m.root_post_id];
+    } else {
+      m.root_post_id = m.id;  // Posts/photos root themselves.
+    }
+  }
+  for (Like& l : network.likes) l.message_id = new_id[l.message_id];
+  // Store messages sorted by id (= creation-time order).
+  std::sort(network.messages.begin(), network.messages.end(),
+            [](const Message& a, const Message& b) { return a.id < b.id; });
+
+  // Posts/photos that never set root (defensive): ensured above.
+  assert(network.messages.empty() || network.messages.front().id == 0);
+}
+
+}  // namespace snb::datagen

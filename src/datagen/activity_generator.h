@@ -1,0 +1,54 @@
+// Person-activity generation (paper section 2.4, "person activity
+// generation"): forums, memberships, discussion trees of posts/comments,
+// photos, and likes.
+//
+// Activity is tree-structured and parallelized by the person who owns the
+// forum: a worker needs the owner's attributes (interests drive post topics)
+// and the owner's friend list with friendship creation dates (only friends
+// post comments and likes, and only after the friendship was created) —
+// otherwise workers operate independently.
+//
+// Time correlations (Table 1, bottom rows) are enforced here:
+//   person.createdDate < forum.createdDate < membership.joinedDate
+//   < post.createdDate < comment.createdDate, likes after the liked message.
+// Post volume over time is either uniform or event-driven ("spiking
+// trends", Figure 2a): posts cluster after simulated real-world events whose
+// topic matches the creator's interests, with exponentially decaying
+// intensity (Leskovec et al. meme dynamics).
+#ifndef SNB_DATAGEN_ACTIVITY_GENERATOR_H_
+#define SNB_DATAGEN_ACTIVITY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/config.h"
+#include "schema/dictionaries.h"
+#include "schema/entities.h"
+#include "util/thread_pool.h"
+
+namespace snb::datagen {
+
+/// A simulated trending event: posts about `tag` spike after `time`.
+struct TrendEvent {
+  util::TimestampMs time = 0;
+  schema::TagId tag = 0;
+  /// Relative importance; pick probability is proportional to it.
+  double magnitude = 1.0;
+};
+
+/// Activity of the whole network: appended into `network` (which must
+/// already contain persons and knows edges). Message ids are assigned in
+/// creation-time order across the whole network (the paper's RDF
+/// URI-locality property).
+void GenerateActivity(const DatagenConfig& config,
+                      const schema::Dictionaries& dictionaries,
+                      schema::SocialNetwork& network,
+                      util::ThreadPool& pool);
+
+/// The deterministic event list used for event-driven post generation
+/// (exposed for tests and the Figure 2a bench).
+std::vector<TrendEvent> MakeTrendEvents(uint64_t seed);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_ACTIVITY_GENERATOR_H_

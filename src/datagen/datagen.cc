@@ -1,0 +1,46 @@
+#include "datagen/datagen.h"
+
+#include <utility>
+
+#include "datagen/activity_generator.h"
+#include "datagen/degree_model.h"
+#include "datagen/friendship_generator.h"
+#include "datagen/person_generator.h"
+#include "util/thread_pool.h"
+
+namespace snb::datagen {
+
+Dataset Generate(const DatagenConfig& config,
+                 const schema::Dictionaries& dictionaries) {
+  util::ThreadPool pool(config.num_threads);
+
+  schema::SocialNetwork network;
+  network.persons = GeneratePersons(config, dictionaries, pool);
+
+  DegreeModel degree_model(config.num_persons);
+  network.knows = GenerateFriendships(config, dictionaries, degree_model,
+                                      network.persons, pool);
+
+  GenerateActivity(config, dictionaries, network, pool);
+
+  Dataset dataset;
+  dataset.config = config;
+  dataset.stats = ComputeStatistics(network);
+
+  if (config.split_update_stream) {
+    SplitResult split =
+        SplitAtTimestamp(std::move(network), util::UpdateStreamStartMs());
+    dataset.bulk = std::move(split.bulk);
+    dataset.updates = std::move(split.updates);
+  } else {
+    dataset.bulk = std::move(network);
+  }
+  return dataset;
+}
+
+Dataset Generate(const DatagenConfig& config) {
+  schema::Dictionaries dictionaries(config.seed);
+  return Generate(config, dictionaries);
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,43 @@
+// DATAGEN entry point: the three-step generation pipeline of section 2.4
+// (person generation -> friendship generation -> person activity
+// generation), followed by statistics collection and the bulk/update split.
+//
+// Generation is deterministic: for a fixed seed the dataset is identical
+// regardless of `num_threads` (the substitute for Hadoop's
+// configuration-independence property).
+#ifndef SNB_DATAGEN_DATAGEN_H_
+#define SNB_DATAGEN_DATAGEN_H_
+
+#include <vector>
+
+#include "datagen/config.h"
+#include "datagen/statistics.h"
+#include "datagen/update_stream.h"
+#include "schema/dictionaries.h"
+#include "schema/entities.h"
+
+namespace snb::datagen {
+
+/// A complete generated benchmark dataset.
+struct Dataset {
+  DatagenConfig config;
+  /// The bulk-load portion (first 32 simulated months when splitting).
+  schema::SocialNetwork bulk;
+  /// The update stream (final 4 months), sorted by due time.
+  std::vector<UpdateOperation> updates;
+  /// Statistics over the *full* generated network (bulk + updates), used by
+  /// parameter curation and the dataset-statistics benches.
+  GenerationStats stats;
+};
+
+/// Runs the full pipeline with a private dictionary instance.
+Dataset Generate(const DatagenConfig& config);
+
+/// Runs the full pipeline reusing `dictionaries` (must have been built with
+/// the same seed for cross-run determinism).
+Dataset Generate(const DatagenConfig& config,
+                 const schema::Dictionaries& dictionaries);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_DATAGEN_H_

@@ -1,0 +1,62 @@
+#include "datagen/degree_model.h"
+
+#include <cmath>
+
+namespace snb::datagen {
+namespace {
+
+// Reference max-degree-per-percentile curve fitted to the published Facebook
+// distribution shape (Figure 2b): ~10 at the lowest percentiles rising
+// through ~100 at the median to ~5000 at the top percentile, convex on a log
+// scale. d(p) = d_lo * (d_hi/d_lo)^((p/100)^gamma).
+constexpr double kDegreeLo = 4.0;
+constexpr double kDegreeHi = 5000.0;
+constexpr double kGamma = 1.6;
+
+uint32_t CurvePoint(int percentile) {
+  double f = (static_cast<double>(percentile) + 1.0) / 100.0;
+  double d = kDegreeLo * std::pow(kDegreeHi / kDegreeLo, std::pow(f, kGamma));
+  return static_cast<uint32_t>(d + 0.5);
+}
+
+}  // namespace
+
+DegreeModel::DegreeModel(uint64_t num_persons) {
+  for (int p = 0; p < kPercentiles; ++p) {
+    max_degree_[p] = CurvePoint(p);
+  }
+  // Mean of the reference distribution: percentiles are equiprobable and the
+  // degree is uniform inside each percentile band.
+  double ref_mean = 0.0;
+  for (int p = 0; p < kPercentiles; ++p) {
+    double lo = static_cast<double>(ReferenceMinDegree(p));
+    double hi = static_cast<double>(max_degree_[p]);
+    ref_mean += (lo + hi) / 2.0;
+  }
+  ref_mean /= kPercentiles;
+
+  target_avg_ = AverageDegreeFormula(num_persons);
+  scale_ = target_avg_ / ref_mean;
+}
+
+double DegreeModel::AverageDegreeFormula(uint64_t num_persons) {
+  double n = static_cast<double>(num_persons);
+  if (n < 2.0) n = 2.0;
+  double exponent = 0.512 - 0.028 * std::log10(n);
+  return std::pow(n, exponent);
+}
+
+uint32_t DegreeModel::TargetDegree(uint64_t seed,
+                                   schema::PersonId person) const {
+  util::Rng pct_rng(seed, person, util::RandomPurpose::kDegreePercentile);
+  int percentile = static_cast<int>(pct_rng.NextBounded(kPercentiles));
+  util::Rng deg_rng(seed, person, util::RandomPurpose::kDegree);
+  uint32_t lo = ReferenceMinDegree(percentile);
+  uint32_t hi = max_degree_[percentile];
+  auto reference =
+      static_cast<double>(deg_rng.NextInRange(lo, hi));
+  auto scaled = static_cast<uint32_t>(reference * scale_ + 0.5);
+  return scaled == 0 ? 1 : scaled;
+}
+
+}  // namespace snb::datagen

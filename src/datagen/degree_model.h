@@ -1,0 +1,59 @@
+// Friendship-degree model: discretized Facebook degree distribution.
+//
+// Paper section 2.3: DATAGEN discretizes the Facebook power-law degree
+// distribution [Ugander et al.] into 100 percentiles (Figure 2b), assigns
+// each person a uniform percentile, draws a target degree uniformly between
+// the percentile's min and max degree, then scales all degrees so the mean
+// matches avg_degree(n) = n^(0.512 - 0.028*log10(n)).
+#ifndef SNB_DATAGEN_DEGREE_MODEL_H_
+#define SNB_DATAGEN_DEGREE_MODEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "schema/ids.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+
+/// Deterministic per-person target friendship degree.
+class DegreeModel {
+ public:
+  /// Number of percentile buckets in the discretized distribution.
+  static constexpr int kPercentiles = 100;
+  /// Mean of the (unscaled) reference Facebook distribution.
+  static constexpr double kFacebookAvgDegree = 190.0;
+
+  /// Builds the model for a network of `num_persons` people.
+  explicit DegreeModel(uint64_t num_persons);
+
+  /// The paper's average-degree formula: n^(0.512 - 0.028*log10(n)).
+  static double AverageDegreeFormula(uint64_t num_persons);
+
+  /// Target degree for one person; pure function of (seed, person id).
+  uint32_t TargetDegree(uint64_t seed, schema::PersonId person) const;
+
+  /// Maximum degree of the reference (unscaled Facebook-shaped) distribution
+  /// at a percentile in [0, 100) — the series plotted in Figure 2b.
+  uint32_t ReferenceMaxDegree(int percentile) const {
+    return max_degree_[percentile];
+  }
+  /// Minimum degree of the reference distribution at a percentile.
+  uint32_t ReferenceMinDegree(int percentile) const {
+    return percentile == 0 ? 1 : max_degree_[percentile - 1];
+  }
+
+  /// Scale applied to reference degrees (avg_degree(n) / facebook avg).
+  double degree_scale() const { return scale_; }
+  /// Target mean degree of this network.
+  double target_avg_degree() const { return target_avg_; }
+
+ private:
+  std::array<uint32_t, kPercentiles> max_degree_;
+  double scale_ = 1.0;
+  double target_avg_ = 0.0;
+};
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_DEGREE_MODEL_H_

@@ -1,0 +1,182 @@
+#include "datagen/friendship_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/zorder.h"
+
+namespace snb::datagen {
+namespace {
+
+using schema::Dictionaries;
+using schema::Knows;
+using schema::Person;
+using util::Mix64;
+using util::Rng;
+using util::RandomPurpose;
+
+// Geometric decay of pick probability with window distance.
+constexpr double kWindowDecay = 0.05;
+
+// How many slots a person proposes per stage. Each undirected edge counts
+// towards the degree of both endpoints and incoming proposals roughly match
+// outgoing ones, so each person proposes half of its stage budget.
+uint32_t ProposalsForStage(uint32_t target_degree, int stage) {
+  double budget = target_degree * kStageShare[stage] / 2.0;
+  auto n = static_cast<uint32_t>(budget + 0.5);
+  return n;
+}
+
+schema::TimestampMs EdgeCreationDate(uint64_t seed, const Person& a,
+                                     const Person& b, uint32_t slot) {
+  schema::TimestampMs earliest =
+      std::max(a.creation_date, b.creation_date) + kTSafeMs;
+  schema::TimestampMs latest = util::NetworkEndMs() - kTSafeMs;
+  if (earliest >= latest) return latest;
+  Rng rng(seed, Mix64(a.id * 0x9e3779b97f4a7c15ULL + b.id) + slot,
+          RandomPurpose::kFriendPick);
+  // Friendships tend to form soon after the later member joins: exponential
+  // decay with a mean of ~1/8 of the remaining timeline.
+  double span = static_cast<double>(latest - earliest);
+  double offset = util::SampleExponential(rng, 8.0 / span);
+  if (offset > span) offset = span;
+  return earliest + static_cast<schema::TimestampMs>(offset);
+}
+
+}  // namespace
+
+uint64_t CorrelationKey(const Person& person,
+                        const Dictionaries& dictionaries, int stage,
+                        uint64_t seed) {
+  switch (stage) {
+    case 0: {
+      // Studied location: city Z-order | university | study year. Persons
+      // without a university sort by their home city's Z-order with an
+      // out-of-band university field so they cluster geographically.
+      uint16_t university = 0x0fff;
+      uint16_t year = 0;
+      double lat, lon;
+      if (person.university_id != schema::kInvalidId32) {
+        const schema::University& uni =
+            dictionaries.universities()[person.university_id];
+        const schema::City& city = dictionaries.cities()[uni.city_id];
+        lat = city.latitude;
+        lon = city.longitude;
+        university = static_cast<uint16_t>(person.university_id & 0x0fff);
+        year = static_cast<uint16_t>(person.study_year & 0x0fff);
+      } else {
+        const schema::City& city = dictionaries.cities()[person.city_id];
+        lat = city.latitude;
+        lon = city.longitude;
+      }
+      return util::StudyLocationKey(util::ZOrder8(lat, lon), university,
+                                    year);
+    }
+    case 1: {
+      // Interests: two most important interest tags bitwise appended.
+      uint64_t primary =
+          person.interests.empty() ? 0xffff : person.interests[0];
+      uint64_t secondary =
+          person.interests.size() < 2 ? 0xffff : person.interests[1];
+      return (primary << 16) | secondary;
+    }
+    default:
+      // Random dimension.
+      return Mix64(seed ^ Mix64(person.id * 0xacedb00cULL + 2));
+  }
+}
+
+std::vector<Knows> GenerateFriendships(
+    const DatagenConfig& config, const Dictionaries& dictionaries,
+    const DegreeModel& degree_model, const std::vector<Person>& persons,
+    util::ThreadPool& pool) {
+  const uint64_t seed = config.seed;
+  const size_t n = persons.size();
+
+  // Adjacency sets for cross-stage deduplication. Only read/written for the
+  // proposing person inside its own disjoint range... except that an edge
+  // also lands in the target's set; to stay deterministic and race-free we
+  // collect per-worker edge lists per stage, then merge sequentially between
+  // stages.
+  std::vector<std::unordered_set<uint64_t>> adjacency(n);
+  std::vector<Knows> edges;
+
+  // Sorted order of person indices, rebuilt per stage.
+  std::vector<uint32_t> order(n);
+
+  for (int stage = 0; stage < 3; ++stage) {
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      uint64_t ka = CorrelationKey(persons[a], dictionaries, stage, seed);
+      uint64_t kb = CorrelationKey(persons[b], dictionaries, stage, seed);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+
+    size_t workers = pool.num_threads();
+    std::vector<std::vector<Knows>> per_worker(workers);
+
+    pool.ParallelForRanges(n, [&](size_t begin, size_t end, size_t worker) {
+      util::GeometricRankSampler window_sampler(kWindowDecay, kFriendWindow);
+      std::vector<Knows>& out = per_worker[worker];
+      for (size_t pos = begin; pos < end; ++pos) {
+        const Person& person = persons[order[pos]];
+        uint32_t target = degree_model.TargetDegree(seed, person.id);
+        uint32_t proposals = ProposalsForStage(target, stage);
+        Rng rng(seed, person.id * 3 + stage, RandomPurpose::kFriendPick);
+        for (uint32_t slot = 0; slot < proposals; ++slot) {
+          // Pick a forward window distance with geometric decay; the
+          // probability of a connection drops towards the window boundary
+          // and is zero outside it.
+          bool placed = false;
+          for (int attempt = 0; attempt < 6 && !placed; ++attempt) {
+            uint64_t distance = 1 + window_sampler.Sample(rng);
+            size_t candidate_pos = pos + distance;
+            if (candidate_pos >= n) continue;
+            const Person& candidate = persons[order[candidate_pos]];
+            if (candidate.id == person.id) continue;
+            uint64_t lo = std::min(person.id, candidate.id);
+            uint64_t hi = std::max(person.id, candidate.id);
+            uint64_t edge_key = lo * 0x100000000ULL + hi;
+            // Intra-stage/intra-worker dedup via the adjacency set is only
+            // safe for edges this worker created; cross-worker duplicates
+            // are removed in the merge step below.
+            if (adjacency[lo].count(edge_key) > 0) continue;
+            Knows edge;
+            edge.person1_id = lo;
+            edge.person2_id = hi;
+            edge.creation_date =
+                EdgeCreationDate(seed, person, candidate, slot);
+            out.push_back(edge);
+            placed = true;
+          }
+        }
+      }
+    });
+
+    // Sequential merge: dedup against all previous stages and within this
+    // stage, in worker order (deterministic because ranges are static).
+    for (std::vector<Knows>& chunk : per_worker) {
+      for (const Knows& edge : chunk) {
+        uint64_t edge_key =
+            edge.person1_id * 0x100000000ULL + edge.person2_id;
+        auto [it, inserted] = adjacency[edge.person1_id].insert(edge_key);
+        if (!inserted) continue;
+        edges.push_back(edge);
+      }
+      chunk.clear();
+    }
+  }
+
+  // Canonical output order: by (person1, person2).
+  std::sort(edges.begin(), edges.end(), [](const Knows& a, const Knows& b) {
+    if (a.person1_id != b.person1_id) return a.person1_id < b.person1_id;
+    return a.person2_id < b.person2_id;
+  });
+  return edges;
+}
+
+}  // namespace snb::datagen

@@ -1,0 +1,51 @@
+// Multi-stage sliding-window friendship generation (paper section 2.3).
+//
+// The Homophily Principle is realized by three edge-generation stages, each
+// re-sorting the persons along one correlation dimension and picking friends
+// from a bounded window with geometrically decaying probability:
+//   stage 0: studied location — key packs city Z-order (bits 31-24),
+//            university id (23-12) and study year (11-0);
+//   stage 1: interests — key packs the person's two top interest tags;
+//   stage 2: random — reproduces the inhomogeneities of real data.
+// Degree budget per stage: 45% / 45% / 10% of the person's target degree
+// (which follows the discretized Facebook distribution, see DegreeModel).
+//
+// Workers process disjoint contiguous ranges of the sorted order; each
+// person's picks are pure functions of (seed, person id, stage), so the edge
+// set is independent of the worker count.
+#ifndef SNB_DATAGEN_FRIENDSHIP_GENERATOR_H_
+#define SNB_DATAGEN_FRIENDSHIP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/config.h"
+#include "datagen/degree_model.h"
+#include "schema/dictionaries.h"
+#include "schema/entities.h"
+#include "util/thread_pool.h"
+
+namespace snb::datagen {
+
+/// Size of the sliding window (in persons) a stage may pick friends from.
+inline constexpr uint32_t kFriendWindow = 200;
+/// Per-stage shares of the target degree.
+inline constexpr double kStageShare[3] = {0.45, 0.45, 0.10};
+
+/// Sort key of a person along a correlation dimension.
+/// Stage 0 keys are the paper's studied-location packing (zorder/univ/year).
+uint64_t CorrelationKey(const schema::Person& person,
+                        const schema::Dictionaries& dictionaries, int stage,
+                        uint64_t seed);
+
+/// Generates the friendship (Knows) edges for `persons`. Edges are
+/// normalized (person1_id < person2_id), deduplicated, and carry creation
+/// dates after both endpoints joined (+ T_SAFE).
+std::vector<schema::Knows> GenerateFriendships(
+    const DatagenConfig& config, const schema::Dictionaries& dictionaries,
+    const DegreeModel& degree_model,
+    const std::vector<schema::Person>& persons, util::ThreadPool& pool);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_FRIENDSHIP_GENERATOR_H_

@@ -1,0 +1,153 @@
+#include "datagen/person_generator.h"
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace snb::datagen {
+namespace {
+
+using schema::Dictionaries;
+using schema::kInvalidId32;
+using schema::Person;
+using util::Rng;
+using util::RandomPurpose;
+using util::TimestampMs;
+
+// Number of interest tags per person: 3 + geometric tail.
+constexpr int kMinInterests = 3;
+constexpr int kMaxInterests = 12;
+
+TimestampMs SampleBirthday(uint64_t seed, schema::PersonId id) {
+  Rng rng(seed, id, RandomPurpose::kBirthday);
+  // Born 1980-1997; members are adults when the network starts in 2010.
+  int64_t span_days = 18 * 365;
+  return util::TimestampFromDate(1980, 1, 1) +
+         rng.NextInRange(0, span_days - 1) * util::kMillisPerDay;
+}
+
+TimestampMs SampleCreationDate(uint64_t seed, schema::PersonId id) {
+  Rng rng(seed, id, RandomPurpose::kCreatedDate);
+  // Members join throughout the 36-month timeline. A quadratic transform
+  // skews joins toward the early months so that most people exist long
+  // enough to accumulate activity (and the bulk-load contains most
+  // persons), while the final 4 months still receive new members for the
+  // update stream.
+  double u = rng.NextDouble();
+  double skewed = u * u;
+  auto offset = static_cast<int64_t>(
+      skewed * static_cast<double>(util::kSimulationMonths *
+                                   util::kMillisPerMonth - kTSafeMs * 4));
+  return util::kNetworkStartMs + offset;
+}
+
+Person GeneratePerson(const DatagenConfig& config,
+                      const Dictionaries& dict, schema::PersonId id) {
+  const uint64_t seed = config.seed;
+  Person person;
+  person.id = id;
+
+  Rng loc_rng(seed, id, RandomPurpose::kLocation);
+  schema::PlaceId country = dict.SampleCountry(loc_rng);
+  person.city_id = dict.SampleCityInCountry(country, loc_rng);
+
+  Rng gender_rng(seed, id, RandomPurpose::kGender);
+  person.gender = static_cast<uint8_t>(gender_rng.NextBounded(2));
+
+  Rng first_rng(seed, id, RandomPurpose::kFirstName);
+  person.first_name =
+      dict.FirstName(dict.SampleFirstNameIndex(country, person.gender,
+                                               first_rng));
+  Rng last_rng(seed, id, RandomPurpose::kLastName);
+  person.last_name = dict.LastName(dict.SampleLastNameIndex(country,
+                                                            last_rng));
+
+  person.birthday = SampleBirthday(seed, id);
+  person.creation_date = SampleCreationDate(seed, id);
+
+  Rng uni_rng(seed, id, RandomPurpose::kUniversity);
+  person.university_id = dict.SampleUniversity(country, uni_rng);
+  if (person.university_id != kInvalidId32) {
+    Rng year_rng(seed, id, RandomPurpose::kStudyYear);
+    // Enrolled around age 18.
+    int birth_year = 1980 + static_cast<int>((person.birthday -
+                                              util::TimestampFromDate(
+                                                  1980, 1, 1)) /
+                                             (365 * util::kMillisPerDay));
+    person.study_year =
+        static_cast<uint16_t>(birth_year + 18 + year_rng.NextBounded(3));
+  }
+
+  Rng company_rng(seed, id, RandomPurpose::kCompany);
+  person.company_id = dict.SampleCompany(country, company_rng);
+  if (person.company_id != kInvalidId32) {
+    Rng year_rng(seed, id, RandomPurpose::kWorkYear);
+    person.work_year = static_cast<uint16_t>(2000 + year_rng.NextBounded(13));
+  }
+
+  Rng lang_rng(seed, id, RandomPurpose::kLanguages);
+  person.languages = dict.SampleLanguages(country, lang_rng);
+
+  // Interests: skewed towards tags popular in the person's country.
+  Rng interest_rng(seed, id, RandomPurpose::kInterests);
+  int num_interests = static_cast<int>(
+      interest_rng.NextInRange(kMinInterests, kMaxInterests));
+  person.interests.reserve(num_interests);
+  for (int i = 0; i < num_interests; ++i) {
+    schema::TagId tag = dict.SampleInterestTag(country, interest_rng);
+    bool duplicate = false;
+    for (schema::TagId existing : person.interests) {
+      if (existing == tag) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) person.interests.push_back(tag);
+  }
+
+  // Emails: Table 1 "person.employer -> person.email".
+  Rng email_rng(seed, id, RandomPurpose::kEmail);
+  std::string user = person.first_name + "." + person.last_name;
+  for (char& c : user) c = static_cast<char>(std::tolower(c));
+  person.emails.push_back(user + "@snb.org");
+  if (person.company_id != kInvalidId32 && email_rng.NextBool(0.7)) {
+    person.emails.push_back(
+        user + "@" + dict.companies()[person.company_id].name);
+  }
+  if (person.university_id != kInvalidId32 && email_rng.NextBool(0.4)) {
+    person.emails.push_back(
+        user + "@" + dict.universities()[person.university_id].name);
+  }
+
+  Rng browser_rng(seed, id, RandomPurpose::kBrowser);
+  person.browser = dict.SampleBrowser(browser_rng);
+
+  // IP address correlates with country (first octet = country id + 10).
+  Rng ip_rng(seed, id, RandomPurpose::kIp);
+  person.location_ip = std::to_string(10 + country) + "." +
+                       std::to_string(ip_rng.NextBounded(256)) + "." +
+                       std::to_string(ip_rng.NextBounded(256)) + "." +
+                       std::to_string(1 + ip_rng.NextBounded(254));
+  return person;
+}
+
+}  // namespace
+
+std::vector<schema::Person> GeneratePersons(
+    const DatagenConfig& config, const schema::Dictionaries& dictionaries,
+    util::ThreadPool& pool) {
+  std::vector<schema::Person> persons(config.num_persons);
+  pool.ParallelForRanges(
+      config.num_persons,
+      [&](size_t begin, size_t end, size_t /*worker*/) {
+        for (size_t i = begin; i < end; ++i) {
+          persons[i] = GeneratePerson(config, dictionaries,
+                                      static_cast<schema::PersonId>(i));
+        }
+      });
+  return persons;
+}
+
+}  // namespace snb::datagen

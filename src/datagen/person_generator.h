@@ -1,0 +1,29 @@
+// Person generation stage (paper section 2.4, "person generation").
+//
+// Each worker generates a disjoint range of persons; every attribute is a
+// pure function of (seed, person id), so the output is identical for any
+// thread count. All Table 1 attribute correlations that involve only the
+// person entity are realized here:
+//   location -> firstName/lastName (typical names), university (nearby),
+//   company (in country), languages (spoken in country), interests (popular
+//   in country), employer -> email, birthday < createdDate.
+#ifndef SNB_DATAGEN_PERSON_GENERATOR_H_
+#define SNB_DATAGEN_PERSON_GENERATOR_H_
+
+#include <vector>
+
+#include "datagen/config.h"
+#include "schema/dictionaries.h"
+#include "schema/entities.h"
+#include "util/thread_pool.h"
+
+namespace snb::datagen {
+
+/// Generates the `num_persons` people of the network in parallel.
+std::vector<schema::Person> GeneratePersons(
+    const DatagenConfig& config, const schema::Dictionaries& dictionaries,
+    util::ThreadPool& pool);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_PERSON_GENERATOR_H_

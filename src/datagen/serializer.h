@@ -1,0 +1,63 @@
+// Dataset serialization: CSV bulk-load files and the update-stream file
+// (paper section 2.4) plus an N-Triples RDF view (the paper's alternative
+// output format; entity URIs encode the creation timestamp in an
+// order-preserving way so URI order follows the time dimension).
+#ifndef SNB_DATAGEN_SERIALIZER_H_
+#define SNB_DATAGEN_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/datagen.h"
+#include "util/status.h"
+
+namespace snb::datagen {
+
+/// File names produced by WriteCsv (inside the target directory).
+struct CsvFileSet {
+  static constexpr const char* kPersons = "person.csv";
+  static constexpr const char* kKnows = "person_knows_person.csv";
+  static constexpr const char* kForums = "forum.csv";
+  static constexpr const char* kMemberships = "forum_hasMember_person.csv";
+  static constexpr const char* kMessages = "message.csv";
+  static constexpr const char* kLikes = "person_likes_message.csv";
+  static constexpr const char* kUpdates = "update_stream.csv";
+};
+
+/// Byte totals written per entity family.
+struct CsvSizes {
+  uint64_t person_bytes = 0;
+  uint64_t knows_bytes = 0;
+  uint64_t forum_bytes = 0;
+  uint64_t membership_bytes = 0;
+  uint64_t message_bytes = 0;
+  uint64_t likes_bytes = 0;
+  uint64_t update_bytes = 0;
+
+  uint64_t Total() const {
+    return person_bytes + knows_bytes + forum_bytes + membership_bytes +
+           message_bytes + likes_bytes + update_bytes;
+  }
+};
+
+/// Writes the bulk-load portion as pipe-separated CSV files plus the update
+/// stream file into `directory` (created if missing). Returns written byte
+/// counts — the measured definition of the LDBC scale factor.
+util::Result<CsvSizes> WriteCsv(const Dataset& dataset,
+                                const std::string& directory);
+
+/// Reads back a dataset written by WriteCsv. Only the bulk portion is
+/// reconstructed (the update stream file is replayed by the driver from the
+/// in-memory dataset; the reader exists for round-trip validation and for
+/// loading pre-generated data from disk).
+util::Result<schema::SocialNetwork> ReadCsv(const std::string& directory);
+
+/// Writes an N-Triples view of the bulk data to a single file. Entity URIs
+/// embed a zero-padded creation timestamp so lexicographic URI order equals
+/// creation-time order. Returns bytes written.
+util::Result<uint64_t> WriteNTriples(const schema::SocialNetwork& network,
+                                     const std::string& path);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_SERIALIZER_H_

@@ -1,0 +1,100 @@
+#include "datagen/statistics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace snb::datagen {
+namespace {
+
+// Rough CSV field widths used for the SF size estimate: ids print as
+// decimals, dates as 19-char timestamps, plus separators.
+constexpr uint64_t kIdBytes = 12;
+constexpr uint64_t kDateBytes = 20;
+
+uint64_t PersonCsvBytes(const schema::Person& p) {
+  uint64_t bytes = kIdBytes + p.first_name.size() + p.last_name.size() + 2 +
+                   kDateBytes * 2 + kIdBytes + p.browser.size() +
+                   p.location_ip.size();
+  for (const std::string& e : p.emails) bytes += e.size() + 1;
+  bytes += p.languages.size() * 4;
+  bytes += p.interests.size() * (kIdBytes + 1);
+  bytes += 2 * (kIdBytes + 6);  // university/company rows.
+  return bytes + 8;
+}
+
+uint64_t MessageCsvBytes(const schema::Message& m) {
+  return kIdBytes * 4 + kDateBytes + m.content.size() +
+         m.tags.size() * (kIdBytes + 1) + 24;
+}
+
+}  // namespace
+
+GenerationStats ComputeStatistics(const schema::SocialNetwork& network) {
+  GenerationStats stats;
+  size_t n = network.persons.size();
+  stats.num_persons = n;
+  stats.num_knows = network.knows.size();
+  stats.num_forums = network.forums.size();
+  stats.num_memberships = network.memberships.size();
+  stats.num_likes = network.likes.size();
+
+  stats.friend_count.assign(n, 0);
+  stats.two_hop_count.assign(n, 0);
+  stats.person_message_count.assign(n, 0);
+  stats.friend_message_count.assign(n, 0);
+
+  std::vector<std::vector<uint32_t>> adjacency(n);
+  for (const schema::Knows& k : network.knows) {
+    ++stats.friend_count[k.person1_id];
+    ++stats.friend_count[k.person2_id];
+    adjacency[k.person1_id].push_back(
+        static_cast<uint32_t>(k.person2_id));
+    adjacency[k.person2_id].push_back(
+        static_cast<uint32_t>(k.person1_id));
+    stats.csv_bytes += kIdBytes * 2 + kDateBytes + 3;
+  }
+
+  for (const schema::Message& m : network.messages) {
+    switch (m.kind) {
+      case schema::MessageKind::kPost:
+        ++stats.num_posts;
+        ++stats.posts_per_month[util::MonthIndex(m.creation_date)];
+        break;
+      case schema::MessageKind::kComment:
+        ++stats.num_comments;
+        break;
+      case schema::MessageKind::kPhoto:
+        ++stats.num_photos;
+        break;
+    }
+    if (m.creator_id < n) ++stats.person_message_count[m.creator_id];
+    stats.csv_bytes += MessageCsvBytes(m);
+  }
+
+  for (const schema::Person& p : network.persons) {
+    stats.csv_bytes += PersonCsvBytes(p);
+  }
+  stats.csv_bytes +=
+      network.forums.size() * (kIdBytes * 2 + kDateBytes + 40) +
+      network.memberships.size() * (kIdBytes * 2 + kDateBytes + 3) +
+      network.likes.size() * (kIdBytes * 2 + kDateBytes + 3);
+
+  // Two-hop neighbourhood sizes and friends' message totals.
+  std::unordered_set<uint32_t> seen;
+  for (size_t p = 0; p < n; ++p) {
+    seen.clear();
+    uint64_t friend_messages = 0;
+    for (uint32_t f : adjacency[p]) {
+      seen.insert(f);
+      friend_messages += stats.person_message_count[f];
+      for (uint32_t ff : adjacency[f]) {
+        if (ff != p) seen.insert(ff);
+      }
+    }
+    stats.two_hop_count[p] = static_cast<uint32_t>(seen.size());
+    stats.friend_message_count[p] = friend_messages;
+  }
+  return stats;
+}
+
+}  // namespace snb::datagen

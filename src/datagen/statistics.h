@@ -1,0 +1,65 @@
+// Generation-time statistics.
+//
+// DATAGEN keeps frequency statistics as a by-product of generation; the
+// paper's parameter-curation stage (section 4.1, strategy (ii)) consumes
+// them instead of running group-by queries, and Table 3 / Figures 2a, 3a,
+// 5a are reported from them.
+#ifndef SNB_DATAGEN_STATISTICS_H_
+#define SNB_DATAGEN_STATISTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "schema/entities.h"
+#include "util/datetime.h"
+
+namespace snb::datagen {
+
+/// Counts and per-person frequency vectors for a generated network.
+struct GenerationStats {
+  uint64_t num_persons = 0;
+  uint64_t num_knows = 0;
+  uint64_t num_forums = 0;
+  uint64_t num_memberships = 0;
+  uint64_t num_posts = 0;
+  uint64_t num_comments = 0;
+  uint64_t num_photos = 0;
+  uint64_t num_likes = 0;
+  /// Estimated uncompressed CSV size of the dataset — the quantity the LDBC
+  /// scale factor is defined over ("SF = GB of CSV").
+  uint64_t csv_bytes = 0;
+
+  /// Per-person friendship degree.
+  std::vector<uint32_t> friend_count;
+  /// Per-person distinct 1..2-hop neighbourhood size (Figure 5a).
+  std::vector<uint32_t> two_hop_count;
+  /// Messages (posts+comments+photos) created per person.
+  std::vector<uint32_t> person_message_count;
+  /// Total messages created by a person's friends — the |join1|,|join2|
+  /// columns of the Query 2 Parameter-Count table (Figure 6b).
+  std::vector<uint64_t> friend_message_count;
+  /// Posts per simulation month (Figure 2a).
+  std::array<uint64_t, util::kSimulationMonths> posts_per_month{};
+
+  uint64_t NumMessages() const {
+    return num_posts + num_comments + num_photos;
+  }
+  /// Graph nodes: persons + forums + messages (dimension entities excluded,
+  /// as in Table 3 which scales with persons/time only).
+  uint64_t NumNodes() const {
+    return num_persons + num_forums + NumMessages();
+  }
+  /// Graph edges: knows + memberships + likes + message structural edges
+  /// (creator, container/reply).
+  uint64_t NumEdges() const {
+    return num_knows + num_memberships + num_likes + 2 * NumMessages();
+  }
+};
+
+/// Scans a fully generated network and computes all statistics.
+GenerationStats ComputeStatistics(const schema::SocialNetwork& network);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_STATISTICS_H_

@@ -1,0 +1,165 @@
+#include "datagen/update_stream.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace snb::datagen {
+namespace {
+
+using schema::SocialNetwork;
+using util::TimestampMs;
+
+}  // namespace
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kAddPerson:
+      return "U1 AddPerson";
+    case UpdateKind::kAddLikePost:
+      return "U2 AddLikePost";
+    case UpdateKind::kAddLikeComment:
+      return "U3 AddLikeComment";
+    case UpdateKind::kAddForum:
+      return "U4 AddForum";
+    case UpdateKind::kAddForumMembership:
+      return "U5 AddForumMembership";
+    case UpdateKind::kAddPost:
+      return "U6 AddPost";
+    case UpdateKind::kAddComment:
+      return "U7 AddComment";
+    case UpdateKind::kAddFriendship:
+      return "U8 AddFriendship";
+  }
+  return "Unknown";
+}
+
+SplitResult SplitAtTimestamp(SocialNetwork&& network,
+                             TimestampMs split_time) {
+  SplitResult result;
+  std::vector<UpdateOperation>& updates = result.updates;
+  SocialNetwork& bulk = result.bulk;
+
+  // Creation dates needed for dependency_time computation.
+  std::unordered_map<uint64_t, TimestampMs> person_created;
+  std::unordered_map<uint64_t, TimestampMs> forum_created;
+  std::unordered_map<uint64_t, TimestampMs> message_created;
+  std::unordered_map<uint64_t, schema::MessageKind> message_kind;
+  std::unordered_map<uint64_t, schema::ForumId> message_forum;
+  person_created.reserve(network.persons.size());
+  for (const schema::Person& p : network.persons) {
+    person_created[p.id] = p.creation_date;
+  }
+  for (const schema::Forum& f : network.forums) {
+    forum_created[f.id] = f.creation_date;
+  }
+  message_created.reserve(network.messages.size());
+  for (const schema::Message& m : network.messages) {
+    message_created[m.id] = m.creation_date;
+    message_kind[m.id] = m.kind;
+    message_forum[m.id] = m.forum_id;
+  }
+
+  for (schema::Person& p : network.persons) {
+    if (p.creation_date < split_time) {
+      bulk.persons.push_back(std::move(p));
+    } else {
+      UpdateOperation op;
+      op.kind = UpdateKind::kAddPerson;
+      op.due_time = p.creation_date;
+      op.dependency_time = 0;
+      op.payload = std::move(p);
+      updates.push_back(std::move(op));
+    }
+  }
+  for (schema::Knows& k : network.knows) {
+    if (k.creation_date < split_time) {
+      bulk.knows.push_back(k);
+    } else {
+      UpdateOperation op;
+      op.kind = UpdateKind::kAddFriendship;
+      op.due_time = k.creation_date;
+      op.dependency_time = std::max(person_created[k.person1_id],
+                                    person_created[k.person2_id]);
+      op.person_dependency_time = op.dependency_time;
+      op.payload = k;
+      updates.push_back(std::move(op));
+    }
+  }
+  for (schema::Forum& f : network.forums) {
+    if (f.creation_date < split_time) {
+      bulk.forums.push_back(std::move(f));
+    } else {
+      UpdateOperation op;
+      op.kind = UpdateKind::kAddForum;
+      op.due_time = f.creation_date;
+      op.dependency_time = person_created[f.moderator_id];
+      op.person_dependency_time = op.dependency_time;
+      op.forum_partition = f.id;
+      op.payload = std::move(f);
+      updates.push_back(std::move(op));
+    }
+  }
+  for (schema::ForumMembership& fm : network.memberships) {
+    if (fm.join_date < split_time) {
+      bulk.memberships.push_back(fm);
+    } else {
+      UpdateOperation op;
+      op.kind = UpdateKind::kAddForumMembership;
+      op.due_time = fm.join_date;
+      op.dependency_time =
+          std::max(person_created[fm.person_id], forum_created[fm.forum_id]);
+      op.person_dependency_time = person_created[fm.person_id];
+      op.forum_partition = fm.forum_id;
+      op.payload = fm;
+      updates.push_back(std::move(op));
+    }
+  }
+  for (schema::Message& m : network.messages) {
+    if (m.creation_date < split_time) {
+      bulk.messages.push_back(std::move(m));
+    } else {
+      UpdateOperation op;
+      op.due_time = m.creation_date;
+      op.forum_partition = m.forum_id;
+      op.person_dependency_time = person_created[m.creator_id];
+      if (m.kind == schema::MessageKind::kComment) {
+        op.kind = UpdateKind::kAddComment;
+        op.dependency_time = std::max(op.person_dependency_time,
+                                      message_created[m.reply_to_id]);
+      } else {
+        op.kind = UpdateKind::kAddPost;
+        op.dependency_time = std::max(op.person_dependency_time,
+                                      forum_created[m.forum_id]);
+      }
+      op.payload = std::move(m);
+      updates.push_back(std::move(op));
+    }
+  }
+  for (schema::Like& l : network.likes) {
+    if (l.creation_date < split_time) {
+      bulk.likes.push_back(l);
+    } else {
+      UpdateOperation op;
+      op.kind = message_kind[l.message_id] == schema::MessageKind::kComment
+                    ? UpdateKind::kAddLikeComment
+                    : UpdateKind::kAddLikePost;
+      op.due_time = l.creation_date;
+      op.person_dependency_time = person_created[l.person_id];
+      op.dependency_time = std::max(op.person_dependency_time,
+                                    message_created[l.message_id]);
+      // Likes belong to the discussion tree of the liked message's forum
+      // ("posts and likes form a tree, rooted at the forum").
+      op.forum_partition = message_forum[l.message_id];
+      op.payload = l;
+      updates.push_back(std::move(op));
+    }
+  }
+
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const UpdateOperation& a, const UpdateOperation& b) {
+                     return a.due_time < b.due_time;
+                   });
+  return result;
+}
+
+}  // namespace snb::datagen

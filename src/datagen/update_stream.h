@@ -1,0 +1,75 @@
+// Update stream: the transactional-write half of the workload.
+//
+// DATAGEN splits its output at one timestamp (paper section 4): data created
+// before the split (32 of 36 simulated months) is bulk-loaded; everything
+// after becomes individual DML operations "played out" by the driver. Time
+// correlations guarantee referential integrity of the split: an entity's
+// dependencies are always created strictly earlier, so they land either in
+// the bulk load or earlier in the stream.
+#ifndef SNB_DATAGEN_UPDATE_STREAM_H_
+#define SNB_DATAGEN_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "schema/entities.h"
+#include "util/datetime.h"
+
+namespace snb::datagen {
+
+/// The 8 transactional update types of SNB-Interactive (Table 9).
+enum class UpdateKind : uint8_t {
+  kAddPerson = 1,
+  kAddLikePost = 2,
+  kAddLikeComment = 3,
+  kAddForum = 4,
+  kAddForumMembership = 5,
+  kAddPost = 6,
+  kAddComment = 7,
+  kAddFriendship = 8,
+};
+
+/// Human-readable name ("U1 AddPerson" etc).
+const char* UpdateKindName(UpdateKind kind);
+
+/// One pre-generated insert operation.
+struct UpdateOperation {
+  UpdateKind kind = UpdateKind::kAddPerson;
+  /// Simulation time at which the operation is scheduled (T_DUE).
+  util::TimestampMs due_time = 0;
+  /// Latest creation time among the operation's dependencies (T_DEP);
+  /// the driver must not run the op before every dependency with a
+  /// timestamp <= dependency_time has completed.
+  util::TimestampMs dependency_time = 0;
+  /// Latest dependency timestamp restricted to *person-graph* entities
+  /// (persons, friendships). Sequential per-forum execution already orders
+  /// intra-forum dependencies, so this is all the Global Dependency Service
+  /// has to wait for in the default execution mode.
+  util::TimestampMs person_dependency_time = 0;
+  /// Forum whose discussion tree this op belongs to, or kInvalidId for
+  /// person-graph operations. The driver partitions forum-tree operations
+  /// into sequential streams by this key (paper section 4.2).
+  schema::ForumId forum_partition = schema::kInvalidId;
+
+  std::variant<schema::Person, schema::Knows, schema::Forum,
+               schema::ForumMembership, schema::Message, schema::Like>
+      payload;
+};
+
+/// Result of splitting a generated network.
+struct SplitResult {
+  schema::SocialNetwork bulk;
+  /// Sorted by due_time.
+  std::vector<UpdateOperation> updates;
+};
+
+/// Splits `network` (consumed) at `split_time`. Persons/knows/forums/
+/// memberships/messages/likes created at or after the split become update
+/// operations.
+SplitResult SplitAtTimestamp(schema::SocialNetwork&& network,
+                             util::TimestampMs split_time);
+
+}  // namespace snb::datagen
+
+#endif  // SNB_DATAGEN_UPDATE_STREAM_H_

@@ -1,0 +1,107 @@
+// Database connectors: how the driver talks to a System Under Test.
+#ifndef SNB_DRIVER_CONNECTORS_H_
+#define SNB_DRIVER_CONNECTORS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "driver/operation.h"
+#include "schema/dictionaries.h"
+#include "store/graph_store.h"
+#include "util/latency_recorder.h"
+#include "util/status.h"
+
+namespace snb::driver {
+
+/// Abstract SUT connection. Execute() must be thread-safe.
+class Connector {
+ public:
+  virtual ~Connector() = default;
+  /// Runs one operation; a non-OK status on an update indicates a
+  /// dependency violation (driver bug) or SUT failure.
+  virtual util::Status Execute(const Operation& op) = 0;
+};
+
+/// Configuration of the short-read random walk (paper section 4):
+/// after every complex read, with probability P a short read runs on an
+/// entity from the previous result; P decreases by `decay` at each step.
+struct ShortReadWalkConfig {
+  double initial_probability = 0.5;
+  double decay = 0.08;
+};
+
+/// Connector executing the workload against the in-process GraphStore.
+/// Complex-read results seed the short-read random walk; every executed
+/// query records its latency under "complex.Q<i>", "short.S<i>" or
+/// "update.U<i>".
+class StoreConnector : public Connector {
+ public:
+  /// `store` must outlive the connector. `updates` is the pre-generated
+  /// update stream referenced by Operation::update_index. `dictionaries`
+  /// resolves names/countries/tag classes for read parameters.
+  /// `dispatch_overhead_us` emulates the per-operation client-server
+  /// round-trip of the paper's setups (0 = in-process, no overhead). It is
+  /// added to every executed query/update before latency recording.
+  StoreConnector(store::GraphStore* store,
+                 const std::vector<datagen::UpdateOperation>* updates,
+                 const schema::Dictionaries* dictionaries,
+                 util::LatencyRecorder* latencies,
+                 ShortReadWalkConfig walk = ShortReadWalkConfig(),
+                 int64_t dispatch_overhead_us = 0);
+
+  util::Status Execute(const Operation& op) override;
+
+  /// Number of short reads spawned by the random walk so far.
+  uint64_t short_reads_executed() const {
+    return short_reads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  util::Status ExecuteComplex(const Operation& op);
+  util::Status ExecuteShort(uint8_t query_id, schema::PersonId person,
+                            schema::MessageId message);
+  util::Status ExecuteUpdate(const Operation& op);
+
+  /// Runs the decaying random walk of short reads seeded by a complex
+  /// query's result entities.
+  void RunShortReadWalk(const Operation& op,
+                        const std::vector<schema::PersonId>& persons,
+                        const std::vector<schema::MessageId>& messages);
+
+  store::GraphStore* store_;
+  const std::vector<datagen::UpdateOperation>* updates_;
+  const schema::Dictionaries* dict_;
+  util::LatencyRecorder* latencies_;
+  ShortReadWalkConfig walk_;
+  int64_t dispatch_overhead_us_ = 0;
+  std::vector<schema::PlaceId> city_country_;
+  std::vector<schema::PlaceId> company_country_;
+  /// tag_in_class_[c][t]: tag t belongs to tag class c.
+  std::vector<std::vector<bool>> tag_in_class_;
+  std::atomic<uint64_t> short_reads_{0};
+};
+
+/// Dummy connector that sleeps for a configured duration instead of talking
+/// to a database — the paper's driver-scalability instrument (Table 5).
+class SleepingConnector : public Connector {
+ public:
+  explicit SleepingConnector(int64_t sleep_micros)
+      : sleep_micros_(sleep_micros) {}
+
+  util::Status Execute(const Operation& op) override;
+
+  uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int64_t sleep_micros_;
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace snb::driver
+
+#endif  // SNB_DRIVER_CONNECTORS_H_

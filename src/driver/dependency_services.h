@@ -1,0 +1,144 @@
+// Local / Global Dependency Services (paper section 4.2, Figure 7).
+//
+// Each parallel stream owns a LocalDependencyService tracking the Initiated
+// Times (IT) and Completed Times (CT) of the *dependency* operations it
+// executes, and exposes
+//   T_LI — Local Initiation Time: no operation with a smaller timestamp will
+//          ever start in this stream (monotone),
+//   T_LC — Local Completion Time: every operation of this stream at or
+//          before it has completed (monotone).
+// The GlobalDependencyService aggregates all LDS instances into
+//   T_GI = min over streams of T_LI,
+//   T_GC — Global Completion Time: every operation from every stream with
+//          timestamp <= T_GC has completed. Dependent operations spin-wait
+//          on T_GC before executing.
+//
+// Streams that currently have no dependency operation in flight advance
+// their T_LI with MarkTime() (time markers), so T_GC never stalls behind an
+// idle stream. Timestamps must be added in monotonically increasing order
+// per stream (update streams are due-time sorted) but may complete in any
+// order.
+#ifndef SNB_DRIVER_DEPENDENCY_SERVICES_H_
+#define SNB_DRIVER_DEPENDENCY_SERVICES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/datetime.h"
+
+namespace snb::driver {
+
+using util::TimestampMs;
+
+inline constexpr TimestampMs kTimeMax =
+    std::numeric_limits<TimestampMs>::max();
+
+class GlobalDependencyService;
+
+/// Anything exposing the (T_LI, T_LC) watermark pair: a stream-local
+/// service or a whole GlobalDependencyService — which is what makes GDS
+/// composable ("a GDS instance could track other GDS instances in the same
+/// manner as it tracks LDS instances", section 4.2).
+class DependencyWatermark {
+ public:
+  virtual ~DependencyWatermark() = default;
+  /// No operation with a smaller timestamp will ever start. Monotone.
+  virtual TimestampMs WatermarkTLI() const = 0;
+  /// Every operation at or before this timestamp completed. Monotone.
+  virtual TimestampMs WatermarkTLC() const = 0;
+};
+
+/// Per-stream dependency bookkeeping. Thread-safe; one writer stream plus
+/// concurrent readers.
+class LocalDependencyService : public DependencyWatermark {
+ public:
+  LocalDependencyService() = default;
+  LocalDependencyService(const LocalDependencyService&) = delete;
+  LocalDependencyService& operator=(const LocalDependencyService&) = delete;
+
+  /// Registers a dependency operation about to execute. `t` must be >= every
+  /// previously initiated or marked time.
+  void Initiate(TimestampMs t);
+
+  /// Marks a previously initiated dependency operation as completed.
+  void Complete(TimestampMs t);
+
+  /// Advances T_LI for streams executing non-dependency operations: promises
+  /// that no dependency with timestamp < t will ever be initiated.
+  void MarkTime(TimestampMs t);
+
+  /// Lowest in-flight initiated time, or the last known floor when IT is
+  /// empty. Monotone.
+  TimestampMs TLI() const;
+
+  /// Highest time t such that every dependency of this stream with
+  /// timestamp <= t has completed. Monotone.
+  TimestampMs TLC() const;
+
+  TimestampMs WatermarkTLI() const override { return TLI(); }
+  TimestampMs WatermarkTLC() const override { return TLC(); }
+
+ private:
+  friend class GlobalDependencyService;
+
+  /// Folds durable completions into the cached watermark; mu_ held.
+  void FoldLocked();
+
+  mutable std::mutex mu_;
+  std::multiset<TimestampMs> initiated_;
+  std::multiset<TimestampMs> completed_;
+  TimestampMs floor_ = 0;          // Last marker / last initiated time.
+  TimestampMs completed_high_ = 0; // Cached TLC.
+  GlobalDependencyService* gds_ = nullptr;  // Notified on progress.
+};
+
+/// Aggregates watermark sources (LDS instances or child GDS instances);
+/// dependent operations wait on T_GC. T_GI/T_GC are exposed exactly as in
+/// Figure 7, and the service itself implements DependencyWatermark, so GDS
+/// trees model hierarchical/distributed driver deployments.
+class GlobalDependencyService : public DependencyWatermark {
+ public:
+  GlobalDependencyService() = default;
+  GlobalDependencyService(const GlobalDependencyService&) = delete;
+  GlobalDependencyService& operator=(const GlobalDependencyService&) = delete;
+
+  /// Creates and registers a new stream-local service. All registrations
+  /// must happen before execution starts.
+  LocalDependencyService* AddStream();
+
+  /// Registers a child watermark source (typically another GDS) without
+  /// taking ownership. The child must outlive this service and must notify
+  /// progress through its own waiters; parents poll on progress events.
+  void AddChild(DependencyWatermark* child);
+
+  /// Global Initiation Time: min over streams of T_LI.
+  TimestampMs TGI() const;
+
+  /// Global Completion Time: every operation from all streams with
+  /// timestamp <= TGC has completed.
+  TimestampMs TGC() const;
+
+  /// Blocks until TGC() >= t.
+  void WaitUntilCompleted(TimestampMs t);
+
+  /// Wakes waiters; called by LDS on every progress event.
+  void NotifyProgress();
+
+  TimestampMs WatermarkTLI() const override { return TGI(); }
+  TimestampMs WatermarkTLC() const override { return TGC(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable progress_;
+  std::vector<std::unique_ptr<LocalDependencyService>> streams_;
+  std::vector<DependencyWatermark*> children_;
+};
+
+}  // namespace snb::driver
+
+#endif  // SNB_DRIVER_DEPENDENCY_SERVICES_H_

@@ -1,0 +1,264 @@
+#include "driver/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "datagen/config.h"
+#include "driver/dependency_services.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace snb::driver {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared run accounting across worker threads.
+struct RunState {
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> failed{0};
+  std::mutex error_mu;
+  std::string first_error;
+  std::atomic<int64_t> max_lag_us{0};
+  std::atomic<uint64_t> dependencies_tracked{0};
+  std::atomic<uint64_t> dependent_waits{0};
+
+  void RecordResult(const util::Status& status) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (!status.ok()) {
+      failed.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.empty()) first_error = status.ToString();
+    }
+  }
+
+  void RecordLag(int64_t lag_us) {
+    int64_t cur = max_lag_us.load(std::memory_order_relaxed);
+    while (lag_us > cur &&
+           !max_lag_us.compare_exchange_weak(cur, lag_us)) {
+    }
+  }
+};
+
+/// Maps simulation due times to wall-clock deadlines under an acceleration
+/// factor and blocks until an operation's start time.
+class Throttle {
+ public:
+  Throttle(double acceleration, util::TimestampMs base_due)
+      : acceleration_(acceleration),
+        base_due_(base_due),
+        start_(Clock::now()) {}
+
+  /// Waits until `due` is scheduled; returns lateness in microseconds
+  /// (0 when unthrottled).
+  int64_t WaitUntilDue(util::TimestampMs due) const {
+    if (acceleration_ <= 0.0) return 0;
+    double real_ms =
+        static_cast<double>(due - base_due_) / acceleration_;
+    Clock::time_point deadline =
+        start_ + std::chrono::microseconds(
+                     static_cast<int64_t>(real_ms * 1000.0));
+    Clock::time_point now = Clock::now();
+    if (now < deadline) {
+      std::this_thread::sleep_until(deadline);
+      return 0;
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                 deadline)
+        .count();
+  }
+
+ private:
+  double acceleration_;
+  util::TimestampMs base_due_;
+  Clock::time_point start_;
+};
+
+uint32_t PartitionOf(const Operation& op, uint32_t num_partitions,
+                     ExecutionMode mode, uint64_t index) {
+  if (mode == ExecutionMode::kSequentialForum &&
+      op.forum_partition != schema::kInvalidId) {
+    return static_cast<uint32_t>(util::Mix64(op.forum_partition) %
+                                 num_partitions);
+  }
+  return static_cast<uint32_t>(index % num_partitions);
+}
+
+/// Stream loop shared by the sequential-forum and parallel-GCT modes
+/// (Figure 8 of the paper).
+void RunStream(const std::vector<const Operation*>& ops,
+               Connector& connector, ExecutionMode mode,
+               LocalDependencyService* lds, GlobalDependencyService* gds,
+               const Throttle& throttle, RunState* state) {
+  for (const Operation* op : ops) {
+    bool is_dependency =
+        op->is_dependency ||
+        (mode == ExecutionMode::kParallelGct &&
+         op->type == OperationType::kUpdate);
+    util::TimestampMs wait_for = mode == ExecutionMode::kParallelGct
+                                     ? op->dependency_time
+                                     : op->person_dependency_time;
+    if (is_dependency) {
+      lds->Initiate(op->due_time);
+      state->dependencies_tracked.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      lds->MarkTime(op->due_time);
+    }
+    if (wait_for > 0) {
+      state->dependent_waits.fetch_add(1, std::memory_order_relaxed);
+      gds->WaitUntilCompleted(wait_for);
+    }
+    state->RecordLag(throttle.WaitUntilDue(op->due_time));
+    state->RecordResult(connector.Execute(*op));
+    if (is_dependency) lds->Complete(op->due_time);
+  }
+  lds->MarkTime(kTimeMax);
+}
+
+DriverReport FinishReport(const RunState& state, double elapsed_seconds,
+                          const DriverConfig& config) {
+  DriverReport report;
+  report.operations_executed = state.executed.load();
+  report.operations_failed = state.failed.load();
+  report.first_error = state.first_error;
+  report.elapsed_seconds = elapsed_seconds;
+  report.ops_per_second =
+      elapsed_seconds > 0.0
+          ? static_cast<double>(report.operations_executed) / elapsed_seconds
+          : 0.0;
+  report.max_schedule_lag_ms =
+      static_cast<double>(state.max_lag_us.load()) / 1000.0;
+  report.sustained = config.acceleration <= 0.0 ||
+                     report.max_schedule_lag_ms <=
+                         config.sustained_lag_threshold_ms;
+  report.dependencies_tracked = state.dependencies_tracked.load();
+  report.dependent_waits = state.dependent_waits.load();
+  return report;
+}
+
+DriverReport RunStreamed(const std::vector<Operation>& operations,
+                         Connector& connector, const DriverConfig& config) {
+  uint32_t partitions = std::max<uint32_t>(config.num_partitions, 1);
+  std::vector<std::vector<const Operation*>> streams(partitions);
+  for (size_t i = 0; i < operations.size(); ++i) {
+    streams[PartitionOf(operations[i], partitions, config.mode, i)]
+        .push_back(&operations[i]);
+  }
+
+  GlobalDependencyService gds;
+  std::vector<LocalDependencyService*> lds;
+  lds.reserve(partitions);
+  for (uint32_t p = 0; p < partitions; ++p) {
+    lds.push_back(gds.AddStream());
+    // Seed every stream with the workload start: dependencies older than the
+    // first operation live in the bulk load and are complete by definition.
+    lds.back()->MarkTime(operations.front().due_time);
+  }
+
+  RunState state;
+  Throttle throttle(config.acceleration, operations.front().due_time);
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(partitions);
+  for (uint32_t p = 0; p < partitions; ++p) {
+    workers.emplace_back([&, p] {
+      RunStream(streams[p], connector, config.mode, lds[p], &gds, throttle,
+                &state);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return FinishReport(state, elapsed, config);
+}
+
+DriverReport RunWindowed(const std::vector<Operation>& operations,
+                         Connector& connector, const DriverConfig& config) {
+  uint32_t partitions = std::max<uint32_t>(config.num_partitions, 1);
+  util::ThreadPool pool(partitions);
+  RunState state;
+  util::TimestampMs base = operations.front().due_time;
+  Throttle throttle(config.acceleration, base);
+  Clock::time_point start = Clock::now();
+
+  // Window width must not exceed T_SAFE for cross-window dependency safety.
+  const util::TimestampMs window_ms = datagen::kTSafeMs;
+  size_t next = 0;
+  while (next < operations.size()) {
+    util::TimestampMs window_start =
+        base + (operations[next].due_time - base) / window_ms * window_ms;
+    util::TimestampMs window_end = window_start + window_ms;
+    size_t end = next;
+    while (end < operations.size() &&
+           operations[end].due_time < window_end) {
+      ++end;
+    }
+
+    // Throttled runs start a window no earlier than its scheduled time.
+    state.RecordLag(throttle.WaitUntilDue(window_start));
+
+    // Group the window: forum-tree ops run sequentially per forum; all
+    // remaining ops have >= T_SAFE-old dependencies and run freely.
+    std::unordered_map<uint64_t, std::vector<const Operation*>> forum_groups;
+    std::vector<std::vector<const Operation*>> free_batches(partitions);
+    size_t free_index = 0;
+    for (size_t i = next; i < end; ++i) {
+      const Operation& op = operations[i];
+      if (op.forum_partition != schema::kInvalidId) {
+        forum_groups[op.forum_partition].push_back(&op);
+      } else {
+        free_batches[free_index++ % partitions].push_back(&op);
+      }
+    }
+    for (auto& [_, group] : forum_groups) {
+      pool.Submit([&connector, &state, group = &group] {
+        for (const Operation* op : *group) {
+          state.RecordResult(connector.Execute(*op));
+        }
+      });
+    }
+    for (std::vector<const Operation*>& batch : free_batches) {
+      if (batch.empty()) continue;
+      pool.Submit([&connector, &state, batch = &batch] {
+        for (const Operation* op : *batch) {
+          state.RecordResult(connector.Execute(*op));
+        }
+      });
+    }
+    pool.Wait();  // Window barrier.
+    next = end;
+  }
+  double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return FinishReport(state, elapsed, config);
+}
+
+}  // namespace
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kSequentialForum:
+      return "sequential-forum";
+    case ExecutionMode::kParallelGct:
+      return "parallel-gct";
+    case ExecutionMode::kWindowed:
+      return "windowed";
+  }
+  return "unknown";
+}
+
+DriverReport RunWorkload(const std::vector<Operation>& operations,
+                         Connector& connector, const DriverConfig& config) {
+  if (operations.empty()) return DriverReport{};
+  if (config.mode == ExecutionMode::kWindowed) {
+    return RunWindowed(operations, connector, config);
+  }
+  return RunStreamed(operations, connector, config);
+}
+
+}  // namespace snb::driver

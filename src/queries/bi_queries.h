@@ -1,0 +1,76 @@
+// SNB-BI workload preview (paper section 1, "SNB-BI").
+//
+// The Business Intelligence workload is a working draft in the paper:
+// queries that touch a large share of all entities ("fact tables"), group
+// them along dimensions, and mix in graph predicates and recursion. These
+// three queries implement the draft's flavour on the same dataset:
+//
+//   BI-1  Posting summary: all messages grouped by (year, kind,
+//         language) with counts and average length — a pure fact-table
+//         rollup (TPC-H style).
+//   BI-2  Tag evolution: per tag, post volume in two consecutive time
+//         windows and the delta — trend detection over the whole fact
+//         table (powered by the same spikes as Figure 2a).
+//   BI-3  Country influencers: top persons per country ranked by total
+//         likes received on their messages — an aggregation joined
+//         through a graph edge (person -> message -> like).
+//
+// All three run against the graph store under one read snapshot.
+#ifndef SNB_QUERIES_BI_QUERIES_H_
+#define SNB_QUERIES_BI_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/ids.h"
+#include "store/graph_store.h"
+#include "util/datetime.h"
+
+namespace snb::queries {
+
+using store::GraphStore;
+
+/// BI-1 row: one (year, kind, language) group.
+struct Bi1Result {
+  int year = 0;
+  schema::MessageKind kind = schema::MessageKind::kPost;
+  uint32_t language = 0;
+  uint64_t message_count = 0;
+  double avg_length = 0.0;
+};
+
+/// Message rollup by (year, kind, language); sorted by count descending.
+std::vector<Bi1Result> BiQuery1PostingSummary(const GraphStore& store);
+
+/// BI-2 row: one tag's volumes in the two windows.
+struct Bi2Result {
+  schema::TagId tag = 0;
+  uint32_t count_window1 = 0;
+  uint32_t count_window2 = 0;
+  /// |w2 - w1| — the "trending" magnitude.
+  uint32_t delta = 0;
+};
+
+/// Tag volumes in [start, start+days) vs the following window of equal
+/// length, top `limit` by absolute delta.
+std::vector<Bi2Result> BiQuery2TagEvolution(const GraphStore& store,
+                                            util::TimestampMs window_start,
+                                            int window_days, int limit = 20);
+
+/// BI-3 row: an influencer within one country.
+struct Bi3Result {
+  schema::PlaceId country = schema::kInvalidId32;
+  schema::PersonId person = schema::kInvalidId;
+  uint64_t likes_received = 0;
+  uint64_t messages = 0;
+};
+
+/// For each country (by home city), the `per_country` persons with the most
+/// likes received. `city_country` maps city -> country.
+std::vector<Bi3Result> BiQuery3CountryInfluencers(
+    const GraphStore& store,
+    const std::vector<schema::PlaceId>& city_country, int per_country = 3);
+
+}  // namespace snb::queries
+
+#endif  // SNB_QUERIES_BI_QUERIES_H_

@@ -1,0 +1,709 @@
+#include "queries/complex_queries.h"
+
+#include <algorithm>
+#include <ctime>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace snb::queries {
+namespace {
+
+using schema::MessageId;
+using schema::MessageKind;
+using schema::PersonId;
+using store::DatedEdge;
+using store::FriendEdge;
+using store::MessageRecord;
+using store::PersonRecord;
+
+std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
+                                      PersonId start) {
+  std::vector<PersonId> out;
+  const PersonRecord* p = store.FindPerson(start);
+  if (p == nullptr) return out;
+  out.reserve(p->friends.size());
+  for (const FriendEdge& e : p->friends) out.push_back(e.other);
+  return out;  // friends are sorted by id already.
+}
+
+std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
+                                         PersonId start) {
+  std::vector<PersonId> out;
+  const PersonRecord* p = store.FindPerson(start);
+  if (p == nullptr) return out;
+  std::unordered_set<PersonId> seen;
+  seen.insert(start);
+  for (const FriendEdge& e : p->friends) {
+    if (seen.insert(e.other).second) out.push_back(e.other);
+  }
+  size_t direct = out.size();
+  for (size_t i = 0; i < direct; ++i) {
+    const PersonRecord* f = store.FindPerson(out[i]);
+    if (f == nullptr) continue;
+    for (const FriendEdge& e : f->friends) {
+      if (seen.insert(e.other).second) out.push_back(e.other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Index of the first message of `person` with creation date > max_date.
+/// Relies on messages being appended in ascending date order.
+size_t UpperBoundByDate(const GraphStore& store, const PersonRecord& person,
+                        TimestampMs max_date) {
+  auto it = std::partition_point(
+      person.messages.begin(), person.messages.end(), [&](MessageId id) {
+        const MessageRecord* m = store.FindMessage(id);
+        return m != nullptr && m->data.creation_date <= max_date;
+      });
+  return static_cast<size_t>(it - person.messages.begin());
+}
+
+/// Month (1-12) and day (1-31) of a timestamp, UTC.
+void MonthDayOf(TimestampMs ts, int* month, int* day) {
+  std::time_t secs = static_cast<std::time_t>(ts / util::kMillisPerSecond);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  *month = tm_utc.tm_mon + 1;
+  *day = tm_utc.tm_mday;
+}
+
+}  // namespace
+
+std::vector<PersonId> FriendIds(const GraphStore& store, PersonId start) {
+  auto lock = store.ReadLock();
+  return FriendIdsLocked(store, start);
+}
+
+std::vector<PersonId> TwoHopCircle(const GraphStore& store, PersonId start) {
+  auto lock = store.ReadLock();
+  return TwoHopCircleLocked(store, start);
+}
+
+// ---- Q1 -----------------------------------------------------------------------
+
+std::vector<Q1Result> Query1(const GraphStore& store, PersonId start,
+                             const std::string& first_name, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q1Result> results;
+  const PersonRecord* root = store.FindPerson(start);
+  if (root == nullptr) return results;
+
+  // 3-level BFS collecting name matches.
+  std::unordered_set<PersonId> visited;
+  visited.insert(start);
+  std::vector<PersonId> frontier = {start};
+  for (uint32_t distance = 1; distance <= 3 && !frontier.empty();
+       ++distance) {
+    std::vector<PersonId> next;
+    for (PersonId pid : frontier) {
+      const PersonRecord* p = store.FindPerson(pid);
+      if (p == nullptr) continue;
+      for (const FriendEdge& e : p->friends) {
+        if (!visited.insert(e.other).second) continue;
+        next.push_back(e.other);
+        const PersonRecord* candidate = store.FindPerson(e.other);
+        if (candidate != nullptr &&
+            candidate->data.first_name == first_name) {
+          Q1Result r;
+          r.person_id = e.other;
+          r.distance = distance;
+          r.last_name = candidate->data.last_name;
+          r.city_id = candidate->data.city_id;
+          r.university_id = candidate->data.university_id;
+          r.company_id = candidate->data.company_id;
+          results.push_back(std::move(r));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q1Result& a, const Q1Result& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.last_name != b.last_name) return a.last_name < b.last_name;
+              return a.person_id < b.person_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q2 -----------------------------------------------------------------------
+
+std::vector<Q2Result> Query2(const GraphStore& store, PersonId start,
+                             TimestampMs max_date, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q2Result> candidates;
+  for (PersonId fid : FriendIdsLocked(store, start)) {
+    const PersonRecord* f = store.FindPerson(fid);
+    if (f == nullptr) continue;
+    size_t upper = UpperBoundByDate(store, *f, max_date);
+    size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
+    for (size_t i = upper - take; i < upper; ++i) {
+      const MessageRecord* m = store.FindMessage(f->messages[i]);
+      if (m == nullptr) continue;
+      candidates.push_back({m->data.id, fid, m->data.creation_date});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Q2Result& a, const Q2Result& b) {
+              if (a.creation_date != b.creation_date) {
+                return a.creation_date > b.creation_date;
+              }
+              return a.message_id < b.message_id;
+            });
+  if (static_cast<int>(candidates.size()) > limit) candidates.resize(limit);
+  return candidates;
+}
+
+// ---- Q3 -----------------------------------------------------------------------
+
+std::vector<Q3Result> Query3(const GraphStore& store, PersonId start,
+                             const std::vector<schema::PlaceId>& city_country,
+                             schema::PlaceId country_x,
+                             schema::PlaceId country_y,
+                             TimestampMs start_date, int duration_days,
+                             int limit) {
+  auto lock = store.ReadLock();
+  TimestampMs end_date = start_date + duration_days * util::kMillisPerDay;
+  std::vector<Q3Result> results;
+  for (PersonId pid : TwoHopCircleLocked(store, start)) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    // Residents of X or Y are excluded: posting from home is not travel.
+    if (p->data.city_id < city_country.size()) {
+      schema::PlaceId home = city_country[p->data.city_id];
+      if (home == country_x || home == country_y) continue;
+    }
+    uint32_t count_x = 0, count_y = 0;
+    size_t upper = UpperBoundByDate(store, *p, end_date - 1);
+    for (size_t i = 0; i < upper; ++i) {
+      const MessageRecord* m = store.FindMessage(p->messages[i]);
+      if (m == nullptr || m->data.creation_date < start_date) continue;
+      if (m->data.country_id == country_x) {
+        ++count_x;
+      } else if (m->data.country_id == country_y) {
+        ++count_y;
+      }
+    }
+    if (count_x > 0 && count_y > 0) {
+      results.push_back({pid, count_x, count_y});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q3Result& a, const Q3Result& b) {
+              uint64_t ta = a.count_x + a.count_y;
+              uint64_t tb = b.count_x + b.count_y;
+              if (ta != tb) return ta > tb;
+              return a.person_id < b.person_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q4 -----------------------------------------------------------------------
+
+std::vector<Q4Result> Query4(const GraphStore& store, PersonId start,
+                             TimestampMs start_date, int duration_days,
+                             int limit) {
+  auto lock = store.ReadLock();
+  TimestampMs end_date = start_date + duration_days * util::kMillisPerDay;
+  std::unordered_map<schema::TagId, uint32_t> in_window;
+  std::unordered_set<schema::TagId> before_window;
+  for (PersonId fid : FriendIdsLocked(store, start)) {
+    const PersonRecord* f = store.FindPerson(fid);
+    if (f == nullptr) continue;
+    for (MessageId mid : f->messages) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
+      if (m->data.creation_date >= end_date) break;  // Ascending dates.
+      if (m->data.creation_date < start_date) {
+        for (schema::TagId t : m->data.tags) before_window.insert(t);
+      } else {
+        for (schema::TagId t : m->data.tags) ++in_window[t];
+      }
+    }
+  }
+  std::vector<Q4Result> results;
+  for (auto [tag, count] : in_window) {
+    if (before_window.count(tag) == 0) results.push_back({tag, count});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q4Result& a, const Q4Result& b) {
+              if (a.post_count != b.post_count) {
+                return a.post_count > b.post_count;
+              }
+              return a.tag < b.tag;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q5 -----------------------------------------------------------------------
+
+std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
+                             TimestampMs min_date, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<PersonId> circle = TwoHopCircleLocked(store, start);
+  std::unordered_set<PersonId> circle_set(circle.begin(), circle.end());
+
+  // Forums joined by circle members after min_date.
+  std::unordered_set<schema::ForumId> new_forums;
+  for (PersonId pid : circle) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    for (const DatedEdge& membership : p->forums) {
+      if (membership.date > min_date) new_forums.insert(membership.id);
+    }
+  }
+  // Rank by posts in the forum created by circle members.
+  std::vector<Q5Result> results;
+  results.reserve(new_forums.size());
+  for (schema::ForumId fid : new_forums) {
+    const store::ForumRecord* forum = store.FindForum(fid);
+    if (forum == nullptr) continue;
+    uint32_t count = 0;
+    for (MessageId mid : forum->posts) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m != nullptr && circle_set.count(m->data.creator_id) > 0) ++count;
+    }
+    results.push_back({fid, count});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q5Result& a, const Q5Result& b) {
+              if (a.post_count != b.post_count) {
+                return a.post_count > b.post_count;
+              }
+              return a.forum_id < b.forum_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q6 -----------------------------------------------------------------------
+
+std::vector<Q6Result> Query6(const GraphStore& store, PersonId start,
+                             schema::TagId tag, int limit) {
+  auto lock = store.ReadLock();
+  std::unordered_map<schema::TagId, uint32_t> co_counts;
+  for (PersonId pid : TwoHopCircleLocked(store, start)) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    for (MessageId mid : p->messages) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
+      bool has_tag = false;
+      for (schema::TagId t : m->data.tags) {
+        if (t == tag) {
+          has_tag = true;
+          break;
+        }
+      }
+      if (!has_tag) continue;
+      for (schema::TagId t : m->data.tags) {
+        if (t != tag) ++co_counts[t];
+      }
+    }
+  }
+  std::vector<Q6Result> results;
+  results.reserve(co_counts.size());
+  for (auto [t, c] : co_counts) results.push_back({t, c});
+  std::sort(results.begin(), results.end(),
+            [](const Q6Result& a, const Q6Result& b) {
+              if (a.post_count != b.post_count) {
+                return a.post_count > b.post_count;
+              }
+              return a.tag < b.tag;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q7 -----------------------------------------------------------------------
+
+std::vector<Q7Result> Query7(const GraphStore& store, PersonId start,
+                             int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q7Result> likes;
+  const PersonRecord* p = store.FindPerson(start);
+  if (p == nullptr) return likes;
+  for (MessageId mid : p->messages) {
+    const MessageRecord* m = store.FindMessage(mid);
+    if (m == nullptr) continue;
+    for (const DatedEdge& like : m->likes) {
+      Q7Result r;
+      r.liker_id = like.id;
+      r.message_id = mid;
+      r.like_date = like.date;
+      r.latency_minutes =
+          (like.date - m->data.creation_date) / util::kMillisPerMinute;
+      r.is_outside_friendship = !store.AreFriends(start, like.id);
+      likes.push_back(r);
+    }
+  }
+  std::sort(likes.begin(), likes.end(),
+            [](const Q7Result& a, const Q7Result& b) {
+              if (a.like_date != b.like_date) return a.like_date > b.like_date;
+              return a.liker_id < b.liker_id;
+            });
+  if (static_cast<int>(likes.size()) > limit) likes.resize(limit);
+  return likes;
+}
+
+// ---- Q8 -----------------------------------------------------------------------
+
+std::vector<Q8Result> Query8(const GraphStore& store, PersonId start,
+                             int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q8Result> replies;
+  const PersonRecord* p = store.FindPerson(start);
+  if (p == nullptr) return replies;
+  for (MessageId mid : p->messages) {
+    const MessageRecord* m = store.FindMessage(mid);
+    if (m == nullptr) continue;
+    for (MessageId rid : m->replies) {
+      const MessageRecord* reply = store.FindMessage(rid);
+      if (reply == nullptr) continue;
+      replies.push_back(
+          {rid, reply->data.creator_id, reply->data.creation_date});
+    }
+  }
+  std::sort(replies.begin(), replies.end(),
+            [](const Q8Result& a, const Q8Result& b) {
+              if (a.creation_date != b.creation_date) {
+                return a.creation_date > b.creation_date;
+              }
+              return a.comment_id < b.comment_id;
+            });
+  if (static_cast<int>(replies.size()) > limit) replies.resize(limit);
+  return replies;
+}
+
+// ---- Q9 -----------------------------------------------------------------------
+
+std::vector<Q9Result> Query9(const GraphStore& store, PersonId start,
+                             TimestampMs max_date, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q9Result> candidates;
+  for (PersonId pid : TwoHopCircleLocked(store, start)) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    size_t upper = UpperBoundByDate(store, *p, max_date - 1);
+    size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
+    for (size_t i = upper - take; i < upper; ++i) {
+      const MessageRecord* m = store.FindMessage(p->messages[i]);
+      if (m == nullptr) continue;
+      candidates.push_back({m->data.id, pid, m->data.creation_date});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Q9Result& a, const Q9Result& b) {
+              if (a.creation_date != b.creation_date) {
+                return a.creation_date > b.creation_date;
+              }
+              return a.message_id < b.message_id;
+            });
+  if (static_cast<int>(candidates.size()) > limit) candidates.resize(limit);
+  return candidates;
+}
+
+// ---- Q10 ----------------------------------------------------------------------
+
+std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
+                               int horoscope_month, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q10Result> results;
+  const PersonRecord* root = store.FindPerson(start);
+  if (root == nullptr) return results;
+  std::unordered_set<schema::TagId> interests(root->data.interests.begin(),
+                                              root->data.interests.end());
+  std::unordered_set<PersonId> direct;
+  direct.insert(start);
+  for (const FriendEdge& e : root->friends) direct.insert(e.other);
+
+  std::unordered_set<PersonId> fof;
+  for (const FriendEdge& e : root->friends) {
+    const PersonRecord* f = store.FindPerson(e.other);
+    if (f == nullptr) continue;
+    for (const FriendEdge& e2 : f->friends) {
+      if (direct.count(e2.other) == 0) fof.insert(e2.other);
+    }
+  }
+
+  for (PersonId pid : fof) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    int month = 0, day = 0;
+    MonthDayOf(p->data.birthday, &month, &day);
+    int next_month = horoscope_month % 12 + 1;
+    bool sign_match = (month == horoscope_month && day >= 21) ||
+                      (month == next_month && day < 22);
+    if (!sign_match) continue;
+    int32_t common = 0, other = 0;
+    for (MessageId mid : p->messages) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
+      bool about_interest = false;
+      for (schema::TagId t : m->data.tags) {
+        if (interests.count(t) > 0) {
+          about_interest = true;
+          break;
+        }
+      }
+      if (about_interest) {
+        ++common;
+      } else {
+        ++other;
+      }
+    }
+    results.push_back({pid, common - other});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q10Result& a, const Q10Result& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.person_id < b.person_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q11 ----------------------------------------------------------------------
+
+std::vector<Q11Result> Query11(const GraphStore& store, PersonId start,
+                               const std::vector<schema::PlaceId>&
+                                   company_country,
+                               schema::PlaceId country,
+                               uint16_t max_work_year, int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q11Result> results;
+  for (PersonId pid : TwoHopCircleLocked(store, start)) {
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    schema::OrganizationId company = p->data.company_id;
+    if (company == schema::kInvalidId32) continue;
+    if (company >= company_country.size()) continue;
+    if (company_country[company] != country) continue;
+    if (p->data.work_year >= max_work_year) continue;
+    results.push_back({pid, company, p->data.work_year});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q11Result& a, const Q11Result& b) {
+              if (a.work_year != b.work_year) return a.work_year < b.work_year;
+              return a.person_id < b.person_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q12 ----------------------------------------------------------------------
+
+std::vector<Q12Result> Query12(const GraphStore& store, PersonId start,
+                               const std::vector<bool>& tag_in_class,
+                               int limit) {
+  auto lock = store.ReadLock();
+  std::vector<Q12Result> results;
+  for (PersonId fid : FriendIdsLocked(store, start)) {
+    const PersonRecord* f = store.FindPerson(fid);
+    if (f == nullptr) continue;
+    uint32_t count = 0;
+    for (MessageId mid : f->messages) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
+      const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
+      if (parent == nullptr ||
+          parent->data.kind == MessageKind::kComment) {
+        continue;  // Only replies to posts count.
+      }
+      for (schema::TagId t : parent->data.tags) {
+        if (t < tag_in_class.size() && tag_in_class[t]) {
+          ++count;
+          break;
+        }
+      }
+    }
+    if (count > 0) results.push_back({fid, count});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q12Result& a, const Q12Result& b) {
+              if (a.reply_count != b.reply_count) {
+                return a.reply_count > b.reply_count;
+              }
+              return a.person_id < b.person_id;
+            });
+  if (static_cast<int>(results.size()) > limit) results.resize(limit);
+  return results;
+}
+
+// ---- Q13 ----------------------------------------------------------------------
+
+int Query13(const GraphStore& store, PersonId person1, PersonId person2) {
+  auto lock = store.ReadLock();
+  if (person1 == person2) return 0;
+  if (store.FindPerson(person1) == nullptr ||
+      store.FindPerson(person2) == nullptr) {
+    return -1;
+  }
+  // Bidirectional BFS.
+  std::unordered_map<PersonId, int> dist_fwd{{person1, 0}};
+  std::unordered_map<PersonId, int> dist_bwd{{person2, 0}};
+  std::deque<PersonId> frontier_fwd{person1};
+  std::deque<PersonId> frontier_bwd{person2};
+  int depth_fwd = 0, depth_bwd = 0;
+
+  auto expand = [&](std::deque<PersonId>& frontier,
+                    std::unordered_map<PersonId, int>& mine,
+                    const std::unordered_map<PersonId, int>& theirs,
+                    int& depth) -> int {
+    ++depth;
+    std::deque<PersonId> next;
+    int best = -1;
+    while (!frontier.empty()) {
+      PersonId pid = frontier.front();
+      frontier.pop_front();
+      const PersonRecord* p = store.FindPerson(pid);
+      if (p == nullptr) continue;
+      for (const FriendEdge& e : p->friends) {
+        if (mine.count(e.other) > 0) continue;
+        mine[e.other] = depth;
+        auto hit = theirs.find(e.other);
+        if (hit != theirs.end()) {
+          int total = depth + hit->second;
+          if (best < 0 || total < best) best = total;
+        }
+        next.push_back(e.other);
+      }
+    }
+    frontier = std::move(next);
+    return best;
+  };
+
+  while (!frontier_fwd.empty() || !frontier_bwd.empty()) {
+    bool forward = frontier_fwd.size() <= frontier_bwd.size()
+                       ? !frontier_fwd.empty()
+                       : frontier_bwd.empty();
+    int found = forward
+                    ? expand(frontier_fwd, dist_fwd, dist_bwd, depth_fwd)
+                    : expand(frontier_bwd, dist_bwd, dist_fwd, depth_bwd);
+    if (found >= 0) return found;
+  }
+  return -1;
+}
+
+// ---- Q14 ----------------------------------------------------------------------
+
+namespace {
+
+/// Interaction weight between two persons: each comment by one replying to
+/// a post of the other adds 1.0, to a comment of the other adds 0.5.
+double PairWeight(const GraphStore& store, PersonId a, PersonId b) {
+  double weight = 0.0;
+  for (PersonId from : {a, b}) {
+    PersonId to = from == a ? b : a;
+    const PersonRecord* p = store.FindPerson(from);
+    if (p == nullptr) continue;
+    for (MessageId mid : p->messages) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
+      const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
+      if (parent == nullptr || parent->data.creator_id != to) continue;
+      weight += parent->data.kind == MessageKind::kComment ? 0.5 : 1.0;
+    }
+  }
+  return weight;
+}
+
+}  // namespace
+
+std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
+                               PersonId person2) {
+  auto lock = store.ReadLock();
+  std::vector<Q14Result> results;
+  if (store.FindPerson(person1) == nullptr ||
+      store.FindPerson(person2) == nullptr) {
+    return results;
+  }
+  if (person1 == person2) {
+    results.push_back({{person1}, 0.0});
+    return results;
+  }
+  // BFS from person1 building the shortest-path parent DAG.
+  std::unordered_map<PersonId, int> dist{{person1, 0}};
+  std::unordered_map<PersonId, std::vector<PersonId>> parents;
+  std::deque<PersonId> queue{person1};
+  int target_dist = -1;
+  while (!queue.empty()) {
+    PersonId pid = queue.front();
+    queue.pop_front();
+    int d = dist[pid];
+    if (target_dist >= 0 && d >= target_dist) break;
+    const PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    for (const FriendEdge& e : p->friends) {
+      auto it = dist.find(e.other);
+      if (it == dist.end()) {
+        dist[e.other] = d + 1;
+        parents[e.other].push_back(pid);
+        queue.push_back(e.other);
+        if (e.other == person2) target_dist = d + 1;
+      } else if (it->second == d + 1) {
+        parents[e.other].push_back(pid);
+      }
+    }
+  }
+  if (target_dist < 0) return results;
+
+  // Enumerate all shortest paths backwards from person2 (bounded).
+  constexpr size_t kMaxPaths = 1000;
+  std::vector<std::vector<PersonId>> paths;
+  std::vector<PersonId> current{person2};
+  // Iterative DFS over the parent DAG.
+  struct Frame {
+    PersonId node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack{{person2, 0}};
+  while (!stack.empty() && paths.size() < kMaxPaths) {
+    Frame& frame = stack.back();
+    if (frame.node == person1) {
+      std::vector<PersonId> path;
+      path.reserve(stack.size());
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        path.push_back(it->node);
+      }
+      paths.push_back(std::move(path));
+      stack.pop_back();
+      continue;
+    }
+    std::vector<PersonId>& ps = parents[frame.node];
+    std::sort(ps.begin(), ps.end());
+    if (frame.next_parent >= ps.size()) {
+      stack.pop_back();
+      continue;
+    }
+    PersonId parent = ps[frame.next_parent++];
+    stack.push_back({parent, 0});
+  }
+
+  results.reserve(paths.size());
+  for (std::vector<PersonId>& path : paths) {
+    Q14Result r;
+    r.weight = 0.0;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      r.weight += PairWeight(store, path[i], path[i + 1]);
+    }
+    r.path = std::move(path);
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const Q14Result& a, const Q14Result& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.path < b.path;
+            });
+  return results;
+}
+
+}  // namespace snb::queries

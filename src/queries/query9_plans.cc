@@ -1,0 +1,132 @@
+#include "queries/query9_plans.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace snb::queries {
+namespace {
+
+using schema::MessageId;
+using schema::PersonId;
+using store::FriendEdge;
+using store::MessageRecord;
+using store::PersonRecord;
+
+/// Full Friends relation as a probeable hash index, built by scanning every
+/// adjacency list (the cost a hash join pays that an index lookup does not).
+class FriendsHashTable {
+ public:
+  FriendsHashTable(const GraphStore& store, Q9PlanStats* stats) {
+    for (PersonId pid : store.PersonIds()) {
+      const PersonRecord* p = store.FindPerson(pid);
+      if (p == nullptr) continue;
+      std::vector<PersonId>& bucket = table_[pid];
+      bucket.reserve(p->friends.size());
+      for (const FriendEdge& e : p->friends) {
+        bucket.push_back(e.other);
+        if (stats != nullptr) ++stats->build_tuples;
+      }
+    }
+  }
+
+  const std::vector<PersonId>* Probe(PersonId id) const {
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<PersonId, std::vector<PersonId>> table_;
+};
+
+/// Emits the friends of `id` through `emit`, via index lookup or the
+/// prebuilt hash table.
+template <typename EmitFn>
+void JoinFriends(const GraphStore& store, JoinStrategy strategy,
+                 const FriendsHashTable* hash, PersonId id, EmitFn emit) {
+  if (strategy == JoinStrategy::kIndexNestedLoop) {
+    const PersonRecord* p = store.FindPerson(id);
+    if (p == nullptr) return;
+    for (const FriendEdge& e : p->friends) emit(e.other);
+  } else {
+    const std::vector<PersonId>* bucket = hash->Probe(id);
+    if (bucket == nullptr) return;
+    for (PersonId other : *bucket) emit(other);
+  }
+}
+
+}  // namespace
+
+std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
+                                     PersonId start, TimestampMs max_date,
+                                     int limit, JoinStrategy join1,
+                                     JoinStrategy join2, JoinStrategy join3,
+                                     Q9PlanStats* stats) {
+  auto lock = store.ReadLock();
+  Q9PlanStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = Q9PlanStats();
+
+  // A hash-join plan builds its table once per join over the full relation.
+  std::unique_ptr<FriendsHashTable> friends_hash;
+  if (join1 == JoinStrategy::kHash || join2 == JoinStrategy::kHash) {
+    friends_hash = std::make_unique<FriendsHashTable>(store, stats);
+  }
+
+  // join1: person |>< friends.
+  std::vector<PersonId> friends;
+  JoinFriends(store, join1, friends_hash.get(), start, [&](PersonId f) {
+    friends.push_back(f);
+    ++stats->join1_output;
+  });
+
+  // join2: friends |>< friends -> two-hop circle (deduplicated union).
+  std::unordered_set<PersonId> circle(friends.begin(), friends.end());
+  circle.erase(start);
+  for (PersonId f : friends) {
+    JoinFriends(store, join2, friends_hash.get(), f, [&](PersonId ff) {
+      ++stats->join2_output;
+      if (ff != start) circle.insert(ff);
+    });
+  }
+
+  // join3: circle |>< messages (creation_date < max_date).
+  std::vector<Q9Result> candidates;
+  if (join3 == JoinStrategy::kIndexNestedLoop) {
+    for (PersonId pid : circle) {
+      const PersonRecord* p = store.FindPerson(pid);
+      if (p == nullptr) continue;
+      for (MessageId mid : p->messages) {
+        const MessageRecord* m = store.FindMessage(mid);
+        if (m == nullptr) continue;
+        if (m->data.creation_date >= max_date) break;  // Date-ordered index.
+        candidates.push_back({mid, pid, m->data.creation_date});
+        ++stats->join3_output;
+      }
+    }
+  } else {
+    // Hash join: scan the whole message table, probe the circle.
+    MessageId bound = store.MessageIdBound();
+    stats->build_tuples += circle.size();
+    for (MessageId mid = 0; mid < bound; ++mid) {
+      const MessageRecord* m = store.FindMessage(mid);
+      if (m == nullptr || m->data.creation_date >= max_date) continue;
+      if (circle.count(m->data.creator_id) == 0) continue;
+      candidates.push_back({mid, m->data.creator_id, m->data.creation_date});
+      ++stats->join3_output;
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Q9Result& a, const Q9Result& b) {
+              if (a.creation_date != b.creation_date) {
+                return a.creation_date > b.creation_date;
+              }
+              return a.message_id < b.message_id;
+            });
+  if (static_cast<int>(candidates.size()) > limit) candidates.resize(limit);
+  return candidates;
+}
+
+}  // namespace snb::queries

@@ -1,0 +1,49 @@
+// Query 9 under explicit physical plans — the Figure 4 choke point.
+//
+// The paper's intended plan for Q9 is
+//     ((person INL friends) INL friends) HASH messages, then sort/top-20,
+// and it reports that replacing the index-nested-loop joins with hash joins
+// costs ~50% in HyPer/Virtuoso. This module executes Q9 with a selectable
+// join strategy per join so the ablation bench can reproduce that
+// sensitivity, and counts the de-facto intermediate result sizes (the
+// paper's Cout) produced by each join.
+#ifndef SNB_QUERIES_QUERY9_PLANS_H_
+#define SNB_QUERIES_QUERY9_PLANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "queries/complex_queries.h"
+
+namespace snb::queries {
+
+/// Physical join algorithm choice.
+enum class JoinStrategy {
+  /// Per-input-tuple index lookup (the store's adjacency lists are the PK
+  /// index on Friends; the per-person message list is the creator index).
+  kIndexNestedLoop,
+  /// Build a hash table by scanning the *entire* base relation, then probe.
+  kHash,
+};
+
+/// De-facto intermediate result cardinalities (Cout) and work counters.
+struct Q9PlanStats {
+  uint64_t join1_output = 0;  // |friends of start|.
+  uint64_t join2_output = 0;  // Friend-of-friend tuples (pre-dedup).
+  uint64_t join3_output = 0;  // Qualifying (person, message) tuples.
+  /// Tuples scanned to build hash tables (0 for pure-INL plans).
+  uint64_t build_tuples = 0;
+};
+
+/// Q9 with explicit join strategies; result is identical to Query9() for
+/// every strategy combination.
+std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
+                                     schema::PersonId start,
+                                     TimestampMs max_date, int limit,
+                                     JoinStrategy join1, JoinStrategy join2,
+                                     JoinStrategy join3,
+                                     Q9PlanStats* stats = nullptr);
+
+}  // namespace snb::queries
+
+#endif  // SNB_QUERIES_QUERY9_PLANS_H_

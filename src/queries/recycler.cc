@@ -1,0 +1,70 @@
+#include "queries/recycler.h"
+
+#include <algorithm>
+
+namespace snb::queries {
+
+std::shared_ptr<const std::vector<schema::PersonId>> TwoHopRecycler::Get(
+    const GraphStore& store, schema::PersonId person) {
+  // Read the version before computing: if a write lands in between, the
+  // entry is stored under the older version and simply recomputed next
+  // time — stale entries are never served because the stored version must
+  // match the current one at lookup.
+  uint64_t version = store.KnowsVersion();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(person);
+    if (it != cache_.end() && it->second.version == version) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.circle;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto circle = std::make_shared<const std::vector<schema::PersonId>>(
+      TwoHopCircle(store, person));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.size() >= capacity_) cache_.clear();
+    cache_[person] = {version, circle};
+  }
+  return circle;
+}
+
+std::vector<Q9Result> Query9Recycled(const GraphStore& store,
+                                     TwoHopRecycler& recycler,
+                                     schema::PersonId start,
+                                     TimestampMs max_date, int limit) {
+  std::shared_ptr<const std::vector<schema::PersonId>> circle =
+      recycler.Get(store, start);
+  auto lock = store.ReadLock();
+  std::vector<Q9Result> candidates;
+  for (schema::PersonId pid : *circle) {
+    const store::PersonRecord* p = store.FindPerson(pid);
+    if (p == nullptr) continue;
+    size_t upper = p->messages.size();
+    // Binary search the date-ordered per-creator message list.
+    auto it = std::partition_point(
+        p->messages.begin(), p->messages.end(), [&](schema::MessageId id) {
+          const store::MessageRecord* m = store.FindMessage(id);
+          return m != nullptr && m->data.creation_date <= max_date - 1;
+        });
+    upper = static_cast<size_t>(it - p->messages.begin());
+    size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
+    for (size_t i = upper - take; i < upper; ++i) {
+      const store::MessageRecord* m = store.FindMessage(p->messages[i]);
+      if (m == nullptr) continue;
+      candidates.push_back({m->data.id, pid, m->data.creation_date});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Q9Result& a, const Q9Result& b) {
+              if (a.creation_date != b.creation_date) {
+                return a.creation_date > b.creation_date;
+              }
+              return a.message_id < b.message_id;
+            });
+  if (static_cast<int>(candidates.size()) > limit) candidates.resize(limit);
+  return candidates;
+}
+
+}  // namespace snb::queries

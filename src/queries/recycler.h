@@ -1,0 +1,65 @@
+// Intermediate-result recycling (paper section 3, "Parallelism and result
+// reuse").
+//
+// Most complex reads retrieve one- or two-hop person neighbourhoods, and
+// the Person domain is small, so partial results of "high value" — large,
+// expensive, frequently recomputed — are worth caching across queries. The
+// recycler caches 2-hop circles keyed by person and invalidates them
+// through the store's Knows-graph version (any new friendship could extend
+// any circle, so invalidation is conservative and global).
+#ifndef SNB_QUERIES_RECYCLER_H_
+#define SNB_QUERIES_RECYCLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "queries/complex_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::queries {
+
+/// Thread-safe cache of 2-hop circles with version-based invalidation.
+class TwoHopRecycler {
+ public:
+  /// `capacity`: maximum cached circles; eviction clears everything (the
+  /// cache is cheap to refill and the workload's parameter set is small).
+  explicit TwoHopRecycler(size_t capacity = 4096) : capacity_(capacity) {}
+
+  TwoHopRecycler(const TwoHopRecycler&) = delete;
+  TwoHopRecycler& operator=(const TwoHopRecycler&) = delete;
+
+  /// The 2-hop circle of `person` (excluding the person, sorted), recycled
+  /// when the Knows graph has not changed since it was computed.
+  std::shared_ptr<const std::vector<schema::PersonId>> Get(
+      const GraphStore& store, schema::PersonId person);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    std::shared_ptr<const std::vector<schema::PersonId>> circle;
+  };
+
+  size_t capacity_;
+  std::mutex mu_;
+  std::unordered_map<schema::PersonId, Entry> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+/// Query 9 on top of the recycler: identical results to Query9(), with the
+/// 2-hop retrieval recycled across invocations.
+std::vector<Q9Result> Query9Recycled(const GraphStore& store,
+                                     TwoHopRecycler& recycler,
+                                     schema::PersonId start,
+                                     TimestampMs max_date, int limit = 20);
+
+}  // namespace snb::queries
+
+#endif  // SNB_QUERIES_RECYCLER_H_

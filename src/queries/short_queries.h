@@ -1,0 +1,97 @@
+// The 7 simple read-only queries of SNB-Interactive (Table 7).
+//
+// Profile/post lookups chained by the random-walk logic in the driver:
+// results of complex queries (persons, messages) seed these lookups, and
+// each short read's result feeds the next (profile -> post -> profile ...).
+#ifndef SNB_QUERIES_SHORT_QUERIES_H_
+#define SNB_QUERIES_SHORT_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/ids.h"
+#include "store/graph_store.h"
+#include "util/datetime.h"
+
+namespace snb::queries {
+
+using store::GraphStore;
+using util::TimestampMs;
+
+/// S1: person profile.
+struct S1Result {
+  bool found = false;
+  std::string first_name;
+  std::string last_name;
+  TimestampMs birthday = 0;
+  schema::PlaceId city_id = schema::kInvalidId32;
+  std::string browser;
+  std::string location_ip;
+  uint8_t gender = 0;
+  TimestampMs creation_date = 0;
+};
+S1Result ShortQuery1PersonProfile(const GraphStore& store,
+                                  schema::PersonId person);
+
+/// S2: a person's most recent messages, with the root post of each thread.
+struct S2Result {
+  schema::MessageId message_id = schema::kInvalidId;
+  TimestampMs creation_date = 0;
+  schema::MessageId root_post_id = schema::kInvalidId;
+  schema::PersonId root_author_id = schema::kInvalidId;
+};
+std::vector<S2Result> ShortQuery2RecentMessages(const GraphStore& store,
+                                                schema::PersonId person,
+                                                int limit = 10);
+
+/// S3: all friends of a person with friendship dates, newest first.
+struct S3Result {
+  schema::PersonId friend_id = schema::kInvalidId;
+  TimestampMs since = 0;
+};
+std::vector<S3Result> ShortQuery3Friends(const GraphStore& store,
+                                         schema::PersonId person);
+
+/// S4: message content & creation date.
+struct S4Result {
+  bool found = false;
+  TimestampMs creation_date = 0;
+  std::string content;
+};
+S4Result ShortQuery4MessageContent(const GraphStore& store,
+                                   schema::MessageId message);
+
+/// S5: creator of a message.
+struct S5Result {
+  bool found = false;
+  schema::PersonId creator_id = schema::kInvalidId;
+  std::string first_name;
+  std::string last_name;
+};
+S5Result ShortQuery5MessageCreator(const GraphStore& store,
+                                   schema::MessageId message);
+
+/// S6: forum of a message's thread and its moderator.
+struct S6Result {
+  bool found = false;
+  schema::ForumId forum_id = schema::kInvalidId;
+  std::string forum_title;
+  schema::PersonId moderator_id = schema::kInvalidId;
+};
+S6Result ShortQuery6MessageForum(const GraphStore& store,
+                                 schema::MessageId message);
+
+/// S7: replies to a message; flags repliers who are friends of the
+/// message's author.
+struct S7Result {
+  schema::MessageId comment_id = schema::kInvalidId;
+  schema::PersonId replier_id = schema::kInvalidId;
+  TimestampMs creation_date = 0;
+  bool replier_knows_author = false;
+};
+std::vector<S7Result> ShortQuery7MessageReplies(const GraphStore& store,
+                                                schema::MessageId message);
+
+}  // namespace snb::queries
+
+#endif  // SNB_QUERIES_SHORT_QUERIES_H_

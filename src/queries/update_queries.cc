@@ -1,0 +1,29 @@
+#include "queries/update_queries.h"
+
+namespace snb::queries {
+
+using datagen::UpdateKind;
+using datagen::UpdateOperation;
+
+util::Status ApplyUpdate(store::GraphStore& store, const UpdateOperation& op) {
+  switch (op.kind) {
+    case UpdateKind::kAddPerson:
+      return store.AddPerson(std::get<schema::Person>(op.payload));
+    case UpdateKind::kAddFriendship:
+      return store.AddFriendship(std::get<schema::Knows>(op.payload));
+    case UpdateKind::kAddForum:
+      return store.AddForum(std::get<schema::Forum>(op.payload));
+    case UpdateKind::kAddForumMembership:
+      return store.AddForumMembership(
+          std::get<schema::ForumMembership>(op.payload));
+    case UpdateKind::kAddPost:
+    case UpdateKind::kAddComment:
+      return store.AddMessage(std::get<schema::Message>(op.payload));
+    case UpdateKind::kAddLikePost:
+    case UpdateKind::kAddLikeComment:
+      return store.AddLike(std::get<schema::Like>(op.payload));
+  }
+  return util::Status::InvalidArgument("unknown update kind");
+}
+
+}  // namespace snb::queries

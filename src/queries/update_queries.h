@@ -1,0 +1,18 @@
+// Dispatch of pre-generated update operations to the store (Table 9).
+#ifndef SNB_QUERIES_UPDATE_QUERIES_H_
+#define SNB_QUERIES_UPDATE_QUERIES_H_
+
+#include "datagen/update_stream.h"
+#include "store/graph_store.h"
+#include "util/status.h"
+
+namespace snb::queries {
+
+/// Executes one update operation as a transaction against the store.
+/// Returns NotFound when a dependency is missing (a driver ordering bug).
+util::Status ApplyUpdate(store::GraphStore& store,
+                         const datagen::UpdateOperation& op);
+
+}  // namespace snb::queries
+
+#endif  // SNB_QUERIES_UPDATE_QUERIES_H_

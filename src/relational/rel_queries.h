@@ -1,0 +1,95 @@
+// SNB-Interactive read queries against the relational baseline engine.
+//
+// Same logical plans and result types as snb::queries (so tests assert
+// result equality between the two SUTs), executed via sorted-index
+// equal-range lookups instead of adjacency pointers.
+#ifndef SNB_RELATIONAL_REL_QUERIES_H_
+#define SNB_RELATIONAL_REL_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/update_stream.h"
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "relational/relational_db.h"
+
+namespace snb::rel {
+
+using queries::Q10Result;
+using queries::Q11Result;
+using queries::Q12Result;
+using queries::Q14Result;
+using queries::Q1Result;
+using queries::Q2Result;
+using queries::Q3Result;
+using queries::Q4Result;
+using queries::Q5Result;
+using queries::Q6Result;
+using queries::Q7Result;
+using queries::Q8Result;
+using queries::Q9Result;
+
+std::vector<Q1Result> Query1(const RelationalDb& db, PersonId start,
+                             const std::string& first_name, int limit = 20);
+std::vector<Q2Result> Query2(const RelationalDb& db, PersonId start,
+                             TimestampMs max_date, int limit = 20);
+std::vector<Q3Result> Query3(const RelationalDb& db, PersonId start,
+                             const std::vector<schema::PlaceId>& city_country,
+                             schema::PlaceId country_x,
+                             schema::PlaceId country_y,
+                             TimestampMs start_date, int duration_days,
+                             int limit = 20);
+std::vector<Q4Result> Query4(const RelationalDb& db, PersonId start,
+                             TimestampMs start_date, int duration_days,
+                             int limit = 10);
+std::vector<Q5Result> Query5(const RelationalDb& db, PersonId start,
+                             TimestampMs min_date, int limit = 20);
+std::vector<Q6Result> Query6(const RelationalDb& db, PersonId start,
+                             schema::TagId tag, int limit = 10);
+std::vector<Q7Result> Query7(const RelationalDb& db, PersonId start,
+                             int limit = 20);
+std::vector<Q8Result> Query8(const RelationalDb& db, PersonId start,
+                             int limit = 20);
+std::vector<Q9Result> Query9(const RelationalDb& db, PersonId start,
+                             TimestampMs max_date, int limit = 20);
+std::vector<Q10Result> Query10(const RelationalDb& db, PersonId start,
+                               int horoscope_month, int limit = 10);
+std::vector<Q11Result> Query11(
+    const RelationalDb& db, PersonId start,
+    const std::vector<schema::PlaceId>& company_country,
+    schema::PlaceId country, uint16_t max_work_year, int limit = 10);
+std::vector<Q12Result> Query12(const RelationalDb& db, PersonId start,
+                               const std::vector<bool>& tag_in_class,
+                               int limit = 20);
+int Query13(const RelationalDb& db, PersonId person1, PersonId person2);
+std::vector<Q14Result> Query14(const RelationalDb& db, PersonId person1,
+                               PersonId person2);
+
+// Short reads (same result structs as snb::queries).
+queries::S1Result ShortQuery1PersonProfile(const RelationalDb& db,
+                                           PersonId person);
+std::vector<queries::S2Result> ShortQuery2RecentMessages(
+    const RelationalDb& db, PersonId person, int limit = 10);
+std::vector<queries::S3Result> ShortQuery3Friends(const RelationalDb& db,
+                                                  PersonId person);
+queries::S4Result ShortQuery4MessageContent(const RelationalDb& db,
+                                            MessageId message);
+queries::S5Result ShortQuery5MessageCreator(const RelationalDb& db,
+                                            MessageId message);
+queries::S6Result ShortQuery6MessageForum(const RelationalDb& db,
+                                          MessageId message);
+std::vector<queries::S7Result> ShortQuery7MessageReplies(
+    const RelationalDb& db, MessageId message);
+
+/// Applies one pre-generated update operation as a transaction.
+util::Status ApplyUpdate(RelationalDb& db,
+                         const datagen::UpdateOperation& op);
+
+/// Friends + friends-of-friends, excluding start (sorted) — shared by the
+/// 2-hop queries and exposed for tests.
+std::vector<PersonId> TwoHopCircle(const RelationalDb& db, PersonId start);
+
+}  // namespace snb::rel
+
+#endif  // SNB_RELATIONAL_REL_QUERIES_H_

@@ -1,0 +1,390 @@
+#include "relational/relational_db.h"
+
+#include <mutex>
+
+namespace snb::rel {
+
+using util::Status;
+
+namespace {
+
+/// Binary-search a PK-sorted entity table.
+template <typename Row, typename Id>
+const Row* FindById(const std::vector<Row>& table, Id id) {
+  auto it = std::lower_bound(
+      table.begin(), table.end(), id,
+      [](const Row& row, Id key) { return row.id < key; });
+  if (it == table.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+/// Sorted insert keeping the comparator's order.
+template <typename Row, typename Less>
+void InsertSorted(std::vector<Row>& table, Row row, Less less) {
+  auto it = std::lower_bound(table.begin(), table.end(), row, less);
+  table.insert(it, std::move(row));
+}
+
+template <typename Row, typename KeyLess, typename Key>
+std::pair<const Row*, const Row*> EqualRange(const std::vector<Row>& table,
+                                             Key key, KeyLess less) {
+  auto [lo, hi] = std::equal_range(table.begin(), table.end(), key, less);
+  return {table.data() + (lo - table.begin()),
+          table.data() + (hi - table.begin())};
+}
+
+struct KnowsLess {
+  bool operator()(const KnowsRow& a, const KnowsRow& b) const {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  }
+  bool operator()(const KnowsRow& a, PersonId key) const {
+    return a.src < key;
+  }
+  bool operator()(PersonId key, const KnowsRow& b) const {
+    return key < b.src;
+  }
+};
+
+struct CreatorLess {
+  bool operator()(const CreatorIndexRow& a, const CreatorIndexRow& b) const {
+    if (a.creator != b.creator) return a.creator < b.creator;
+    return a.message < b.message;
+  }
+  bool operator()(const CreatorIndexRow& a, PersonId key) const {
+    return a.creator < key;
+  }
+  bool operator()(PersonId key, const CreatorIndexRow& b) const {
+    return key < b.creator;
+  }
+};
+
+struct ReplyLess {
+  bool operator()(const ReplyIndexRow& a, const ReplyIndexRow& b) const {
+    if (a.parent != b.parent) return a.parent < b.parent;
+    return a.child < b.child;
+  }
+  bool operator()(const ReplyIndexRow& a, MessageId key) const {
+    return a.parent < key;
+  }
+  bool operator()(MessageId key, const ReplyIndexRow& b) const {
+    return key < b.parent;
+  }
+};
+
+struct MemberByForumLess {
+  bool operator()(const MemberRow& a, const MemberRow& b) const {
+    if (a.forum != b.forum) return a.forum < b.forum;
+    return a.person < b.person;
+  }
+  bool operator()(const MemberRow& a, ForumId key) const {
+    return a.forum < key;
+  }
+  bool operator()(ForumId key, const MemberRow& b) const {
+    return key < b.forum;
+  }
+};
+
+struct MemberByPersonLess {
+  bool operator()(const MemberRow& a, const MemberRow& b) const {
+    if (a.person != b.person) return a.person < b.person;
+    return a.forum < b.forum;
+  }
+  bool operator()(const MemberRow& a, PersonId key) const {
+    return a.person < key;
+  }
+  bool operator()(PersonId key, const MemberRow& b) const {
+    return key < b.person;
+  }
+};
+
+struct ForumPostLess {
+  bool operator()(const ForumPostRow& a, const ForumPostRow& b) const {
+    if (a.forum != b.forum) return a.forum < b.forum;
+    return a.post < b.post;
+  }
+  bool operator()(const ForumPostRow& a, ForumId key) const {
+    return a.forum < key;
+  }
+  bool operator()(ForumId key, const ForumPostRow& b) const {
+    return key < b.forum;
+  }
+};
+
+struct LikeByMessageLess {
+  bool operator()(const LikeRow& a, const LikeRow& b) const {
+    if (a.message != b.message) return a.message < b.message;
+    return a.person < b.person;
+  }
+  bool operator()(const LikeRow& a, MessageId key) const {
+    return a.message < key;
+  }
+  bool operator()(MessageId key, const LikeRow& b) const {
+    return key < b.message;
+  }
+};
+
+struct LikeByPersonLess {
+  bool operator()(const LikeRow& a, const LikeRow& b) const {
+    if (a.person != b.person) return a.person < b.person;
+    return a.message < b.message;
+  }
+  bool operator()(const LikeRow& a, PersonId key) const {
+    return a.person < key;
+  }
+  bool operator()(PersonId key, const LikeRow& b) const {
+    return key < b.person;
+  }
+};
+
+template <typename Row>
+struct IdLess {
+  bool operator()(const Row& a, const Row& b) const { return a.id < b.id; }
+};
+
+}  // namespace
+
+Status RelationalDb::BulkLoad(const schema::SocialNetwork& network) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!persons_.empty() || !messages_.empty()) {
+    return Status::FailedPrecondition("BulkLoad requires an empty database");
+  }
+  persons_ = network.persons;
+  std::sort(persons_.begin(), persons_.end(), IdLess<schema::Person>());
+  forums_ = network.forums;
+  std::sort(forums_.begin(), forums_.end(), IdLess<schema::Forum>());
+  messages_ = network.messages;
+  std::sort(messages_.begin(), messages_.end(), IdLess<schema::Message>());
+
+  knows_.reserve(network.knows.size() * 2);
+  for (const schema::Knows& k : network.knows) {
+    knows_.push_back({k.person1_id, k.person2_id, k.creation_date});
+    knows_.push_back({k.person2_id, k.person1_id, k.creation_date});
+  }
+  std::sort(knows_.begin(), knows_.end(), KnowsLess());
+
+  message_by_creator_.reserve(messages_.size());
+  for (const schema::Message& m : messages_) {
+    message_by_creator_.push_back({m.creator_id, m.id});
+    if (m.kind == schema::MessageKind::kComment) {
+      replies_.push_back({m.reply_to_id, m.id});
+    } else {
+      posts_by_forum_.push_back({m.forum_id, m.id});
+    }
+  }
+  std::sort(message_by_creator_.begin(), message_by_creator_.end(),
+            CreatorLess());
+  std::sort(replies_.begin(), replies_.end(), ReplyLess());
+  std::sort(posts_by_forum_.begin(), posts_by_forum_.end(),
+            ForumPostLess());
+
+  members_by_forum_.reserve(network.memberships.size());
+  for (const schema::ForumMembership& fm : network.memberships) {
+    members_by_forum_.push_back({fm.forum_id, fm.person_id, fm.join_date});
+  }
+  members_by_person_ = members_by_forum_;
+  std::sort(members_by_forum_.begin(), members_by_forum_.end(),
+            MemberByForumLess());
+  std::sort(members_by_person_.begin(), members_by_person_.end(),
+            MemberByPersonLess());
+
+  likes_by_message_.reserve(network.likes.size());
+  for (const schema::Like& l : network.likes) {
+    likes_by_message_.push_back({l.message_id, l.person_id, l.creation_date});
+  }
+  likes_by_person_ = likes_by_message_;
+  std::sort(likes_by_message_.begin(), likes_by_message_.end(),
+            LikeByMessageLess());
+  std::sort(likes_by_person_.begin(), likes_by_person_.end(),
+            LikeByPersonLess());
+  return Status::Ok();
+}
+
+// ---- Updates ---------------------------------------------------------------
+
+Status RelationalDb::AddPerson(const schema::Person& person) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddPersonLocked(person);
+}
+
+Status RelationalDb::AddFriendship(const schema::Knows& knows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddFriendshipLocked(knows);
+}
+
+Status RelationalDb::AddForum(const schema::Forum& forum) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddForumLocked(forum);
+}
+
+Status RelationalDb::AddForumMembership(
+    const schema::ForumMembership& membership) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddForumMembershipLocked(membership);
+}
+
+Status RelationalDb::AddMessage(const schema::Message& message) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddMessageLocked(message);
+}
+
+Status RelationalDb::AddLike(const schema::Like& like) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddLikeLocked(like);
+}
+
+bool RelationalDb::PersonExistsLocked(PersonId id) const {
+  return FindById(persons_, id) != nullptr;
+}
+
+bool RelationalDb::MessageExistsLocked(MessageId id) const {
+  return FindById(messages_, id) != nullptr;
+}
+
+Status RelationalDb::AddPersonLocked(const schema::Person& person) {
+  if (PersonExistsLocked(person.id)) {
+    return Status::AlreadyExists("person");
+  }
+  InsertSorted(persons_, person, IdLess<schema::Person>());
+  return Status::Ok();
+}
+
+Status RelationalDb::AddFriendshipLocked(const schema::Knows& knows) {
+  if (!PersonExistsLocked(knows.person1_id) ||
+      !PersonExistsLocked(knows.person2_id)) {
+    return Status::NotFound("friendship endpoint missing");
+  }
+  InsertSorted(knows_, {knows.person1_id, knows.person2_id, knows.creation_date},
+               KnowsLess());
+  InsertSorted(knows_, {knows.person2_id, knows.person1_id, knows.creation_date},
+               KnowsLess());
+  return Status::Ok();
+}
+
+Status RelationalDb::AddForumLocked(const schema::Forum& forum) {
+  if (!PersonExistsLocked(forum.moderator_id)) {
+    return Status::NotFound("forum moderator missing");
+  }
+  if (FindById(forums_, forum.id) != nullptr) {
+    return Status::AlreadyExists("forum");
+  }
+  InsertSorted(forums_, forum, IdLess<schema::Forum>());
+  return Status::Ok();
+}
+
+Status RelationalDb::AddForumMembershipLocked(
+    const schema::ForumMembership& membership) {
+  if (!PersonExistsLocked(membership.person_id) ||
+      FindById(forums_, membership.forum_id) == nullptr) {
+    return Status::NotFound("membership endpoint missing");
+  }
+  MemberRow row{membership.forum_id, membership.person_id,
+                membership.join_date};
+  InsertSorted(members_by_forum_, row, MemberByForumLess());
+  InsertSorted(members_by_person_, row, MemberByPersonLess());
+  return Status::Ok();
+}
+
+Status RelationalDb::AddMessageLocked(const schema::Message& message) {
+  if (!PersonExistsLocked(message.creator_id)) {
+    return Status::NotFound("message creator missing");
+  }
+  if (message.kind == schema::MessageKind::kComment) {
+    if (!MessageExistsLocked(message.reply_to_id)) {
+      return Status::NotFound("comment parent missing");
+    }
+  } else if (FindById(forums_, message.forum_id) == nullptr) {
+    return Status::NotFound("post forum missing");
+  }
+  if (MessageExistsLocked(message.id)) {
+    return Status::AlreadyExists("message");
+  }
+  InsertSorted(messages_, message, IdLess<schema::Message>());
+  InsertSorted(message_by_creator_, {message.creator_id, message.id},
+               CreatorLess());
+  if (message.kind == schema::MessageKind::kComment) {
+    InsertSorted(replies_, {message.reply_to_id, message.id}, ReplyLess());
+  } else {
+    InsertSorted(posts_by_forum_, {message.forum_id, message.id},
+                 ForumPostLess());
+  }
+  return Status::Ok();
+}
+
+Status RelationalDb::AddLikeLocked(const schema::Like& like) {
+  if (!PersonExistsLocked(like.person_id) ||
+      !MessageExistsLocked(like.message_id)) {
+    return Status::NotFound("like endpoint missing");
+  }
+  InsertSorted(likes_by_message_,
+               {like.message_id, like.person_id, like.creation_date},
+               LikeByMessageLess());
+  InsertSorted(likes_by_person_,
+               {like.message_id, like.person_id, like.creation_date},
+               LikeByPersonLess());
+  return Status::Ok();
+}
+
+// ---- Reads -------------------------------------------------------------------
+
+const schema::Person* RelationalDb::FindPerson(PersonId id) const {
+  return FindById(persons_, id);
+}
+
+const schema::Forum* RelationalDb::FindForum(ForumId id) const {
+  return FindById(forums_, id);
+}
+
+const schema::Message* RelationalDb::FindMessage(MessageId id) const {
+  return FindById(messages_, id);
+}
+
+std::pair<const KnowsRow*, const KnowsRow*> RelationalDb::FriendsOf(
+    PersonId id) const {
+  return EqualRange(knows_, id, KnowsLess());
+}
+
+std::pair<const CreatorIndexRow*, const CreatorIndexRow*>
+RelationalDb::MessagesBy(PersonId creator) const {
+  return EqualRange(message_by_creator_, creator, CreatorLess());
+}
+
+std::pair<const ReplyIndexRow*, const ReplyIndexRow*>
+RelationalDb::RepliesTo(MessageId parent) const {
+  return EqualRange(replies_, parent, ReplyLess());
+}
+
+std::pair<const MemberRow*, const MemberRow*> RelationalDb::MembersOf(
+    ForumId forum) const {
+  return EqualRange(members_by_forum_, forum, MemberByForumLess());
+}
+
+std::pair<const MemberRow*, const MemberRow*> RelationalDb::ForumsOf(
+    PersonId person) const {
+  return EqualRange(members_by_person_, person, MemberByPersonLess());
+}
+
+std::pair<const ForumPostRow*, const ForumPostRow*> RelationalDb::PostsIn(
+    ForumId forum) const {
+  return EqualRange(posts_by_forum_, forum, ForumPostLess());
+}
+
+std::pair<const LikeRow*, const LikeRow*> RelationalDb::LikesOf(
+    MessageId message) const {
+  return EqualRange(likes_by_message_, message, LikeByMessageLess());
+}
+
+std::pair<const LikeRow*, const LikeRow*> RelationalDb::LikesBy(
+    PersonId person) const {
+  return EqualRange(likes_by_person_, person, LikeByPersonLess());
+}
+
+bool RelationalDb::AreFriends(PersonId a, PersonId b) const {
+  auto [lo, hi] = FriendsOf(a);
+  const KnowsRow* it = std::lower_bound(
+      lo, hi, b,
+      [](const KnowsRow& row, PersonId key) { return row.dst < key; });
+  return it != hi && it->dst == b;
+}
+
+}  // namespace snb::rel

@@ -1,0 +1,449 @@
+#include "schema/dictionaries.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "util/distributions.h"
+
+namespace snb::schema {
+namespace {
+
+using util::Mix64;
+using util::Rng;
+
+// Geometric skew of value-rank distributions: P(rank k) ∝ (1-p)^k. Chosen so
+// the top-10 values cover ~80% of the mass, matching the heavy skew of real
+// name distributions (Table 2).
+constexpr double kRankSkew = 0.15;
+
+// Probability that a person attends university / has a job.
+constexpr double kHasUniversityProb = 0.8;
+constexpr double kHasCompanyProb = 0.9;
+// Probability the university/company is in the home country.
+constexpr double kLocalUniversityProb = 0.9;
+constexpr double kLocalCompanyProb = 0.8;
+
+struct CountrySpec {
+  const char* name;
+  double latitude;
+  double longitude;
+  double weight;  // Rough relative population.
+};
+
+// Thirty countries with approximate coordinates and population weights.
+constexpr std::array<CountrySpec, 30> kCountries = {{
+    {"China", 35.0, 103.0, 1400.0},
+    {"India", 21.0, 78.0, 1380.0},
+    {"United_States", 38.0, -97.0, 330.0},
+    {"Indonesia", -5.0, 120.0, 270.0},
+    {"Pakistan", 30.0, 70.0, 220.0},
+    {"Brazil", -10.0, -55.0, 212.0},
+    {"Nigeria", 9.0, 8.0, 206.0},
+    {"Russia", 61.0, 100.0, 146.0},
+    {"Mexico", 23.0, -102.0, 128.0},
+    {"Japan", 36.0, 138.0, 126.0},
+    {"Egypt", 26.0, 30.0, 102.0},
+    {"Vietnam", 14.0, 108.0, 97.0},
+    {"Germany", 51.0, 9.0, 83.0},
+    {"Turkey", 39.0, 35.0, 84.0},
+    {"Iran", 32.0, 53.0, 83.0},
+    {"Thailand", 15.0, 100.0, 70.0},
+    {"France", 46.0, 2.0, 67.0},
+    {"United_Kingdom", 54.0, -2.0, 67.0},
+    {"Italy", 42.0, 12.0, 60.0},
+    {"South_Korea", 36.0, 128.0, 52.0},
+    {"Colombia", 4.0, -72.0, 51.0},
+    {"Spain", 40.0, -4.0, 47.0},
+    {"Argentina", -34.0, -64.0, 45.0},
+    {"Ukraine", 49.0, 32.0, 44.0},
+    {"Kenya", 0.0, 38.0, 53.0},
+    {"Poland", 52.0, 19.0, 38.0},
+    {"Canada", 56.0, -106.0, 38.0},
+    {"Australia", -25.0, 133.0, 26.0},
+    {"Netherlands", 52.0, 5.0, 17.0},
+    {"Peru", -9.0, -75.0, 33.0},
+}};
+
+// Curated typical first names reproducing Table 2 (Germany, China) plus a few
+// additional countries; remaining ranks fall back to the shared global pool.
+struct CuratedNames {
+  const char* country;
+  std::array<const char*, 10> male;
+  std::array<const char*, 10> female;
+};
+
+constexpr std::array<CuratedNames, 6> kCuratedFirstNames = {{
+    {"Germany",
+     {"Karl", "Hans", "Wolfgang", "Fritz", "Rudolf", "Walter", "Franz",
+      "Paul", "Otto", "Wilhelm"},
+     {"Anna", "Ursula", "Monika", "Petra", "Sabine", "Renate", "Helga",
+      "Karin", "Brigitte", "Ingrid"}},
+    {"China",
+     {"Yang", "Chen", "Wei", "Lei", "Jun", "Jie", "Li", "Hao", "Lin",
+      "Peng"},
+     {"Yan", "Fang", "Na", "Xiu", "Min", "Jing", "Mei", "Hui", "Lan",
+      "Qing"}},
+    {"United_States",
+     {"James", "John", "Robert", "Michael", "William", "David", "Richard",
+      "Joseph", "Thomas", "Charles"},
+     {"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+      "Susan", "Jessica", "Sarah", "Karen"}},
+    {"India",
+     {"Rahul", "Amit", "Raj", "Sanjay", "Vijay", "Ajay", "Arjun", "Ravi",
+      "Anil", "Suresh"},
+     {"Priya", "Pooja", "Anjali", "Neha", "Sunita", "Kavita", "Anita",
+      "Deepa", "Rekha", "Meena"}},
+    {"France",
+     {"Jean", "Pierre", "Michel", "Andre", "Philippe", "Rene", "Louis",
+      "Alain", "Jacques", "Bernard"},
+     {"Marie", "Jeanne", "Francoise", "Monique", "Catherine", "Nathalie",
+      "Isabelle", "Jacqueline", "Anne", "Sylvie"}},
+    {"Spain",
+     {"Antonio", "Jose", "Manuel", "Francisco", "Juan", "David", "Javier",
+      "Carlos", "Miguel", "Rafael"},
+     {"Carmen", "Maria", "Josefa", "Isabel", "Dolores", "Pilar", "Teresa",
+      "Ana", "Francisca", "Laura"}},
+}};
+
+constexpr std::array<const char*, 6> kCuratedLastNameCountries = {
+    "Germany", "China", "United_States", "India", "France", "Spain"};
+
+constexpr std::array<std::array<const char*, 10>, 6> kCuratedLastNames = {{
+    {"Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer",
+     "Wagner", "Becker", "Schulz", "Hoffmann"},
+    {"Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu",
+     "Zhou"},
+    {"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+     "Davis", "Rodriguez", "Martinez"},
+    {"Sharma", "Singh", "Kumar", "Patel", "Gupta", "Verma", "Reddy", "Rao",
+     "Mehta", "Joshi"},
+    {"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit",
+     "Durand", "Leroy", "Moreau"},
+    {"Garcia", "Gonzalez", "Rodriguez", "Fernandez", "Lopez", "Martinez",
+     "Sanchez", "Perez", "Gomez", "Martin"},
+}};
+
+constexpr std::array<const char*, 16> kTagClassNames = {
+    "Music",      "Film",     "Sports",   "Politics",
+    "Literature", "Science",  "Food",     "Travel",
+    "Technology", "History",  "Art",      "Business",
+    "Nature",     "Fashion",  "Gaming",   "Photography",
+};
+
+constexpr std::array<const char*, 5> kBrowsers = {
+    "Firefox", "Chrome", "Safari", "Opera", "Internet_Explorer"};
+
+// Deterministic pronounceable synthetic name from an index.
+std::string SyllableName(uint64_t key, int syllables) {
+  static constexpr std::array<const char*, 20> kOnsets = {
+      "b", "d", "f", "g", "h", "j", "k", "l", "m", "n",
+      "p", "r", "s", "t", "v", "z", "ch", "sh", "th", "br"};
+  static constexpr std::array<const char*, 10> kVowels = {
+      "a", "e", "i", "o", "u", "ai", "ei", "ou", "ia", "eo"};
+  std::string out;
+  uint64_t h = Mix64(key);
+  for (int s = 0; s < syllables; ++s) {
+    out += kOnsets[h % kOnsets.size()];
+    h = Mix64(h);
+    out += kVowels[h % kVowels.size()];
+    h = Mix64(h);
+  }
+  out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  return out;
+}
+
+// Builds, for every key in [0, num_keys), a permutation of [0, n): curated
+// indices (if provided for that key) occupy the first ranks, the rest are
+// ordered by a key-dependent hash. This is the paper's "same shape, permuted
+// order" mechanism.
+std::vector<std::vector<uint32_t>> BuildPermutations(
+    uint64_t seed, size_t num_keys, size_t n,
+    const std::vector<std::vector<uint32_t>>& curated_per_key) {
+  std::vector<std::vector<uint32_t>> perms(num_keys);
+  for (size_t key = 0; key < num_keys; ++key) {
+    std::vector<uint32_t>& perm = perms[key];
+    perm.reserve(n);
+    std::vector<bool> used(n, false);
+    if (key < curated_per_key.size()) {
+      for (uint32_t idx : curated_per_key[key]) {
+        assert(idx < n);
+        perm.push_back(idx);
+        used[idx] = true;
+      }
+    }
+    std::vector<uint32_t> rest;
+    rest.reserve(n - perm.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      if (!used[i]) rest.push_back(i);
+    }
+    std::sort(rest.begin(), rest.end(), [&](uint32_t a, uint32_t b) {
+      uint64_t ha = Mix64(seed ^ Mix64(key * 0x9e3779b9ULL + a));
+      uint64_t hb = Mix64(seed ^ Mix64(key * 0x9e3779b9ULL + b));
+      if (ha != hb) return ha < hb;
+      return a < b;
+    });
+    perm.insert(perm.end(), rest.begin(), rest.end());
+  }
+  return perms;
+}
+
+// Draws a skewed rank in [0, n).
+uint64_t SampleRank(Rng& rng, size_t n) {
+  util::GeometricRankSampler sampler(kRankSkew, n);
+  return sampler.Sample(rng);
+}
+
+}  // namespace
+
+Dictionaries::Dictionaries(uint64_t seed) : seed_(seed) {
+  // ---- Languages: "en" plus one per country. ----------------------------
+  languages_.push_back("en");
+
+  // ---- Countries, cities, universities, companies. -----------------------
+  countries_.reserve(kCountries.size());
+  for (size_t ci = 0; ci < kCountries.size(); ++ci) {
+    const CountrySpec& spec = kCountries[ci];
+    Country country;
+    country.name = spec.name;
+    country.latitude = spec.latitude;
+    country.longitude = spec.longitude;
+    country.population_weight = spec.weight;
+    country.native_language = static_cast<uint32_t>(languages_.size());
+    languages_.push_back(std::string(spec.name) + "_lang");
+
+    // 4 cities per country, 2 universities per city, 8 companies per country.
+    for (int c = 0; c < 4; ++c) {
+      City city;
+      city.name = std::string(spec.name) + "_" +
+                  SyllableName(seed ^ Mix64(ci * 131 + c), 2);
+      city.country_id = static_cast<PlaceId>(ci);
+      // Jitter coordinates around the country centroid.
+      Rng coord_rng(seed ^ Mix64(0xc17e5ULL + ci * 101 + c));
+      city.latitude = spec.latitude + coord_rng.NextDouble() * 6.0 - 3.0;
+      city.longitude = spec.longitude + coord_rng.NextDouble() * 6.0 - 3.0;
+      PlaceId city_id = static_cast<PlaceId>(cities_.size());
+      for (int u = 0; u < 2; ++u) {
+        University uni;
+        uni.name = "University_of_" + city.name +
+                   (u == 0 ? "" : "_Tech");
+        uni.city_id = city_id;
+        city.universities.push_back(
+            static_cast<OrganizationId>(universities_.size()));
+        universities_.push_back(std::move(uni));
+      }
+      country.cities.push_back(city_id);
+      cities_.push_back(std::move(city));
+    }
+    for (int k = 0; k < 8; ++k) {
+      Company company;
+      company.name = SyllableName(seed ^ Mix64(0xc0ULL + ci * 57 + k), 3) +
+                     "_Corp";
+      company.country_id = static_cast<PlaceId>(ci);
+      country.companies.push_back(
+          static_cast<OrganizationId>(companies_.size()));
+      companies_.push_back(std::move(company));
+    }
+    countries_.push_back(std::move(country));
+  }
+
+  double acc = 0.0;
+  country_weight_cumulative_.reserve(countries_.size());
+  for (const Country& c : countries_) {
+    acc += c.population_weight;
+    country_weight_cumulative_.push_back(acc);
+  }
+  country_weight_total_ = acc;
+
+  // ---- Tag classes and tags. --------------------------------------------
+  tag_classes_.reserve(kTagClassNames.size());
+  for (const char* name : kTagClassNames) tag_classes_.push_back({name});
+  constexpr int kTagsPerClass = 40;
+  tags_.reserve(tag_classes_.size() * kTagsPerClass);
+  for (size_t tc = 0; tc < tag_classes_.size(); ++tc) {
+    for (int t = 0; t < kTagsPerClass; ++t) {
+      Tag tag;
+      tag.name = tag_classes_[tc].name + "_" +
+                 SyllableName(seed ^ Mix64(0x7a65ULL + tc * 997 + t), 3);
+      tag.tag_class_id = static_cast<TagClassId>(tc);
+      tags_.push_back(std::move(tag));
+    }
+  }
+
+  // ---- Browsers. ----------------------------------------------------------
+  browsers_.assign(kBrowsers.begin(), kBrowsers.end());
+
+  // ---- First / last names: curated values first, synthetic fill. ---------
+  constexpr size_t kFirstNamePool = 400;
+  constexpr size_t kLastNamePool = 400;
+  std::vector<std::vector<uint32_t>> curated_first_male(countries_.size());
+  std::vector<std::vector<uint32_t>> curated_first_female(countries_.size());
+  std::vector<std::vector<uint32_t>> curated_last(countries_.size());
+
+  auto find_country = [&](const std::string& name) -> size_t {
+    for (size_t i = 0; i < countries_.size(); ++i) {
+      if (countries_[i].name == name) return i;
+    }
+    assert(false && "curated country not in country table");
+    return 0;
+  };
+
+  auto intern_first = [&](const char* name) -> uint32_t {
+    for (size_t i = 0; i < first_names_.size(); ++i) {
+      if (first_names_[i] == name) return static_cast<uint32_t>(i);
+    }
+    first_names_.push_back(name);
+    return static_cast<uint32_t>(first_names_.size() - 1);
+  };
+  auto intern_last = [&](const char* name) -> uint32_t {
+    for (size_t i = 0; i < last_names_.size(); ++i) {
+      if (last_names_[i] == name) return static_cast<uint32_t>(i);
+    }
+    last_names_.push_back(name);
+    return static_cast<uint32_t>(last_names_.size() - 1);
+  };
+
+  for (const CuratedNames& cn : kCuratedFirstNames) {
+    size_t ci = find_country(cn.country);
+    for (const char* n : cn.male) {
+      curated_first_male[ci].push_back(intern_first(n));
+    }
+    for (const char* n : cn.female) {
+      curated_first_female[ci].push_back(intern_first(n));
+    }
+  }
+  for (size_t k = 0; k < kCuratedLastNameCountries.size(); ++k) {
+    size_t ci = find_country(kCuratedLastNameCountries[k]);
+    for (const char* n : kCuratedLastNames[k]) {
+      curated_last[ci].push_back(intern_last(n));
+    }
+  }
+  while (first_names_.size() < kFirstNamePool) {
+    first_names_.push_back(
+        SyllableName(seed ^ Mix64(0xf1257ULL + first_names_.size()), 2));
+  }
+  while (last_names_.size() < kLastNamePool) {
+    last_names_.push_back(
+        SyllableName(seed ^ Mix64(0x1a57ULL + last_names_.size()), 3));
+  }
+
+  first_name_perm_male_ = BuildPermutations(
+      seed ^ 0x11, countries_.size(), first_names_.size(),
+      curated_first_male);
+  first_name_perm_female_ = BuildPermutations(
+      seed ^ 0x22, countries_.size(), first_names_.size(),
+      curated_first_female);
+  last_name_perm_ = BuildPermutations(seed ^ 0x33, countries_.size(),
+                                      last_names_.size(), curated_last);
+  tag_perm_ = BuildPermutations(seed ^ 0x44, countries_.size(), tags_.size(),
+                                {});
+
+  // ---- Word dictionary for message text. ----------------------------------
+  constexpr size_t kWordPool = 1200;
+  words_.reserve(kWordPool);
+  for (size_t w = 0; w < kWordPool; ++w) {
+    std::string word = SyllableName(seed ^ Mix64(0x30cdULL + w), 2);
+    word[0] = static_cast<char>(word[0] - 'A' + 'a');
+    words_.push_back(std::move(word));
+  }
+}
+
+PlaceId Dictionaries::SampleCountry(Rng& rng) const {
+  double u = rng.NextDouble() * country_weight_total_;
+  size_t lo = 0, hi = country_weight_cumulative_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (country_weight_cumulative_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<PlaceId>(lo);
+}
+
+PlaceId Dictionaries::SampleCityInCountry(PlaceId country_id,
+                                          Rng& rng) const {
+  const std::vector<PlaceId>& cities = countries_[country_id].cities;
+  return cities[rng.NextBounded(cities.size())];
+}
+
+size_t Dictionaries::SampleFirstNameIndex(PlaceId country_id, uint8_t gender,
+                                          Rng& rng) const {
+  const auto& perms =
+      gender == 0 ? first_name_perm_male_ : first_name_perm_female_;
+  uint64_t rank = SampleRank(rng, first_names_.size());
+  return PermutedValue(perms, country_id, rank);
+}
+
+size_t Dictionaries::SampleLastNameIndex(PlaceId country_id,
+                                         Rng& rng) const {
+  uint64_t rank = SampleRank(rng, last_names_.size());
+  return PermutedValue(last_name_perm_, country_id, rank);
+}
+
+TagId Dictionaries::SampleInterestTag(PlaceId country_id, Rng& rng) const {
+  uint64_t rank = SampleRank(rng, tags_.size());
+  return static_cast<TagId>(PermutedValue(tag_perm_, country_id, rank));
+}
+
+OrganizationId Dictionaries::SampleUniversity(PlaceId country_id,
+                                              Rng& rng) const {
+  if (!rng.NextBool(kHasUniversityProb)) return kInvalidId32;
+  PlaceId home = country_id;
+  if (!rng.NextBool(kLocalUniversityProb)) {
+    home = static_cast<PlaceId>(rng.NextBounded(countries_.size()));
+  }
+  const Country& country = countries_[home];
+  PlaceId city = country.cities[rng.NextBounded(country.cities.size())];
+  const std::vector<OrganizationId>& unis = cities_[city].universities;
+  return unis[rng.NextBounded(unis.size())];
+}
+
+OrganizationId Dictionaries::SampleCompany(PlaceId country_id,
+                                           Rng& rng) const {
+  if (!rng.NextBool(kHasCompanyProb)) return kInvalidId32;
+  PlaceId home = country_id;
+  if (!rng.NextBool(kLocalCompanyProb)) {
+    home = static_cast<PlaceId>(rng.NextBounded(countries_.size()));
+  }
+  const std::vector<OrganizationId>& companies = countries_[home].companies;
+  return companies[rng.NextBounded(companies.size())];
+}
+
+std::vector<uint32_t> Dictionaries::SampleLanguages(PlaceId country_id,
+                                                    Rng& rng) const {
+  std::vector<uint32_t> langs;
+  langs.push_back(countries_[country_id].native_language);
+  if (rng.NextBool(0.6)) langs.push_back(0);  // English.
+  if (rng.NextBool(0.15)) {
+    uint32_t extra =
+        static_cast<uint32_t>(1 + rng.NextBounded(languages_.size() - 1));
+    if (extra != langs[0]) langs.push_back(extra);
+  }
+  return langs;
+}
+
+const std::string& Dictionaries::SampleBrowser(Rng& rng) const {
+  return browsers_[rng.NextBounded(browsers_.size())];
+}
+
+std::string Dictionaries::GenerateText(TagId topic, int min_words,
+                                       int max_words, Rng& rng) const {
+  int n = static_cast<int>(rng.NextInRange(min_words, max_words));
+  std::string out;
+  size_t words = words_.size();
+  for (int i = 0; i < n; ++i) {
+    uint64_t rank = SampleRank(rng, words);
+    // Per-topic permutation derived arithmetically: value = (a*rank + b) mod
+    // words with a coprime to words. Avoids materializing |tags| x |words|.
+    uint64_t a = 2 * (Mix64(seed_ ^ (topic * 0x9e37ULL)) % (words / 2)) + 1;
+    uint64_t b = Mix64(seed_ ^ (topic * 0x7f4aULL)) % words;
+    size_t idx = static_cast<size_t>((a * rank + b) % words);
+    if (i > 0) out += ' ';
+    out += words_[idx];
+  }
+  return out;
+}
+
+}  // namespace snb::schema

@@ -1,0 +1,191 @@
+// Correlated value dictionaries — the DBpedia substitute.
+//
+// The paper draws attribute values (names, universities, companies, tags,
+// message text) from DBpedia, with a key twist (section 2.1): the *shape* of
+// each value distribution is the same skewed (geometric) rank distribution
+// everywhere, but the order of values is permuted by the correlation
+// parameter (e.g. the person's country). This module reproduces exactly that
+// mechanism with embedded dictionaries: a handful of countries carry curated
+// "typical" top values (so Table 2's Germany-vs-China contrast is
+// reproduced verbatim), all other values are deterministic synthetic names.
+#ifndef SNB_SCHEMA_DICTIONARIES_H_
+#define SNB_SCHEMA_DICTIONARIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/ids.h"
+#include "util/rng.h"
+
+namespace snb::schema {
+
+/// A country: weight drives population-proportional sampling.
+struct Country {
+  std::string name;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double population_weight = 1.0;
+  /// Index into Dictionaries::languages() of the native language.
+  uint32_t native_language = 0;
+  /// City ids located in this country.
+  std::vector<PlaceId> cities;
+  /// Company ids headquartered in this country.
+  std::vector<OrganizationId> companies;
+};
+
+/// A city, located in one country.
+struct City {
+  std::string name;
+  PlaceId country_id = kInvalidId32;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  /// University ids located in this city.
+  std::vector<OrganizationId> universities;
+};
+
+/// A university, located in one city.
+struct University {
+  std::string name;
+  PlaceId city_id = kInvalidId32;
+};
+
+/// A company, headquartered in one country.
+struct Company {
+  std::string name;
+  PlaceId country_id = kInvalidId32;
+};
+
+/// A category of tags (e.g. "Music").
+struct TagClass {
+  std::string name;
+};
+
+/// An interest / topic tag, in one tag class.
+struct Tag {
+  std::string name;
+  TagClassId tag_class_id = kInvalidId32;
+};
+
+/// All embedded dictionaries plus the correlated samplers over them.
+///
+/// Construction is deterministic in the seed; two instances with equal seeds
+/// produce identical dictionaries and identical sampling behaviour.
+class Dictionaries {
+ public:
+  explicit Dictionaries(uint64_t seed = 0x5eedULL);
+
+  Dictionaries(const Dictionaries&) = delete;
+  Dictionaries& operator=(const Dictionaries&) = delete;
+
+  // ---- Raw dictionary access -------------------------------------------
+
+  const std::vector<Country>& countries() const { return countries_; }
+  const std::vector<City>& cities() const { return cities_; }
+  const std::vector<University>& universities() const { return universities_; }
+  const std::vector<Company>& companies() const { return companies_; }
+  const std::vector<TagClass>& tag_classes() const { return tag_classes_; }
+  const std::vector<Tag>& tags() const { return tags_; }
+  const std::vector<std::string>& languages() const { return languages_; }
+  const std::vector<std::string>& browsers() const { return browsers_; }
+
+  const std::string& FirstName(size_t index) const {
+    return first_names_[index];
+  }
+  size_t first_name_count() const { return first_names_.size(); }
+  const std::string& LastName(size_t index) const {
+    return last_names_[index];
+  }
+  size_t last_name_count() const { return last_names_.size(); }
+
+  /// Id of the country a city belongs to.
+  PlaceId CountryOfCity(PlaceId city_id) const {
+    return cities_[city_id].country_id;
+  }
+
+  // ---- Correlated samplers (Table 1) -----------------------------------
+
+  /// Population-weighted country.
+  PlaceId SampleCountry(util::Rng& rng) const;
+
+  /// Uniform city within a country.
+  PlaceId SampleCityInCountry(PlaceId country_id, util::Rng& rng) const;
+
+  /// First name, skewed with rank order permuted by (country, gender).
+  size_t SampleFirstNameIndex(PlaceId country_id, uint8_t gender,
+                              util::Rng& rng) const;
+
+  /// Last name, skewed with rank order permuted by country.
+  size_t SampleLastNameIndex(PlaceId country_id, util::Rng& rng) const;
+
+  /// Interest tag, skewed with rank order permuted by country ("popular
+  /// artist" correlation of Table 1).
+  TagId SampleInterestTag(PlaceId country_id, util::Rng& rng) const;
+
+  /// University: with high probability one in the person's country (the
+  /// "nearby university" correlation); kInvalidId32 when the person did not
+  /// study.
+  OrganizationId SampleUniversity(PlaceId country_id, util::Rng& rng) const;
+
+  /// Company in the person's country with high probability; kInvalidId32
+  /// when unemployed.
+  OrganizationId SampleCompany(PlaceId country_id, util::Rng& rng) const;
+
+  /// The native language of a country.
+  uint32_t NativeLanguage(PlaceId country_id) const {
+    return countries_[country_id].native_language;
+  }
+
+  /// Languages a person from `country_id` speaks: native first, optionally
+  /// English and a random extra.
+  std::vector<uint32_t> SampleLanguages(PlaceId country_id,
+                                        util::Rng& rng) const;
+
+  /// Uniform browser name.
+  const std::string& SampleBrowser(util::Rng& rng) const;
+
+  /// Message text whose word ranks are permuted by `topic` — the stand-in
+  /// for "text taken from DBpedia pages closely related to the topic".
+  std::string GenerateText(TagId topic, int min_words, int max_words,
+                           util::Rng& rng) const;
+
+  /// Word at dictionary index (exposed for correlation tests).
+  const std::string& Word(size_t index) const { return words_[index]; }
+  size_t word_count() const { return words_.size(); }
+
+ private:
+  /// Value at `rank` of the permutation keyed by `key` over domain size `n`.
+  /// Permutations are precomputed; curated values occupy the top ranks.
+  size_t PermutedValue(const std::vector<std::vector<uint32_t>>& perms,
+                       size_t key, size_t rank) const {
+    return perms[key][rank];
+  }
+
+  uint64_t seed_;
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+  std::vector<University> universities_;
+  std::vector<Company> companies_;
+  std::vector<TagClass> tag_classes_;
+  std::vector<Tag> tags_;
+  std::vector<std::string> languages_;
+  std::vector<std::string> browsers_;
+  std::vector<std::string> first_names_;
+  std::vector<std::string> last_names_;
+  std::vector<std::string> words_;
+
+  // Precomputed rank permutations: [country][rank] -> value index.
+  std::vector<std::vector<uint32_t>> first_name_perm_male_;
+  std::vector<std::vector<uint32_t>> first_name_perm_female_;
+  std::vector<std::vector<uint32_t>> last_name_perm_;
+  std::vector<std::vector<uint32_t>> tag_perm_;
+  // [tag][rank] -> word index, computed lazily-free: per-topic permutation is
+  // derived arithmetically (see .cc) to avoid |tags| x |words| storage.
+
+  double country_weight_total_ = 0.0;
+  std::vector<double> country_weight_cumulative_;
+};
+
+}  // namespace snb::schema
+
+#endif  // SNB_SCHEMA_DICTIONARIES_H_

@@ -1,0 +1,114 @@
+// Entity structs of the SNB schema (11 entities, 20 relations).
+//
+// These are passive data carriers produced by DATAGEN and bulk-loaded into
+// the store; they mirror the LDBC SNB logical schema.
+#ifndef SNB_SCHEMA_ENTITIES_H_
+#define SNB_SCHEMA_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/ids.h"
+#include "util/datetime.h"
+
+namespace snb::schema {
+
+using util::TimestampMs;
+
+/// A member of the social network.
+struct Person {
+  PersonId id = kInvalidId;
+  std::string first_name;
+  std::string last_name;
+  /// 0 = male, 1 = female.
+  uint8_t gender = 0;
+  TimestampMs birthday = 0;
+  TimestampMs creation_date = 0;
+  PlaceId city_id = kInvalidId32;
+  std::string browser;
+  std::string location_ip;
+  std::vector<std::string> emails;
+  /// Language ids; index 0 is the native language of the home country.
+  std::vector<uint32_t> languages;
+  /// Tags the person is interested in (influences post topics).
+  std::vector<TagId> interests;
+  /// University studied at (kInvalidId32 when none), plus class year.
+  OrganizationId university_id = kInvalidId32;
+  uint16_t study_year = 0;
+  /// Employer (kInvalidId32 when none), plus employment start year.
+  OrganizationId company_id = kInvalidId32;
+  uint16_t work_year = 0;
+};
+
+/// An undirected friendship edge; person1_id < person2_id by convention.
+struct Knows {
+  PersonId person1_id = kInvalidId;
+  PersonId person2_id = kInvalidId;
+  TimestampMs creation_date = 0;
+};
+
+/// A discussion container owned (moderated) by one person.
+struct Forum {
+  ForumId id = kInvalidId;
+  std::string title;
+  PersonId moderator_id = kInvalidId;
+  TimestampMs creation_date = 0;
+  std::vector<TagId> tags;
+};
+
+/// Membership of a person in a forum.
+struct ForumMembership {
+  ForumId forum_id = kInvalidId;
+  PersonId person_id = kInvalidId;
+  TimestampMs join_date = 0;
+};
+
+/// Message kind discriminator.
+enum class MessageKind : uint8_t { kPost = 0, kComment = 1, kPhoto = 2 };
+
+/// A post, photo, or comment. Comments have a parent message; posts/photos
+/// have a forum. All messages carry creator, creation date and content.
+struct Message {
+  MessageId id = kInvalidId;
+  MessageKind kind = MessageKind::kPost;
+  PersonId creator_id = kInvalidId;
+  TimestampMs creation_date = 0;
+  /// Forum containing the root post. Set for posts/photos; for comments it is
+  /// the forum of the root post.
+  ForumId forum_id = kInvalidId;
+  /// For comments: the message replied to. kInvalidId for posts/photos.
+  MessageId reply_to_id = kInvalidId;
+  /// Root post of the discussion tree (self for posts/photos).
+  MessageId root_post_id = kInvalidId;
+  std::string content;
+  std::vector<TagId> tags;
+  /// Language of the content (person's language).
+  uint32_t language = 0;
+  /// Country the message was posted from.
+  PlaceId country_id = kInvalidId32;
+  /// Photo geo-coordinates (photos only); correlate with country_id.
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// A like from a person to a message.
+struct Like {
+  PersonId person_id = kInvalidId;
+  MessageId message_id = kInvalidId;
+  TimestampMs creation_date = 0;
+};
+
+/// The full bulk-load portion of a generated dataset.
+struct SocialNetwork {
+  std::vector<Person> persons;
+  std::vector<Knows> knows;
+  std::vector<Forum> forums;
+  std::vector<ForumMembership> memberships;
+  std::vector<Message> messages;
+  std::vector<Like> likes;
+};
+
+}  // namespace snb::schema
+
+#endif  // SNB_SCHEMA_ENTITIES_H_

@@ -1,0 +1,29 @@
+// Identifier types for SNB entities.
+//
+// Message ids (posts, comments, photos) share one id space, mirroring the
+// LDBC schema where Post and Comment are subtypes of Message. Following the
+// paper's RDF locality note (section 3), DATAGEN assigns message ids that
+// increase with creation time, giving date-range scans on id order high
+// locality.
+#ifndef SNB_SCHEMA_IDS_H_
+#define SNB_SCHEMA_IDS_H_
+
+#include <cstdint>
+
+namespace snb::schema {
+
+using PersonId = uint64_t;
+using ForumId = uint64_t;
+using MessageId = uint64_t;
+using TagId = uint32_t;
+using TagClassId = uint32_t;
+using PlaceId = uint32_t;
+using OrganizationId = uint32_t;
+
+/// Sentinel for "no entity".
+inline constexpr uint64_t kInvalidId = ~0ULL;
+inline constexpr uint32_t kInvalidId32 = ~0U;
+
+}  // namespace snb::schema
+
+#endif  // SNB_SCHEMA_IDS_H_

@@ -1,0 +1,274 @@
+#include "store/graph_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace snb::store {
+
+using schema::Knows;
+using schema::Message;
+using schema::Person;
+using util::Status;
+
+namespace {
+
+// Inserts into a sorted FriendEdge vector, keeping order by `other`.
+void InsertFriendSorted(std::vector<FriendEdge>& friends, FriendEdge edge) {
+  auto it = std::lower_bound(
+      friends.begin(), friends.end(), edge,
+      [](const FriendEdge& a, const FriendEdge& b) {
+        return a.other < b.other;
+      });
+  friends.insert(it, edge);
+}
+
+}  // namespace
+
+// ---- Public transactional API ----------------------------------------------
+
+Status GraphStore::BulkLoad(const schema::SocialNetwork& network) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!persons_.empty() || !messages_.empty()) {
+    return Status::FailedPrecondition("BulkLoad requires an empty store");
+  }
+  persons_.reserve(network.persons.size());
+  for (const Person& p : network.persons) {
+    SNB_RETURN_IF_ERROR(AddPersonLocked(p));
+  }
+  for (const Knows& k : network.knows) {
+    SNB_RETURN_IF_ERROR(AddFriendshipLocked(k));
+  }
+  forums_.reserve(network.forums.size());
+  for (const schema::Forum& f : network.forums) {
+    SNB_RETURN_IF_ERROR(AddForumLocked(f));
+  }
+  for (const schema::ForumMembership& fm : network.memberships) {
+    SNB_RETURN_IF_ERROR(AddForumMembershipLocked(fm));
+  }
+  messages_.reserve(network.messages.size());
+  for (const Message& m : network.messages) {
+    SNB_RETURN_IF_ERROR(AddMessageLocked(m));
+  }
+  for (const schema::Like& l : network.likes) {
+    SNB_RETURN_IF_ERROR(AddLikeLocked(l));
+  }
+  return Status::Ok();
+}
+
+Status GraphStore::AddPerson(const Person& person) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddPersonLocked(person);
+}
+
+Status GraphStore::AddFriendship(const Knows& knows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddFriendshipLocked(knows);
+}
+
+Status GraphStore::AddForum(const schema::Forum& forum) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddForumLocked(forum);
+}
+
+Status GraphStore::AddForumMembership(
+    const schema::ForumMembership& membership) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddForumMembershipLocked(membership);
+}
+
+Status GraphStore::AddMessage(const Message& message) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddMessageLocked(message);
+}
+
+Status GraphStore::AddLike(const schema::Like& like) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddLikeLocked(like);
+}
+
+// ---- Locked internals -------------------------------------------------------
+
+Status GraphStore::AddPersonLocked(const Person& person) {
+  auto [it, inserted] = persons_.try_emplace(person.id);
+  if (!inserted) {
+    return Status::AlreadyExists("person " + std::to_string(person.id));
+  }
+  it->second.data = person;
+  return Status::Ok();
+}
+
+Status GraphStore::AddFriendshipLocked(const Knows& knows) {
+  PersonRecord* p1 = FindPersonMutable(knows.person1_id);
+  PersonRecord* p2 = FindPersonMutable(knows.person2_id);
+  if (p1 == nullptr || p2 == nullptr) {
+    return Status::NotFound("friendship endpoint missing");
+  }
+  InsertFriendSorted(p1->friends, {knows.person2_id, knows.creation_date});
+  InsertFriendSorted(p2->friends, {knows.person1_id, knows.creation_date});
+  ++num_knows_;
+  knows_version_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status GraphStore::AddForumLocked(const schema::Forum& forum) {
+  if (FindPersonMutable(forum.moderator_id) == nullptr) {
+    return Status::NotFound("forum moderator missing");
+  }
+  auto [it, inserted] = forums_.try_emplace(forum.id);
+  if (!inserted) {
+    return Status::AlreadyExists("forum " + std::to_string(forum.id));
+  }
+  it->second.data = forum;
+  return Status::Ok();
+}
+
+Status GraphStore::AddForumMembershipLocked(
+    const schema::ForumMembership& membership) {
+  PersonRecord* person = FindPersonMutable(membership.person_id);
+  auto forum_it = forums_.find(membership.forum_id);
+  if (person == nullptr || forum_it == forums_.end()) {
+    return Status::NotFound("membership endpoint missing");
+  }
+  person->forums.push_back({membership.forum_id, membership.join_date});
+  forum_it->second.members.push_back(
+      {membership.person_id, membership.join_date});
+  ++num_memberships_;
+  return Status::Ok();
+}
+
+Status GraphStore::AddMessageLocked(const Message& message) {
+  PersonRecord* creator = FindPersonMutable(message.creator_id);
+  if (creator == nullptr) {
+    return Status::NotFound("message creator missing");
+  }
+  bool is_comment = message.kind == schema::MessageKind::kComment;
+  ForumRecord* forum = nullptr;
+  if (is_comment) {
+    if (message.reply_to_id >= messages_.size() ||
+        !messages_[message.reply_to_id].present()) {
+      return Status::NotFound("comment parent missing");
+    }
+  } else {
+    auto it = forums_.find(message.forum_id);
+    if (it == forums_.end()) {
+      return Status::NotFound("post forum missing");
+    }
+    forum = &it->second;
+  }
+  if (message.id < messages_.size() && messages_[message.id].present()) {
+    return Status::AlreadyExists("message " + std::to_string(message.id));
+  }
+  if (message.id >= messages_.size()) {
+    // NOTE: resizing invalidates pointers into messages_; the parent is
+    // re-resolved below.
+    messages_.resize(message.id + 1);
+  }
+  MessageRecord& record = messages_[message.id];
+  record.data = message;
+  creator->messages.push_back(message.id);
+  if (is_comment) {
+    messages_[message.reply_to_id].replies.push_back(message.id);
+  } else {
+    forum->posts.push_back(message.id);
+  }
+  ++num_messages_;
+  return Status::Ok();
+}
+
+Status GraphStore::AddLikeLocked(const schema::Like& like) {
+  PersonRecord* person = FindPersonMutable(like.person_id);
+  if (person == nullptr) {
+    return Status::NotFound("like person missing");
+  }
+  if (like.message_id >= messages_.size() ||
+      !messages_[like.message_id].present()) {
+    return Status::NotFound("liked message missing");
+  }
+  person->likes.push_back({like.message_id, like.creation_date});
+  messages_[like.message_id].likes.push_back(
+      {like.person_id, like.creation_date});
+  ++num_likes_;
+  return Status::Ok();
+}
+
+// ---- Read accessors ------------------------------------------------------------
+
+const PersonRecord* GraphStore::FindPerson(schema::PersonId id) const {
+  auto it = persons_.find(id);
+  return it == persons_.end() ? nullptr : &it->second;
+}
+
+PersonRecord* GraphStore::FindPersonMutable(schema::PersonId id) {
+  auto it = persons_.find(id);
+  return it == persons_.end() ? nullptr : &it->second;
+}
+
+const ForumRecord* GraphStore::FindForum(schema::ForumId id) const {
+  auto it = forums_.find(id);
+  return it == forums_.end() ? nullptr : &it->second;
+}
+
+const MessageRecord* GraphStore::FindMessage(schema::MessageId id) const {
+  if (id >= messages_.size() || !messages_[id].present()) return nullptr;
+  return &messages_[id];
+}
+
+bool GraphStore::AreFriends(schema::PersonId a, schema::PersonId b) const {
+  const PersonRecord* pa = FindPerson(a);
+  if (pa == nullptr) return false;
+  auto it = std::lower_bound(
+      pa->friends.begin(), pa->friends.end(), b,
+      [](const FriendEdge& e, schema::PersonId id) { return e.other < id; });
+  return it != pa->friends.end() && it->other == b;
+}
+
+std::vector<schema::PersonId> GraphStore::PersonIds() const {
+  std::vector<schema::PersonId> ids;
+  ids.reserve(persons_.size());
+  for (const auto& [id, _] : persons_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<schema::ForumId> GraphStore::ForumIds() const {
+  std::vector<schema::ForumId> ids;
+  ids.reserve(forums_.size());
+  for (const auto& [id, _] : forums_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+StorageBreakdown GraphStore::ComputeStorageBreakdown() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  StorageBreakdown b;
+  for (const MessageRecord& m : messages_) {
+    b.message_bytes += sizeof(MessageRecord) + m.data.content.capacity() +
+                       m.data.tags.capacity() * sizeof(schema::TagId) +
+                       m.replies.capacity() * sizeof(schema::MessageId);
+    b.message_content_bytes += m.data.content.capacity();
+    b.likes_bytes += m.likes.capacity() * sizeof(DatedEdge);
+  }
+  for (const auto& [_, p] : persons_) {
+    uint64_t attr = sizeof(PersonRecord) + p.data.first_name.capacity() +
+                    p.data.last_name.capacity() +
+                    p.data.browser.capacity() +
+                    p.data.location_ip.capacity() +
+                    p.data.interests.capacity() * sizeof(schema::TagId) +
+                    p.data.languages.capacity() * sizeof(uint32_t);
+    for (const std::string& e : p.data.emails) attr += e.capacity();
+    b.person_bytes += attr;
+    b.friends_bytes += p.friends.capacity() * sizeof(FriendEdge);
+    b.membership_bytes += p.forums.capacity() * sizeof(DatedEdge);
+    b.likes_bytes += p.likes.capacity() * sizeof(DatedEdge);
+    b.message_bytes += p.messages.capacity() * sizeof(schema::MessageId);
+  }
+  for (const auto& [_, f] : forums_) {
+    b.forum_bytes += sizeof(ForumRecord) + f.data.title.capacity() +
+                     f.data.tags.capacity() * sizeof(schema::TagId) +
+                     f.posts.capacity() * sizeof(schema::MessageId);
+    b.membership_bytes += f.members.capacity() * sizeof(DatedEdge);
+  }
+  return b;
+}
+
+}  // namespace snb::store

@@ -1,0 +1,29 @@
+#include "util/datetime.h"
+
+#include <ctime>
+
+#include <cstdio>
+
+namespace snb::util {
+
+std::string FormatTimestamp(TimestampMs ts) {
+  std::time_t secs = static_cast<std::time_t>(ts / kMillisPerSecond);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  return buf;
+}
+
+TimestampMs TimestampFromDate(int year, int month, int day) {
+  std::tm tm_utc{};
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_mon = month - 1;
+  tm_utc.tm_mday = day;
+  std::time_t secs = timegm(&tm_utc);
+  return static_cast<TimestampMs>(secs) * kMillisPerSecond;
+}
+
+}  // namespace snb::util

@@ -1,0 +1,117 @@
+// Probability distributions used by DATAGEN.
+//
+// The paper relies on skewed value distributions (exponential rank decay for
+// dictionary values), geometric window-distance decay for friendship picks,
+// and the discretized Facebook power-law for friendship degrees.
+#ifndef SNB_UTIL_DISTRIBUTIONS_H_
+#define SNB_UTIL_DISTRIBUTIONS_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snb::util {
+
+/// Samples ranks 0..n-1 with geometrically decaying probability
+/// P(rank = k) ∝ (1-p)^k. Used for skewed dictionary value selection and for
+/// sliding-window friend picking (probability decays with window distance).
+class GeometricRankSampler {
+ public:
+  /// `p` is the per-step success probability in (0, 1); `n` the domain size.
+  GeometricRankSampler(double p, uint64_t n) : p_(p), n_(n) {
+    assert(p > 0.0 && p < 1.0 && n > 0);
+  }
+
+  /// Draws a rank in [0, n). Truncated geometric via inversion.
+  uint64_t Sample(Rng& rng) const {
+    // Inverse CDF of the geometric distribution, truncated to [0, n).
+    double u = rng.NextDouble();
+    // Normalize u to the truncated support so all ranks stay reachable.
+    double total = 1.0 - std::pow(1.0 - p_, static_cast<double>(n_));
+    u *= total;
+    double k = std::floor(std::log1p(-u) / std::log1p(-p_));
+    if (k < 0.0) k = 0.0;
+    uint64_t rank = static_cast<uint64_t>(k);
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  double p_;
+  uint64_t n_;
+};
+
+/// Samples from an arbitrary discrete distribution given per-item weights.
+class DiscreteSampler {
+ public:
+  /// Weights need not be normalized; all must be >= 0 and sum > 0.
+  explicit DiscreteSampler(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    double acc = 0.0;
+    for (double& w : cumulative_) {
+      assert(w >= 0.0);
+      acc += w;
+      w = acc;
+    }
+    assert(acc > 0.0);
+    total_ = acc;
+  }
+
+  /// Draws an index in [0, weights.size()).
+  size_t Sample(Rng& rng) const {
+    double u = rng.NextDouble() * total_;
+    size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+/// Power-law (bounded Pareto) sampler on [lo, hi] with exponent alpha > 0:
+/// p(x) ∝ x^-(alpha+1).
+class BoundedParetoSampler {
+ public:
+  BoundedParetoSampler(double alpha, double lo, double hi)
+      : alpha_(alpha), lo_(lo), hi_(hi) {
+    assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  }
+
+  double Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    double la = std::pow(lo_, alpha_);
+    double ha = std::pow(hi_, alpha_);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  }
+
+ private:
+  double alpha_;
+  double lo_;
+  double hi_;
+};
+
+/// Exponential inter-arrival sampler with the given rate (events per unit).
+inline double SampleExponential(Rng& rng, double rate) {
+  assert(rate > 0.0);
+  double u = rng.NextDouble();
+  // Guard against log(0).
+  if (u >= 1.0) u = 0.9999999999;
+  return -std::log1p(-u) / rate;
+}
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,124 @@
+// Histograms and summary statistics used by benches and the metrics layer.
+#ifndef SNB_UTIL_HISTOGRAM_H_
+#define SNB_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace snb::util {
+
+/// Accumulates double-valued samples; computes mean/variance/percentiles.
+/// Not thread-safe; aggregate per-thread instances with Merge().
+class SampleStats {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  void Merge(const SampleStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Population variance.
+  double Variance() const {
+    if (samples_.size() < 2) return 0.0;
+    double m = Mean();
+    double acc = 0.0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return acc / static_cast<double>(samples_.size());
+  }
+
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  double Min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p in [0, 100]. Nearest-rank percentile.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t idx = static_cast<size_t>(rank);
+    if (idx + 1 >= sorted.size()) return sorted.back();
+    double frac = rank - static_cast<double>(idx);
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width bucket histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    assert(hi > lo && buckets > 0);
+  }
+
+  void Add(double v) {
+    if (v < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (v >= hi_) {
+      ++overflow_;
+      return;
+    }
+    size_t idx = static_cast<size_t>((v - lo_) / (hi_ - lo_) *
+                                     static_cast<double>(counts_.size()));
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+  }
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  /// Inclusive lower edge of bucket i.
+  double BucketLow(size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = underflow_ + overflow_;
+    for (uint64_t c : counts_) total += c;
+    return total;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_HISTOGRAM_H_

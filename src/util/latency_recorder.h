@@ -1,0 +1,86 @@
+// Thread-safe latency recording keyed by operation type.
+#ifndef SNB_UTIL_LATENCY_RECORDER_H_
+#define SNB_UTIL_LATENCY_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace snb::util {
+
+/// Steady-clock stopwatch returning elapsed microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since construction or last Reset().
+  double ElapsedMicros() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects latency samples per named operation from many threads.
+class LatencyRecorder {
+ public:
+  /// Records one latency sample (microseconds) for `op`.
+  void Record(const std::string& op, double micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_[op].Add(micros);
+  }
+
+  /// Snapshot of the stats for one operation (empty stats if unseen).
+  SampleStats Get(const std::string& op) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stats_.find(op);
+    return it == stats_.end() ? SampleStats() : it->second;
+  }
+
+  /// All operation names seen so far, sorted.
+  std::vector<std::string> Operations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(stats_.size());
+    for (const auto& [name, _] : stats_) names.push_back(name);
+    return names;
+  }
+
+  /// Total number of recorded samples across all operations.
+  uint64_t TotalCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& [_, s] : stats_) total += s.count();
+    return total;
+  }
+
+  /// Sum of all recorded latencies (microseconds) across operations matching
+  /// the given name prefix.
+  double TotalMicrosWithPrefix(const std::string& prefix) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0.0;
+    for (const auto& [name, s] : stats_) {
+      if (name.rfind(prefix, 0) == 0) {
+        total += s.Mean() * static_cast<double>(s.count());
+      }
+    }
+    return total;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SampleStats> stats_;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_LATENCY_RECORDER_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared by the library.
+#ifndef SNB_UTIL_STRING_UTIL_H_
+#define SNB_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace snb::util {
+
+/// Joins `parts` with `sep`.
+inline std::string Join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Splits `s` on `sep` (single character); keeps empty fields.
+inline std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,60 @@
+// A fixed-size thread pool with a deterministic parallel-for.
+//
+// Replaces the paper's Hadoop MapReduce substrate: DATAGEN stages are
+// expressed as "sort, then process disjoint contiguous ranges", which this
+// pool executes with static range partitioning so results do not depend on
+// scheduling order.
+#ifndef SNB_UTIL_THREAD_POOL_H_
+#define SNB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snb::util {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; Wait() blocks
+/// until all submitted tasks have completed.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over `num_threads` statically partitioned contiguous
+  /// sub-ranges of [0, n). Blocks until all ranges finish. Each range index
+  /// also receives its worker slot for per-worker state.
+  void ParallelForRanges(
+      size_t n, const std::function<void(size_t begin, size_t end,
+                                         size_t worker)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,56 @@
+// Z-order (Morton) encoding.
+//
+// The friendship generator's first correlation dimension packs the Z-order
+// of the university city's coordinates into bits 31..24 of the sort key
+// (paper section 2.3), so that geographically close universities sort close
+// together.
+#ifndef SNB_UTIL_ZORDER_H_
+#define SNB_UTIL_ZORDER_H_
+
+#include <cstdint>
+
+namespace snb::util {
+
+/// Interleaves the low 16 bits of x and y: result bit 2i = x bit i,
+/// bit 2i+1 = y bit i.
+inline uint32_t MortonInterleave16(uint16_t x, uint16_t y) {
+  auto spread = [](uint32_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// Z-order of a lat/long pair quantized to an 8-bit value (4 bits per axis),
+/// matching the paper's 8-bit city Z-order field (bits 31-24 of the
+/// studied-location dimension key).
+inline uint8_t ZOrder8(double latitude, double longitude) {
+  // Quantize latitude [-90, 90] and longitude [-180, 180] to 4 bits each.
+  double lat01 = (latitude + 90.0) / 180.0;
+  double lon01 = (longitude + 180.0) / 360.0;
+  if (lat01 < 0.0) lat01 = 0.0;
+  if (lat01 > 1.0) lat01 = 1.0;
+  if (lon01 < 0.0) lon01 = 0.0;
+  if (lon01 > 1.0) lon01 = 1.0;
+  auto lat4 = static_cast<uint16_t>(lat01 * 15.0 + 0.5);
+  auto lon4 = static_cast<uint16_t>(lon01 * 15.0 + 0.5);
+  return static_cast<uint8_t>(MortonInterleave16(lat4, lon4) & 0xff);
+}
+
+/// Builds the studied-location correlation-dimension key of the paper:
+/// city Z-order in bits 31-24, university id in bits 23-12, study year in
+/// bits 11-0.
+inline uint32_t StudyLocationKey(uint8_t city_zorder, uint16_t university_id,
+                                 uint16_t study_year) {
+  return (static_cast<uint32_t>(city_zorder) << 24) |
+         (static_cast<uint32_t>(university_id & 0x0fff) << 12) |
+         static_cast<uint32_t>(study_year & 0x0fff);
+}
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_ZORDER_H_

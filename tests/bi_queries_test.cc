@@ -1,0 +1,133 @@
+// Tests for the SNB-BI preview queries, validated against brute-force
+// aggregation over the generated dataset.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/bi_queries.h"
+#include "schema/dictionaries.h"
+
+namespace snb::queries {
+namespace {
+
+class BiQueriesTest : public ::testing::Test {
+ protected:
+  struct World {
+    datagen::Dataset dataset;
+    store::GraphStore store;
+    std::vector<schema::PlaceId> city_country;
+  };
+
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World();
+      datagen::DatagenConfig config;
+      config.num_persons = 200;
+      config.split_update_stream = false;
+      world->dataset = datagen::Generate(config);
+      EXPECT_TRUE(world->store.BulkLoad(world->dataset.bulk).ok());
+      schema::Dictionaries dict(config.seed);
+      for (const schema::City& c : dict.cities()) {
+        world->city_country.push_back(c.country_id);
+      }
+      return world;
+    }();
+    return *w;
+  }
+};
+
+TEST_F(BiQueriesTest, Bi1GroupsCoverAllMessages) {
+  std::vector<Bi1Result> rows = BiQuery1PostingSummary(world().store);
+  ASSERT_FALSE(rows.empty());
+  uint64_t total = 0;
+  for (const Bi1Result& r : rows) total += r.message_count;
+  EXPECT_EQ(total, world().dataset.bulk.messages.size());
+  // Sorted by count descending.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].message_count, rows[i].message_count);
+  }
+  // Spot-check one group against brute force.
+  const Bi1Result& top = rows.front();
+  uint64_t count = 0;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    std::time_t secs =
+        static_cast<std::time_t>(m.creation_date / util::kMillisPerSecond);
+    std::tm tm_utc{};
+    gmtime_r(&secs, &tm_utc);
+    if (tm_utc.tm_year + 1900 == top.year && m.kind == top.kind &&
+        m.language == top.language) {
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, top.message_count);
+  // Years within the simulated timeline.
+  for (const Bi1Result& r : rows) {
+    EXPECT_GE(r.year, 2010);
+    EXPECT_LE(r.year, 2013);
+  }
+}
+
+TEST_F(BiQueriesTest, Bi2DeltasMatchBruteForce) {
+  util::TimestampMs start =
+      util::kNetworkStartMs + 12 * util::kMillisPerMonth;
+  int days = 60;
+  std::vector<Bi2Result> rows =
+      BiQuery2TagEvolution(world().store, start, days, 10);
+  ASSERT_FALSE(rows.empty());
+
+  util::TimestampMs mid = start + days * util::kMillisPerDay;
+  util::TimestampMs end = mid + days * util::kMillisPerDay;
+  for (const Bi2Result& r : rows) {
+    uint32_t w1 = 0, w2 = 0;
+    for (const schema::Message& m : world().dataset.bulk.messages) {
+      if (m.kind == schema::MessageKind::kComment) continue;
+      bool has = false;
+      for (schema::TagId t : m.tags) {
+        if (t == r.tag) has = true;
+      }
+      if (!has) continue;
+      if (m.creation_date >= start && m.creation_date < mid) ++w1;
+      if (m.creation_date >= mid && m.creation_date < end) ++w2;
+    }
+    EXPECT_EQ(r.count_window1, w1) << "tag " << r.tag;
+    EXPECT_EQ(r.count_window2, w2) << "tag " << r.tag;
+    EXPECT_EQ(r.delta, w1 > w2 ? w1 - w2 : w2 - w1);
+  }
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].delta, rows[i].delta);
+  }
+}
+
+TEST_F(BiQueriesTest, Bi3InfluencersHaveMostLikes) {
+  std::vector<Bi3Result> rows = BiQuery3CountryInfluencers(
+      world().store, world().city_country, 2);
+  ASSERT_FALSE(rows.empty());
+
+  // Brute force: likes received per person.
+  std::map<schema::MessageId, schema::PersonId> creator;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    creator[m.id] = m.creator_id;
+  }
+  std::map<schema::PersonId, uint64_t> likes;
+  for (const schema::Like& l : world().dataset.bulk.likes) {
+    ++likes[creator[l.message_id]];
+  }
+  std::map<schema::PersonId, schema::PlaceId> country_of;
+  for (const schema::Person& p : world().dataset.bulk.persons) {
+    country_of[p.id] = world().city_country[p.city_id];
+  }
+  for (const Bi3Result& r : rows) {
+    EXPECT_EQ(r.likes_received, likes[r.person]);
+    EXPECT_EQ(r.country, country_of[r.person]);
+    // Nobody in the same country beats a listed influencer who is ranked
+    // first for that country.
+  }
+  // Per-country group sizes respected.
+  std::map<schema::PlaceId, int> group_sizes;
+  for (const Bi3Result& r : rows) ++group_sizes[r.country];
+  for (auto [_, size] : group_sizes) EXPECT_LE(size, 2);
+}
+
+}  // namespace
+}  // namespace snb::queries

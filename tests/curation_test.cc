@@ -1,0 +1,125 @@
+// Tests for parameter curation (section 4.1): the curated selection must
+// have far lower Cout variance than a uniform sample (properties P1/P2).
+#include <gtest/gtest.h>
+
+#include "curation/parameter_curation.h"
+#include "datagen/datagen.h"
+
+namespace snb::curation {
+namespace {
+
+PcTable SyntheticTable() {
+  // 1000 keys with a bimodal |join1| and noisy |join2| — the multimodal
+  // shape of Figure 5a in miniature.
+  PcTable table;
+  std::vector<uint64_t> col1, col2;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    table.keys.push_back(k * 10);  // Non-contiguous keys.
+    uint64_t base = (k % 2 == 0) ? 10 : 1000;  // Bimodal.
+    col1.push_back(base + k % 7);
+    col2.push_back(base * 3 + (k * 13) % 29);
+  }
+  table.columns.push_back(std::move(col1));
+  table.columns.push_back(std::move(col2));
+  return table;
+}
+
+TEST(CurationTest, SelectsRequestedCount) {
+  PcTable table = SyntheticTable();
+  EXPECT_EQ(CurateParameters(table, 20).size(), 20u);
+  EXPECT_EQ(CurateParameters(table, 1).size(), 1u);
+  EXPECT_EQ(CurateParameters(table, 5000).size(), table.num_rows());
+  EXPECT_TRUE(CurateParameters(table, 0).empty());
+  PcTable empty;
+  EXPECT_TRUE(CurateParameters(empty, 10).empty());
+}
+
+TEST(CurationTest, SelectedKeysExistInTable) {
+  PcTable table = SyntheticTable();
+  std::vector<uint64_t> selected = CurateParameters(table, 30);
+  for (uint64_t key : selected) {
+    EXPECT_EQ(key % 10, 0u);
+    EXPECT_LT(key, 10000u);
+  }
+}
+
+TEST(CurationTest, CuratedVarianceFarBelowUniform) {
+  PcTable table = SyntheticTable();
+  std::vector<uint64_t> curated = CurateParameters(table, 30);
+  double curated_var = SelectionCoutVariance(table, curated);
+
+  util::Rng rng(1, 2, util::RandomPurpose::kParameterPick);
+  double uniform_var_total = 0;
+  constexpr int kSamples = 10;
+  for (int s = 0; s < kSamples; ++s) {
+    std::vector<uint64_t> uniform = UniformParameters(table, 30, rng);
+    uniform_var_total += SelectionCoutVariance(table, uniform);
+  }
+  double uniform_var = uniform_var_total / kSamples;
+  // Bimodal domain: uniform picks straddle the modes, curated picks do not.
+  EXPECT_LT(curated_var * 100, uniform_var);
+}
+
+TEST(CurationTest, DeterministicSelection) {
+  PcTable table = SyntheticTable();
+  EXPECT_EQ(CurateParameters(table, 25), CurateParameters(table, 25));
+}
+
+TEST(CurationTest, OnRealDatasetStats) {
+  datagen::DatagenConfig config;
+  config.num_persons = 400;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+
+  PcTable q2 = BuildQuery2Table(ds.stats);
+  EXPECT_EQ(q2.num_rows(), 400u);
+  EXPECT_EQ(q2.num_columns(), 2u);
+
+  std::vector<uint64_t> curated = CurateParameters(q2, 25);
+  ASSERT_EQ(curated.size(), 25u);
+  double curated_var = SelectionCoutVariance(q2, curated);
+
+  util::Rng rng(3, 4, util::RandomPurpose::kParameterPick);
+  double uniform_var = 0;
+  for (int s = 0; s < 10; ++s) {
+    uniform_var += SelectionCoutVariance(q2, UniformParameters(q2, 25, rng));
+  }
+  uniform_var /= 10;
+  // The skewed degree distribution makes uniform sampling high-variance;
+  // curation must reduce it by at least an order of magnitude.
+  EXPECT_LT(curated_var * 10, uniform_var);
+
+  PcTable two_hop = BuildTwoHopTable(ds.stats);
+  std::vector<uint64_t> curated2 = CurateParameters(two_hop, 25);
+  EXPECT_LT(SelectionCoutVariance(two_hop, curated2) * 10,
+            uniform_var);
+}
+
+TEST(CurationTest, TimestampBucketsAreMonths) {
+  EXPECT_EQ(TimestampBucket(util::kNetworkStartMs), 0);
+  EXPECT_EQ(TimestampBucket(util::kNetworkStartMs + util::kMillisPerMonth),
+            1);
+}
+
+TEST(CurationTest, PairCurationPicksSimilarCounts) {
+  // 50 keys x 12 buckets; counts identical inside a band.
+  std::vector<uint64_t> keys;
+  std::vector<std::vector<uint64_t>> counts;
+  for (uint64_t k = 0; k < 50; ++k) {
+    keys.push_back(k);
+    std::vector<uint64_t> row;
+    for (uint64_t b = 0; b < 12; ++b) {
+      row.push_back((k * 12 + b) % 3 == 0 ? 100 : 5000 + k * b);
+    }
+    counts.push_back(std::move(row));
+  }
+  std::vector<CuratedPair> pairs = CuratePairs(keys, counts, 10);
+  ASSERT_EQ(pairs.size(), 10u);
+  // All selected pairs share the low-count band.
+  for (const CuratedPair& p : pairs) {
+    EXPECT_EQ(counts[p.key][p.bucket], 100u);
+  }
+}
+
+}  // namespace
+}  // namespace snb::curation

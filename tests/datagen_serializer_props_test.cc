@@ -1,0 +1,98 @@
+// Additional property checks spanning datagen outputs and examples-facing
+// surfaces: dictionary accessors, config helpers, and trend events.
+#include <gtest/gtest.h>
+
+#include "datagen/activity_generator.h"
+#include "datagen/config.h"
+#include "schema/dictionaries.h"
+#include "util/rng.h"
+
+namespace snb::datagen {
+namespace {
+
+TEST(TrendEventsTest, DeterministicSortedAndInTimeline) {
+  std::vector<TrendEvent> a = MakeTrendEvents(42);
+  std::vector<TrendEvent> b = MakeTrendEvents(42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    EXPECT_DOUBLE_EQ(a[i].magnitude, b[i].magnitude);
+    EXPECT_GE(a[i].time, util::kNetworkStartMs);
+    EXPECT_LT(a[i].time, util::NetworkEndMs());
+    EXPECT_GE(a[i].magnitude, 1.0);
+    if (i > 0) EXPECT_GE(a[i].time, a[i - 1].time);
+  }
+  // Different seeds give different event schedules.
+  std::vector<TrendEvent> c = MakeTrendEvents(43);
+  int same = 0;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].time == c[i].time) ++same;
+  }
+  EXPECT_LT(same, static_cast<int>(a.size() / 4));
+}
+
+TEST(TrendEventsTest, MagnitudesHeavyTailed) {
+  std::vector<TrendEvent> events = MakeTrendEvents(7);
+  double total = 0, max_mag = 0;
+  for (const TrendEvent& e : events) {
+    total += e.magnitude;
+    max_mag = std::max(max_mag, e.magnitude);
+  }
+  // One event carries a disproportionate share of the mass.
+  EXPECT_GT(max_mag, 3.0 * total / static_cast<double>(events.size()));
+}
+
+TEST(ConfigTest, ForScaleFactorMatchesHelper) {
+  DatagenConfig config = DatagenConfig::ForScaleFactor(0.5);
+  EXPECT_EQ(config.num_persons, PersonsForScaleFactor(0.5));
+  EXPECT_EQ(config.num_persons, 3000u);
+  EXPECT_TRUE(config.split_update_stream);
+  EXPECT_TRUE(config.event_driven_posts);
+}
+
+TEST(ConfigTest, TSafeIsPositiveAndBelowUpdateWindow) {
+  EXPECT_GT(kTSafeMs, 0);
+  // Windowed execution needs many windows inside the 4-month stream.
+  EXPECT_LT(kTSafeMs * 10,
+            util::NetworkEndMs() - util::UpdateStreamStartMs());
+}
+
+TEST(DictionaryAccessorsTest, WordAndLanguageSurfaces) {
+  schema::Dictionaries dict(1);
+  ASSERT_GT(dict.word_count(), 0u);
+  EXPECT_FALSE(dict.Word(0).empty());
+  EXPECT_FALSE(dict.Word(dict.word_count() - 1).empty());
+  EXPECT_EQ(dict.languages()[0], "en");
+  for (size_t c = 0; c < dict.countries().size(); ++c) {
+    uint32_t lang = dict.NativeLanguage(static_cast<schema::PlaceId>(c));
+    ASSERT_LT(lang, dict.languages().size());
+    EXPECT_NE(lang, 0u);  // Native language is never plain "en".
+  }
+}
+
+TEST(DictionaryAccessorsTest, BrowserSamplingCoversPool) {
+  schema::Dictionaries dict(1);
+  util::Rng rng(2, 2, util::RandomPurpose::kBrowser);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(dict.SampleBrowser(rng));
+  EXPECT_EQ(seen.size(), dict.browsers().size());
+}
+
+TEST(DictionaryAccessorsTest, GenerateTextRespectsWordBounds) {
+  schema::Dictionaries dict(1);
+  util::Rng rng(3, 3, util::RandomPurpose::kPostText);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = dict.GenerateText(5, 3, 8, rng);
+    int words = 1;
+    for (char c : text) {
+      if (c == ' ') ++words;
+    }
+    EXPECT_GE(words, 3);
+    EXPECT_LE(words, 8);
+  }
+}
+
+}  // namespace
+}  // namespace snb::datagen

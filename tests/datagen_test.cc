@@ -1,0 +1,331 @@
+// End-to-end tests of the DATAGEN pipeline: determinism, correlations,
+// time-ordering invariants and the bulk/update split.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "datagen/degree_model.h"
+#include "util/datetime.h"
+
+namespace snb::datagen {
+namespace {
+
+using schema::Message;
+using schema::MessageKind;
+using schema::Person;
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kPersons = 400;
+
+  static const Dataset& dataset() {
+    static Dataset* ds = [] {
+      DatagenConfig config;
+      config.num_persons = kPersons;
+      config.num_threads = 4;
+      return new Dataset(Generate(config));
+    }();
+    return *ds;
+  }
+};
+
+TEST_F(DatagenTest, GeneratesAllEntityKinds) {
+  const GenerationStats& stats = dataset().stats;
+  EXPECT_EQ(stats.num_persons, kPersons);
+  EXPECT_GT(stats.num_knows, 0u);
+  EXPECT_GT(stats.num_forums, kPersons);  // At least wall+album each.
+  EXPECT_GT(stats.num_memberships, stats.num_forums);
+  EXPECT_GT(stats.num_posts, 0u);
+  EXPECT_GT(stats.num_comments, 0u);
+  EXPECT_GT(stats.num_photos, 0u);
+  EXPECT_GT(stats.num_likes, 0u);
+  EXPECT_GT(stats.csv_bytes, 0u);
+}
+
+TEST_F(DatagenTest, DeterministicAcrossThreadCounts) {
+  DatagenConfig config;
+  config.num_persons = 150;
+  config.num_threads = 1;
+  Dataset single = Generate(config);
+  config.num_threads = 7;
+  Dataset multi = Generate(config);
+
+  ASSERT_EQ(single.bulk.persons.size(), multi.bulk.persons.size());
+  for (size_t i = 0; i < single.bulk.persons.size(); ++i) {
+    EXPECT_EQ(single.bulk.persons[i].id, multi.bulk.persons[i].id);
+    EXPECT_EQ(single.bulk.persons[i].first_name,
+              multi.bulk.persons[i].first_name);
+    EXPECT_EQ(single.bulk.persons[i].creation_date,
+              multi.bulk.persons[i].creation_date);
+  }
+  ASSERT_EQ(single.bulk.knows.size(), multi.bulk.knows.size());
+  for (size_t i = 0; i < single.bulk.knows.size(); ++i) {
+    EXPECT_EQ(single.bulk.knows[i].person1_id, multi.bulk.knows[i].person1_id);
+    EXPECT_EQ(single.bulk.knows[i].person2_id, multi.bulk.knows[i].person2_id);
+  }
+  ASSERT_EQ(single.bulk.messages.size(), multi.bulk.messages.size());
+  for (size_t i = 0; i < single.bulk.messages.size(); ++i) {
+    EXPECT_EQ(single.bulk.messages[i].id, multi.bulk.messages[i].id);
+    EXPECT_EQ(single.bulk.messages[i].creator_id,
+              multi.bulk.messages[i].creator_id);
+    EXPECT_EQ(single.bulk.messages[i].content,
+              multi.bulk.messages[i].content);
+  }
+  EXPECT_EQ(single.updates.size(), multi.updates.size());
+}
+
+TEST_F(DatagenTest, FriendshipDegreeNearTarget) {
+  const GenerationStats& stats = dataset().stats;
+  double avg = 2.0 * static_cast<double>(stats.num_knows) /
+               static_cast<double>(stats.num_persons);
+  double target = DegreeModel::AverageDegreeFormula(kPersons);
+  // The sliding-window process loses some proposals at range boundaries and
+  // to dedup; accept a generous band around the formula value.
+  EXPECT_GT(avg, target * 0.5);
+  EXPECT_LT(avg, target * 1.5);
+}
+
+TEST_F(DatagenTest, FriendshipsAreNormalizedAndUnique) {
+  std::unordered_set<uint64_t> seen;
+  auto all_knows = dataset().bulk.knows;
+  for (const UpdateOperation& op : dataset().updates) {
+    if (op.kind == UpdateKind::kAddFriendship) {
+      all_knows.push_back(std::get<schema::Knows>(op.payload));
+    }
+  }
+  for (const schema::Knows& k : all_knows) {
+    EXPECT_LT(k.person1_id, k.person2_id);
+    uint64_t key = k.person1_id * 1000000 + k.person2_id;
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate edge";
+  }
+}
+
+TEST_F(DatagenTest, HomophilyFriendsShareCountryMoreThanRandom) {
+  // Structure correlation (section 2.3): friends share study location /
+  // interests far more often than random pairs would.
+  const auto& persons = dataset().bulk.persons;
+  std::unordered_map<uint64_t, const Person*> by_id;
+  for (const Person& p : persons) by_id[p.id] = &p;
+  schema::Dictionaries dict(dataset().config.seed);
+
+  auto country_of = [&](const Person& p) {
+    return dict.CountryOfCity(p.city_id);
+  };
+
+  uint64_t same = 0, total = 0;
+  for (const schema::Knows& k : dataset().bulk.knows) {
+    auto it1 = by_id.find(k.person1_id);
+    auto it2 = by_id.find(k.person2_id);
+    if (it1 == by_id.end() || it2 == by_id.end()) continue;
+    ++total;
+    if (country_of(*it1->second) == country_of(*it2->second)) ++same;
+  }
+  ASSERT_GT(total, 0u);
+  double friend_same = static_cast<double>(same) / total;
+
+  // Baseline: random pairs.
+  uint64_t base_same = 0, base_total = 0;
+  for (size_t i = 0; i + 1 < persons.size(); i += 2) {
+    ++base_total;
+    if (country_of(persons[i]) == country_of(persons[i + 1])) ++base_same;
+  }
+  double random_same = static_cast<double>(base_same) / base_total;
+  EXPECT_GT(friend_same, random_same * 1.5);
+}
+
+TEST_F(DatagenTest, TimeCorrelationsHold) {
+  // Table 1 bottom rows: logical event order.
+  const auto& bulk = dataset().bulk;
+  std::unordered_map<uint64_t, util::TimestampMs> person_created;
+  for (const Person& p : bulk.persons) {
+    EXPECT_LT(p.birthday, p.creation_date);
+    person_created[p.id] = p.creation_date;
+  }
+  std::unordered_map<uint64_t, util::TimestampMs> forum_created;
+  for (const schema::Forum& f : bulk.forums) {
+    auto it = person_created.find(f.moderator_id);
+    ASSERT_NE(it, person_created.end());
+    EXPECT_GT(f.creation_date, it->second);
+    forum_created[f.id] = f.creation_date;
+  }
+  for (const schema::ForumMembership& fm : bulk.memberships) {
+    EXPECT_GE(fm.join_date, forum_created[fm.forum_id]);
+    EXPECT_GT(fm.join_date, person_created[fm.person_id]);
+  }
+  std::unordered_map<uint64_t, const Message*> messages;
+  for (const Message& m : bulk.messages) messages[m.id] = &m;
+  for (const Message& m : bulk.messages) {
+    EXPECT_GT(m.creation_date, person_created[m.creator_id]);
+    if (m.kind == MessageKind::kComment) {
+      auto parent = messages.find(m.reply_to_id);
+      ASSERT_NE(parent, messages.end());
+      EXPECT_GT(m.creation_date, parent->second->creation_date);
+    }
+  }
+  for (const schema::Like& l : bulk.likes) {
+    auto target = messages.find(l.message_id);
+    ASSERT_NE(target, messages.end());
+    EXPECT_GT(l.creation_date, target->second->creation_date);
+  }
+}
+
+TEST_F(DatagenTest, MessageIdsIncreaseWithTime) {
+  // Section 3 (RDF URI locality): ids are assigned in creation-time order.
+  util::TimestampMs last = 0;
+  schema::MessageId last_id = 0;
+  bool first = true;
+  for (const Message& m : dataset().bulk.messages) {
+    if (!first) {
+      EXPECT_GT(m.id, last_id);
+      EXPECT_GE(m.creation_date, last);
+    }
+    last = m.creation_date;
+    last_id = m.id;
+    first = false;
+  }
+}
+
+TEST_F(DatagenTest, SplitRespectsTimestamp) {
+  util::TimestampMs split = util::UpdateStreamStartMs();
+  for (const Person& p : dataset().bulk.persons) {
+    EXPECT_LT(p.creation_date, split);
+  }
+  for (const Message& m : dataset().bulk.messages) {
+    EXPECT_LT(m.creation_date, split);
+  }
+  util::TimestampMs last_due = 0;
+  for (const UpdateOperation& op : dataset().updates) {
+    EXPECT_GE(op.due_time, split);
+    EXPECT_GE(op.due_time, last_due) << "updates must be time-ordered";
+    last_due = op.due_time;
+  }
+  EXPECT_GT(dataset().updates.size(), 0u);
+}
+
+TEST_F(DatagenTest, UpdateDependenciesPrecedeDueTimes) {
+  // T_SAFE: every dependent operation is due at least kTSafeMs after its
+  // dependency completed — except comment/like chains, which the driver
+  // runs in per-forum sequential mode.
+  for (const UpdateOperation& op : dataset().updates) {
+    EXPECT_LT(op.dependency_time, op.due_time);
+    switch (op.kind) {
+      case UpdateKind::kAddPerson:
+        EXPECT_EQ(op.dependency_time, 0);
+        break;
+      case UpdateKind::kAddFriendship:
+      case UpdateKind::kAddForum:
+      case UpdateKind::kAddForumMembership:
+        EXPECT_GE(op.due_time - op.dependency_time, kTSafeMs);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST_F(DatagenTest, UpdateStreamContainsAllKinds) {
+  std::map<UpdateKind, int> counts;
+  for (const UpdateOperation& op : dataset().updates) ++counts[op.kind];
+  EXPECT_GT(counts[UpdateKind::kAddPost], 0);
+  EXPECT_GT(counts[UpdateKind::kAddComment], 0);
+  EXPECT_GT(counts[UpdateKind::kAddFriendship], 0);
+  EXPECT_GT(counts[UpdateKind::kAddForumMembership], 0);
+  EXPECT_GT(counts[UpdateKind::kAddLikePost] +
+                counts[UpdateKind::kAddLikeComment],
+            0);
+}
+
+TEST_F(DatagenTest, EventDrivenPostsSpike) {
+  // Figure 2a: with event-driven generation the monthly post volume has
+  // spikes; with uniform generation it is flat. Compare dispersion.
+  DatagenConfig config;
+  config.num_persons = 300;
+  config.event_driven_posts = true;
+  config.split_update_stream = false;
+  Dataset spiky = Generate(config);
+  config.event_driven_posts = false;
+  Dataset flat = Generate(config);
+
+  // Compare on the mature part of the timeline (months 18..35), where the
+  // network ramp-up no longer dominates the monthly series.
+  auto dispersion = [](const GenerationStats& stats) {
+    constexpr int kFrom = 18;
+    double mean = 0;
+    int n = 0;
+    for (int m = kFrom; m < util::kSimulationMonths; ++m) {
+      mean += stats.posts_per_month[m];
+      ++n;
+    }
+    mean /= n;
+    double var = 0;
+    for (int m = kFrom; m < util::kSimulationMonths; ++m) {
+      double d = static_cast<double>(stats.posts_per_month[m]) - mean;
+      var += d * d;
+    }
+    var /= n;
+    return var / mean;  // Index of dispersion.
+  };
+  EXPECT_GT(dispersion(spiky.stats), 2.0 * dispersion(flat.stats));
+}
+
+TEST_F(DatagenTest, PostTopicsFollowCreatorInterests) {
+  // Table 1: person.interests -> person.forum.post.topic. Event-driven posts
+  // may use any trending tag, so require a strong majority, not totality.
+  const auto& bulk = dataset().bulk;
+  std::unordered_map<uint64_t, const Person*> by_id;
+  for (const Person& p : bulk.persons) by_id[p.id] = &p;
+  uint64_t match = 0, total = 0;
+  for (const Message& m : bulk.messages) {
+    if (m.kind != MessageKind::kPost || m.tags.empty()) continue;
+    auto it = by_id.find(m.creator_id);
+    if (it == by_id.end()) continue;
+    ++total;
+    const Person& p = *it->second;
+    if (std::find(p.interests.begin(), p.interests.end(), m.tags[0]) !=
+        p.interests.end()) {
+      ++match;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(match) / total, 0.6);
+}
+
+TEST_F(DatagenTest, TwoHopDistributionIsMultimodalWide) {
+  // Figure 5a: the 2-hop neighbourhood size varies a lot across persons.
+  const GenerationStats& stats = dataset().stats;
+  uint32_t min = ~0u, max = 0;
+  for (uint32_t c : stats.two_hop_count) {
+    min = std::min(min, c);
+    max = std::max(max, c);
+  }
+  EXPECT_GT(max, 4 * std::max(min, 1u));
+}
+
+TEST_F(DatagenTest, StatsCountsMatchData) {
+  const Dataset& ds = dataset();
+  uint64_t messages = ds.bulk.messages.size();
+  for (const UpdateOperation& op : ds.updates) {
+    if (op.kind == UpdateKind::kAddPost || op.kind == UpdateKind::kAddComment) {
+      ++messages;
+    }
+  }
+  EXPECT_EQ(ds.stats.NumMessages(), messages);
+  uint64_t knows = ds.bulk.knows.size();
+  for (const UpdateOperation& op : ds.updates) {
+    if (op.kind == UpdateKind::kAddFriendship) ++knows;
+  }
+  EXPECT_EQ(ds.stats.num_knows, knows);
+}
+
+TEST_F(DatagenTest, ScaleFactorHelper) {
+  EXPECT_EQ(PersonsForScaleFactor(30), 180000u);   // Table 3 anchor.
+  EXPECT_EQ(PersonsForScaleFactor(1), 6000u);
+  EXPECT_EQ(PersonsForScaleFactor(0.0001), 50u);   // Floor.
+}
+
+}  // namespace
+}  // namespace snb::datagen

@@ -1,0 +1,72 @@
+// Tests for the discretized Facebook degree model (section 2.3, Figure 2b).
+#include <gtest/gtest.h>
+
+#include "datagen/degree_model.h"
+
+namespace snb::datagen {
+namespace {
+
+TEST(DegreeModelTest, FormulaMatchesPaperAnchor) {
+  // Paper: at Facebook scale (700M persons) the average degree is ~200.
+  double avg = DegreeModel::AverageDegreeFormula(700000000ULL);
+  EXPECT_NEAR(avg, 200.0, 25.0);
+}
+
+TEST(DegreeModelTest, FormulaShrinksWithNetwork) {
+  // Smaller networks get (somewhat) lower average degree.
+  EXPECT_LT(DegreeModel::AverageDegreeFormula(1000),
+            DegreeModel::AverageDegreeFormula(100000));
+  EXPECT_LT(DegreeModel::AverageDegreeFormula(100000),
+            DegreeModel::AverageDegreeFormula(10000000));
+}
+
+TEST(DegreeModelTest, PercentileCurveIsMonotone) {
+  DegreeModel model(10000);
+  for (int p = 1; p < DegreeModel::kPercentiles; ++p) {
+    EXPECT_GE(model.ReferenceMaxDegree(p), model.ReferenceMaxDegree(p - 1));
+  }
+  // Figure 2b spans roughly 10..5000.
+  EXPECT_LE(model.ReferenceMaxDegree(0), 20u);
+  EXPECT_GE(model.ReferenceMaxDegree(DegreeModel::kPercentiles - 1), 1000u);
+}
+
+TEST(DegreeModelTest, TargetDegreeDeterministic) {
+  DegreeModel model(5000);
+  for (schema::PersonId id = 0; id < 100; ++id) {
+    EXPECT_EQ(model.TargetDegree(7, id), model.TargetDegree(7, id));
+  }
+}
+
+TEST(DegreeModelTest, MeanTargetNearFormula) {
+  constexpr uint64_t kPersons = 20000;
+  DegreeModel model(kPersons);
+  double sum = 0;
+  for (schema::PersonId id = 0; id < kPersons; ++id) {
+    sum += model.TargetDegree(3, id);
+  }
+  double mean = sum / kPersons;
+  double target = DegreeModel::AverageDegreeFormula(kPersons);
+  EXPECT_NEAR(mean, target, target * 0.15);
+}
+
+TEST(DegreeModelTest, DegreesAreSkewed) {
+  constexpr uint64_t kPersons = 20000;
+  DegreeModel model(kPersons);
+  uint32_t max_degree = 0;
+  for (schema::PersonId id = 0; id < kPersons; ++id) {
+    max_degree = std::max(max_degree, model.TargetDegree(3, id));
+  }
+  double avg = DegreeModel::AverageDegreeFormula(kPersons);
+  // Power-law: max degree far above the mean.
+  EXPECT_GT(max_degree, avg * 5);
+}
+
+TEST(DegreeModelTest, MinimumDegreeIsOne) {
+  DegreeModel model(100);
+  for (schema::PersonId id = 0; id < 100; ++id) {
+    EXPECT_GE(model.TargetDegree(1, id), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace snb::datagen

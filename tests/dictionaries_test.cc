@@ -1,0 +1,258 @@
+// Tests for the correlated dictionaries (section 2.1 of the paper).
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "schema/dictionaries.h"
+#include "util/rng.h"
+
+namespace snb::schema {
+namespace {
+
+using util::RandomPurpose;
+using util::Rng;
+
+class DictionariesTest : public ::testing::Test {
+ protected:
+  Dictionaries dict_{42};
+
+  PlaceId CountryIdByName(const std::string& name) {
+    for (size_t i = 0; i < dict_.countries().size(); ++i) {
+      if (dict_.countries()[i].name == name) return static_cast<PlaceId>(i);
+    }
+    ADD_FAILURE() << "country not found: " << name;
+    return 0;
+  }
+
+  // Top-k first names for a country by sampled frequency.
+  std::vector<std::string> TopFirstNames(PlaceId country, uint8_t gender,
+                                         int k, int draws = 20000) {
+    std::map<size_t, int> counts;
+    Rng rng(7, country * 2 + gender, RandomPurpose::kFirstName);
+    for (int i = 0; i < draws; ++i) {
+      ++counts[dict_.SampleFirstNameIndex(country, gender, rng)];
+    }
+    std::vector<std::pair<int, size_t>> ranked;
+    for (auto& [idx, c] : counts) ranked.push_back({c, idx});
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::vector<std::string> names;
+    for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i) {
+      names.push_back(dict_.FirstName(ranked[i].second));
+    }
+    return names;
+  }
+};
+
+TEST_F(DictionariesTest, HasExpectedCardinalities) {
+  EXPECT_EQ(dict_.countries().size(), 30u);
+  EXPECT_EQ(dict_.cities().size(), 120u);        // 4 per country.
+  EXPECT_EQ(dict_.universities().size(), 240u);  // 2 per city.
+  EXPECT_EQ(dict_.companies().size(), 240u);     // 8 per country.
+  EXPECT_EQ(dict_.tag_classes().size(), 16u);
+  EXPECT_EQ(dict_.tags().size(), 640u);  // 40 per class.
+  EXPECT_EQ(dict_.first_name_count(), 400u);
+  EXPECT_EQ(dict_.last_name_count(), 400u);
+  EXPECT_GT(dict_.word_count(), 1000u);
+  // Languages: en + one per country.
+  EXPECT_EQ(dict_.languages().size(), 31u);
+}
+
+TEST_F(DictionariesTest, DeterministicAcrossInstances) {
+  Dictionaries other(42);
+  ASSERT_EQ(dict_.cities().size(), other.cities().size());
+  for (size_t i = 0; i < dict_.cities().size(); ++i) {
+    EXPECT_EQ(dict_.cities()[i].name, other.cities()[i].name);
+  }
+  Rng a(1, 2, RandomPurpose::kInterests);
+  Rng b(1, 2, RandomPurpose::kInterests);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict_.SampleInterestTag(3, a), other.SampleInterestTag(3, b));
+  }
+}
+
+// Table 2 of the paper: top-10 German male names vs top-10 Chinese names
+// must be the curated, disjoint lists.
+TEST_F(DictionariesTest, Table2TypicalNamesGermanyVsChina) {
+  PlaceId germany = CountryIdByName("Germany");
+  PlaceId china = CountryIdByName("China");
+  std::vector<std::string> german = TopFirstNames(germany, 0, 10);
+  std::vector<std::string> chinese = TopFirstNames(china, 0, 10);
+
+  // The most frequent German male name is one of the curated top names.
+  std::vector<std::string> curated_german = {
+      "Karl",  "Hans", "Wolfgang", "Fritz", "Rudolf",
+      "Walter", "Franz", "Paul",   "Otto",  "Wilhelm"};
+  std::vector<std::string> curated_chinese = {
+      "Yang", "Chen", "Wei", "Lei", "Jun",
+      "Jie",  "Li",   "Hao", "Lin", "Peng"};
+  int german_hits = 0, chinese_hits = 0;
+  for (const std::string& n : german) {
+    if (std::find(curated_german.begin(), curated_german.end(), n) !=
+        curated_german.end()) {
+      ++german_hits;
+    }
+  }
+  for (const std::string& n : chinese) {
+    if (std::find(curated_chinese.begin(), curated_chinese.end(), n) !=
+        curated_chinese.end()) {
+      ++chinese_hits;
+    }
+  }
+  EXPECT_GE(german_hits, 8);
+  EXPECT_GE(chinese_hits, 8);
+
+  // The two top-10 lists are (near) disjoint: names are typical per country.
+  int overlap = 0;
+  for (const std::string& n : german) {
+    if (std::find(chinese.begin(), chinese.end(), n) != chinese.end()) {
+      ++overlap;
+    }
+  }
+  EXPECT_LE(overlap, 1);
+}
+
+TEST_F(DictionariesTest, NameDistributionIsSkewed) {
+  PlaceId germany = CountryIdByName("Germany");
+  Rng rng(9, 1, RandomPurpose::kFirstName);
+  std::map<size_t, int> counts;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[dict_.SampleFirstNameIndex(germany, 0, rng)];
+  }
+  // Top value takes a large share; distribution far from uniform.
+  int max_count = 0;
+  for (auto& [_, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, kDraws / 10);
+  EXPECT_LT(counts.size(), dict_.first_name_count());
+}
+
+TEST_F(DictionariesTest, UniversityMostlyLocal) {
+  PlaceId germany = CountryIdByName("Germany");
+  Rng rng(11, 1, RandomPurpose::kUniversity);
+  int local = 0, total = 0, none = 0;
+  for (int i = 0; i < 5000; ++i) {
+    OrganizationId uni = dict_.SampleUniversity(germany, rng);
+    if (uni == kInvalidId32) {
+      ++none;
+      continue;
+    }
+    ++total;
+    PlaceId city = dict_.universities()[uni].city_id;
+    if (dict_.CountryOfCity(city) == germany) ++local;
+  }
+  EXPECT_GT(total, 0);
+  // ~80% have a university; of those, ~90% local.
+  EXPECT_NEAR(static_cast<double>(none) / 5000.0, 0.2, 0.05);
+  EXPECT_GT(static_cast<double>(local) / total, 0.85);
+}
+
+TEST_F(DictionariesTest, CompanyMostlyInCountry) {
+  PlaceId japan = CountryIdByName("Japan");
+  Rng rng(13, 1, RandomPurpose::kCompany);
+  int local = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    OrganizationId company = dict_.SampleCompany(japan, rng);
+    if (company == kInvalidId32) continue;
+    ++total;
+    if (dict_.companies()[company].country_id == japan) ++local;
+  }
+  EXPECT_GT(static_cast<double>(local) / total, 0.75);
+}
+
+TEST_F(DictionariesTest, CountrySamplingFollowsPopulation) {
+  Rng rng(15, 1, RandomPurpose::kLocation);
+  std::vector<int> counts(dict_.countries().size(), 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[dict_.SampleCountry(rng)];
+  // China (weight 1400) must dominate Netherlands (weight 17).
+  PlaceId china = CountryIdByName("China");
+  PlaceId netherlands = CountryIdByName("Netherlands");
+  EXPECT_GT(counts[china], counts[netherlands] * 20);
+}
+
+TEST_F(DictionariesTest, InterestTagsDifferByCountry) {
+  PlaceId brazil = CountryIdByName("Brazil");
+  PlaceId india = CountryIdByName("India");
+  Rng rng_b(17, 1, RandomPurpose::kInterests);
+  Rng rng_i(17, 2, RandomPurpose::kInterests);
+  std::map<TagId, int> top_b, top_i;
+  for (int i = 0; i < 10000; ++i) {
+    ++top_b[dict_.SampleInterestTag(brazil, rng_b)];
+    ++top_i[dict_.SampleInterestTag(india, rng_i)];
+  }
+  auto top_tag = [](const std::map<TagId, int>& counts) {
+    TagId best = 0;
+    int best_count = -1;
+    for (auto& [tag, c] : counts) {
+      if (c > best_count) {
+        best = tag;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(top_tag(top_b), top_tag(top_i));
+}
+
+TEST_F(DictionariesTest, LanguagesStartWithNative) {
+  PlaceId france = CountryIdByName("France");
+  Rng rng(19, 1, RandomPurpose::kLanguages);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint32_t> langs = dict_.SampleLanguages(france, rng);
+    ASSERT_FALSE(langs.empty());
+    EXPECT_EQ(langs[0], dict_.NativeLanguage(france));
+  }
+}
+
+TEST_F(DictionariesTest, TextCorrelatesWithTopic) {
+  // Texts about the same topic share vocabulary; different topics mostly
+  // don't (the word-rank permutation is keyed by topic).
+  Rng rng(21, 1, RandomPurpose::kPostText);
+  auto words_of = [&](TagId topic) {
+    std::map<std::string, int> counts;
+    for (int i = 0; i < 50; ++i) {
+      std::string text = dict_.GenerateText(topic, 20, 30, rng);
+      size_t pos = 0;
+      while (pos < text.size()) {
+        size_t space = text.find(' ', pos);
+        if (space == std::string::npos) space = text.size();
+        ++counts[text.substr(pos, space - pos)];
+        pos = space + 1;
+      }
+    }
+    return counts;
+  };
+  std::map<std::string, int> topic_a = words_of(5);
+  std::map<std::string, int> topic_a2 = words_of(5);
+  std::map<std::string, int> topic_b = words_of(300);
+
+  auto top_word = [](const std::map<std::string, int>& counts) {
+    std::string best;
+    int best_count = -1;
+    for (auto& [w, c] : counts) {
+      if (c > best_count) {
+        best = w;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(top_word(topic_a), top_word(topic_a2));
+  EXPECT_NE(top_word(topic_a), top_word(topic_b));
+}
+
+TEST_F(DictionariesTest, CitiesBelongToTheirCountry) {
+  for (size_t ci = 0; ci < dict_.countries().size(); ++ci) {
+    for (PlaceId city : dict_.countries()[ci].cities) {
+      EXPECT_EQ(dict_.cities()[city].country_id, static_cast<PlaceId>(ci));
+      // City coordinates near country centroid.
+      EXPECT_NEAR(dict_.cities()[city].latitude,
+                  dict_.countries()[ci].latitude, 4.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snb::schema

@@ -1,0 +1,220 @@
+// End-to-end driver tests: all execution modes must replay the update
+// stream with zero dependency violations, and the full mix must run reads
+// concurrently with updates.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "driver/driver.h"
+#include "driver/query_mix.h"
+#include "queries/complex_queries.h"
+
+namespace snb::driver {
+namespace {
+
+class DriverTest : public ::testing::Test {
+ protected:
+  struct World {
+    datagen::Dataset dataset;
+    std::unique_ptr<schema::Dictionaries> dict;
+  };
+
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World();
+      datagen::DatagenConfig config;
+      config.num_persons = 250;
+      world->dataset = datagen::Generate(config);
+      world->dict = std::make_unique<schema::Dictionaries>(config.seed);
+      return world;
+    }();
+    return *w;
+  }
+
+  static Workload UpdateOnlyWorkload() {
+    QueryMixConfig mix;
+    mix.include_complex_reads = false;
+    return BuildWorkload(world().dataset, *world().dict, mix);
+  }
+};
+
+TEST_F(DriverTest, WorkloadIsDueTimeSorted) {
+  Workload workload = UpdateOnlyWorkload();
+  ASSERT_GT(workload.operations.size(), 0u);
+  for (size_t i = 1; i < workload.operations.size(); ++i) {
+    EXPECT_GE(workload.operations[i].due_time,
+              workload.operations[i - 1].due_time);
+  }
+  EXPECT_EQ(workload.num_updates, world().dataset.updates.size());
+}
+
+// The core correctness property: replaying the update stream through the
+// driver in ANY mode with ANY parallelism must produce zero dependency
+// violations (the store rejects an op whose dependencies are missing).
+class DriverModeTest
+    : public DriverTest,
+      public ::testing::WithParamInterface<std::tuple<ExecutionMode, int>> {};
+
+TEST_P(DriverModeTest, ReplaysUpdateStreamWithoutViolations) {
+  auto [mode, partitions] = GetParam();
+  Workload workload = UpdateOnlyWorkload();
+
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(world().dataset.bulk).ok());
+  util::LatencyRecorder latencies;
+  StoreConnector connector(&store, &world().dataset.updates, world().dict.get(),
+                           &latencies);
+
+  DriverConfig config;
+  config.mode = mode;
+  config.num_partitions = partitions;
+  DriverReport report =
+      RunWorkload(workload.operations, connector, config);
+
+  EXPECT_EQ(report.operations_executed, workload.operations.size());
+  EXPECT_EQ(report.operations_failed, 0u) << report.first_error;
+  // The final store state matches the full dataset.
+  EXPECT_EQ(store.NumPersons(), world().dataset.stats.num_persons);
+  EXPECT_EQ(store.NumKnowsEdges(), world().dataset.stats.num_knows);
+  EXPECT_EQ(store.NumMessages(), world().dataset.stats.NumMessages());
+  EXPECT_EQ(store.NumLikes(), world().dataset.stats.num_likes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DriverModeTest,
+    ::testing::Combine(
+        ::testing::Values(ExecutionMode::kSequentialForum,
+                          ExecutionMode::kParallelGct,
+                          ExecutionMode::kWindowed),
+        ::testing::Values(1, 4, 8)),
+    [](const auto& info) {
+      const char* mode = "Unknown";
+      switch (std::get<0>(info.param)) {
+        case ExecutionMode::kSequentialForum:
+          mode = "SequentialForum";
+          break;
+        case ExecutionMode::kParallelGct:
+          mode = "ParallelGct";
+          break;
+        case ExecutionMode::kWindowed:
+          mode = "Windowed";
+          break;
+      }
+      return std::string(mode) + "P" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_F(DriverTest, FullMixRunsReadsAndWalk) {
+  QueryMixConfig mix;
+  // Small frequencies so a mini stream still gets reads of every type.
+  for (auto& f : mix.frequencies) f = std::max<uint32_t>(1, f / 40);
+  Workload workload = BuildWorkload(world().dataset, *world().dict, mix);
+  EXPECT_GT(workload.num_complex_reads, 0u);
+
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(world().dataset.bulk).ok());
+  util::LatencyRecorder latencies;
+  StoreConnector connector(&store, &world().dataset.updates, world().dict.get(),
+                           &latencies);
+  DriverConfig config;
+  config.num_partitions = 4;
+  DriverReport report = RunWorkload(workload.operations, connector, config);
+
+  EXPECT_EQ(report.operations_failed, 0u) << report.first_error;
+  // Complex reads of several types ran.
+  int complex_types = 0;
+  for (const std::string& op : latencies.Operations()) {
+    if (op.rfind("complex.", 0) == 0) ++complex_types;
+  }
+  EXPECT_GE(complex_types, 10);
+  // The random walk spawned short reads.
+  EXPECT_GT(connector.short_reads_executed(), 0u);
+  double short_micros = latencies.TotalMicrosWithPrefix("short.");
+  EXPECT_GT(short_micros, 0.0);
+}
+
+TEST_F(DriverTest, ThrottledRunSustainsAcceleration) {
+  // Replay a slice at a pace that is easy to sustain and check the
+  // sustained flag plus rough wall-clock agreement.
+  Workload workload = UpdateOnlyWorkload();
+  size_t slice = std::min<size_t>(workload.operations.size(), 400);
+  std::vector<Operation> ops(workload.operations.begin(),
+                             workload.operations.begin() + slice);
+
+  SleepingConnector connector(0);
+  DriverConfig config;
+  config.num_partitions = 4;
+  util::TimestampMs span = ops.back().due_time - ops.front().due_time;
+  // Target ~200ms of real time for the slice.
+  config.acceleration = static_cast<double>(span) / 200.0;
+  DriverReport report = RunWorkload(ops, connector, config);
+  EXPECT_TRUE(report.sustained) << report.max_schedule_lag_ms;
+  EXPECT_GT(report.elapsed_seconds, 0.15);
+  EXPECT_EQ(report.operations_failed, 0u);
+}
+
+TEST_F(DriverTest, SleepingConnectorScalesWithPartitions) {
+  // Table 5 in miniature: more partitions -> more ops/sec with a fixed
+  // per-op sleep.
+  Workload workload = UpdateOnlyWorkload();
+  size_t slice = std::min<size_t>(workload.operations.size(), 2000);
+  std::vector<Operation> ops(workload.operations.begin(),
+                             workload.operations.begin() + slice);
+
+  auto run = [&](uint32_t partitions) {
+    SleepingConnector connector(500);  // 0.5 ms.
+    DriverConfig config;
+    config.num_partitions = partitions;
+    DriverReport report = RunWorkload(ops, connector, config);
+    EXPECT_EQ(report.operations_failed, 0u);
+    return report.ops_per_second;
+  };
+  double one = run(1);
+  double four = run(4);
+  EXPECT_GT(four, one * 2.0);
+}
+
+TEST_F(DriverTest, FrequencyLogScaleGrows) {
+  EXPECT_NEAR(FrequencyLogScale(datagen::PersonsForScaleFactor(1.0)), 1.0,
+              1e-9);
+  EXPECT_GT(FrequencyLogScale(datagen::PersonsForScaleFactor(300)), 1.0);
+  EXPECT_LT(FrequencyLogScale(60), 1.0);
+}
+
+TEST_F(DriverTest, CalibrateMixEqualizesCpuShares) {
+  // Queries with 10x cost differences must get 10x lower frequencies.
+  std::array<double, 14> costs{};
+  for (int q = 0; q < 14; ++q) costs[q] = 100.0;
+  costs[5] = 1000.0;  // Q6 is 10x heavier.
+  costs[7] = 50.0;    // Q8 is 2x lighter.
+  MixCalibration cal = CalibrateMix(costs, 1000000, 50.0, 5.0);
+  EXPECT_GT(cal.frequencies[5], cal.frequencies[0] * 5);
+  EXPECT_LT(cal.frequencies[7] * 3, cal.frequencies[0] * 2);
+  // Equal CPU per query: instances * cost equal across queries (within
+  // integer rounding).
+  double budget0 = 100000.0 / cal.frequencies[0] * costs[0];
+  double budget5 = 100000.0 / cal.frequencies[5] * costs[5];
+  EXPECT_NEAR(budget5 / budget0, 1.0, 0.25);
+  // Walk fills the short-read share.
+  EXPECT_GT(cal.expected_walk_length, 0.0);
+  EXPECT_GT(cal.short_read_initial_probability, 0.0);
+}
+
+TEST_F(DriverTest, CalibrateMixShortWalkScalesWithShortShare) {
+  std::array<double, 14> costs{};
+  for (int q = 0; q < 14; ++q) costs[q] = 100.0;
+  MixCalibration narrow = CalibrateMix(costs, 10000, 50.0, 5.0, 0.3, 0.6);
+  MixCalibration wide = CalibrateMix(costs, 10000, 50.0, 5.0, 0.1, 0.5);
+  // 40% short share needs a longer walk than 10%.
+  EXPECT_GT(wide.expected_walk_length, narrow.expected_walk_length);
+}
+
+TEST_F(DriverTest, EmptyWorkloadIsNoOp) {
+  SleepingConnector connector(0);
+  DriverConfig config;
+  DriverReport report = RunWorkload({}, connector, config);
+  EXPECT_EQ(report.operations_executed, 0u);
+}
+
+}  // namespace
+}  // namespace snb::driver

@@ -1,0 +1,277 @@
+// Tests for the transactional graph store.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/update_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::store {
+namespace {
+
+using schema::Forum;
+using schema::ForumMembership;
+using schema::Knows;
+using schema::Like;
+using schema::Message;
+using schema::MessageKind;
+using schema::Person;
+using util::StatusCode;
+
+Person MakePerson(schema::PersonId id) {
+  Person p;
+  p.id = id;
+  p.first_name = "First" + std::to_string(id);
+  p.last_name = "Last" + std::to_string(id);
+  p.creation_date = 1000 + static_cast<int64_t>(id);
+  return p;
+}
+
+Forum MakeForum(schema::ForumId id, schema::PersonId moderator) {
+  Forum f;
+  f.id = id;
+  f.title = "Forum" + std::to_string(id);
+  f.moderator_id = moderator;
+  f.creation_date = 2000;
+  return f;
+}
+
+Message MakePost(schema::MessageId id, schema::PersonId creator,
+                 schema::ForumId forum, util::TimestampMs date = 3000) {
+  Message m;
+  m.id = id;
+  m.kind = MessageKind::kPost;
+  m.creator_id = creator;
+  m.forum_id = forum;
+  m.root_post_id = id;
+  m.creation_date = date;
+  m.content = "hello world";
+  return m;
+}
+
+TEST(GraphStoreTest, AddAndFindPerson) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  auto lock = store.ReadLock();
+  const PersonRecord* p = store.FindPerson(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->data.first_name, "First1");
+  EXPECT_EQ(store.FindPerson(2), nullptr);
+}
+
+TEST(GraphStoreTest, DuplicatePersonRejected) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  EXPECT_EQ(store.AddPerson(MakePerson(1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GraphStoreTest, FriendshipRequiresBothEndpoints) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  Knows k{1, 2, 5000};
+  EXPECT_EQ(store.AddFriendship(k).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.AddPerson(MakePerson(2)).ok());
+  EXPECT_TRUE(store.AddFriendship(k).ok());
+  auto lock = store.ReadLock();
+  EXPECT_TRUE(store.AreFriends(1, 2));
+  EXPECT_TRUE(store.AreFriends(2, 1));
+  EXPECT_FALSE(store.AreFriends(1, 3));
+  EXPECT_EQ(store.NumKnowsEdges(), 1u);
+}
+
+TEST(GraphStoreTest, FriendListsStaySorted) {
+  GraphStore store;
+  for (schema::PersonId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(store.AddPerson(MakePerson(id)).ok());
+  }
+  // Insert in scrambled order.
+  for (schema::PersonId other : {7, 2, 9, 1, 4}) {
+    ASSERT_TRUE(store.AddFriendship({0, other, 100}).ok());
+  }
+  auto lock = store.ReadLock();
+  const PersonRecord* p = store.FindPerson(0);
+  ASSERT_NE(p, nullptr);
+  for (size_t i = 1; i < p->friends.size(); ++i) {
+    EXPECT_LT(p->friends[i - 1].other, p->friends[i].other);
+  }
+}
+
+TEST(GraphStoreTest, ForumRequiresModerator) {
+  GraphStore store;
+  EXPECT_EQ(store.AddForum(MakeForum(10, 1)).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  EXPECT_TRUE(store.AddForum(MakeForum(10, 1)).ok());
+  EXPECT_EQ(store.AddForum(MakeForum(10, 1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GraphStoreTest, MembershipLinksBothSides) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  ASSERT_TRUE(store.AddForum(MakeForum(10, 1)).ok());
+  EXPECT_EQ(store.AddForumMembership({11, 1, 2500}).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(store.AddForumMembership({10, 1, 2500}).ok());
+  auto lock = store.ReadLock();
+  EXPECT_EQ(store.FindPerson(1)->forums.size(), 1u);
+  EXPECT_EQ(store.FindForum(10)->members.size(), 1u);
+  EXPECT_EQ(store.FindForum(10)->members[0].date, 2500);
+}
+
+TEST(GraphStoreTest, PostRequiresForumCommentRequiresParent) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  EXPECT_EQ(store.AddMessage(MakePost(0, 1, 10)).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(store.AddForum(MakeForum(10, 1)).ok());
+  ASSERT_TRUE(store.AddMessage(MakePost(0, 1, 10)).ok());
+
+  Message comment;
+  comment.id = 1;
+  comment.kind = MessageKind::kComment;
+  comment.creator_id = 1;
+  comment.forum_id = 10;
+  comment.reply_to_id = 99;  // Missing parent.
+  comment.root_post_id = 0;
+  comment.creation_date = 3100;
+  EXPECT_EQ(store.AddMessage(comment).code(), StatusCode::kNotFound);
+  comment.reply_to_id = 0;
+  EXPECT_TRUE(store.AddMessage(comment).ok());
+
+  auto lock = store.ReadLock();
+  const MessageRecord* post = store.FindMessage(0);
+  ASSERT_NE(post, nullptr);
+  ASSERT_EQ(post->replies.size(), 1u);
+  EXPECT_EQ(post->replies[0], 1u);
+  EXPECT_EQ(store.FindForum(10)->posts.size(), 1u);
+  EXPECT_EQ(store.FindPerson(1)->messages.size(), 2u);
+}
+
+TEST(GraphStoreTest, LikeRequiresPersonAndMessage) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  ASSERT_TRUE(store.AddForum(MakeForum(10, 1)).ok());
+  ASSERT_TRUE(store.AddMessage(MakePost(0, 1, 10)).ok());
+  EXPECT_EQ(store.AddLike({2, 0, 3200}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.AddLike({1, 5, 3200}).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.AddLike({1, 0, 3200}).ok());
+  auto lock = store.ReadLock();
+  EXPECT_EQ(store.FindMessage(0)->likes.size(), 1u);
+  EXPECT_EQ(store.FindPerson(1)->likes.size(), 1u);
+  EXPECT_EQ(store.NumLikes(), 1u);
+}
+
+TEST(GraphStoreTest, BulkLoadRequiresEmptyStore) {
+  GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  schema::SocialNetwork network;
+  EXPECT_EQ(store.BulkLoad(network).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphStoreTest, BulkLoadFullDataset) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  datagen::Dataset ds = datagen::Generate(config);
+  GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  EXPECT_EQ(store.NumPersons(), ds.bulk.persons.size());
+  EXPECT_EQ(store.NumKnowsEdges(), ds.bulk.knows.size());
+  EXPECT_EQ(store.NumMessages(), ds.bulk.messages.size());
+  EXPECT_EQ(store.NumLikes(), ds.bulk.likes.size());
+  EXPECT_EQ(store.NumMemberships(), ds.bulk.memberships.size());
+  EXPECT_EQ(store.NumForums(), ds.bulk.forums.size());
+}
+
+TEST(GraphStoreTest, UpdateStreamAppliesInOrder) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  datagen::Dataset ds = datagen::Generate(config);
+  GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  ASSERT_GT(ds.updates.size(), 0u);
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    util::Status s = queries::ApplyUpdate(store, op);
+    ASSERT_TRUE(s.ok()) << datagen::UpdateKindName(op.kind) << ": "
+                        << s.ToString();
+  }
+  EXPECT_EQ(store.NumPersons(), ds.stats.num_persons);
+  EXPECT_EQ(store.NumKnowsEdges(), ds.stats.num_knows);
+  EXPECT_EQ(store.NumMessages(), ds.stats.NumMessages());
+}
+
+TEST(GraphStoreTest, MessageIdsAreDateOrdered) {
+  datagen::DatagenConfig config;
+  config.num_persons = 100;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  auto lock = store.ReadLock();
+  util::TimestampMs last = 0;
+  for (schema::MessageId id = 0; id < store.MessageIdBound(); ++id) {
+    const MessageRecord* m = store.FindMessage(id);
+    if (m == nullptr) continue;
+    EXPECT_GE(m->data.creation_date, last);
+    last = m->data.creation_date;
+  }
+}
+
+TEST(GraphStoreTest, StorageBreakdownAccountsMajorStructures) {
+  datagen::DatagenConfig config;
+  config.num_persons = 100;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  StorageBreakdown b = store.ComputeStorageBreakdown();
+  EXPECT_GT(b.message_bytes, 0u);
+  EXPECT_GT(b.message_content_bytes, 0u);
+  EXPECT_GT(b.likes_bytes, 0u);
+  EXPECT_GT(b.membership_bytes, 0u);
+  EXPECT_GT(b.friends_bytes, 0u);
+  EXPECT_GT(b.person_bytes, 0u);
+  // The message table (with content) dominates, as in Table 8.
+  EXPECT_GT(b.message_bytes, b.friends_bytes);
+  EXPECT_EQ(b.Total(), b.message_bytes + b.likes_bytes + b.membership_bytes +
+                           b.friends_bytes + b.person_bytes + b.forum_bytes);
+}
+
+TEST(GraphStoreTest, ConcurrentReadersDuringWrites) {
+  // Smoke test: readers take consistent snapshots while a writer inserts.
+  GraphStore store;
+  for (schema::PersonId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(store.AddPerson(MakePerson(id)).ok());
+  }
+  ASSERT_TRUE(store.AddForum(MakeForum(1000, 0)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto lock = store.ReadLock();
+      // Under the shared lock, edge counters and adjacency must agree.
+      uint64_t sum = 0;
+      for (schema::PersonId id = 0; id < 50; ++id) {
+        const PersonRecord* p = store.FindPerson(id);
+        if (p != nullptr) sum += p->friends.size();
+      }
+      if (sum != 2 * store.NumKnowsEdges()) read_errors.fetch_add(1);
+    }
+  });
+  for (schema::PersonId id = 1; id < 50; ++id) {
+    ASSERT_TRUE(store.AddFriendship({0, id, 100}).ok());
+    Message m = MakePost(id, id, 1000, 3000 + static_cast<int64_t>(id));
+    ASSERT_TRUE(store.AddMessage(m).ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+  EXPECT_EQ(store.NumKnowsEdges(), 49u);
+}
+
+}  // namespace
+}  // namespace snb::store

@@ -1,0 +1,204 @@
+// Parameterized property sweeps across scales, seeds and parameters:
+// invariants that must hold for every configuration.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "curation/parameter_curation.h"
+#include "datagen/datagen.h"
+#include "datagen/degree_model.h"
+#include "driver/dependency_services.h"
+#include "util/rng.h"
+
+namespace snb {
+namespace {
+
+// ---- Datagen invariants over (persons, seed) sweeps ------------------------
+
+using DatagenParam = std::tuple<uint64_t /*persons*/, uint64_t /*seed*/>;
+
+class DatagenPropertyTest : public ::testing::TestWithParam<DatagenParam> {
+ protected:
+  datagen::Dataset Make() {
+    auto [persons, seed] = GetParam();
+    datagen::DatagenConfig config;
+    config.num_persons = persons;
+    config.seed = seed;
+    return datagen::Generate(config);
+  }
+};
+
+TEST_P(DatagenPropertyTest, InvariantsHold) {
+  datagen::Dataset ds = Make();
+  auto [persons, seed] = GetParam();
+
+  // I1: every person exists exactly once across bulk + updates.
+  std::unordered_set<uint64_t> ids;
+  for (const schema::Person& p : ds.bulk.persons) {
+    EXPECT_TRUE(ids.insert(p.id).second);
+  }
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    if (op.kind == datagen::UpdateKind::kAddPerson) {
+      EXPECT_TRUE(
+          ids.insert(std::get<schema::Person>(op.payload).id).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), persons);
+
+  // I2: all dependency times strictly precede due times.
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    EXPECT_LT(op.dependency_time, op.due_time);
+    EXPECT_LE(op.person_dependency_time, op.dependency_time);
+  }
+
+  // I3: bulk messages are id-dense prefix in time order.
+  util::TimestampMs last = 0;
+  for (const schema::Message& m : ds.bulk.messages) {
+    EXPECT_GE(m.creation_date, last);
+    last = m.creation_date;
+  }
+
+  // I4: statistics agree with the materialized entities.
+  EXPECT_EQ(ds.stats.num_persons, persons);
+  uint64_t knows = ds.bulk.knows.size();
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    if (op.kind == datagen::UpdateKind::kAddFriendship) ++knows;
+  }
+  EXPECT_EQ(ds.stats.num_knows, knows);
+
+  // I5: friendship degree mean within a factor-2 band of the formula.
+  double avg = 2.0 * static_cast<double>(ds.stats.num_knows) /
+               static_cast<double>(persons);
+  double target = datagen::DegreeModel::AverageDegreeFormula(persons);
+  EXPECT_GT(avg, target * 0.4) << "seed " << seed;
+  EXPECT_LT(avg, target * 1.6) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DatagenPropertyTest,
+    ::testing::Combine(::testing::Values(100, 300, 700),
+                       ::testing::Values(1, 0x5eed, 987654321)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param) % 1000);
+    });
+
+// ---- Degree model over scales ------------------------------------------------
+
+class DegreeModelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DegreeModelPropertyTest, MeanTracksFormula) {
+  uint64_t n = GetParam();
+  datagen::DegreeModel model(n);
+  double sum = 0;
+  uint64_t samples = std::min<uint64_t>(n, 20000);
+  for (uint64_t id = 0; id < samples; ++id) {
+    uint32_t d = model.TargetDegree(11, id);
+    EXPECT_GE(d, 1u);
+    sum += d;
+  }
+  double mean = sum / static_cast<double>(samples);
+  double target = datagen::DegreeModel::AverageDegreeFormula(n);
+  EXPECT_NEAR(mean, target, target * 0.2) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DegreeModelPropertyTest,
+                         ::testing::Values(500, 5000, 50000, 500000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ---- Curation: variance dominance for every k ---------------------------------
+
+class CurationPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CurationPropertyTest, CuratedNeverWorseThanUniform) {
+  size_t k = GetParam();
+  static datagen::Dataset* ds = [] {
+    datagen::DatagenConfig config;
+    config.num_persons = 400;
+    config.split_update_stream = false;
+    return new datagen::Dataset(datagen::Generate(config));
+  }();
+  curation::PcTable table = curation::BuildTwoHopTable(ds->stats);
+  std::vector<uint64_t> curated = curation::CurateParameters(table, k);
+  ASSERT_EQ(curated.size(), std::min(k, table.num_rows()));
+  // No duplicate bindings.
+  std::unordered_set<uint64_t> unique(curated.begin(), curated.end());
+  EXPECT_EQ(unique.size(), curated.size());
+
+  double curated_var = curation::SelectionCoutVariance(table, curated);
+  util::Rng rng(31, k, util::RandomPurpose::kParameterPick);
+  double uniform_var = 0;
+  for (int s = 0; s < 8; ++s) {
+    uniform_var += curation::SelectionCoutVariance(
+        table, curation::UniformParameters(table, k, rng));
+  }
+  uniform_var /= 8;
+  if (k >= 4) {
+    EXPECT_LE(curated_var, uniform_var) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CurationPropertyTest,
+                         ::testing::Values(1, 4, 10, 25, 50, 100, 399),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// ---- Dependency services: watermark safety under random schedules -------------
+
+class GdsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GdsPropertyTest, TgcNeverPassesIncompleteOp) {
+  // Randomized schedule: ops initiated in time order per stream, completed
+  // in random order; at every step TGC must stay below the oldest
+  // incomplete op.
+  int seed = GetParam();
+  util::Rng rng(seed, 0, util::RandomPurpose::kQueryMix);
+  driver::GlobalDependencyService gds;
+  constexpr int kStreams = 3;
+  std::vector<driver::LocalDependencyService*> streams;
+  for (int s = 0; s < kStreams; ++s) streams.push_back(gds.AddStream());
+
+  struct Pending {
+    int stream;
+    util::TimestampMs t;
+  };
+  std::vector<Pending> in_flight;
+  std::vector<util::TimestampMs> next_time(kStreams, 10);
+  for (int step = 0; step < 3000; ++step) {
+    bool do_initiate = in_flight.empty() || rng.NextBool(0.55);
+    if (do_initiate) {
+      int s = static_cast<int>(rng.NextBounded(kStreams));
+      util::TimestampMs t = next_time[s];
+      next_time[s] += 1 + rng.NextBounded(5);
+      if (rng.NextBool(0.5)) {
+        streams[s]->Initiate(t);
+        in_flight.push_back({s, t});
+      } else {
+        streams[s]->MarkTime(t);
+      }
+    } else {
+      size_t pick = rng.NextBounded(in_flight.size());
+      streams[in_flight[pick].stream]->Complete(in_flight[pick].t);
+      in_flight.erase(in_flight.begin() + pick);
+    }
+    util::TimestampMs oldest_incomplete = driver::kTimeMax;
+    for (const Pending& p : in_flight) {
+      oldest_incomplete = std::min(oldest_incomplete, p.t);
+    }
+    EXPECT_LT(gds.TGC(), oldest_incomplete) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GdsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace snb

@@ -1,0 +1,141 @@
+// Edge-case tests for the read queries: missing entities, empty graphs,
+// boundary limits, and degenerate parameters.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/bi_queries.h"
+#include "queries/complex_queries.h"
+#include "queries/query9_plans.h"
+#include "queries/short_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::queries {
+namespace {
+
+schema::Person MakePerson(schema::PersonId id) {
+  schema::Person p;
+  p.id = id;
+  p.first_name = "Solo";
+  p.creation_date = 1000;
+  return p;
+}
+
+TEST(QueriesEdgeTest, EmptyStoreReturnsEmptyEverywhere) {
+  store::GraphStore store;
+  EXPECT_TRUE(Query1(store, 0, "Karl").empty());
+  EXPECT_TRUE(Query2(store, 0, 1 << 30).empty());
+  EXPECT_TRUE(Query5(store, 0, 0).empty());
+  EXPECT_TRUE(Query7(store, 0).empty());
+  EXPECT_TRUE(Query8(store, 0).empty());
+  EXPECT_TRUE(Query9(store, 0, 1 << 30).empty());
+  EXPECT_TRUE(Query10(store, 0, 5).empty());
+  EXPECT_EQ(Query13(store, 0, 1), -1);
+  EXPECT_TRUE(Query14(store, 0, 1).empty());
+  EXPECT_TRUE(TwoHopCircle(store, 0).empty());
+  EXPECT_FALSE(ShortQuery1PersonProfile(store, 0).found);
+  EXPECT_TRUE(ShortQuery3Friends(store, 0).empty());
+  EXPECT_TRUE(BiQuery1PostingSummary(store).empty());
+}
+
+TEST(QueriesEdgeTest, IsolatedPersonHasEmptyNeighbourhoodQueries) {
+  store::GraphStore store;
+  ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
+  EXPECT_TRUE(Query1(store, 1, "Solo").empty());  // Self is excluded.
+  EXPECT_TRUE(Query2(store, 1, 1 << 30).empty());
+  EXPECT_TRUE(Query9(store, 1, 1 << 30).empty());
+  EXPECT_EQ(Query13(store, 1, 1), 0);
+  auto self_paths = Query14(store, 1, 1);
+  ASSERT_EQ(self_paths.size(), 1u);
+  EXPECT_EQ(self_paths[0].weight, 0.0);
+  // Short reads on the isolated person work.
+  EXPECT_TRUE(ShortQuery1PersonProfile(store, 1).found);
+  EXPECT_TRUE(ShortQuery2RecentMessages(store, 1).empty());
+}
+
+TEST(QueriesEdgeTest, LimitZeroAndLimitHuge) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+
+  EXPECT_TRUE(Query2(store, 0, util::NetworkEndMs(), 0).empty());
+  EXPECT_TRUE(Query9(store, 0, util::NetworkEndMs(), 0).empty());
+
+  auto huge = Query2(store, 0, util::NetworkEndMs(), 1 << 20);
+  // With a huge limit, Q2 returns every friend message (reference count).
+  std::set<schema::PersonId> friends;
+  for (const schema::Knows& k : ds.bulk.knows) {
+    if (k.person1_id == 0) friends.insert(k.person2_id);
+    if (k.person2_id == 0) friends.insert(k.person1_id);
+  }
+  size_t expected = 0;
+  for (const schema::Message& m : ds.bulk.messages) {
+    if (friends.count(m.creator_id) > 0) ++expected;
+  }
+  EXPECT_EQ(huge.size(), expected);
+}
+
+TEST(QueriesEdgeTest, Q9PlanVariantsOnTinyGraph) {
+  store::GraphStore store;
+  for (schema::PersonId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(store.AddPerson(MakePerson(id)).ok());
+  }
+  ASSERT_TRUE(store.AddFriendship({0, 1, 2000}).ok());
+  schema::Forum f;
+  f.id = 9;
+  f.moderator_id = 1;
+  f.creation_date = 2000;
+  ASSERT_TRUE(store.AddForum(f).ok());
+  schema::Message m;
+  m.id = 0;
+  m.kind = schema::MessageKind::kPost;
+  m.creator_id = 1;
+  m.forum_id = 9;
+  m.root_post_id = 0;
+  m.creation_date = 3000;
+  ASSERT_TRUE(store.AddMessage(m).ok());
+
+  for (JoinStrategy j : {JoinStrategy::kIndexNestedLoop, JoinStrategy::kHash}) {
+    Q9PlanStats stats;
+    auto rows = Query9WithPlan(store, 0, 10000, 20, j, j, j, &stats);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].message_id, 0u);
+    EXPECT_EQ(stats.join1_output, 1u);
+    EXPECT_EQ(stats.join3_output, 1u);
+  }
+  // Date cutoff excludes the message.
+  EXPECT_TRUE(Query9(store, 0, 3000).empty());   // Strictly before.
+  EXPECT_EQ(Query9(store, 0, 3001).size(), 1u);
+}
+
+TEST(QueriesEdgeTest, Query3ZeroDurationAndSameCountry) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  std::vector<schema::PlaceId> city_country(200, 0);
+  // Zero duration window: no posts qualify.
+  EXPECT_TRUE(Query3(store, 0, city_country, 1, 2,
+                     util::kNetworkStartMs, 0)
+                  .empty());
+}
+
+TEST(QueriesEdgeTest, Q12EmptyTagClass) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  config.split_update_stream = false;
+  datagen::Dataset ds = datagen::Generate(config);
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+  std::vector<bool> empty_class(1000, false);
+  EXPECT_TRUE(Query12(store, 0, empty_class).empty());
+  std::vector<bool> no_tags;  // Out-of-range tag ids must not crash.
+  EXPECT_TRUE(Query12(store, 0, no_tags).empty());
+}
+
+}  // namespace
+}  // namespace snb::queries

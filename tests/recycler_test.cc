@@ -1,0 +1,98 @@
+// Tests for intermediate-result recycling (section 3 choke point).
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/complex_queries.h"
+#include "queries/recycler.h"
+#include "store/graph_store.h"
+
+namespace snb::queries {
+namespace {
+
+class RecyclerTest : public ::testing::Test {
+ protected:
+  struct World {
+    datagen::Dataset dataset;
+    store::GraphStore store;
+  };
+
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World();
+      datagen::DatagenConfig config;
+      config.num_persons = 200;
+      config.split_update_stream = false;
+      world->dataset = datagen::Generate(config);
+      EXPECT_TRUE(world->store.BulkLoad(world->dataset.bulk).ok());
+      return world;
+    }();
+    return *w;
+  }
+};
+
+TEST_F(RecyclerTest, HitsOnRepeatMissOnFirst) {
+  TwoHopRecycler recycler;
+  auto first = recycler.Get(world().store, 5);
+  EXPECT_EQ(recycler.misses(), 1u);
+  EXPECT_EQ(recycler.hits(), 0u);
+  auto second = recycler.Get(world().store, 5);
+  EXPECT_EQ(recycler.hits(), 1u);
+  EXPECT_EQ(first.get(), second.get());  // Same recycled object.
+  EXPECT_EQ(*first, TwoHopCircle(world().store, 5));
+}
+
+TEST_F(RecyclerTest, RecycledQuery9MatchesPlain) {
+  TwoHopRecycler recycler;
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (schema::PersonId p : {0u, 17u, 42u, 99u}) {
+    auto plain = Query9(world().store, p, mid);
+    auto recycled = Query9Recycled(world().store, recycler, p, mid);
+    auto recycled_again = Query9Recycled(world().store, recycler, p, mid);
+    ASSERT_EQ(plain.size(), recycled.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].message_id, recycled[i].message_id);
+      EXPECT_EQ(recycled[i].message_id, recycled_again[i].message_id);
+    }
+  }
+  EXPECT_GT(recycler.hits(), 0u);
+}
+
+TEST_F(RecyclerTest, FriendshipUpdateInvalidates) {
+  // Fresh store so the mutation does not disturb the shared fixture.
+  store::GraphStore store;
+  for (schema::PersonId id = 0; id < 10; ++id) {
+    schema::Person p;
+    p.id = id;
+    p.creation_date = 1000;
+    ASSERT_TRUE(store.AddPerson(p).ok());
+  }
+  ASSERT_TRUE(store.AddFriendship({0, 1, 2000}).ok());
+  ASSERT_TRUE(store.AddFriendship({1, 2, 2000}).ok());
+
+  TwoHopRecycler recycler;
+  auto before = recycler.Get(store, 0);
+  EXPECT_EQ(*before, (std::vector<schema::PersonId>{1, 2}));
+
+  // New edge extends 0's 2-hop circle through 2 -> 3.
+  ASSERT_TRUE(store.AddFriendship({2, 3, 3000}).ok());
+  auto after = recycler.Get(store, 0);
+  EXPECT_EQ(recycler.misses(), 2u) << "version bump must invalidate";
+  EXPECT_EQ(*after, (std::vector<schema::PersonId>{1, 2}));
+
+  ASSERT_TRUE(store.AddFriendship({0, 5, 3500}).ok());
+  auto extended = recycler.Get(store, 0);
+  EXPECT_EQ(*extended, (std::vector<schema::PersonId>{1, 2, 5}));
+}
+
+TEST_F(RecyclerTest, CapacityEvictionStillCorrect) {
+  TwoHopRecycler recycler(/*capacity=*/4);
+  for (schema::PersonId p = 0; p < 20; ++p) {
+    auto circle = recycler.Get(world().store, p);
+    EXPECT_EQ(*circle, TwoHopCircle(world().store, p));
+  }
+  // All 20 distinct persons with capacity 4: mostly misses, never wrong.
+  EXPECT_GE(recycler.misses(), 16u);
+}
+
+}  // namespace
+}  // namespace snb::queries

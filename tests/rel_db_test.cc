@@ -1,0 +1,158 @@
+// Unit tests for the relational baseline engine's storage layer (the
+// cross-SUT equivalence suite covers the queries; these cover the index
+// structures and transactional edge cases directly).
+#include <gtest/gtest.h>
+
+#include "relational/relational_db.h"
+
+namespace snb::rel {
+namespace {
+
+schema::Person MakePerson(PersonId id) {
+  schema::Person p;
+  p.id = id;
+  p.first_name = "P" + std::to_string(id);
+  p.creation_date = 1000 + static_cast<int64_t>(id);
+  return p;
+}
+
+schema::Forum MakeForum(ForumId id, PersonId moderator) {
+  schema::Forum f;
+  f.id = id;
+  f.moderator_id = moderator;
+  f.creation_date = 2000;
+  return f;
+}
+
+schema::Message MakePost(MessageId id, PersonId creator, ForumId forum,
+                         TimestampMs date) {
+  schema::Message m;
+  m.id = id;
+  m.kind = schema::MessageKind::kPost;
+  m.creator_id = creator;
+  m.forum_id = forum;
+  m.root_post_id = id;
+  m.creation_date = date;
+  return m;
+}
+
+TEST(RelationalDbTest, PkLookupsAfterUnorderedInserts) {
+  RelationalDb db;
+  // Insert persons out of id order; the PK-sorted table must stay sorted.
+  for (PersonId id : {5, 1, 9, 3, 7}) {
+    ASSERT_TRUE(db.AddPerson(MakePerson(id)).ok());
+  }
+  auto lock = db.ReadLock();
+  for (PersonId id : {1, 3, 5, 7, 9}) {
+    const schema::Person* p = db.FindPerson(id);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->first_name, "P" + std::to_string(id));
+  }
+  EXPECT_EQ(db.FindPerson(2), nullptr);
+  EXPECT_EQ(db.FindPerson(100), nullptr);
+}
+
+TEST(RelationalDbTest, KnowsIndexBothDirections) {
+  RelationalDb db;
+  for (PersonId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(db.AddPerson(MakePerson(id)).ok());
+  }
+  ASSERT_TRUE(db.AddFriendship({1, 3, 500}).ok());
+  ASSERT_TRUE(db.AddFriendship({1, 2, 600}).ok());
+  auto lock = db.ReadLock();
+  auto [lo, hi] = db.FriendsOf(1);
+  ASSERT_EQ(hi - lo, 2);
+  EXPECT_EQ(lo[0].dst, 2u);  // Sorted by (src, dst).
+  EXPECT_EQ(lo[1].dst, 3u);
+  auto [rlo, rhi] = db.FriendsOf(3);
+  ASSERT_EQ(rhi - rlo, 1);
+  EXPECT_EQ(rlo->dst, 1u);
+  EXPECT_TRUE(db.AreFriends(2, 1));
+  EXPECT_FALSE(db.AreFriends(2, 3));
+  EXPECT_EQ(db.NumKnowsEdges(), 2u);
+}
+
+TEST(RelationalDbTest, CreatorIndexDateOrdered) {
+  RelationalDb db;
+  ASSERT_TRUE(db.AddPerson(MakePerson(1)).ok());
+  ASSERT_TRUE(db.AddForum(MakeForum(10, 1)).ok());
+  // Message ids ascend with creation date by construction; insert shuffled.
+  for (MessageId id : {4, 1, 3, 0, 2}) {
+    ASSERT_TRUE(
+        db.AddMessage(MakePost(id, 1, 10, 3000 + static_cast<int64_t>(id)))
+            .ok());
+  }
+  auto lock = db.ReadLock();
+  auto [lo, hi] = db.MessagesBy(1);
+  ASSERT_EQ(hi - lo, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lo[i].message, static_cast<MessageId>(i));
+  }
+}
+
+TEST(RelationalDbTest, RejectsDanglingReferences) {
+  RelationalDb db;
+  EXPECT_EQ(db.AddFriendship({1, 2, 100}).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(db.AddForum(MakeForum(10, 1)).code(),
+            util::StatusCode::kNotFound);
+  ASSERT_TRUE(db.AddPerson(MakePerson(1)).ok());
+  EXPECT_EQ(db.AddMessage(MakePost(0, 1, 10, 3000)).code(),
+            util::StatusCode::kNotFound);  // Forum missing.
+  ASSERT_TRUE(db.AddForum(MakeForum(10, 1)).ok());
+  ASSERT_TRUE(db.AddMessage(MakePost(0, 1, 10, 3000)).ok());
+  EXPECT_EQ(db.AddMessage(MakePost(0, 1, 10, 3000)).code(),
+            util::StatusCode::kAlreadyExists);
+
+  schema::Message comment;
+  comment.id = 1;
+  comment.kind = schema::MessageKind::kComment;
+  comment.creator_id = 1;
+  comment.reply_to_id = 99;
+  comment.creation_date = 3100;
+  EXPECT_EQ(db.AddMessage(comment).code(), util::StatusCode::kNotFound);
+  comment.reply_to_id = 0;
+  EXPECT_TRUE(db.AddMessage(comment).ok());
+  auto lock = db.ReadLock();
+  auto [lo, hi] = db.RepliesTo(0);
+  ASSERT_EQ(hi - lo, 1);
+  EXPECT_EQ(lo->child, 1u);
+}
+
+TEST(RelationalDbTest, MembershipAndLikeIndexes) {
+  RelationalDb db;
+  for (PersonId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(db.AddPerson(MakePerson(id)).ok());
+  }
+  ASSERT_TRUE(db.AddForum(MakeForum(10, 0)).ok());
+  ASSERT_TRUE(db.AddForumMembership({10, 1, 2500}).ok());
+  ASSERT_TRUE(db.AddForumMembership({10, 2, 2600}).ok());
+  ASSERT_TRUE(db.AddMessage(MakePost(0, 1, 10, 3000)).ok());
+  ASSERT_TRUE(db.AddLike({2, 0, 3500}).ok());
+
+  auto lock = db.ReadLock();
+  auto [mlo, mhi] = db.MembersOf(10);
+  EXPECT_EQ(mhi - mlo, 2);
+  auto [flo, fhi] = db.ForumsOf(1);
+  ASSERT_EQ(fhi - flo, 1);
+  EXPECT_EQ(flo->forum, 10u);
+  auto [llo, lhi] = db.LikesOf(0);
+  ASSERT_EQ(lhi - llo, 1);
+  EXPECT_EQ(llo->person, 2u);
+  auto [plo, phi] = db.LikesBy(2);
+  ASSERT_EQ(phi - plo, 1);
+  EXPECT_EQ(plo->message, 0u);
+  auto [plo2, phi2] = db.LikesBy(1);
+  EXPECT_EQ(phi2 - plo2, 0);
+}
+
+TEST(RelationalDbTest, BulkLoadRequiresEmpty) {
+  RelationalDb db;
+  ASSERT_TRUE(db.AddPerson(MakePerson(1)).ok());
+  schema::SocialNetwork network;
+  EXPECT_EQ(db.BulkLoad(network).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace snb::rel

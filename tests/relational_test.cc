@@ -1,0 +1,270 @@
+// Cross-SUT equivalence: every read query must return identical results on
+// the graph store and the relational baseline, and the update stream must
+// replay identically — the property that makes the Table 6/7/9 comparison
+// an apples-to-apples one.
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "queries/update_queries.h"
+#include "relational/rel_queries.h"
+#include "relational/relational_db.h"
+#include "schema/dictionaries.h"
+#include "store/graph_store.h"
+
+namespace snb::rel {
+namespace {
+
+class RelationalTest : public ::testing::Test {
+ protected:
+  struct World {
+    datagen::Dataset dataset;
+    store::GraphStore graph;
+    RelationalDb relational;
+    std::unique_ptr<schema::Dictionaries> dict;
+    std::vector<schema::PlaceId> city_country;
+    std::vector<schema::PlaceId> company_country;
+    std::vector<schema::PersonId> probes;  // Diverse start persons.
+  };
+
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World();
+      datagen::DatagenConfig config;
+      config.num_persons = 250;
+      world->dataset = datagen::Generate(config);
+      EXPECT_TRUE(world->graph.BulkLoad(world->dataset.bulk).ok());
+      EXPECT_TRUE(world->relational.BulkLoad(world->dataset.bulk).ok());
+      // Replay updates into both.
+      for (const datagen::UpdateOperation& op : world->dataset.updates) {
+        EXPECT_TRUE(queries::ApplyUpdate(world->graph, op).ok());
+        EXPECT_TRUE(ApplyUpdate(world->relational, op).ok());
+      }
+      world->dict = std::make_unique<schema::Dictionaries>(config.seed);
+      for (const schema::City& c : world->dict->cities()) {
+        world->city_country.push_back(c.country_id);
+      }
+      for (const schema::Company& c : world->dict->companies()) {
+        world->company_country.push_back(c.country_id);
+      }
+      // Probe persons across the degree spectrum.
+      world->probes = {0, 7, 42, 99, 123, 200, 249};
+      return world;
+    }();
+    return *w;
+  }
+};
+
+TEST_F(RelationalTest, CountsMatchGraphStore) {
+  EXPECT_EQ(world().relational.NumPersons(), world().graph.NumPersons());
+  EXPECT_EQ(world().relational.NumKnowsEdges(),
+            world().graph.NumKnowsEdges());
+  EXPECT_EQ(world().relational.NumMessages(), world().graph.NumMessages());
+  EXPECT_EQ(world().relational.NumLikes(), world().graph.NumLikes());
+  EXPECT_EQ(world().relational.NumMemberships(),
+            world().graph.NumMemberships());
+  EXPECT_EQ(world().relational.NumForums(), world().graph.NumForums());
+}
+
+TEST_F(RelationalTest, TwoHopCirclesAgree) {
+  for (schema::PersonId p : world().probes) {
+    EXPECT_EQ(TwoHopCircle(world().relational, p),
+              queries::TwoHopCircle(world().graph, p));
+  }
+}
+
+TEST_F(RelationalTest, Q1Agrees) {
+  for (schema::PersonId p : world().probes) {
+    auto a = Query1(world().relational, p, "Yang");
+    auto b = queries::Query1(world().graph, p, "Yang");
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].person_id, b[i].person_id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q2Agrees) {
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (schema::PersonId p : world().probes) {
+    auto a = Query2(world().relational, p, mid);
+    auto b = queries::Query2(world().graph, p, mid);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].message_id, b[i].message_id);
+      EXPECT_EQ(a[i].creator_id, b[i].creator_id);
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q3Agrees) {
+  util::TimestampMs start = util::kNetworkStartMs;
+  for (schema::PersonId p : world().probes) {
+    for (schema::PlaceId x : {0u, 1u, 2u}) {
+      auto a = Query3(world().relational, p, world().city_country, x, x + 1,
+                      start, 900);
+      auto b = queries::Query3(world().graph, p, world().city_country, x,
+                               x + 1, start, 900);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].person_id, b[i].person_id);
+        EXPECT_EQ(a[i].count_x, b[i].count_x);
+        EXPECT_EQ(a[i].count_y, b[i].count_y);
+      }
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q4Q5Q6Agree) {
+  util::TimestampMs mid = util::kNetworkStartMs + 12 * util::kMillisPerMonth;
+  for (schema::PersonId p : world().probes) {
+    auto a4 = Query4(world().relational, p, mid, 60);
+    auto b4 = queries::Query4(world().graph, p, mid, 60);
+    ASSERT_EQ(a4.size(), b4.size());
+    for (size_t i = 0; i < a4.size(); ++i) {
+      EXPECT_EQ(a4[i].tag, b4[i].tag);
+      EXPECT_EQ(a4[i].post_count, b4[i].post_count);
+    }
+    auto a5 = Query5(world().relational, p, mid);
+    auto b5 = queries::Query5(world().graph, p, mid);
+    ASSERT_EQ(a5.size(), b5.size());
+    for (size_t i = 0; i < a5.size(); ++i) {
+      EXPECT_EQ(a5[i].forum_id, b5[i].forum_id);
+      EXPECT_EQ(a5[i].post_count, b5[i].post_count);
+    }
+    auto a6 = Query6(world().relational, p, 5);
+    auto b6 = queries::Query6(world().graph, p, 5);
+    ASSERT_EQ(a6.size(), b6.size());
+    for (size_t i = 0; i < a6.size(); ++i) {
+      EXPECT_EQ(a6[i].tag, b6[i].tag);
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q7Q8Q9Agree) {
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (schema::PersonId p : world().probes) {
+    auto a7 = Query7(world().relational, p);
+    auto b7 = queries::Query7(world().graph, p);
+    ASSERT_EQ(a7.size(), b7.size());
+    for (size_t i = 0; i < a7.size(); ++i) {
+      EXPECT_EQ(a7[i].liker_id, b7[i].liker_id);
+      EXPECT_EQ(a7[i].message_id, b7[i].message_id);
+      EXPECT_EQ(a7[i].is_outside_friendship, b7[i].is_outside_friendship);
+    }
+    auto a8 = Query8(world().relational, p);
+    auto b8 = queries::Query8(world().graph, p);
+    ASSERT_EQ(a8.size(), b8.size());
+    for (size_t i = 0; i < a8.size(); ++i) {
+      EXPECT_EQ(a8[i].comment_id, b8[i].comment_id);
+    }
+    auto a9 = Query9(world().relational, p, mid);
+    auto b9 = queries::Query9(world().graph, p, mid);
+    ASSERT_EQ(a9.size(), b9.size());
+    for (size_t i = 0; i < a9.size(); ++i) {
+      EXPECT_EQ(a9[i].message_id, b9[i].message_id);
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q10Q11Q12Agree) {
+  std::vector<bool> tag_class(world().dict->tags().size(), false);
+  for (size_t t = 0; t < tag_class.size(); t += 3) tag_class[t] = true;
+  for (schema::PersonId p : world().probes) {
+    for (int month : {1, 6, 11}) {
+      auto a = Query10(world().relational, p, month);
+      auto b = queries::Query10(world().graph, p, month);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].person_id, b[i].person_id);
+        EXPECT_EQ(a[i].similarity, b[i].similarity);
+      }
+    }
+    auto a11 = Query11(world().relational, p, world().company_country, 3,
+                       2013);
+    auto b11 = queries::Query11(world().graph, p, world().company_country,
+                                3, 2013);
+    ASSERT_EQ(a11.size(), b11.size());
+    auto a12 = Query12(world().relational, p, tag_class);
+    auto b12 = queries::Query12(world().graph, p, tag_class);
+    ASSERT_EQ(a12.size(), b12.size());
+    for (size_t i = 0; i < a12.size(); ++i) {
+      EXPECT_EQ(a12[i].person_id, b12[i].person_id);
+      EXPECT_EQ(a12[i].reply_count, b12[i].reply_count);
+    }
+  }
+}
+
+TEST_F(RelationalTest, Q13Q14Agree) {
+  for (schema::PersonId p : world().probes) {
+    for (schema::PersonId q : world().probes) {
+      EXPECT_EQ(Query13(world().relational, p, q),
+                queries::Query13(world().graph, p, q));
+    }
+    schema::PersonId target = (p + 31) % 250;
+    auto a = Query14(world().relational, p, target);
+    auto b = queries::Query14(world().graph, p, target);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].path, b[i].path);
+      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST_F(RelationalTest, ShortReadsAgree) {
+  for (schema::PersonId p : world().probes) {
+    auto a1 = ShortQuery1PersonProfile(world().relational, p);
+    auto b1 = queries::ShortQuery1PersonProfile(world().graph, p);
+    EXPECT_EQ(a1.found, b1.found);
+    EXPECT_EQ(a1.first_name, b1.first_name);
+
+    auto a2 = ShortQuery2RecentMessages(world().relational, p);
+    auto b2 = queries::ShortQuery2RecentMessages(world().graph, p);
+    ASSERT_EQ(a2.size(), b2.size());
+    for (size_t i = 0; i < a2.size(); ++i) {
+      EXPECT_EQ(a2[i].message_id, b2[i].message_id);
+      EXPECT_EQ(a2[i].root_post_id, b2[i].root_post_id);
+    }
+
+    auto a3 = ShortQuery3Friends(world().relational, p);
+    auto b3 = queries::ShortQuery3Friends(world().graph, p);
+    ASSERT_EQ(a3.size(), b3.size());
+  }
+  for (schema::MessageId m : {5u, 100u, 999u}) {
+    auto a4 = ShortQuery4MessageContent(world().relational, m);
+    auto b4 = queries::ShortQuery4MessageContent(world().graph, m);
+    EXPECT_EQ(a4.found, b4.found);
+    EXPECT_EQ(a4.content, b4.content);
+    auto a5 = ShortQuery5MessageCreator(world().relational, m);
+    auto b5 = queries::ShortQuery5MessageCreator(world().graph, m);
+    EXPECT_EQ(a5.creator_id, b5.creator_id);
+    auto a6 = ShortQuery6MessageForum(world().relational, m);
+    auto b6 = queries::ShortQuery6MessageForum(world().graph, m);
+    EXPECT_EQ(a6.forum_id, b6.forum_id);
+    auto a7 = ShortQuery7MessageReplies(world().relational, m);
+    auto b7 = queries::ShortQuery7MessageReplies(world().graph, m);
+    ASSERT_EQ(a7.size(), b7.size());
+    for (size_t i = 0; i < a7.size(); ++i) {
+      EXPECT_EQ(a7[i].comment_id, b7[i].comment_id);
+      EXPECT_EQ(a7[i].replier_knows_author, b7[i].replier_knows_author);
+    }
+  }
+}
+
+TEST_F(RelationalTest, RejectsMissingDependencies) {
+  RelationalDb db;
+  schema::Knows k{1, 2, 100};
+  EXPECT_EQ(db.AddFriendship(k).code(), util::StatusCode::kNotFound);
+  schema::Like like{1, 5, 100};
+  EXPECT_EQ(db.AddLike(like).code(), util::StatusCode::kNotFound);
+  schema::Person p;
+  p.id = 1;
+  EXPECT_TRUE(db.AddPerson(p).ok());
+  EXPECT_EQ(db.AddPerson(p).code(), util::StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace snb::rel

@@ -1,0 +1,150 @@
+// Round-trip tests for the CSV serializer and the N-Triples writer.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "datagen/serializer.h"
+
+namespace snb::datagen {
+namespace {
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("snb_serializer_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static const Dataset& dataset() {
+    static Dataset* ds = [] {
+      DatagenConfig config;
+      config.num_persons = 150;
+      return new Dataset(Generate(config));
+    }();
+    return *ds;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializerTest, WritesAllFiles) {
+  auto sizes = WriteCsv(dataset(), dir_.string());
+  ASSERT_TRUE(sizes.ok()) << sizes.status().ToString();
+  EXPECT_GT(sizes.value().person_bytes, 0u);
+  EXPECT_GT(sizes.value().knows_bytes, 0u);
+  EXPECT_GT(sizes.value().forum_bytes, 0u);
+  EXPECT_GT(sizes.value().membership_bytes, 0u);
+  EXPECT_GT(sizes.value().message_bytes, 0u);
+  EXPECT_GT(sizes.value().likes_bytes, 0u);
+  EXPECT_GT(sizes.value().update_bytes, 0u);
+  for (const char* name :
+       {CsvFileSet::kPersons, CsvFileSet::kKnows, CsvFileSet::kForums,
+        CsvFileSet::kMemberships, CsvFileSet::kMessages, CsvFileSet::kLikes,
+        CsvFileSet::kUpdates}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ / name)) << name;
+  }
+  // Messages dominate the CSV bytes, as in the paper's SF definition.
+  EXPECT_GT(sizes.value().message_bytes, sizes.value().person_bytes);
+}
+
+TEST_F(SerializerTest, RoundTripsBulkData) {
+  auto sizes = WriteCsv(dataset(), dir_.string());
+  ASSERT_TRUE(sizes.ok());
+  auto read = ReadCsv(dir_.string());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const schema::SocialNetwork& loaded = read.value();
+  const schema::SocialNetwork& original = dataset().bulk;
+
+  ASSERT_EQ(loaded.persons.size(), original.persons.size());
+  for (size_t i = 0; i < loaded.persons.size(); ++i) {
+    const schema::Person& a = loaded.persons[i];
+    const schema::Person& b = original.persons[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.first_name, b.first_name);
+    EXPECT_EQ(a.last_name, b.last_name);
+    EXPECT_EQ(a.gender, b.gender);
+    EXPECT_EQ(a.birthday, b.birthday);
+    EXPECT_EQ(a.creation_date, b.creation_date);
+    EXPECT_EQ(a.city_id, b.city_id);
+    EXPECT_EQ(a.emails, b.emails);
+    EXPECT_EQ(a.languages, b.languages);
+    EXPECT_EQ(a.interests, b.interests);
+    EXPECT_EQ(a.university_id, b.university_id);
+    EXPECT_EQ(a.company_id, b.company_id);
+  }
+  ASSERT_EQ(loaded.knows.size(), original.knows.size());
+  for (size_t i = 0; i < loaded.knows.size(); ++i) {
+    EXPECT_EQ(loaded.knows[i].person1_id, original.knows[i].person1_id);
+    EXPECT_EQ(loaded.knows[i].person2_id, original.knows[i].person2_id);
+    EXPECT_EQ(loaded.knows[i].creation_date,
+              original.knows[i].creation_date);
+  }
+  ASSERT_EQ(loaded.messages.size(), original.messages.size());
+  for (size_t i = 0; i < loaded.messages.size(); ++i) {
+    const schema::Message& a = loaded.messages[i];
+    const schema::Message& b = original.messages[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.creator_id, b.creator_id);
+    EXPECT_EQ(a.creation_date, b.creation_date);
+    EXPECT_EQ(a.forum_id, b.forum_id);
+    EXPECT_EQ(a.reply_to_id, b.reply_to_id);
+    EXPECT_EQ(a.root_post_id, b.root_post_id);
+    EXPECT_EQ(a.tags, b.tags);
+    EXPECT_EQ(a.content, b.content);
+  }
+  EXPECT_EQ(loaded.forums.size(), original.forums.size());
+  EXPECT_EQ(loaded.memberships.size(), original.memberships.size());
+  EXPECT_EQ(loaded.likes.size(), original.likes.size());
+}
+
+TEST_F(SerializerTest, ReadMissingDirectoryFails) {
+  auto read = ReadCsv((dir_ / "does_not_exist").string());
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(SerializerTest, CsvBytesMatchStatisticsOrder) {
+  // The statistics CSV estimate and the real serialized size must agree
+  // within a factor of ~2 (the estimate is intentionally coarse).
+  auto sizes = WriteCsv(dataset(), dir_.string());
+  ASSERT_TRUE(sizes.ok());
+  uint64_t real_bulk = sizes.value().Total() - sizes.value().update_bytes;
+  uint64_t estimate = dataset().stats.csv_bytes;
+  EXPECT_GT(estimate, real_bulk / 3);
+  EXPECT_LT(estimate, real_bulk * 3);
+}
+
+TEST_F(SerializerTest, NTriplesUrisAreTimeOrdered) {
+  std::filesystem::create_directories(dir_);
+  std::string path = (dir_ / "graph.nt").string();
+  auto bytes = WriteNTriples(dataset().bulk, path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_GT(bytes.value(), 0u);
+
+  // Message URIs: lexicographic order == id order == time order.
+  std::ifstream in(path);
+  std::string line;
+  std::string prev;
+  int checked = 0;
+  while (std::getline(in, line) && checked < 2000) {
+    if (line.rfind("<snb:msg/", 0) != 0) continue;
+    std::string uri = line.substr(0, line.find(' '));
+    if (!prev.empty() && uri != prev) {
+      // Message triples are emitted in id order; each message's first URI
+      // must be >= the previous one lexicographically.
+      EXPECT_GE(uri, prev);
+      ++checked;
+    }
+    prev = uri;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace snb::datagen

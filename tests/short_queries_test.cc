@@ -1,0 +1,175 @@
+// Tests for the 7 short read-only queries.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/short_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::queries {
+namespace {
+
+using schema::MessageId;
+using schema::MessageKind;
+using schema::PersonId;
+
+class ShortQueriesTest : public ::testing::Test {
+ protected:
+  struct World {
+    datagen::Dataset dataset;
+    store::GraphStore store;
+  };
+
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World();
+      datagen::DatagenConfig config;
+      config.num_persons = 200;
+      config.split_update_stream = false;
+      world->dataset = datagen::Generate(config);
+      EXPECT_TRUE(world->store.BulkLoad(world->dataset.bulk).ok());
+      return world;
+    }();
+    return *w;
+  }
+};
+
+TEST_F(ShortQueriesTest, S1ProfileFields) {
+  const schema::Person& p = world().dataset.bulk.persons[7];
+  S1Result r = ShortQuery1PersonProfile(world().store, p.id);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.first_name, p.first_name);
+  EXPECT_EQ(r.last_name, p.last_name);
+  EXPECT_EQ(r.birthday, p.birthday);
+  EXPECT_EQ(r.city_id, p.city_id);
+  EXPECT_EQ(r.browser, p.browser);
+  EXPECT_EQ(r.location_ip, p.location_ip);
+  EXPECT_EQ(r.creation_date, p.creation_date);
+}
+
+TEST_F(ShortQueriesTest, S1Missing) {
+  EXPECT_FALSE(ShortQuery1PersonProfile(world().store, 999999).found);
+}
+
+TEST_F(ShortQueriesTest, S2NewestFirstWithRoots) {
+  // Find a person with several messages.
+  std::map<PersonId, int> counts;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    ++counts[m.creator_id];
+  }
+  PersonId person = counts.begin()->first;
+  for (auto [pid, c] : counts) {
+    if (c > counts[person]) person = pid;
+  }
+  std::vector<S2Result> results =
+      ShortQuery2RecentMessages(world().store, person, 10);
+  ASSERT_FALSE(results.empty());
+  EXPECT_LE(results.size(), 10u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].creation_date, results[i].creation_date);
+  }
+  std::map<MessageId, const schema::Message*> by_id;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    by_id[m.id] = &m;
+  }
+  for (const S2Result& r : results) {
+    const schema::Message* m = by_id[r.message_id];
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->creator_id, person);
+    EXPECT_EQ(r.root_post_id, m->root_post_id);
+    EXPECT_EQ(r.root_author_id, by_id[m->root_post_id]->creator_id);
+  }
+}
+
+TEST_F(ShortQueriesTest, S3FriendsNewestFirst) {
+  // Person with friends.
+  PersonId person = schema::kInvalidId;
+  for (const schema::Knows& k : world().dataset.bulk.knows) {
+    person = k.person1_id;
+    break;
+  }
+  ASSERT_NE(person, schema::kInvalidId);
+  std::vector<S3Result> results = ShortQuery3Friends(world().store, person);
+  ASSERT_FALSE(results.empty());
+  size_t expected = 0;
+  for (const schema::Knows& k : world().dataset.bulk.knows) {
+    if (k.person1_id == person || k.person2_id == person) ++expected;
+  }
+  EXPECT_EQ(results.size(), expected);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].since, results[i].since);
+  }
+}
+
+TEST_F(ShortQueriesTest, S4ContentRoundTrips) {
+  const schema::Message& m = world().dataset.bulk.messages[5];
+  S4Result r = ShortQuery4MessageContent(world().store, m.id);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.content, m.content);
+  EXPECT_EQ(r.creation_date, m.creation_date);
+  EXPECT_FALSE(ShortQuery4MessageContent(world().store, 99999999).found);
+}
+
+TEST_F(ShortQueriesTest, S5Creator) {
+  const schema::Message& m = world().dataset.bulk.messages[9];
+  S5Result r = ShortQuery5MessageCreator(world().store, m.id);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.creator_id, m.creator_id);
+  EXPECT_FALSE(r.first_name.empty());
+}
+
+TEST_F(ShortQueriesTest, S6ForumOfCommentIsRootForum) {
+  // Find a comment.
+  const schema::Message* comment = nullptr;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    if (m.kind == MessageKind::kComment) {
+      comment = &m;
+      break;
+    }
+  }
+  ASSERT_NE(comment, nullptr);
+  S6Result r = ShortQuery6MessageForum(world().store, comment->id);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.forum_id, comment->forum_id);
+  EXPECT_FALSE(r.forum_title.empty());
+  // Moderator matches the forum record.
+  for (const schema::Forum& f : world().dataset.bulk.forums) {
+    if (f.id == r.forum_id) {
+      EXPECT_EQ(r.moderator_id, f.moderator_id);
+    }
+  }
+}
+
+TEST_F(ShortQueriesTest, S7RepliesWithFriendFlag) {
+  // Find a message with replies.
+  const schema::Message* parent = nullptr;
+  std::map<MessageId, int> reply_counts;
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    if (m.kind == MessageKind::kComment) ++reply_counts[m.reply_to_id];
+  }
+  ASSERT_FALSE(reply_counts.empty());
+  MessageId best = reply_counts.begin()->first;
+  for (auto [mid, c] : reply_counts) {
+    if (c > reply_counts[best]) best = mid;
+  }
+  for (const schema::Message& m : world().dataset.bulk.messages) {
+    if (m.id == best) parent = &m;
+  }
+  ASSERT_NE(parent, nullptr);
+
+  std::vector<S7Result> results =
+      ShortQuery7MessageReplies(world().store, parent->id);
+  EXPECT_EQ(static_cast<int>(results.size()), reply_counts[best]);
+  for (const S7Result& r : results) {
+    auto lock = world().store.ReadLock();
+    EXPECT_EQ(r.replier_knows_author,
+              world().store.AreFriends(parent->creator_id, r.replier_id));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].creation_date, results[i].creation_date);
+  }
+}
+
+}  // namespace
+}  // namespace snb::queries

@@ -1,0 +1,192 @@
+// Parameterized integration invariants: after loading a generated dataset
+// (bulk only, or bulk + replayed update stream) the store's index
+// structures must be mutually consistent at every scale.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/update_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::store {
+namespace {
+
+using Param = std::tuple<double /*sf*/, bool /*apply_updates*/>;
+
+class StoreInvariantsTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static GraphStore& store() { return World().store_; }
+  static const datagen::Dataset& dataset() { return World().dataset_; }
+
+ private:
+  struct WorldState {
+    datagen::Dataset dataset_;
+    GraphStore store_;
+  };
+
+  static WorldState& World() {
+    // One world per parameter combination, built lazily and cached.
+    static std::map<Param, WorldState*>* worlds =
+        new std::map<Param, WorldState*>();
+    auto it = worlds->find(GetParam());
+    if (it == worlds->end()) {
+      auto* world = new WorldState();
+      auto [sf, apply_updates] = GetParam();
+      datagen::DatagenConfig config =
+          datagen::DatagenConfig::ForScaleFactor(sf);
+      world->dataset_ = datagen::Generate(config);
+      EXPECT_TRUE(world->store_.BulkLoad(world->dataset_.bulk).ok());
+      if (apply_updates) {
+        for (const datagen::UpdateOperation& op : world->dataset_.updates) {
+          EXPECT_TRUE(queries::ApplyUpdate(world->store_, op).ok());
+        }
+      }
+      it = worlds->emplace(GetParam(), world).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(StoreInvariantsTest, FriendListsSortedAndSymmetric) {
+  auto lock = store().ReadLock();
+  uint64_t directed_edges = 0;
+  for (schema::PersonId id : store().PersonIds()) {
+    const PersonRecord* p = store().FindPerson(id);
+    ASSERT_NE(p, nullptr);
+    for (size_t i = 1; i < p->friends.size(); ++i) {
+      EXPECT_LT(p->friends[i - 1].other, p->friends[i].other);
+    }
+    for (const FriendEdge& e : p->friends) {
+      EXPECT_TRUE(store().AreFriends(e.other, id))
+          << id << " <-> " << e.other;
+      ++directed_edges;
+    }
+  }
+  EXPECT_EQ(directed_edges, 2 * store().NumKnowsEdges());
+}
+
+TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
+  auto lock = store().ReadLock();
+  uint64_t replies_seen = 0;
+  for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
+    const MessageRecord* m = store().FindMessage(id);
+    if (m == nullptr) continue;
+    if (m->data.kind == schema::MessageKind::kComment) {
+      const MessageRecord* parent = store().FindMessage(m->data.reply_to_id);
+      ASSERT_NE(parent, nullptr);
+      // Child is registered in the parent's reply list.
+      bool found = false;
+      for (schema::MessageId r : parent->replies) {
+        if (r == id) found = true;
+      }
+      EXPECT_TRUE(found);
+      // Root chains to a post/photo in the same forum.
+      const MessageRecord* root = store().FindMessage(m->data.root_post_id);
+      ASSERT_NE(root, nullptr);
+      EXPECT_NE(root->data.kind, schema::MessageKind::kComment);
+      EXPECT_EQ(root->data.forum_id, m->data.forum_id);
+    } else {
+      EXPECT_EQ(m->data.root_post_id, id);
+    }
+    replies_seen += m->replies.size();
+  }
+  // Every comment appears in exactly one reply list.
+  uint64_t comments = 0;
+  for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
+    const MessageRecord* m = store().FindMessage(id);
+    if (m != nullptr && m->data.kind == schema::MessageKind::kComment) {
+      ++comments;
+    }
+  }
+  EXPECT_EQ(replies_seen, comments);
+}
+
+TEST_P(StoreInvariantsTest, ForumPostsMatchMessages) {
+  auto lock = store().ReadLock();
+  uint64_t posts_in_forums = 0;
+  for (schema::ForumId fid : store().ForumIds()) {
+    const ForumRecord* f = store().FindForum(fid);
+    ASSERT_NE(f, nullptr);
+    for (schema::MessageId mid : f->posts) {
+      const MessageRecord* m = store().FindMessage(mid);
+      ASSERT_NE(m, nullptr);
+      EXPECT_NE(m->data.kind, schema::MessageKind::kComment);
+      EXPECT_EQ(m->data.forum_id, fid);
+      ++posts_in_forums;
+    }
+    // Moderator exists and membership dates follow forum creation.
+    EXPECT_NE(store().FindPerson(f->data.moderator_id), nullptr);
+    for (const DatedEdge& member : f->members) {
+      EXPECT_GE(member.date, f->data.creation_date);
+    }
+  }
+  uint64_t root_messages = 0;
+  for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
+    const MessageRecord* m = store().FindMessage(id);
+    if (m != nullptr && m->data.kind != schema::MessageKind::kComment) {
+      ++root_messages;
+    }
+  }
+  EXPECT_EQ(posts_in_forums, root_messages);
+}
+
+TEST_P(StoreInvariantsTest, LikesAreBidirectional) {
+  auto lock = store().ReadLock();
+  uint64_t from_messages = 0, from_persons = 0;
+  for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
+    const MessageRecord* m = store().FindMessage(id);
+    if (m != nullptr) from_messages += m->likes.size();
+  }
+  for (schema::PersonId id : store().PersonIds()) {
+    from_persons += store().FindPerson(id)->likes.size();
+  }
+  EXPECT_EQ(from_messages, store().NumLikes());
+  EXPECT_EQ(from_persons, store().NumLikes());
+}
+
+TEST_P(StoreInvariantsTest, CreatorListsCoverAllMessages) {
+  auto lock = store().ReadLock();
+  uint64_t via_creators = 0;
+  for (schema::PersonId id : store().PersonIds()) {
+    const PersonRecord* p = store().FindPerson(id);
+    util::TimestampMs last = 0;
+    for (schema::MessageId mid : p->messages) {
+      const MessageRecord* m = store().FindMessage(mid);
+      ASSERT_NE(m, nullptr);
+      EXPECT_EQ(m->data.creator_id, id);
+      EXPECT_GE(m->data.creation_date, last);  // Date-ordered.
+      last = m->data.creation_date;
+      ++via_creators;
+    }
+  }
+  EXPECT_EQ(via_creators, store().NumMessages());
+}
+
+TEST_P(StoreInvariantsTest, CountsMatchDatasetStats) {
+  auto [sf, apply_updates] = GetParam();
+  if (apply_updates) {
+    EXPECT_EQ(store().NumPersons(), dataset().stats.num_persons);
+    EXPECT_EQ(store().NumKnowsEdges(), dataset().stats.num_knows);
+    EXPECT_EQ(store().NumMessages(), dataset().stats.NumMessages());
+    EXPECT_EQ(store().NumLikes(), dataset().stats.num_likes);
+  } else {
+    EXPECT_EQ(store().NumPersons(), dataset().bulk.persons.size());
+    EXPECT_EQ(store().NumMessages(), dataset().bulk.messages.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreInvariantsTest,
+    ::testing::Combine(::testing::Values(0.02, 0.08),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string("sf") +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             (std::get<1>(info.param) ? "WithUpdates" : "BulkOnly");
+    });
+
+}  // namespace
+}  // namespace snb::store

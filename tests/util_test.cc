@@ -1,0 +1,314 @@
+// Unit tests for the util substrate.
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/datetime.h"
+#include "util/distributions.h"
+#include "util/histogram.h"
+#include "util/latency_recorder.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/zorder.h"
+
+namespace snb::util {
+namespace {
+
+// ---- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("person 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: person 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kInvalidArgument,
+        StatusCode::kAlreadyExists, StatusCode::kAborted,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Status FailingHelper() { return Status::Aborted("inner"); }
+
+Status PropagatingHelper() {
+  SNB_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagatingHelper().code(), StatusCode::kAborted);
+}
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, SameKeySameSequence) {
+  Rng a(1, 2, RandomPurpose::kFirstName);
+  Rng b(1, 2, RandomPurpose::kFirstName);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentPurposeDifferentSequence) {
+  Rng a(1, 2, RandomPurpose::kFirstName);
+  Rng b(1, 2, RandomPurpose::kLastName);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3, 4, RandomPurpose::kGender);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5, 6, RandomPurpose::kDegree);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(RngTest, BoundedUniformish) {
+  Rng rng(7, 8, RandomPurpose::kIp);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.15);
+  }
+}
+
+// ---- Distributions ----------------------------------------------------------
+
+TEST(GeometricRankSamplerTest, RankZeroMostLikely) {
+  Rng rng(1, 1, RandomPurpose::kInterests);
+  GeometricRankSampler sampler(0.2, 50);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], 50000 / 10);
+}
+
+TEST(GeometricRankSamplerTest, StaysInDomain) {
+  Rng rng(2, 2, RandomPurpose::kInterests);
+  GeometricRankSampler sampler(0.01, 7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(sampler.Sample(rng), 7u);
+  }
+}
+
+TEST(DiscreteSamplerTest, RespectsWeights) {
+  Rng rng(3, 3, RandomPurpose::kLocation);
+  DiscreteSampler sampler({1.0, 0.0, 3.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(BoundedParetoTest, WithinBoundsAndSkewed) {
+  Rng rng(4, 4, RandomPurpose::kEventSpike);
+  BoundedParetoSampler sampler(1.2, 1.0, 100.0);
+  double below10 = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = sampler.Sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+    if (v < 10.0) ++below10;
+  }
+  EXPECT_GT(below10 / kDraws, 0.8);  // Heavy head.
+}
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  Rng rng(5, 5, RandomPurpose::kPostDate);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += SampleExponential(rng, 0.5);
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.1);
+}
+
+// ---- Z-order ----------------------------------------------------------------
+
+TEST(ZOrderTest, InterleavesBits) {
+  EXPECT_EQ(MortonInterleave16(0, 0), 0u);
+  EXPECT_EQ(MortonInterleave16(1, 0), 1u);
+  EXPECT_EQ(MortonInterleave16(0, 1), 2u);
+  EXPECT_EQ(MortonInterleave16(3, 3), 15u);
+}
+
+TEST(ZOrderTest, NearbyCoordinatesShareZOrder) {
+  uint8_t berlin = ZOrder8(52.5, 13.4);
+  uint8_t hamburg = ZOrder8(53.5, 10.0);
+  uint8_t sydney = ZOrder8(-33.8, 151.2);
+  EXPECT_EQ(berlin, hamburg);  // 4-bit quantization: same cell.
+  EXPECT_NE(berlin, sydney);
+}
+
+TEST(ZOrderTest, StudyLocationKeyPacksFields) {
+  uint32_t key = StudyLocationKey(0xAB, 0x123, 0x7D5);
+  EXPECT_EQ(key >> 24, 0xABu);
+  EXPECT_EQ((key >> 12) & 0xfff, 0x123u);
+  EXPECT_EQ(key & 0xfff, 0x7D5u);
+}
+
+// ---- Datetime ----------------------------------------------------------------
+
+TEST(DatetimeTest, NetworkStartFormats) {
+  EXPECT_EQ(FormatTimestamp(kNetworkStartMs), "2010-01-01 00:00:00");
+}
+
+TEST(DatetimeTest, TimestampFromDateRoundTrips) {
+  TimestampMs ts = TimestampFromDate(2012, 6, 15);
+  EXPECT_EQ(FormatTimestamp(ts), "2012-06-15 00:00:00");
+}
+
+TEST(DatetimeTest, MonthIndexClampsAndCounts) {
+  EXPECT_EQ(MonthIndex(kNetworkStartMs), 0);
+  EXPECT_EQ(MonthIndex(kNetworkStartMs - 1), 0);
+  EXPECT_EQ(MonthIndex(kNetworkStartMs + kMillisPerMonth), 1);
+  EXPECT_EQ(MonthIndex(NetworkEndMs() + kMillisPerDay),
+            kSimulationMonths - 1);
+}
+
+TEST(DatetimeTest, UpdateSplitIsFourMonthsBeforeEnd) {
+  EXPECT_EQ(NetworkEndMs() - UpdateStreamStartMs(), 4 * kMillisPerMonth);
+}
+
+// ---- Histogram / stats --------------------------------------------------------
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 1.25);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(i);
+  EXPECT_NEAR(stats.Percentile(50), 50.5, 0.5);
+  EXPECT_NEAR(stats.Percentile(99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 100.0);
+}
+
+TEST(SampleStatsTest, MergeCombines) {
+  SampleStats a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-1.0);
+  h.Add(10.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+// ---- Thread pool ----------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelForRanges(1000, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelForRanges(0, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// ---- Latency recorder -------------------------------------------------------------
+
+TEST(LatencyRecorderTest, RecordsPerOperation) {
+  LatencyRecorder recorder;
+  recorder.Record("q1", 100.0);
+  recorder.Record("q1", 200.0);
+  recorder.Record("q2", 50.0);
+  EXPECT_DOUBLE_EQ(recorder.Get("q1").Mean(), 150.0);
+  EXPECT_EQ(recorder.Get("q2").count(), 1u);
+  EXPECT_EQ(recorder.TotalCount(), 3u);
+  EXPECT_EQ(recorder.Operations().size(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.TotalMicrosWithPrefix("q"), 350.0);
+  EXPECT_DOUBLE_EQ(recorder.TotalMicrosWithPrefix("q1"), 300.0);
+}
+
+// ---- String utils -------------------------------------------------------------------
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+}  // namespace
+}  // namespace snb::util
