@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithms_workload.dir/bench_algorithms_workload.cc.o"
+  "CMakeFiles/bench_algorithms_workload.dir/bench_algorithms_workload.cc.o.d"
+  "bench_algorithms_workload"
+  "bench_algorithms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bi_workload.dir/bench_bi_workload.cc.o"
+  "CMakeFiles/bench_bi_workload.dir/bench_bi_workload.cc.o.d"
+  "bench_bi_workload"
+  "bench_bi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_parameter_curation.dir/bench_fig6_parameter_curation.cc.o"
+  "CMakeFiles/bench_fig6_parameter_curation.dir/bench_fig6_parameter_curation.cc.o.d"
+  "bench_fig6_parameter_curation"
+  "bench_fig6_parameter_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_parameter_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

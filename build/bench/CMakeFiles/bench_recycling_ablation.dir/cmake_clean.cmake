@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recycling_ablation.dir/bench_recycling_ablation.cc.o"
+  "CMakeFiles/bench_recycling_ablation.dir/bench_recycling_ablation.cc.o.d"
+  "bench_recycling_ablation"
+  "bench_recycling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recycling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_correlations.dir/bench_table1_correlations.cc.o"
+  "CMakeFiles/bench_table1_correlations.dir/bench_table1_correlations.cc.o.d"
+  "bench_table1_correlations"
+  "bench_table1_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

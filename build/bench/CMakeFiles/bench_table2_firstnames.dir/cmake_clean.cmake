@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_firstnames.dir/bench_table2_firstnames.cc.o"
+  "CMakeFiles/bench_table2_firstnames.dir/bench_table2_firstnames.cc.o.d"
+  "bench_table2_firstnames"
+  "bench_table2_firstnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_firstnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

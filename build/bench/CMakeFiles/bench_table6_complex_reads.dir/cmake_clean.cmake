@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_complex_reads.dir/bench_table6_complex_reads.cc.o"
+  "CMakeFiles/bench_table6_complex_reads.dir/bench_table6_complex_reads.cc.o.d"
+  "bench_table6_complex_reads"
+  "bench_table6_complex_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_complex_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

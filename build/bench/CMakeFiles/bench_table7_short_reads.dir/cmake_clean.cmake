@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_short_reads.dir/bench_table7_short_reads.cc.o"
+  "CMakeFiles/bench_table7_short_reads.dir/bench_table7_short_reads.cc.o.d"
+  "bench_table7_short_reads"
+  "bench_table7_short_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_short_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

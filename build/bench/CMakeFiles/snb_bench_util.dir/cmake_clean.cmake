@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/snb_bench_util.dir/bench_util.cc.o.d"
+  "libsnb_bench_util.a"
+  "libsnb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

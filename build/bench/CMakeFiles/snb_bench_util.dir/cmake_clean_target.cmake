@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnb_bench_util.a"
+)

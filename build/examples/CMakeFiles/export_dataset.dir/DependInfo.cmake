@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_dataset.cpp" "examples/CMakeFiles/export_dataset.dir/export_dataset.cpp.o" "gcc" "examples/CMakeFiles/export_dataset.dir/export_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/snb_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/snb_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/curation/CMakeFiles/snb_curation.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/snb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/snb_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_algorithms.dir/graph_algorithms.cc.o"
+  "CMakeFiles/snb_algorithms.dir/graph_algorithms.cc.o.d"
+  "libsnb_algorithms.a"
+  "libsnb_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curation/parameter_curation.cc" "src/curation/CMakeFiles/snb_curation.dir/parameter_curation.cc.o" "gcc" "src/curation/CMakeFiles/snb_curation.dir/parameter_curation.cc.o.d"
+  "/root/repo/src/curation/pc_table.cc" "src/curation/CMakeFiles/snb_curation.dir/pc_table.cc.o" "gcc" "src/curation/CMakeFiles/snb_curation.dir/pc_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/snb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/snb_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_curation.dir/parameter_curation.cc.o"
+  "CMakeFiles/snb_curation.dir/parameter_curation.cc.o.d"
+  "CMakeFiles/snb_curation.dir/pc_table.cc.o"
+  "CMakeFiles/snb_curation.dir/pc_table.cc.o.d"
+  "libsnb_curation.a"
+  "libsnb_curation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_curation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

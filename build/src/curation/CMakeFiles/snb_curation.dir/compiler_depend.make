@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snb_curation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_driver.dir/connectors.cc.o"
+  "CMakeFiles/snb_driver.dir/connectors.cc.o.d"
+  "CMakeFiles/snb_driver.dir/dependency_services.cc.o"
+  "CMakeFiles/snb_driver.dir/dependency_services.cc.o.d"
+  "CMakeFiles/snb_driver.dir/driver.cc.o"
+  "CMakeFiles/snb_driver.dir/driver.cc.o.d"
+  "CMakeFiles/snb_driver.dir/query_mix.cc.o"
+  "CMakeFiles/snb_driver.dir/query_mix.cc.o.d"
+  "libsnb_driver.a"
+  "libsnb_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/bi_queries.cc" "src/queries/CMakeFiles/snb_queries.dir/bi_queries.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/bi_queries.cc.o.d"
+  "/root/repo/src/queries/complex_queries.cc" "src/queries/CMakeFiles/snb_queries.dir/complex_queries.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/complex_queries.cc.o.d"
+  "/root/repo/src/queries/query9_plans.cc" "src/queries/CMakeFiles/snb_queries.dir/query9_plans.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/query9_plans.cc.o.d"
+  "/root/repo/src/queries/recycler.cc" "src/queries/CMakeFiles/snb_queries.dir/recycler.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/recycler.cc.o.d"
+  "/root/repo/src/queries/short_queries.cc" "src/queries/CMakeFiles/snb_queries.dir/short_queries.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/short_queries.cc.o.d"
+  "/root/repo/src/queries/update_queries.cc" "src/queries/CMakeFiles/snb_queries.dir/update_queries.cc.o" "gcc" "src/queries/CMakeFiles/snb_queries.dir/update_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/snb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/snb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/snb_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

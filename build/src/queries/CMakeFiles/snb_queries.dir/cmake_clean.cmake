@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_queries.dir/bi_queries.cc.o"
+  "CMakeFiles/snb_queries.dir/bi_queries.cc.o.d"
+  "CMakeFiles/snb_queries.dir/complex_queries.cc.o"
+  "CMakeFiles/snb_queries.dir/complex_queries.cc.o.d"
+  "CMakeFiles/snb_queries.dir/query9_plans.cc.o"
+  "CMakeFiles/snb_queries.dir/query9_plans.cc.o.d"
+  "CMakeFiles/snb_queries.dir/recycler.cc.o"
+  "CMakeFiles/snb_queries.dir/recycler.cc.o.d"
+  "CMakeFiles/snb_queries.dir/short_queries.cc.o"
+  "CMakeFiles/snb_queries.dir/short_queries.cc.o.d"
+  "CMakeFiles/snb_queries.dir/update_queries.cc.o"
+  "CMakeFiles/snb_queries.dir/update_queries.cc.o.d"
+  "libsnb_queries.a"
+  "libsnb_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_relational.dir/rel_queries.cc.o"
+  "CMakeFiles/snb_relational.dir/rel_queries.cc.o.d"
+  "CMakeFiles/snb_relational.dir/relational_db.cc.o"
+  "CMakeFiles/snb_relational.dir/relational_db.cc.o.d"
+  "libsnb_relational.a"
+  "libsnb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

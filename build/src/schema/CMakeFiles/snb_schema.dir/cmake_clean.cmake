@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_schema.dir/dictionaries.cc.o"
+  "CMakeFiles/snb_schema.dir/dictionaries.cc.o.d"
+  "libsnb_schema.a"
+  "libsnb_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snb_store.dir/graph_store.cc.o"
+  "CMakeFiles/snb_store.dir/graph_store.cc.o.d"
+  "libsnb_store.a"
+  "libsnb_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bi_queries_test.dir/bi_queries_test.cc.o"
+  "CMakeFiles/bi_queries_test.dir/bi_queries_test.cc.o.d"
+  "bi_queries_test"
+  "bi_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bi_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

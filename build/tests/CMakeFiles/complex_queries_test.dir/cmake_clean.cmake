@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_queries_test.dir/complex_queries_test.cc.o"
+  "CMakeFiles/complex_queries_test.dir/complex_queries_test.cc.o.d"
+  "complex_queries_test"
+  "complex_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curation_test.dir/curation_test.cc.o"
+  "CMakeFiles/curation_test.dir/curation_test.cc.o.d"
+  "curation_test"
+  "curation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_serializer_props_test.dir/datagen_serializer_props_test.cc.o"
+  "CMakeFiles/datagen_serializer_props_test.dir/datagen_serializer_props_test.cc.o.d"
+  "datagen_serializer_props_test"
+  "datagen_serializer_props_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_serializer_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_model_test.dir/degree_model_test.cc.o"
+  "CMakeFiles/degree_model_test.dir/degree_model_test.cc.o.d"
+  "degree_model_test"
+  "degree_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_services_test.dir/dependency_services_test.cc.o"
+  "CMakeFiles/dependency_services_test.dir/dependency_services_test.cc.o.d"
+  "dependency_services_test"
+  "dependency_services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

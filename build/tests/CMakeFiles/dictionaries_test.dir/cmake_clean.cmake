@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionaries_test.dir/dictionaries_test.cc.o"
+  "CMakeFiles/dictionaries_test.dir/dictionaries_test.cc.o.d"
+  "dictionaries_test"
+  "dictionaries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

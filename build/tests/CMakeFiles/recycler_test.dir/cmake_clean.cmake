@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recycler_test.dir/recycler_test.cc.o"
+  "CMakeFiles/recycler_test.dir/recycler_test.cc.o.d"
+  "recycler_test"
+  "recycler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recycler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_db_test.dir/rel_db_test.cc.o"
+  "CMakeFiles/rel_db_test.dir/rel_db_test.cc.o.d"
+  "rel_db_test"
+  "rel_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_queries_test.dir/short_queries_test.cc.o"
+  "CMakeFiles/short_queries_test.dir/short_queries_test.cc.o.d"
+  "short_queries_test"
+  "short_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
