@@ -15,6 +15,34 @@ BenchWorld& SharedWorld() {
   return *world;
 }
 
+BenchWorld& GlobalLockWorld() {
+  static BenchWorld* world =
+      MakeWorld(kMediumSf, true, true, store::ReadConcurrency::kGlobalLock)
+          .release();
+  return *world;
+}
+
+// Per-operation snapshot acquisition: epoch pin vs. shared-mutex lock.
+// Run with ->Threads(8) this is the read-path scalability ablation in
+// miniature (bench_table5 has the end-to-end version with a live writer).
+void BM_ReadLockEpoch(benchmark::State& state) {
+  BenchWorld& world = SharedWorld();
+  for (auto _ : state) {
+    auto lock = world.store.ReadLock();
+    benchmark::DoNotOptimize(world.store.FindPerson(7));
+  }
+}
+BENCHMARK(BM_ReadLockEpoch)->Threads(1)->Threads(8);
+
+void BM_ReadLockGlobal(benchmark::State& state) {
+  BenchWorld& world = GlobalLockWorld();
+  for (auto _ : state) {
+    auto lock = world.store.ReadLock();
+    benchmark::DoNotOptimize(world.store.FindPerson(7));
+  }
+}
+BENCHMARK(BM_ReadLockGlobal)->Threads(1)->Threads(8);
+
 void BM_FindPerson(benchmark::State& state) {
   BenchWorld& world = SharedWorld();
   util::Rng rng(1, 1, util::RandomPurpose::kParameterPick);

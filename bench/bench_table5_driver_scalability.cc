@@ -3,7 +3,10 @@
 // Also runs the execution-mode ablation the paper motivates: per-forum
 // sequential streams vs. tracking every dependency through T_GC.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -12,6 +15,70 @@
 
 namespace snb::bench {
 namespace {
+
+/// Read-path ablation: N reader threads hammer point reads (FindPerson +
+/// friend probe — the primitive under every short read) while one writer
+/// continuously inserts likes. Measures sustained reads/second per
+/// snapshot mode. The paper's premise (section 4.2) is that the driver is
+/// only as fast as the SUT lets concurrent clients be; a global reader
+/// lock caps exactly this number.
+std::atomic<uint64_t> ablation_sink{0};
+
+double RunReadAblation(store::ReadConcurrency mode, int reader_threads,
+                       std::chrono::milliseconds window) {
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, true, true, mode);
+  store::GraphStore& store = world->store;
+  const std::vector<schema::PersonId> persons = store.PersonIds();
+  const schema::MessageId message_bound = store.MessageIdBound();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      // Point lookups over a small window of persons: the loop body is a
+      // FindPerson (directory + chunk + ready check), so per-op snapshot
+      // acquisition is what the measurement weighs — the same cost every
+      // short read pays once per driver operation.
+      size_t kWindowMask = 1;
+      while ((kWindowMask << 1) <= persons.size() && kWindowMask < 64) {
+        kWindowMask <<= 1;
+      }
+      --kWindowMask;
+      uint64_t reads = 0;
+      uint64_t sink = 0;
+      size_t cursor = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        schema::PersonId pid = persons[cursor & kWindowMask];
+        ++cursor;
+        auto lock = store.ReadLock();
+        sink += store.FindPerson(pid) != nullptr;
+        ++reads;
+      }
+      ablation_sink.fetch_add(sink & 1, std::memory_order_relaxed);
+      total_reads.fetch_add(reads, std::memory_order_relaxed);
+    });
+  }
+
+  // Writer: sustained like insertions (duplicates still pay the full
+  // write-lock round trip, so pressure is constant once the space fills).
+  auto start = std::chrono::steady_clock::now();
+  uint64_t writes = 0;
+  while (std::chrono::steady_clock::now() - start < window) {
+    schema::Like like;
+    like.person_id = persons[writes % persons.size()];
+    like.message_id = (writes * 7) % (message_bound == 0 ? 1 : message_bound);
+    like.creation_date = 4102444800000 + static_cast<int64_t>(writes);
+    (void)store.AddLike(like);
+    ++writes;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return static_cast<double>(total_reads.load()) / seconds;
+}
 
 double RunOnce(const std::vector<driver::Operation>& ops,
                int64_t sleep_micros, uint32_t partitions,
@@ -96,6 +163,31 @@ void Run() {
       "  fewer operations with the dependency services than tracking every\n"
       "  update through T_GC; windowed execution removes per-op T_GC waits\n"
       "  entirely (one barrier per T_SAFE of simulation time).\n\n");
+
+  PrintHeader("Ablation — read-path snapshot mode, 8 readers + live writer");
+  constexpr int kReaderThreads = 8;
+  constexpr int kTrials = 3;  // Best-of: scheduler noise dwarfs run cost.
+  constexpr std::chrono::milliseconds kWindow(1500);
+  double epoch_rate = 0, lock_rate = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    epoch_rate = std::max(
+        epoch_rate, RunReadAblation(store::ReadConcurrency::kEpoch,
+                                    kReaderThreads, kWindow));
+    lock_rate = std::max(
+        lock_rate, RunReadAblation(store::ReadConcurrency::kGlobalLock,
+                                   kReaderThreads, kWindow));
+  }
+  std::printf("  %-22s %14s\n", "mode", "point reads/s");
+  std::printf("  %-22s %14.0f\n", "epoch (default)", epoch_rate);
+  std::printf("  %-22s %14.0f\n", "global shared_mutex", lock_rate);
+  std::printf("  speedup: %.2fx  (acceptance floor: 1.50x)\n",
+              epoch_rate / lock_rate);
+  std::printf(
+      "  Shape to check: with the global reader-writer lock every point\n"
+      "  read pays two contended RMWs plus futex blocking whenever the\n"
+      "  writer holds the mutex; the epoch pin is two uncontended stores\n"
+      "  on a thread-private cache line, so read throughput no longer\n"
+      "  collapses under a live update stream.\n\n");
 }
 
 }  // namespace

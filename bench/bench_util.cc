@@ -5,8 +5,9 @@
 namespace snb::bench {
 
 std::unique_ptr<BenchWorld> MakeWorld(double scale_factor, bool load_updates,
-                                      bool split_update_stream) {
-  auto world = std::make_unique<BenchWorld>();
+                                      bool split_update_stream,
+                                      store::ReadConcurrency read_mode) {
+  auto world = std::make_unique<BenchWorld>(read_mode);
   datagen::DatagenConfig config =
       datagen::DatagenConfig::ForScaleFactor(scale_factor);
   config.split_update_stream = split_update_stream;

@@ -25,6 +25,10 @@ inline constexpr double kLargeSf = 0.4;    // ~2400 persons.
 
 /// A generated dataset plus a bulk-loaded store, shared by query benches.
 struct BenchWorld {
+  explicit BenchWorld(
+      store::ReadConcurrency mode = store::ReadConcurrency::kEpoch)
+      : store(mode) {}
+
   datagen::Dataset dataset;
   std::unique_ptr<schema::Dictionaries> dictionaries;
   store::GraphStore store;
@@ -34,10 +38,12 @@ struct BenchWorld {
 
 /// Generates a world at the given mini scale factor. When `load_updates` is
 /// true the update stream is applied on top of the bulk load (full final
-/// state); otherwise the store holds the 32-month bulk image.
-std::unique_ptr<BenchWorld> MakeWorld(double scale_factor,
-                                      bool load_updates = true,
-                                      bool split_update_stream = true);
+/// state); otherwise the store holds the 32-month bulk image. `read_mode`
+/// picks the store's snapshot mechanism (epoch vs. global-lock ablation).
+std::unique_ptr<BenchWorld> MakeWorld(
+    double scale_factor, bool load_updates = true,
+    bool split_update_stream = true,
+    store::ReadConcurrency read_mode = store::ReadConcurrency::kEpoch);
 
 /// Prints a horizontal rule and a centered title.
 void PrintHeader(const std::string& title);

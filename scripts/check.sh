@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local gate: tier-1 build + full test suite, then the concurrency-labelled
+# tests (epoch/RCU read path) rebuilt under AddressSanitizer and
+# ThreadSanitizer. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc)"
+
+echo "== tier-1: default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${jobs}"
+(cd build && ctest --output-on-failure -j"${jobs}")
+
+# Only the three concurrency test targets are built under the sanitizers;
+# a whole-tree sanitizer build adds minutes without adding coverage.
+for san in address thread; do
+  dir="build-${san}-san"
+  echo "== ${san} sanitizer: concurrency-labelled tests =="
+  cmake -B "${dir}" -S . -DSNB_SANITIZE="${san}" >/dev/null
+  cmake --build "${dir}" -j"${jobs}" \
+    --target epoch_test concurrency_stress_test graph_store_test
+  (cd "${dir}" && ctest -L concurrency --output-on-failure)
+done
+
+echo "== all checks passed =="

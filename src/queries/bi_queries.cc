@@ -108,10 +108,11 @@ std::vector<Bi3Result> BiQuery3CountryInfluencers(
   for (schema::PersonId pid : store.PersonIds()) {
     const store::PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
+    auto messages = p->messages.view();
     Acc& acc = per_person[pid];
-    acc.messages = p->messages.size();
-    for (schema::MessageId mid : p->messages) {
-      const store::MessageRecord* m = store.FindMessage(mid);
+    acc.messages = messages.size();
+    for (const store::DatedEdge& e : messages) {
+      const store::MessageRecord* m = store.FindMessage(e.id);
       if (m != nullptr) acc.likes += m->likes.size();
     }
   }

@@ -17,13 +17,16 @@ using store::FriendEdge;
 using store::MessageRecord;
 using store::PersonRecord;
 
+using MessageEdges = util::RcuVector<DatedEdge>::View;
+
 std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
                                       PersonId start) {
   std::vector<PersonId> out;
   const PersonRecord* p = store.FindPerson(start);
   if (p == nullptr) return out;
-  out.reserve(p->friends.size());
-  for (const FriendEdge& e : p->friends) out.push_back(e.other);
+  auto friends = p->friends.view();
+  out.reserve(friends.size());
+  for (const FriendEdge& e : friends) out.push_back(e.other);
   return out;  // friends are sorted by id already.
 }
 
@@ -34,14 +37,14 @@ std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
   if (p == nullptr) return out;
   std::unordered_set<PersonId> seen;
   seen.insert(start);
-  for (const FriendEdge& e : p->friends) {
+  for (const FriendEdge& e : p->friends.view()) {
     if (seen.insert(e.other).second) out.push_back(e.other);
   }
   size_t direct = out.size();
   for (size_t i = 0; i < direct; ++i) {
     const PersonRecord* f = store.FindPerson(out[i]);
     if (f == nullptr) continue;
-    for (const FriendEdge& e : f->friends) {
+    for (const FriendEdge& e : f->friends.view()) {
       if (seen.insert(e.other).second) out.push_back(e.other);
     }
   }
@@ -49,16 +52,22 @@ std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
   return out;
 }
 
-/// Index of the first message of `person` with creation date > max_date.
-/// Relies on messages being appended in ascending date order.
-size_t UpperBoundByDate(const GraphStore& store, const PersonRecord& person,
-                        TimestampMs max_date) {
+/// Index of the first created-message edge with creation date > max_date.
+/// Dates ride inline in the adjacency entry (ascending), so the binary
+/// search touches no message records.
+size_t UpperBoundByDate(const MessageEdges& messages, TimestampMs max_date) {
   auto it = std::partition_point(
-      person.messages.begin(), person.messages.end(), [&](MessageId id) {
-        const MessageRecord* m = store.FindMessage(id);
-        return m != nullptr && m->data.creation_date <= max_date;
-      });
-  return static_cast<size_t>(it - person.messages.begin());
+      messages.begin(), messages.end(),
+      [&](const DatedEdge& e) { return e.date <= max_date; });
+  return static_cast<size_t>(it - messages.begin());
+}
+
+/// Index of the first created-message edge with creation date >= min_date.
+size_t LowerBoundByDate(const MessageEdges& messages, TimestampMs min_date) {
+  auto it = std::partition_point(
+      messages.begin(), messages.end(),
+      [&](const DatedEdge& e) { return e.date < min_date; });
+  return static_cast<size_t>(it - messages.begin());
 }
 
 /// Month (1-12) and day (1-31) of a timestamp, UTC.
@@ -101,7 +110,7 @@ std::vector<Q1Result> Query1(const GraphStore& store, PersonId start,
     for (PersonId pid : frontier) {
       const PersonRecord* p = store.FindPerson(pid);
       if (p == nullptr) continue;
-      for (const FriendEdge& e : p->friends) {
+      for (const FriendEdge& e : p->friends.view()) {
         if (!visited.insert(e.other).second) continue;
         next.push_back(e.other);
         const PersonRecord* candidate = store.FindPerson(e.other);
@@ -139,12 +148,11 @@ std::vector<Q2Result> Query2(const GraphStore& store, PersonId start,
   for (PersonId fid : FriendIdsLocked(store, start)) {
     const PersonRecord* f = store.FindPerson(fid);
     if (f == nullptr) continue;
-    size_t upper = UpperBoundByDate(store, *f, max_date);
+    auto messages = f->messages.view();
+    size_t upper = UpperBoundByDate(messages, max_date);
     size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
     for (size_t i = upper - take; i < upper; ++i) {
-      const MessageRecord* m = store.FindMessage(f->messages[i]);
-      if (m == nullptr) continue;
-      candidates.push_back({m->data.id, fid, m->data.creation_date});
+      candidates.push_back({messages[i].id, fid, messages[i].date});
     }
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -178,10 +186,12 @@ std::vector<Q3Result> Query3(const GraphStore& store, PersonId start,
       if (home == country_x || home == country_y) continue;
     }
     uint32_t count_x = 0, count_y = 0;
-    size_t upper = UpperBoundByDate(store, *p, end_date - 1);
-    for (size_t i = 0; i < upper; ++i) {
-      const MessageRecord* m = store.FindMessage(p->messages[i]);
-      if (m == nullptr || m->data.creation_date < start_date) continue;
+    auto messages = p->messages.view();
+    size_t lower = LowerBoundByDate(messages, start_date);
+    size_t upper = UpperBoundByDate(messages, end_date - 1);
+    for (size_t i = lower; i < upper; ++i) {
+      const MessageRecord* m = store.FindMessage(messages[i].id);
+      if (m == nullptr) continue;
       if (m->data.country_id == country_x) {
         ++count_x;
       } else if (m->data.country_id == country_y) {
@@ -215,11 +225,11 @@ std::vector<Q4Result> Query4(const GraphStore& store, PersonId start,
   for (PersonId fid : FriendIdsLocked(store, start)) {
     const PersonRecord* f = store.FindPerson(fid);
     if (f == nullptr) continue;
-    for (MessageId mid : f->messages) {
-      const MessageRecord* m = store.FindMessage(mid);
+    for (const DatedEdge& e : f->messages.view()) {
+      if (e.date >= end_date) break;  // Ascending dates.
+      const MessageRecord* m = store.FindMessage(e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
-      if (m->data.creation_date >= end_date) break;  // Ascending dates.
-      if (m->data.creation_date < start_date) {
+      if (e.date < start_date) {
         for (schema::TagId t : m->data.tags) before_window.insert(t);
       } else {
         for (schema::TagId t : m->data.tags) ++in_window[t];
@@ -254,7 +264,7 @@ std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
   for (PersonId pid : circle) {
     const PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
-    for (const DatedEdge& membership : p->forums) {
+    for (const DatedEdge& membership : p->forums.view()) {
       if (membership.date > min_date) new_forums.insert(membership.id);
     }
   }
@@ -265,7 +275,7 @@ std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
     const store::ForumRecord* forum = store.FindForum(fid);
     if (forum == nullptr) continue;
     uint32_t count = 0;
-    for (MessageId mid : forum->posts) {
+    for (MessageId mid : forum->posts.view()) {
       const MessageRecord* m = store.FindMessage(mid);
       if (m != nullptr && circle_set.count(m->data.creator_id) > 0) ++count;
     }
@@ -291,8 +301,8 @@ std::vector<Q6Result> Query6(const GraphStore& store, PersonId start,
   for (PersonId pid : TwoHopCircleLocked(store, start)) {
     const PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
-    for (MessageId mid : p->messages) {
-      const MessageRecord* m = store.FindMessage(mid);
+    for (const DatedEdge& e : p->messages.view()) {
+      const MessageRecord* m = store.FindMessage(e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
       bool has_tag = false;
       for (schema::TagId t : m->data.tags) {
@@ -329,13 +339,13 @@ std::vector<Q7Result> Query7(const GraphStore& store, PersonId start,
   std::vector<Q7Result> likes;
   const PersonRecord* p = store.FindPerson(start);
   if (p == nullptr) return likes;
-  for (MessageId mid : p->messages) {
-    const MessageRecord* m = store.FindMessage(mid);
+  for (const DatedEdge& e : p->messages.view()) {
+    const MessageRecord* m = store.FindMessage(e.id);
     if (m == nullptr) continue;
-    for (const DatedEdge& like : m->likes) {
+    for (const DatedEdge& like : m->likes.view()) {
       Q7Result r;
       r.liker_id = like.id;
-      r.message_id = mid;
+      r.message_id = e.id;
       r.like_date = like.date;
       r.latency_minutes =
           (like.date - m->data.creation_date) / util::kMillisPerMinute;
@@ -360,10 +370,10 @@ std::vector<Q8Result> Query8(const GraphStore& store, PersonId start,
   std::vector<Q8Result> replies;
   const PersonRecord* p = store.FindPerson(start);
   if (p == nullptr) return replies;
-  for (MessageId mid : p->messages) {
-    const MessageRecord* m = store.FindMessage(mid);
+  for (const DatedEdge& e : p->messages.view()) {
+    const MessageRecord* m = store.FindMessage(e.id);
     if (m == nullptr) continue;
-    for (MessageId rid : m->replies) {
+    for (MessageId rid : m->replies.view()) {
       const MessageRecord* reply = store.FindMessage(rid);
       if (reply == nullptr) continue;
       replies.push_back(
@@ -390,12 +400,11 @@ std::vector<Q9Result> Query9(const GraphStore& store, PersonId start,
   for (PersonId pid : TwoHopCircleLocked(store, start)) {
     const PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
-    size_t upper = UpperBoundByDate(store, *p, max_date - 1);
+    auto messages = p->messages.view();
+    size_t upper = UpperBoundByDate(messages, max_date - 1);
     size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
     for (size_t i = upper - take; i < upper; ++i) {
-      const MessageRecord* m = store.FindMessage(p->messages[i]);
-      if (m == nullptr) continue;
-      candidates.push_back({m->data.id, pid, m->data.creation_date});
+      candidates.push_back({messages[i].id, pid, messages[i].date});
     }
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -419,15 +428,16 @@ std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
   if (root == nullptr) return results;
   std::unordered_set<schema::TagId> interests(root->data.interests.begin(),
                                               root->data.interests.end());
+  auto root_friends = root->friends.view();
   std::unordered_set<PersonId> direct;
   direct.insert(start);
-  for (const FriendEdge& e : root->friends) direct.insert(e.other);
+  for (const FriendEdge& e : root_friends) direct.insert(e.other);
 
   std::unordered_set<PersonId> fof;
-  for (const FriendEdge& e : root->friends) {
+  for (const FriendEdge& e : root_friends) {
     const PersonRecord* f = store.FindPerson(e.other);
     if (f == nullptr) continue;
-    for (const FriendEdge& e2 : f->friends) {
+    for (const FriendEdge& e2 : f->friends.view()) {
       if (direct.count(e2.other) == 0) fof.insert(e2.other);
     }
   }
@@ -442,8 +452,8 @@ std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
                       (month == next_month && day < 22);
     if (!sign_match) continue;
     int32_t common = 0, other = 0;
-    for (MessageId mid : p->messages) {
-      const MessageRecord* m = store.FindMessage(mid);
+    for (const DatedEdge& e : p->messages.view()) {
+      const MessageRecord* m = store.FindMessage(e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
       bool about_interest = false;
       for (schema::TagId t : m->data.tags) {
@@ -510,8 +520,8 @@ std::vector<Q12Result> Query12(const GraphStore& store, PersonId start,
     const PersonRecord* f = store.FindPerson(fid);
     if (f == nullptr) continue;
     uint32_t count = 0;
-    for (MessageId mid : f->messages) {
-      const MessageRecord* m = store.FindMessage(mid);
+    for (const DatedEdge& e : f->messages.view()) {
+      const MessageRecord* m = store.FindMessage(e.id);
       if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
       const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
       if (parent == nullptr ||
@@ -566,7 +576,7 @@ int Query13(const GraphStore& store, PersonId person1, PersonId person2) {
       frontier.pop_front();
       const PersonRecord* p = store.FindPerson(pid);
       if (p == nullptr) continue;
-      for (const FriendEdge& e : p->friends) {
+      for (const FriendEdge& e : p->friends.view()) {
         if (mine.count(e.other) > 0) continue;
         mine[e.other] = depth;
         auto hit = theirs.find(e.other);
@@ -605,8 +615,8 @@ double PairWeight(const GraphStore& store, PersonId a, PersonId b) {
     PersonId to = from == a ? b : a;
     const PersonRecord* p = store.FindPerson(from);
     if (p == nullptr) continue;
-    for (MessageId mid : p->messages) {
-      const MessageRecord* m = store.FindMessage(mid);
+    for (const DatedEdge& e : p->messages.view()) {
+      const MessageRecord* m = store.FindMessage(e.id);
       if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
       const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
       if (parent == nullptr || parent->data.creator_id != to) continue;
@@ -642,7 +652,7 @@ std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
     if (target_dist >= 0 && d >= target_dist) break;
     const PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
-    for (const FriendEdge& e : p->friends) {
+    for (const FriendEdge& e : p->friends.view()) {
       auto it = dist.find(e.other);
       if (it == dist.end()) {
         dist[e.other] = d + 1;

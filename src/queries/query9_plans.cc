@@ -22,9 +22,10 @@ class FriendsHashTable {
     for (PersonId pid : store.PersonIds()) {
       const PersonRecord* p = store.FindPerson(pid);
       if (p == nullptr) continue;
+      auto friends = p->friends.view();
       std::vector<PersonId>& bucket = table_[pid];
-      bucket.reserve(p->friends.size());
-      for (const FriendEdge& e : p->friends) {
+      bucket.reserve(friends.size());
+      for (const FriendEdge& e : friends) {
         bucket.push_back(e.other);
         if (stats != nullptr) ++stats->build_tuples;
       }
@@ -48,7 +49,7 @@ void JoinFriends(const GraphStore& store, JoinStrategy strategy,
   if (strategy == JoinStrategy::kIndexNestedLoop) {
     const PersonRecord* p = store.FindPerson(id);
     if (p == nullptr) return;
-    for (const FriendEdge& e : p->friends) emit(e.other);
+    for (const FriendEdge& e : p->friends.view()) emit(e.other);
   } else {
     const std::vector<PersonId>* bucket = hash->Probe(id);
     if (bucket == nullptr) return;
@@ -97,11 +98,9 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
     for (PersonId pid : circle) {
       const PersonRecord* p = store.FindPerson(pid);
       if (p == nullptr) continue;
-      for (MessageId mid : p->messages) {
-        const MessageRecord* m = store.FindMessage(mid);
-        if (m == nullptr) continue;
-        if (m->data.creation_date >= max_date) break;  // Date-ordered index.
-        candidates.push_back({mid, pid, m->data.creation_date});
+      for (const store::DatedEdge& e : p->messages.view()) {
+        if (e.date >= max_date) break;  // Date-ordered index.
+        candidates.push_back({e.id, pid, e.date});
         ++stats->join3_output;
       }
     }

@@ -1,6 +1,7 @@
 #include "queries/recycler.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace snb::queries {
 
@@ -16,6 +17,7 @@ std::shared_ptr<const std::vector<schema::PersonId>> TwoHopRecycler::Get(
     auto it = cache_.find(person);
     if (it != cache_.end() && it->second.version == version) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second.referenced = true;
       return it->second.circle;
     }
   }
@@ -24,10 +26,39 @@ std::shared_ptr<const std::vector<schema::PersonId>> TwoHopRecycler::Get(
       TwoHopCircle(store, person));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (cache_.size() >= capacity_) cache_.clear();
-    cache_[person] = {version, circle};
+    PutLocked(person, {version, true, circle});
   }
   return circle;
+}
+
+void TwoHopRecycler::PutLocked(schema::PersonId person, Entry entry) {
+  auto it = cache_.find(person);
+  if (it != cache_.end()) {
+    // Version refresh: the key already owns a ring slot.
+    it->second = std::move(entry);
+    return;
+  }
+  if (cache_.size() >= capacity_ && !ring_.empty()) {
+    // Clock sweep: skip (and strip) referenced entries; evict the first
+    // unreferenced one and reuse its ring slot. Terminates within two
+    // passes — the first pass clears every referenced bit it crosses.
+    for (;;) {
+      auto victim = cache_.find(ring_[hand_]);
+      if (victim->second.referenced) {
+        victim->second.referenced = false;
+        hand_ = (hand_ + 1) % ring_.size();
+        continue;
+      }
+      cache_.erase(victim);
+      ring_[hand_] = person;
+      hand_ = (hand_ + 1) % ring_.size();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  } else {
+    ring_.push_back(person);
+  }
+  cache_[person] = std::move(entry);
 }
 
 std::vector<Q9Result> Query9Recycled(const GraphStore& store,
@@ -41,19 +72,16 @@ std::vector<Q9Result> Query9Recycled(const GraphStore& store,
   for (schema::PersonId pid : *circle) {
     const store::PersonRecord* p = store.FindPerson(pid);
     if (p == nullptr) continue;
-    size_t upper = p->messages.size();
-    // Binary search the date-ordered per-creator message list.
+    // Binary search the date-ordered per-creator message list; creation
+    // dates ride inline, so no message record is touched per probe.
+    auto messages = p->messages.view();
     auto it = std::partition_point(
-        p->messages.begin(), p->messages.end(), [&](schema::MessageId id) {
-          const store::MessageRecord* m = store.FindMessage(id);
-          return m != nullptr && m->data.creation_date <= max_date - 1;
-        });
-    upper = static_cast<size_t>(it - p->messages.begin());
+        messages.begin(), messages.end(),
+        [&](const store::DatedEdge& e) { return e.date < max_date; });
+    size_t upper = static_cast<size_t>(it - messages.begin());
     size_t take = std::min<size_t>(upper, static_cast<size_t>(limit));
     for (size_t i = upper - take; i < upper; ++i) {
-      const store::MessageRecord* m = store.FindMessage(p->messages[i]);
-      if (m == nullptr) continue;
-      candidates.push_back({m->data.id, pid, m->data.creation_date});
+      candidates.push_back({messages[i].id, pid, messages[i].date});
     }
   }
   std::sort(candidates.begin(), candidates.end(),

@@ -25,8 +25,10 @@ namespace snb::queries {
 /// Thread-safe cache of 2-hop circles with version-based invalidation.
 class TwoHopRecycler {
  public:
-  /// `capacity`: maximum cached circles; eviction clears everything (the
-  /// cache is cheap to refill and the workload's parameter set is small).
+  /// `capacity`: maximum cached circles. At capacity the cache evicts one
+  /// victim per insert by clock (second-chance): hot circles — the
+  /// "high-value" partial results the paper recycles — survive, cold ones
+  /// rotate out.
   explicit TwoHopRecycler(size_t capacity = 4096) : capacity_(capacity) {}
 
   TwoHopRecycler(const TwoHopRecycler&) = delete;
@@ -39,18 +41,32 @@ class TwoHopRecycler {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries displaced by the clock hand (capacity pressure only; version
+  /// refreshes overwrite in place).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
     uint64_t version = 0;
+    /// Second-chance bit: set on hit, cleared when the hand sweeps by.
+    bool referenced = false;
     std::shared_ptr<const std::vector<schema::PersonId>> circle;
   };
+
+  /// Inserts or overwrites under mu_, evicting by clock when full.
+  void PutLocked(schema::PersonId person, Entry entry);
 
   size_t capacity_;
   std::mutex mu_;
   std::unordered_map<schema::PersonId, Entry> cache_;
+  /// Clock ring over the cached keys; `hand_` is the sweep position.
+  std::vector<schema::PersonId> ring_;
+  size_t hand_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 /// Query 9 on top of the recycler: identical results to Query9(), with the

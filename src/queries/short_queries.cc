@@ -34,15 +34,16 @@ std::vector<S2Result> ShortQuery2RecentMessages(const GraphStore& store,
   std::vector<S2Result> results;
   const PersonRecord* p = store.FindPerson(person);
   if (p == nullptr) return results;
-  size_t n = p->messages.size();
+  auto messages = p->messages.view();
+  size_t n = messages.size();
   size_t take = std::min<size_t>(n, static_cast<size_t>(limit));
   for (size_t i = 0; i < take; ++i) {
-    schema::MessageId mid = p->messages[n - 1 - i];  // Newest first.
-    const MessageRecord* m = store.FindMessage(mid);
+    const DatedEdge& edge = messages[n - 1 - i];  // Newest first.
+    const MessageRecord* m = store.FindMessage(edge.id);
     if (m == nullptr) continue;
     S2Result r;
-    r.message_id = mid;
-    r.creation_date = m->data.creation_date;
+    r.message_id = edge.id;
+    r.creation_date = edge.date;
     r.root_post_id = m->data.root_post_id;
     const MessageRecord* root = store.FindMessage(m->data.root_post_id);
     r.root_author_id =
@@ -58,8 +59,9 @@ std::vector<S3Result> ShortQuery3Friends(const GraphStore& store,
   std::vector<S3Result> results;
   const PersonRecord* p = store.FindPerson(person);
   if (p == nullptr) return results;
-  results.reserve(p->friends.size());
-  for (const FriendEdge& e : p->friends) {
+  auto friends = p->friends.view();
+  results.reserve(friends.size());
+  for (const FriendEdge& e : friends) {
     results.push_back({e.other, e.since});
   }
   std::sort(results.begin(), results.end(),
@@ -121,8 +123,9 @@ std::vector<S7Result> ShortQuery7MessageReplies(const GraphStore& store,
   const MessageRecord* m = store.FindMessage(message);
   if (m == nullptr) return results;
   schema::PersonId author = m->data.creator_id;
-  results.reserve(m->replies.size());
-  for (schema::MessageId rid : m->replies) {
+  auto replies = m->replies.view();
+  results.reserve(replies.size());
+  for (schema::MessageId rid : replies) {
     const MessageRecord* reply = store.FindMessage(rid);
     if (reply == nullptr) continue;
     S7Result r;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string>
 
 namespace snb::store {
 
@@ -12,14 +13,13 @@ using util::Status;
 
 namespace {
 
-// Inserts into a sorted FriendEdge vector, keeping order by `other`.
-void InsertFriendSorted(std::vector<FriendEdge>& friends, FriendEdge edge) {
-  auto it = std::lower_bound(
-      friends.begin(), friends.end(), edge,
-      [](const FriendEdge& a, const FriendEdge& b) {
-        return a.other < b.other;
-      });
-  friends.insert(it, edge);
+constexpr auto kFriendLess = [](const FriendEdge& a, const FriendEdge& b) {
+  return a.other < b.other;
+};
+
+Status BadId(const char* what, uint64_t id) {
+  return Status::InvalidArgument(std::string(what) + " id out of range: " +
+                                 std::to_string(id));
 }
 
 }  // namespace
@@ -28,24 +28,21 @@ void InsertFriendSorted(std::vector<FriendEdge>& friends, FriendEdge edge) {
 
 Status GraphStore::BulkLoad(const schema::SocialNetwork& network) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!persons_.empty() || !messages_.empty()) {
+  if (NumPersons() != 0 || messages_.bound() != 0) {
     return Status::FailedPrecondition("BulkLoad requires an empty store");
   }
-  persons_.reserve(network.persons.size());
   for (const Person& p : network.persons) {
     SNB_RETURN_IF_ERROR(AddPersonLocked(p));
   }
   for (const Knows& k : network.knows) {
     SNB_RETURN_IF_ERROR(AddFriendshipLocked(k));
   }
-  forums_.reserve(network.forums.size());
   for (const schema::Forum& f : network.forums) {
     SNB_RETURN_IF_ERROR(AddForumLocked(f));
   }
   for (const schema::ForumMembership& fm : network.memberships) {
     SNB_RETURN_IF_ERROR(AddForumMembershipLocked(fm));
   }
-  messages_.reserve(network.messages.size());
   for (const Message& m : network.messages) {
     SNB_RETURN_IF_ERROR(AddMessageLocked(m));
   }
@@ -87,13 +84,22 @@ Status GraphStore::AddLike(const schema::Like& like) {
 }
 
 // ---- Locked internals -------------------------------------------------------
+//
+// Publication order is what makes kEpoch readers safe: a record's payload
+// is stored, then its `ready` flag release-published, and only then is its
+// id linked into adjacency lists (whose RcuVector appends are themselves
+// release stores). A reader that can see an id in any list therefore sees
+// the fully built record behind it.
 
 Status GraphStore::AddPersonLocked(const Person& person) {
-  auto [it, inserted] = persons_.try_emplace(person.id);
-  if (!inserted) {
+  if (person.id >= kMaxEntityId) return BadId("person", person.id);
+  PersonRecord* rec = persons_.GrowToSlot(person.id, *epoch_);
+  if (rec->present()) {
     return Status::AlreadyExists("person " + std::to_string(person.id));
   }
-  it->second.data = person;
+  rec->data = person;
+  rec->ready.store(1, std::memory_order_release);
+  num_persons_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -103,75 +109,81 @@ Status GraphStore::AddFriendshipLocked(const Knows& knows) {
   if (p1 == nullptr || p2 == nullptr) {
     return Status::NotFound("friendship endpoint missing");
   }
-  InsertFriendSorted(p1->friends, {knows.person2_id, knows.creation_date});
-  InsertFriendSorted(p2->friends, {knows.person1_id, knows.creation_date});
-  ++num_knows_;
+  p1->friends.insert_sorted({knows.person2_id, knows.creation_date},
+                            kFriendLess, *epoch_);
+  p2->friends.insert_sorted({knows.person1_id, knows.creation_date},
+                            kFriendLess, *epoch_);
+  num_knows_.fetch_add(1, std::memory_order_release);
   knows_version_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status GraphStore::AddForumLocked(const schema::Forum& forum) {
+  if (forum.id >= kMaxEntityId) return BadId("forum", forum.id);
   if (FindPersonMutable(forum.moderator_id) == nullptr) {
     return Status::NotFound("forum moderator missing");
   }
-  auto [it, inserted] = forums_.try_emplace(forum.id);
-  if (!inserted) {
+  ForumRecord* rec = forums_.GrowToSlot(forum.id, *epoch_);
+  if (rec->present()) {
     return Status::AlreadyExists("forum " + std::to_string(forum.id));
   }
-  it->second.data = forum;
+  rec->data = forum;
+  rec->ready.store(1, std::memory_order_release);
+  num_forums_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status GraphStore::AddForumMembershipLocked(
     const schema::ForumMembership& membership) {
   PersonRecord* person = FindPersonMutable(membership.person_id);
-  auto forum_it = forums_.find(membership.forum_id);
-  if (person == nullptr || forum_it == forums_.end()) {
+  ForumRecord* forum = forums_.MutableSlot(membership.forum_id);
+  if (person == nullptr || forum == nullptr || !forum->present()) {
     return Status::NotFound("membership endpoint missing");
   }
-  person->forums.push_back({membership.forum_id, membership.join_date});
-  forum_it->second.members.push_back(
-      {membership.person_id, membership.join_date});
-  ++num_memberships_;
+  person->forums.push_back({membership.forum_id, membership.join_date},
+                           *epoch_);
+  forum->members.push_back({membership.person_id, membership.join_date},
+                           *epoch_);
+  num_memberships_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status GraphStore::AddMessageLocked(const Message& message) {
+  if (message.id >= kMaxEntityId) return BadId("message", message.id);
   PersonRecord* creator = FindPersonMutable(message.creator_id);
   if (creator == nullptr) {
     return Status::NotFound("message creator missing");
   }
   bool is_comment = message.kind == schema::MessageKind::kComment;
+  MessageRecord* parent = nullptr;
   ForumRecord* forum = nullptr;
   if (is_comment) {
-    if (message.reply_to_id >= messages_.size() ||
-        !messages_[message.reply_to_id].present()) {
+    parent = messages_.MutableSlot(message.reply_to_id);
+    if (parent == nullptr || !parent->present()) {
       return Status::NotFound("comment parent missing");
     }
   } else {
-    auto it = forums_.find(message.forum_id);
-    if (it == forums_.end()) {
+    forum = forums_.MutableSlot(message.forum_id);
+    if (forum == nullptr || !forum->present()) {
       return Status::NotFound("post forum missing");
     }
-    forum = &it->second;
   }
-  if (message.id < messages_.size() && messages_[message.id].present()) {
+  // Records never move (chunked table), so `parent`/`forum` stay valid
+  // across this growth — unlike the old dense vector, which had to
+  // re-resolve after resize.
+  MessageRecord* rec = messages_.GrowToSlot(message.id, *epoch_);
+  if (rec->present()) {
     return Status::AlreadyExists("message " + std::to_string(message.id));
   }
-  if (message.id >= messages_.size()) {
-    // NOTE: resizing invalidates pointers into messages_; the parent is
-    // re-resolved below.
-    messages_.resize(message.id + 1);
-  }
-  MessageRecord& record = messages_[message.id];
-  record.data = message;
-  creator->messages.push_back(message.id);
+  rec->data = message;
+  rec->ready.store(1, std::memory_order_release);
+  creator->messages.push_back({message.id, message.creation_date}, *epoch_);
   if (is_comment) {
-    messages_[message.reply_to_id].replies.push_back(message.id);
+    parent->replies.push_back(message.id, *epoch_);
   } else {
-    forum->posts.push_back(message.id);
+    forum->posts.push_back(message.id, *epoch_);
   }
-  ++num_messages_;
+  num_messages_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -180,93 +192,88 @@ Status GraphStore::AddLikeLocked(const schema::Like& like) {
   if (person == nullptr) {
     return Status::NotFound("like person missing");
   }
-  if (like.message_id >= messages_.size() ||
-      !messages_[like.message_id].present()) {
+  MessageRecord* message = messages_.MutableSlot(like.message_id);
+  if (message == nullptr || !message->present()) {
     return Status::NotFound("liked message missing");
   }
-  person->likes.push_back({like.message_id, like.creation_date});
-  messages_[like.message_id].likes.push_back(
-      {like.person_id, like.creation_date});
-  ++num_likes_;
+  person->likes.push_back({like.message_id, like.creation_date}, *epoch_);
+  message->likes.push_back({like.person_id, like.creation_date}, *epoch_);
+  num_likes_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
-// ---- Read accessors ------------------------------------------------------------
-
-const PersonRecord* GraphStore::FindPerson(schema::PersonId id) const {
-  auto it = persons_.find(id);
-  return it == persons_.end() ? nullptr : &it->second;
-}
-
-PersonRecord* GraphStore::FindPersonMutable(schema::PersonId id) {
-  auto it = persons_.find(id);
-  return it == persons_.end() ? nullptr : &it->second;
-}
-
-const ForumRecord* GraphStore::FindForum(schema::ForumId id) const {
-  auto it = forums_.find(id);
-  return it == forums_.end() ? nullptr : &it->second;
-}
-
-const MessageRecord* GraphStore::FindMessage(schema::MessageId id) const {
-  if (id >= messages_.size() || !messages_[id].present()) return nullptr;
-  return &messages_[id];
-}
+// ---- Read accessors ---------------------------------------------------------
 
 bool GraphStore::AreFriends(schema::PersonId a, schema::PersonId b) const {
   const PersonRecord* pa = FindPerson(a);
   if (pa == nullptr) return false;
+  auto friends = pa->friends.view();
   auto it = std::lower_bound(
-      pa->friends.begin(), pa->friends.end(), b,
+      friends.begin(), friends.end(), b,
       [](const FriendEdge& e, schema::PersonId id) { return e.other < id; });
-  return it != pa->friends.end() && it->other == b;
+  return it != friends.end() && it->other == b;
 }
 
 std::vector<schema::PersonId> GraphStore::PersonIds() const {
   std::vector<schema::PersonId> ids;
-  ids.reserve(persons_.size());
-  for (const auto& [id, _] : persons_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(NumPersons());
+  uint64_t bound = persons_.bound();
+  for (uint64_t id = 0; id < bound; ++id) {
+    const PersonRecord* p = persons_.Slot(id);
+    if (p != nullptr && p->present()) ids.push_back(id);
+  }
   return ids;
 }
 
 std::vector<schema::ForumId> GraphStore::ForumIds() const {
   std::vector<schema::ForumId> ids;
-  ids.reserve(forums_.size());
-  for (const auto& [id, _] : forums_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(NumForums());
+  uint64_t bound = forums_.bound();
+  for (uint64_t id = 0; id < bound; ++id) {
+    const ForumRecord* f = forums_.Slot(id);
+    if (f != nullptr && f->present()) ids.push_back(id);
+  }
   return ids;
 }
 
 StorageBreakdown GraphStore::ComputeStorageBreakdown() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   StorageBreakdown b;
-  for (const MessageRecord& m : messages_) {
-    b.message_bytes += sizeof(MessageRecord) + m.data.content.capacity() +
-                       m.data.tags.capacity() * sizeof(schema::TagId) +
-                       m.replies.capacity() * sizeof(schema::MessageId);
-    b.message_content_bytes += m.data.content.capacity();
-    b.likes_bytes += m.likes.capacity() * sizeof(DatedEdge);
+  uint64_t message_bound = messages_.bound();
+  for (uint64_t id = 0; id < message_bound; ++id) {
+    const MessageRecord* m = messages_.Slot(id);
+    if (m == nullptr || !m->present()) continue;
+    b.message_bytes += sizeof(MessageRecord) + m->data.content.capacity() +
+                       m->data.tags.capacity() * sizeof(schema::TagId) +
+                       m->replies.capacity_bytes();
+    b.message_content_bytes += m->data.content.capacity();
+    b.likes_bytes += m->likes.capacity_bytes();
   }
-  for (const auto& [_, p] : persons_) {
-    uint64_t attr = sizeof(PersonRecord) + p.data.first_name.capacity() +
-                    p.data.last_name.capacity() +
-                    p.data.browser.capacity() +
-                    p.data.location_ip.capacity() +
-                    p.data.interests.capacity() * sizeof(schema::TagId) +
-                    p.data.languages.capacity() * sizeof(uint32_t);
-    for (const std::string& e : p.data.emails) attr += e.capacity();
+  uint64_t person_bound = persons_.bound();
+  for (uint64_t id = 0; id < person_bound; ++id) {
+    const PersonRecord* p = persons_.Slot(id);
+    if (p == nullptr || !p->present()) continue;
+    uint64_t attr = sizeof(PersonRecord) + p->data.first_name.capacity() +
+                    p->data.last_name.capacity() +
+                    p->data.browser.capacity() +
+                    p->data.location_ip.capacity() +
+                    p->data.interests.capacity() * sizeof(schema::TagId) +
+                    p->data.languages.capacity() * sizeof(uint32_t);
+    for (const std::string& e : p->data.emails) attr += e.capacity();
     b.person_bytes += attr;
-    b.friends_bytes += p.friends.capacity() * sizeof(FriendEdge);
-    b.membership_bytes += p.forums.capacity() * sizeof(DatedEdge);
-    b.likes_bytes += p.likes.capacity() * sizeof(DatedEdge);
-    b.message_bytes += p.messages.capacity() * sizeof(schema::MessageId);
+    b.friends_bytes += p->friends.capacity_bytes();
+    b.membership_bytes += p->forums.capacity_bytes();
+    b.likes_bytes += p->likes.capacity_bytes();
+    b.message_bytes += p->messages.capacity_bytes();
   }
-  for (const auto& [_, f] : forums_) {
-    b.forum_bytes += sizeof(ForumRecord) + f.data.title.capacity() +
-                     f.data.tags.capacity() * sizeof(schema::TagId) +
-                     f.posts.capacity() * sizeof(schema::MessageId);
-    b.membership_bytes += f.members.capacity() * sizeof(DatedEdge);
+  uint64_t forum_bound = forums_.bound();
+  for (uint64_t id = 0; id < forum_bound; ++id) {
+    const ForumRecord* f = forums_.Slot(id);
+    if (f == nullptr || !f->present()) continue;
+    b.forum_bytes += sizeof(ForumRecord) + f->data.title.capacity() +
+                     f->data.tags.capacity() * sizeof(schema::TagId) +
+                     f->posts.capacity_bytes();
+    b.membership_bytes += f->members.capacity_bytes();
   }
   return b;
 }

@@ -3,31 +3,51 @@
 // The paper benchmarks Sparksee and Virtuoso; this store is the
 // from-scratch substitute (see DESIGN.md). It keeps the whole SNB graph in
 // adjacency-indexed form:
-//   * persons with friend lists (sorted), created messages (in time order),
-//     joined forums and given likes;
+//   * persons with friend lists (sorted), created messages (in time order,
+//     creation dates inline), joined forums and given likes;
 //   * forums with member lists and contained root posts;
-//   * messages (dense, id == index; ids increase with creation time, so the
+//   * messages (dense, id-indexed; ids increase with creation time, so the
 //     message table is a clustered creation-date index — the locality
 //     property discussed in section 3 of the paper);
 //   * secondary structures mirroring Virtuoso's foreign-key indices.
 //
-// Concurrency: single-writer / multi-reader via a shared mutex. Updates are
-// insert-only, so exclusive writes + shared-lock read snapshots provide
-// serializable behaviour ("systems providing snapshot isolation behave
-// identically to serializable" for this workload — section 4). Writers
-// validate referential integrity and fail with NotFound when a dependency
-// is missing; the workload driver's dependency tracking is what makes such
-// failures impossible, and the driver tests assert exactly that.
+// Concurrency: single-writer / multi-reader. Writers serialize behind an
+// exclusive mutex; the read path depends on the store's ReadConcurrency
+// mode:
+//
+//   * kEpoch (default): readers never touch the writer mutex. ReadLock()
+//     pins an epoch (two uncontended atomic ops on a thread-private cache
+//     line — see util/epoch.h) and every shared structure is published
+//     RCU-style: entity records live at stable addresses in chunked
+//     DenseTables, adjacency lists are RcuVectors whose buffers embed
+//     their element count, and a record becomes visible only after its
+//     `ready` flag is release-stored — *before* the record's id is linked
+//     into any adjacency list, so a reader can always resolve every id it
+//     can see. Updates are insert-only single statements, which is why
+//     these per-object snapshots preserve the paper's observation that
+//     "systems providing snapshot isolation behave identically to
+//     serializable" for this workload (section 4); DESIGN.md spells out
+//     the argument.
+//   * kGlobalLock: the pre-epoch behaviour — ReadLock() takes the writer
+//     mutex shared. Retained as the ablation baseline for
+//     bench_table5_driver_scalability and for tests that want a frozen
+//     whole-store snapshot.
+//
+// Writers validate referential integrity and fail with NotFound when a
+// dependency is missing; the workload driver's dependency tracking is what
+// makes such failures impossible, and the driver tests assert exactly that.
 #ifndef SNB_STORE_GRAPH_STORE_H_
 #define SNB_STORE_GRAPH_STORE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "schema/entities.h"
+#include "store/dense_table.h"
+#include "util/epoch.h"
+#include "util/rcu_vector.h"
 #include "util/status.h"
 
 namespace snb::store {
@@ -38,43 +58,55 @@ struct FriendEdge {
   util::TimestampMs since = 0;
 };
 
-/// A generic (id, date) adjacency entry (membership, like).
+/// A generic (id, date) adjacency entry (membership, like, created
+/// message).
 struct DatedEdge {
   uint64_t id = schema::kInvalidId;
   util::TimestampMs date = 0;
 };
 
-/// Per-person storage: attributes plus adjacency indexes.
+/// Per-person storage: attributes plus adjacency indexes. `data` is
+/// immutable once `ready` is published; adjacency lists keep growing.
 struct PersonRecord {
   schema::Person data;
   /// Sorted by `other` (binary-search friend test).
-  std::vector<FriendEdge> friends;
-  /// Messages created, ascending id (== ascending creation date).
-  std::vector<schema::MessageId> messages;
+  util::RcuVector<FriendEdge> friends;
+  /// Messages created, ascending id == ascending creation date; the date
+  /// rides inline so date-bounded scans (Q2/Q9) never touch the message
+  /// table for candidates they discard.
+  util::RcuVector<DatedEdge> messages;
   /// Forums joined, with join dates.
-  std::vector<DatedEdge> forums;
+  util::RcuVector<DatedEdge> forums;
   /// Likes given: liked message + like date.
-  std::vector<DatedEdge> likes;
+  util::RcuVector<DatedEdge> likes;
+  /// Release-published after `data` is filled.
+  std::atomic<uint32_t> ready{0};
+
+  bool present() const { return ready.load(std::memory_order_acquire) != 0; }
 };
 
 /// Per-forum storage.
 struct ForumRecord {
   schema::Forum data;
   /// Members with join dates (insertion order).
-  std::vector<DatedEdge> members;
+  util::RcuVector<DatedEdge> members;
   /// Root posts/photos contained, ascending id.
-  std::vector<schema::MessageId> posts;
+  util::RcuVector<schema::MessageId> posts;
+  std::atomic<uint32_t> ready{0};
+
+  bool present() const { return ready.load(std::memory_order_acquire) != 0; }
 };
 
 /// Per-message storage.
 struct MessageRecord {
   schema::Message data;
   /// Direct reply comments, ascending id.
-  std::vector<schema::MessageId> replies;
+  util::RcuVector<schema::MessageId> replies;
   /// Likes received: liker + like date.
-  std::vector<DatedEdge> likes;
+  util::RcuVector<DatedEdge> likes;
+  std::atomic<uint32_t> ready{0};
 
-  bool present() const { return data.creator_id != schema::kInvalidId; }
+  bool present() const { return ready.load(std::memory_order_acquire) != 0; }
 };
 
 /// Byte sizes of the store's main structures (Table 8 equivalent).
@@ -93,14 +125,43 @@ struct StorageBreakdown {
   }
 };
 
-/// The store. All read accessors require the caller to hold a lock obtained
-/// from ReadLock() (shared) for snapshot-consistent multi-call reads; the
-/// Add* methods are self-contained transactions.
+/// How ReadLock() provides snapshot semantics.
+enum class ReadConcurrency {
+  /// Lock-free epoch pin; readers scale with threads. Default.
+  kEpoch,
+  /// Shared mutex; the pre-epoch baseline, kept for ablation and for
+  /// callers that need a frozen whole-store snapshot.
+  kGlobalLock,
+};
+
+/// RAII read snapshot: an epoch pin (kEpoch) or a shared lock
+/// (kGlobalLock). Record pointers and adjacency Views obtained from the
+/// store are valid while the guard lives. Default-constructed guards are
+/// disengaged no-ops.
+class ReadGuard {
+ public:
+  ReadGuard() = default;
+  explicit ReadGuard(util::EpochManager& epoch) : epoch_(epoch) {}
+  explicit ReadGuard(std::shared_mutex& mu) : lock_(mu) {}
+  ReadGuard(ReadGuard&&) noexcept = default;
+  ReadGuard& operator=(ReadGuard&&) noexcept = default;
+
+ private:
+  util::EpochGuard epoch_;
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// The store. All read accessors require the caller to hold a guard
+/// obtained from ReadLock() for snapshot-consistent reads; the Add*
+/// methods are self-contained transactions.
 class GraphStore {
  public:
-  GraphStore() = default;
+  explicit GraphStore(ReadConcurrency mode = ReadConcurrency::kEpoch)
+      : mode_(mode), epoch_(&util::EpochManager::Global()) {}
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
+
+  ReadConcurrency read_concurrency() const { return mode_; }
 
   // ---- Loading & updates (each call is one ACID transaction) ----------
 
@@ -117,39 +178,61 @@ class GraphStore {
 
   // ---- Read snapshot --------------------------------------------------
 
-  /// Shared lock for a consistent multi-accessor read; hold it for the
-  /// duration of a query.
-  std::shared_lock<std::shared_mutex> ReadLock() const {
-    return std::shared_lock<std::shared_mutex>(mu_);
+  /// Guard for a consistent multi-accessor read; hold it for the duration
+  /// of a query.
+  ReadGuard ReadLock() const {
+    if (mode_ == ReadConcurrency::kGlobalLock) return ReadGuard(mu_);
+    return ReadGuard(*epoch_);
   }
 
   /// nullptr when absent.
-  const PersonRecord* FindPerson(schema::PersonId id) const;
-  const ForumRecord* FindForum(schema::ForumId id) const;
-  const MessageRecord* FindMessage(schema::MessageId id) const;
+  const PersonRecord* FindPerson(schema::PersonId id) const {
+    const PersonRecord* p = persons_.Slot(id);
+    return p != nullptr && p->present() ? p : nullptr;
+  }
+  const ForumRecord* FindForum(schema::ForumId id) const {
+    const ForumRecord* f = forums_.Slot(id);
+    return f != nullptr && f->present() ? f : nullptr;
+  }
+  const MessageRecord* FindMessage(schema::MessageId id) const {
+    const MessageRecord* m = messages_.Slot(id);
+    return m != nullptr && m->present() ? m : nullptr;
+  }
 
   /// True when a and b are friends (binary search on a's friend list).
   bool AreFriends(schema::PersonId a, schema::PersonId b) const;
 
-  /// Number of messages ever stored; message ids are < this bound and
-  /// ascend with creation date.
-  schema::MessageId MessageIdBound() const {
-    return static_cast<schema::MessageId>(messages_.size());
-  }
+  /// Number of message ids ever allocated; message ids are < this bound
+  /// and ascend with creation date. (Under kEpoch a bound-covered id may
+  /// still be in flight — FindMessage returns nullptr for it.)
+  schema::MessageId MessageIdBound() const { return messages_.bound(); }
 
   /// All person ids, ascending (for whole-graph scans in tests/benches).
   std::vector<schema::PersonId> PersonIds() const;
   /// All forum ids, ascending.
   std::vector<schema::ForumId> ForumIds() const;
 
-  uint64_t NumPersons() const { return persons_.size(); }
-  uint64_t NumForums() const { return forums_.size(); }
-  uint64_t NumKnowsEdges() const { return num_knows_; }
-  uint64_t NumMessages() const { return num_messages_; }
-  uint64_t NumLikes() const { return num_likes_; }
-  uint64_t NumMemberships() const { return num_memberships_; }
+  uint64_t NumPersons() const {
+    return num_persons_.load(std::memory_order_acquire);
+  }
+  uint64_t NumForums() const {
+    return num_forums_.load(std::memory_order_acquire);
+  }
+  uint64_t NumKnowsEdges() const {
+    return num_knows_.load(std::memory_order_acquire);
+  }
+  uint64_t NumMessages() const {
+    return num_messages_.load(std::memory_order_acquire);
+  }
+  uint64_t NumLikes() const {
+    return num_likes_.load(std::memory_order_acquire);
+  }
+  uint64_t NumMemberships() const {
+    return num_memberships_.load(std::memory_order_acquire);
+  }
 
-  /// Table 8 equivalent: allocated bytes per major structure.
+  /// Table 8 equivalent: allocated bytes per major structure. Takes the
+  /// writer lock (it needs a quiescent store).
   StorageBreakdown ComputeStorageBreakdown() const;
 
   /// Version of the Knows graph: bumped by every AddFriendship. Cached
@@ -159,8 +242,16 @@ class GraphStore {
     return knows_version_.load(std::memory_order_acquire);
   }
 
+  /// The manager retired buffers go to; tests drain it between phases.
+  util::EpochManager& epoch_manager() const { return *epoch_; }
+
  private:
-  // Writers hold `mu_` exclusively. Unlocked internals below.
+  // Ids index chunked tables, so a corrupt giant id must fail loudly
+  // instead of allocating a giant directory. Datagen ids are dense and
+  // nowhere near this.
+  static constexpr uint64_t kMaxEntityId = uint64_t{1} << 40;
+
+  // Writers hold `mu_` exclusively (in both modes). Unlocked internals.
   util::Status AddPersonLocked(const schema::Person& person);
   util::Status AddFriendshipLocked(const schema::Knows& knows);
   util::Status AddForumLocked(const schema::Forum& forum);
@@ -169,18 +260,28 @@ class GraphStore {
   util::Status AddMessageLocked(const schema::Message& message);
   util::Status AddLikeLocked(const schema::Like& like);
 
-  PersonRecord* FindPersonMutable(schema::PersonId id);
+  PersonRecord* FindPersonMutable(schema::PersonId id) {
+    PersonRecord* p = persons_.MutableSlot(id);
+    return p != nullptr && p->present() ? p : nullptr;
+  }
+
+  const ReadConcurrency mode_;
+  util::EpochManager* const epoch_;
 
   mutable std::shared_mutex mu_;
-  std::unordered_map<schema::PersonId, PersonRecord> persons_;
-  std::unordered_map<schema::ForumId, ForumRecord> forums_;
-  /// Dense by id; absent slots have present() == false.
-  std::vector<MessageRecord> messages_;
+  DenseTable<PersonRecord> persons_;
+  /// Sparse id space (owner_id * slots_per_person + slot); absent chunks
+  /// cost one null directory entry.
+  DenseTable<ForumRecord> forums_;
+  DenseTable<MessageRecord> messages_;
+
   std::atomic<uint64_t> knows_version_{0};
-  uint64_t num_knows_ = 0;
-  uint64_t num_messages_ = 0;
-  uint64_t num_likes_ = 0;
-  uint64_t num_memberships_ = 0;
+  std::atomic<uint64_t> num_persons_{0};
+  std::atomic<uint64_t> num_forums_{0};
+  std::atomic<uint64_t> num_knows_{0};
+  std::atomic<uint64_t> num_messages_{0};
+  std::atomic<uint64_t> num_likes_{0};
+  std::atomic<uint64_t> num_memberships_{0};
 };
 
 }  // namespace snb::store

@@ -1,0 +1,186 @@
+// Epoch-based reclamation (EBR) for lock-free snapshot reads.
+//
+// The store's read path must scale with driver threads (paper section 4.2:
+// the benchmark is only meaningful when the SUT sustains the accelerated
+// stream). A global reader-writer lock serializes every query on one cache
+// line; instead, readers announce themselves in per-thread epoch slots on
+// separate cache lines and writers publish new versions of data structures
+// with atomic pointer stores, deferring frees until no reader can still
+// hold the old version.
+//
+// Scheme (classic three-epoch EBR, Fraser 2004 / Keir's scheme as used by
+// crossbeam and many kernels):
+//   * A global epoch counter advances monotonically.
+//   * A reader pins the current epoch in its slot for the duration of a
+//     critical section (an `EpochGuard`); 0 means quiescent. Pinning is two
+//     uncontended atomic ops on a thread-private cache line — no shared
+//     write, which is what removes the reader-side scalability ceiling.
+//   * A writer that unlinks an object (replaces its published pointer)
+//     retires it under the current epoch. The global epoch can advance from
+//     E to E+1 only when every pinned slot equals E; garbage retired in
+//     epoch R is freed once the global epoch reaches R+2, because by then
+//     every reader that could have loaded the old pointer has unpinned.
+//
+// Safety argument for the stale-pin race (reader loads the global epoch,
+// stalls, then publishes an old value): a pin that lags the global epoch
+// only *blocks advancement longer* — frees require two further advances
+// past the retire epoch, and each advance requires every pinned slot to
+// have caught up — so staleness delays reclamation but never permits a
+// premature free.
+//
+// Pin cost: the pin must be ordered before the critical section's pointer
+// loads from the *writer's* point of view, which naively needs a seq_cst
+// store (a full fence) on every Enter. Where the kernel offers
+// membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED) we instead use asymmetric
+// fencing, the liburcu "expedited membarrier" flavour: readers pin with a
+// relaxed store + compiler-only fence + acquire re-check, and the writer
+// issues one membarrier — a full barrier on every thread of the process —
+// before scanning slots (and one after advancing). A reader whose pin
+// store is still in its store buffer when the writer scans gets it
+// flushed by the membarrier IPI, so the scan cannot miss it; a reader
+// that pins after the scan must have re-checked the global epoch with an
+// acquire load and therefore observes every unlink that preceded the
+// advance. Without membarrier (non-Linux, old kernels, or TSan, which
+// cannot see cross-thread IPI ordering) we fall back to seq_cst pins.
+//
+// Writers are expected to be externally serialized per data structure
+// (the store is single-writer); Retire/TryReclaim are nevertheless guarded
+// by an internal mutex so that multiple stores can share one manager.
+#ifndef SNB_UTIL_EPOCH_H_
+#define SNB_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace snb::util {
+
+class EpochManager {
+ public:
+  /// Maximum concurrently registered reader threads.
+  static constexpr size_t kMaxThreads = 256;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+  ~EpochManager();
+
+  /// Process-wide manager shared by all stores. Intentionally leaked so
+  /// thread-exit slot release never races manager destruction.
+  static EpochManager& Global();
+
+  // ---- Reader side ------------------------------------------------------
+
+  /// Pins the current epoch for this thread. Nestable; only the outermost
+  /// Enter/Exit pair touches the slot.
+  void Enter();
+  void Exit();
+
+  // ---- Writer side ------------------------------------------------------
+
+  /// Defers `deleter(p)` until no reader pinned at or before the current
+  /// epoch can still reference `p`. The caller must already have unlinked
+  /// `p` from every published location.
+  void Retire(void* p, void (*deleter)(void*));
+
+  template <typename T>
+  void Retire(T* p) {
+    Retire(static_cast<void*>(p),
+           [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Attempts one epoch advance and frees every object whose retire epoch
+  /// is two or more advances old. Cheap when nothing is reclaimable.
+  /// Returns the number of objects freed.
+  size_t TryReclaim();
+
+  /// Reclaims until the limbo list is empty. Spins on TryReclaim, so the
+  /// caller must guarantee that no thread stays pinned indefinitely (and
+  /// must not itself hold a guard). Test/shutdown helper.
+  void DrainForTesting();
+
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  /// Objects retired but not yet freed.
+  size_t pending() const;
+
+  /// Internal: returns a slot to the free pool from the TLS destructor at
+  /// thread exit, so thread churn does not exhaust kMaxThreads. The
+  /// manager the slot belongs to must still be alive — managers must
+  /// outlive every thread that entered them (Global() is leaked for this).
+  static void ReleaseSlotAtThreadExit(void* slot);
+
+  /// True when readers pin with plain stores and the writer shoulders the
+  /// fencing via membarrier(2) (see file comment). Exposed for tests.
+  bool asymmetric_pins() const { return asymmetric_pins_; }
+
+ private:
+  struct alignas(64) Slot {
+    /// Epoch the owning thread is pinned at; 0 = quiescent.
+    std::atomic<uint64_t> epoch{0};
+    /// Non-zero when a live thread owns this slot.
+    std::atomic<uint32_t> claimed{0};
+  };
+
+  struct Garbage {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t retire_epoch;
+  };
+
+  Slot* ClaimSlot();
+  /// Advance + free; caller holds retire_mu_.
+  size_t ReclaimLocked();
+
+  /// One-time probe + registration for expedited membarrier.
+  static bool DetectAsymmetricPins();
+
+  /// Epochs start at 1 so that 0 can mean "quiescent" in slots.
+  std::atomic<uint64_t> global_epoch_{1};
+  const bool asymmetric_pins_ = DetectAsymmetricPins();
+  Slot slots_[kMaxThreads];
+
+  mutable std::mutex retire_mu_;
+  /// FIFO: retire epochs are non-decreasing, so reclaimable entries form a
+  /// prefix.
+  std::deque<Garbage> garbage_;
+};
+
+/// RAII epoch critical section. A disengaged guard (default-constructed or
+/// moved-from) is a no-op, which lets callers pick snapshot semantics at
+/// run time (epoch pin vs. mutex) without branching at every use.
+class EpochGuard {
+ public:
+  EpochGuard() = default;
+  explicit EpochGuard(EpochManager& manager) : manager_(&manager) {
+    manager_->Enter();
+  }
+  EpochGuard(EpochGuard&& other) noexcept : manager_(other.manager_) {
+    other.manager_ = nullptr;
+  }
+  EpochGuard& operator=(EpochGuard&& other) noexcept {
+    if (this != &other) {
+      if (manager_ != nullptr) manager_->Exit();
+      manager_ = other.manager_;
+      other.manager_ = nullptr;
+    }
+    return *this;
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+  ~EpochGuard() {
+    if (manager_ != nullptr) manager_->Exit();
+  }
+
+  bool engaged() const { return manager_ != nullptr; }
+
+ private:
+  EpochManager* manager_ = nullptr;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_EPOCH_H_

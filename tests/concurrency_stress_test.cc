@@ -1,0 +1,170 @@
+// Concurrency stress: reader threads run CQ2/CQ9 in a tight loop while the
+// main thread replays the generated update stream against the same store
+// (epoch read mode, the default). Readers verify per-query invariants that
+// must hold under any snapshot; afterwards the stressed store must answer
+// identically to a replica loaded sequentially.
+//
+// Built under -DSNB_SANITIZE=thread this doubles as the TSan workload for
+// the lock-free read path (ctest -L concurrency).
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "queries/complex_queries.h"
+#include "queries/update_queries.h"
+#include "store/graph_store.h"
+
+namespace snb::store {
+namespace {
+
+// Far past every generated creation date (year 2100).
+constexpr util::TimestampMs kFarFuture = 4102444800000;
+
+struct ReaderStats {
+  uint64_t queries = 0;
+  uint64_t results = 0;
+};
+
+// Returns a description of the first invariant violation, or "" if clean.
+// Runs under its own ReadLock so record lookups are snapshot-safe.
+std::string CheckQ2(const GraphStore& store, schema::PersonId start,
+                    const std::vector<queries::Q2Result>& results) {
+  auto lock = store.ReadLock();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const queries::Q2Result& r = results[i];
+    if (i > 0) {
+      const queries::Q2Result& prev = results[i - 1];
+      bool ordered = prev.creation_date > r.creation_date ||
+                     (prev.creation_date == r.creation_date &&
+                      prev.message_id < r.message_id);
+      if (!ordered) return "Q2 results not (date desc, id asc) ordered";
+    }
+    const MessageRecord* m = store.FindMessage(r.message_id);
+    if (m == nullptr) return "Q2 returned an unresolvable message id";
+    if (m->data.creator_id != r.creator_id) return "Q2 creator mismatch";
+    if (m->data.creation_date != r.creation_date) return "Q2 date mismatch";
+    // Friendships are insert-only, so a creator that was a friend inside
+    // the query's snapshot is still a friend now.
+    if (!store.AreFriends(start, r.creator_id)) {
+      return "Q2 creator is not a friend of the start person";
+    }
+  }
+  return "";
+}
+
+std::string CheckQ9(const GraphStore& store,
+                    const std::vector<queries::Q9Result>& results) {
+  auto lock = store.ReadLock();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const queries::Q9Result& r = results[i];
+    if (i > 0) {
+      const queries::Q9Result& prev = results[i - 1];
+      bool ordered = prev.creation_date > r.creation_date ||
+                     (prev.creation_date == r.creation_date &&
+                      prev.message_id < r.message_id);
+      if (!ordered) return "Q9 results not (date desc, id asc) ordered";
+    }
+    const MessageRecord* m = store.FindMessage(r.message_id);
+    if (m == nullptr) return "Q9 returned an unresolvable message id";
+    if (m->data.creator_id != r.creator_id) return "Q9 creator mismatch";
+    if (m->data.creation_date != r.creation_date) return "Q9 date mismatch";
+  }
+  return "";
+}
+
+TEST(ConcurrencyStressTest, ReadersRaceUpdateReplay) {
+  datagen::DatagenConfig config = datagen::DatagenConfig::ForScaleFactor(0.02);
+  datagen::Dataset ds = datagen::Generate(config);
+  ASSERT_FALSE(ds.updates.empty());
+
+  GraphStore store;  // Default mode: epoch snapshot reads.
+  ASSERT_EQ(store.read_concurrency(), ReadConcurrency::kEpoch);
+  ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
+
+  std::vector<schema::PersonId> persons = store.PersonIds();
+  ASSERT_FALSE(persons.empty());
+
+  constexpr int kReaders = 4;
+  constexpr uint64_t kMinQueriesPerReader = 40;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> errors{0};
+  std::string first_error;  // Written once under the flag below.
+  std::atomic<bool> error_logged{false};
+
+  auto report = [&](const std::string& what) {
+    if (what.empty()) return;
+    errors.fetch_add(1, std::memory_order_relaxed);
+    bool expected = false;
+    if (error_logged.compare_exchange_strong(expected, true)) {
+      first_error = what;
+    }
+  };
+
+  std::vector<ReaderStats> stats(kReaders);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      ReaderStats& my = stats[t];
+      size_t cursor = static_cast<size_t>(t);
+      while (!done.load(std::memory_order_acquire) ||
+             my.queries < kMinQueriesPerReader) {
+        schema::PersonId pid = persons[cursor % persons.size()];
+        cursor += kReaders;
+        auto q2 = queries::Query2(store, pid, kFarFuture);
+        report(CheckQ2(store, pid, q2));
+        auto q9 = queries::Query9(store, pid, kFarFuture);
+        report(CheckQ9(store, q9));
+        my.queries += 2;
+        my.results += q2.size() + q9.size();
+      }
+    });
+  }
+
+  // Writer: replay the full update stream on the main thread.
+  uint64_t applied = 0;
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    ASSERT_TRUE(queries::ApplyUpdate(store, op).ok());
+    ++applied;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(errors.load(), 0u) << first_error;
+  EXPECT_EQ(applied, ds.updates.size());
+  uint64_t total_queries = 0;
+  for (const ReaderStats& s : stats) total_queries += s.queries;
+  EXPECT_GE(total_queries, kReaders * kMinQueriesPerReader);
+
+  // Counters converge to the dataset's ground truth once the stream is in.
+  EXPECT_EQ(store.NumPersons(), ds.stats.num_persons);
+  EXPECT_EQ(store.NumKnowsEdges(), ds.stats.num_knows);
+  EXPECT_EQ(store.NumMessages(), ds.stats.NumMessages());
+  EXPECT_EQ(store.NumLikes(), ds.stats.num_likes);
+
+  // The stressed store must be indistinguishable from a sequential load.
+  GraphStore replica;
+  ASSERT_TRUE(replica.BulkLoad(ds.bulk).ok());
+  for (const datagen::UpdateOperation& op : ds.updates) {
+    ASSERT_TRUE(queries::ApplyUpdate(replica, op).ok());
+  }
+  size_t checked = 0;
+  for (size_t i = 0; i < persons.size() && checked < 16; i += 7, ++checked) {
+    schema::PersonId pid = persons[i];
+    auto got = queries::Query9(store, pid, kFarFuture);
+    auto want = queries::Query9(replica, pid, kFarFuture);
+    ASSERT_EQ(got.size(), want.size()) << "person " << pid;
+    for (size_t k = 0; k < got.size(); ++k) {
+      EXPECT_EQ(got[k].message_id, want[k].message_id);
+      EXPECT_EQ(got[k].creator_id, want[k].creator_id);
+      EXPECT_EQ(got[k].creation_date, want[k].creation_date);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snb::store

@@ -56,10 +56,11 @@ TEST_P(StoreInvariantsTest, FriendListsSortedAndSymmetric) {
   for (schema::PersonId id : store().PersonIds()) {
     const PersonRecord* p = store().FindPerson(id);
     ASSERT_NE(p, nullptr);
-    for (size_t i = 1; i < p->friends.size(); ++i) {
-      EXPECT_LT(p->friends[i - 1].other, p->friends[i].other);
+    auto friends = p->friends.view();
+    for (size_t i = 1; i < friends.size(); ++i) {
+      EXPECT_LT(friends[i - 1].other, friends[i].other);
     }
-    for (const FriendEdge& e : p->friends) {
+    for (const FriendEdge& e : friends) {
       EXPECT_TRUE(store().AreFriends(e.other, id))
           << id << " <-> " << e.other;
       ++directed_edges;
@@ -79,7 +80,7 @@ TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
       ASSERT_NE(parent, nullptr);
       // Child is registered in the parent's reply list.
       bool found = false;
-      for (schema::MessageId r : parent->replies) {
+      for (schema::MessageId r : parent->replies.view()) {
         if (r == id) found = true;
       }
       EXPECT_TRUE(found);
@@ -110,7 +111,7 @@ TEST_P(StoreInvariantsTest, ForumPostsMatchMessages) {
   for (schema::ForumId fid : store().ForumIds()) {
     const ForumRecord* f = store().FindForum(fid);
     ASSERT_NE(f, nullptr);
-    for (schema::MessageId mid : f->posts) {
+    for (schema::MessageId mid : f->posts.view()) {
       const MessageRecord* m = store().FindMessage(mid);
       ASSERT_NE(m, nullptr);
       EXPECT_NE(m->data.kind, schema::MessageKind::kComment);
@@ -119,7 +120,7 @@ TEST_P(StoreInvariantsTest, ForumPostsMatchMessages) {
     }
     // Moderator exists and membership dates follow forum creation.
     EXPECT_NE(store().FindPerson(f->data.moderator_id), nullptr);
-    for (const DatedEdge& member : f->members) {
+    for (const DatedEdge& member : f->members.view()) {
       EXPECT_GE(member.date, f->data.creation_date);
     }
   }
@@ -153,12 +154,13 @@ TEST_P(StoreInvariantsTest, CreatorListsCoverAllMessages) {
   for (schema::PersonId id : store().PersonIds()) {
     const PersonRecord* p = store().FindPerson(id);
     util::TimestampMs last = 0;
-    for (schema::MessageId mid : p->messages) {
-      const MessageRecord* m = store().FindMessage(mid);
+    for (const DatedEdge& e : p->messages.view()) {
+      const MessageRecord* m = store().FindMessage(e.id);
       ASSERT_NE(m, nullptr);
       EXPECT_EQ(m->data.creator_id, id);
-      EXPECT_GE(m->data.creation_date, last);  // Date-ordered.
-      last = m->data.creation_date;
+      EXPECT_EQ(m->data.creation_date, e.date);  // Inline date matches.
+      EXPECT_GE(e.date, last);  // Date-ordered.
+      last = e.date;
       ++via_creators;
     }
   }
