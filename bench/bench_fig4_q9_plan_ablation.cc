@@ -2,11 +2,23 @@
 // choke point behind it — join-type choice. The paper reports that
 // replacing the index-nested-loop joins of the intended plan with hash
 // joins costs ~50% in HyPer/Virtuoso. We execute Q9 under all plan
-// variants and report runtime plus de-facto intermediate cardinalities.
+// variants and report runtime, de-facto intermediate cardinalities, and a
+// per-operator wall-time profile (where inside each plan the time goes).
+//
+// Usage:
+//   bench_fig4_q9_plan_ablation [--report <path>] [--params N]
+// With --report the bench also writes a self-validated report.json
+// (schema snb-report-v1) carrying the intended plan's operator profile —
+// the smoke artifact checked by scripts/check.sh. Exits nonzero when the
+// emitted report fails validation.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "curation/parameter_curation.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "queries/query9_plans.h"
 #include "util/histogram.h"
 #include "util/latency_recorder.h"
@@ -15,18 +27,25 @@ namespace snb::bench {
 namespace {
 
 using queries::JoinStrategy;
+using queries::Q9OperatorProfile;
 using queries::Q9PlanStats;
 
 const char* Short(JoinStrategy s) {
   return s == JoinStrategy::kIndexNestedLoop ? "INL " : "HASH";
 }
 
-void Run() {
+struct Options {
+  std::string report_path;  // Empty = no report.
+  size_t num_params = 20;
+};
+
+int Run(const Options& options) {
   PrintHeader("Figure 4 — Query 9 intended plan & join-type ablation");
   std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf);
   curation::PcTable table =
       curation::BuildTwoHopTable(world->dataset.stats);
-  std::vector<uint64_t> params = curation::CurateParameters(table, 20);
+  std::vector<uint64_t> params =
+      curation::CurateParameters(table, options.num_params);
   util::TimestampMs max_date =
       util::kNetworkStartMs + 30 * util::kMillisPerMonth;
 
@@ -47,19 +66,25 @@ void Run() {
        "all-hash"},
   };
 
+  obs::MetricsRegistry metrics;
   std::printf("  %-16s %10s %10s %10s %10s %10s  %s\n", "plan(j1,j2,j3)",
               "mean ms", "|join1|", "|join2|", "|join3|", "build",
               "note");
   double intended_ms = 0;
+  Q9OperatorProfile intended_profile;
+  std::string intended_name;
   for (const Plan& plan : plans) {
     util::SampleStats stats;
     Q9PlanStats agg{};
+    Q9OperatorProfile profile;
     for (uint64_t p : params) {
       Q9PlanStats s;
       util::Stopwatch watch;
       queries::Query9WithPlan(world->store, p, max_date, 20, plan.j1,
-                              plan.j2, plan.j3, &s);
-      stats.Add(watch.ElapsedMicros() / 1000.0);
+                              plan.j2, plan.j3, &s, &profile);
+      double micros = watch.ElapsedMicros();
+      stats.Add(micros / 1000.0);
+      metrics.RecordLatencyMicros(obs::ComplexOp(9), micros);
       agg.join1_output += s.join1_output;
       agg.join2_output += s.join2_output;
       agg.join3_output += s.join3_output;
@@ -75,20 +100,67 @@ void Run() {
                 (unsigned long long)(agg.join3_output / params.size()),
                 (unsigned long long)(agg.build_tuples / params.size()),
                 plan.note);
-    if (plan.note[0] == 'i') intended_ms = stats.Mean();
+    for (const auto& [op, op_stats] : queries::ProfileRows(profile)) {
+      std::printf("    %-26s %10.3f ms %12llu rows\n", op.c_str(),
+                  op_stats.TimeMs(),
+                  (unsigned long long)op_stats.rows);
+    }
+    if (plan.note[0] == 'i') {
+      intended_ms = stats.Mean();
+      intended_profile = profile;
+      intended_name = name;
+    }
   }
   std::printf(
       "\n  Cardinality profile of the intended plan (paper: 120 friends ->\n"
       "  ~thousands of fof -> millions of messages): |join1| << |join2| <<\n"
       "  messages scanned; picking hash for join1/join2 pays a full\n"
-      "  Friends-table build for a ~120-tuple input.\n");
+      "  Friends-table build for a ~120-tuple input. The operator rows\n"
+      "  show the penalty's location: hash plans sink their time into\n"
+      "  hash_build, INL plans into the joins themselves.\n");
   std::printf("  intended-plan mean: %.3f ms\n\n", intended_ms);
+
+  if (options.report_path.empty()) return 0;
+
+  obs::RunReport report;
+  report.title = "fig4 q9 plan ablation (" + std::to_string(params.size()) +
+                 " curated params/plan)";
+  report.metrics = metrics.Snapshot();
+  report.has_q9_profile = true;
+  report.q9_profile = queries::MakeQ9ProfileSection(
+      intended_profile, intended_name + " (intended)");
+  std::string json = obs::ToJson(report);
+  util::Status valid = obs::ValidateReportJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "report self-validation failed: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  util::Status wrote = obs::WriteFileReport(options.report_path, json);
+  if (!wrote.ok()) {
+    std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  std::printf("  wrote validated %s\n\n", options.report_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace snb::bench
 
-int main() {
-  snb::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  snb::bench::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      options.report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--params") == 0 && i + 1 < argc) {
+      options.num_params = static_cast<size_t>(std::atoi(argv[++i]));
+      if (options.num_params == 0) options.num_params = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--report <path>] [--params N]\n", argv[0]);
+      return 1;
+    }
+  }
+  return snb::bench::Run(options);
 }

@@ -1,9 +1,17 @@
 // Google-benchmark microbenchmarks of the store's primitive operations —
-// the building blocks whose costs compose into Tables 6/7/9.
+// the building blocks whose costs compose into Tables 6/7/9 — plus the
+// snb::obs record path, and a closing Prometheus-style dump of the store's
+// health gauges (epoch reclamation, table occupancy, recycler hit rate).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench/bench_util.h"
+#include "driver/connectors.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "queries/complex_queries.h"
+#include "queries/recycler.h"
 #include "queries/short_queries.h"
 #include "util/rng.h"
 
@@ -134,7 +142,57 @@ void BM_ShortestPath(benchmark::State& state) {
 }
 BENCHMARK(BM_ShortestPath);
 
+// The metrics record path in isolation: one histogram sample = one bucket
+// index computation plus a handful of relaxed atomic RMWs on the calling
+// thread's shard. Threads(8) shows the sharding working — per-thread cost
+// should be flat, not 8x (a single shared histogram would bounce its cache
+// lines between all recorders).
+obs::MetricsRegistry& SharedRegistry() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return *registry;
+}
+
+void BM_MetricsRecordLatency(benchmark::State& state) {
+  obs::MetricsRegistry& registry = SharedRegistry();
+  uint64_t fake_ns = 100;
+  for (auto _ : state) {
+    registry.RecordLatencyNs(obs::OpType::kPointRead, fake_ns);
+    fake_ns = (fake_ns + 37) & 0xffff;  // Walk the low buckets.
+  }
+}
+BENCHMARK(BM_MetricsRecordLatency)->Threads(1)->Threads(8);
+
+// Store-health dump: exercise the recycler a little, then publish epoch,
+// occupancy, and recycler gauges into a registry and print the Prometheus
+// text exposition — the same gauges report.json carries after a driver run.
+void DumpStoreGauges() {
+  BenchWorld& world = SharedWorld();
+  queries::TwoHopRecycler recycler(64);
+  util::Rng rng(9, 1, util::RandomPurpose::kParameterPick);
+  uint64_t n = world.dataset.stats.num_persons;
+  util::TimestampMs mid = util::kNetworkStartMs + 24 * util::kMillisPerMonth;
+  for (int i = 0; i < 256; ++i) {
+    // Skewed picks so the clock cache sees hits, misses, and evictions.
+    uint64_t p = (i % 3 == 0) ? rng.NextBounded(n) : rng.NextBounded(16);
+    benchmark::DoNotOptimize(
+        queries::Query9Recycled(world.store, recycler, p, mid, 20));
+  }
+
+  obs::MetricsRegistry registry;
+  driver::PublishStoreMetrics(world.store, &registry);
+  recycler.PublishMetrics(&registry);
+  std::printf("\n--- store health gauges (Prometheus exposition) ---\n%s",
+              obs::ToPrometheusText(registry.Snapshot()).c_str());
+}
+
 }  // namespace
 }  // namespace snb::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  snb::bench::DumpStoreGauges();
+  return 0;
+}

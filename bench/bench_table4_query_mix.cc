@@ -35,19 +35,17 @@ double MeasureUpdateBaseline() {
   mix.include_complex_reads = false;
   driver::Workload workload =
       driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   driver::StoreConnector connector(&world->store, &world->dataset.updates,
-                                   world->dictionaries.get(), &latencies,
+                                   world->dictionaries.get(), &metrics,
                                    driver::ShortReadWalkConfig(), 50);
   driver::DriverConfig config;
   config.num_partitions = 4;
   driver::RunWorkload(workload.operations, connector, config);
-  double total = latencies.TotalMicrosWithPrefix("update.");
-  uint64_t count = 0;
-  for (const std::string& op : latencies.Operations()) {
-    if (op.rfind("update.", 0) == 0) count += latencies.Get(op).count();
-  }
-  return count > 0 ? total / count : 1.0;
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  double total = snap.SumMicros(obs::kUpdateBegin, obs::kUpdateBegin + 8);
+  uint64_t count = snap.CountInRange(obs::kUpdateBegin, obs::kUpdateBegin + 8);
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
 }
 
 MixOutcome RunMix(const driver::MixCalibration& cal) {
@@ -56,7 +54,7 @@ MixOutcome RunMix(const driver::MixCalibration& cal) {
   mix.frequencies = cal.frequencies;
   driver::Workload workload =
       driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   driver::ShortReadWalkConfig walk;
   walk.initial_probability = cal.short_read_initial_probability;
   walk.decay = cal.short_read_decay;
@@ -65,7 +63,7 @@ MixOutcome RunMix(const driver::MixCalibration& cal) {
   // lookups are so cheap that no walk length can reach a 40% share.
   constexpr int64_t kDispatchOverheadUs = 50;
   driver::StoreConnector connector(&world->store, &world->dataset.updates,
-                                   world->dictionaries.get(), &latencies,
+                                   world->dictionaries.get(), &metrics,
                                    walk, kDispatchOverheadUs);
   driver::DriverConfig config;
   config.num_partitions = 4;
@@ -73,23 +71,20 @@ MixOutcome RunMix(const driver::MixCalibration& cal) {
       driver::RunWorkload(workload.operations, connector, config);
 
   MixOutcome out;
-  double update_us = latencies.TotalMicrosWithPrefix("update.");
-  double complex_us = latencies.TotalMicrosWithPrefix("complex.");
-  double short_us = latencies.TotalMicrosWithPrefix("short.");
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  double update_us = snap.SumMicros(obs::kUpdateBegin, obs::kUpdateBegin + 8);
+  double complex_us = snap.SumMicros(obs::kComplexBegin, obs::kShortBegin);
+  double short_us = snap.SumMicros(obs::kShortBegin, obs::kUpdateBegin);
   double total = update_us + complex_us + short_us;
   out.update_share = update_us / total;
   out.complex_share = complex_us / total;
   out.short_share = short_us / total;
   for (int q = 1; q <= 14; ++q) {
-    out.complex_cost[q - 1] =
-        latencies.Get("complex.Q" + std::to_string(q)).Mean();
+    out.complex_cost[q - 1] = snap.Op(obs::ComplexOp(q)).MeanUs();
   }
-  uint64_t update_count = 0, short_count = 0;
-  for (const std::string& op : latencies.Operations()) {
-    util::SampleStats s = latencies.Get(op);
-    if (op.rfind("update.", 0) == 0) update_count += s.count();
-    if (op.rfind("short.", 0) == 0) short_count += s.count();
-  }
+  uint64_t update_count =
+      snap.CountInRange(obs::kUpdateBegin, obs::kUpdateBegin + 8);
+  uint64_t short_count = snap.CountInRange(obs::kShortBegin, obs::kUpdateBegin);
   out.update_cost = update_count ? update_us / update_count : 1.0;
   out.short_cost = short_count ? short_us / short_count : 1.0;
   out.updates = workload.num_updates;

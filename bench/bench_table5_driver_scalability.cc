@@ -6,12 +6,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "obs/metrics.h"
+#include "queries/short_queries.h"
 
 namespace snb::bench {
 namespace {
@@ -80,6 +84,51 @@ double RunReadAblation(store::ReadConcurrency mode, int reader_threads,
   return static_cast<double>(total_reads.load()) / seconds;
 }
 
+/// Metrics-overhead ablation: the same read+update workload replayed
+/// through the real StoreConnector at 8 partitions (8 worker threads),
+/// with the full instrumentation enabled (per-operation Stopwatch +
+/// histogram sample, driver counters, lag recording) vs with metrics
+/// disconnected. This is the end-to-end question the 5%-budget answers:
+/// does observing the benchmark change the benchmark? The record path in
+/// isolation (~20ns, flat from 1 to 8 threads) is in bench_micro_store.
+struct AblationSample {
+  double ops_per_second = 0;
+  double cpu_us_per_op = 0;
+};
+
+/// One ablation sample: replays a prepared (read-only, so the store is
+/// immutable and the workload reusable) operation stream through the real
+/// StoreConnector at 8 partitions, metrics wired or disconnected.
+AblationSample RunStoreMetricsAblation(BenchWorld& world,
+                                       const std::vector<driver::Operation>& ops,
+                                       bool with_metrics) {
+  obs::MetricsRegistry metrics;
+  driver::StoreConnector connector(&world.store, &world.dataset.updates,
+                                   world.dictionaries.get(),
+                                   with_metrics ? &metrics : nullptr);
+  driver::DriverConfig config;
+  config.num_partitions = 8;
+  if (with_metrics) config.metrics = &metrics;
+  // std::clock() sums CPU across all threads of the process; on a box where
+  // worker threads outnumber cores, CPU-per-op is the stable measure of
+  // added work (wall throughput is dominated by scheduler noise).
+  std::clock_t cpu_before = std::clock();
+  driver::DriverReport report = driver::RunWorkload(ops, connector, config);
+  std::clock_t cpu_after = std::clock();
+  if (report.operations_failed != 0) {
+    std::fprintf(stderr, "failures: %s\n", report.first_error.c_str());
+  }
+  AblationSample sample;
+  sample.ops_per_second = report.ops_per_second;
+  double cpu_us = 1e6 * static_cast<double>(cpu_after - cpu_before) /
+                  CLOCKS_PER_SEC;
+  sample.cpu_us_per_op =
+      report.operations_executed == 0
+          ? 0
+          : cpu_us / static_cast<double>(report.operations_executed);
+  return sample;
+}
+
 double RunOnce(const std::vector<driver::Operation>& ops,
                int64_t sleep_micros, uint32_t partitions,
                driver::ExecutionMode mode) {
@@ -93,6 +142,64 @@ double RunOnce(const std::vector<driver::Operation>& ops,
     std::fprintf(stderr, "failures: %s\n", report.first_error.c_str());
   }
   return report.ops_per_second;
+}
+
+void RunMetricsOverheadSection() {
+  PrintHeader("Ablation — metrics overhead, read workload at 8 partitions");
+  constexpr int kTrials = 3;
+  // Read-only mix: the store stays immutable, so one world and one
+  // operation stream serve every sample, and the stream can be replicated
+  // until a sample runs long enough to average out scheduler phases
+  // (reads carry no dependency times, so replaying past due times is safe
+  // — MarkTime is monotone and ignores stale marks).
+  std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, false, true);
+  driver::QueryMixConfig mix;
+  mix.include_updates = false;
+  driver::Workload workload =
+      driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
+  std::vector<driver::Operation> ops = workload.operations;
+  constexpr size_t kMinOpsPerSample = 60000;
+  while (!workload.operations.empty() && ops.size() < kMinOpsPerSample) {
+    ops.insert(ops.end(), workload.operations.begin(),
+               workload.operations.end());
+  }
+  // One discarded warmup run (allocator growth, page faults), then
+  // alternate which mode goes first each trial: slow drift (heap reuse,
+  // frequency scaling) would otherwise systematically favor whichever
+  // side always ran second.
+  (void)RunStoreMetricsAblation(*world, ops, false);
+  double off_rate = 0, on_rate = 0;
+  double off_cpu = 1e18, on_cpu = 1e18;
+  for (int i = 0; i < 2 * kTrials; ++i) {
+    bool with = (i % 4 == 1 || i % 4 == 2);  // off,on,on,off,off,on,...
+    AblationSample s = RunStoreMetricsAblation(*world, ops, with);
+    std::printf("  sample %d (%s): %8.0f ops/s  %6.2f cpu-us/op\n", i,
+                with ? "on " : "off", s.ops_per_second, s.cpu_us_per_op);
+    if (with) {
+      on_rate = std::max(on_rate, s.ops_per_second);
+      on_cpu = std::min(on_cpu, s.cpu_us_per_op);
+    } else {
+      off_rate = std::max(off_rate, s.ops_per_second);
+      off_cpu = std::min(off_cpu, s.cpu_us_per_op);
+    }
+  }
+  double overhead_pct = 100.0 * (on_cpu - off_cpu) / off_cpu;
+  std::printf("  %-22s %14s %14s\n", "metrics", "driver ops/s", "cpu-us/op");
+  std::printf("  %-22s %14.0f %14.2f\n", "off", off_rate, off_cpu);
+  std::printf("  %-22s %14.0f %14.2f\n", "on (full instr.)", on_rate, on_cpu);
+  std::printf("  overhead (cpu/op): %.1f%%  (acceptance ceiling: 5%%)\n",
+              overhead_pct);
+  std::printf(
+      "  Shape to check: the full per-operation instrumentation (one\n"
+      "  Stopwatch plus one lock-free histogram sample per op, driver\n"
+      "  counters, lag recording) is invisible next to microsecond-scale\n"
+      "  operations — well under the 5%% budget, i.e. observing the\n"
+      "  benchmark does not change the benchmark. The gate is CPU cost\n"
+      "  per operation (min over trials per side): with more worker\n"
+      "  threads than cores, wall throughput swings +/-8%% run to run on\n"
+      "  scheduler noise alone, while added work shows up in CPU time\n"
+      "  regardless of interleaving. bench_micro_store has the isolated\n"
+      "  record path (~20ns, flat from 1 to 8 threads).\n\n");
 }
 
 void Run() {
@@ -188,12 +295,20 @@ void Run() {
       "  writer holds the mutex; the epoch pin is two uncontended stores\n"
       "  on a thread-private cache line, so read throughput no longer\n"
       "  collapses under a live update stream.\n\n");
+
+  RunMetricsOverheadSection();
 }
 
 }  // namespace
 }  // namespace snb::bench
 
-int main() {
+int main(int argc, char** argv) {
+  // --only-metrics: run just the metrics-overhead ablation (iteration aid;
+  // the full run takes minutes).
+  if (argc > 1 && std::string_view(argv[1]) == "--only-metrics") {
+    snb::bench::RunMetricsOverheadSection();
+    return 0;
+  }
   snb::bench::Run();
   return 0;
 }

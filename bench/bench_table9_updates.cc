@@ -7,6 +7,8 @@
 #include "relational/rel_queries.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "obs/metrics.h"
+#include "util/latency_recorder.h"
 
 namespace snb::bench {
 namespace {
@@ -19,19 +21,18 @@ void MeasureUpdates(double sf, const char* graph_label,
   driver::Workload workload =
       driver::BuildWorkload(world->dataset, *world->dictionaries, mix);
 
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   driver::StoreConnector connector(&world->store, &world->dataset.updates,
-                                   world->dictionaries.get(), &latencies);
+                                   world->dictionaries.get(), &metrics);
   driver::DriverConfig config;
   config.num_partitions = 4;
   driver::DriverReport report =
       driver::RunWorkload(workload.operations, connector, config);
 
+  obs::MetricsSnapshot snap = metrics.Snapshot();
   std::printf("  %-20s", graph_label);
   for (int u = 1; u <= 8; ++u) {
-    util::SampleStats stats =
-        latencies.Get("update.U" + std::to_string(u));
-    std::printf("%9.4f", stats.Mean() / 1000.0);
+    std::printf("%9.4f", snap.Op(obs::UpdateOp(u)).MeanUs() / 1000.0);
   }
   std::printf("   (%llu ops, %llu failed)\n",
               (unsigned long long)report.operations_executed,
@@ -42,19 +43,19 @@ void MeasureUpdates(double sf, const char* graph_label,
   // profile).
   rel::RelationalDb relational;
   if (!relational.BulkLoad(world->dataset.bulk).ok()) std::abort();
-  util::LatencyRecorder rel_lat;
+  obs::MetricsRegistry rel_metrics;
   uint64_t failed = 0;
   for (const datagen::UpdateOperation& op : world->dataset.updates) {
     util::Stopwatch watch;
     util::Status status = rel::ApplyUpdate(relational, op);
-    rel_lat.Record("update.U" + std::to_string(static_cast<int>(op.kind)),
-                   watch.ElapsedMicros());
+    rel_metrics.RecordLatencyNs(obs::UpdateOp(static_cast<int>(op.kind)),
+                                watch.ElapsedNanos());
     if (!status.ok()) ++failed;
   }
+  obs::MetricsSnapshot rel_snap = rel_metrics.Snapshot();
   std::printf("  %-20s", rel_label);
   for (int u = 1; u <= 8; ++u) {
-    util::SampleStats stats = rel_lat.Get("update.U" + std::to_string(u));
-    std::printf("%9.4f", stats.Mean() / 1000.0);
+    std::printf("%9.4f", rel_snap.Op(obs::UpdateOp(u)).MeanUs() / 1000.0);
   }
   std::printf("   (%zu ops, %llu failed)\n", world->dataset.updates.size(),
               (unsigned long long)failed);

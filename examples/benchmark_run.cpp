@@ -8,9 +8,12 @@
 //   3. pick an acceleration factor (simulation time / real time) and replay
 //      the workload at that pace;
 //   4. the run is successful if the pace was sustained; report the
-//      acceleration factor and per-query latencies (mean and p99).
+//      acceleration factor and per-query latencies (p50/p95/p99), and
+//      write the machine-readable artifacts: report.json (schema
+//      snb-report-v1, incl. a Q9 per-operator profile) and report.prom
+//      (Prometheus text exposition).
 //
-//   ./examples/benchmark_run [scale_factor] [acceleration]
+//   ./examples/benchmark_run [scale_factor] [acceleration] [report_path]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,6 +21,9 @@
 #include "datagen/datagen.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "queries/query9_plans.h"
 #include "store/graph_store.h"
 
 int main(int argc, char** argv) {
@@ -26,6 +32,7 @@ int main(int argc, char** argv) {
   double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.1;
   // Default: replay the 4 simulated months in ~5 seconds of real time.
   double acceleration = argc > 2 ? std::atof(argv[2]) : 0.0;
+  std::string report_path = argc > 3 ? argv[3] : "report.json";
 
   std::printf("=== SNB-Interactive benchmark run (mini SF %.2f) ===\n\n",
               scale_factor);
@@ -71,14 +78,16 @@ int main(int argc, char** argv) {
   std::printf("acceleration factor: %.0fx (simulation/real time)\n\n",
               acceleration);
 
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   driver::StoreConnector connector(&store, &dataset.updates, &dictionaries,
-                                   &latencies);
+                                   &metrics);
   driver::DriverConfig driver_config;
   driver_config.num_partitions = 4;
   driver_config.acceleration = acceleration;
+  driver_config.metrics = &metrics;
   driver::DriverReport report =
       driver::RunWorkload(workload.operations, connector, driver_config);
+  driver::PublishStoreMetrics(store, &metrics);
 
   std::printf("=== results ===\n");
   std::printf("executed %llu driver ops in %.2f s (%.0f ops/s), %llu failed\n",
@@ -90,15 +99,67 @@ int main(int argc, char** argv) {
               report.sustained ? "SUSTAINED" : "NOT SUSTAINED",
               acceleration);
 
-  std::printf("%-14s %8s %10s %10s %10s\n", "operation", "count",
-              "mean ms", "p99 ms", "max ms");
-  for (const std::string& op : latencies.Operations()) {
-    util::SampleStats stats = latencies.Get(op);
-    std::printf("%-14s %8zu %10.3f %10.3f %10.3f\n", op.c_str(),
-                stats.count(), stats.Mean() / 1000.0,
-                stats.Percentile(99) / 1000.0, stats.Max() / 1000.0);
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  std::printf("%-18s %8s %10s %10s %10s %10s\n", "operation", "count",
+              "p50 ms", "p95 ms", "p99 ms", "max ms");
+  for (size_t i = 0; i < obs::kNumOpTypes; ++i) {
+    const obs::OpSnapshot& op = snap.ops[i];
+    if (op.count == 0) continue;
+    std::printf("%-18s %8llu %10.3f %10.3f %10.3f %10.3f\n",
+                obs::OpTypeName(static_cast<obs::OpType>(i)),
+                (unsigned long long)op.count, op.PercentileUs(50) / 1000.0,
+                op.PercentileUs(95) / 1000.0, op.PercentileUs(99) / 1000.0,
+                op.MaxUs() / 1000.0);
   }
-  std::printf("\nbenchmark metric: acceleration-factor %.0fx %s\n",
+
+  // Profile the intended Q9 plan (INL-INL-HASH, Figure 4) on a handful of
+  // real parameters so the report carries a per-operator section.
+  queries::Q9OperatorProfile q9_profile;
+  {
+    std::vector<schema::PersonId> persons = store.PersonIds();
+    int runs = 0;
+    for (size_t i = 0; i < persons.size() && runs < 5; i += 17, ++runs) {
+      queries::Query9WithPlan(
+          store, persons[i], workload.operations.back().due_time, 20,
+          queries::JoinStrategy::kIndexNestedLoop,
+          queries::JoinStrategy::kIndexNestedLoop,
+          queries::JoinStrategy::kIndexNestedLoop, nullptr, &q9_profile);
+    }
+  }
+  std::printf("\nQ9 operator profile (INL-INL-INL, 5 executions):\n");
+  for (const auto& [name, stats] : queries::ProfileRows(q9_profile)) {
+    std::printf("  %-26s %6llu calls %10.3f ms %10llu rows\n", name.c_str(),
+                (unsigned long long)stats.invocations, stats.TimeMs(),
+                (unsigned long long)stats.rows);
+  }
+
+  obs::RunReport run_report;
+  run_report.title = "snb-interactive benchmark_run SF " +
+                     std::to_string(scale_factor);
+  run_report.metrics = metrics.Snapshot();  // Re-snapshot: gauges now set.
+  run_report.has_driver = true;
+  run_report.driver = driver::MakeDriverSection(report);
+  run_report.has_q9_profile = true;
+  run_report.q9_profile =
+      queries::MakeQ9ProfileSection(q9_profile, "INL-INL-INL");
+  std::string json = obs::ToJson(run_report);
+  util::Status valid = obs::ValidateReportJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "report self-validation failed: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  status = obs::WriteFileReport(report_path, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::string prom_path = report_path + ".prom";
+  (void)obs::WriteFileReport(prom_path,
+                             obs::ToPrometheusText(run_report.metrics));
+  std::printf("\nwrote %s and %s\n", report_path.c_str(), prom_path.c_str());
+
+  std::printf("benchmark metric: acceleration-factor %.0fx %s\n",
               acceleration,
               report.sustained ? "(valid run)" : "(lower the factor)");
   return report.sustained ? 0 : 2;

@@ -12,14 +12,28 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${jobs}"
 (cd build && ctest --output-on-failure -j"${jobs}")
 
-# Only the three concurrency test targets are built under the sanitizers;
-# a whole-tree sanitizer build adds minutes without adding coverage.
+echo "== obs: registry/report tests + bench smoke with profiling =="
+(cd build && ctest -L obs --output-on-failure)
+# One complex-read bench with operator profiling on, emitting report.json.
+# The binary self-validates the report (schema tag, non-empty op table,
+# monotone percentiles, populated q9_profile) and exits nonzero otherwise;
+# here we only re-check that the artifact landed non-empty.
+smoke_report="$(mktemp -t snb-smoke-report.XXXXXX.json)"
+trap 'rm -f "${smoke_report}"' EXIT
+./build/bench/bench_fig4_q9_plan_ablation --params 4 --report "${smoke_report}"
+test -s "${smoke_report}" || {
+  echo "bench smoke produced an empty ${smoke_report}" >&2
+  exit 1
+}
+
+# Only the concurrency test targets are built under the sanitizers; a
+# whole-tree sanitizer build adds minutes without adding coverage.
 for san in address thread; do
   dir="build-${san}-san"
   echo "== ${san} sanitizer: concurrency-labelled tests =="
   cmake -B "${dir}" -S . -DSNB_SANITIZE="${san}" >/dev/null
   cmake --build "${dir}" -j"${jobs}" \
-    --target epoch_test concurrency_stress_test graph_store_test
+    --target epoch_test concurrency_stress_test graph_store_test obs_test
   (cd "${dir}" && ctest -L concurrency --output-on-failure)
 done
 

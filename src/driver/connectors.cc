@@ -7,6 +7,7 @@
 #include "queries/complex_queries.h"
 #include "queries/short_queries.h"
 #include "queries/update_queries.h"
+#include "util/latency_recorder.h"
 #include "util/rng.h"
 
 namespace snb::driver {
@@ -35,12 +36,12 @@ StoreConnector::StoreConnector(
     store::GraphStore* store,
     const std::vector<datagen::UpdateOperation>* updates,
     const schema::Dictionaries* dictionaries,
-    util::LatencyRecorder* latencies, ShortReadWalkConfig walk,
+    obs::MetricsRegistry* metrics, ShortReadWalkConfig walk,
     int64_t dispatch_overhead_us)
     : store_(store),
       updates_(updates),
       dict_(dictionaries),
-      latencies_(latencies),
+      metrics_(metrics),
       walk_(walk),
       dispatch_overhead_us_(dispatch_overhead_us) {
   for (const schema::City& c : dict_->cities()) {
@@ -183,8 +184,10 @@ Status StoreConnector::ExecuteComplex(const Operation& op) {
     default:
       return Status::InvalidArgument("complex query id out of range");
   }
-  latencies_->Record("complex.Q" + std::to_string(op.query_id),
-                     watch.ElapsedMicros());
+  if (metrics_ != nullptr) {
+    metrics_->RecordLatencyNs(obs::ComplexOp(op.query_id),
+                              watch.ElapsedNanos());
+  }
   RunShortReadWalk(op, result_persons, result_messages);
   return Status::Ok();
 }
@@ -219,8 +222,9 @@ Status StoreConnector::ExecuteShort(uint8_t query_id,
     default:
       return Status::InvalidArgument("short query id out of range");
   }
-  latencies_->Record("short.S" + std::to_string(query_id),
-                     watch.ElapsedMicros());
+  if (metrics_ != nullptr) {
+    metrics_->RecordLatencyNs(obs::ShortOp(query_id), watch.ElapsedNanos());
+  }
   short_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -233,9 +237,10 @@ Status StoreConnector::ExecuteUpdate(const Operation& op) {
   Stopwatch watch;
   SpinFor(dispatch_overhead_us_);
   Status status = queries::ApplyUpdate(*store_, update);
-  latencies_->Record(
-      "update.U" + std::to_string(static_cast<int>(update.kind)),
-      watch.ElapsedMicros());
+  if (metrics_ != nullptr) {
+    metrics_->RecordLatencyNs(
+        obs::UpdateOp(static_cast<int>(update.kind)), watch.ElapsedNanos());
+  }
   return status;
 }
 
@@ -250,6 +255,7 @@ void StoreConnector::RunShortReadWalk(
   // provides an input for Post lookup, and vice versa").
   std::vector<schema::PersonId> cur_persons = persons;
   std::vector<schema::MessageId> cur_messages = messages;
+  uint64_t steps = 0;
   while (p > 0.0 && rng.NextBool(p)) {
     bool use_person = !cur_persons.empty() &&
                       (cur_messages.empty() || rng.NextBool(0.5));
@@ -273,8 +279,35 @@ void StoreConnector::RunShortReadWalk(
       cur_persons.clear();
       if (creator.found) cur_persons.push_back(creator.creator_id);
     }
+    ++steps;
     p -= walk_.decay;
   }
+  // One batched counter update per walk, not one RMW per step.
+  if (metrics_ != nullptr && steps > 0) {
+    metrics_->AddCounter(obs::Counter::kShortReadWalkSteps, steps);
+  }
+}
+
+void PublishStoreMetrics(const store::GraphStore& store,
+                         obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  util::EpochManager::EpochStats epoch = store.epoch_manager().stats();
+  metrics->SetGauge(obs::Gauge::kEpochAdvances, epoch.advances);
+  metrics->SetGauge(obs::Gauge::kEpochRetired, epoch.retired);
+  metrics->SetGauge(obs::Gauge::kEpochFreed, epoch.freed);
+  metrics->SetGauge(obs::Gauge::kEpochPending, epoch.pending);
+  store::GraphStore::TableOccupancy persons = store.PersonTableStats();
+  metrics->SetGauge(obs::Gauge::kPersonSlotsUsed, persons.used);
+  metrics->SetGauge(obs::Gauge::kPersonSlotsAllocated,
+                    persons.allocated_slots);
+  store::GraphStore::TableOccupancy forums = store.ForumTableStats();
+  metrics->SetGauge(obs::Gauge::kForumSlotsUsed, forums.used);
+  metrics->SetGauge(obs::Gauge::kForumSlotsAllocated,
+                    forums.allocated_slots);
+  store::GraphStore::TableOccupancy messages = store.MessageTableStats();
+  metrics->SetGauge(obs::Gauge::kMessageSlotsUsed, messages.used);
+  metrics->SetGauge(obs::Gauge::kMessageSlotsAllocated,
+                    messages.allocated_slots);
 }
 
 Status SleepingConnector::Execute(const Operation& /*op*/) {

@@ -9,9 +9,9 @@
 
 #include "datagen/datagen.h"
 #include "driver/operation.h"
+#include "obs/metrics.h"
 #include "schema/dictionaries.h"
 #include "store/graph_store.h"
-#include "util/latency_recorder.h"
 #include "util/status.h"
 
 namespace snb::driver {
@@ -35,20 +35,21 @@ struct ShortReadWalkConfig {
 
 /// Connector executing the workload against the in-process GraphStore.
 /// Complex-read results seed the short-read random walk; every executed
-/// query records its latency under "complex.Q<i>", "short.S<i>" or
-/// "update.U<i>".
+/// query records its latency under the matching obs::OpType
+/// (complex.Q<i>, short.S<i>, update.U<i>).
 class StoreConnector : public Connector {
  public:
   /// `store` must outlive the connector. `updates` is the pre-generated
   /// update stream referenced by Operation::update_index. `dictionaries`
-  /// resolves names/countries/tag classes for read parameters.
+  /// resolves names/countries/tag classes for read parameters. `metrics`
+  /// may be null — execution then records nothing.
   /// `dispatch_overhead_us` emulates the per-operation client-server
   /// round-trip of the paper's setups (0 = in-process, no overhead). It is
   /// added to every executed query/update before latency recording.
   StoreConnector(store::GraphStore* store,
                  const std::vector<datagen::UpdateOperation>* updates,
                  const schema::Dictionaries* dictionaries,
-                 util::LatencyRecorder* latencies,
+                 obs::MetricsRegistry* metrics,
                  ShortReadWalkConfig walk = ShortReadWalkConfig(),
                  int64_t dispatch_overhead_us = 0);
 
@@ -74,7 +75,7 @@ class StoreConnector : public Connector {
   store::GraphStore* store_;
   const std::vector<datagen::UpdateOperation>* updates_;
   const schema::Dictionaries* dict_;
-  util::LatencyRecorder* latencies_;
+  obs::MetricsRegistry* metrics_;
   ShortReadWalkConfig walk_;
   int64_t dispatch_overhead_us_ = 0;
   std::vector<schema::PlaceId> city_country_;
@@ -101,6 +102,12 @@ class SleepingConnector : public Connector {
   int64_t sleep_micros_;
   std::atomic<uint64_t> executed_{0};
 };
+
+/// Publishes the store's structural gauges — epoch-reclamation stats and
+/// per-entity DenseTable occupancy — into the registry. Call at snapshot
+/// points (end of run, bench report time); no-op when `metrics` is null.
+void PublishStoreMetrics(const store::GraphStore& store,
+                         obs::MetricsRegistry* metrics);
 
 }  // namespace snb::driver
 

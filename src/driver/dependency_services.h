@@ -126,6 +126,11 @@ class GlobalDependencyService : public DependencyWatermark {
   /// Blocks until TGC() >= t.
   void WaitUntilCompleted(TimestampMs t);
 
+  /// Non-blocking probe: true iff TGC() >= t already. TGC is monotone, so
+  /// a true answer stays true; callers can skip WaitUntilCompleted (and its
+  /// mutex) for dependencies that are already satisfied.
+  bool CompletedThrough(TimestampMs t) const { return TGC() >= t; }
+
   /// Wakes waiters; called by LDS on every progress event.
   void NotifyProgress();
 

@@ -10,6 +10,7 @@
 
 #include "datagen/config.h"
 #include "driver/dependency_services.h"
+#include "util/latency_recorder.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -20,6 +21,10 @@ using Clock = std::chrono::steady_clock;
 
 /// Shared run accounting across worker threads.
 struct RunState {
+  /// Length of the per-second lag timeline (max tracked run length; later
+  /// seconds fold into the last slot rather than being dropped).
+  static constexpr size_t kMaxTimelineSeconds = 1024;
+
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> failed{0};
   std::mutex error_mu;
@@ -27,6 +32,15 @@ struct RunState {
   std::atomic<int64_t> max_lag_us{0};
   std::atomic<uint64_t> dependencies_tracked{0};
   std::atomic<uint64_t> dependent_waits{0};
+  /// lag_timeline_us[s]: max lag among operations scheduled in second s of
+  /// the run; -1 = no operation was due in that second.
+  std::vector<std::atomic<int64_t>> lag_timeline_us;
+
+  RunState() : lag_timeline_us(kMaxTimelineSeconds) {
+    for (auto& slot : lag_timeline_us) {
+      slot.store(-1, std::memory_order_relaxed);
+    }
+  }
 
   void RecordResult(const util::Status& status) {
     executed.fetch_add(1, std::memory_order_relaxed);
@@ -37,10 +51,21 @@ struct RunState {
     }
   }
 
-  void RecordLag(int64_t lag_us) {
+  /// `second` is the operation's scheduled second of the run (-1 when
+  /// unthrottled — no timeline then).
+  void RecordLag(int64_t lag_us, int64_t second) {
     int64_t cur = max_lag_us.load(std::memory_order_relaxed);
     while (lag_us > cur &&
            !max_lag_us.compare_exchange_weak(cur, lag_us)) {
+    }
+    if (second < 0) return;
+    size_t idx = std::min<size_t>(static_cast<size_t>(second),
+                                  kMaxTimelineSeconds - 1);
+    std::atomic<int64_t>& slot = lag_timeline_us[idx];
+    int64_t seen = slot.load(std::memory_order_relaxed);
+    while (lag_us > seen &&
+           !slot.compare_exchange_weak(seen, lag_us,
+                                       std::memory_order_relaxed)) {
     }
   }
 };
@@ -73,6 +98,17 @@ class Throttle {
         .count();
   }
 
+  /// The run-relative second `due` is scheduled into (-1 when
+  /// unthrottled). Pure due-time arithmetic — no clock read — so the
+  /// timeline costs nothing beyond the CAS-max in RecordLag.
+  int64_t ScheduledSecond(util::TimestampMs due) const {
+    if (acceleration_ <= 0.0) return -1;
+    double real_ms = static_cast<double>(due - base_due_) / acceleration_;
+    return real_ms < 0.0 ? 0 : static_cast<int64_t>(real_ms / 1000.0);
+  }
+
+  bool throttled() const { return acceleration_ > 0.0; }
+
  private:
   double acceleration_;
   util::TimestampMs base_due_;
@@ -94,7 +130,8 @@ uint32_t PartitionOf(const Operation& op, uint32_t num_partitions,
 void RunStream(const std::vector<const Operation*>& ops,
                Connector& connector, ExecutionMode mode,
                LocalDependencyService* lds, GlobalDependencyService* gds,
-               const Throttle& throttle, RunState* state) {
+               const Throttle& throttle, RunState* state,
+               obs::MetricsRegistry* metrics) {
   for (const Operation* op : ops) {
     bool is_dependency =
         op->is_dependency ||
@@ -111,9 +148,27 @@ void RunStream(const std::vector<const Operation*>& ops,
     }
     if (wait_for > 0) {
       state->dependent_waits.fetch_add(1, std::memory_order_relaxed);
-      gds->WaitUntilCompleted(wait_for);
+      // Most dependencies are already satisfied by the time their dependent
+      // op is due; the lock-free probe keeps those off the waiter mutex and
+      // keeps the clock out of the no-wait path entirely (kGctWait records
+      // only waits that actually blocked).
+      if (!gds->CompletedThrough(wait_for)) {
+        if (metrics != nullptr) {
+          util::Stopwatch wait_watch;
+          gds->WaitUntilCompleted(wait_for);
+          metrics->RecordLatencyNs(obs::OpType::kGctWait,
+                                   wait_watch.ElapsedNanos());
+        } else {
+          gds->WaitUntilCompleted(wait_for);
+        }
+      }
     }
-    state->RecordLag(throttle.WaitUntilDue(op->due_time));
+    int64_t lag_us = throttle.WaitUntilDue(op->due_time);
+    state->RecordLag(lag_us, throttle.ScheduledSecond(op->due_time));
+    if (metrics != nullptr && throttle.throttled()) {
+      metrics->RecordLatencyNs(obs::OpType::kSchedLag,
+                               static_cast<uint64_t>(lag_us) * 1000);
+    }
     state->RecordResult(connector.Execute(*op));
     if (is_dependency) lds->Complete(op->due_time);
   }
@@ -138,6 +193,22 @@ DriverReport FinishReport(const RunState& state, double elapsed_seconds,
                          config.sustained_lag_threshold_ms;
   report.dependencies_tracked = state.dependencies_tracked.load();
   report.dependent_waits = state.dependent_waits.load();
+  for (size_t s = 0; s < RunState::kMaxTimelineSeconds; ++s) {
+    int64_t lag_us = state.lag_timeline_us[s].load(std::memory_order_relaxed);
+    if (lag_us < 0) continue;
+    report.lag_timeline_ms.emplace_back(
+        static_cast<double>(s), static_cast<double>(lag_us) / 1000.0);
+  }
+  if (config.metrics != nullptr) {
+    config.metrics->AddCounter(obs::Counter::kOperationsExecuted,
+                               report.operations_executed);
+    config.metrics->AddCounter(obs::Counter::kOperationsFailed,
+                               report.operations_failed);
+    config.metrics->AddCounter(obs::Counter::kDependenciesTracked,
+                               report.dependencies_tracked);
+    config.metrics->AddCounter(obs::Counter::kGctDependentWaits,
+                               report.dependent_waits);
+  }
   return report;
 }
 
@@ -168,7 +239,7 @@ DriverReport RunStreamed(const std::vector<Operation>& operations,
   for (uint32_t p = 0; p < partitions; ++p) {
     workers.emplace_back([&, p] {
       RunStream(streams[p], connector, config.mode, lds[p], &gds, throttle,
-                &state);
+                &state, config.metrics);
     });
   }
   for (std::thread& t : workers) t.join();
@@ -200,7 +271,8 @@ DriverReport RunWindowed(const std::vector<Operation>& operations,
     }
 
     // Throttled runs start a window no earlier than its scheduled time.
-    state.RecordLag(throttle.WaitUntilDue(window_start));
+    state.RecordLag(throttle.WaitUntilDue(window_start),
+                    throttle.ScheduledSecond(window_start));
 
     // Group the window: forum-tree ops run sequentially per forum; all
     // remaining ops have >= T_SAFE-old dependencies and run freely.
@@ -239,6 +311,20 @@ DriverReport RunWindowed(const std::vector<Operation>& operations,
 }
 
 }  // namespace
+
+obs::DriverSection MakeDriverSection(const DriverReport& report) {
+  obs::DriverSection section;
+  section.operations_executed = report.operations_executed;
+  section.operations_failed = report.operations_failed;
+  section.elapsed_seconds = report.elapsed_seconds;
+  section.ops_per_second = report.ops_per_second;
+  section.max_schedule_lag_ms = report.max_schedule_lag_ms;
+  section.sustained = report.sustained;
+  section.dependencies_tracked = report.dependencies_tracked;
+  section.dependent_waits = report.dependent_waits;
+  section.lag_timeline_ms = report.lag_timeline_ms;
+  return section;
+}
 
 const char* ExecutionModeName(ExecutionMode mode) {
   switch (mode) {

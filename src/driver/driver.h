@@ -30,10 +30,12 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "driver/connectors.h"
 #include "driver/operation.h"
+#include "obs/report.h"
 #include "util/histogram.h"
 
 namespace snb::driver {
@@ -59,6 +61,11 @@ struct DriverConfig {
   /// Max scheduling lag (real ms) before a throttled run counts as not
   /// sustained.
   double sustained_lag_threshold_ms = 1000.0;
+  /// Optional metrics sink. When set, the driver records per-operation
+  /// scheduling lag (driver.sched_lag) and T_GC dependent-wait time
+  /// (driver.gct_wait) as latency series, and accumulates the run's
+  /// executed/failed/dependency counters at the end of the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Outcome of a driver run.
@@ -76,7 +83,14 @@ struct DriverReport {
   uint64_t dependent_waits = 0;
   /// True when a throttled run kept max lag under the threshold.
   bool sustained = true;
+  /// Scheduling-lag time series for throttled runs: (scheduled second of
+  /// the run, max lag ms among operations due within that second). Empty
+  /// when unthrottled. Seconds with no due operations are absent.
+  std::vector<std::pair<double, double>> lag_timeline_ms;
 };
+
+/// Packages a report as the report.json "driver" section.
+obs::DriverSection MakeDriverSection(const DriverReport& report);
 
 /// Runs `operations` (must be sorted by due_time ascending) through
 /// `connector` with the configured mode and parallelism. Blocks until every

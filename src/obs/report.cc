@@ -1,0 +1,549 @@
+#include "obs/report.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snb::obs {
+namespace {
+
+// ---- JSON writing helpers -------------------------------------------------
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0.0;  // JSON has no Inf/NaN.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendKey(std::string* out, const char* key) {
+  AppendEscaped(out, key);
+  out->push_back(':');
+}
+
+// ---- JSON parser ----------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* why) {
+    if (error_ != nullptr) {
+      *error_ = std::string(why) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseLiteral(c == 't' ? "true" : "false", out);
+      case 'n':
+        return ParseLiteral("null", out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(const char* lit, JsonValue* out) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return Fail("bad literal");
+    pos_ += n;
+    if (lit[0] == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+    } else {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = lit[0] == 't';
+    }
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return Fail("expected a value");
+    pos_ += static_cast<size_t>(end - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          // The writer only emits \u00XX control escapes; decode the low
+          // byte and ignore the rest of the plane.
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+/// Numeric object member or fallback.
+double NumberOr(const JsonValue& obj, const std::string& key,
+                double fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).ParseDocument(out);
+}
+
+std::string ToJson(const RunReport& report) {
+  std::string out;
+  out.reserve(16 * 1024);
+  out += "{";
+  AppendKey(&out, "schema");
+  out += "\"snb-report-v1\",";
+  AppendKey(&out, "title");
+  AppendEscaped(&out, report.title);
+  out += ",";
+
+  // Per-op-type latency table (Tables 6/7/9 layout).
+  AppendKey(&out, "ops");
+  out += "[";
+  bool first = true;
+  for (size_t i = 0; i < kNumOpTypes; ++i) {
+    const OpSnapshot& op = report.metrics.ops[i];
+    if (op.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{";
+    AppendKey(&out, "op");
+    AppendEscaped(&out, OpTypeName(static_cast<OpType>(i)));
+    out += ",";
+    AppendKey(&out, "count");
+    AppendU64(&out, op.count);
+    out += ",";
+    AppendKey(&out, "mean_ms");
+    AppendDouble(&out, op.MeanUs() / 1000.0);
+    out += ",";
+    AppendKey(&out, "min_ms");
+    AppendDouble(&out, op.MinUs() / 1000.0);
+    out += ",";
+    AppendKey(&out, "p50_ms");
+    AppendDouble(&out, op.PercentileUs(50) / 1000.0);
+    out += ",";
+    AppendKey(&out, "p90_ms");
+    AppendDouble(&out, op.PercentileUs(90) / 1000.0);
+    out += ",";
+    AppendKey(&out, "p95_ms");
+    AppendDouble(&out, op.PercentileUs(95) / 1000.0);
+    out += ",";
+    AppendKey(&out, "p99_ms");
+    AppendDouble(&out, op.PercentileUs(99) / 1000.0);
+    out += ",";
+    AppendKey(&out, "max_ms");
+    AppendDouble(&out, op.MaxUs() / 1000.0);
+    out += "}";
+  }
+  out += "],";
+
+  AppendKey(&out, "counters");
+  out += "{";
+  for (size_t c = 0; c < kNumCounters; ++c) {
+    if (c != 0) out += ",";
+    AppendKey(&out, CounterName(static_cast<Counter>(c)));
+    AppendU64(&out, report.metrics.counters[c]);
+  }
+  out += "},";
+
+  AppendKey(&out, "gauges");
+  out += "{";
+  for (size_t g = 0; g < kNumGauges; ++g) {
+    if (g != 0) out += ",";
+    AppendKey(&out, GaugeName(static_cast<Gauge>(g)));
+    AppendU64(&out, report.metrics.gauges[g]);
+  }
+  out += "}";
+
+  if (report.has_driver) {
+    const DriverSection& d = report.driver;
+    out += ",";
+    AppendKey(&out, "driver");
+    out += "{";
+    AppendKey(&out, "operations_executed");
+    AppendU64(&out, d.operations_executed);
+    out += ",";
+    AppendKey(&out, "operations_failed");
+    AppendU64(&out, d.operations_failed);
+    out += ",";
+    AppendKey(&out, "elapsed_seconds");
+    AppendDouble(&out, d.elapsed_seconds);
+    out += ",";
+    AppendKey(&out, "ops_per_second");
+    AppendDouble(&out, d.ops_per_second);
+    out += ",";
+    AppendKey(&out, "max_schedule_lag_ms");
+    AppendDouble(&out, d.max_schedule_lag_ms);
+    out += ",";
+    AppendKey(&out, "sustained");
+    out += d.sustained ? "true" : "false";
+    out += ",";
+    AppendKey(&out, "dependencies_tracked");
+    AppendU64(&out, d.dependencies_tracked);
+    out += ",";
+    AppendKey(&out, "dependent_waits");
+    AppendU64(&out, d.dependent_waits);
+    out += ",";
+    AppendKey(&out, "lag_timeline_ms");
+    out += "[";
+    for (size_t i = 0; i < d.lag_timeline_ms.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "[";
+      AppendDouble(&out, d.lag_timeline_ms[i].first);
+      out += ",";
+      AppendDouble(&out, d.lag_timeline_ms[i].second);
+      out += "]";
+    }
+    out += "]}";
+  }
+
+  if (report.has_q9_profile) {
+    const Q9ProfileSection& q9 = report.q9_profile;
+    out += ",";
+    AppendKey(&out, "q9_profile");
+    out += "{";
+    AppendKey(&out, "plan");
+    AppendEscaped(&out, q9.plan);
+    out += ",";
+    AppendKey(&out, "operators");
+    out += "[";
+    for (size_t i = 0; i < q9.operators.size(); ++i) {
+      const OperatorEntry& entry = q9.operators[i];
+      if (i != 0) out += ",";
+      out += "{";
+      AppendKey(&out, "name");
+      AppendEscaped(&out, entry.name);
+      out += ",";
+      AppendKey(&out, "invocations");
+      AppendU64(&out, entry.stats.invocations);
+      out += ",";
+      AppendKey(&out, "time_ms");
+      AppendDouble(&out, entry.stats.TimeMs());
+      out += ",";
+      AppendKey(&out, "rows");
+      AppendU64(&out, entry.stats.rows);
+      out += "}";
+    }
+    out += "]}";
+  }
+
+  out += "}";
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(8 * 1024);
+  char buf[160];
+  out += "# TYPE snb_op_count counter\n";
+  out += "# TYPE snb_op_latency_ms summary\n";
+  for (size_t i = 0; i < kNumOpTypes; ++i) {
+    const OpSnapshot& op = snapshot.ops[i];
+    if (op.count == 0) continue;
+    const char* name = OpTypeName(static_cast<OpType>(i));
+    std::snprintf(buf, sizeof(buf), "snb_op_count{op=\"%s\"} %" PRIu64 "\n",
+                  name, op.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "snb_op_latency_ms_sum{op=\"%s\"} %.6g\n", name,
+                  static_cast<double>(op.sum_ns) / 1e6);
+    out += buf;
+    const double quantiles[] = {0.5, 0.9, 0.95, 0.99};
+    for (double q : quantiles) {
+      std::snprintf(buf, sizeof(buf),
+                    "snb_op_latency_ms{op=\"%s\",quantile=\"%.2f\"} %.6g\n",
+                    name, q, op.PercentileUs(q * 100.0) / 1000.0);
+      out += buf;
+    }
+  }
+  out += "# TYPE snb_counter counter\n";
+  for (size_t c = 0; c < kNumCounters; ++c) {
+    std::snprintf(buf, sizeof(buf), "snb_counter{name=\"%s\"} %" PRIu64 "\n",
+                  CounterName(static_cast<Counter>(c)),
+                  snapshot.counters[c]);
+    out += buf;
+  }
+  out += "# TYPE snb_gauge gauge\n";
+  for (size_t g = 0; g < kNumGauges; ++g) {
+    std::snprintf(buf, sizeof(buf), "snb_gauge{name=\"%s\"} %" PRIu64 "\n",
+                  GaugeName(static_cast<Gauge>(g)), snapshot.gauges[g]);
+    out += buf;
+  }
+  return out;
+}
+
+util::Status ValidateReportJson(const std::string& json) {
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(json, &root, &error)) {
+    return util::Status::InvalidArgument("report is not valid JSON: " +
+                                         error);
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    return util::Status::InvalidArgument("report root is not an object");
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != "snb-report-v1") {
+    return util::Status::InvalidArgument("missing/unknown schema tag");
+  }
+  const JsonValue* ops = root.Find("ops");
+  if (ops == nullptr || ops->kind != JsonValue::Kind::kArray) {
+    return util::Status::InvalidArgument("missing \"ops\" array");
+  }
+  if (ops->array.empty()) {
+    return util::Status::InvalidArgument("\"ops\" array is empty");
+  }
+  for (const JsonValue& op : ops->array) {
+    if (op.kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("op entry is not an object");
+    }
+    const JsonValue* name = op.Find("op");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return util::Status::InvalidArgument("op entry lacks a name");
+    }
+    double count = NumberOr(op, "count", -1.0);
+    if (count <= 0.0) {
+      return util::Status::InvalidArgument("op " + name->string +
+                                           " has no samples");
+    }
+    double p50 = NumberOr(op, "p50_ms", -1.0);
+    double p90 = NumberOr(op, "p90_ms", -1.0);
+    double p95 = NumberOr(op, "p95_ms", -1.0);
+    double p99 = NumberOr(op, "p99_ms", -1.0);
+    double max = NumberOr(op, "max_ms", -1.0);
+    if (p50 < 0.0 || p90 < 0.0 || p95 < 0.0 || p99 < 0.0 || max < 0.0) {
+      return util::Status::InvalidArgument("op " + name->string +
+                                           " lacks percentile fields");
+    }
+    // Monotone percentiles; bucket midpoints can overshoot the exact max
+    // by at most half a bucket width (1/32), so allow that much slack at
+    // the top end.
+    if (p50 > p90 || p90 > p95 || p95 > p99 || p99 > max * (1.0 + 1.0 / 32) + 1e-9) {
+      return util::Status::InvalidArgument(
+          "op " + name->string + " has non-monotone percentiles");
+    }
+  }
+  const JsonValue* q9 = root.Find("q9_profile");
+  if (q9 != nullptr) {
+    const JsonValue* operators = q9->Find("operators");
+    if (operators == nullptr ||
+        operators->kind != JsonValue::Kind::kArray ||
+        operators->array.empty()) {
+      return util::Status::InvalidArgument(
+          "q9_profile lacks a non-empty operators array");
+    }
+    for (const JsonValue& entry : operators->array) {
+      if (NumberOr(entry, "time_ms", -1.0) < 0.0 ||
+          NumberOr(entry, "invocations", -1.0) < 0.0) {
+        return util::Status::InvalidArgument(
+            "q9_profile operator entry lacks time/invocations");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status WriteFileReport(const std::string& path,
+                             const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace snb::obs

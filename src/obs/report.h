@@ -1,0 +1,110 @@
+// Machine-readable run reports: report.json + Prometheus-style text dump.
+//
+// The LDBC SNB audit rules (arXiv:2001.02299 sec. 7; Interactive v2,
+// arXiv:2307.04820) require drivers to publish per-operation-type
+// percentile latencies and sustained-throughput evidence as artifacts, not
+// stdout prose. RunReport is the artifact: a MetricsSnapshot (per-op
+// p50/p90/p95/p99/max, counters, gauges — the layout of Tables 6/7/9),
+// optionally a driver section (throughput, scheduling-lag time series) and
+// a Q9 per-operator profile (the Figure 4 choke point).
+//
+// The JSON schema ("snb-report-v1") is stable and self-validating:
+// ValidateReportJson re-parses an emitted document and checks structural
+// invariants (non-empty op table, monotone percentiles), which is what the
+// bench smoke mode in scripts/check.sh runs. A deliberately small JSON
+// parser is exposed for tests and validation; it handles exactly what the
+// writer emits (objects, arrays, strings, finite numbers, bools, null).
+#ifndef SNB_OBS_REPORT_H_
+#define SNB_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace snb::obs {
+
+// ---- Minimal JSON value / parser (for validation & tests) ----------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. On failure returns false and describes
+/// the problem in *error (byte offset + reason).
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// ---- Report assembly ------------------------------------------------------
+
+/// Driver-level outcome mirrored from driver::DriverReport (obs cannot
+/// depend on the driver; the driver converts).
+struct DriverSection {
+  uint64_t operations_executed = 0;
+  uint64_t operations_failed = 0;
+  double elapsed_seconds = 0.0;
+  double ops_per_second = 0.0;
+  double max_schedule_lag_ms = 0.0;
+  bool sustained = true;
+  uint64_t dependencies_tracked = 0;
+  uint64_t dependent_waits = 0;
+  /// Scheduling-lag time series: (elapsed real second, max lag ms within
+  /// that second). Sustained-throughput evidence over the whole run.
+  std::vector<std::pair<double, double>> lag_timeline_ms;
+};
+
+/// One operator row of a physical-plan profile.
+struct OperatorEntry {
+  std::string name;
+  OperatorStats stats;
+};
+
+/// Per-operator profile of a Q9 plan execution (Figure 4).
+struct Q9ProfileSection {
+  std::string plan;  // e.g. "INL-INL-HASH (intended)".
+  std::vector<OperatorEntry> operators;
+};
+
+struct RunReport {
+  std::string title;
+  MetricsSnapshot metrics;
+  bool has_driver = false;
+  DriverSection driver;
+  bool has_q9_profile = false;
+  Q9ProfileSection q9_profile;
+};
+
+/// Serializes the report as schema "snb-report-v1". Op types with zero
+/// samples are omitted from the "ops" table.
+std::string ToJson(const RunReport& report);
+
+/// Prometheus text-exposition-style dump of a snapshot: one line per
+/// sample, `snb_op_*{op="..."}` series plus counters and gauges.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Structural validation of an emitted report.json: parses, checks the
+/// schema tag, a non-empty "ops" array, and per-op monotone percentiles
+/// (p50 <= p90 <= p95 <= p99 <= max). Used by tests and the check.sh
+/// bench smoke mode.
+util::Status ValidateReportJson(const std::string& json);
+
+/// Writes `content` to `path` atomically enough for a report artifact
+/// (truncate + write + close).
+util::Status WriteFileReport(const std::string& path,
+                             const std::string& content);
+
+}  // namespace snb::obs
+
+#endif  // SNB_OBS_REPORT_H_

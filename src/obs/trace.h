@@ -1,0 +1,70 @@
+// Scoped operator-level tracing for physical query plans.
+//
+// The paper's choke-point discussion (Figure 4: index-nested-loop vs hash
+// joins in Q9) is about *where inside a plan* the time goes, which
+// end-to-end latencies cannot show. A TraceSpan times one operator
+// invocation and accumulates (invocations, wall time, output rows) into an
+// OperatorStats slot owned by the caller.
+//
+// Profiling is opt-in per query invocation: a span constructed with a null
+// sink is fully disengaged — no clock reads, no stores — so the plan code
+// can be instrumented unconditionally and pays nothing when no profile is
+// requested. Sinks are plain (non-atomic) because a profile belongs to one
+// query execution on one thread; aggregate across executions by Merge().
+#ifndef SNB_OBS_TRACE_H_
+#define SNB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace snb::obs {
+
+/// Accumulated cost of one plan operator across invocations.
+struct OperatorStats {
+  uint64_t invocations = 0;
+  uint64_t time_ns = 0;
+  uint64_t rows = 0;
+
+  void Merge(const OperatorStats& other) {
+    invocations += other.invocations;
+    time_ns += other.time_ns;
+    rows += other.rows;
+  }
+
+  double TimeMs() const { return static_cast<double>(time_ns) / 1e6; }
+};
+
+/// RAII timer for one operator invocation. Disengaged when sink == nullptr.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(OperatorStats* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Counts rows emitted by this invocation (no-op when disengaged).
+  void AddRows(uint64_t n) { rows_ += n; }
+
+  bool engaged() const { return sink_ != nullptr; }
+
+  ~TraceSpan() {
+    if (sink_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->invocations += 1;
+    sink_->time_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    sink_->rows += rows_;
+  }
+
+ private:
+  OperatorStats* sink_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace snb::obs
+
+#endif  // SNB_OBS_TRACE_H_

@@ -59,72 +59,123 @@ void JoinFriends(const GraphStore& store, JoinStrategy strategy,
 
 }  // namespace
 
+std::vector<std::pair<std::string, obs::OperatorStats>> ProfileRows(
+    const Q9OperatorProfile& profile) {
+  std::vector<std::pair<std::string, obs::OperatorStats>> rows;
+  auto add = [&rows](const char* name, const obs::OperatorStats& s) {
+    if (s.invocations > 0) rows.emplace_back(name, s);
+  };
+  add("hash_build", profile.hash_build);
+  add("join1_friends", profile.join1);
+  add("join2_friends_of_friends", profile.join2);
+  add("join3_messages", profile.join3);
+  add("sort_limit", profile.sort_limit);
+  return rows;
+}
+
+obs::Q9ProfileSection MakeQ9ProfileSection(const Q9OperatorProfile& profile,
+                                           std::string plan_label) {
+  obs::Q9ProfileSection section;
+  section.plan = std::move(plan_label);
+  for (auto& [name, stats] : ProfileRows(profile)) {
+    section.operators.push_back({std::move(name), stats});
+  }
+  return section;
+}
+
 std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
                                      PersonId start, TimestampMs max_date,
                                      int limit, JoinStrategy join1,
                                      JoinStrategy join2, JoinStrategy join3,
-                                     Q9PlanStats* stats) {
+                                     Q9PlanStats* stats,
+                                     Q9OperatorProfile* profile) {
   auto lock = store.ReadLock();
   Q9PlanStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = Q9PlanStats();
+  // Null sinks disengage the spans entirely: no clock reads when no
+  // profile was requested.
+  auto sink = [profile](obs::OperatorStats Q9OperatorProfile::* member) {
+    return profile == nullptr ? nullptr : &(profile->*member);
+  };
 
   // A hash-join plan builds its table once per join over the full relation.
   std::unique_ptr<FriendsHashTable> friends_hash;
   if (join1 == JoinStrategy::kHash || join2 == JoinStrategy::kHash) {
+    obs::TraceSpan span(sink(&Q9OperatorProfile::hash_build));
     friends_hash = std::make_unique<FriendsHashTable>(store, stats);
+    span.AddRows(stats->build_tuples);
   }
 
   // join1: person |>< friends.
   std::vector<PersonId> friends;
-  JoinFriends(store, join1, friends_hash.get(), start, [&](PersonId f) {
-    friends.push_back(f);
-    ++stats->join1_output;
-  });
+  {
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join1));
+    JoinFriends(store, join1, friends_hash.get(), start, [&](PersonId f) {
+      friends.push_back(f);
+      ++stats->join1_output;
+    });
+    span.AddRows(stats->join1_output);
+  }
 
   // join2: friends |>< friends -> two-hop circle (deduplicated union).
   std::unordered_set<PersonId> circle(friends.begin(), friends.end());
   circle.erase(start);
-  for (PersonId f : friends) {
-    JoinFriends(store, join2, friends_hash.get(), f, [&](PersonId ff) {
-      ++stats->join2_output;
-      if (ff != start) circle.insert(ff);
-    });
+  {
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join2));
+    for (PersonId f : friends) {
+      JoinFriends(store, join2, friends_hash.get(), f, [&](PersonId ff) {
+        ++stats->join2_output;
+        if (ff != start) circle.insert(ff);
+      });
+    }
+    span.AddRows(stats->join2_output);
   }
 
   // join3: circle |>< messages (creation_date < max_date).
   std::vector<Q9Result> candidates;
-  if (join3 == JoinStrategy::kIndexNestedLoop) {
-    for (PersonId pid : circle) {
-      const PersonRecord* p = store.FindPerson(pid);
-      if (p == nullptr) continue;
-      for (const store::DatedEdge& e : p->messages.view()) {
-        if (e.date >= max_date) break;  // Date-ordered index.
-        candidates.push_back({e.id, pid, e.date});
+  {
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join3));
+    if (join3 == JoinStrategy::kIndexNestedLoop) {
+      for (PersonId pid : circle) {
+        const PersonRecord* p = store.FindPerson(pid);
+        if (p == nullptr) continue;
+        for (const store::DatedEdge& e : p->messages.view()) {
+          if (e.date >= max_date) break;  // Date-ordered index.
+          candidates.push_back({e.id, pid, e.date});
+          ++stats->join3_output;
+        }
+      }
+    } else {
+      // Hash join: scan the whole message table, probe the circle.
+      MessageId bound = store.MessageIdBound();
+      stats->build_tuples += circle.size();
+      for (MessageId mid = 0; mid < bound; ++mid) {
+        const MessageRecord* m = store.FindMessage(mid);
+        if (m == nullptr || m->data.creation_date >= max_date) continue;
+        if (circle.count(m->data.creator_id) == 0) continue;
+        candidates.push_back(
+            {mid, m->data.creator_id, m->data.creation_date});
         ++stats->join3_output;
       }
     }
-  } else {
-    // Hash join: scan the whole message table, probe the circle.
-    MessageId bound = store.MessageIdBound();
-    stats->build_tuples += circle.size();
-    for (MessageId mid = 0; mid < bound; ++mid) {
-      const MessageRecord* m = store.FindMessage(mid);
-      if (m == nullptr || m->data.creation_date >= max_date) continue;
-      if (circle.count(m->data.creator_id) == 0) continue;
-      candidates.push_back({mid, m->data.creator_id, m->data.creation_date});
-      ++stats->join3_output;
-    }
+    span.AddRows(stats->join3_output);
   }
 
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Q9Result& a, const Q9Result& b) {
-              if (a.creation_date != b.creation_date) {
-                return a.creation_date > b.creation_date;
-              }
-              return a.message_id < b.message_id;
-            });
-  if (static_cast<int>(candidates.size()) > limit) candidates.resize(limit);
+  {
+    obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit));
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Q9Result& a, const Q9Result& b) {
+                if (a.creation_date != b.creation_date) {
+                  return a.creation_date > b.creation_date;
+                }
+                return a.message_id < b.message_id;
+              });
+    if (static_cast<int>(candidates.size()) > limit) {
+      candidates.resize(limit);
+    }
+    span.AddRows(candidates.size());
+  }
   return candidates;
 }
 

@@ -11,8 +11,12 @@
 #define SNB_QUERIES_QUERY9_PLANS_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "queries/complex_queries.h"
 
 namespace snb::queries {
@@ -35,14 +39,46 @@ struct Q9PlanStats {
   uint64_t build_tuples = 0;
 };
 
+/// Per-operator wall-time profile of one (or several merged) plan
+/// executions. Cardinalities (Q9PlanStats) say how much each join produced;
+/// this says where the time went — the dimension Figure 4's INL-vs-hash
+/// comparison actually turns on. Filled only when passed to
+/// Query9WithPlan; the null-profile path takes no timestamps.
+struct Q9OperatorProfile {
+  obs::OperatorStats hash_build;  // FriendsHashTable construction.
+  obs::OperatorStats join1;       // person |>< friends.
+  obs::OperatorStats join2;       // friends |>< friends.
+  obs::OperatorStats join3;       // circle |>< messages.
+  obs::OperatorStats sort_limit;  // Final sort + top-`limit` cut.
+
+  void Merge(const Q9OperatorProfile& other) {
+    hash_build.Merge(other.hash_build);
+    join1.Merge(other.join1);
+    join2.Merge(other.join2);
+    join3.Merge(other.join3);
+    sort_limit.Merge(other.sort_limit);
+  }
+};
+
+/// Fixed operator order: (name, stats) rows for reports/tables. Rows with
+/// zero invocations are skipped (e.g. hash_build in a pure-INL plan).
+std::vector<std::pair<std::string, obs::OperatorStats>> ProfileRows(
+    const Q9OperatorProfile& profile);
+
+/// Packages a profile as the report.json "q9_profile" section.
+obs::Q9ProfileSection MakeQ9ProfileSection(const Q9OperatorProfile& profile,
+                                           std::string plan_label);
+
 /// Q9 with explicit join strategies; result is identical to Query9() for
-/// every strategy combination.
+/// every strategy combination. When `profile` is non-null each operator is
+/// timed via obs::TraceSpan and accumulated into it.
 std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
                                      schema::PersonId start,
                                      TimestampMs max_date, int limit,
                                      JoinStrategy join1, JoinStrategy join2,
                                      JoinStrategy join3,
-                                     Q9PlanStats* stats = nullptr);
+                                     Q9PlanStats* stats = nullptr,
+                                     Q9OperatorProfile* profile = nullptr);
 
 }  // namespace snb::queries
 

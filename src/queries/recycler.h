@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "queries/complex_queries.h"
 #include "store/graph_store.h"
 
@@ -45,6 +46,15 @@ class TwoHopRecycler {
   /// refreshes overwrite in place).
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes hits/misses/evictions as registry gauges. No-op when
+  /// `metrics` is null.
+  void PublishMetrics(obs::MetricsRegistry* metrics) const {
+    if (metrics == nullptr) return;
+    metrics->SetGauge(obs::Gauge::kRecyclerHits, hits());
+    metrics->SetGauge(obs::Gauge::kRecyclerMisses, misses());
+    metrics->SetGauge(obs::Gauge::kRecyclerEvictions, evictions());
   }
 
  private:

@@ -110,6 +110,21 @@ class DenseTable {
     return const_cast<T*>(Slot(id));
   }
 
+  /// Slots backed by an allocated chunk (allocated chunks × kChunkSize).
+  /// With bound() this gives table occupancy: sparse id ranges (forums)
+  /// allocate far fewer slots than their bound suggests.
+  uint64_t allocated_slots() const {
+    const Directory* d = dir_.load(std::memory_order_acquire);
+    if (d == nullptr) return 0;
+    uint64_t chunks = 0;
+    for (size_t c = 0; c < d->capacity; ++c) {
+      if (d->chunks()[c].load(std::memory_order_acquire) != nullptr) {
+        ++chunks;
+      }
+    }
+    return chunks * kChunkSize;
+  }
+
   /// Directory + chunk overhead in bytes, excluding what T owns.
   uint64_t overhead_bytes() const {
     const Directory* d = dir_.load(std::memory_order_acquire);

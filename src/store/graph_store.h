@@ -235,6 +235,24 @@ class GraphStore {
   /// writer lock (it needs a quiescent store).
   StorageBreakdown ComputeStorageBreakdown() const;
 
+  /// Occupancy of one entity DenseTable: live records vs slots backed by
+  /// allocated chunks vs the id bound. used <= allocated_slots; for sparse
+  /// id spaces (forums) allocated_slots << bound.
+  struct TableOccupancy {
+    uint64_t used = 0;
+    uint64_t allocated_slots = 0;
+    uint64_t bound = 0;
+  };
+  TableOccupancy PersonTableStats() const {
+    return {NumPersons(), persons_.allocated_slots(), persons_.bound()};
+  }
+  TableOccupancy ForumTableStats() const {
+    return {NumForums(), forums_.allocated_slots(), forums_.bound()};
+  }
+  TableOccupancy MessageTableStats() const {
+    return {NumMessages(), messages_.allocated_slots(), messages_.bound()};
+  }
+
   /// Version of the Knows graph: bumped by every AddFriendship. Cached
   /// derived results over the friendship graph (e.g. recycled 2-hop
   /// neighbourhoods) are valid as long as this does not change.

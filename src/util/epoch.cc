@@ -171,6 +171,7 @@ void EpochManager::Retire(void* p, void (*deleter)(void*)) {
   std::lock_guard<std::mutex> lock(retire_mu_);
   garbage_.push_back(
       {p, deleter, global_epoch_.load(std::memory_order_seq_cst)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
   if (garbage_.size() >= kReclaimThreshold) ReclaimLocked();
 }
 
@@ -196,6 +197,7 @@ size_t EpochManager::ReclaimLocked() {
   if (can_advance) {
     global_epoch_.store(e + 1, std::memory_order_seq_cst);
     e = e + 1;
+    advances_.fetch_add(1, std::memory_order_relaxed);
     // Make the advance globally visible before freeing anything under the
     // new epoch: a reader pinning concurrently re-checks the global with
     // an acquire load and so observes every unlink older than the epoch
@@ -209,6 +211,7 @@ size_t EpochManager::ReclaimLocked() {
     garbage_.pop_front();
     ++freed;
   }
+  freed_total_.fetch_add(freed, std::memory_order_relaxed);
   return freed;
 }
 
@@ -234,6 +237,15 @@ void EpochManager::ReleaseSlotAtThreadExit(void* slot) {
 size_t EpochManager::pending() const {
   std::lock_guard<std::mutex> lock(retire_mu_);
   return garbage_.size();
+}
+
+EpochManager::EpochStats EpochManager::stats() const {
+  EpochStats s;
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.retired = retired_total_.load(std::memory_order_relaxed);
+  s.freed = freed_total_.load(std::memory_order_relaxed);
+  s.pending = pending();
+  return s;
 }
 
 }  // namespace snb::util

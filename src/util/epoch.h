@@ -107,6 +107,16 @@ class EpochManager {
   /// Objects retired but not yet freed.
   size_t pending() const;
 
+  /// Cumulative reclamation activity since construction. `pending` is the
+  /// instantaneous retired-but-unfreed backlog (== retired - freed).
+  struct EpochStats {
+    uint64_t advances = 0;
+    uint64_t retired = 0;
+    uint64_t freed = 0;
+    uint64_t pending = 0;
+  };
+  EpochStats stats() const;
+
   /// Internal: returns a slot to the free pool from the TLS destructor at
   /// thread exit, so thread churn does not exhaust kMaxThreads. The
   /// manager the slot belongs to must still be alive — managers must
@@ -140,6 +150,10 @@ class EpochManager {
 
   /// Epochs start at 1 so that 0 can mean "quiescent" in slots.
   std::atomic<uint64_t> global_epoch_{1};
+  /// Cumulative stats(); relaxed — observability only, never synchronizes.
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> freed_total_{0};
   const bool asymmetric_pins_ = DetectAsymmetricPins();
   Slot slots_[kMaxThreads];
 

@@ -11,23 +11,37 @@
 namespace snb::util {
 
 /// Accumulates double-valued samples; computes mean/variance/percentiles.
-/// Not thread-safe; aggregate per-thread instances with Merge().
+/// Exact (retains every sample) — the reference the log-bucketed obs
+/// histograms are tested against. Not thread-safe; aggregate per-thread
+/// instances with Merge().
+///
+/// Order statistics (Min/Max/Percentile) sort the sample buffer in place
+/// once and reuse it until the next Add/Merge invalidates it, so a burst of
+/// percentile reads after a run costs one sort, not one per call.
 class SampleStats {
  public:
-  void Add(double v) { samples_.push_back(v); }
+  void Add(double v) {
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_ = false;
+  }
 
   void Merge(const SampleStats& other) {
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
+    sum_ += other.sum_;
+    sorted_ = false;
   }
 
   size_t count() const { return samples_.size(); }
 
+  /// Running sum of all samples; O(1).
+  double Sum() const { return sum_; }
+
   double Mean() const {
-    if (samples_.empty()) return 0.0;
-    double sum = 0.0;
-    for (double v : samples_) sum += v;
-    return sum / static_cast<double>(samples_.size());
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
   }
 
   /// Population variance.
@@ -42,33 +56,42 @@ class SampleStats {
   double StdDev() const { return std::sqrt(Variance()); }
 
   double Min() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::min_element(samples_.begin(), samples_.end());
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    return samples_.front();
   }
 
   double Max() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::max_element(samples_.begin(), samples_.end());
+    if (samples_.empty()) return 0.0;
+    EnsureSorted();
+    return samples_.back();
   }
 
-  /// p in [0, 100]. Nearest-rank percentile.
+  /// p in [0, 100]. Nearest-rank percentile with linear interpolation.
   double Percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    EnsureSorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     size_t idx = static_cast<size_t>(rank);
-    if (idx + 1 >= sorted.size()) return sorted.back();
+    if (idx + 1 >= samples_.size()) return samples_.back();
     double frac = rank - static_cast<double>(idx);
-    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+    return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
   }
 
+  /// Sample buffer; sorted ascending iff an order statistic was queried
+  /// since the last Add/Merge (insertion order is not preserved).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  std::vector<double> samples_;
+  void EnsureSorted() const {
+    if (sorted_) return;
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
 };
 
 /// Fixed-width bucket histogram over [lo, hi).

@@ -24,6 +24,14 @@ class Stopwatch {
     return std::chrono::duration<double, std::micro>(now - start_).count();
   }
 
+  /// Nanoseconds since construction or last Reset().
+  uint64_t ElapsedNanos() const {
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+  }
+
   void Reset() { start_ = std::chrono::steady_clock::now(); }
 
  private:
@@ -31,6 +39,10 @@ class Stopwatch {
 };
 
 /// Collects latency samples per named operation from many threads.
+///
+/// Legacy exact-stats recorder: a global mutex per sample and O(samples)
+/// memory. Production paths use obs::MetricsRegistry instead; this class
+/// remains as the exact-percentile fallback for tests and offline analysis.
 class LatencyRecorder {
  public:
   /// Records one latency sample (microseconds) for `op`.
@@ -70,7 +82,7 @@ class LatencyRecorder {
     double total = 0.0;
     for (const auto& [name, s] : stats_) {
       if (name.rfind(prefix, 0) == 0) {
-        total += s.Mean() * static_cast<double>(s.count());
+        total += s.Sum();
       }
     }
     return total;

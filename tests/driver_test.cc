@@ -62,13 +62,14 @@ TEST_P(DriverModeTest, ReplaysUpdateStreamWithoutViolations) {
 
   store::GraphStore store;
   ASSERT_TRUE(store.BulkLoad(world().dataset.bulk).ok());
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   StoreConnector connector(&store, &world().dataset.updates, world().dict.get(),
-                           &latencies);
+                           &metrics);
 
   DriverConfig config;
   config.mode = mode;
   config.num_partitions = partitions;
+  config.metrics = &metrics;
   DriverReport report =
       RunWorkload(workload.operations, connector, config);
 
@@ -113,24 +114,31 @@ TEST_F(DriverTest, FullMixRunsReadsAndWalk) {
 
   store::GraphStore store;
   ASSERT_TRUE(store.BulkLoad(world().dataset.bulk).ok());
-  util::LatencyRecorder latencies;
+  obs::MetricsRegistry metrics;
   StoreConnector connector(&store, &world().dataset.updates, world().dict.get(),
-                           &latencies);
+                           &metrics);
   DriverConfig config;
   config.num_partitions = 4;
+  config.metrics = &metrics;
   DriverReport report = RunWorkload(workload.operations, connector, config);
 
   EXPECT_EQ(report.operations_failed, 0u) << report.first_error;
   // Complex reads of several types ran.
+  obs::MetricsSnapshot snap = metrics.Snapshot();
   int complex_types = 0;
-  for (const std::string& op : latencies.Operations()) {
-    if (op.rfind("complex.", 0) == 0) ++complex_types;
+  for (size_t i = obs::kComplexBegin; i < obs::kShortBegin; ++i) {
+    if (snap.ops[i].count > 0) ++complex_types;
   }
   EXPECT_GE(complex_types, 10);
   // The random walk spawned short reads.
   EXPECT_GT(connector.short_reads_executed(), 0u);
-  double short_micros = latencies.TotalMicrosWithPrefix("short.");
+  double short_micros = snap.SumMicros(obs::kShortBegin, obs::kUpdateBegin);
   EXPECT_GT(short_micros, 0.0);
+  EXPECT_GT(snap.CounterValue(obs::Counter::kShortReadWalkSteps), 0u);
+  // The run's outcome counters were folded into the registry.
+  EXPECT_EQ(snap.CounterValue(obs::Counter::kOperationsExecuted),
+            report.operations_executed);
+  EXPECT_EQ(snap.CounterValue(obs::Counter::kOperationsFailed), 0u);
 }
 
 TEST_F(DriverTest, ThrottledRunSustainsAcceleration) {
@@ -151,6 +159,39 @@ TEST_F(DriverTest, ThrottledRunSustainsAcceleration) {
   EXPECT_TRUE(report.sustained) << report.max_schedule_lag_ms;
   EXPECT_GT(report.elapsed_seconds, 0.15);
   EXPECT_EQ(report.operations_failed, 0u);
+}
+
+TEST_F(DriverTest, ThrottledRunRecordsLagTimeline) {
+  Workload workload = UpdateOnlyWorkload();
+  size_t slice = std::min<size_t>(workload.operations.size(), 400);
+  std::vector<Operation> ops(workload.operations.begin(),
+                             workload.operations.begin() + slice);
+
+  SleepingConnector connector(0);
+  obs::MetricsRegistry metrics;
+  DriverConfig config;
+  config.num_partitions = 4;
+  config.metrics = &metrics;
+  util::TimestampMs span = ops.back().due_time - ops.front().due_time;
+  // ~1.2s of real time so the timeline spans at least two seconds.
+  config.acceleration = static_cast<double>(span) / 1200.0;
+  DriverReport report = RunWorkload(ops, connector, config);
+
+  ASSERT_FALSE(report.lag_timeline_ms.empty());
+  double prev_second = -1.0;
+  for (const auto& [second, lag_ms] : report.lag_timeline_ms) {
+    EXPECT_GT(second, prev_second);  // Strictly increasing seconds.
+    EXPECT_GE(lag_ms, 0.0);
+    prev_second = second;
+  }
+  EXPECT_GE(report.lag_timeline_ms.back().first, 1.0);
+  // The sched-lag series saw every operation.
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.Op(obs::OpType::kSchedLag).count, ops.size());
+  // An unthrottled run has no timeline.
+  config.acceleration = 0.0;
+  DriverReport unthrottled = RunWorkload(ops, connector, config);
+  EXPECT_TRUE(unthrottled.lag_timeline_ms.empty());
 }
 
 TEST_F(DriverTest, SleepingConnectorScalesWithPartitions) {

@@ -1,0 +1,452 @@
+// Tests of the snb::obs subsystem: log-bucket histogram accuracy against
+// exact sample statistics, lock-free registry semantics under concurrency
+// (run under TSan via scripts/check.sh), TraceSpan engagement, the
+// report.json writer/parser round trip, and the Q9 operator profile's
+// consistency with the plan's cardinality counters.
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "queries/complex_queries.h"
+#include "queries/query9_plans.h"
+#include "store/graph_store.h"
+#include "util/datetime.h"
+#include "util/histogram.h"
+
+namespace snb::obs {
+namespace {
+
+// ---- Log buckets ----------------------------------------------------------
+
+TEST(LogBucketsTest, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 2 * LogBuckets::kSubBuckets; ++v) {
+    size_t b = LogBuckets::BucketFor(v);
+    EXPECT_EQ(LogBuckets::BucketMid(b), v);
+    EXPECT_EQ(LogBuckets::BucketLow(b), v);
+  }
+}
+
+TEST(LogBucketsTest, MidpointWithinRelativeErrorBound) {
+  // Bucket width is at most 1/16 of its lower edge, so the midpoint is
+  // within 1/32 (~3.2%) of any sample in the bucket.
+  for (uint64_t v = 32; v < (uint64_t{1} << 40); v = v * 29 / 16 + 3) {
+    size_t b = LogBuckets::BucketFor(v);
+    ASSERT_LT(b, LogBuckets::kNumBuckets);
+    uint64_t low = LogBuckets::BucketLow(b);
+    EXPECT_LE(low, v);
+    uint64_t mid = LogBuckets::BucketMid(b);
+    double rel = std::abs(static_cast<double>(mid) - static_cast<double>(v)) /
+                 static_cast<double>(v);
+    EXPECT_LE(rel, 1.0 / 32.0 + 1e-9) << "v=" << v << " bucket=" << b;
+  }
+}
+
+TEST(LogBucketsTest, BucketsAreMonotone) {
+  size_t prev = LogBuckets::BucketFor(0);
+  for (uint64_t v = 1; v < (uint64_t{1} << 20); v = v + 1 + v / 7) {
+    size_t b = LogBuckets::BucketFor(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  // Saturation: absurd values land in the last bucket, not out of range.
+  EXPECT_EQ(LogBuckets::BucketFor(~uint64_t{0}), LogBuckets::kNumBuckets - 1);
+}
+
+// ---- Registry exactness ---------------------------------------------------
+
+TEST(MetricsRegistryTest, CountSumMinMaxExact) {
+  MetricsRegistry registry;
+  registry.RecordLatencyNs(OpType::kComplexQ1, 100);
+  registry.RecordLatencyNs(OpType::kComplexQ1, 900);
+  registry.RecordLatencyNs(OpType::kComplexQ1, 500);
+  MetricsSnapshot snap = registry.Snapshot();
+  const OpSnapshot& op = snap.Op(OpType::kComplexQ1);
+  EXPECT_EQ(op.count, 3u);
+  EXPECT_EQ(op.sum_ns, 1500u);
+  EXPECT_EQ(op.min_ns, 100u);
+  EXPECT_EQ(op.max_ns, 900u);
+  EXPECT_DOUBLE_EQ(op.MeanUs(), 0.5);
+  // Untouched series stay zeroed (min sentinel must not leak).
+  EXPECT_EQ(snap.Op(ComplexOp(2)).count, 0u);
+  EXPECT_EQ(snap.Op(ComplexOp(2)).min_ns, 0u);
+}
+
+TEST(MetricsRegistryTest, SumMicrosAndCountInRange) {
+  MetricsRegistry registry;
+  registry.RecordLatencyMicros(ComplexOp(1), 100.0);
+  registry.RecordLatencyMicros(ComplexOp(14), 200.0);
+  registry.RecordLatencyMicros(ShortOp(1), 50.0);
+  registry.RecordLatencyMicros(UpdateOp(8), 25.0);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.SumMicros(kComplexBegin, kShortBegin), 300.0);
+  EXPECT_DOUBLE_EQ(snap.SumMicros(kShortBegin, kUpdateBegin), 50.0);
+  EXPECT_DOUBLE_EQ(snap.SumMicros(kUpdateBegin, kUpdateBegin + 8), 25.0);
+  EXPECT_EQ(snap.CountInRange(kComplexBegin, kShortBegin), 2u);
+  EXPECT_EQ(snap.CountInRange(0, kNumOpTypes), 4u);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulateGaugesOverwrite) {
+  MetricsRegistry registry;
+  registry.AddCounter(Counter::kOperationsExecuted);
+  registry.AddCounter(Counter::kOperationsExecuted, 41);
+  registry.SetGauge(Gauge::kEpochPending, 7);
+  registry.SetGauge(Gauge::kEpochPending, 3);  // Last write wins.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue(Counter::kOperationsExecuted), 42u);
+  EXPECT_EQ(snap.CounterValue(Counter::kOperationsFailed), 0u);
+  EXPECT_EQ(snap.GaugeValue(Gauge::kEpochPending), 3u);
+}
+
+// Percentiles from bucket midpoints vs. the exact (sample-retaining)
+// statistics the old recorder kept: within the bucket error bound, i.e.
+// well under 5% relative error, across a skewed distribution.
+TEST(MetricsRegistryTest, PercentilesTrackExactStatsWithin5Percent) {
+  MetricsRegistry registry;
+  util::SampleStats exact;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 20000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    // Latencies spanning ~1us .. ~16ms with a long tail, like a query mix.
+    uint64_t ns = 1000 + (state % 1000) * (state % 16384);
+    registry.RecordLatencyNs(OpType::kPointRead, ns);
+    exact.Add(static_cast<double>(ns) / 1000.0);  // us.
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  const OpSnapshot& op = snap.Op(OpType::kPointRead);
+  ASSERT_EQ(op.count, 20000u);
+  for (double p : {50.0, 90.0, 95.0, 99.0}) {
+    double approx = op.PercentileUs(p);
+    double truth = exact.Percentile(p);
+    EXPECT_NEAR(approx, truth, truth * 0.05) << "p" << p;
+  }
+  // Percentiles are monotone and bounded by the exact extremes' buckets.
+  EXPECT_LE(op.PercentileUs(50), op.PercentileUs(90));
+  EXPECT_LE(op.PercentileUs(90), op.PercentileUs(99));
+  EXPECT_LE(op.PercentileUs(99), op.PercentileUs(100));
+  EXPECT_NEAR(op.PercentileUs(100), exact.Max(), exact.Max() * 0.05);
+}
+
+// 8 recorder threads + concurrent snapshots; every pre-join sample must be
+// merged exactly once. This is the TSan target for the lock-free path.
+TEST(MetricsRegistryTest, ConcurrentRecordAndSnapshot) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      OpType op = ComplexOp(1 + (t % 14));
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        registry.RecordLatencyNs(op, 100 + (i & 0xff));
+        registry.AddCounter(Counter::kOperationsExecuted);
+      }
+    });
+  }
+  // Snapshot while recording is in flight: totals may be partial but must
+  // never be torn below what simple monotonicity allows.
+  uint64_t last_total = 0;
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot mid = registry.Snapshot();
+    uint64_t total = mid.CountInRange(kComplexBegin, kShortBegin);
+    EXPECT_GE(total, last_total);
+    last_total = total;
+  }
+  for (std::thread& w : workers) w.join();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CountInRange(kComplexBegin, kShortBegin),
+            kThreads * kPerThread);
+  EXPECT_EQ(snap.CounterValue(Counter::kOperationsExecuted),
+            kThreads * kPerThread);
+  uint64_t sum = 0;
+  for (size_t i = kComplexBegin; i < kShortBegin; ++i) {
+    sum += snap.ops[i].sum_ns;
+    if (snap.ops[i].count > 0) {
+      EXPECT_EQ(snap.ops[i].min_ns, 100u);  // i & 0xff == 0 at i = 256.
+      EXPECT_EQ(snap.ops[i].max_ns, 100u + 0xff);
+    }
+  }
+  // Per-thread sum of (100 + (i & 0xff)) over i in [1, 20000].
+  uint64_t expected_per_thread = 0;
+  for (uint64_t i = 1; i <= kPerThread; ++i) expected_per_thread += 100 + (i & 0xff);
+  EXPECT_EQ(sum, kThreads * expected_per_thread);
+}
+
+TEST(MetricsRegistryTest, NamesAreStable) {
+  EXPECT_STREQ(OpTypeName(ComplexOp(9)), "complex.Q9");
+  EXPECT_STREQ(OpTypeName(ShortOp(2)), "short.S2");
+  EXPECT_STREQ(OpTypeName(UpdateOp(8)), "update.U8");
+  EXPECT_STREQ(OpTypeName(OpType::kSchedLag), "driver.sched_lag");
+  EXPECT_STREQ(CounterName(Counter::kGctDependentWaits),
+               "driver.gct_dependent_waits");
+  EXPECT_STREQ(GaugeName(Gauge::kRecyclerEvictions), "recycler.evictions");
+}
+
+// ---- TraceSpan ------------------------------------------------------------
+
+TEST(TraceSpanTest, AccumulatesIntoSink) {
+  OperatorStats stats;
+  {
+    TraceSpan span(&stats);
+    EXPECT_TRUE(span.engaged());
+    span.AddRows(5);
+    span.AddRows(2);
+  }
+  {
+    TraceSpan span(&stats);
+    span.AddRows(3);
+  }
+  EXPECT_EQ(stats.invocations, 2u);
+  EXPECT_EQ(stats.rows, 10u);
+  EXPECT_GT(stats.time_ns, 0u);
+
+  OperatorStats other;
+  other.invocations = 1;
+  other.rows = 90;
+  other.time_ns = 1000;
+  stats.Merge(other);
+  EXPECT_EQ(stats.invocations, 3u);
+  EXPECT_EQ(stats.rows, 100u);
+}
+
+TEST(TraceSpanTest, NullSinkIsDisengaged) {
+  TraceSpan span(nullptr);
+  EXPECT_FALSE(span.engaged());
+  span.AddRows(7);  // Must be a harmless no-op.
+  TraceSpan default_constructed;
+  EXPECT_FALSE(default_constructed.engaged());
+}
+
+// ---- JSON parser ----------------------------------------------------------
+
+TEST(JsonParserTest, ParsesWriterSubset) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"s":"a\"b\nc","n":[1,2.5,-3e2],"t":true,"f":false,"z":null})", &v,
+      &error))
+      << error;
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* s = v.Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "a\"b\nc");
+  const JsonValue* n = v.Find("n");
+  ASSERT_NE(n, nullptr);
+  ASSERT_EQ(n->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(n->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(n->array[2].number, -300.0);
+  EXPECT_TRUE(v.Find("t")->boolean);
+  EXPECT_EQ(v.Find("z")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  for (const char* bad :
+       {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "{}extra", ""}) {
+    EXPECT_FALSE(ParseJson(bad, &v, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ---- Report round trip ----------------------------------------------------
+
+RunReport MakeSampleReport() {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 200; ++i) {
+    registry.RecordLatencyMicros(ComplexOp(9), 100.0 * i);
+    registry.RecordLatencyMicros(ShortOp(1), 5.0);
+  }
+  registry.AddCounter(Counter::kOperationsExecuted, 400);
+  registry.SetGauge(Gauge::kEpochAdvances, 12);
+
+  RunReport report;
+  report.title = "unit-test run";
+  report.metrics = registry.Snapshot();
+  report.has_driver = true;
+  report.driver.operations_executed = 400;
+  report.driver.elapsed_seconds = 1.5;
+  report.driver.ops_per_second = 400 / 1.5;
+  report.driver.max_schedule_lag_ms = 42.0;
+  report.driver.sustained = true;
+  report.driver.lag_timeline_ms = {{0.0, 1.0}, {1.0, 42.0}};
+  report.has_q9_profile = true;
+  report.q9_profile.plan = "INL-INL-HASH (intended)";
+  OperatorEntry entry;
+  entry.name = "join1_friends";
+  entry.stats.invocations = 200;
+  entry.stats.time_ns = 5000000;
+  entry.stats.rows = 2400;
+  report.q9_profile.operators.push_back(entry);
+  return report;
+}
+
+TEST(ReportTest, JsonRoundTripPreservesStructure) {
+  RunReport report = MakeSampleReport();
+  std::string json = ToJson(report);
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  EXPECT_EQ(v.Find("schema")->string, "snb-report-v1");
+  EXPECT_EQ(v.Find("title")->string, "unit-test run");
+
+  const JsonValue* ops = v.Find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_EQ(ops->array.size(), 2u);  // Zero-count ops omitted.
+  const JsonValue& q9 = ops->array[0];
+  EXPECT_EQ(q9.Find("op")->string, "complex.Q9");
+  EXPECT_DOUBLE_EQ(q9.Find("count")->number, 200.0);
+  // p50 of 100us..20000us uniform ~ 10000us = 10ms (bucket error only).
+  EXPECT_NEAR(q9.Find("p50_ms")->number, 10.0, 0.5);
+  EXPECT_NEAR(q9.Find("max_ms")->number, 20.0, 1.0);
+
+  const JsonValue* driver = v.Find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_DOUBLE_EQ(driver->Find("operations_executed")->number, 400.0);
+  EXPECT_TRUE(driver->Find("sustained")->boolean);
+  ASSERT_EQ(driver->Find("lag_timeline_ms")->array.size(), 2u);
+
+  const JsonValue* profile = v.Find("q9_profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->Find("plan")->string, "INL-INL-HASH (intended)");
+  ASSERT_EQ(profile->Find("operators")->array.size(), 1u);
+  EXPECT_EQ(profile->Find("operators")->array[0].Find("name")->string,
+            "join1_friends");
+
+  EXPECT_TRUE(ValidateReportJson(json).ok());
+}
+
+TEST(ReportTest, CountersAndGaugesSerialized) {
+  std::string json = ToJson(MakeSampleReport());
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  const JsonValue* counters = v.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* executed = counters->Find("driver.operations_executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_DOUBLE_EQ(executed->number, 400.0);
+  const JsonValue* gauges = v.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("epoch.advances")->number, 12.0);
+}
+
+TEST(ReportTest, ValidationCatchesBrokenReports) {
+  // Not the schema.
+  EXPECT_FALSE(ValidateReportJson("{\"schema\":\"other\"}").ok());
+  // Parse error.
+  EXPECT_FALSE(ValidateReportJson("{").ok());
+  // Empty ops table.
+  EXPECT_FALSE(
+      ValidateReportJson("{\"schema\":\"snb-report-v1\",\"ops\":[]}").ok());
+  // Non-monotone percentiles.
+  EXPECT_FALSE(ValidateReportJson(
+                   "{\"schema\":\"snb-report-v1\",\"ops\":[{\"op\":\"x\","
+                   "\"count\":2,\"p50_ms\":5.0,\"p90_ms\":1.0,"
+                   "\"p95_ms\":6.0,\"p99_ms\":7.0,\"max_ms\":8.0}]}")
+                   .ok());
+  // Zero-count row.
+  EXPECT_FALSE(ValidateReportJson(
+                   "{\"schema\":\"snb-report-v1\",\"ops\":[{\"op\":\"x\","
+                   "\"count\":0,\"p50_ms\":1.0,\"p90_ms\":1.0,"
+                   "\"p95_ms\":1.0,\"p99_ms\":1.0,\"max_ms\":1.0}]}")
+                   .ok());
+}
+
+TEST(ReportTest, PrometheusTextExposesSeries) {
+  RunReport report = MakeSampleReport();
+  std::string text = ToPrometheusText(report.metrics);
+  EXPECT_NE(text.find("snb_op_count{op=\"complex.Q9\"} 200"),
+            std::string::npos);
+  EXPECT_NE(text.find("snb_op_latency_ms{op=\"complex.Q9\",quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("snb_counter{name=\"driver.operations_executed\"} 400"),
+            std::string::npos);
+  EXPECT_NE(text.find("snb_gauge{name=\"epoch.advances\"} 12"),
+            std::string::npos);
+}
+
+// ---- Q9 operator profile --------------------------------------------------
+
+TEST(Q9ProfileTest, ProfileConsistentWithPlanStats) {
+  datagen::DatagenConfig config;
+  config.num_persons = 250;
+  config.split_update_stream = false;
+  datagen::Dataset dataset = datagen::Generate(config);
+  store::GraphStore store;
+  ASSERT_TRUE(store.BulkLoad(dataset.bulk).ok());
+  util::TimestampMs max_date =
+      util::kNetworkStartMs + 30 * util::kMillisPerMonth;
+
+  queries::Q9OperatorProfile inl_profile;
+  queries::Q9OperatorProfile hash_profile;
+  queries::Q9PlanStats stats_sum{};
+  int executions = 0;
+  for (schema::PersonId p : store.PersonIds()) {
+    if (p % 23 != 0) continue;
+    queries::Q9PlanStats s{};
+    std::vector<queries::Q9Result> with_profile = queries::Query9WithPlan(
+        store, p, max_date, 20, queries::JoinStrategy::kIndexNestedLoop,
+        queries::JoinStrategy::kIndexNestedLoop,
+        queries::JoinStrategy::kIndexNestedLoop, &s, &inl_profile);
+    std::vector<queries::Q9Result> reference =
+        queries::Query9(store, p, max_date, 20);
+    ASSERT_EQ(with_profile.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(with_profile[i].message_id, reference[i].message_id);
+    }
+    (void)queries::Query9WithPlan(
+        store, p, max_date, 20, queries::JoinStrategy::kHash,
+        queries::JoinStrategy::kHash, queries::JoinStrategy::kHash, nullptr,
+        &hash_profile);
+    stats_sum.join1_output += s.join1_output;
+    stats_sum.join2_output += s.join2_output;
+    stats_sum.join3_output += s.join3_output;
+    ++executions;
+  }
+  ASSERT_GT(executions, 0);
+
+  // Operator row counts mirror the cardinality counters exactly.
+  EXPECT_EQ(inl_profile.join1.invocations, (uint64_t)executions);
+  EXPECT_EQ(inl_profile.join1.rows, stats_sum.join1_output);
+  EXPECT_EQ(inl_profile.join2.rows, stats_sum.join2_output);
+  EXPECT_EQ(inl_profile.join3.rows, stats_sum.join3_output);
+  // A pure-INL plan never builds a hash table; ProfileRows drops the row.
+  EXPECT_EQ(inl_profile.hash_build.invocations, 0u);
+  for (const auto& [name, op] : queries::ProfileRows(inl_profile)) {
+    EXPECT_NE(name, "hash_build");
+    EXPECT_GT(op.invocations, 0u);
+  }
+  // The all-hash plan does build, and its profile keeps the row.
+  EXPECT_GT(hash_profile.hash_build.invocations, 0u);
+
+  obs::Q9ProfileSection section =
+      queries::MakeQ9ProfileSection(inl_profile, "INL-INL-INL");
+  EXPECT_EQ(section.plan, "INL-INL-INL");
+  EXPECT_EQ(section.operators.size(),
+            queries::ProfileRows(inl_profile).size());
+
+  // And the section survives the JSON round trip inside a report.
+  RunReport report;
+  report.title = "q9 profile test";
+  MetricsRegistry registry;
+  registry.RecordLatencyMicros(ComplexOp(9), 123.0);
+  report.metrics = registry.Snapshot();
+  report.has_q9_profile = true;
+  report.q9_profile = section;
+  std::string json = ToJson(report);
+  EXPECT_TRUE(ValidateReportJson(json).ok());
+}
+
+}  // namespace
+}  // namespace snb::obs

@@ -244,6 +244,35 @@ TEST(SampleStatsTest, MergeCombines) {
   EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
 }
 
+TEST(SampleStatsTest, SumIsRunningAndExact) {
+  SampleStats stats;
+  EXPECT_DOUBLE_EQ(stats.Sum(), 0.0);
+  stats.Add(1.5);
+  stats.Add(2.5);
+  EXPECT_DOUBLE_EQ(stats.Sum(), 4.0);
+  SampleStats other;
+  other.Add(6.0);
+  stats.Merge(other);
+  EXPECT_DOUBLE_EQ(stats.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), stats.Sum() / 3.0);
+}
+
+TEST(SampleStatsTest, LazySortInvalidatedByAddAndMerge) {
+  SampleStats stats;
+  for (double v : {5.0, 1.0, 3.0}) stats.Add(v);
+  // Query once to trigger the sort, then mutate and query again: the new
+  // extremes must be visible (the sorted cache was invalidated).
+  EXPECT_DOUBLE_EQ(stats.Max(), 5.0);
+  stats.Add(9.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 9.0);
+  SampleStats lower;
+  lower.Add(0.5);
+  stats.Merge(lower);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 0.5);
+}
+
 TEST(HistogramTest, BucketsAndOverflow) {
   Histogram h(0.0, 10.0, 10);
   h.Add(0.5);
