@@ -7,7 +7,7 @@
 
 #include "algorithms/graph_algorithms.h"
 #include "bench/bench_util.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 
 namespace snb::bench {
 namespace {

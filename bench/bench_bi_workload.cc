@@ -6,7 +6,7 @@
 #include "bench/bench_util.h"
 #include "queries/bi_queries.h"
 #include "queries/complex_queries.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 
 namespace snb::bench {
 namespace {

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 
 namespace snb::bench {
 namespace {

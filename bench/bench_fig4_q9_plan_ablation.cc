@@ -21,7 +21,7 @@
 #include "obs/report.h"
 #include "queries/query9_plans.h"
 #include "util/histogram.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 
 namespace snb::bench {
 namespace {

@@ -9,7 +9,7 @@
 #include "curation/parameter_curation.h"
 #include "queries/complex_queries.h"
 #include "util/histogram.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 
 namespace snb::bench {

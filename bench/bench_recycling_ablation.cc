@@ -10,7 +10,7 @@
 #include "queries/complex_queries.h"
 #include "queries/recycler.h"
 #include "queries/update_queries.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 
 namespace snb::bench {

@@ -11,7 +11,7 @@
 #include "queries/complex_queries.h"
 #include "relational/rel_queries.h"
 #include "util/histogram.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 
 namespace snb::bench {

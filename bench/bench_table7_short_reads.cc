@@ -6,7 +6,7 @@
 #include "relational/rel_queries.h"
 #include "queries/short_queries.h"
 #include "util/histogram.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 
 namespace snb::bench {

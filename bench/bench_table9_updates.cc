@@ -8,7 +8,7 @@
 #include "driver/driver.h"
 #include "driver/query_mix.h"
 #include "obs/metrics.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 
 namespace snb::bench {
 namespace {

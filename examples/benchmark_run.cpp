@@ -7,32 +7,69 @@
 //      by the random walk;
 //   3. pick an acceleration factor (simulation time / real time) and replay
 //      the workload at that pace;
-//   4. the run is successful if the pace was sustained; report the
-//      acceleration factor and per-query latencies (p50/p95/p99), and
-//      write the machine-readable artifacts: report.json (schema
-//      snb-report-v1, incl. a Q9 per-operator profile) and report.prom
-//      (Prometheus text exposition).
+//   4. the run is successful if the pace was sustained AND the schedule-
+//      compliance audit passed (>= 95% of operations started within the
+//      lateness window); report the acceleration factor and per-query
+//      latencies (p50/p95/p99), and write the machine-readable artifacts:
+//      report.json (schema snb-report-v2, incl. the compliance audit and a
+//      Q9 per-operator profile) and report.prom (Prometheus text
+//      exposition).
 //
 //   ./examples/benchmark_run [scale_factor] [acceleration] [report_path]
+//                            [--listen <port>] [--trace-out <path>]
+//
+//   --listen <port>    serve GET /metrics (Prometheus text) and
+//                      GET /report.json from a live snapshot while the
+//                      run executes (0 picks an ephemeral port).
+//   --trace-out <path> record every executed operation into a bounded
+//                      ring and flush a Chrome-trace/Perfetto JSON
+//                      (one lane per driver thread, T_GC-wait sub-spans).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "datagen/datagen.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace_buffer.h"
 #include "queries/query9_plans.h"
 #include "store/graph_store.h"
 
 int main(int argc, char** argv) {
   using namespace snb;
 
-  double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.1;
-  // Default: replay the 4 simulated months in ~5 seconds of real time.
-  double acceleration = argc > 2 ? std::atof(argv[2]) : 0.0;
-  std::string report_path = argc > 3 ? argv[3] : "report.json";
+  double scale_factor = 0.1;
+  double acceleration = 0.0;
+  std::string report_path = "report.json";
+  int listen_port = -1;
+  std::string trace_path;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    } else {
+      switch (positional++) {
+        case 0: scale_factor = std::atof(argv[i]); break;
+        case 1: acceleration = std::atof(argv[i]); break;
+        case 2: report_path = argv[i]; break;
+        default:
+          std::fprintf(stderr, "too many positional arguments\n");
+          return 1;
+      }
+    }
+  }
 
   std::printf("=== SNB-Interactive benchmark run (mini SF %.2f) ===\n\n",
               scale_factor);
@@ -79,12 +116,41 @@ int main(int argc, char** argv) {
               acceleration);
 
   obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::TraceBuffer> trace;
+  if (!trace_path.empty()) trace = std::make_unique<obs::TraceBuffer>();
+
+  // Live observer: /metrics and /report.json rebuild from the registry at
+  // most every 250 ms, so curl/Prometheus can watch the run as it executes.
+  obs::HttpExporter exporter;
+  if (listen_port >= 0) {
+    exporter.Handle("/metrics", "text/plain; version=0.0.4", [&metrics] {
+      return obs::ToPrometheusText(metrics.Snapshot());
+    });
+    std::string title =
+        "snb-interactive benchmark_run SF " + std::to_string(scale_factor);
+    exporter.Handle("/report.json", "application/json", [&metrics, title] {
+      obs::RunReport live;
+      live.title = title + " (live)";
+      live.metrics = metrics.Snapshot();
+      return obs::ToJson(live);
+    });
+    status = exporter.Start(static_cast<uint16_t>(listen_port));
+    if (!status.ok()) {
+      std::fprintf(stderr, "--listen failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving http://localhost:%u/metrics and /report.json\n\n",
+                exporter.port());
+  }
+
   driver::StoreConnector connector(&store, &dataset.updates, &dictionaries,
-                                   &metrics);
+                                   &metrics, driver::ShortReadWalkConfig(),
+                                   /*dispatch_overhead_us=*/0, trace.get());
   driver::DriverConfig driver_config;
   driver_config.num_partitions = 4;
   driver_config.acceleration = acceleration;
   driver_config.metrics = &metrics;
+  driver_config.trace = trace.get();
   driver::DriverReport report =
       driver::RunWorkload(workload.operations, connector, driver_config);
   driver::PublishStoreMetrics(store, &metrics);
@@ -94,10 +160,28 @@ int main(int argc, char** argv) {
               (unsigned long long)report.operations_executed,
               report.elapsed_seconds, report.ops_per_second,
               (unsigned long long)report.operations_failed);
-  std::printf("max schedule lag: %.1f ms -> run %s at acceleration %.0fx\n\n",
+  std::printf("max schedule lag: %.1f ms -> run %s at acceleration %.0fx\n",
               report.max_schedule_lag_ms,
               report.sustained ? "SUSTAINED" : "NOT SUSTAINED",
               acceleration);
+  if (report.has_compliance) {
+    const obs::ComplianceSection& c = report.compliance;
+    std::printf("schedule compliance: %llu/%llu on time (%.2f%%, window"
+                " %.0f ms) -> %s\n",
+                (unsigned long long)c.on_time_ops,
+                (unsigned long long)c.scheduled_ops,
+                c.on_time_fraction * 100.0, c.window_ms,
+                c.passed ? "PASSED" : "FAILED");
+    for (size_t i = 0; i < c.per_op.size() && i < 3; ++i) {
+      std::printf("  worst offender: %-14s %6llu late of %8llu, max"
+                  " %.1f ms\n",
+                  c.per_op[i].op.c_str(),
+                  (unsigned long long)c.per_op[i].late,
+                  (unsigned long long)c.per_op[i].scheduled,
+                  c.per_op[i].max_late_ms);
+    }
+  }
+  std::printf("\n");
 
   obs::MetricsSnapshot snap = metrics.Snapshot();
   std::printf("%-18s %8s %10s %10s %10s %10s\n", "operation", "count",
@@ -139,6 +223,8 @@ int main(int argc, char** argv) {
   run_report.metrics = metrics.Snapshot();  // Re-snapshot: gauges now set.
   run_report.has_driver = true;
   run_report.driver = driver::MakeDriverSection(report);
+  run_report.has_compliance = report.has_compliance;
+  run_report.compliance = report.compliance;
   run_report.has_q9_profile = true;
   run_report.q9_profile =
       queries::MakeQ9ProfileSection(q9_profile, "INL-INL-INL");
@@ -159,8 +245,23 @@ int main(int argc, char** argv) {
                              obs::ToPrometheusText(run_report.metrics));
   std::printf("\nwrote %s and %s\n", report_path.c_str(), prom_path.c_str());
 
+  if (trace != nullptr) {
+    status = obs::WriteFileReport(trace_path, obs::ToChromeTraceJson(*trace));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%llu events recorded, %llu dropped by ring"
+                " bound)\n",
+                trace_path.c_str(), (unsigned long long)trace->recorded(),
+                (unsigned long long)trace->dropped());
+  }
+
+  exporter.Stop();
+
+  bool ok = report.sustained &&
+            (!report.has_compliance || report.compliance.passed);
   std::printf("benchmark metric: acceleration-factor %.0fx %s\n",
-              acceleration,
-              report.sustained ? "(valid run)" : "(lower the factor)");
-  return report.sustained ? 0 : 2;
+              acceleration, ok ? "(valid run)" : "(lower the factor)");
+  return ok ? 0 : 2;
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Local gate: tier-1 build + full test suite, then the concurrency-labelled
 # tests (epoch/RCU read path) rebuilt under AddressSanitizer and
-# ThreadSanitizer. Run from anywhere inside the repo.
+# ThreadSanitizer, then a short throttled driver run that exercises the
+# trace exporter + compliance audit and feeds the perf-regression gate.
+# Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,19 +14,53 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${jobs}"
 (cd build && ctest --output-on-failure -j"${jobs}")
 
-echo "== obs: registry/report tests + bench smoke with profiling =="
+echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 (cd build && ctest -L obs --output-on-failure)
 # One complex-read bench with operator profiling on, emitting report.json.
 # The binary self-validates the report (schema tag, non-empty op table,
 # monotone percentiles, populated q9_profile) and exits nonzero otherwise;
 # here we only re-check that the artifact landed non-empty.
 smoke_report="$(mktemp -t snb-smoke-report.XXXXXX.json)"
-trap 'rm -f "${smoke_report}"' EXIT
+smoke_trace="$(mktemp -t snb-smoke-trace.XXXXXX.json)"
+trap 'rm -f "${smoke_report}" "${smoke_trace}"' EXIT
 ./build/bench/bench_fig4_q9_plan_ablation --params 4 --report "${smoke_report}"
 test -s "${smoke_report}" || {
   echo "bench smoke produced an empty ${smoke_report}" >&2
   exit 1
 }
+
+echo "== driver smoke: throttled run with trace export + compliance audit =="
+# Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
+# was sustained AND the compliance audit passed; self-validates report.json
+# (schema snb-report-v2 incl. the compliance section) before writing it.
+bench_today="BENCH_$(date +%F).json"
+./build/examples/benchmark_run 0.05 0 "${bench_today}" \
+  --trace-out "${smoke_trace}"
+# The trace must be valid JSON with per-thread lanes (Chrome-trace format);
+# the obs tests check B/E pairing, here we gate on parse + shape.
+python3 - "${smoke_trace}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+lanes = {e["tid"] for e in events if e.get("ph") in ("B", "E")}
+assert events and lanes, "trace has no spans"
+print(f"trace OK: {len(events)} events across {len(lanes)} lanes")
+EOF
+
+echo "== perf-regression gate: compare against committed baseline =="
+# Thresholds are deliberately generous: the gate exists to catch order-of-
+# magnitude regressions on any machine, not to flag scheduler noise across
+# different hardware. Tighten them when pinning a baseline per machine.
+if [[ -f BENCH_baseline.json ]]; then
+  python3 scripts/compare_reports.py BENCH_baseline.json "${bench_today}" \
+    --max-throughput-drop 0.9 \
+    --max-latency-inflation 4.0 \
+    --latency-slack-ms 5.0 \
+    --max-compliance-drop 0.5
+else
+  echo "no BENCH_baseline.json; seeding it from this run"
+  cp "${bench_today}" BENCH_baseline.json
+fi
 
 # Only the concurrency test targets are built under the sanitizers; a
 # whole-tree sanitizer build adds minutes without adding coverage.
@@ -33,7 +69,8 @@ for san in address thread; do
   echo "== ${san} sanitizer: concurrency-labelled tests =="
   cmake -B "${dir}" -S . -DSNB_SANITIZE="${san}" >/dev/null
   cmake --build "${dir}" -j"${jobs}" \
-    --target epoch_test concurrency_stress_test graph_store_test obs_test
+    --target epoch_test concurrency_stress_test graph_store_test obs_test \
+             http_exporter_test
   (cd "${dir}" && ctest -L concurrency --output-on-failure)
 done
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two snb-report JSON artifacts.
+
+Compares a candidate report against a baseline and exits nonzero when the
+candidate regressed past the configured thresholds:
+
+  * driver throughput (ops_per_second) dropped more than
+    --max-throughput-drop (fraction of baseline);
+  * any shared op-type percentile (p50/p95/p99) inflated more than
+    --max-latency-inflation (fraction of baseline) AND more than
+    --latency-slack-ms absolute (the slack keeps micro-latencies from
+    tripping the relative check on scheduler noise);
+  * the schedule-compliance on-time fraction dropped more than
+    --max-compliance-drop (absolute).
+
+Only op types present in BOTH reports are compared, so baselines survive
+query-mix additions. Accepts schema snb-report-v1 and v2 (v1 simply has
+no compliance section to compare).
+
+Usage:
+  scripts/compare_reports.py baseline.json candidate.json [thresholds...]
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
+ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2")
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit_code = 2
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    schema = doc.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        raise SystemExit(f"error: {path}: unexpected schema {schema!r}")
+    return doc
+
+
+def op_table(doc):
+    return {op["op"]: op for op in doc.get("ops", []) if op.get("count", 0) > 0}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two snb report.json files for perf regressions")
+    parser.add_argument("baseline", help="baseline report.json")
+    parser.add_argument("candidate", help="candidate report.json")
+    parser.add_argument("--max-throughput-drop", type=float, default=0.3,
+                        metavar="FRAC",
+                        help="max allowed relative ops/s drop (default 0.3)")
+    parser.add_argument("--max-latency-inflation", type=float, default=0.5,
+                        metavar="FRAC",
+                        help="max allowed relative p50/p95/p99 growth per op "
+                             "(default 0.5)")
+    parser.add_argument("--latency-slack-ms", type=float, default=1.0,
+                        metavar="MS",
+                        help="absolute growth below this never fails the "
+                             "latency check (default 1.0)")
+    parser.add_argument("--max-compliance-drop", type=float, default=0.05,
+                        metavar="FRAC",
+                        help="max allowed absolute on-time-fraction drop "
+                             "(default 0.05)")
+    parser.add_argument("--min-count", type=int, default=8, metavar="N",
+                        help="skip ops with fewer samples in either report "
+                             "(default 8)")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+    regressions = []
+    checks = 0
+
+    # Throughput.
+    base_tput = base.get("driver", {}).get("ops_per_second")
+    cand_tput = cand.get("driver", {}).get("ops_per_second")
+    if base_tput and cand_tput:
+        checks += 1
+        floor = base_tput * (1.0 - args.max_throughput_drop)
+        if cand_tput < floor:
+            regressions.append(
+                f"throughput: {cand_tput:.0f} ops/s < floor {floor:.0f} "
+                f"(baseline {base_tput:.0f}, max drop "
+                f"{args.max_throughput_drop:.0%})")
+
+    # Per-op percentiles over the intersection.
+    base_ops = op_table(base)
+    cand_ops = op_table(cand)
+    for name in sorted(base_ops.keys() & cand_ops.keys()):
+        b, c = base_ops[name], cand_ops[name]
+        if min(b["count"], c["count"]) < args.min_count:
+            continue
+        for pct in PERCENTILES:
+            if pct not in b or pct not in c:
+                continue
+            checks += 1
+            ceiling = b[pct] * (1.0 + args.max_latency_inflation)
+            if c[pct] > ceiling and c[pct] - b[pct] > args.latency_slack_ms:
+                regressions.append(
+                    f"{name} {pct}: {c[pct]:.3f} ms > ceiling {ceiling:.3f} "
+                    f"(baseline {b[pct]:.3f}, max inflation "
+                    f"{args.max_latency_inflation:.0%})")
+
+    # Compliance (v2 only; absent section in either report = not compared).
+    base_frac = base.get("compliance", {}).get("on_time_fraction")
+    cand_frac = cand.get("compliance", {}).get("on_time_fraction")
+    if base_frac is not None and cand_frac is not None:
+        checks += 1
+        floor = base_frac - args.max_compliance_drop
+        if cand_frac < floor:
+            regressions.append(
+                f"compliance: on-time fraction {cand_frac:.4f} < floor "
+                f"{floor:.4f} (baseline {base_frac:.4f})")
+
+    print(f"compared {args.candidate} against {args.baseline}: "
+          f"{checks} checks, {len(regressions)} regressions")
+    for r in regressions:
+        print(f"  REGRESSION: {r}")
+    if not regressions:
+        print("  OK: within thresholds")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

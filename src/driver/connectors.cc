@@ -7,7 +7,7 @@
 #include "queries/complex_queries.h"
 #include "queries/short_queries.h"
 #include "queries/update_queries.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 
 namespace snb::driver {
@@ -37,13 +37,14 @@ StoreConnector::StoreConnector(
     const std::vector<datagen::UpdateOperation>* updates,
     const schema::Dictionaries* dictionaries,
     obs::MetricsRegistry* metrics, ShortReadWalkConfig walk,
-    int64_t dispatch_overhead_us)
+    int64_t dispatch_overhead_us, obs::TraceBuffer* trace)
     : store_(store),
       updates_(updates),
       dict_(dictionaries),
       metrics_(metrics),
       walk_(walk),
-      dispatch_overhead_us_(dispatch_overhead_us) {
+      dispatch_overhead_us_(dispatch_overhead_us),
+      trace_(trace) {
   for (const schema::City& c : dict_->cities()) {
     city_country_.push_back(c.country_id);
   }
@@ -195,6 +196,13 @@ Status StoreConnector::ExecuteComplex(const Operation& op) {
 Status StoreConnector::ExecuteShort(uint8_t query_id,
                                     schema::PersonId person,
                                     schema::MessageId message) {
+  // Trace the short read even when it was walk-spawned: the sub-span nests
+  // inside the driver-recorded complex-read span on the same lane.
+  obs::TraceEvent event;
+  if (trace_ != nullptr) {
+    event.op = obs::ShortOp(query_id);
+    event.exec_begin_ns = trace_->NowNs();
+  }
   Stopwatch watch;
   SpinFor(dispatch_overhead_us_);
   switch (query_id) {
@@ -224,6 +232,10 @@ Status StoreConnector::ExecuteShort(uint8_t query_id,
   }
   if (metrics_ != nullptr) {
     metrics_->RecordLatencyNs(obs::ShortOp(query_id), watch.ElapsedNanos());
+  }
+  if (trace_ != nullptr) {
+    event.end_ns = trace_->NowNs();
+    trace_->Record(event);
   }
   short_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();

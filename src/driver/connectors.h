@@ -10,6 +10,7 @@
 #include "datagen/datagen.h"
 #include "driver/operation.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "schema/dictionaries.h"
 #include "store/graph_store.h"
 #include "util/status.h"
@@ -46,12 +47,16 @@ class StoreConnector : public Connector {
   /// `dispatch_overhead_us` emulates the per-operation client-server
   /// round-trip of the paper's setups (0 = in-process, no overhead). It is
   /// added to every executed query/update before latency recording.
+  /// `trace` may be null; when set, every short read executed here (in
+  /// particular the walk-spawned ones the driver never sees) records a
+  /// trace span, nesting inside the seeding complex read's span.
   StoreConnector(store::GraphStore* store,
                  const std::vector<datagen::UpdateOperation>* updates,
                  const schema::Dictionaries* dictionaries,
                  obs::MetricsRegistry* metrics,
                  ShortReadWalkConfig walk = ShortReadWalkConfig(),
-                 int64_t dispatch_overhead_us = 0);
+                 int64_t dispatch_overhead_us = 0,
+                 obs::TraceBuffer* trace = nullptr);
 
   util::Status Execute(const Operation& op) override;
 
@@ -78,6 +83,7 @@ class StoreConnector : public Connector {
   obs::MetricsRegistry* metrics_;
   ShortReadWalkConfig walk_;
   int64_t dispatch_overhead_us_ = 0;
+  obs::TraceBuffer* trace_ = nullptr;
   std::vector<schema::PlaceId> city_country_;
   std::vector<schema::PlaceId> company_country_;
   /// tag_in_class_[c][t]: tag t belongs to tag class c.

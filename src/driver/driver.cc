@@ -10,7 +10,8 @@
 
 #include "datagen/config.h"
 #include "driver/dependency_services.h"
-#include "util/latency_recorder.h"
+#include "driver/run_audit.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -19,12 +20,22 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// The obs series an operation's execution is attributed to (also the
+/// trace span name and the compliance audit row).
+obs::OpType TraceOpType(const Operation& op) {
+  switch (op.type) {
+    case OperationType::kComplexRead:
+      return obs::ComplexOp(op.query_id);
+    case OperationType::kShortRead:
+      return obs::ShortOp(op.query_id);
+    case OperationType::kUpdate:
+      return obs::UpdateOp(op.update_kind == 0 ? 1 : op.update_kind);
+  }
+  return obs::OpType::kPointRead;
+}
+
 /// Shared run accounting across worker threads.
 struct RunState {
-  /// Length of the per-second lag timeline (max tracked run length; later
-  /// seconds fold into the last slot rather than being dropped).
-  static constexpr size_t kMaxTimelineSeconds = 1024;
-
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> failed{0};
   std::mutex error_mu;
@@ -32,15 +43,13 @@ struct RunState {
   std::atomic<int64_t> max_lag_us{0};
   std::atomic<uint64_t> dependencies_tracked{0};
   std::atomic<uint64_t> dependent_waits{0};
-  /// lag_timeline_us[s]: max lag among operations scheduled in second s of
-  /// the run; -1 = no operation was due in that second.
-  std::vector<std::atomic<int64_t>> lag_timeline_us;
+  /// Bounded per-second max-lag series (downsamples past 1024 seconds).
+  LagTimeline lag_timeline;
+  /// Schedule-compliance audit; only fed on throttled runs.
+  ComplianceTracker compliance;
 
-  RunState() : lag_timeline_us(kMaxTimelineSeconds) {
-    for (auto& slot : lag_timeline_us) {
-      slot.store(-1, std::memory_order_relaxed);
-    }
-  }
+  explicit RunState(double compliance_window_ms)
+      : compliance(compliance_window_ms) {}
 
   void RecordResult(const util::Status& status) {
     executed.fetch_add(1, std::memory_order_relaxed);
@@ -54,19 +63,8 @@ struct RunState {
   /// `second` is the operation's scheduled second of the run (-1 when
   /// unthrottled — no timeline then).
   void RecordLag(int64_t lag_us, int64_t second) {
-    int64_t cur = max_lag_us.load(std::memory_order_relaxed);
-    while (lag_us > cur &&
-           !max_lag_us.compare_exchange_weak(cur, lag_us)) {
-    }
-    if (second < 0) return;
-    size_t idx = std::min<size_t>(static_cast<size_t>(second),
-                                  kMaxTimelineSeconds - 1);
-    std::atomic<int64_t>& slot = lag_timeline_us[idx];
-    int64_t seen = slot.load(std::memory_order_relaxed);
-    while (lag_us > seen &&
-           !slot.compare_exchange_weak(seen, lag_us,
-                                       std::memory_order_relaxed)) {
-    }
+    FoldMax(max_lag_us, lag_us);
+    lag_timeline.Record(second, lag_us);
   }
 };
 
@@ -79,20 +77,36 @@ class Throttle {
         base_due_(base_due),
         start_(Clock::now()) {}
 
+  /// Wall-clock deadline `due` maps to. Only meaningful when throttled.
+  Clock::time_point DeadlineFor(util::TimestampMs due) const {
+    double real_ms = static_cast<double>(due - base_due_) / acceleration_;
+    return start_ + std::chrono::microseconds(
+                        static_cast<int64_t>(real_ms * 1000.0));
+  }
+
   /// Waits until `due` is scheduled; returns lateness in microseconds
   /// (0 when unthrottled).
   int64_t WaitUntilDue(util::TimestampMs due) const {
     if (acceleration_ <= 0.0) return 0;
-    double real_ms =
-        static_cast<double>(due - base_due_) / acceleration_;
-    Clock::time_point deadline =
-        start_ + std::chrono::microseconds(
-                     static_cast<int64_t>(real_ms * 1000.0));
+    Clock::time_point deadline = DeadlineFor(due);
     Clock::time_point now = Clock::now();
     if (now < deadline) {
       std::this_thread::sleep_until(deadline);
       return 0;
     }
+    return std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                 deadline)
+        .count();
+  }
+
+  /// How many microseconds past `due`'s deadline the clock already is
+  /// (0 when unthrottled or still ahead of schedule). No sleeping — the
+  /// windowed mode paces at window granularity but audits per operation.
+  int64_t LatenessMicros(util::TimestampMs due) const {
+    if (acceleration_ <= 0.0) return 0;
+    Clock::time_point deadline = DeadlineFor(due);
+    Clock::time_point now = Clock::now();
+    if (now <= deadline) return 0;
     return std::chrono::duration_cast<std::chrono::microseconds>(now -
                                                                  deadline)
         .count();
@@ -131,7 +145,7 @@ void RunStream(const std::vector<const Operation*>& ops,
                Connector& connector, ExecutionMode mode,
                LocalDependencyService* lds, GlobalDependencyService* gds,
                const Throttle& throttle, RunState* state,
-               obs::MetricsRegistry* metrics) {
+               obs::MetricsRegistry* metrics, obs::TraceBuffer* trace) {
   for (const Operation* op : ops) {
     bool is_dependency =
         op->is_dependency ||
@@ -146,6 +160,7 @@ void RunStream(const std::vector<const Operation*>& ops,
     } else {
       lds->MarkTime(op->due_time);
     }
+    obs::TraceEvent event;
     if (wait_for > 0) {
       state->dependent_waits.fetch_add(1, std::memory_order_relaxed);
       // Most dependencies are already satisfied by the time their dependent
@@ -153,11 +168,15 @@ void RunStream(const std::vector<const Operation*>& ops,
       // keeps the clock out of the no-wait path entirely (kGctWait records
       // only waits that actually blocked).
       if (!gds->CompletedThrough(wait_for)) {
-        if (metrics != nullptr) {
+        if (metrics != nullptr || trace != nullptr) {
+          if (trace != nullptr) event.gct_begin_ns = trace->NowNs();
           util::Stopwatch wait_watch;
           gds->WaitUntilCompleted(wait_for);
-          metrics->RecordLatencyNs(obs::OpType::kGctWait,
-                                   wait_watch.ElapsedNanos());
+          uint64_t waited_ns = wait_watch.ElapsedNanos();
+          if (metrics != nullptr) {
+            metrics->RecordLatencyNs(obs::OpType::kGctWait, waited_ns);
+          }
+          if (trace != nullptr) event.gct_wait_ns = waited_ns;
         } else {
           gds->WaitUntilCompleted(wait_for);
         }
@@ -165,11 +184,25 @@ void RunStream(const std::vector<const Operation*>& ops,
     }
     int64_t lag_us = throttle.WaitUntilDue(op->due_time);
     state->RecordLag(lag_us, throttle.ScheduledSecond(op->due_time));
-    if (metrics != nullptr && throttle.throttled()) {
-      metrics->RecordLatencyNs(obs::OpType::kSchedLag,
-                               static_cast<uint64_t>(lag_us) * 1000);
+    if (throttle.throttled()) {
+      state->compliance.Record(TraceOpType(*op), lag_us);
+      if (metrics != nullptr) {
+        metrics->RecordLatencyNs(obs::OpType::kSchedLag,
+                                 static_cast<uint64_t>(lag_us) * 1000);
+      }
     }
-    state->RecordResult(connector.Execute(*op));
+    if (trace != nullptr) {
+      event.op = TraceOpType(*op);
+      if (throttle.throttled()) {
+        event.sched_ns = trace->ToBufferNs(throttle.DeadlineFor(op->due_time));
+      }
+      event.exec_begin_ns = trace->NowNs();
+      state->RecordResult(connector.Execute(*op));
+      event.end_ns = trace->NowNs();
+      trace->Record(event);
+    } else {
+      state->RecordResult(connector.Execute(*op));
+    }
     if (is_dependency) lds->Complete(op->due_time);
   }
   lds->MarkTime(kTimeMax);
@@ -193,11 +226,10 @@ DriverReport FinishReport(const RunState& state, double elapsed_seconds,
                          config.sustained_lag_threshold_ms;
   report.dependencies_tracked = state.dependencies_tracked.load();
   report.dependent_waits = state.dependent_waits.load();
-  for (size_t s = 0; s < RunState::kMaxTimelineSeconds; ++s) {
-    int64_t lag_us = state.lag_timeline_us[s].load(std::memory_order_relaxed);
-    if (lag_us < 0) continue;
-    report.lag_timeline_ms.emplace_back(
-        static_cast<double>(s), static_cast<double>(lag_us) / 1000.0);
+  report.lag_timeline_ms = state.lag_timeline.Snapshot();
+  if (config.acceleration > 0.0) {
+    report.has_compliance = true;
+    report.compliance = state.compliance.Finish(config.compliance_threshold);
   }
   if (config.metrics != nullptr) {
     config.metrics->AddCounter(obs::Counter::kOperationsExecuted,
@@ -231,7 +263,7 @@ DriverReport RunStreamed(const std::vector<Operation>& operations,
     lds.back()->MarkTime(operations.front().due_time);
   }
 
-  RunState state;
+  RunState state(config.compliance_window_ms);
   Throttle throttle(config.acceleration, operations.front().due_time);
   Clock::time_point start = Clock::now();
   std::vector<std::thread> workers;
@@ -239,7 +271,7 @@ DriverReport RunStreamed(const std::vector<Operation>& operations,
   for (uint32_t p = 0; p < partitions; ++p) {
     workers.emplace_back([&, p] {
       RunStream(streams[p], connector, config.mode, lds[p], &gds, throttle,
-                &state, config.metrics);
+                &state, config.metrics, config.trace);
     });
   }
   for (std::thread& t : workers) t.join();
@@ -248,11 +280,42 @@ DriverReport RunStreamed(const std::vector<Operation>& operations,
   return FinishReport(state, elapsed, config);
 }
 
+/// One operation of a window: audits its lateness against its own due
+/// time (the pool may start it well after the window barrier released)
+/// and records its trace span.
+void ExecuteWindowedOp(const Operation& op, Connector& connector,
+                       const Throttle& throttle, RunState* state,
+                       obs::MetricsRegistry* metrics,
+                       obs::TraceBuffer* trace) {
+  if (throttle.throttled()) {
+    int64_t lag_us = throttle.LatenessMicros(op.due_time);
+    state->RecordLag(lag_us, throttle.ScheduledSecond(op.due_time));
+    state->compliance.Record(TraceOpType(op), lag_us);
+    if (metrics != nullptr) {
+      metrics->RecordLatencyNs(obs::OpType::kSchedLag,
+                               static_cast<uint64_t>(lag_us) * 1000);
+    }
+  }
+  if (trace == nullptr) {
+    state->RecordResult(connector.Execute(op));
+    return;
+  }
+  obs::TraceEvent event;
+  event.op = TraceOpType(op);
+  if (throttle.throttled()) {
+    event.sched_ns = trace->ToBufferNs(throttle.DeadlineFor(op.due_time));
+  }
+  event.exec_begin_ns = trace->NowNs();
+  state->RecordResult(connector.Execute(op));
+  event.end_ns = trace->NowNs();
+  trace->Record(event);
+}
+
 DriverReport RunWindowed(const std::vector<Operation>& operations,
                          Connector& connector, const DriverConfig& config) {
   uint32_t partitions = std::max<uint32_t>(config.num_partitions, 1);
   util::ThreadPool pool(partitions);
-  RunState state;
+  RunState state(config.compliance_window_ms);
   util::TimestampMs base = operations.front().due_time;
   Throttle throttle(config.acceleration, base);
   Clock::time_point start = Clock::now();
@@ -271,8 +334,9 @@ DriverReport RunWindowed(const std::vector<Operation>& operations,
     }
 
     // Throttled runs start a window no earlier than its scheduled time.
-    state.RecordLag(throttle.WaitUntilDue(window_start),
-                    throttle.ScheduledSecond(window_start));
+    // Lag is audited per operation below (ExecuteWindowedOp), so the wait
+    // itself needs no recording.
+    throttle.WaitUntilDue(window_start);
 
     // Group the window: forum-tree ops run sequentially per forum; all
     // remaining ops have >= T_SAFE-old dependencies and run freely.
@@ -288,17 +352,19 @@ DriverReport RunWindowed(const std::vector<Operation>& operations,
       }
     }
     for (auto& [_, group] : forum_groups) {
-      pool.Submit([&connector, &state, group = &group] {
+      pool.Submit([&connector, &state, &throttle, &config, group = &group] {
         for (const Operation* op : *group) {
-          state.RecordResult(connector.Execute(*op));
+          ExecuteWindowedOp(*op, connector, throttle, &state, config.metrics,
+                            config.trace);
         }
       });
     }
     for (std::vector<const Operation*>& batch : free_batches) {
       if (batch.empty()) continue;
-      pool.Submit([&connector, &state, batch = &batch] {
+      pool.Submit([&connector, &state, &throttle, &config, batch = &batch] {
         for (const Operation* op : *batch) {
-          state.RecordResult(connector.Execute(*op));
+          ExecuteWindowedOp(*op, connector, throttle, &state, config.metrics,
+                            config.trace);
         }
       });
     }

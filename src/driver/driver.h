@@ -36,6 +36,7 @@
 #include "driver/connectors.h"
 #include "driver/operation.h"
 #include "obs/report.h"
+#include "obs/trace_buffer.h"
 #include "util/histogram.h"
 
 namespace snb::driver {
@@ -66,6 +67,17 @@ struct DriverConfig {
   /// (driver.gct_wait) as latency series, and accumulates the run's
   /// executed/failed/dependency counters at the end of the run.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional full-run trace sink. When set, every driver-scheduled
+  /// operation is recorded as a span (with its schedule and T_GC wait);
+  /// pass the same buffer to the connector to also capture walk-spawned
+  /// short reads.
+  obs::TraceBuffer* trace = nullptr;
+  /// Schedule-compliance audit (throttled runs only): an operation is
+  /// on time when it starts within this many real ms of its schedule.
+  double compliance_window_ms = 100.0;
+  /// Fraction of scheduled operations that must be on time for the run
+  /// to pass the compliance audit (the LDBC bar is 0.95).
+  double compliance_threshold = 0.95;
 };
 
 /// Outcome of a driver run.
@@ -85,8 +97,13 @@ struct DriverReport {
   bool sustained = true;
   /// Scheduling-lag time series for throttled runs: (scheduled second of
   /// the run, max lag ms among operations due within that second). Empty
-  /// when unthrottled. Seconds with no due operations are absent.
+  /// when unthrottled; bounded — long runs are downsampled to a fixed
+  /// number of slots (see LagTimeline), so the resolution coarsens but
+  /// memory does not grow with run length.
   std::vector<std::pair<double, double>> lag_timeline_ms;
+  /// Schedule-compliance audit; populated only for throttled runs.
+  bool has_compliance = false;
+  obs::ComplianceSection compliance;
 };
 
 /// Packages a report as the report.json "driver" section.

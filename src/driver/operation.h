@@ -28,6 +28,10 @@ struct Operation {
   uint8_t query_id = 0;
   /// Index into the dataset's update stream (updates only).
   uint32_t update_index = 0;
+  /// datagen::UpdateKind of the referenced update (updates only; 0 when
+  /// unknown). Lets the driver attribute updates to their obs::OpType
+  /// without dereferencing the stream.
+  uint8_t update_kind = 0;
 
   /// Simulation time at which the operation is scheduled (T_DUE).
   util::TimestampMs due_time = 0;

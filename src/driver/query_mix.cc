@@ -177,6 +177,7 @@ Workload BuildWorkload(const datagen::Dataset& dataset,
       Operation op;
       op.type = OperationType::kUpdate;
       op.update_index = static_cast<uint32_t>(i);
+      op.update_kind = static_cast<uint8_t>(u.kind);
       op.due_time = u.due_time;
       op.dependency_time = u.dependency_time;
       op.person_dependency_time = u.person_dependency_time;

@@ -1,0 +1,209 @@
+// Run-audit accumulators shared by the driver's execution modes: the
+// bounded scheduling-lag timeline and the schedule-compliance tracker.
+//
+// Both are written once per operation from every worker thread, so both
+// follow the obs registry's recipe: fixed-size arrays of relaxed atomics
+// on the record path, a single-threaded fold at report time. Header-only
+// so driver_test can exercise the downsampling and audit arithmetic
+// directly.
+#ifndef SNB_DRIVER_RUN_AUDIT_H_
+#define SNB_DRIVER_RUN_AUDIT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace snb::driver {
+
+/// Folds `value` into the slot as a max (slots start at the -1 "no data"
+/// sentinel, so any recorded lag — including 0 — marks the slot live).
+inline void FoldMax(std::atomic<int64_t>& slot, int64_t value) {
+  int64_t seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// Per-second max-scheduling-lag timeline with bounded memory.
+///
+/// A throttled run records (scheduled second, lag) once per operation; the
+/// report wants the shape of lag over the whole run. A fixed array of
+/// seconds would either cap the run length or smear everything past the
+/// cap into one slot (what PR 2 did). Instead the timeline *downsamples*:
+/// when a second lands beyond the last slot, the resolution doubles
+/// (seconds per slot: 1 → 2 → 4 …) and existing slots are folded pairwise,
+/// so any run length fits in `max_slots` entries with max-preserving
+/// coarsening. Memory is O(max_slots) regardless of run length.
+///
+/// Concurrency: Record() is lock-free in the steady state (one CAS-max).
+/// Rescaling takes a mutex; writers racing a rescale with a stale scale
+/// can attribute a lag up to one ratio step later on the timeline, which
+/// only ever *coarsens* the plot — no lag is dropped (everything folds
+/// via max) and the monotone statistics (run max, per-slot max) hold.
+class LagTimeline {
+ public:
+  explicit LagTimeline(size_t max_slots = 1024)
+      : slots_(std::max<size_t>(max_slots, 2)) {
+    for (auto& slot : slots_) slot.store(-1, std::memory_order_relaxed);
+  }
+
+  /// Records `lag_us` for an operation scheduled in run-second `second`
+  /// (negative seconds are ignored — unthrottled runs have no timeline).
+  void Record(int64_t second, int64_t lag_us) {
+    if (second < 0) return;
+    int64_t scale = scale_.load(std::memory_order_acquire);
+    while (second / scale >= static_cast<int64_t>(slots_.size())) {
+      Rescale(second);
+      scale = scale_.load(std::memory_order_acquire);
+    }
+    FoldMax(slots_[static_cast<size_t>(second / scale)], lag_us);
+  }
+
+  /// Seconds of run time covered by one slot (power of two).
+  int64_t seconds_per_slot() const {
+    return scale_.load(std::memory_order_acquire);
+  }
+
+  /// (second of run, max lag ms) rows for every slot that saw an
+  /// operation; the second is the slot's lower edge at the final scale.
+  std::vector<std::pair<double, double>> Snapshot() const {
+    std::vector<std::pair<double, double>> out;
+    int64_t scale = seconds_per_slot();
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      int64_t lag_us = slots_[s].load(std::memory_order_relaxed);
+      if (lag_us < 0) continue;
+      out.emplace_back(static_cast<double>(s) * static_cast<double>(scale),
+                       static_cast<double>(lag_us) / 1000.0);
+    }
+    return out;
+  }
+
+  size_t max_slots() const { return slots_.size(); }
+
+ private:
+  void Rescale(int64_t second) {
+    std::lock_guard<std::mutex> lock(rescale_mu_);
+    int64_t scale = scale_.load(std::memory_order_relaxed);
+    int64_t needed = second / static_cast<int64_t>(slots_.size()) + 1;
+    if (needed <= scale) return;  // Another thread already rescaled.
+    int64_t new_scale = scale;
+    while (new_scale < needed) new_scale *= 2;
+    int64_t ratio = new_scale / scale;
+    // Publish the new scale first: concurrent writers immediately target
+    // compacted positions, and any value they land in a slot we have
+    // already folded survives (we only exchange each source slot once,
+    // ascending, and destinations are only ever folded via max).
+    scale_.store(new_scale, std::memory_order_release);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      int64_t v = slots_[i].exchange(-1, std::memory_order_relaxed);
+      if (v < 0) continue;
+      FoldMax(slots_[i / static_cast<size_t>(ratio)], v);
+    }
+  }
+
+  std::vector<std::atomic<int64_t>> slots_;
+  std::atomic<int64_t> scale_{1};
+  std::mutex rescale_mu_;
+};
+
+/// Schedule-compliance accumulator: per-op-type on-time/late counts and a
+/// run-wide lateness histogram, folded into an obs::ComplianceSection.
+///
+/// The LDBC driver certifies a run by the fraction of operations that
+/// start within a fixed window of their scheduled time; this tracker
+/// reproduces that audit with one relaxed fetch_add per operation (plus a
+/// CAS-max for the per-type worst case). Lateness buckets reuse the obs
+/// log-bucket geometry over *microseconds*, so the histogram resolves
+/// sub-millisecond jitter and still covers multi-hour stalls.
+class ComplianceTracker {
+ public:
+  explicit ComplianceTracker(double window_ms)
+      : window_us_(static_cast<int64_t>(window_ms * 1000.0)) {}
+
+  /// Records one scheduled operation of type `op` that started `lag_us`
+  /// late (0 = on time).
+  void Record(obs::OpType op, int64_t lag_us) {
+    size_t i = static_cast<size_t>(op);
+    if (i >= obs::kNumOpTypes) return;
+    Cell& cell = cells_[i];
+    cell.scheduled.fetch_add(1, std::memory_order_relaxed);
+    if (lag_us > window_us_) {
+      cell.late.fetch_add(1, std::memory_order_relaxed);
+    }
+    FoldMax(cell.max_late_us, lag_us);
+    buckets_[obs::LogBuckets::BucketFor(
+                 static_cast<uint64_t>(std::max<int64_t>(lag_us, 0)))]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double window_ms() const {
+    return static_cast<double>(window_us_) / 1000.0;
+  }
+
+  /// Folds the accumulated counts into a report section; `required`
+  /// is the pass bar on the on-time fraction (LDBC uses 0.95).
+  obs::ComplianceSection Finish(double required) const {
+    obs::ComplianceSection section;
+    section.window_ms = window_ms();
+    section.required_on_time_fraction = required;
+    uint64_t late_total = 0;
+    for (size_t i = 0; i < obs::kNumOpTypes; ++i) {
+      const Cell& cell = cells_[i];
+      uint64_t scheduled = cell.scheduled.load(std::memory_order_relaxed);
+      if (scheduled == 0) continue;
+      obs::ComplianceOpEntry entry;
+      entry.op = obs::OpTypeName(static_cast<obs::OpType>(i));
+      entry.scheduled = scheduled;
+      entry.late = cell.late.load(std::memory_order_relaxed);
+      entry.max_late_ms =
+          static_cast<double>(
+              std::max<int64_t>(cell.max_late_us.load(), 0)) /
+          1000.0;
+      section.scheduled_ops += scheduled;
+      late_total += entry.late;
+      section.per_op.push_back(std::move(entry));
+    }
+    std::sort(section.per_op.begin(), section.per_op.end(),
+              [](const obs::ComplianceOpEntry& a,
+                 const obs::ComplianceOpEntry& b) {
+                return a.max_late_ms > b.max_late_ms;
+              });
+    section.on_time_ops = section.scheduled_ops - late_total;
+    section.on_time_fraction =
+        section.scheduled_ops == 0
+            ? 1.0
+            : static_cast<double>(section.on_time_ops) /
+                  static_cast<double>(section.scheduled_ops);
+    section.passed = section.on_time_fraction >= required;
+    for (size_t b = 0; b < obs::LogBuckets::kNumBuckets; ++b) {
+      uint64_t count = buckets_[b].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      section.lateness_histogram_ms.emplace_back(
+          static_cast<double>(obs::LogBuckets::BucketLow(b)) / 1000.0,
+          count);
+    }
+    return section;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> scheduled{0};
+    std::atomic<uint64_t> late{0};
+    std::atomic<int64_t> max_late_us{-1};
+  };
+
+  const int64_t window_us_;
+  Cell cells_[obs::kNumOpTypes] = {};
+  std::atomic<uint64_t> buckets_[obs::LogBuckets::kNumBuckets] = {};
+};
+
+}  // namespace snb::driver
+
+#endif  // SNB_DRIVER_RUN_AUDIT_H_

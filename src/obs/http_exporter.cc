@@ -1,0 +1,167 @@
+#include "obs/http_exporter.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace snb::obs {
+namespace {
+
+/// Sends the whole buffer, tolerating partial writes. MSG_NOSIGNAL keeps
+/// a client that hung up from killing the process with SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    default:
+      return "HTTP/1.1 400 Bad Request\r\n";
+  }
+}
+
+void SendResponse(int fd, int code, const std::string& content_type,
+                  const std::string& body) {
+  std::string response = StatusLine(code);
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);
+}
+
+}  // namespace
+
+void HttpExporter::Handle(std::string path, std::string content_type,
+                          ContentFn fn) {
+  Route route;
+  route.path = std::move(path);
+  route.content_type = std::move(content_type);
+  route.build = std::move(fn);
+  routes_.push_back(std::move(route));
+}
+
+util::Status HttpExporter::Start(uint16_t port) {
+  if (running()) {
+    return util::Status::InvalidArgument("exporter already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::Internal("socket() failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Internal("bind(port " + std::to_string(port) +
+                                  ") failed: " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Internal("listen() failed: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Internal("getsockname() failed: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  server_ = std::thread([this] { ServeLoop(); });
+  return util::Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  // shutdown() unblocks a blocked accept() without retiring the fd number,
+  // so the serve thread can never race against a recycled descriptor; the
+  // fd is closed only after the thread joined.
+  ::shutdown(fd, SHUT_RDWR);
+  if (server_.joinable()) server_.join();
+  ::close(fd);
+}
+
+void HttpExporter::ServeLoop() {
+  for (;;) {
+    int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) return;  // Stop() retired the listener.
+    int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down by Stop().
+    }
+    // Bound how long a stalled client can hold the (single) serve thread.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::ServeConnection(int fd) {
+  // Read until the end of the request head (or a defensive size cap);
+  // only the request line matters.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) line_end = request.size();
+  std::string line = request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    SendResponse(fd, 400, "text/plain", "only GET is supported\n");
+    return;
+  }
+  size_t path_end = line.find(' ', 4);
+  std::string path = line.substr(4, path_end == std::string::npos
+                                        ? std::string::npos
+                                        : path_end - 4);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  for (Route& route : routes_) {
+    if (route.path != path) continue;
+    auto now = std::chrono::steady_clock::now();
+    if (!route.cache_valid ||
+        now - route.cached_at >=
+            std::chrono::milliseconds(refresh_interval_ms_)) {
+      route.cached_body = route.build();
+      route.cached_at = now;
+      route.cache_valid = true;
+    }
+    SendResponse(fd, 200, route.content_type, route.cached_body);
+    return;
+  }
+  SendResponse(fd, 404, "text/plain", "unknown path " + path + "\n");
+}
+
+}  // namespace snb::obs

@@ -1,0 +1,90 @@
+// Minimal embedded HTTP server for live run observation.
+//
+// A benchmark run is opaque while it executes: report.json lands only at
+// the end, and attaching a profiler perturbs the measurement. This
+// exporter serves the existing text artifacts over HTTP while the run is
+// in flight — `GET /metrics` (Prometheus text exposition, scrapeable) and
+// `GET /report.json` (the snb-report document built from a live
+// snapshot) — with no dependencies beyond POSIX sockets.
+//
+// Design: one background thread runs a blocking accept loop and serves
+// connections sequentially; handlers are registered as content callbacks
+// before Start(). Responses are cached per path and rebuilt at most once
+// per refresh interval, so an aggressive scraper cannot turn
+// MetricsRegistry::Snapshot() merges into measurable load on the run.
+// Serving is deliberately simple (HTTP/1.0-style close-after-response);
+// the clients are curl, Prometheus, and the raw-socket test.
+#ifndef SNB_OBS_HTTP_EXPORTER_H_
+#define SNB_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snb::obs {
+
+class HttpExporter {
+ public:
+  /// Builds the current response body for a path (called at most once per
+  /// refresh interval; must be thread-safe with respect to the run).
+  using ContentFn = std::function<std::string()>;
+
+  HttpExporter() = default;
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+  ~HttpExporter() { Stop(); }
+
+  /// Registers `fn` as the handler for exact path `path` (e.g.
+  /// "/metrics"). Must be called before Start().
+  void Handle(std::string path, std::string content_type, ContentFn fn);
+
+  /// Cached responses younger than this are served without re-invoking
+  /// their ContentFn. 0 rebuilds on every request. Default 250 ms.
+  void set_refresh_interval_ms(int64_t ms) { refresh_interval_ms_ = ms; }
+
+  /// Binds (port 0 picks an ephemeral port — see port()), listens, and
+  /// starts the accept thread.
+  util::Status Start(uint16_t port);
+
+  /// Unblocks the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+  bool running() const {
+    return listen_fd_.load(std::memory_order_acquire) >= 0;
+  }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    ContentFn build;
+    // Response cache (accessed only from the serve thread after Start).
+    std::string cached_body;
+    std::chrono::steady_clock::time_point cached_at{};
+    bool cache_valid = false;
+  };
+
+  void ServeLoop();
+  void ServeConnection(int fd);
+
+  std::vector<Route> routes_;
+  int64_t refresh_interval_ms_ = 250;
+  /// The listening socket; -1 when stopped. Atomic because Stop() retires
+  /// it while the serve thread reads it between accepts.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::thread server_;
+};
+
+}  // namespace snb::obs
+
+#endif  // SNB_OBS_HTTP_EXPORTER_H_

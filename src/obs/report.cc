@@ -280,7 +280,7 @@ std::string ToJson(const RunReport& report) {
   out.reserve(16 * 1024);
   out += "{";
   AppendKey(&out, "schema");
-  out += "\"snb-report-v1\",";
+  out += "\"snb-report-v2\",";
   AppendKey(&out, "title");
   AppendEscaped(&out, report.title);
   out += ",";
@@ -385,6 +385,62 @@ std::string ToJson(const RunReport& report) {
     out += "]}";
   }
 
+  if (report.has_compliance) {
+    const ComplianceSection& c = report.compliance;
+    out += ",";
+    AppendKey(&out, "compliance");
+    out += "{";
+    AppendKey(&out, "window_ms");
+    AppendDouble(&out, c.window_ms);
+    out += ",";
+    AppendKey(&out, "required_on_time_fraction");
+    AppendDouble(&out, c.required_on_time_fraction);
+    out += ",";
+    AppendKey(&out, "scheduled_ops");
+    AppendU64(&out, c.scheduled_ops);
+    out += ",";
+    AppendKey(&out, "on_time_ops");
+    AppendU64(&out, c.on_time_ops);
+    out += ",";
+    AppendKey(&out, "on_time_fraction");
+    AppendDouble(&out, c.on_time_fraction);
+    out += ",";
+    AppendKey(&out, "passed");
+    out += c.passed ? "true" : "false";
+    out += ",";
+    AppendKey(&out, "lateness_histogram_ms");
+    out += "[";
+    for (size_t i = 0; i < c.lateness_histogram_ms.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "[";
+      AppendDouble(&out, c.lateness_histogram_ms[i].first);
+      out += ",";
+      AppendU64(&out, c.lateness_histogram_ms[i].second);
+      out += "]";
+    }
+    out += "],";
+    AppendKey(&out, "worst_offenders");
+    out += "[";
+    for (size_t i = 0; i < c.per_op.size(); ++i) {
+      const ComplianceOpEntry& entry = c.per_op[i];
+      if (i != 0) out += ",";
+      out += "{";
+      AppendKey(&out, "op");
+      AppendEscaped(&out, entry.op);
+      out += ",";
+      AppendKey(&out, "scheduled");
+      AppendU64(&out, entry.scheduled);
+      out += ",";
+      AppendKey(&out, "late");
+      AppendU64(&out, entry.late);
+      out += ",";
+      AppendKey(&out, "max_late_ms");
+      AppendDouble(&out, entry.max_late_ms);
+      out += "}";
+    }
+    out += "]}";
+  }
+
   if (report.has_q9_profile) {
     const Q9ProfileSection& q9 = report.q9_profile;
     out += ",";
@@ -419,43 +475,97 @@ std::string ToJson(const RunReport& report) {
   return out;
 }
 
+std::string EscapePromLabelValue(const std::string& value) {
+  // Text exposition format: inside a label value, backslash, double quote
+  // and line feed must be escaped; everything else passes through.
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends one sample line: `metric{label="escaped value"} <number>`.
+void AppendPromSample(std::string* out, const char* metric,
+                      const char* label, const std::string& value,
+                      const char* extra, double number) {
+  *out += metric;
+  *out += '{';
+  *out += label;
+  *out += "=\"";
+  *out += EscapePromLabelValue(value);
+  *out += '"';
+  *out += extra;  // Pre-formatted, e.g. ",quantile=\"0.99\"" or "".
+  *out += "} ";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  *out += buf;
+  *out += '\n';
+}
+
+void AppendPromSampleU64(std::string* out, const char* metric,
+                         const char* label, const std::string& value,
+                         uint64_t number) {
+  *out += metric;
+  *out += '{';
+  *out += label;
+  *out += "=\"";
+  *out += EscapePromLabelValue(value);
+  *out += "\"} ";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, number);
+  *out += buf;
+  *out += '\n';
+}
+
+}  // namespace
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   out.reserve(8 * 1024);
-  char buf[160];
   out += "# TYPE snb_op_count counter\n";
   out += "# TYPE snb_op_latency_ms summary\n";
   for (size_t i = 0; i < kNumOpTypes; ++i) {
     const OpSnapshot& op = snapshot.ops[i];
     if (op.count == 0) continue;
-    const char* name = OpTypeName(static_cast<OpType>(i));
-    std::snprintf(buf, sizeof(buf), "snb_op_count{op=\"%s\"} %" PRIu64 "\n",
-                  name, op.count);
-    out += buf;
-    std::snprintf(buf, sizeof(buf),
-                  "snb_op_latency_ms_sum{op=\"%s\"} %.6g\n", name,
-                  static_cast<double>(op.sum_ns) / 1e6);
-    out += buf;
+    const std::string name = OpTypeName(static_cast<OpType>(i));
+    AppendPromSampleU64(&out, "snb_op_count", "op", name, op.count);
+    AppendPromSample(&out, "snb_op_latency_ms_sum", "op", name, "",
+                     static_cast<double>(op.sum_ns) / 1e6);
     const double quantiles[] = {0.5, 0.9, 0.95, 0.99};
     for (double q : quantiles) {
-      std::snprintf(buf, sizeof(buf),
-                    "snb_op_latency_ms{op=\"%s\",quantile=\"%.2f\"} %.6g\n",
-                    name, q, op.PercentileUs(q * 100.0) / 1000.0);
-      out += buf;
+      char extra[32];
+      std::snprintf(extra, sizeof(extra), ",quantile=\"%.2f\"", q);
+      AppendPromSample(&out, "snb_op_latency_ms", "op", name, extra,
+                       op.PercentileUs(q * 100.0) / 1000.0);
     }
   }
   out += "# TYPE snb_counter counter\n";
   for (size_t c = 0; c < kNumCounters; ++c) {
-    std::snprintf(buf, sizeof(buf), "snb_counter{name=\"%s\"} %" PRIu64 "\n",
-                  CounterName(static_cast<Counter>(c)),
-                  snapshot.counters[c]);
-    out += buf;
+    AppendPromSampleU64(&out, "snb_counter", "name",
+                        CounterName(static_cast<Counter>(c)),
+                        snapshot.counters[c]);
   }
   out += "# TYPE snb_gauge gauge\n";
   for (size_t g = 0; g < kNumGauges; ++g) {
-    std::snprintf(buf, sizeof(buf), "snb_gauge{name=\"%s\"} %" PRIu64 "\n",
-                  GaugeName(static_cast<Gauge>(g)), snapshot.gauges[g]);
-    out += buf;
+    AppendPromSampleU64(&out, "snb_gauge", "name",
+                        GaugeName(static_cast<Gauge>(g)),
+                        snapshot.gauges[g]);
   }
   return out;
 }
@@ -471,8 +581,10 @@ util::Status ValidateReportJson(const std::string& json) {
     return util::Status::InvalidArgument("report root is not an object");
   }
   const JsonValue* schema = root.Find("schema");
+  // v2 is a superset of v1; archived v1 reports must keep validating.
   if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
-      schema->string != "snb-report-v1") {
+      (schema->string != "snb-report-v1" &&
+       schema->string != "snb-report-v2")) {
     return util::Status::InvalidArgument("missing/unknown schema tag");
   }
   const JsonValue* ops = root.Find("ops");
@@ -510,6 +622,34 @@ util::Status ValidateReportJson(const std::string& json) {
     if (p50 > p90 || p90 > p95 || p95 > p99 || p99 > max * (1.0 + 1.0 / 32) + 1e-9) {
       return util::Status::InvalidArgument(
           "op " + name->string + " has non-monotone percentiles");
+    }
+  }
+  const JsonValue* compliance = root.Find("compliance");
+  if (compliance != nullptr) {
+    double scheduled = NumberOr(*compliance, "scheduled_ops", -1.0);
+    double on_time = NumberOr(*compliance, "on_time_ops", -1.0);
+    double fraction = NumberOr(*compliance, "on_time_fraction", -1.0);
+    if (scheduled < 0.0 || on_time < 0.0 || fraction < 0.0 ||
+        fraction > 1.0 + 1e-9 || on_time > scheduled + 1e-9) {
+      return util::Status::InvalidArgument(
+          "compliance section is inconsistent");
+    }
+    const JsonValue* hist = compliance->Find("lateness_histogram_ms");
+    if (hist == nullptr || hist->kind != JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument(
+          "compliance lacks a lateness histogram");
+    }
+    double hist_total = 0.0;
+    for (const JsonValue& row : hist->array) {
+      if (row.kind != JsonValue::Kind::kArray || row.array.size() != 2) {
+        return util::Status::InvalidArgument(
+            "compliance histogram row is not a [edge_ms, count] pair");
+      }
+      hist_total += row.array[1].number;
+    }
+    if (scheduled > 0.0 && std::abs(hist_total - scheduled) > 1e-6) {
+      return util::Status::InvalidArgument(
+          "compliance histogram does not sum to scheduled_ops");
     }
   }
   const JsonValue* q9 = root.Find("q9_profile");

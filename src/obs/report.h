@@ -5,15 +5,21 @@
 // percentile latencies and sustained-throughput evidence as artifacts, not
 // stdout prose. RunReport is the artifact: a MetricsSnapshot (per-op
 // p50/p90/p95/p99/max, counters, gauges — the layout of Tables 6/7/9),
-// optionally a driver section (throughput, scheduling-lag time series) and
-// a Q9 per-operator profile (the Figure 4 choke point).
+// optionally a driver section (throughput, scheduling-lag time series), a
+// schedule-compliance audit (LDBC-style on-time-fraction pass/fail with a
+// lateness histogram and per-op worst offenders) and a Q9 per-operator
+// profile (the Figure 4 choke point).
 //
-// The JSON schema ("snb-report-v1") is stable and self-validating:
+// The JSON schema ("snb-report-v2") is stable and self-validating:
 // ValidateReportJson re-parses an emitted document and checks structural
-// invariants (non-empty op table, monotone percentiles), which is what the
-// bench smoke mode in scripts/check.sh runs. A deliberately small JSON
-// parser is exposed for tests and validation; it handles exactly what the
-// writer emits (objects, arrays, strings, finite numbers, bools, null).
+// invariants (non-empty op table, monotone percentiles, compliance
+// consistency), which is what the bench smoke mode in scripts/check.sh
+// runs. v2 is a strict superset of v1 — every v1 field keeps its name and
+// shape, v2 only adds the optional "compliance" section — and the
+// validator still accepts v1 documents, so pre-existing readers and
+// archived baselines keep working. A deliberately small JSON parser is
+// exposed for tests and validation; it handles exactly what the writer
+// emits (objects, arrays, strings, finite numbers, bools, null).
 #ifndef SNB_OBS_REPORT_H_
 #define SNB_OBS_REPORT_H_
 
@@ -65,6 +71,34 @@ struct DriverSection {
   std::vector<std::pair<double, double>> lag_timeline_ms;
 };
 
+/// Per-op-type compliance row ("worst offenders" table).
+struct ComplianceOpEntry {
+  std::string op;           // Stable dotted name ("complex.Q9").
+  uint64_t scheduled = 0;   // Operations with a throttled schedule.
+  uint64_t late = 0;        // Started later than the lateness window.
+  double max_late_ms = 0.0; // Worst observed lateness.
+};
+
+/// Schedule-compliance audit of a throttled run: did operations start at
+/// their scheduled simulation time? Mirrors the LDBC driver's validation
+/// rule — a run passes when at least `required_on_time_fraction` of
+/// scheduled operations start within `window_ms` of their schedule.
+struct ComplianceSection {
+  double window_ms = 0.0;
+  double required_on_time_fraction = 0.0;
+  uint64_t scheduled_ops = 0;
+  uint64_t on_time_ops = 0;
+  double on_time_fraction = 1.0;
+  bool passed = true;
+  /// Lateness histogram over all scheduled ops: (bucket lower edge in ms,
+  /// count). Zero-count buckets are omitted; on-time ops land in the
+  /// low buckets, so the histogram always sums to scheduled_ops.
+  std::vector<std::pair<double, uint64_t>> lateness_histogram_ms;
+  /// Per-op-type rows with at least one scheduled execution, sorted by
+  /// max lateness descending — the worst offenders lead.
+  std::vector<ComplianceOpEntry> per_op;
+};
+
 /// One operator row of a physical-plan profile.
 struct OperatorEntry {
   std::string name;
@@ -82,22 +116,30 @@ struct RunReport {
   MetricsSnapshot metrics;
   bool has_driver = false;
   DriverSection driver;
+  bool has_compliance = false;
+  ComplianceSection compliance;
   bool has_q9_profile = false;
   Q9ProfileSection q9_profile;
 };
 
-/// Serializes the report as schema "snb-report-v1". Op types with zero
+/// Serializes the report as schema "snb-report-v2". Op types with zero
 /// samples are omitted from the "ops" table.
 std::string ToJson(const RunReport& report);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline become \\, \" and \n.
+std::string EscapePromLabelValue(const std::string& value);
 
 /// Prometheus text-exposition-style dump of a snapshot: one line per
 /// sample, `snb_op_*{op="..."}` series plus counters and gauges.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Structural validation of an emitted report.json: parses, checks the
-/// schema tag, a non-empty "ops" array, and per-op monotone percentiles
-/// (p50 <= p90 <= p95 <= p99 <= max). Used by tests and the check.sh
-/// bench smoke mode.
+/// schema tag (v1 or v2), a non-empty "ops" array, per-op monotone
+/// percentiles (p50 <= p90 <= p95 <= p99 <= max), and — when present —
+/// compliance-section consistency (fraction in [0,1], on-time count not
+/// exceeding scheduled count). Used by tests and the check.sh smoke
+/// modes.
 util::Status ValidateReportJson(const std::string& json);
 
 /// Writes `content` to `path` atomically enough for a report artifact

@@ -1,0 +1,115 @@
+// Full-run event tracing: bounded per-thread rings of operation spans,
+// exported as Chrome-trace/Perfetto JSON.
+//
+// TraceSpan (trace.h) answers "where inside one plan does the time go";
+// this buffer answers "what did the whole run look like": every executed
+// operation — all complex reads, walk-spawned short reads and updates,
+// across every driver thread — is recorded as a begin/end span carrying
+// its scheduled vs. actual start time and the portion spent blocked on
+// T_GC. The flushed artifact (`trace.json`) loads directly in
+// chrome://tracing or ui.perfetto.dev with one lane per driver thread.
+//
+// Recording is opt-in (a null buffer costs nothing) and bounded: each lane
+// is a fixed-capacity ring that overwrites its oldest events, so the
+// memory ceiling is independent of run length and a saturated run keeps
+// the *end* of the trace — the part that explains a failed sustained-pace
+// check. Events are multi-word, so each lane takes a private mutex per
+// record; lanes are per-thread, which makes that mutex uncontended in
+// the driver (one stream per worker). Tracing is not on the PR 2
+// metrics-ablation path — the 5% CPU ceiling is measured with tracing
+// off, matching how audited runs use it.
+#ifndef SNB_OBS_TRACE_BUFFER_H_
+#define SNB_OBS_TRACE_BUFFER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace snb::obs {
+
+/// One executed operation in the run trace. All timestamps are
+/// nanoseconds relative to the owning TraceBuffer's construction time
+/// (one steady-clock base for every lane).
+struct TraceEvent {
+  OpType op = OpType::kPointRead;
+  /// Trace lane (driver thread); assigned by Record() from the calling
+  /// thread.
+  uint16_t lane = 0;
+  /// Scheduled start (throttle deadline) or -1 when the operation had no
+  /// schedule (unthrottled replay, walk-spawned short read).
+  int64_t sched_ns = -1;
+  /// When the operation's dependency wait on T_GC began; 0 when it never
+  /// blocked.
+  uint64_t gct_begin_ns = 0;
+  /// Time spent blocked on T_GC (sub-span [gct_begin, gct_begin + wait]).
+  uint64_t gct_wait_ns = 0;
+  /// Actual execution window (the span compared against sched_ns).
+  uint64_t exec_begin_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// Bounded multi-lane trace sink. Record() is safe from any thread; each
+/// thread maps to a stable lane (process-wide id masked onto the lane
+/// pool, mirroring MetricsRegistry's shard assignment) so nested spans
+/// recorded by one thread land in one lane in order.
+class TraceBuffer {
+ public:
+  static constexpr size_t kMaxLanes = 64;  // Power of two.
+  static constexpr size_t kDefaultEventsPerLane = 1 << 16;
+
+  explicit TraceBuffer(size_t events_per_lane = kDefaultEventsPerLane);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Nanoseconds since the buffer's construction on the shared steady
+  /// clock — the base every TraceEvent timestamp is relative to.
+  uint64_t NowNs() const;
+
+  /// Converts an absolute steady-clock time point onto the buffer base
+  /// (negative when before construction).
+  int64_t ToBufferNs(std::chrono::steady_clock::time_point tp) const;
+
+  /// Records one event into the calling thread's lane, overwriting that
+  /// lane's oldest event when the ring is full.
+  void Record(TraceEvent event);
+
+  /// Events recorded over the buffer's lifetime (including overwritten).
+  uint64_t recorded() const;
+  /// Events lost to ring overwrites.
+  uint64_t dropped() const;
+
+  /// Stable snapshot of all retained events, sorted by (lane,
+  /// exec_begin_ns, -end_ns) — the emission order the exporter wants.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t next = 0;        // Overwrite cursor once the ring is full.
+    uint64_t recorded = 0;  // Lifetime count for this lane.
+  };
+
+  Lane& LocalLane();
+
+  const size_t events_per_lane_;
+  const std::chrono::steady_clock::time_point base_;
+  std::unique_ptr<Lane> lanes_[kMaxLanes];
+  std::mutex lanes_mu_;  // Guards lazy lane construction only.
+};
+
+/// Serializes every retained event as a Chrome-trace JSON document
+/// (`{"traceEvents": [...]}`): per lane, strictly nested and matched
+/// B/E pairs with non-decreasing timestamps, a `driver.gct_wait` span for
+/// every operation that blocked on T_GC, and `sched_ms`/`lag_ms` args on
+/// scheduled operations. Loadable in chrome://tracing and Perfetto.
+std::string ToChromeTraceJson(const TraceBuffer& buffer);
+
+}  // namespace snb::obs
+
+#endif  // SNB_OBS_TRACE_BUFFER_H_

@@ -1,0 +1,37 @@
+// Steady-clock stopwatch shared by the driver, connectors and benches.
+#ifndef SNB_UTIL_STOPWATCH_H_
+#define SNB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace snb::util {
+
+/// Steady-clock stopwatch returning elapsed microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since construction or last Reset().
+  double ElapsedMicros() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+  /// Nanoseconds since construction or last Reset().
+  uint64_t ElapsedNanos() const {
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+            .count());
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_STOPWATCH_H_

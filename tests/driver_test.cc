@@ -2,12 +2,15 @@
 // stream with zero dependency violations, and the full mix must run reads
 // concurrently with updates.
 #include <map>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "datagen/datagen.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "driver/run_audit.h"
+#include "obs/trace_buffer.h"
 #include "queries/complex_queries.h"
 
 namespace snb::driver {
@@ -255,6 +258,142 @@ TEST_F(DriverTest, EmptyWorkloadIsNoOp) {
   DriverConfig config;
   DriverReport report = RunWorkload({}, connector, config);
   EXPECT_EQ(report.operations_executed, 0u);
+}
+
+// ---- LagTimeline (bounded sched-lag series) -------------------------------
+
+TEST_F(DriverTest, LagTimelineStaysWithinSlotCap) {
+  LagTimeline timeline(/*max_slots=*/8);
+  // A "run" 100x longer than the slot budget at 1 s/slot.
+  for (int64_t second = 0; second < 800; ++second) {
+    timeline.Record(second, second * 10);
+  }
+  EXPECT_LE(timeline.Snapshot().size(), timeline.max_slots());
+  // 800 seconds over 8 slots -> 128 s/slot (next power of two >= 100).
+  EXPECT_EQ(timeline.seconds_per_slot(), 128);
+  // Downsampling folds by max: the last slot keeps the run's worst lag.
+  auto rows = timeline.Snapshot();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_DOUBLE_EQ(rows.back().second, 799 * 10 / 1000.0);
+  // Slot edges are strictly increasing multiples of the scale.
+  double prev = -1.0;
+  for (const auto& [second, lag_ms] : rows) {
+    EXPECT_GT(second, prev);
+    EXPECT_EQ(static_cast<int64_t>(second) % timeline.seconds_per_slot(), 0);
+    prev = second;
+  }
+}
+
+TEST_F(DriverTest, LagTimelineKeepsMaxUnderConcurrentRescale) {
+  LagTimeline timeline(/*max_slots=*/16);
+  constexpr int kThreads = 4;
+  constexpr int64_t kSecondsPerThread = 4000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&timeline, t] {
+      for (int64_t s = t; s < kSecondsPerThread; s += kThreads) {
+        timeline.Record(s, s);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  auto rows = timeline.Snapshot();
+  EXPECT_LE(rows.size(), timeline.max_slots());
+  ASSERT_FALSE(rows.empty());
+  // The global max lag survives every fold.
+  double max_lag = 0.0;
+  for (const auto& [_, lag_ms] : rows) max_lag = std::max(max_lag, lag_ms);
+  EXPECT_DOUBLE_EQ(max_lag, (kSecondsPerThread - 1) / 1000.0);
+}
+
+// ---- ComplianceTracker ----------------------------------------------------
+
+TEST_F(DriverTest, ComplianceTrackerAuditsWindow) {
+  ComplianceTracker tracker(/*window_ms=*/10.0);
+  // 8 on-time Q1s, 2 late ones, and a very late update.
+  for (int i = 0; i < 8; ++i) tracker.Record(obs::ComplexOp(1), 500);
+  tracker.Record(obs::ComplexOp(1), 15'000);
+  tracker.Record(obs::ComplexOp(1), 20'000);
+  tracker.Record(obs::UpdateOp(7), 2'000'000);
+
+  obs::ComplianceSection section = tracker.Finish(/*required=*/0.95);
+  EXPECT_EQ(section.scheduled_ops, 11u);
+  EXPECT_EQ(section.on_time_ops, 8u);
+  EXPECT_NEAR(section.on_time_fraction, 8.0 / 11.0, 1e-12);
+  EXPECT_FALSE(section.passed);
+  // Worst offender ordering: the 2 s update leads.
+  ASSERT_EQ(section.per_op.size(), 2u);
+  EXPECT_EQ(section.per_op[0].op, "update.U7");
+  EXPECT_EQ(section.per_op[0].late, 1u);
+  EXPECT_NEAR(section.per_op[0].max_late_ms, 2000.0, 2000.0 / 16.0);
+  EXPECT_EQ(section.per_op[1].op, "complex.Q1");
+  EXPECT_EQ(section.per_op[1].scheduled, 10u);
+  EXPECT_EQ(section.per_op[1].late, 2u);
+  // The histogram accounts for every scheduled op (on-time ones too).
+  uint64_t hist_total = 0;
+  for (const auto& [_, count] : section.lateness_histogram_ms) {
+    hist_total += count;
+  }
+  EXPECT_EQ(hist_total, section.scheduled_ops);
+  // A permissive bar passes the same counts.
+  EXPECT_TRUE(tracker.Finish(0.5).passed);
+}
+
+// ---- Compliance + trace wired through a real run --------------------------
+
+TEST_F(DriverTest, ThrottledRunProducesComplianceAndTrace) {
+  Workload workload = UpdateOnlyWorkload();
+  size_t slice = std::min<size_t>(workload.operations.size(), 400);
+  std::vector<Operation> ops(workload.operations.begin(),
+                             workload.operations.begin() + slice);
+
+  SleepingConnector connector(0);
+  obs::TraceBuffer trace;
+  DriverConfig config;
+  config.num_partitions = 2;
+  config.trace = &trace;
+  util::TimestampMs span = ops.back().due_time - ops.front().due_time;
+  config.acceleration = static_cast<double>(span) / 200.0;
+  DriverReport report = RunWorkload(ops, connector, config);
+
+  // Compliance: present, covers every driver op, generous window -> pass.
+  ASSERT_TRUE(report.has_compliance);
+  EXPECT_EQ(report.compliance.scheduled_ops, ops.size());
+  EXPECT_TRUE(report.compliance.passed) << report.compliance.on_time_fraction;
+  EXPECT_DOUBLE_EQ(report.compliance.window_ms, 100.0);
+  EXPECT_FALSE(report.compliance.per_op.empty());
+
+  // Trace: one event per driver op, all with a schedule attached.
+  EXPECT_EQ(trace.recorded(), ops.size());
+  for (const obs::TraceEvent& e : trace.Events()) {
+    EXPECT_GE(e.sched_ns, 0);
+    EXPECT_LE(e.exec_begin_ns, e.end_ns);
+  }
+
+  // Unthrottled runs audit nothing (there is no schedule to comply with).
+  config.acceleration = 0.0;
+  config.trace = nullptr;
+  DriverReport unthrottled = RunWorkload(ops, connector, config);
+  EXPECT_FALSE(unthrottled.has_compliance);
+}
+
+TEST_F(DriverTest, WindowedModeAuditsPerOperation) {
+  Workload workload = UpdateOnlyWorkload();
+  size_t slice = std::min<size_t>(workload.operations.size(), 400);
+  std::vector<Operation> ops(workload.operations.begin(),
+                             workload.operations.begin() + slice);
+
+  SleepingConnector connector(0);
+  DriverConfig config;
+  config.num_partitions = 2;
+  config.mode = ExecutionMode::kWindowed;
+  util::TimestampMs span = ops.back().due_time - ops.front().due_time;
+  config.acceleration = static_cast<double>(span) / 200.0;
+  DriverReport report = RunWorkload(ops, connector, config);
+  ASSERT_TRUE(report.has_compliance);
+  // Windowed pacing holds starts to window boundaries, not op due times,
+  // so ops late in a window show lag — but every op must be audited.
+  EXPECT_EQ(report.compliance.scheduled_ops, ops.size());
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// Tests of the live /metrics observer: a raw-socket HTTP client (no curl
+// in the image) drives the exporter end to end — routing, content types,
+// the snapshot cache, error paths, and clean Stop() while a run would
+// still be executing.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace snb::obs {
+namespace {
+
+/// Minimal blocking HTTP GET against localhost: sends `request` verbatim
+/// and returns the full response (headers + body). Empty string on
+/// connect failure.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : response.substr(sep + 4);
+}
+
+TEST(HttpExporterTest, ServesMetricsAndReportFromLiveRegistry) {
+  MetricsRegistry metrics;
+  metrics.RecordLatencyMicros(ComplexOp(9), 1234.0);
+
+  HttpExporter exporter;
+  exporter.set_refresh_interval_ms(0);  // Rebuild on every request.
+  exporter.Handle("/metrics", "text/plain; version=0.0.4", [&metrics] {
+    return ToPrometheusText(metrics.Snapshot());
+  });
+  exporter.Handle("/report.json", "application/json", [&metrics] {
+    RunReport live;
+    live.title = "exporter test";
+    live.metrics = metrics.Snapshot();
+    return ToJson(live);
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());  // Ephemeral port.
+  ASSERT_GT(exporter.port(), 0);
+
+  std::string response = Get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(BodyOf(response).find("snb_op_count{op=\"complex.Q9\"} 1"),
+            std::string::npos);
+
+  // The registry is live: new samples show up on the next scrape.
+  metrics.RecordLatencyMicros(ComplexOp(9), 5678.0);
+  response = Get(exporter.port(), "/metrics");
+  EXPECT_NE(BodyOf(response).find("snb_op_count{op=\"complex.Q9\"} 2"),
+            std::string::npos);
+
+  response = Get(exporter.port(), "/report.json");
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  std::string body = BodyOf(response);
+  EXPECT_TRUE(ValidateReportJson(body).ok()) << body.substr(0, 200);
+  // Content-Length matches the body exactly (clients rely on it since
+  // the server closes without chunking).
+  size_t cl = response.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoul(response.substr(cl + 16)), body.size());
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(HttpExporterTest, CachesWithinRefreshInterval) {
+  std::atomic<int> builds{0};
+  HttpExporter exporter;
+  exporter.set_refresh_interval_ms(60'000);  // Effectively never refresh.
+  exporter.Handle("/metrics", "text/plain", [&builds] {
+    return "build " + std::to_string(builds.fetch_add(1) + 1) + "\n";
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/metrics")), "build 1\n");
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/metrics")), "build 1\n");
+  EXPECT_EQ(builds.load(), 1);  // Second hit served from the cache.
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, UnknownPathIs404AndNonGetIs400) {
+  HttpExporter exporter;
+  exporter.Handle("/metrics", "text/plain", [] { return "ok\n"; });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_NE(Get(exporter.port(), "/nope").find("404"), std::string::npos);
+  // Query strings are stripped before matching.
+  EXPECT_NE(Get(exporter.port(), "/metrics?x=1").find("200"),
+            std::string::npos);
+  std::string response = RawRequest(
+      exporter.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, StartRejectsDoubleStartAndBusyPort) {
+  HttpExporter first;
+  first.Handle("/x", "text/plain", [] { return "x"; });
+  ASSERT_TRUE(first.Start(0).ok());
+  EXPECT_FALSE(first.Start(0).ok());  // Already running.
+
+  HttpExporter second;
+  second.Handle("/x", "text/plain", [] { return "x"; });
+  EXPECT_FALSE(second.Start(first.port()).ok());  // Port taken.
+  first.Stop();
+}
+
+TEST(HttpExporterTest, StopIsIdempotentAndUnblocksAccept) {
+  HttpExporter exporter;
+  exporter.Handle("/x", "text/plain", [] { return "x"; });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  // No request in flight: Stop() must still unblock the accept loop.
+  exporter.Stop();
+  exporter.Stop();  // Second call is a no-op.
+  EXPECT_FALSE(exporter.running());
+  // A fresh exporter can reuse the lifecycle after the old one died.
+  HttpExporter again;
+  again.Handle("/x", "text/plain", [] { return "y"; });
+  ASSERT_TRUE(again.Start(0).ok());
+  EXPECT_EQ(BodyOf(Get(again.port(), "/x")), "y");
+  again.Stop();
+}
+
+}  // namespace
+}  // namespace snb::obs

@@ -4,6 +4,7 @@
 // report.json writer/parser round trip, and the Q9 operator profile's
 // consistency with the plan's cardinality counters.
 #include <cmath>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "queries/complex_queries.h"
 #include "queries/query9_plans.h"
 #include "store/graph_store.h"
@@ -297,7 +299,7 @@ TEST(ReportTest, JsonRoundTripPreservesStructure) {
   JsonValue v;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
-  EXPECT_EQ(v.Find("schema")->string, "snb-report-v1");
+  EXPECT_EQ(v.Find("schema")->string, "snb-report-v2");
   EXPECT_EQ(v.Find("title")->string, "unit-test run");
 
   const JsonValue* ops = v.Find("ops");
@@ -374,6 +376,233 @@ TEST(ReportTest, PrometheusTextExposesSeries) {
             std::string::npos);
   EXPECT_NE(text.find("snb_gauge{name=\"epoch.advances\"} 12"),
             std::string::npos);
+}
+
+// Per the Prometheus text exposition format, label values must escape
+// backslash, double quote and newline — and nothing else.
+TEST(ReportTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(EscapePromLabelValue("plain.value"), "plain.value");
+  EXPECT_EQ(EscapePromLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePromLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapePromLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapePromLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  // A hostile value in the dump stays on one line and keeps its quotes
+  // balanced: the exposition must still parse line-by-line.
+  std::string hostile = "evil\"} 1\nsnb_injected{x=\"";
+  std::string escaped = EscapePromLabelValue(hostile);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped, "evil\\\"} 1\\nsnb_injected{x=\\\"");
+}
+
+// ---- Compliance section ---------------------------------------------------
+
+ComplianceSection MakeCompliance() {
+  ComplianceSection c;
+  c.window_ms = 100.0;
+  c.required_on_time_fraction = 0.95;
+  c.scheduled_ops = 1000;
+  c.on_time_ops = 970;
+  c.on_time_fraction = 0.97;
+  c.passed = true;
+  c.lateness_histogram_ms = {{0.0, 900}, {50.0, 70}, {200.0, 30}};
+  c.per_op = {{"update.U7", 600, 25, 350.5}, {"complex.Q9", 400, 5, 120.0}};
+  return c;
+}
+
+TEST(ReportTest, ComplianceSectionRoundTrip) {
+  RunReport report = MakeSampleReport();
+  report.has_compliance = true;
+  report.compliance = MakeCompliance();
+  std::string json = ToJson(report);
+  EXPECT_TRUE(ValidateReportJson(json).ok());
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  const JsonValue* c = v.Find("compliance");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->Find("window_ms")->number, 100.0);
+  EXPECT_DOUBLE_EQ(c->Find("required_on_time_fraction")->number, 0.95);
+  EXPECT_DOUBLE_EQ(c->Find("scheduled_ops")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(c->Find("on_time_ops")->number, 970.0);
+  EXPECT_TRUE(c->Find("passed")->boolean);
+  const JsonValue* hist = c->Find("lateness_histogram_ms");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(hist->array[1].array[0].number, 50.0);
+  EXPECT_DOUBLE_EQ(hist->array[1].array[1].number, 70.0);
+  const JsonValue* worst = c->Find("worst_offenders");
+  ASSERT_NE(worst, nullptr);
+  ASSERT_EQ(worst->array.size(), 2u);
+  EXPECT_EQ(worst->array[0].Find("op")->string, "update.U7");
+  EXPECT_DOUBLE_EQ(worst->array[0].Find("max_late_ms")->number, 350.5);
+}
+
+TEST(ReportTest, ValidationChecksComplianceConsistency) {
+  RunReport report = MakeSampleReport();
+  report.has_compliance = true;
+
+  // On-time count exceeding the scheduled count is structural corruption.
+  report.compliance = MakeCompliance();
+  report.compliance.on_time_ops = 2000;
+  EXPECT_FALSE(ValidateReportJson(ToJson(report)).ok());
+
+  // Fraction outside [0, 1].
+  report.compliance = MakeCompliance();
+  report.compliance.on_time_fraction = 1.5;
+  EXPECT_FALSE(ValidateReportJson(ToJson(report)).ok());
+
+  // Histogram must account for every scheduled operation.
+  report.compliance = MakeCompliance();
+  report.compliance.lateness_histogram_ms = {{0.0, 1}};
+  EXPECT_FALSE(ValidateReportJson(ToJson(report)).ok());
+}
+
+TEST(ReportTest, ValidatorStillAcceptsV1Documents) {
+  // A v1 reader's document — no compliance section, old schema tag — must
+  // keep validating, so archived baselines stay comparable.
+  EXPECT_TRUE(ValidateReportJson(
+                  "{\"schema\":\"snb-report-v1\",\"ops\":[{\"op\":\"x\","
+                  "\"count\":2,\"p50_ms\":1.0,\"p90_ms\":2.0,"
+                  "\"p95_ms\":3.0,\"p99_ms\":4.0,\"max_ms\":5.0}]}")
+                  .ok());
+}
+
+// ---- TraceBuffer ----------------------------------------------------------
+
+// Chrome-trace validation helper: walks traceEvents and checks, per lane,
+// strictly matched B/E pairs with non-decreasing timestamps.
+void CheckChromeTrace(const std::string& json, size_t* out_spans) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  std::map<int, int> open_per_lane;
+  std::map<int, double> last_ts;
+  size_t spans = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.Find("ph")->string;
+    if (ph == "M") continue;  // Metadata carries no timestamp.
+    ASSERT_TRUE(ph == "B" || ph == "E") << ph;
+    int lane = static_cast<int>(e.Find("tid")->number);
+    double ts = e.Find("ts")->number;
+    auto [it, fresh] = last_ts.emplace(lane, ts);
+    if (!fresh) {
+      EXPECT_GE(ts, it->second) << "lane " << lane;
+      it->second = ts;
+    }
+    if (ph == "B") {
+      ASSERT_NE(e.Find("name"), nullptr);
+      ++open_per_lane[lane];
+      ++spans;
+    } else {
+      ASSERT_GT(open_per_lane[lane], 0) << "E without B on lane " << lane;
+      --open_per_lane[lane];
+    }
+  }
+  for (const auto& [lane, open] : open_per_lane) {
+    EXPECT_EQ(open, 0) << "unclosed span on lane " << lane;
+  }
+  if (out_spans != nullptr) *out_spans = spans;
+}
+
+TEST(TraceBufferTest, MultiThreadExportIsWellFormedChromeTrace) {
+  TraceBuffer buffer;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&buffer, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        TraceEvent event;
+        event.op = ComplexOp(1 + ((t + i) % 14));
+        event.exec_begin_ns = buffer.NowNs();
+        if (i % 3 == 0) {
+          // Simulate a T_GC wait preceding execution.
+          event.gct_begin_ns =
+              event.exec_begin_ns > 500 ? event.exec_begin_ns - 500 : 0;
+          event.gct_wait_ns = 400;
+        }
+        if (i % 2 == 0) {
+          event.sched_ns = static_cast<int64_t>(event.exec_begin_ns) - 100;
+        }
+        event.end_ns = event.exec_begin_ns + 1000 + i;
+        buffer.Record(event);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(buffer.recorded(), kThreads * kOpsPerThread);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  ASSERT_EQ(buffer.Events().size(), kThreads * kOpsPerThread);
+
+  size_t spans = 0;
+  CheckChromeTrace(ToChromeTraceJson(buffer), &spans);
+  // Every op span, plus one gct_wait sub-span per i%3==0 event.
+  size_t gct_spans = 0;
+  for (const TraceEvent& e : buffer.Events()) {
+    if (e.gct_wait_ns > 0) ++gct_spans;
+  }
+  EXPECT_EQ(spans, kThreads * kOpsPerThread + gct_spans);
+}
+
+TEST(TraceBufferTest, RingBoundOverwritesOldestAndCounts) {
+  TraceBuffer buffer(/*events_per_lane=*/16);
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent event;
+    event.op = ShortOp(1);
+    event.exec_begin_ns = static_cast<uint64_t>(i) * 10;
+    event.end_ns = event.exec_begin_ns + 5;
+    buffer.Record(event);
+  }
+  EXPECT_EQ(buffer.recorded(), 100u);
+  EXPECT_EQ(buffer.dropped(), 84u);  // 100 - 16 retained.
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 16u);
+  // The retained window is the *tail* of the run.
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.exec_begin_ns, 84u * 10);
+  }
+  CheckChromeTrace(ToChromeTraceJson(buffer), nullptr);
+}
+
+TEST(TraceBufferTest, SchedArgsOnlyOnScheduledOps) {
+  TraceBuffer buffer;
+  TraceEvent scheduled;
+  scheduled.op = UpdateOp(7);
+  scheduled.sched_ns = 1'000'000;
+  scheduled.exec_begin_ns = 3'500'000;
+  scheduled.end_ns = 4'000'000;
+  buffer.Record(scheduled);
+  TraceEvent unscheduled;
+  unscheduled.op = ShortOp(2);
+  unscheduled.exec_begin_ns = 5'000'000;
+  unscheduled.end_ns = 6'000'000;
+  buffer.Record(unscheduled);
+
+  std::string json = ToChromeTraceJson(buffer);
+  CheckChromeTrace(json, nullptr);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  int with_args = 0;
+  for (const JsonValue& e : v.Find("traceEvents")->array) {
+    if (e.Find("ph")->string != "B") continue;
+    const JsonValue* args = e.Find("args");
+    if (e.Find("name")->string == OpTypeName(UpdateOp(7))) {
+      ASSERT_NE(args, nullptr);
+      // 3.5ms actual - 1.0ms scheduled = 2.5ms lag (exact at the %.3f
+      // precision the exporter prints args with).
+      EXPECT_NEAR(args->Find("lag_ms")->number, 2.5, 1e-9);
+      EXPECT_NEAR(args->Find("sched_ms")->number, 1.0, 1e-9);
+      ++with_args;
+    } else {
+      EXPECT_EQ(args, nullptr) << e.Find("name")->string;
+    }
+  }
+  EXPECT_EQ(with_args, 1);
 }
 
 // ---- Q9 operator profile --------------------------------------------------

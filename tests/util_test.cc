@@ -9,7 +9,7 @@
 #include "util/datetime.h"
 #include "util/distributions.h"
 #include "util/histogram.h"
-#include "util/latency_recorder.h"
+#include "util/stopwatch.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -314,19 +314,16 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   EXPECT_FALSE(called);
 }
 
-// ---- Latency recorder -------------------------------------------------------------
+// ---- Stopwatch --------------------------------------------------------------
 
-TEST(LatencyRecorderTest, RecordsPerOperation) {
-  LatencyRecorder recorder;
-  recorder.Record("q1", 100.0);
-  recorder.Record("q1", 200.0);
-  recorder.Record("q2", 50.0);
-  EXPECT_DOUBLE_EQ(recorder.Get("q1").Mean(), 150.0);
-  EXPECT_EQ(recorder.Get("q2").count(), 1u);
-  EXPECT_EQ(recorder.TotalCount(), 3u);
-  EXPECT_EQ(recorder.Operations().size(), 2u);
-  EXPECT_DOUBLE_EQ(recorder.TotalMicrosWithPrefix("q"), 350.0);
-  EXPECT_DOUBLE_EQ(recorder.TotalMicrosWithPrefix("q1"), 300.0);
+TEST(StopwatchTest, ElapsedIsMonotoneAndResets) {
+  Stopwatch watch;
+  uint64_t a = watch.ElapsedNanos();
+  uint64_t b = watch.ElapsedNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedNanos(), 0u);
 }
 
 // ---- String utils -------------------------------------------------------------------
