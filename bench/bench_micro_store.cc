@@ -36,8 +36,8 @@ BenchWorld& GlobalLockWorld() {
 void BM_ReadLockEpoch(benchmark::State& state) {
   BenchWorld& world = SharedWorld();
   for (auto _ : state) {
-    auto lock = world.store.ReadLock();
-    benchmark::DoNotOptimize(world.store.FindPerson(7));
+    auto pin = world.store.ReadLock();
+    benchmark::DoNotOptimize(world.store.FindPerson(pin, 7));
   }
 }
 BENCHMARK(BM_ReadLockEpoch)->Threads(1)->Threads(8);
@@ -45,8 +45,8 @@ BENCHMARK(BM_ReadLockEpoch)->Threads(1)->Threads(8);
 void BM_ReadLockGlobal(benchmark::State& state) {
   BenchWorld& world = GlobalLockWorld();
   for (auto _ : state) {
-    auto lock = world.store.ReadLock();
-    benchmark::DoNotOptimize(world.store.FindPerson(7));
+    auto pin = world.store.ReadLock();
+    benchmark::DoNotOptimize(world.store.FindPerson(pin, 7));
   }
 }
 BENCHMARK(BM_ReadLockGlobal)->Threads(1)->Threads(8);
@@ -55,9 +55,9 @@ void BM_FindPerson(benchmark::State& state) {
   BenchWorld& world = SharedWorld();
   util::Rng rng(1, 1, util::RandomPurpose::kParameterPick);
   uint64_t n = world.dataset.stats.num_persons;
-  auto lock = world.store.ReadLock();
+  auto pin = world.store.ReadLock();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(world.store.FindPerson(rng.NextBounded(n)));
+    benchmark::DoNotOptimize(world.store.FindPerson(pin, rng.NextBounded(n)));
   }
 }
 BENCHMARK(BM_FindPerson);
@@ -66,10 +66,10 @@ void BM_AreFriends(benchmark::State& state) {
   BenchWorld& world = SharedWorld();
   util::Rng rng(2, 1, util::RandomPurpose::kParameterPick);
   uint64_t n = world.dataset.stats.num_persons;
-  auto lock = world.store.ReadLock();
+  auto pin = world.store.ReadLock();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        world.store.AreFriends(rng.NextBounded(n), rng.NextBounded(n)));
+        world.store.AreFriends(pin, rng.NextBounded(n), rng.NextBounded(n)));
   }
 }
 BENCHMARK(BM_AreFriends);
@@ -78,9 +78,9 @@ void BM_FindMessage(benchmark::State& state) {
   BenchWorld& world = SharedWorld();
   util::Rng rng(3, 1, util::RandomPurpose::kParameterPick);
   uint64_t n = world.store.MessageIdBound();
-  auto lock = world.store.ReadLock();
+  auto pin = world.store.ReadLock();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(world.store.FindMessage(rng.NextBounded(n)));
+    benchmark::DoNotOptimize(world.store.FindMessage(pin, rng.NextBounded(n)));
   }
 }
 BENCHMARK(BM_FindMessage);

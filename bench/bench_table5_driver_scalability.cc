@@ -32,7 +32,11 @@ double RunReadAblation(store::ReadConcurrency mode, int reader_threads,
                        std::chrono::milliseconds window) {
   std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf, true, true, mode);
   store::GraphStore& store = world->store;
-  const std::vector<schema::PersonId> persons = store.PersonIds();
+  std::vector<schema::PersonId> persons;
+  {
+    auto pin = store.ReadLock();
+    persons = store.PersonIds(pin);
+  }
   const schema::MessageId message_bound = store.MessageIdBound();
 
   std::atomic<bool> stop{false};
@@ -55,8 +59,8 @@ double RunReadAblation(store::ReadConcurrency mode, int reader_threads,
       while (!stop.load(std::memory_order_acquire)) {
         schema::PersonId pid = persons[cursor & kWindowMask];
         ++cursor;
-        auto lock = store.ReadLock();
-        sink += store.FindPerson(pid) != nullptr;
+        auto pin = store.ReadLock();
+        sink += store.FindPerson(pin, pid) != nullptr;
         ++reads;
       }
       ablation_sink.fetch_add(sink & 1, std::memory_order_relaxed);

@@ -200,7 +200,11 @@ int main(int argc, char** argv) {
   // real parameters so the report carries a per-operator section.
   queries::Q9OperatorProfile q9_profile;
   {
-    std::vector<schema::PersonId> persons = store.PersonIds();
+    std::vector<schema::PersonId> persons;
+    {
+      auto pin = store.ReadLock();
+      persons = store.PersonIds(pin);
+    }
     int runs = 0;
     for (size_t i = 0; i < persons.size() && runs < 5; i += 17, ++runs) {
       queries::Query9WithPlan(

@@ -28,9 +28,9 @@ int main() {
   // Choose a mid-degree user (a typical member, not a hub).
   schema::PersonId user = 0;
   {
-    auto lock = store.ReadLock();
-    for (schema::PersonId id : store.PersonIds()) {
-      const store::PersonRecord* p = store.FindPerson(id);
+    auto pin = store.ReadLock();
+    for (schema::PersonId id : store.PersonIds(pin)) {
+      const store::PersonRecord* p = store.FindPerson(pin, id);
       if (p != nullptr && p->friends.size() >= 8 &&
           p->friends.size() <= 20) {
         user = id;

@@ -48,10 +48,10 @@ int main() {
   // 4. Run interactive queries. Pick a well-connected person as the start.
   schema::PersonId start = 0;
   {
-    auto lock = store.ReadLock();
+    auto pin = store.ReadLock();
     size_t best = 0;
-    for (schema::PersonId id : store.PersonIds()) {
-      const store::PersonRecord* p = store.FindPerson(id);
+    for (schema::PersonId id : store.PersonIds(pin)) {
+      const store::PersonRecord* p = store.FindPerson(pin, id);
       if (p != nullptr && p->friends.size() > best) {
         best = p->friends.size();
         start = id;

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Local gate: tier-1 build + full test suite, then the concurrency-labelled
-# tests (epoch/RCU read path) rebuilt under AddressSanitizer and
-# ThreadSanitizer, then a short throttled driver run that exercises the
-# trace exporter + compliance audit and feeds the perf-regression gate.
-# Run from anywhere inside the repo.
+# Local gate: tier-1 build + full test suite, then the lint gate, then the
+# concurrency-labelled tests (epoch/RCU read path) rebuilt under Address-,
+# Thread- and UndefinedBehaviorSanitizer, then a short throttled driver
+# run that exercises the trace exporter + compliance audit and feeds the
+# perf-regression gate. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +14,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${jobs}"
 (cd build && ctest --output-on-failure -j"${jobs}")
 
+echo "== lint gate =="
+scripts/lint.sh
+
 echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 (cd build && ctest -L obs --output-on-failure)
 # One complex-read bench with operator profiling on, emitting report.json.
@@ -22,7 +25,17 @@ echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 # here we only re-check that the artifact landed non-empty.
 smoke_report="$(mktemp -t snb-smoke-report.XXXXXX.json)"
 smoke_trace="$(mktemp -t snb-smoke-trace.XXXXXX.json)"
-trap 'rm -f "${smoke_report}" "${smoke_trace}"' EXIT
+bench_today="BENCH_$(date +%F).json"
+cleanup() {
+  local status=$?
+  rm -f "${smoke_report}" "${smoke_trace}"
+  # A failed run must not leave a half-written bench artifact behind: the
+  # next invocation would seed BENCH_baseline.json from it.
+  if [[ ${status} -ne 0 ]]; then
+    rm -f "${bench_today}"
+  fi
+}
+trap cleanup EXIT
 ./build/bench/bench_fig4_q9_plan_ablation --params 4 --report "${smoke_report}"
 test -s "${smoke_report}" || {
   echo "bench smoke produced an empty ${smoke_report}" >&2
@@ -33,7 +46,6 @@ echo "== driver smoke: throttled run with trace export + compliance audit =="
 # Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
 # was sustained AND the compliance audit passed; self-validates report.json
 # (schema snb-report-v2 incl. the compliance section) before writing it.
-bench_today="BENCH_$(date +%F).json"
 ./build/examples/benchmark_run 0.05 0 "${bench_today}" \
   --trace-out "${smoke_trace}"
 # The trace must be valid JSON with per-thread lanes (Chrome-trace format);
@@ -62,15 +74,23 @@ else
   cp "${bench_today}" BENCH_baseline.json
 fi
 
-# Only the concurrency test targets are built under the sanitizers; a
-# whole-tree sanitizer build adds minutes without adding coverage.
-for san in address thread; do
+# Only the concurrency-labelled test targets are built under the
+# sanitizers; a whole-tree sanitizer build adds minutes without adding
+# coverage. The target list is discovered from the label (test name ==
+# target name for every snb_test), so newly labelled tests join the
+# sanitizer tier without editing this script.
+mapfile -t san_targets < <(cd build && ctest -N -L concurrency |
+                           sed -n 's/^ *Test *#[0-9]*: //p')
+if [[ ${#san_targets[@]} -eq 0 ]]; then
+  echo "ctest -L concurrency discovered no targets" >&2
+  exit 1
+fi
+echo "concurrency targets: ${san_targets[*]}"
+for san in address thread undefined; do
   dir="build-${san}-san"
   echo "== ${san} sanitizer: concurrency-labelled tests =="
   cmake -B "${dir}" -S . -DSNB_SANITIZE="${san}" >/dev/null
-  cmake --build "${dir}" -j"${jobs}" \
-    --target epoch_test concurrency_stress_test graph_store_test obs_test \
-             http_exporter_test
+  cmake --build "${dir}" -j"${jobs}" --target "${san_targets[@]}"
   (cd "${dir}" && ctest -L concurrency --output-on-failure)
 done
 

@@ -36,11 +36,12 @@ def load_report(path):
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit_code = 2
-        raise SystemExit(f"error: cannot read {path}: {e}")
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
     schema = doc.get("schema")
     if schema not in ACCEPTED_SCHEMAS:
-        raise SystemExit(f"error: {path}: unexpected schema {schema!r}")
+        print(f"error: {path}: unexpected schema {schema!r}", file=sys.stderr)
+        raise SystemExit(2)
     return doc
 
 

@@ -1,6 +1,7 @@
 #include "driver/connectors.h"
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -65,10 +66,10 @@ Status StoreConnector::Execute(const Operation& op) {
   // complex read runs under a single pin. Never wrap reads in a shared
   // lock here — a nested shared_lock would deadlock against a waiting
   // writer in kGlobalLock mode.
-  util::EpochGuard pin;
+  std::optional<util::EpochPin> outer_pin;
   if (op.type != OperationType::kUpdate &&
       store_->read_concurrency() == store::ReadConcurrency::kEpoch) {
-    pin = util::EpochGuard(store_->epoch_manager());
+    outer_pin = store_->epoch_manager().pin();
   }
   switch (op.type) {
     case OperationType::kComplexRead:

@@ -9,7 +9,7 @@ namespace snb::driver {
 
 void LocalDependencyService::Initiate(TimestampMs t) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     assert(t >= floor_ && "initiated times must be monotone");
     initiated_.insert(t);
     if (t > floor_) floor_ = t;
@@ -20,7 +20,7 @@ void LocalDependencyService::Initiate(TimestampMs t) {
 
 void LocalDependencyService::Complete(TimestampMs t) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     auto it = initiated_.find(t);
     assert(it != initiated_.end() && "Complete without Initiate");
     initiated_.erase(it);
@@ -32,7 +32,7 @@ void LocalDependencyService::Complete(TimestampMs t) {
 
 void LocalDependencyService::MarkTime(TimestampMs t) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (t <= floor_) return;
     floor_ = t;
     FoldLocked();
@@ -56,12 +56,12 @@ void LocalDependencyService::FoldLocked() {
 }
 
 TimestampMs LocalDependencyService::TLI() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return initiated_.empty() ? floor_ : *initiated_.begin();
 }
 
 TimestampMs LocalDependencyService::TLC() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   TimestampMs tli = initiated_.empty() ? floor_ : *initiated_.begin();
   TimestampMs tlc = completed_high_;
   if (initiated_.empty()) tlc = std::max(tlc, tli - 1);
@@ -71,14 +71,14 @@ TimestampMs LocalDependencyService::TLC() const {
 // ---- GlobalDependencyService ---------------------------------------------------
 
 LocalDependencyService* GlobalDependencyService::AddStream() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   streams_.push_back(std::make_unique<LocalDependencyService>());
   streams_.back()->gds_ = this;
   return streams_.back().get();
 }
 
 void GlobalDependencyService::AddChild(DependencyWatermark* child) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   children_.push_back(child);
 }
 
@@ -110,12 +110,12 @@ TimestampMs GlobalDependencyService::TGC() const {
 }
 
 void GlobalDependencyService::WaitUntilCompleted(TimestampMs t) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   progress_.wait(lock, [&] { return TGC() >= t; });
 }
 
 void GlobalDependencyService::NotifyProgress() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   progress_.notify_all();
 }
 

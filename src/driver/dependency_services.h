@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "util/datetime.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::driver {
 
@@ -87,13 +88,17 @@ class LocalDependencyService : public DependencyWatermark {
   friend class GlobalDependencyService;
 
   /// Folds durable completions into the cached watermark; mu_ held.
-  void FoldLocked();
+  void FoldLocked() SNB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::multiset<TimestampMs> initiated_;
-  std::multiset<TimestampMs> completed_;
-  TimestampMs floor_ = 0;          // Last marker / last initiated time.
-  TimestampMs completed_high_ = 0; // Cached TLC.
+  mutable util::Mutex mu_;
+  std::multiset<TimestampMs> initiated_ SNB_GUARDED_BY(mu_);
+  std::multiset<TimestampMs> completed_ SNB_GUARDED_BY(mu_);
+  // Last marker / last initiated time.
+  TimestampMs floor_ SNB_GUARDED_BY(mu_) = 0;
+  // Cached TLC.
+  TimestampMs completed_high_ SNB_GUARDED_BY(mu_) = 0;
+  // Set once at registration (AddStream), before execution starts; read
+  // without mu_ afterwards — deliberately not SNB_GUARDED_BY.
   GlobalDependencyService* gds_ = nullptr;  // Notified on progress.
 };
 
@@ -138,8 +143,14 @@ class GlobalDependencyService : public DependencyWatermark {
   TimestampMs WatermarkTLC() const override { return TGC(); }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable progress_;
+  mutable util::Mutex mu_;
+  // Waits on the MutexLock itself (BasicLockable) so the capability stays
+  // analysable across the wait.
+  std::condition_variable_any progress_;
+  // Mutated only during the registration phase (AddStream/AddChild, under
+  // mu_, before execution starts); TGI/TGC read them lock-free afterwards.
+  // Deliberately not SNB_GUARDED_BY: the registration-then-frozen protocol
+  // is the synchronisation, not the mutex.
   std::vector<std::unique_ptr<LocalDependencyService>> streams_;
   std::vector<DependencyWatermark*> children_;
 };

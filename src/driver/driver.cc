@@ -4,14 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "datagen/config.h"
 #include "driver/dependency_services.h"
 #include "driver/run_audit.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -38,8 +39,8 @@ obs::OpType TraceOpType(const Operation& op) {
 struct RunState {
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> failed{0};
-  std::mutex error_mu;
-  std::string first_error;
+  util::Mutex error_mu;
+  std::string first_error SNB_GUARDED_BY(error_mu);
   std::atomic<int64_t> max_lag_us{0};
   std::atomic<uint64_t> dependencies_tracked{0};
   std::atomic<uint64_t> dependent_waits{0};
@@ -55,7 +56,7 @@ struct RunState {
     executed.fetch_add(1, std::memory_order_relaxed);
     if (!status.ok()) {
       failed.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(error_mu);
+      util::MutexLock lock(&error_mu);
       if (first_error.empty()) first_error = status.ToString();
     }
   }

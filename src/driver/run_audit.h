@@ -12,12 +12,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::driver {
 
@@ -88,8 +89,8 @@ class LagTimeline {
   size_t max_slots() const { return slots_.size(); }
 
  private:
-  void Rescale(int64_t second) {
-    std::lock_guard<std::mutex> lock(rescale_mu_);
+  void Rescale(int64_t second) SNB_EXCLUDES(rescale_mu_) {
+    util::MutexLock lock(&rescale_mu_);
     int64_t scale = scale_.load(std::memory_order_relaxed);
     int64_t needed = second / static_cast<int64_t>(slots_.size()) + 1;
     if (needed <= scale) return;  // Another thread already rescaled.
@@ -108,9 +109,12 @@ class LagTimeline {
     }
   }
 
+  // slots_ and scale_ are read/written lock-free by Record(); rescale_mu_
+  // only serialises concurrent Rescale() calls (the fold loop), so they
+  // are deliberately not SNB_GUARDED_BY.
   std::vector<std::atomic<int64_t>> slots_;
   std::atomic<int64_t> scale_{1};
-  std::mutex rescale_mu_;
+  util::Mutex rescale_mu_;
 };
 
 /// Schedule-compliance accumulator: per-op-type on-time/late counts and a

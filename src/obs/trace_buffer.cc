@@ -119,7 +119,7 @@ TraceBuffer::Lane& TraceBuffer::LocalLane() {
   // per (thread, buffer) pair.
   Lane* lane = lanes_[idx].get();
   if (lane == nullptr) {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    util::MutexLock lock(&lanes_mu_);
     if (lanes_[idx] == nullptr) {
       lanes_[idx] = std::make_unique<Lane>();
       lanes_[idx]->ring.reserve(
@@ -133,7 +133,7 @@ TraceBuffer::Lane& TraceBuffer::LocalLane() {
 void TraceBuffer::Record(TraceEvent event) {
   Lane& lane = LocalLane();
   event.lane = static_cast<uint16_t>(ThisLaneId() & (kMaxLanes - 1));
-  std::lock_guard<std::mutex> lock(lane.mu);
+  util::MutexLock lock(&lane.mu);
   ++lane.recorded;
   if (lane.ring.size() < events_per_lane_) {
     lane.ring.push_back(event);
@@ -147,7 +147,7 @@ uint64_t TraceBuffer::recorded() const {
   uint64_t total = 0;
   for (const auto& lane : lanes_) {
     if (lane == nullptr) continue;
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     total += lane->recorded;
   }
   return total;
@@ -157,7 +157,7 @@ uint64_t TraceBuffer::dropped() const {
   uint64_t total = 0;
   for (const auto& lane : lanes_) {
     if (lane == nullptr) continue;
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     total += lane->recorded - lane->ring.size();
   }
   return total;
@@ -167,7 +167,7 @@ std::vector<TraceEvent> TraceBuffer::Events() const {
   std::vector<TraceEvent> out;
   for (const auto& lane : lanes_) {
     if (lane == nullptr) continue;
-    std::lock_guard<std::mutex> lock(lane->mu);
+    util::MutexLock lock(&lane->mu);
     out.insert(out.end(), lane->ring.begin(), lane->ring.end());
   }
   std::sort(out.begin(), out.end(),

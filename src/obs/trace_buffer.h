@@ -24,11 +24,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::obs {
 
@@ -89,18 +90,23 @@ class TraceBuffer {
 
  private:
   struct Lane {
-    std::mutex mu;
-    std::vector<TraceEvent> ring;
-    size_t next = 0;        // Overwrite cursor once the ring is full.
-    uint64_t recorded = 0;  // Lifetime count for this lane.
+    util::Mutex mu;
+    std::vector<TraceEvent> ring SNB_GUARDED_BY(mu);
+    // Overwrite cursor once the ring is full.
+    size_t next SNB_GUARDED_BY(mu) = 0;
+    // Lifetime count for this lane.
+    uint64_t recorded SNB_GUARDED_BY(mu) = 0;
   };
 
   Lane& LocalLane();
 
   const size_t events_per_lane_;
   const std::chrono::steady_clock::time_point base_;
+  // Lazily constructed under lanes_mu_; the pointer itself is read via
+  // double-checked locking (benign under the x86/TSO builds this repo
+  // targets), so the array is not SNB_GUARDED_BY.
   std::unique_ptr<Lane> lanes_[kMaxLanes];
-  std::mutex lanes_mu_;  // Guards lazy lane construction only.
+  util::Mutex lanes_mu_;  // Guards lazy lane construction only.
 };
 
 /// Serializes every retained event as a Chrome-trace JSON document

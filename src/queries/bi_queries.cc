@@ -18,14 +18,14 @@ int YearOf(util::TimestampMs ts) {
 }  // namespace
 
 std::vector<Bi1Result> BiQuery1PostingSummary(const GraphStore& store) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   struct Acc {
     uint64_t count = 0;
     uint64_t length = 0;
   };
   std::map<std::tuple<int, int, uint32_t>, Acc> groups;
   for (schema::MessageId id = 0; id < store.MessageIdBound(); ++id) {
-    const store::MessageRecord* m = store.FindMessage(id);
+    const store::MessageRecord* m = store.FindMessage(pin, id);
     if (m == nullptr) continue;
     Acc& acc = groups[{YearOf(m->data.creation_date),
                        static_cast<int>(m->data.kind), m->data.language}];
@@ -56,13 +56,13 @@ std::vector<Bi1Result> BiQuery1PostingSummary(const GraphStore& store) {
 std::vector<Bi2Result> BiQuery2TagEvolution(const GraphStore& store,
                                             util::TimestampMs window_start,
                                             int window_days, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   util::TimestampMs mid =
       window_start + window_days * util::kMillisPerDay;
   util::TimestampMs end = mid + window_days * util::kMillisPerDay;
   std::unordered_map<schema::TagId, Bi2Result> by_tag;
   for (schema::MessageId id = 0; id < store.MessageIdBound(); ++id) {
-    const store::MessageRecord* m = store.FindMessage(id);
+    const store::MessageRecord* m = store.FindMessage(pin, id);
     if (m == nullptr || m->data.kind == schema::MessageKind::kComment) {
       continue;
     }
@@ -99,27 +99,27 @@ std::vector<Bi2Result> BiQuery2TagEvolution(const GraphStore& store,
 std::vector<Bi3Result> BiQuery3CountryInfluencers(
     const GraphStore& store,
     const std::vector<schema::PlaceId>& city_country, int per_country) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   struct Acc {
     uint64_t likes = 0;
     uint64_t messages = 0;
   };
   std::unordered_map<schema::PersonId, Acc> per_person;
-  for (schema::PersonId pid : store.PersonIds()) {
-    const store::PersonRecord* p = store.FindPerson(pid);
+  for (schema::PersonId pid : store.PersonIds(pin)) {
+    const store::PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     auto messages = p->messages.view();
     Acc& acc = per_person[pid];
     acc.messages = messages.size();
     for (const store::DatedEdge& e : messages) {
-      const store::MessageRecord* m = store.FindMessage(e.id);
+      const store::MessageRecord* m = store.FindMessage(pin, e.id);
       if (m != nullptr) acc.likes += m->likes.size();
     }
   }
   // Group by country, keep top-k.
   std::map<schema::PlaceId, std::vector<Bi3Result>> per_country_rows;
   for (const auto& [pid, acc] : per_person) {
-    const store::PersonRecord* p = store.FindPerson(pid);
+    const store::PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr || p->data.city_id >= city_country.size()) continue;
     schema::PlaceId country = city_country[p->data.city_id];
     per_country_rows[country].push_back(

@@ -20,9 +20,10 @@ using store::PersonRecord;
 using MessageEdges = util::RcuVector<DatedEdge>::View;
 
 std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
+                                      const util::EpochPin& pin,
                                       PersonId start) {
   std::vector<PersonId> out;
-  const PersonRecord* p = store.FindPerson(start);
+  const PersonRecord* p = store.FindPerson(pin, start);
   if (p == nullptr) return out;
   auto friends = p->friends.view();
   out.reserve(friends.size());
@@ -31,9 +32,10 @@ std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
 }
 
 std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
+                                         const util::EpochPin& pin,
                                          PersonId start) {
   std::vector<PersonId> out;
-  const PersonRecord* p = store.FindPerson(start);
+  const PersonRecord* p = store.FindPerson(pin, start);
   if (p == nullptr) return out;
   std::unordered_set<PersonId> seen;
   seen.insert(start);
@@ -42,7 +44,7 @@ std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
   }
   size_t direct = out.size();
   for (size_t i = 0; i < direct; ++i) {
-    const PersonRecord* f = store.FindPerson(out[i]);
+    const PersonRecord* f = store.FindPerson(pin, out[i]);
     if (f == nullptr) continue;
     for (const FriendEdge& e : f->friends.view()) {
       if (seen.insert(e.other).second) out.push_back(e.other);
@@ -82,22 +84,22 @@ void MonthDayOf(TimestampMs ts, int* month, int* day) {
 }  // namespace
 
 std::vector<PersonId> FriendIds(const GraphStore& store, PersonId start) {
-  auto lock = store.ReadLock();
-  return FriendIdsLocked(store, start);
+  auto pin = store.ReadLock();
+  return FriendIdsLocked(store, pin, start);
 }
 
 std::vector<PersonId> TwoHopCircle(const GraphStore& store, PersonId start) {
-  auto lock = store.ReadLock();
-  return TwoHopCircleLocked(store, start);
+  auto pin = store.ReadLock();
+  return TwoHopCircleLocked(store, pin, start);
 }
 
 // ---- Q1 -----------------------------------------------------------------------
 
 std::vector<Q1Result> Query1(const GraphStore& store, PersonId start,
                              const std::string& first_name, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q1Result> results;
-  const PersonRecord* root = store.FindPerson(start);
+  const PersonRecord* root = store.FindPerson(pin, start);
   if (root == nullptr) return results;
 
   // 3-level BFS collecting name matches.
@@ -108,12 +110,12 @@ std::vector<Q1Result> Query1(const GraphStore& store, PersonId start,
        ++distance) {
     std::vector<PersonId> next;
     for (PersonId pid : frontier) {
-      const PersonRecord* p = store.FindPerson(pid);
+      const PersonRecord* p = store.FindPerson(pin, pid);
       if (p == nullptr) continue;
       for (const FriendEdge& e : p->friends.view()) {
         if (!visited.insert(e.other).second) continue;
         next.push_back(e.other);
-        const PersonRecord* candidate = store.FindPerson(e.other);
+        const PersonRecord* candidate = store.FindPerson(pin, e.other);
         if (candidate != nullptr &&
             candidate->data.first_name == first_name) {
           Q1Result r;
@@ -143,10 +145,10 @@ std::vector<Q1Result> Query1(const GraphStore& store, PersonId start,
 
 std::vector<Q2Result> Query2(const GraphStore& store, PersonId start,
                              TimestampMs max_date, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q2Result> candidates;
-  for (PersonId fid : FriendIdsLocked(store, start)) {
-    const PersonRecord* f = store.FindPerson(fid);
+  for (PersonId fid : FriendIdsLocked(store, pin, start)) {
+    const PersonRecord* f = store.FindPerson(pin, fid);
     if (f == nullptr) continue;
     auto messages = f->messages.view();
     size_t upper = UpperBoundByDate(messages, max_date);
@@ -174,11 +176,11 @@ std::vector<Q3Result> Query3(const GraphStore& store, PersonId start,
                              schema::PlaceId country_y,
                              TimestampMs start_date, int duration_days,
                              int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   TimestampMs end_date = start_date + duration_days * util::kMillisPerDay;
   std::vector<Q3Result> results;
-  for (PersonId pid : TwoHopCircleLocked(store, start)) {
-    const PersonRecord* p = store.FindPerson(pid);
+  for (PersonId pid : TwoHopCircleLocked(store, pin, start)) {
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     // Residents of X or Y are excluded: posting from home is not travel.
     if (p->data.city_id < city_country.size()) {
@@ -190,7 +192,7 @@ std::vector<Q3Result> Query3(const GraphStore& store, PersonId start,
     size_t lower = LowerBoundByDate(messages, start_date);
     size_t upper = UpperBoundByDate(messages, end_date - 1);
     for (size_t i = lower; i < upper; ++i) {
-      const MessageRecord* m = store.FindMessage(messages[i].id);
+      const MessageRecord* m = store.FindMessage(pin, messages[i].id);
       if (m == nullptr) continue;
       if (m->data.country_id == country_x) {
         ++count_x;
@@ -218,16 +220,16 @@ std::vector<Q3Result> Query3(const GraphStore& store, PersonId start,
 std::vector<Q4Result> Query4(const GraphStore& store, PersonId start,
                              TimestampMs start_date, int duration_days,
                              int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   TimestampMs end_date = start_date + duration_days * util::kMillisPerDay;
   std::unordered_map<schema::TagId, uint32_t> in_window;
   std::unordered_set<schema::TagId> before_window;
-  for (PersonId fid : FriendIdsLocked(store, start)) {
-    const PersonRecord* f = store.FindPerson(fid);
+  for (PersonId fid : FriendIdsLocked(store, pin, start)) {
+    const PersonRecord* f = store.FindPerson(pin, fid);
     if (f == nullptr) continue;
     for (const DatedEdge& e : f->messages.view()) {
       if (e.date >= end_date) break;  // Ascending dates.
-      const MessageRecord* m = store.FindMessage(e.id);
+      const MessageRecord* m = store.FindMessage(pin, e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
       if (e.date < start_date) {
         for (schema::TagId t : m->data.tags) before_window.insert(t);
@@ -255,14 +257,14 @@ std::vector<Q4Result> Query4(const GraphStore& store, PersonId start,
 
 std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
                              TimestampMs min_date, int limit) {
-  auto lock = store.ReadLock();
-  std::vector<PersonId> circle = TwoHopCircleLocked(store, start);
+  auto pin = store.ReadLock();
+  std::vector<PersonId> circle = TwoHopCircleLocked(store, pin, start);
   std::unordered_set<PersonId> circle_set(circle.begin(), circle.end());
 
   // Forums joined by circle members after min_date.
   std::unordered_set<schema::ForumId> new_forums;
   for (PersonId pid : circle) {
-    const PersonRecord* p = store.FindPerson(pid);
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     for (const DatedEdge& membership : p->forums.view()) {
       if (membership.date > min_date) new_forums.insert(membership.id);
@@ -272,11 +274,11 @@ std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
   std::vector<Q5Result> results;
   results.reserve(new_forums.size());
   for (schema::ForumId fid : new_forums) {
-    const store::ForumRecord* forum = store.FindForum(fid);
+    const store::ForumRecord* forum = store.FindForum(pin, fid);
     if (forum == nullptr) continue;
     uint32_t count = 0;
     for (MessageId mid : forum->posts.view()) {
-      const MessageRecord* m = store.FindMessage(mid);
+      const MessageRecord* m = store.FindMessage(pin, mid);
       if (m != nullptr && circle_set.count(m->data.creator_id) > 0) ++count;
     }
     results.push_back({fid, count});
@@ -296,13 +298,13 @@ std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
 
 std::vector<Q6Result> Query6(const GraphStore& store, PersonId start,
                              schema::TagId tag, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::unordered_map<schema::TagId, uint32_t> co_counts;
-  for (PersonId pid : TwoHopCircleLocked(store, start)) {
-    const PersonRecord* p = store.FindPerson(pid);
+  for (PersonId pid : TwoHopCircleLocked(store, pin, start)) {
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     for (const DatedEdge& e : p->messages.view()) {
-      const MessageRecord* m = store.FindMessage(e.id);
+      const MessageRecord* m = store.FindMessage(pin, e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
       bool has_tag = false;
       for (schema::TagId t : m->data.tags) {
@@ -335,12 +337,12 @@ std::vector<Q6Result> Query6(const GraphStore& store, PersonId start,
 
 std::vector<Q7Result> Query7(const GraphStore& store, PersonId start,
                              int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q7Result> likes;
-  const PersonRecord* p = store.FindPerson(start);
+  const PersonRecord* p = store.FindPerson(pin, start);
   if (p == nullptr) return likes;
   for (const DatedEdge& e : p->messages.view()) {
-    const MessageRecord* m = store.FindMessage(e.id);
+    const MessageRecord* m = store.FindMessage(pin, e.id);
     if (m == nullptr) continue;
     for (const DatedEdge& like : m->likes.view()) {
       Q7Result r;
@@ -349,7 +351,7 @@ std::vector<Q7Result> Query7(const GraphStore& store, PersonId start,
       r.like_date = like.date;
       r.latency_minutes =
           (like.date - m->data.creation_date) / util::kMillisPerMinute;
-      r.is_outside_friendship = !store.AreFriends(start, like.id);
+      r.is_outside_friendship = !store.AreFriends(pin, start, like.id);
       likes.push_back(r);
     }
   }
@@ -366,15 +368,15 @@ std::vector<Q7Result> Query7(const GraphStore& store, PersonId start,
 
 std::vector<Q8Result> Query8(const GraphStore& store, PersonId start,
                              int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q8Result> replies;
-  const PersonRecord* p = store.FindPerson(start);
+  const PersonRecord* p = store.FindPerson(pin, start);
   if (p == nullptr) return replies;
   for (const DatedEdge& e : p->messages.view()) {
-    const MessageRecord* m = store.FindMessage(e.id);
+    const MessageRecord* m = store.FindMessage(pin, e.id);
     if (m == nullptr) continue;
     for (MessageId rid : m->replies.view()) {
-      const MessageRecord* reply = store.FindMessage(rid);
+      const MessageRecord* reply = store.FindMessage(pin, rid);
       if (reply == nullptr) continue;
       replies.push_back(
           {rid, reply->data.creator_id, reply->data.creation_date});
@@ -395,10 +397,10 @@ std::vector<Q8Result> Query8(const GraphStore& store, PersonId start,
 
 std::vector<Q9Result> Query9(const GraphStore& store, PersonId start,
                              TimestampMs max_date, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q9Result> candidates;
-  for (PersonId pid : TwoHopCircleLocked(store, start)) {
-    const PersonRecord* p = store.FindPerson(pid);
+  for (PersonId pid : TwoHopCircleLocked(store, pin, start)) {
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     auto messages = p->messages.view();
     size_t upper = UpperBoundByDate(messages, max_date - 1);
@@ -422,9 +424,9 @@ std::vector<Q9Result> Query9(const GraphStore& store, PersonId start,
 
 std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
                                int horoscope_month, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q10Result> results;
-  const PersonRecord* root = store.FindPerson(start);
+  const PersonRecord* root = store.FindPerson(pin, start);
   if (root == nullptr) return results;
   std::unordered_set<schema::TagId> interests(root->data.interests.begin(),
                                               root->data.interests.end());
@@ -435,7 +437,7 @@ std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
 
   std::unordered_set<PersonId> fof;
   for (const FriendEdge& e : root_friends) {
-    const PersonRecord* f = store.FindPerson(e.other);
+    const PersonRecord* f = store.FindPerson(pin, e.other);
     if (f == nullptr) continue;
     for (const FriendEdge& e2 : f->friends.view()) {
       if (direct.count(e2.other) == 0) fof.insert(e2.other);
@@ -443,7 +445,7 @@ std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
   }
 
   for (PersonId pid : fof) {
-    const PersonRecord* p = store.FindPerson(pid);
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     int month = 0, day = 0;
     MonthDayOf(p->data.birthday, &month, &day);
@@ -453,7 +455,7 @@ std::vector<Q10Result> Query10(const GraphStore& store, PersonId start,
     if (!sign_match) continue;
     int32_t common = 0, other = 0;
     for (const DatedEdge& e : p->messages.view()) {
-      const MessageRecord* m = store.FindMessage(e.id);
+      const MessageRecord* m = store.FindMessage(pin, e.id);
       if (m == nullptr || m->data.kind == MessageKind::kComment) continue;
       bool about_interest = false;
       for (schema::TagId t : m->data.tags) {
@@ -488,10 +490,10 @@ std::vector<Q11Result> Query11(const GraphStore& store, PersonId start,
                                    company_country,
                                schema::PlaceId country,
                                uint16_t max_work_year, int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q11Result> results;
-  for (PersonId pid : TwoHopCircleLocked(store, start)) {
-    const PersonRecord* p = store.FindPerson(pid);
+  for (PersonId pid : TwoHopCircleLocked(store, pin, start)) {
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     schema::OrganizationId company = p->data.company_id;
     if (company == schema::kInvalidId32) continue;
@@ -514,16 +516,16 @@ std::vector<Q11Result> Query11(const GraphStore& store, PersonId start,
 std::vector<Q12Result> Query12(const GraphStore& store, PersonId start,
                                const std::vector<bool>& tag_in_class,
                                int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q12Result> results;
-  for (PersonId fid : FriendIdsLocked(store, start)) {
-    const PersonRecord* f = store.FindPerson(fid);
+  for (PersonId fid : FriendIdsLocked(store, pin, start)) {
+    const PersonRecord* f = store.FindPerson(pin, fid);
     if (f == nullptr) continue;
     uint32_t count = 0;
     for (const DatedEdge& e : f->messages.view()) {
-      const MessageRecord* m = store.FindMessage(e.id);
+      const MessageRecord* m = store.FindMessage(pin, e.id);
       if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
-      const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
+      const MessageRecord* parent = store.FindMessage(pin, m->data.reply_to_id);
       if (parent == nullptr ||
           parent->data.kind == MessageKind::kComment) {
         continue;  // Only replies to posts count.
@@ -551,10 +553,10 @@ std::vector<Q12Result> Query12(const GraphStore& store, PersonId start,
 // ---- Q13 ----------------------------------------------------------------------
 
 int Query13(const GraphStore& store, PersonId person1, PersonId person2) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   if (person1 == person2) return 0;
-  if (store.FindPerson(person1) == nullptr ||
-      store.FindPerson(person2) == nullptr) {
+  if (store.FindPerson(pin, person1) == nullptr ||
+      store.FindPerson(pin, person2) == nullptr) {
     return -1;
   }
   // Bidirectional BFS.
@@ -574,7 +576,7 @@ int Query13(const GraphStore& store, PersonId person1, PersonId person2) {
     while (!frontier.empty()) {
       PersonId pid = frontier.front();
       frontier.pop_front();
-      const PersonRecord* p = store.FindPerson(pid);
+      const PersonRecord* p = store.FindPerson(pin, pid);
       if (p == nullptr) continue;
       for (const FriendEdge& e : p->friends.view()) {
         if (mine.count(e.other) > 0) continue;
@@ -609,16 +611,17 @@ namespace {
 
 /// Interaction weight between two persons: each comment by one replying to
 /// a post of the other adds 1.0, to a comment of the other adds 0.5.
-double PairWeight(const GraphStore& store, PersonId a, PersonId b) {
+double PairWeight(const GraphStore& store, const util::EpochPin& pin,
+                  PersonId a, PersonId b) {
   double weight = 0.0;
   for (PersonId from : {a, b}) {
     PersonId to = from == a ? b : a;
-    const PersonRecord* p = store.FindPerson(from);
+    const PersonRecord* p = store.FindPerson(pin, from);
     if (p == nullptr) continue;
     for (const DatedEdge& e : p->messages.view()) {
-      const MessageRecord* m = store.FindMessage(e.id);
+      const MessageRecord* m = store.FindMessage(pin, e.id);
       if (m == nullptr || m->data.kind != MessageKind::kComment) continue;
-      const MessageRecord* parent = store.FindMessage(m->data.reply_to_id);
+      const MessageRecord* parent = store.FindMessage(pin, m->data.reply_to_id);
       if (parent == nullptr || parent->data.creator_id != to) continue;
       weight += parent->data.kind == MessageKind::kComment ? 0.5 : 1.0;
     }
@@ -630,10 +633,10 @@ double PairWeight(const GraphStore& store, PersonId a, PersonId b) {
 
 std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
                                PersonId person2) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q14Result> results;
-  if (store.FindPerson(person1) == nullptr ||
-      store.FindPerson(person2) == nullptr) {
+  if (store.FindPerson(pin, person1) == nullptr ||
+      store.FindPerson(pin, person2) == nullptr) {
     return results;
   }
   if (person1 == person2) {
@@ -650,7 +653,7 @@ std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
     queue.pop_front();
     int d = dist[pid];
     if (target_dist >= 0 && d >= target_dist) break;
-    const PersonRecord* p = store.FindPerson(pid);
+    const PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     for (const FriendEdge& e : p->friends.view()) {
       auto it = dist.find(e.other);
@@ -703,7 +706,7 @@ std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
     Q14Result r;
     r.weight = 0.0;
     for (size_t i = 0; i + 1 < path.size(); ++i) {
-      r.weight += PairWeight(store, path[i], path[i + 1]);
+      r.weight += PairWeight(store, pin, path[i], path[i + 1]);
     }
     r.path = std::move(path);
     results.push_back(std::move(r));

@@ -18,9 +18,10 @@ using store::PersonRecord;
 /// adjacency list (the cost a hash join pays that an index lookup does not).
 class FriendsHashTable {
  public:
-  FriendsHashTable(const GraphStore& store, Q9PlanStats* stats) {
-    for (PersonId pid : store.PersonIds()) {
-      const PersonRecord* p = store.FindPerson(pid);
+  FriendsHashTable(const GraphStore& store, const util::EpochPin& pin,
+                   Q9PlanStats* stats) {
+    for (PersonId pid : store.PersonIds(pin)) {
+      const PersonRecord* p = store.FindPerson(pin, pid);
       if (p == nullptr) continue;
       auto friends = p->friends.view();
       std::vector<PersonId>& bucket = table_[pid];
@@ -44,10 +45,11 @@ class FriendsHashTable {
 /// Emits the friends of `id` through `emit`, via index lookup or the
 /// prebuilt hash table.
 template <typename EmitFn>
-void JoinFriends(const GraphStore& store, JoinStrategy strategy,
-                 const FriendsHashTable* hash, PersonId id, EmitFn emit) {
+void JoinFriends(const GraphStore& store, const util::EpochPin& pin,
+                 JoinStrategy strategy, const FriendsHashTable* hash,
+                 PersonId id, EmitFn emit) {
   if (strategy == JoinStrategy::kIndexNestedLoop) {
-    const PersonRecord* p = store.FindPerson(id);
+    const PersonRecord* p = store.FindPerson(pin, id);
     if (p == nullptr) return;
     for (const FriendEdge& e : p->friends.view()) emit(e.other);
   } else {
@@ -89,7 +91,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
                                      JoinStrategy join2, JoinStrategy join3,
                                      Q9PlanStats* stats,
                                      Q9OperatorProfile* profile) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   Q9PlanStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = Q9PlanStats();
@@ -103,7 +105,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   std::unique_ptr<FriendsHashTable> friends_hash;
   if (join1 == JoinStrategy::kHash || join2 == JoinStrategy::kHash) {
     obs::TraceSpan span(sink(&Q9OperatorProfile::hash_build));
-    friends_hash = std::make_unique<FriendsHashTable>(store, stats);
+    friends_hash = std::make_unique<FriendsHashTable>(store, pin, stats);
     span.AddRows(stats->build_tuples);
   }
 
@@ -111,7 +113,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   std::vector<PersonId> friends;
   {
     obs::TraceSpan span(sink(&Q9OperatorProfile::join1));
-    JoinFriends(store, join1, friends_hash.get(), start, [&](PersonId f) {
+    JoinFriends(store, pin, join1, friends_hash.get(), start, [&](PersonId f) {
       friends.push_back(f);
       ++stats->join1_output;
     });
@@ -124,7 +126,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   {
     obs::TraceSpan span(sink(&Q9OperatorProfile::join2));
     for (PersonId f : friends) {
-      JoinFriends(store, join2, friends_hash.get(), f, [&](PersonId ff) {
+      JoinFriends(store, pin, join2, friends_hash.get(), f, [&](PersonId ff) {
         ++stats->join2_output;
         if (ff != start) circle.insert(ff);
       });
@@ -138,7 +140,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
     obs::TraceSpan span(sink(&Q9OperatorProfile::join3));
     if (join3 == JoinStrategy::kIndexNestedLoop) {
       for (PersonId pid : circle) {
-        const PersonRecord* p = store.FindPerson(pid);
+        const PersonRecord* p = store.FindPerson(pin, pid);
         if (p == nullptr) continue;
         for (const store::DatedEdge& e : p->messages.view()) {
           if (e.date >= max_date) break;  // Date-ordered index.
@@ -151,7 +153,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
       MessageId bound = store.MessageIdBound();
       stats->build_tuples += circle.size();
       for (MessageId mid = 0; mid < bound; ++mid) {
-        const MessageRecord* m = store.FindMessage(mid);
+        const MessageRecord* m = store.FindMessage(pin, mid);
         if (m == nullptr || m->data.creation_date >= max_date) continue;
         if (circle.count(m->data.creator_id) == 0) continue;
         candidates.push_back(

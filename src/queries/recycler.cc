@@ -13,7 +13,7 @@ std::shared_ptr<const std::vector<schema::PersonId>> TwoHopRecycler::Get(
   // match the current one at lookup.
   uint64_t version = store.KnowsVersion();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     auto it = cache_.find(person);
     if (it != cache_.end() && it->second.version == version) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -25,7 +25,7 @@ std::shared_ptr<const std::vector<schema::PersonId>> TwoHopRecycler::Get(
   auto circle = std::make_shared<const std::vector<schema::PersonId>>(
       TwoHopCircle(store, person));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     PutLocked(person, {version, true, circle});
   }
   return circle;
@@ -67,10 +67,10 @@ std::vector<Q9Result> Query9Recycled(const GraphStore& store,
                                      TimestampMs max_date, int limit) {
   std::shared_ptr<const std::vector<schema::PersonId>> circle =
       recycler.Get(store, start);
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<Q9Result> candidates;
   for (schema::PersonId pid : *circle) {
-    const store::PersonRecord* p = store.FindPerson(pid);
+    const store::PersonRecord* p = store.FindPerson(pin, pid);
     if (p == nullptr) continue;
     // Binary search the date-ordered per-creator message list; creation
     // dates ride inline, so no message record is touched per probe.

@@ -13,11 +13,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "queries/complex_queries.h"
 #include "store/graph_store.h"
 
@@ -66,14 +67,14 @@ class TwoHopRecycler {
   };
 
   /// Inserts or overwrites under mu_, evicting by clock when full.
-  void PutLocked(schema::PersonId person, Entry entry);
+  void PutLocked(schema::PersonId person, Entry entry) SNB_REQUIRES(mu_);
 
   size_t capacity_;
-  std::mutex mu_;
-  std::unordered_map<schema::PersonId, Entry> cache_;
+  util::Mutex mu_;
+  std::unordered_map<schema::PersonId, Entry> cache_ SNB_GUARDED_BY(mu_);
   /// Clock ring over the cached keys; `hand_` is the sweep position.
-  std::vector<schema::PersonId> ring_;
-  size_t hand_ = 0;
+  std::vector<schema::PersonId> ring_ SNB_GUARDED_BY(mu_);
+  size_t hand_ SNB_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -11,9 +11,9 @@ using store::PersonRecord;
 
 S1Result ShortQuery1PersonProfile(const GraphStore& store,
                                   schema::PersonId person) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   S1Result r;
-  const PersonRecord* p = store.FindPerson(person);
+  const PersonRecord* p = store.FindPerson(pin, person);
   if (p == nullptr) return r;
   r.found = true;
   r.first_name = p->data.first_name;
@@ -30,22 +30,22 @@ S1Result ShortQuery1PersonProfile(const GraphStore& store,
 std::vector<S2Result> ShortQuery2RecentMessages(const GraphStore& store,
                                                 schema::PersonId person,
                                                 int limit) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<S2Result> results;
-  const PersonRecord* p = store.FindPerson(person);
+  const PersonRecord* p = store.FindPerson(pin, person);
   if (p == nullptr) return results;
   auto messages = p->messages.view();
   size_t n = messages.size();
   size_t take = std::min<size_t>(n, static_cast<size_t>(limit));
   for (size_t i = 0; i < take; ++i) {
     const DatedEdge& edge = messages[n - 1 - i];  // Newest first.
-    const MessageRecord* m = store.FindMessage(edge.id);
+    const MessageRecord* m = store.FindMessage(pin, edge.id);
     if (m == nullptr) continue;
     S2Result r;
     r.message_id = edge.id;
     r.creation_date = edge.date;
     r.root_post_id = m->data.root_post_id;
-    const MessageRecord* root = store.FindMessage(m->data.root_post_id);
+    const MessageRecord* root = store.FindMessage(pin, m->data.root_post_id);
     r.root_author_id =
         root == nullptr ? schema::kInvalidId : root->data.creator_id;
     results.push_back(std::move(r));
@@ -55,9 +55,9 @@ std::vector<S2Result> ShortQuery2RecentMessages(const GraphStore& store,
 
 std::vector<S3Result> ShortQuery3Friends(const GraphStore& store,
                                          schema::PersonId person) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<S3Result> results;
-  const PersonRecord* p = store.FindPerson(person);
+  const PersonRecord* p = store.FindPerson(pin, person);
   if (p == nullptr) return results;
   auto friends = p->friends.view();
   results.reserve(friends.size());
@@ -74,9 +74,9 @@ std::vector<S3Result> ShortQuery3Friends(const GraphStore& store,
 
 S4Result ShortQuery4MessageContent(const GraphStore& store,
                                    schema::MessageId message) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   S4Result r;
-  const MessageRecord* m = store.FindMessage(message);
+  const MessageRecord* m = store.FindMessage(pin, message);
   if (m == nullptr) return r;
   r.found = true;
   r.creation_date = m->data.creation_date;
@@ -86,11 +86,11 @@ S4Result ShortQuery4MessageContent(const GraphStore& store,
 
 S5Result ShortQuery5MessageCreator(const GraphStore& store,
                                    schema::MessageId message) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   S5Result r;
-  const MessageRecord* m = store.FindMessage(message);
+  const MessageRecord* m = store.FindMessage(pin, message);
   if (m == nullptr) return r;
-  const PersonRecord* p = store.FindPerson(m->data.creator_id);
+  const PersonRecord* p = store.FindPerson(pin, m->data.creator_id);
   if (p == nullptr) return r;
   r.found = true;
   r.creator_id = m->data.creator_id;
@@ -101,13 +101,13 @@ S5Result ShortQuery5MessageCreator(const GraphStore& store,
 
 S6Result ShortQuery6MessageForum(const GraphStore& store,
                                  schema::MessageId message) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   S6Result r;
-  const MessageRecord* m = store.FindMessage(message);
+  const MessageRecord* m = store.FindMessage(pin, message);
   if (m == nullptr) return r;
-  const MessageRecord* root = store.FindMessage(m->data.root_post_id);
+  const MessageRecord* root = store.FindMessage(pin, m->data.root_post_id);
   if (root == nullptr) return r;
-  const store::ForumRecord* forum = store.FindForum(root->data.forum_id);
+  const store::ForumRecord* forum = store.FindForum(pin, root->data.forum_id);
   if (forum == nullptr) return r;
   r.found = true;
   r.forum_id = root->data.forum_id;
@@ -118,21 +118,21 @@ S6Result ShortQuery6MessageForum(const GraphStore& store,
 
 std::vector<S7Result> ShortQuery7MessageReplies(const GraphStore& store,
                                                 schema::MessageId message) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   std::vector<S7Result> results;
-  const MessageRecord* m = store.FindMessage(message);
+  const MessageRecord* m = store.FindMessage(pin, message);
   if (m == nullptr) return results;
   schema::PersonId author = m->data.creator_id;
   auto replies = m->replies.view();
   results.reserve(replies.size());
   for (schema::MessageId rid : replies) {
-    const MessageRecord* reply = store.FindMessage(rid);
+    const MessageRecord* reply = store.FindMessage(pin, rid);
     if (reply == nullptr) continue;
     S7Result r;
     r.comment_id = rid;
     r.replier_id = reply->data.creator_id;
     r.creation_date = reply->data.creation_date;
-    r.replier_knows_author = store.AreFriends(author, reply->data.creator_id);
+    r.replier_knows_author = store.AreFriends(pin, author, reply->data.creator_id);
     results.push_back(r);
   }
   std::sort(results.begin(), results.end(),

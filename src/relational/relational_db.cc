@@ -1,6 +1,5 @@
 #include "relational/relational_db.h"
 
-#include <mutex>
 
 namespace snb::rel {
 
@@ -145,7 +144,7 @@ struct IdLess {
 }  // namespace
 
 Status RelationalDb::BulkLoad(const schema::SocialNetwork& network) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   if (!persons_.empty() || !messages_.empty()) {
     return Status::FailedPrecondition("BulkLoad requires an empty database");
   }
@@ -203,33 +202,33 @@ Status RelationalDb::BulkLoad(const schema::SocialNetwork& network) {
 // ---- Updates ---------------------------------------------------------------
 
 Status RelationalDb::AddPerson(const schema::Person& person) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddPersonLocked(person);
 }
 
 Status RelationalDb::AddFriendship(const schema::Knows& knows) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddFriendshipLocked(knows);
 }
 
 Status RelationalDb::AddForum(const schema::Forum& forum) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddForumLocked(forum);
 }
 
 Status RelationalDb::AddForumMembership(
     const schema::ForumMembership& membership) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddForumMembershipLocked(membership);
 }
 
 Status RelationalDb::AddMessage(const schema::Message& message) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddMessageLocked(message);
 }
 
 Status RelationalDb::AddLike(const schema::Like& like) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddLikeLocked(like);
 }
 

@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "schema/entities.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace snb::rel {
 
@@ -87,9 +89,13 @@ class RelationalDb {
   util::Status AddMessage(const schema::Message& message);
   util::Status AddLike(const schema::Like& like);
 
-  /// Shared lock for snapshot-consistent multi-statement reads.
+  /// Shared lock for snapshot-consistent multi-statement reads. Returned
+  /// by value, so it rides the wrapped std::shared_mutex (movable guards
+  /// are invisible to the thread-safety analysis; the tables below are
+  /// therefore not SNB_GUARDED_BY — writer-side discipline is enforced
+  /// through SNB_REQUIRES on the *Locked helpers instead).
   std::shared_lock<std::shared_mutex> ReadLock() const {
-    return std::shared_lock<std::shared_mutex>(mu_);
+    return std::shared_lock<std::shared_mutex>(mu_.native());
   }
 
   // ---- Index lookups (caller holds a read lock) -----------------------
@@ -125,18 +131,21 @@ class RelationalDb {
   uint64_t NumForums() const { return forums_.size(); }
 
  private:
-  util::Status AddPersonLocked(const schema::Person& person);
-  util::Status AddFriendshipLocked(const schema::Knows& knows);
-  util::Status AddForumLocked(const schema::Forum& forum);
+  util::Status AddPersonLocked(const schema::Person& person)
+      SNB_REQUIRES(mu_);
+  util::Status AddFriendshipLocked(const schema::Knows& knows)
+      SNB_REQUIRES(mu_);
+  util::Status AddForumLocked(const schema::Forum& forum) SNB_REQUIRES(mu_);
   util::Status AddForumMembershipLocked(
-      const schema::ForumMembership& membership);
-  util::Status AddMessageLocked(const schema::Message& message);
-  util::Status AddLikeLocked(const schema::Like& like);
+      const schema::ForumMembership& membership) SNB_REQUIRES(mu_);
+  util::Status AddMessageLocked(const schema::Message& message)
+      SNB_REQUIRES(mu_);
+  util::Status AddLikeLocked(const schema::Like& like) SNB_REQUIRES(mu_);
 
-  bool PersonExistsLocked(PersonId id) const;
-  bool MessageExistsLocked(MessageId id) const;
+  bool PersonExistsLocked(PersonId id) const SNB_REQUIRES(mu_);
+  bool MessageExistsLocked(MessageId id) const SNB_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
+  mutable util::SharedMutex mu_;
   // Base tables, primary-key sorted.
   std::vector<schema::Person> persons_;    // By id.
   std::vector<schema::Forum> forums_;      // By id.

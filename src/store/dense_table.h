@@ -19,7 +19,7 @@
 // A slot's existence is a separate concern from its address: callers embed
 // a `ready` flag in T and publish it with a release store after filling the
 // record, and readers check it with an acquire load. The writer must be
-// externally serialized; readers must hold an EpochGuard while they
+// externally serialized; readers must hold an EpochPin while they
 // dereference (only the retired directories need it — records and chunks
 // are never freed before the table itself).
 #ifndef SNB_STORE_DENSE_TABLE_H_

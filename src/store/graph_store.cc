@@ -1,8 +1,9 @@
 #include "store/graph_store.h"
 
 #include <algorithm>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
 
 namespace snb::store {
 
@@ -27,7 +28,7 @@ Status BadId(const char* what, uint64_t id) {
 // ---- Public transactional API ----------------------------------------------
 
 Status GraphStore::BulkLoad(const schema::SocialNetwork& network) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   if (NumPersons() != 0 || messages_.bound() != 0) {
     return Status::FailedPrecondition("BulkLoad requires an empty store");
   }
@@ -53,33 +54,33 @@ Status GraphStore::BulkLoad(const schema::SocialNetwork& network) {
 }
 
 Status GraphStore::AddPerson(const Person& person) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddPersonLocked(person);
 }
 
 Status GraphStore::AddFriendship(const Knows& knows) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddFriendshipLocked(knows);
 }
 
 Status GraphStore::AddForum(const schema::Forum& forum) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddForumLocked(forum);
 }
 
 Status GraphStore::AddForumMembership(
     const schema::ForumMembership& membership) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddForumMembershipLocked(membership);
 }
 
 Status GraphStore::AddMessage(const Message& message) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddMessageLocked(message);
 }
 
 Status GraphStore::AddLike(const schema::Like& like) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   return AddLikeLocked(like);
 }
 
@@ -204,8 +205,9 @@ Status GraphStore::AddLikeLocked(const schema::Like& like) {
 
 // ---- Read accessors ---------------------------------------------------------
 
-bool GraphStore::AreFriends(schema::PersonId a, schema::PersonId b) const {
-  const PersonRecord* pa = FindPerson(a);
+bool GraphStore::AreFriends(const util::EpochPin& pin, schema::PersonId a,
+                            schema::PersonId b) const {
+  const PersonRecord* pa = FindPerson(pin, a);
   if (pa == nullptr) return false;
   auto friends = pa->friends.view();
   auto it = std::lower_bound(
@@ -214,7 +216,8 @@ bool GraphStore::AreFriends(schema::PersonId a, schema::PersonId b) const {
   return it != friends.end() && it->other == b;
 }
 
-std::vector<schema::PersonId> GraphStore::PersonIds() const {
+std::vector<schema::PersonId> GraphStore::PersonIds(
+    const util::EpochPin& /*pin*/) const {
   std::vector<schema::PersonId> ids;
   ids.reserve(NumPersons());
   uint64_t bound = persons_.bound();
@@ -225,7 +228,8 @@ std::vector<schema::PersonId> GraphStore::PersonIds() const {
   return ids;
 }
 
-std::vector<schema::ForumId> GraphStore::ForumIds() const {
+std::vector<schema::ForumId> GraphStore::ForumIds(
+    const util::EpochPin& /*pin*/) const {
   std::vector<schema::ForumId> ids;
   ids.reserve(NumForums());
   uint64_t bound = forums_.bound();
@@ -237,7 +241,7 @@ std::vector<schema::ForumId> GraphStore::ForumIds() const {
 }
 
 StorageBreakdown GraphStore::ComputeStorageBreakdown() const {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(&mu_);
   StorageBreakdown b;
   uint64_t message_bound = messages_.bound();
   for (uint64_t id = 0; id < message_bound; ++id) {

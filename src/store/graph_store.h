@@ -47,8 +47,10 @@
 #include "schema/entities.h"
 #include "store/dense_table.h"
 #include "util/epoch.h"
+#include "util/mutex.h"
 #include "util/rcu_vector.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace snb::store {
 
@@ -134,20 +136,38 @@ enum class ReadConcurrency {
   kGlobalLock,
 };
 
-/// RAII read snapshot: an epoch pin (kEpoch) or a shared lock
-/// (kGlobalLock). Record pointers and adjacency Views obtained from the
-/// store are valid while the guard lives. Default-constructed guards are
-/// disengaged no-ops.
+/// RAII read snapshot: an epoch pin (always) plus a shared lock in
+/// kGlobalLock mode. Record pointers and adjacency Views obtained from
+/// the store are valid while the guard lives.
+///
+/// The guard converts to `const snb::EpochPin&` — the capability token
+/// every snapshot-read accessor demands — so the usual call shape is
+///
+///   store::ReadGuard pin = store.ReadLock();
+///   const PersonRecord* p = store.FindPerson(pin, id);
+///
+/// Guards are obtainable only from GraphStore::ReadLock(), pins only from
+/// EpochManager::pin(); there is no default-constructed disengaged state
+/// (a moved-from guard is disengaged, but passing the moved-to guard is
+/// what the move sites do). kGlobalLock guards also carry a real pin: it
+/// costs two uncontended atomics and keeps the token uniform across
+/// modes.
 class ReadGuard {
  public:
-  ReadGuard() = default;
-  explicit ReadGuard(util::EpochManager& epoch) : epoch_(epoch) {}
-  explicit ReadGuard(std::shared_mutex& mu) : lock_(mu) {}
   ReadGuard(ReadGuard&&) noexcept = default;
   ReadGuard& operator=(ReadGuard&&) noexcept = default;
 
+  /// The epoch-pin capability token this guard holds.
+  const util::EpochPin& pin() const { return pin_; }
+  operator const util::EpochPin&() const { return pin_; }
+
  private:
-  util::EpochGuard epoch_;
+  friend class GraphStore;
+  explicit ReadGuard(util::EpochPin pin) : pin_(std::move(pin)) {}
+  ReadGuard(util::EpochPin pin, std::shared_mutex& mu)
+      : pin_(std::move(pin)), lock_(mu) {}
+
+  util::EpochPin pin_;
   std::shared_lock<std::shared_mutex> lock_;
 };
 
@@ -179,28 +199,40 @@ class GraphStore {
   // ---- Read snapshot --------------------------------------------------
 
   /// Guard for a consistent multi-accessor read; hold it for the duration
-  /// of a query.
+  /// of a query. The guard is the EpochPin token the accessors below
+  /// require.
   ReadGuard ReadLock() const {
-    if (mode_ == ReadConcurrency::kGlobalLock) return ReadGuard(mu_);
-    return ReadGuard(*epoch_);
+    if (mode_ == ReadConcurrency::kGlobalLock) {
+      return ReadGuard(epoch_->pin(), mu_.native());
+    }
+    return ReadGuard(epoch_->pin());
   }
 
+  // Every snapshot-read accessor takes a `const EpochPin&` purely as a
+  // compile-time proof that the caller holds an epoch critical section
+  // (or a ReadGuard, which converts); the pin is never inspected at run
+  // time, so the token costs nothing.
+
   /// nullptr when absent.
-  const PersonRecord* FindPerson(schema::PersonId id) const {
+  const PersonRecord* FindPerson(const util::EpochPin& /*pin*/,
+                                 schema::PersonId id) const {
     const PersonRecord* p = persons_.Slot(id);
     return p != nullptr && p->present() ? p : nullptr;
   }
-  const ForumRecord* FindForum(schema::ForumId id) const {
+  const ForumRecord* FindForum(const util::EpochPin& /*pin*/,
+                               schema::ForumId id) const {
     const ForumRecord* f = forums_.Slot(id);
     return f != nullptr && f->present() ? f : nullptr;
   }
-  const MessageRecord* FindMessage(schema::MessageId id) const {
+  const MessageRecord* FindMessage(const util::EpochPin& /*pin*/,
+                                   schema::MessageId id) const {
     const MessageRecord* m = messages_.Slot(id);
     return m != nullptr && m->present() ? m : nullptr;
   }
 
   /// True when a and b are friends (binary search on a's friend list).
-  bool AreFriends(schema::PersonId a, schema::PersonId b) const;
+  bool AreFriends(const util::EpochPin& pin, schema::PersonId a,
+                  schema::PersonId b) const;
 
   /// Number of message ids ever allocated; message ids are < this bound
   /// and ascend with creation date. (Under kEpoch a bound-covered id may
@@ -208,9 +240,9 @@ class GraphStore {
   schema::MessageId MessageIdBound() const { return messages_.bound(); }
 
   /// All person ids, ascending (for whole-graph scans in tests/benches).
-  std::vector<schema::PersonId> PersonIds() const;
+  std::vector<schema::PersonId> PersonIds(const util::EpochPin& pin) const;
   /// All forum ids, ascending.
-  std::vector<schema::ForumId> ForumIds() const;
+  std::vector<schema::ForumId> ForumIds(const util::EpochPin& pin) const;
 
   uint64_t NumPersons() const {
     return num_persons_.load(std::memory_order_acquire);
@@ -269,16 +301,21 @@ class GraphStore {
   // nowhere near this.
   static constexpr uint64_t kMaxEntityId = uint64_t{1} << 40;
 
-  // Writers hold `mu_` exclusively (in both modes). Unlocked internals.
-  util::Status AddPersonLocked(const schema::Person& person);
-  util::Status AddFriendshipLocked(const schema::Knows& knows);
-  util::Status AddForumLocked(const schema::Forum& forum);
+  // Writers hold `mu_` exclusively (in both modes). Locked internals —
+  // the SNB_REQUIRES annotations make "write without the writer lock" a
+  // Clang compile error.
+  util::Status AddPersonLocked(const schema::Person& person)
+      SNB_REQUIRES(mu_);
+  util::Status AddFriendshipLocked(const schema::Knows& knows)
+      SNB_REQUIRES(mu_);
+  util::Status AddForumLocked(const schema::Forum& forum) SNB_REQUIRES(mu_);
   util::Status AddForumMembershipLocked(
-      const schema::ForumMembership& membership);
-  util::Status AddMessageLocked(const schema::Message& message);
-  util::Status AddLikeLocked(const schema::Like& like);
+      const schema::ForumMembership& membership) SNB_REQUIRES(mu_);
+  util::Status AddMessageLocked(const schema::Message& message)
+      SNB_REQUIRES(mu_);
+  util::Status AddLikeLocked(const schema::Like& like) SNB_REQUIRES(mu_);
 
-  PersonRecord* FindPersonMutable(schema::PersonId id) {
+  PersonRecord* FindPersonMutable(schema::PersonId id) SNB_REQUIRES(mu_) {
     PersonRecord* p = persons_.MutableSlot(id);
     return p != nullptr && p->present() ? p : nullptr;
   }
@@ -286,7 +323,12 @@ class GraphStore {
   const ReadConcurrency mode_;
   util::EpochManager* const epoch_;
 
-  mutable std::shared_mutex mu_;
+  /// Writer capability. The DenseTables below are deliberately NOT
+  /// SNB_GUARDED_BY(mu_): kEpoch readers access them lock-free under an
+  /// EpochPin (the RCU publication protocol in the file comment), which
+  /// the mutex analysis cannot model — the EpochPin token parameter on
+  /// the read accessors is the compile-time check for that side.
+  mutable util::SharedMutex mu_;
   DenseTable<PersonRecord> persons_;
   /// Sparse id space (owner_id * slots_per_person + slot); absent chunks
   /// cost one null directory entry.

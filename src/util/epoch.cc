@@ -86,7 +86,7 @@ EpochManager& EpochManager::Global() {
 
 EpochManager::~EpochManager() {
   // Caller guarantees quiescence; free whatever is still in limbo.
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(&retire_mu_);
   for (Garbage& g : garbage_) g.deleter(g.ptr);
   garbage_.clear();
 }
@@ -168,7 +168,7 @@ void EpochManager::Exit() {
 
 void EpochManager::Retire(void* p, void (*deleter)(void*)) {
   constexpr size_t kReclaimThreshold = 64;
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(&retire_mu_);
   garbage_.push_back(
       {p, deleter, global_epoch_.load(std::memory_order_seq_cst)});
   retired_total_.fetch_add(1, std::memory_order_relaxed);
@@ -176,7 +176,7 @@ void EpochManager::Retire(void* p, void (*deleter)(void*)) {
 }
 
 size_t EpochManager::TryReclaim() {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(&retire_mu_);
   return ReclaimLocked();
 }
 
@@ -218,7 +218,7 @@ size_t EpochManager::ReclaimLocked() {
 void EpochManager::DrainForTesting() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(retire_mu_);
+      MutexLock lock(&retire_mu_);
       if (garbage_.empty()) return;
       ReclaimLocked();
     }
@@ -235,7 +235,7 @@ void EpochManager::ReleaseSlotAtThreadExit(void* slot) {
 }
 
 size_t EpochManager::pending() const {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(&retire_mu_);
   return garbage_.size();
 }
 

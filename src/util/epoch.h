@@ -12,7 +12,7 @@
 // crossbeam and many kernels):
 //   * A global epoch counter advances monotonically.
 //   * A reader pins the current epoch in its slot for the duration of a
-//     critical section (an `EpochGuard`); 0 means quiescent. Pinning is two
+//     critical section (an `EpochPin`); 0 means quiescent. Pinning is two
 //     uncontended atomic ops on a thread-private cache line — no shared
 //     write, which is what removes the reader-side scalability ceiling.
 //   * A writer that unlinks an object (replaces its published pointer)
@@ -43,6 +43,12 @@
 // advance. Without membarrier (non-Linux, old kernels, or TSan, which
 // cannot see cross-thread IPI ordering) we fall back to seq_cst pins.
 //
+// The pin is also a *capability token* (see DESIGN.md "Static analysis &
+// concurrency discipline"): `EpochPin` cannot be default-constructed or
+// copied, only obtained from `EpochManager::pin()`, and every snapshot-read
+// entry point of the store takes a `const EpochPin&`. "Read without a pin"
+// is therefore a compile error, not a latent use-after-reclaim.
+//
 // Writers are expected to be externally serialized per data structure
 // (the store is single-writer); Retire/TryReclaim are nevertheless guarded
 // by an internal mutex so that multiple stores can share one manager.
@@ -53,9 +59,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::util {
+
+class EpochPin;
 
 class EpochManager {
  public:
@@ -73,17 +83,17 @@ class EpochManager {
 
   // ---- Reader side ------------------------------------------------------
 
-  /// Pins the current epoch for this thread. Nestable; only the outermost
-  /// Enter/Exit pair touches the slot.
-  void Enter();
-  void Exit();
+  /// Pins the current epoch for this thread and returns the capability
+  /// token proving it. Nestable; only the outermost pin touches the slot.
+  /// This is the ONLY way to obtain an EpochPin.
+  EpochPin pin();
 
   // ---- Writer side ------------------------------------------------------
 
   /// Defers `deleter(p)` until no reader pinned at or before the current
   /// epoch can still reference `p`. The caller must already have unlinked
   /// `p` from every published location.
-  void Retire(void* p, void (*deleter)(void*));
+  void Retire(void* p, void (*deleter)(void*)) SNB_EXCLUDES(retire_mu_);
 
   template <typename T>
   void Retire(T* p) {
@@ -94,18 +104,18 @@ class EpochManager {
   /// Attempts one epoch advance and frees every object whose retire epoch
   /// is two or more advances old. Cheap when nothing is reclaimable.
   /// Returns the number of objects freed.
-  size_t TryReclaim();
+  size_t TryReclaim() SNB_EXCLUDES(retire_mu_);
 
   /// Reclaims until the limbo list is empty. Spins on TryReclaim, so the
   /// caller must guarantee that no thread stays pinned indefinitely (and
-  /// must not itself hold a guard). Test/shutdown helper.
-  void DrainForTesting();
+  /// must not itself hold a pin). Test/shutdown helper.
+  void DrainForTesting() SNB_EXCLUDES(retire_mu_);
 
   uint64_t epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
   }
   /// Objects retired but not yet freed.
-  size_t pending() const;
+  size_t pending() const SNB_EXCLUDES(retire_mu_);
 
   /// Cumulative reclamation activity since construction. `pending` is the
   /// instantaneous retired-but-unfreed backlog (== retired - freed).
@@ -128,6 +138,8 @@ class EpochManager {
   bool asymmetric_pins() const { return asymmetric_pins_; }
 
  private:
+  friend class EpochPin;
+
   struct alignas(64) Slot {
     /// Epoch the owning thread is pinned at; 0 = quiescent.
     std::atomic<uint64_t> epoch{0};
@@ -141,9 +153,14 @@ class EpochManager {
     uint64_t retire_epoch;
   };
 
+  /// Reader-side slot transitions; private so that pins are the only
+  /// entry point into a critical section (EpochPin calls these).
+  void Enter();
+  void Exit();
+
   Slot* ClaimSlot();
   /// Advance + free; caller holds retire_mu_.
-  size_t ReclaimLocked();
+  size_t ReclaimLocked() SNB_REQUIRES(retire_mu_);
 
   /// One-time probe + registration for expedited membarrier.
   static bool DetectAsymmetricPins();
@@ -157,25 +174,30 @@ class EpochManager {
   const bool asymmetric_pins_ = DetectAsymmetricPins();
   Slot slots_[kMaxThreads];
 
-  mutable std::mutex retire_mu_;
+  mutable Mutex retire_mu_;
   /// FIFO: retire epochs are non-decreasing, so reclaimable entries form a
   /// prefix.
-  std::deque<Garbage> garbage_;
+  std::deque<Garbage> garbage_ SNB_GUARDED_BY(retire_mu_);
 };
 
-/// RAII epoch critical section. A disengaged guard (default-constructed or
-/// moved-from) is a no-op, which lets callers pick snapshot semantics at
-/// run time (epoch pin vs. mutex) without branching at every use.
-class EpochGuard {
+/// Capability token for an epoch critical section. Holding a live
+/// `EpochPin` proves the calling thread has its epoch slot pinned, so
+/// RCU-published pointers it loads stay valid. Move-only, and constructible
+/// ONLY via `EpochManager::pin()` — an API that demands `const EpochPin&`
+/// is therefore statically unreachable from unpinned code (the
+/// tests/negative cases prove this fails to compile).
+///
+/// A moved-from pin is disengaged (its destructor is a no-op); the moved-to
+/// pin carries the capability. Pins nest: a thread may hold several, and
+/// only the outermost Enter/Exit pair touches the epoch slot.
+class EpochPin {
  public:
-  EpochGuard() = default;
-  explicit EpochGuard(EpochManager& manager) : manager_(&manager) {
-    manager_->Enter();
-  }
-  EpochGuard(EpochGuard&& other) noexcept : manager_(other.manager_) {
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  EpochPin(EpochPin&& other) noexcept : manager_(other.manager_) {
     other.manager_ = nullptr;
   }
-  EpochGuard& operator=(EpochGuard&& other) noexcept {
+  EpochPin& operator=(EpochPin&& other) noexcept {
     if (this != &other) {
       if (manager_ != nullptr) manager_->Exit();
       manager_ = other.manager_;
@@ -183,18 +205,29 @@ class EpochGuard {
     }
     return *this;
   }
-  EpochGuard(const EpochGuard&) = delete;
-  EpochGuard& operator=(const EpochGuard&) = delete;
-  ~EpochGuard() {
+  ~EpochPin() {
     if (manager_ != nullptr) manager_->Exit();
   }
 
   bool engaged() const { return manager_ != nullptr; }
 
  private:
-  EpochManager* manager_ = nullptr;
+  friend class EpochManager;
+  explicit EpochPin(EpochManager* manager) : manager_(manager) {}
+
+  EpochManager* manager_;
 };
 
+inline EpochPin EpochManager::pin() {
+  Enter();
+  return EpochPin(this);
+}
+
 }  // namespace snb::util
+
+// The token is spelled `snb::EpochPin` at store API boundaries.
+namespace snb {
+using util::EpochPin;
+}  // namespace snb
 
 #endif  // SNB_UTIL_EPOCH_H_

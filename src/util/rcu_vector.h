@@ -18,7 +18,7 @@
 // size with a different buffer — the snapshot is per-object atomic. The
 // writer must be externally serialized (the store's writer mutex).
 //
-// Readers must hold an EpochGuard for as long as they dereference a View;
+// Readers must hold an EpochPin for as long as they dereference a View;
 // the guard is what keeps retired buffers alive.
 #ifndef SNB_UTIL_RCU_VECTOR_H_
 #define SNB_UTIL_RCU_VECTOR_H_
@@ -43,7 +43,7 @@ class RcuVector {
 
  public:
   /// An immutable (data, size) snapshot. Valid while the reader's
-  /// EpochGuard is held (or, for writers/quiescent code, indefinitely
+  /// EpochPin is held (or, for writers/quiescent code, indefinitely
   /// until the vector is mutated).
   class View {
    public:

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
   task_ready_.notify_all();
@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -31,7 +31,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
@@ -53,7 +53,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       task_ready_.wait(lock,
                        [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty()) {
@@ -65,7 +65,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -10,10 +10,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace snb::util {
 
@@ -47,12 +49,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ SNB_GUARDED_BY(mu_);
+  // condition_variable_any waits on the MutexLock itself (BasicLockable),
+  // keeping the capability analysable across waits.
+  std::condition_variable_any task_ready_;
+  std::condition_variable_any all_done_;
+  size_t in_flight_ SNB_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ SNB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace snb::util

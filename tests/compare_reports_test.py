@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Tests for scripts/compare_reports.py (the perf-regression gate).
+
+Each case materialises baseline/candidate report JSON into a temp dir and
+runs the script as a subprocess, asserting on its exit code — the contract
+check.sh and CI actually consume (0 = ok, 1 = regression, 2 = bad input).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "scripts", "compare_reports.py")
+
+
+def make_report(schema="snb-report-v2", ops_per_second=1000.0, ops=None,
+                on_time_fraction=0.99):
+    doc = {
+        "schema": schema,
+        "driver": {"ops_per_second": ops_per_second},
+        "ops": ops if ops is not None else [
+            {"op": "complex_2", "count": 100,
+             "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 4.0},
+            {"op": "short_1", "count": 200,
+             "p50_ms": 0.1, "p95_ms": 0.2, "p99_ms": 0.4},
+        ],
+    }
+    if schema == "snb-report-v2":
+        doc["compliance"] = {"on_time_fraction": on_time_fraction}
+    return doc
+
+
+class CompareReportsTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, base, cand, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, base, cand, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_reports_pass(self):
+        base = self.write("base.json", make_report())
+        cand = self.write("cand.json", make_report())
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK: within thresholds", result.stdout)
+
+    def test_throughput_drop_fails(self):
+        base = self.write("base.json", make_report(ops_per_second=1000.0))
+        cand = self.write("cand.json", make_report(ops_per_second=500.0))
+        result = self.run_compare(base, cand)  # Default max drop: 30%.
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION: throughput", result.stdout)
+
+    def test_latency_slack_absorbs_small_absolute_growth(self):
+        # short_1 p99 triples (far past the 50% relative ceiling) but grows
+        # only 0.8 ms absolute — under the 1.0 ms slack, so it must pass.
+        base = self.write("base.json", make_report())
+        fast_ops = [
+            {"op": "short_1", "count": 200,
+             "p50_ms": 0.1, "p95_ms": 0.2, "p99_ms": 1.2},
+        ]
+        cand = self.write("cand.json", make_report(ops=fast_ops))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_latency_inflation_past_slack_fails(self):
+        slow_ops = [
+            {"op": "complex_2", "count": 100,
+             "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 9.0},
+        ]
+        base = self.write("base.json", make_report())
+        cand = self.write("cand.json", make_report(ops=slow_ops))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("complex_2 p99_ms", result.stdout)
+
+    def test_v1_baseline_skips_compliance(self):
+        # v1 has no compliance section; a terrible candidate fraction must
+        # not be compared against it.
+        base = self.write("base.json", make_report(schema="snb-report-v1"))
+        cand = self.write("cand.json", make_report(on_time_fraction=0.10))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_compliance_drop_fails_on_v2_pair(self):
+        base = self.write("base.json", make_report(on_time_fraction=0.99))
+        cand = self.write("cand.json", make_report(on_time_fraction=0.80))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION: compliance", result.stdout)
+
+    def test_unknown_schema_is_bad_input(self):
+        base = self.write("base.json", make_report(schema="not-a-report"))
+        cand = self.write("cand.json", make_report())
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

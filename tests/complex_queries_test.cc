@@ -613,8 +613,8 @@ TEST_F(ComplexQueriesTest, Q14AllShortestPathsValidAndSorted) {
     EXPECT_EQ(r.path.back(), target);
     // Each hop must be a real edge.
     for (size_t i = 0; i + 1 < r.path.size(); ++i) {
-      auto lock = world().store.ReadLock();
-      EXPECT_TRUE(world().store.AreFriends(r.path[i], r.path[i + 1]));
+      auto pin = world().store.ReadLock();
+      EXPECT_TRUE(world().store.AreFriends(pin, r.path[i], r.path[i + 1]));
     }
     EXPECT_TRUE(unique_paths.insert(r.path).second) << "duplicate path";
   }

@@ -34,7 +34,7 @@ struct ReaderStats {
 // Runs under its own ReadLock so record lookups are snapshot-safe.
 std::string CheckQ2(const GraphStore& store, schema::PersonId start,
                     const std::vector<queries::Q2Result>& results) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   for (size_t i = 0; i < results.size(); ++i) {
     const queries::Q2Result& r = results[i];
     if (i > 0) {
@@ -44,13 +44,13 @@ std::string CheckQ2(const GraphStore& store, schema::PersonId start,
                       prev.message_id < r.message_id);
       if (!ordered) return "Q2 results not (date desc, id asc) ordered";
     }
-    const MessageRecord* m = store.FindMessage(r.message_id);
+    const MessageRecord* m = store.FindMessage(pin, r.message_id);
     if (m == nullptr) return "Q2 returned an unresolvable message id";
     if (m->data.creator_id != r.creator_id) return "Q2 creator mismatch";
     if (m->data.creation_date != r.creation_date) return "Q2 date mismatch";
     // Friendships are insert-only, so a creator that was a friend inside
     // the query's snapshot is still a friend now.
-    if (!store.AreFriends(start, r.creator_id)) {
+    if (!store.AreFriends(pin, start, r.creator_id)) {
       return "Q2 creator is not a friend of the start person";
     }
   }
@@ -59,7 +59,7 @@ std::string CheckQ2(const GraphStore& store, schema::PersonId start,
 
 std::string CheckQ9(const GraphStore& store,
                     const std::vector<queries::Q9Result>& results) {
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   for (size_t i = 0; i < results.size(); ++i) {
     const queries::Q9Result& r = results[i];
     if (i > 0) {
@@ -69,7 +69,7 @@ std::string CheckQ9(const GraphStore& store,
                       prev.message_id < r.message_id);
       if (!ordered) return "Q9 results not (date desc, id asc) ordered";
     }
-    const MessageRecord* m = store.FindMessage(r.message_id);
+    const MessageRecord* m = store.FindMessage(pin, r.message_id);
     if (m == nullptr) return "Q9 returned an unresolvable message id";
     if (m->data.creator_id != r.creator_id) return "Q9 creator mismatch";
     if (m->data.creation_date != r.creation_date) return "Q9 date mismatch";
@@ -86,7 +86,11 @@ TEST(ConcurrencyStressTest, ReadersRaceUpdateReplay) {
   ASSERT_EQ(store.read_concurrency(), ReadConcurrency::kEpoch);
   ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
 
-  std::vector<schema::PersonId> persons = store.PersonIds();
+  std::vector<schema::PersonId> persons;
+  {
+    auto pin = store.ReadLock();
+    persons = store.PersonIds(pin);
+  }
   ASSERT_FALSE(persons.empty());
 
   constexpr int kReaders = 4;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -44,7 +45,7 @@ TEST(EpochManagerTest, PinnedReaderBlocksReclamation) {
   std::atomic<bool> pinned{false};
   std::atomic<bool> release{false};
   std::thread reader([&] {
-    EpochGuard guard(*mgr);
+    EpochPin pin = mgr->pin();
     pinned.store(true, std::memory_order_release);
     while (!release.load(std::memory_order_acquire)) {
       std::this_thread::yield();
@@ -64,16 +65,21 @@ TEST(EpochManagerTest, PinnedReaderBlocksReclamation) {
   EXPECT_EQ(mgr->pending(), 0u);
 }
 
-TEST(EpochManagerTest, NestedGuardsKeepOuterPin) {
+TEST(EpochManagerTest, NestedPinsKeepOuterPin) {
   EpochManager* mgr = NewLeakedManager();
-  mgr->Enter();
-  mgr->Enter();
-  mgr->Exit();
-  // Still pinned by the outer Enter: garbage must survive.
+  EpochPin outer = mgr->pin();
+  {
+    EpochPin inner = mgr->pin();  // Nested: only a TLS counter bump.
+  }
+  // Still pinned by the outer pin: garbage must survive.
   mgr->Retire(new int(7));
   for (int i = 0; i < 10; ++i) mgr->TryReclaim();
   EXPECT_EQ(mgr->pending(), 1u);
-  mgr->Exit();
+  {
+    EpochPin released = std::move(outer);  // Capability moves with the pin.
+    EXPECT_FALSE(outer.engaged());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(released.engaged());
+  }
   mgr->DrainForTesting();
   EXPECT_EQ(mgr->pending(), 0u);
 }
@@ -111,7 +117,7 @@ TEST(RcuVectorTest, ViewsStayConsistentUnderConcurrentAppend) {
   std::vector<std::thread> readers;
   for (int t = 0; t < 3; ++t) {
     readers.emplace_back([&] {
-      EpochGuard guard(epoch);
+      EpochPin pin = epoch.pin();
       size_t last_size = 0;
       while (!done.load(std::memory_order_acquire)) {
         auto view = v.view();

@@ -54,11 +54,11 @@ Message MakePost(schema::MessageId id, schema::PersonId creator,
 TEST(GraphStoreTest, AddAndFindPerson) {
   GraphStore store;
   ASSERT_TRUE(store.AddPerson(MakePerson(1)).ok());
-  auto lock = store.ReadLock();
-  const PersonRecord* p = store.FindPerson(1);
+  auto pin = store.ReadLock();
+  const PersonRecord* p = store.FindPerson(pin, 1);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->data.first_name, "First1");
-  EXPECT_EQ(store.FindPerson(2), nullptr);
+  EXPECT_EQ(store.FindPerson(pin, 2), nullptr);
 }
 
 TEST(GraphStoreTest, DuplicatePersonRejected) {
@@ -75,10 +75,10 @@ TEST(GraphStoreTest, FriendshipRequiresBothEndpoints) {
   EXPECT_EQ(store.AddFriendship(k).code(), StatusCode::kNotFound);
   ASSERT_TRUE(store.AddPerson(MakePerson(2)).ok());
   EXPECT_TRUE(store.AddFriendship(k).ok());
-  auto lock = store.ReadLock();
-  EXPECT_TRUE(store.AreFriends(1, 2));
-  EXPECT_TRUE(store.AreFriends(2, 1));
-  EXPECT_FALSE(store.AreFriends(1, 3));
+  auto pin = store.ReadLock();
+  EXPECT_TRUE(store.AreFriends(pin, 1, 2));
+  EXPECT_TRUE(store.AreFriends(pin, 2, 1));
+  EXPECT_FALSE(store.AreFriends(pin, 1, 3));
   EXPECT_EQ(store.NumKnowsEdges(), 1u);
 }
 
@@ -91,8 +91,8 @@ TEST(GraphStoreTest, FriendListsStaySorted) {
   for (schema::PersonId other : {7, 2, 9, 1, 4}) {
     ASSERT_TRUE(store.AddFriendship({0, other, 100}).ok());
   }
-  auto lock = store.ReadLock();
-  const PersonRecord* p = store.FindPerson(0);
+  auto pin = store.ReadLock();
+  const PersonRecord* p = store.FindPerson(pin, 0);
   ASSERT_NE(p, nullptr);
   for (size_t i = 1; i < p->friends.size(); ++i) {
     EXPECT_LT(p->friends[i - 1].other, p->friends[i].other);
@@ -115,10 +115,10 @@ TEST(GraphStoreTest, MembershipLinksBothSides) {
   EXPECT_EQ(store.AddForumMembership({11, 1, 2500}).code(),
             StatusCode::kNotFound);
   ASSERT_TRUE(store.AddForumMembership({10, 1, 2500}).ok());
-  auto lock = store.ReadLock();
-  EXPECT_EQ(store.FindPerson(1)->forums.size(), 1u);
-  EXPECT_EQ(store.FindForum(10)->members.size(), 1u);
-  EXPECT_EQ(store.FindForum(10)->members[0].date, 2500);
+  auto pin = store.ReadLock();
+  EXPECT_EQ(store.FindPerson(pin, 1)->forums.size(), 1u);
+  EXPECT_EQ(store.FindForum(pin, 10)->members.size(), 1u);
+  EXPECT_EQ(store.FindForum(pin, 10)->members[0].date, 2500);
 }
 
 TEST(GraphStoreTest, PostRequiresForumCommentRequiresParent) {
@@ -141,13 +141,13 @@ TEST(GraphStoreTest, PostRequiresForumCommentRequiresParent) {
   comment.reply_to_id = 0;
   EXPECT_TRUE(store.AddMessage(comment).ok());
 
-  auto lock = store.ReadLock();
-  const MessageRecord* post = store.FindMessage(0);
+  auto pin = store.ReadLock();
+  const MessageRecord* post = store.FindMessage(pin, 0);
   ASSERT_NE(post, nullptr);
   ASSERT_EQ(post->replies.size(), 1u);
   EXPECT_EQ(post->replies[0], 1u);
-  EXPECT_EQ(store.FindForum(10)->posts.size(), 1u);
-  EXPECT_EQ(store.FindPerson(1)->messages.size(), 2u);
+  EXPECT_EQ(store.FindForum(pin, 10)->posts.size(), 1u);
+  EXPECT_EQ(store.FindPerson(pin, 1)->messages.size(), 2u);
 }
 
 TEST(GraphStoreTest, LikeRequiresPersonAndMessage) {
@@ -158,9 +158,9 @@ TEST(GraphStoreTest, LikeRequiresPersonAndMessage) {
   EXPECT_EQ(store.AddLike({2, 0, 3200}).code(), StatusCode::kNotFound);
   EXPECT_EQ(store.AddLike({1, 5, 3200}).code(), StatusCode::kNotFound);
   ASSERT_TRUE(store.AddLike({1, 0, 3200}).ok());
-  auto lock = store.ReadLock();
-  EXPECT_EQ(store.FindMessage(0)->likes.size(), 1u);
-  EXPECT_EQ(store.FindPerson(1)->likes.size(), 1u);
+  auto pin = store.ReadLock();
+  EXPECT_EQ(store.FindMessage(pin, 0)->likes.size(), 1u);
+  EXPECT_EQ(store.FindPerson(pin, 1)->likes.size(), 1u);
   EXPECT_EQ(store.NumLikes(), 1u);
 }
 
@@ -210,10 +210,10 @@ TEST(GraphStoreTest, MessageIdsAreDateOrdered) {
   datagen::Dataset ds = datagen::Generate(config);
   GraphStore store;
   ASSERT_TRUE(store.BulkLoad(ds.bulk).ok());
-  auto lock = store.ReadLock();
+  auto pin = store.ReadLock();
   util::TimestampMs last = 0;
   for (schema::MessageId id = 0; id < store.MessageIdBound(); ++id) {
-    const MessageRecord* m = store.FindMessage(id);
+    const MessageRecord* m = store.FindMessage(pin, id);
     if (m == nullptr) continue;
     EXPECT_GE(m->data.creation_date, last);
     last = m->data.creation_date;
@@ -255,11 +255,11 @@ TEST(GraphStoreTest, ConcurrentReadersDuringWritesGlobalLock) {
   std::atomic<uint64_t> read_errors{0};
   std::thread reader([&] {
     while (!stop.load()) {
-      auto lock = store.ReadLock();
+      auto pin = store.ReadLock();
       // Under the shared lock, edge counters and adjacency must agree.
       uint64_t sum = 0;
       for (schema::PersonId id = 0; id < 50; ++id) {
-        const PersonRecord* p = store.FindPerson(id);
+        const PersonRecord* p = store.FindPerson(pin, id);
         if (p != nullptr) sum += p->friends.size();
       }
       if (sum != 2 * store.NumKnowsEdges()) read_errors.fetch_add(1);
@@ -291,21 +291,21 @@ TEST(GraphStoreTest, ConcurrentReadersDuringWritesEpoch) {
   std::atomic<uint64_t> read_errors{0};
   std::thread reader([&] {
     while (!stop.load()) {
-      auto lock = store.ReadLock();
+      auto pin = store.ReadLock();
       for (schema::PersonId id = 0; id < 50; ++id) {
-        const PersonRecord* p = store.FindPerson(id);
+        const PersonRecord* p = store.FindPerson(pin, id);
         if (p == nullptr) continue;
         auto friends = p->friends.view();
         for (size_t i = 0; i < friends.size(); ++i) {
           if (i > 0 && friends[i - 1].other >= friends[i].other) {
             read_errors.fetch_add(1);
           }
-          if (store.FindPerson(friends[i].other) == nullptr) {
+          if (store.FindPerson(pin, friends[i].other) == nullptr) {
             read_errors.fetch_add(1);
           }
         }
         for (const DatedEdge& e : p->messages.view()) {
-          const MessageRecord* m = store.FindMessage(e.id);
+          const MessageRecord* m = store.FindMessage(pin, e.id);
           if (m == nullptr || m->data.creation_date != e.date) {
             read_errors.fetch_add(1);
           }

@@ -1,0 +1,23 @@
+// Positive control for the Clang thread-safety case: the same guarded
+// field written under a MutexLock must compile warning-free with
+// -Wthread-safety -Werror=thread-safety.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Safe() {
+    snb::util::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  snb::util::Mutex mu_;
+  int value_ SNB_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Safe();
+  return 0;
+}

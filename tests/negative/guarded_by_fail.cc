@@ -1,0 +1,21 @@
+// Negative-compilation case (ctest WILL_FAIL, Clang only): writing a
+// SNB_GUARDED_BY field without holding its mutex must fail under
+// -Wthread-safety -Werror=thread-safety. Registered only for Clang
+// builds — GCC compiles the annotations away.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Unsafe() { ++value_; }  // error: writing value_ requires mu_
+
+ private:
+  snb::util::Mutex mu_;
+  int value_ SNB_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Unsafe();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Negative-compilation case (ctest WILL_FAIL): EpochPin is move-only.
+// Copying would let two owners race the single Exit() the pin represents,
+// so the copy constructor is deleted.
+#include "util/epoch.h"
+
+snb::util::EpochPin Duplicate(const snb::util::EpochPin& pin) {
+  snb::util::EpochPin copy = pin;  // error: copy constructor is deleted
+  return copy;
+}

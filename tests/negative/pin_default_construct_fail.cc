@@ -1,0 +1,9 @@
+// Negative-compilation case (ctest WILL_FAIL): an EpochPin cannot be
+// conjured — the only way to obtain one is EpochManager::pin(), which
+// actually enters the epoch. Default construction must not compile.
+#include "util/epoch.h"
+
+snb::util::EpochPin Forge() {
+  snb::util::EpochPin pin;  // error: no default constructor
+  return pin;
+}

@@ -1,0 +1,9 @@
+// Negative-compilation case (ctest WILL_FAIL): a snapshot read without an
+// EpochPin must not compile. FindPerson's only overload takes the pin as
+// its first parameter — there is no unpinned entry point to regress to.
+#include "store/graph_store.h"
+
+const snb::store::PersonRecord* Lookup(const snb::store::GraphStore& store,
+                                       snb::schema::PersonId id) {
+  return store.FindPerson(id);  // error: no matching member function
+}

@@ -621,7 +621,12 @@ TEST(Q9ProfileTest, ProfileConsistentWithPlanStats) {
   queries::Q9OperatorProfile hash_profile;
   queries::Q9PlanStats stats_sum{};
   int executions = 0;
-  for (schema::PersonId p : store.PersonIds()) {
+  std::vector<schema::PersonId> person_ids;
+  {
+    auto pin = store.ReadLock();
+    person_ids = store.PersonIds(pin);
+  }
+  for (schema::PersonId p : person_ids) {
     if (p % 23 != 0) continue;
     queries::Q9PlanStats s{};
     std::vector<queries::Q9Result> with_profile = queries::Query9WithPlan(

@@ -162,9 +162,9 @@ TEST_F(ShortQueriesTest, S7RepliesWithFriendFlag) {
       ShortQuery7MessageReplies(world().store, parent->id);
   EXPECT_EQ(static_cast<int>(results.size()), reply_counts[best]);
   for (const S7Result& r : results) {
-    auto lock = world().store.ReadLock();
+    auto pin = world().store.ReadLock();
     EXPECT_EQ(r.replier_knows_author,
-              world().store.AreFriends(parent->creator_id, r.replier_id));
+              world().store.AreFriends(pin, parent->creator_id, r.replier_id));
   }
   for (size_t i = 1; i < results.size(); ++i) {
     EXPECT_GE(results[i - 1].creation_date, results[i].creation_date);

@@ -51,17 +51,17 @@ class StoreInvariantsTest : public ::testing::TestWithParam<Param> {
 };
 
 TEST_P(StoreInvariantsTest, FriendListsSortedAndSymmetric) {
-  auto lock = store().ReadLock();
+  auto pin = store().ReadLock();
   uint64_t directed_edges = 0;
-  for (schema::PersonId id : store().PersonIds()) {
-    const PersonRecord* p = store().FindPerson(id);
+  for (schema::PersonId id : store().PersonIds(pin)) {
+    const PersonRecord* p = store().FindPerson(pin, id);
     ASSERT_NE(p, nullptr);
     auto friends = p->friends.view();
     for (size_t i = 1; i < friends.size(); ++i) {
       EXPECT_LT(friends[i - 1].other, friends[i].other);
     }
     for (const FriendEdge& e : friends) {
-      EXPECT_TRUE(store().AreFriends(e.other, id))
+      EXPECT_TRUE(store().AreFriends(pin, e.other, id))
           << id << " <-> " << e.other;
       ++directed_edges;
     }
@@ -70,13 +70,13 @@ TEST_P(StoreInvariantsTest, FriendListsSortedAndSymmetric) {
 }
 
 TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
-  auto lock = store().ReadLock();
+  auto pin = store().ReadLock();
   uint64_t replies_seen = 0;
   for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
-    const MessageRecord* m = store().FindMessage(id);
+    const MessageRecord* m = store().FindMessage(pin, id);
     if (m == nullptr) continue;
     if (m->data.kind == schema::MessageKind::kComment) {
-      const MessageRecord* parent = store().FindMessage(m->data.reply_to_id);
+      const MessageRecord* parent = store().FindMessage(pin, m->data.reply_to_id);
       ASSERT_NE(parent, nullptr);
       // Child is registered in the parent's reply list.
       bool found = false;
@@ -85,7 +85,7 @@ TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
       }
       EXPECT_TRUE(found);
       // Root chains to a post/photo in the same forum.
-      const MessageRecord* root = store().FindMessage(m->data.root_post_id);
+      const MessageRecord* root = store().FindMessage(pin, m->data.root_post_id);
       ASSERT_NE(root, nullptr);
       EXPECT_NE(root->data.kind, schema::MessageKind::kComment);
       EXPECT_EQ(root->data.forum_id, m->data.forum_id);
@@ -97,7 +97,7 @@ TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
   // Every comment appears in exactly one reply list.
   uint64_t comments = 0;
   for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
-    const MessageRecord* m = store().FindMessage(id);
+    const MessageRecord* m = store().FindMessage(pin, id);
     if (m != nullptr && m->data.kind == schema::MessageKind::kComment) {
       ++comments;
     }
@@ -106,27 +106,27 @@ TEST_P(StoreInvariantsTest, ReplyTreeIsConsistent) {
 }
 
 TEST_P(StoreInvariantsTest, ForumPostsMatchMessages) {
-  auto lock = store().ReadLock();
+  auto pin = store().ReadLock();
   uint64_t posts_in_forums = 0;
-  for (schema::ForumId fid : store().ForumIds()) {
-    const ForumRecord* f = store().FindForum(fid);
+  for (schema::ForumId fid : store().ForumIds(pin)) {
+    const ForumRecord* f = store().FindForum(pin, fid);
     ASSERT_NE(f, nullptr);
     for (schema::MessageId mid : f->posts.view()) {
-      const MessageRecord* m = store().FindMessage(mid);
+      const MessageRecord* m = store().FindMessage(pin, mid);
       ASSERT_NE(m, nullptr);
       EXPECT_NE(m->data.kind, schema::MessageKind::kComment);
       EXPECT_EQ(m->data.forum_id, fid);
       ++posts_in_forums;
     }
     // Moderator exists and membership dates follow forum creation.
-    EXPECT_NE(store().FindPerson(f->data.moderator_id), nullptr);
+    EXPECT_NE(store().FindPerson(pin, f->data.moderator_id), nullptr);
     for (const DatedEdge& member : f->members.view()) {
       EXPECT_GE(member.date, f->data.creation_date);
     }
   }
   uint64_t root_messages = 0;
   for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
-    const MessageRecord* m = store().FindMessage(id);
+    const MessageRecord* m = store().FindMessage(pin, id);
     if (m != nullptr && m->data.kind != schema::MessageKind::kComment) {
       ++root_messages;
     }
@@ -135,27 +135,27 @@ TEST_P(StoreInvariantsTest, ForumPostsMatchMessages) {
 }
 
 TEST_P(StoreInvariantsTest, LikesAreBidirectional) {
-  auto lock = store().ReadLock();
+  auto pin = store().ReadLock();
   uint64_t from_messages = 0, from_persons = 0;
   for (schema::MessageId id = 0; id < store().MessageIdBound(); ++id) {
-    const MessageRecord* m = store().FindMessage(id);
+    const MessageRecord* m = store().FindMessage(pin, id);
     if (m != nullptr) from_messages += m->likes.size();
   }
-  for (schema::PersonId id : store().PersonIds()) {
-    from_persons += store().FindPerson(id)->likes.size();
+  for (schema::PersonId id : store().PersonIds(pin)) {
+    from_persons += store().FindPerson(pin, id)->likes.size();
   }
   EXPECT_EQ(from_messages, store().NumLikes());
   EXPECT_EQ(from_persons, store().NumLikes());
 }
 
 TEST_P(StoreInvariantsTest, CreatorListsCoverAllMessages) {
-  auto lock = store().ReadLock();
+  auto pin = store().ReadLock();
   uint64_t via_creators = 0;
-  for (schema::PersonId id : store().PersonIds()) {
-    const PersonRecord* p = store().FindPerson(id);
+  for (schema::PersonId id : store().PersonIds(pin)) {
+    const PersonRecord* p = store().FindPerson(pin, id);
     util::TimestampMs last = 0;
     for (const DatedEdge& e : p->messages.view()) {
-      const MessageRecord* m = store().FindMessage(e.id);
+      const MessageRecord* m = store().FindMessage(pin, e.id);
       ASSERT_NE(m, nullptr);
       EXPECT_EQ(m->data.creator_id, id);
       EXPECT_EQ(m->data.creation_date, e.date);  // Inline date matches.
