@@ -11,7 +11,7 @@
 //      compliance audit passed (>= 95% of operations started within the
 //      lateness window); report the acceleration factor and per-query
 //      latencies (p50/p95/p99), and write the machine-readable artifacts:
-//      report.json (schema snb-report-v2, incl. the compliance audit and a
+//      report.json (schema snb-report-v3, incl. the compliance audit and a
 //      Q9 per-operator profile) and report.prom (Prometheus text
 //      exposition).
 //

@@ -25,10 +25,11 @@ echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 # here we only re-check that the artifact landed non-empty.
 smoke_report="$(mktemp -t snb-smoke-report.XXXXXX.json)"
 smoke_trace="$(mktemp -t snb-smoke-trace.XXXXXX.json)"
+smoke_golden="$(mktemp -t snb-smoke-golden.XXXXXX.json)"
 bench_today="BENCH_$(date +%F).json"
 cleanup() {
   local status=$?
-  rm -f "${smoke_report}" "${smoke_trace}"
+  rm -f "${smoke_report}" "${smoke_trace}" "${smoke_golden}"
   # A failed run must not leave a half-written bench artifact behind: the
   # next invocation would seed BENCH_baseline.json from it.
   if [[ ${status} -ne 0 ]]; then
@@ -45,7 +46,7 @@ test -s "${smoke_report}" || {
 echo "== driver smoke: throttled run with trace export + compliance audit =="
 # Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
 # was sustained AND the compliance audit passed; self-validates report.json
-# (schema snb-report-v2 incl. the compliance section) before writing it.
+# (schema snb-report-v3 incl. the compliance section) before writing it.
 ./build/examples/benchmark_run 0.05 0 "${bench_today}" \
   --trace-out "${smoke_trace}"
 # The trace must be valid JSON with per-thread lanes (Chrome-trace format);
@@ -58,6 +59,17 @@ lanes = {e["tid"] for e in events if e.get("ph") in ("B", "E")}
 assert events and lanes, "trace has no spans"
 print(f"trace OK: {len(events)} events across {len(lanes)} lanes")
 EOF
+
+echo "== validation smoke: golden emit + replay (serial and threaded) =="
+# Time-boxed profile: a small golden set (~1 s to emit, <1 s per replay)
+# rather than the CI-sized one — the full 1x8-thread x 2-mode matrix runs
+# in the ci.yml validate job. validate_run exits 2 on any row diff.
+./build/tools/validate_run --emit --out "${smoke_golden}" \
+  --persons 120 --segments 2
+./build/tools/validate_run --replay "${smoke_golden}" \
+  --threads 1 --mode sequential
+./build/tools/validate_run --replay "${smoke_golden}" \
+  --threads 8 --mode windowed
 
 echo "== perf-regression gate: compare against committed baseline =="
 # Thresholds are deliberately generous: the gate exists to catch order-of-

@@ -14,8 +14,9 @@ candidate regressed past the configured thresholds:
     --max-compliance-drop (absolute).
 
 Only op types present in BOTH reports are compared, so baselines survive
-query-mix additions. Accepts schema snb-report-v1 and v2 (v1 simply has
-no compliance section to compare).
+query-mix additions. Accepts schema snb-report-v1, v2 and v3 (v1 simply
+has no compliance section to compare; the v3 validation section is not
+a performance artifact and is ignored here).
 
 Usage:
   scripts/compare_reports.py baseline.json candidate.json [thresholds...]
@@ -28,7 +29,7 @@ import json
 import sys
 
 PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
-ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2")
+ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2", "snb-report-v3")
 
 
 def load_report(path):

@@ -280,7 +280,7 @@ std::string ToJson(const RunReport& report) {
   out.reserve(16 * 1024);
   out += "{";
   AppendKey(&out, "schema");
-  out += "\"snb-report-v2\",";
+  out += "\"snb-report-v3\",";
   AppendKey(&out, "title");
   AppendEscaped(&out, report.title);
   out += ",";
@@ -471,6 +471,40 @@ std::string ToJson(const RunReport& report) {
     out += "]}";
   }
 
+  if (report.has_validation) {
+    const ValidationSection& v = report.validation;
+    out += ",";
+    AppendKey(&out, "validation");
+    out += "{";
+    AppendKey(&out, "passed");
+    out += v.passed ? "true" : "false";
+    out += ",";
+    AppendKey(&out, "golden_path");
+    AppendEscaped(&out, v.golden_path);
+    out += ",";
+    AppendKey(&out, "threads");
+    AppendU64(&out, v.threads);
+    out += ",";
+    AppendKey(&out, "mode");
+    AppendEscaped(&out, v.mode);
+    out += ",";
+    AppendKey(&out, "segments_compared");
+    AppendU64(&out, v.segments_compared);
+    out += ",";
+    AppendKey(&out, "ops_compared");
+    AppendU64(&out, v.ops_compared);
+    out += ",";
+    AppendKey(&out, "rows_compared");
+    AppendU64(&out, v.rows_compared);
+    out += ",";
+    AppendKey(&out, "diffs");
+    AppendU64(&out, v.diffs);
+    out += ",";
+    AppendKey(&out, "first_divergence");
+    AppendEscaped(&out, v.first_divergence);
+    out += "}";
+  }
+
   out += "}";
   return out;
 }
@@ -581,10 +615,12 @@ util::Status ValidateReportJson(const std::string& json) {
     return util::Status::InvalidArgument("report root is not an object");
   }
   const JsonValue* schema = root.Find("schema");
-  // v2 is a superset of v1; archived v1 reports must keep validating.
+  // Each version is a superset of its predecessors; archived v1/v2
+  // reports must keep validating.
   if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
       (schema->string != "snb-report-v1" &&
-       schema->string != "snb-report-v2")) {
+       schema->string != "snb-report-v2" &&
+       schema->string != "snb-report-v3")) {
     return util::Status::InvalidArgument("missing/unknown schema tag");
   }
   const JsonValue* ops = root.Find("ops");
@@ -667,6 +703,24 @@ util::Status ValidateReportJson(const std::string& json) {
         return util::Status::InvalidArgument(
             "q9_profile operator entry lacks time/invocations");
       }
+    }
+  }
+  const JsonValue* validation = root.Find("validation");
+  if (validation != nullptr) {
+    const JsonValue* passed = validation->Find("passed");
+    if (passed == nullptr || passed->kind != JsonValue::Kind::kBool) {
+      return util::Status::InvalidArgument(
+          "validation section lacks a boolean \"passed\"");
+    }
+    double diffs = NumberOr(*validation, "diffs", -1.0);
+    double rows = NumberOr(*validation, "rows_compared", -1.0);
+    if (diffs < 0.0 || rows < 0.0) {
+      return util::Status::InvalidArgument(
+          "validation section lacks diffs/rows_compared");
+    }
+    if (passed->boolean && diffs != 0.0) {
+      return util::Status::InvalidArgument(
+          "validation section passed with non-zero diffs");
     }
   }
   return util::Status::Ok();

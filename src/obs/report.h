@@ -10,16 +10,18 @@
 // lateness histogram and per-op worst offenders) and a Q9 per-operator
 // profile (the Figure 4 choke point).
 //
-// The JSON schema ("snb-report-v2") is stable and self-validating:
+// The JSON schema ("snb-report-v3") is stable and self-validating:
 // ValidateReportJson re-parses an emitted document and checks structural
 // invariants (non-empty op table, monotone percentiles, compliance
 // consistency), which is what the bench smoke mode in scripts/check.sh
-// runs. v2 is a strict superset of v1 — every v1 field keeps its name and
-// shape, v2 only adds the optional "compliance" section — and the
-// validator still accepts v1 documents, so pre-existing readers and
-// archived baselines keep working. A deliberately small JSON parser is
-// exposed for tests and validation; it handles exactly what the writer
-// emits (objects, arrays, strings, finite numbers, bools, null).
+// runs. Each version is a strict superset of its predecessor — every
+// field keeps its name and shape; v2 added the optional "compliance"
+// section and v3 adds the optional "validation" section (golden-replay
+// outcome, see src/validate/golden.h) — and the validator still accepts
+// v1 and v2 documents, so pre-existing readers and archived baselines
+// keep working. A deliberately small JSON parser is exposed for tests and
+// validation; it handles exactly what the writer emits (objects, arrays,
+// strings, finite numbers, bools, null).
 #ifndef SNB_OBS_REPORT_H_
 #define SNB_OBS_REPORT_H_
 
@@ -111,6 +113,22 @@ struct Q9ProfileSection {
   std::vector<OperatorEntry> operators;
 };
 
+/// Outcome of a golden-set replay (tools/validate_run). Mirrors
+/// snb::validate::ReplayOutcome — obs cannot depend on the validate layer,
+/// so the tool converts. New in schema v3.
+struct ValidationSection {
+  bool passed = false;
+  std::string golden_path;
+  uint64_t threads = 0;
+  std::string mode;  // driver::ExecutionModeName rendering.
+  uint64_t segments_compared = 0;
+  uint64_t ops_compared = 0;
+  uint64_t rows_compared = 0;
+  uint64_t diffs = 0;
+  /// Human-readable first divergence; empty when the replay passed.
+  std::string first_divergence;
+};
+
 struct RunReport {
   std::string title;
   MetricsSnapshot metrics;
@@ -120,9 +138,11 @@ struct RunReport {
   ComplianceSection compliance;
   bool has_q9_profile = false;
   Q9ProfileSection q9_profile;
+  bool has_validation = false;
+  ValidationSection validation;
 };
 
-/// Serializes the report as schema "snb-report-v2". Op types with zero
+/// Serializes the report as schema "snb-report-v3". Op types with zero
 /// samples are omitted from the "ops" table.
 std::string ToJson(const RunReport& report);
 
@@ -135,11 +155,12 @@ std::string EscapePromLabelValue(const std::string& value);
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Structural validation of an emitted report.json: parses, checks the
-/// schema tag (v1 or v2), a non-empty "ops" array, per-op monotone
+/// schema tag (v1, v2 or v3), a non-empty "ops" array, per-op monotone
 /// percentiles (p50 <= p90 <= p95 <= p99 <= max), and — when present —
 /// compliance-section consistency (fraction in [0,1], on-time count not
-/// exceeding scheduled count). Used by tests and the check.sh smoke
-/// modes.
+/// exceeding scheduled count) and validation-section consistency (a
+/// passing replay must report zero diffs). Used by tests and the check.sh
+/// smoke modes.
 util::Status ValidateReportJson(const std::string& json);
 
 /// Writes `content` to `path` atomically enough for a report artifact

@@ -1,29 +1,58 @@
 #include "queries/update_queries.h"
 
+#include <string>
+#include <variant>
+
 namespace snb::queries {
 
 using datagen::UpdateKind;
 using datagen::UpdateOperation;
 
 util::Status ApplyUpdate(store::GraphStore& store, const UpdateOperation& op) {
+  // std::get_if (not std::get) throughout: a corrupt update stream can
+  // carry an out-of-range kind byte or a kind/payload mismatch, and the
+  // driver must get a Status back, not a thrown bad_variant_access.
   switch (op.kind) {
     case UpdateKind::kAddPerson:
-      return store.AddPerson(std::get<schema::Person>(op.payload));
+      if (const auto* p = std::get_if<schema::Person>(&op.payload)) {
+        return store.AddPerson(*p);
+      }
+      break;
     case UpdateKind::kAddFriendship:
-      return store.AddFriendship(std::get<schema::Knows>(op.payload));
+      if (const auto* k = std::get_if<schema::Knows>(&op.payload)) {
+        return store.AddFriendship(*k);
+      }
+      break;
     case UpdateKind::kAddForum:
-      return store.AddForum(std::get<schema::Forum>(op.payload));
+      if (const auto* f = std::get_if<schema::Forum>(&op.payload)) {
+        return store.AddForum(*f);
+      }
+      break;
     case UpdateKind::kAddForumMembership:
-      return store.AddForumMembership(
-          std::get<schema::ForumMembership>(op.payload));
+      if (const auto* m = std::get_if<schema::ForumMembership>(&op.payload)) {
+        return store.AddForumMembership(*m);
+      }
+      break;
     case UpdateKind::kAddPost:
     case UpdateKind::kAddComment:
-      return store.AddMessage(std::get<schema::Message>(op.payload));
+      if (const auto* m = std::get_if<schema::Message>(&op.payload)) {
+        return store.AddMessage(*m);
+      }
+      break;
     case UpdateKind::kAddLikePost:
     case UpdateKind::kAddLikeComment:
-      return store.AddLike(std::get<schema::Like>(op.payload));
+      if (const auto* l = std::get_if<schema::Like>(&op.payload)) {
+        return store.AddLike(*l);
+      }
+      break;
+    default:
+      return util::Status::InvalidArgument(
+          "unknown update kind " +
+          std::to_string(static_cast<unsigned>(op.kind)));
   }
-  return util::Status::InvalidArgument("unknown update kind");
+  return util::Status::InvalidArgument(
+      "update kind " + std::to_string(static_cast<unsigned>(op.kind)) +
+      " does not match its payload type");
 }
 
 }  // namespace snb::queries

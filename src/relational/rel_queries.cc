@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <ctime>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 
 namespace snb::rel {
 namespace {
@@ -706,24 +708,50 @@ std::vector<queries::S7Result> ShortQuery7MessageReplies(
 util::Status ApplyUpdate(RelationalDb& db,
                          const datagen::UpdateOperation& op) {
   using datagen::UpdateKind;
+  // std::get_if (not std::get) throughout — same contract as
+  // queries::ApplyUpdate: corrupt kinds and kind/payload mismatches come
+  // back as InvalidArgument, never as a thrown bad_variant_access.
   switch (op.kind) {
     case UpdateKind::kAddPerson:
-      return db.AddPerson(std::get<schema::Person>(op.payload));
+      if (const auto* p = std::get_if<schema::Person>(&op.payload)) {
+        return db.AddPerson(*p);
+      }
+      break;
     case UpdateKind::kAddFriendship:
-      return db.AddFriendship(std::get<schema::Knows>(op.payload));
+      if (const auto* k = std::get_if<schema::Knows>(&op.payload)) {
+        return db.AddFriendship(*k);
+      }
+      break;
     case UpdateKind::kAddForum:
-      return db.AddForum(std::get<schema::Forum>(op.payload));
+      if (const auto* f = std::get_if<schema::Forum>(&op.payload)) {
+        return db.AddForum(*f);
+      }
+      break;
     case UpdateKind::kAddForumMembership:
-      return db.AddForumMembership(
-          std::get<schema::ForumMembership>(op.payload));
+      if (const auto* m = std::get_if<schema::ForumMembership>(&op.payload)) {
+        return db.AddForumMembership(*m);
+      }
+      break;
     case UpdateKind::kAddPost:
     case UpdateKind::kAddComment:
-      return db.AddMessage(std::get<schema::Message>(op.payload));
+      if (const auto* m = std::get_if<schema::Message>(&op.payload)) {
+        return db.AddMessage(*m);
+      }
+      break;
     case UpdateKind::kAddLikePost:
     case UpdateKind::kAddLikeComment:
-      return db.AddLike(std::get<schema::Like>(op.payload));
+      if (const auto* l = std::get_if<schema::Like>(&op.payload)) {
+        return db.AddLike(*l);
+      }
+      break;
+    default:
+      return util::Status::InvalidArgument(
+          "unknown update kind " +
+          std::to_string(static_cast<unsigned>(op.kind)));
   }
-  return util::Status::InvalidArgument("unknown update kind");
+  return util::Status::InvalidArgument(
+      "update kind " + std::to_string(static_cast<unsigned>(op.kind)) +
+      " does not match its payload type");
 }
 
 }  // namespace snb::rel

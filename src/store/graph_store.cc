@@ -178,7 +178,20 @@ Status GraphStore::AddMessageLocked(const Message& message) {
   }
   rec->data = message;
   rec->ready.store(1, std::memory_order_release);
-  creator->messages.push_back({message.id, message.creation_date}, *epoch_);
+  // Keep the creator's message list sorted by (date, id) regardless of
+  // application order. Q2/Q9 binary-search this list by date and S2 walks
+  // it newest-first; the windowed and parallel-GCT drivers may apply two
+  // messages of one creator out of due-time order when they fall into
+  // different forum partitions, so insertion — not arrival — establishes
+  // the invariant. Datagen streams are mostly ordered, so this is an O(1)
+  // append except for the rare cross-partition inversion.
+  creator->messages.insert_sorted(
+      {message.id, message.creation_date},
+      [](const DatedEdge& a, const DatedEdge& b) {
+        if (a.date != b.date) return a.date < b.date;
+        return a.id < b.id;
+      },
+      *epoch_);
   if (is_comment) {
     parent->replies.push_back(message.id, *epoch_);
   } else {

@@ -73,9 +73,11 @@ struct PersonRecord {
   schema::Person data;
   /// Sorted by `other` (binary-search friend test).
   util::RcuVector<FriendEdge> friends;
-  /// Messages created, ascending id == ascending creation date; the date
-  /// rides inline so date-bounded scans (Q2/Q9) never touch the message
-  /// table for candidates they discard.
+  /// Messages created, sorted by (creation date, id) — maintained by
+  /// insertion, so the order holds even when the driver applies two of a
+  /// creator's messages out of due-time order (different forum
+  /// partitions). The date rides inline so date-bounded scans (Q2/Q9)
+  /// never touch the message table for candidates they discard.
   util::RcuVector<DatedEdge> messages;
   /// Forums joined, with join dates.
   util::RcuVector<DatedEdge> forums;

@@ -1,0 +1,159 @@
+#include "validate/canonical.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace snb::validate {
+namespace {
+
+/// Joins pre-rendered fields with '|'.
+std::string Join(std::initializer_list<std::string> fields) {
+  std::string out;
+  bool first = true;
+  for (const std::string& f : fields) {
+    if (!first) out.push_back('|');
+    out += f;
+    first = false;
+  }
+  return out;
+}
+
+std::string FormatBool(bool b) { return b ? "1" : "0"; }
+
+}  // namespace
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value < 0.0 ? "-inf" : "inf";
+  char buf[64];
+  // %.17g round-trips every finite double. snprintf honours the global C
+  // locale's decimal separator, so normalize it back to '.' byte-wise.
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string out(buf, static_cast<size_t>(n < 0 ? 0 : n));
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  if (out == "-0") out = "0";
+  return out;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return std::string(buf, static_cast<size_t>(n < 0 ? 0 : n));
+}
+
+std::string FormatI64(int64_t value) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return std::string(buf, static_cast<size_t>(n < 0 ? 0 : n));
+}
+
+std::string CanonicalRow(const queries::Q1Result& r) {
+  return Join({FormatU64(r.person_id), FormatU64(r.distance), r.last_name,
+               FormatU64(r.city_id), FormatU64(r.university_id),
+               FormatU64(r.company_id)});
+}
+
+std::string CanonicalRow(const queries::Q2Result& r) {
+  return Join({FormatU64(r.message_id), FormatU64(r.creator_id),
+               FormatI64(r.creation_date)});
+}
+
+std::string CanonicalRow(const queries::Q3Result& r) {
+  return Join({FormatU64(r.person_id), FormatU64(r.count_x),
+               FormatU64(r.count_y)});
+}
+
+std::string CanonicalRow(const queries::Q4Result& r) {
+  return Join({FormatU64(r.tag), FormatU64(r.post_count)});
+}
+
+std::string CanonicalRow(const queries::Q5Result& r) {
+  return Join({FormatU64(r.forum_id), FormatU64(r.post_count)});
+}
+
+std::string CanonicalRow(const queries::Q6Result& r) {
+  return Join({FormatU64(r.tag), FormatU64(r.post_count)});
+}
+
+std::string CanonicalRow(const queries::Q7Result& r) {
+  return Join({FormatU64(r.liker_id), FormatU64(r.message_id),
+               FormatI64(r.like_date), FormatI64(r.latency_minutes),
+               FormatBool(r.is_outside_friendship)});
+}
+
+std::string CanonicalRow(const queries::Q8Result& r) {
+  return Join({FormatU64(r.comment_id), FormatU64(r.replier_id),
+               FormatI64(r.creation_date)});
+}
+
+std::string CanonicalRow(const queries::Q9Result& r) {
+  return Join({FormatU64(r.message_id), FormatU64(r.creator_id),
+               FormatI64(r.creation_date)});
+}
+
+std::string CanonicalRow(const queries::Q10Result& r) {
+  return Join({FormatU64(r.person_id), FormatI64(r.similarity)});
+}
+
+std::string CanonicalRow(const queries::Q11Result& r) {
+  return Join({FormatU64(r.person_id), FormatU64(r.company_id),
+               FormatU64(r.work_year)});
+}
+
+std::string CanonicalRow(const queries::Q12Result& r) {
+  return Join({FormatU64(r.person_id), FormatU64(r.reply_count)});
+}
+
+std::string CanonicalRow(const queries::Q14Result& r) {
+  std::string path;
+  for (schema::PersonId p : r.path) {
+    if (!path.empty()) path.push_back(',');
+    path += FormatU64(p);
+  }
+  return Join({path, FormatDouble(r.weight)});
+}
+
+std::string CanonicalRow(const queries::S1Result& r) {
+  return Join({FormatBool(r.found), r.first_name, r.last_name,
+               FormatI64(r.birthday), FormatU64(r.city_id), r.browser,
+               r.location_ip, FormatU64(r.gender),
+               FormatI64(r.creation_date)});
+}
+
+std::string CanonicalRow(const queries::S2Result& r) {
+  return Join({FormatU64(r.message_id), FormatI64(r.creation_date),
+               FormatU64(r.root_post_id), FormatU64(r.root_author_id)});
+}
+
+std::string CanonicalRow(const queries::S3Result& r) {
+  return Join({FormatU64(r.friend_id), FormatI64(r.since)});
+}
+
+std::string CanonicalRow(const queries::S4Result& r) {
+  return Join({FormatBool(r.found), FormatI64(r.creation_date), r.content});
+}
+
+std::string CanonicalRow(const queries::S5Result& r) {
+  return Join({FormatBool(r.found), FormatU64(r.creator_id), r.first_name,
+               r.last_name});
+}
+
+std::string CanonicalRow(const queries::S6Result& r) {
+  return Join({FormatBool(r.found), FormatU64(r.forum_id), r.forum_title,
+               FormatU64(r.moderator_id)});
+}
+
+std::string CanonicalRow(const queries::S7Result& r) {
+  return Join({FormatU64(r.comment_id), FormatU64(r.replier_id),
+               FormatI64(r.creation_date),
+               FormatBool(r.replier_knows_author)});
+}
+
+std::vector<std::string> CanonicalScalar(int value) {
+  return {FormatI64(value)};
+}
+
+}  // namespace snb::validate

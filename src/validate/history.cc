@@ -1,0 +1,260 @@
+#include "validate/history.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "schema/entities.h"
+#include "store/graph_store.h"
+#include "util/datetime.h"
+#include "util/thread_pool.h"
+#include "validate/canonical.h"
+
+namespace snb::validate {
+namespace {
+
+constexpr size_t kMaxViolationDetails = 16;
+
+constexpr schema::PersonId kCreator = 1;
+constexpr schema::PersonId kBystander = 2;
+constexpr schema::ForumId kForum = 1;
+
+using EntityKey = std::pair<uint32_t, uint64_t>;
+
+void AddViolation(HistoryCheckOutcome* out, const char* kind,
+                  std::string detail) {
+  out->consistent = false;
+  ++out->violation_count;
+  if (out->violations.size() < kMaxViolationDetails) {
+    out->violations.push_back({kind, std::move(detail)});
+  }
+}
+
+std::string DescribeEntity(uint32_t domain, uint64_t entity) {
+  const char* name =
+      domain == kDomainPersonMessages ? "person-messages" : "forum-posts";
+  return std::string(name) + "/" + FormatU64(entity);
+}
+
+/// The fixed scaffolding both stress harnesses bulk-load: two persons and
+/// one forum, no messages — every tracked adjacency list starts empty.
+schema::SocialNetwork ScaffoldNetwork() {
+  schema::SocialNetwork net;
+  for (schema::PersonId id : {kCreator, kBystander}) {
+    schema::Person p;
+    p.id = id;
+    p.first_name = "History";
+    p.last_name = "Probe";
+    p.birthday = util::kNetworkStartMs - 25 * 365 * util::kMillisPerDay;
+    p.creation_date = util::kNetworkStartMs;
+    p.city_id = 0;
+    net.persons.push_back(std::move(p));
+  }
+  schema::Knows k;
+  k.person1_id = kCreator;
+  k.person2_id = kBystander;
+  k.creation_date = util::kNetworkStartMs;
+  net.knows.push_back(k);
+  schema::Forum f;
+  f.id = kForum;
+  f.title = "History stress forum";
+  f.moderator_id = kCreator;
+  f.creation_date = util::kNetworkStartMs;
+  net.forums.push_back(std::move(f));
+  return net;
+}
+
+schema::Message MakePost(uint64_t index) {
+  schema::Message m;
+  m.id = index + 1;
+  m.kind = schema::MessageKind::kPost;
+  m.creator_id = kCreator;
+  m.creation_date =
+      util::kNetworkStartMs + static_cast<int64_t>(index) * util::kMillisPerMinute;
+  m.forum_id = kForum;
+  m.root_post_id = m.id;
+  m.content = "post " + FormatU64(m.id);
+  m.country_id = 0;
+  return m;
+}
+
+/// One pinned read of both tracked adjacency lists, resolving every edge id
+/// under the same pin.
+void ObserveOnce(const store::GraphStore& store, HistoryRecorder* rec,
+                 int reader) {
+  uint64_t watermark = rec->BeginRead();
+  store::ReadGuard pin = store.ReadLock();
+
+  ReadObservation person_obs;
+  person_obs.watermark = watermark;
+  person_obs.domain = kDomainPersonMessages;
+  person_obs.entity = kCreator;
+  if (const store::PersonRecord* p = store.FindPerson(pin, kCreator)) {
+    auto messages = p->messages.view();
+    person_obs.edges_seen = messages.size();
+    for (const store::DatedEdge& edge : messages) {
+      if (store.FindMessage(pin, edge.id) == nullptr) ++person_obs.dangling;
+    }
+  }
+  rec->RecordRead(reader, person_obs);
+
+  ReadObservation forum_obs;
+  forum_obs.watermark = watermark;
+  forum_obs.domain = kDomainForumPosts;
+  forum_obs.entity = kForum;
+  if (const store::ForumRecord* f = store.FindForum(pin, kForum)) {
+    auto posts = f->posts.view();
+    forum_obs.edges_seen = posts.size();
+    for (schema::MessageId id : posts) {
+      if (store.FindMessage(pin, id) == nullptr) ++forum_obs.dangling;
+    }
+  }
+  rec->RecordRead(reader, forum_obs);
+}
+
+}  // namespace
+
+HistoryCheckOutcome CheckHistory(const History& history) {
+  HistoryCheckOutcome out;
+
+  // Commit sequences per entity, sorted by seq (appended in order by the
+  // single writer; sort defensively for hand-built histories).
+  std::map<EntityKey, std::vector<WriterCommit>> commits;
+  for (const WriterCommit& c : history.commits) {
+    commits[{c.domain, c.entity}].push_back(c);
+  }
+  for (auto& [key, list] : commits) {
+    std::sort(list.begin(), list.end(),
+              [](const WriterCommit& a, const WriterCommit& b) {
+                return a.seq < b.seq;
+              });
+  }
+  // Length guaranteed visible at watermark w = edges_after of the last
+  // commit with seq <= w; lists are insert-only so this is also the max.
+  auto guaranteed_at = [&](const EntityKey& key, uint64_t w) -> uint64_t {
+    auto it = commits.find(key);
+    if (it == commits.end()) return 0;
+    uint64_t guaranteed = 0;
+    for (const WriterCommit& c : it->second) {
+      if (c.seq > w) break;
+      guaranteed = std::max(guaranteed, c.edges_after);
+    }
+    return guaranteed;
+  };
+  auto final_length = [&](const EntityKey& key) -> uint64_t {
+    auto it = commits.find(key);
+    if (it == commits.end()) return 0;
+    uint64_t final_len = 0;
+    for (const WriterCommit& c : it->second) {
+      final_len = std::max(final_len, c.edges_after);
+    }
+    return final_len;
+  };
+
+  for (size_t reader = 0; reader < history.readers.size(); ++reader) {
+    std::map<EntityKey, uint64_t> last_seen;
+    for (const ReadObservation& obs : history.readers[reader]) {
+      ++out.observations_checked;
+      EntityKey key{obs.domain, obs.entity};
+      std::string where = "reader " + FormatU64(reader) + ", " +
+                          DescribeEntity(obs.domain, obs.entity);
+
+      if (obs.dangling > 0) {
+        AddViolation(&out, "torn-update",
+                     where + ": " + FormatU64(obs.dangling) +
+                         " adjacency id(s) did not resolve under the pin");
+      }
+      uint64_t guaranteed = guaranteed_at(key, obs.watermark);
+      if (obs.edges_seen < guaranteed) {
+        AddViolation(&out, "stale-read",
+                     where + ": watermark " + FormatU64(obs.watermark) +
+                         " guarantees " + FormatU64(guaranteed) +
+                         " edge(s) but the snapshot showed " +
+                         FormatU64(obs.edges_seen));
+      }
+      if (obs.edges_seen > final_length(key)) {
+        AddViolation(&out, "phantom-write",
+                     where + ": snapshot showed " +
+                         FormatU64(obs.edges_seen) +
+                         " edge(s) but only " + FormatU64(final_length(key)) +
+                         " were ever committed");
+      }
+      auto [it, inserted] = last_seen.emplace(key, obs.edges_seen);
+      if (!inserted) {
+        if (obs.edges_seen < it->second) {
+          AddViolation(&out, "non-monotonic",
+                       where + ": observed " + FormatU64(obs.edges_seen) +
+                           " edge(s) after previously observing " +
+                           FormatU64(it->second));
+        }
+        it->second = std::max(it->second, obs.edges_seen);
+      }
+    }
+  }
+  return out;
+}
+
+util::Status RecordStoreHistory(const HistoryConfig& config, History* out) {
+  if (config.num_readers < 1 || config.reads_per_reader < 1 ||
+      config.num_commits < 1) {
+    return util::Status::InvalidArgument("history config values must be >= 1");
+  }
+  store::GraphStore store;
+  SNB_RETURN_IF_ERROR(store.BulkLoad(ScaffoldNetwork()));
+
+  HistoryRecorder recorder(config.num_readers);
+  // The writer thread's status lands here; ThreadPool::Wait() orders the
+  // write before the read below.
+  util::Status writer_status = util::Status::Ok();
+
+  util::ThreadPool pool(static_cast<size_t>(config.num_readers) + 1);
+  pool.Submit([&store, &recorder, &writer_status, &config] {
+    for (int i = 0; i < config.num_commits; ++i) {
+      util::Status st = store.AddMessage(MakePost(static_cast<uint64_t>(i)));
+      if (!st.ok()) {
+        writer_status = st;
+        return;
+      }
+      uint64_t length = static_cast<uint64_t>(i) + 1;
+      uint64_t seq = recorder.Commit(kDomainPersonMessages, kCreator, length);
+      recorder.CommitAt(seq, kDomainForumPosts, kForum, length);
+    }
+  });
+  for (int reader = 0; reader < config.num_readers; ++reader) {
+    pool.Submit([&store, &recorder, &config, reader] {
+      for (int k = 0; k < config.reads_per_reader; ++k) {
+        ObserveOnce(store, &recorder, reader);
+      }
+    });
+  }
+  pool.Wait();
+  SNB_RETURN_IF_ERROR(writer_status);
+  *out = recorder.TakeHistory();
+  return util::Status::Ok();
+}
+
+util::Status RecordBrokenWriterHistory(const HistoryConfig& config,
+                                       History* out) {
+  if (config.num_commits < 1) {
+    return util::Status::InvalidArgument("history config values must be >= 1");
+  }
+  store::GraphStore store;
+  SNB_RETURN_IF_ERROR(store.BulkLoad(ScaffoldNetwork()));
+
+  HistoryRecorder recorder(1);
+  for (int i = 0; i < config.num_commits; ++i) {
+    uint64_t length = static_cast<uint64_t>(i) + 1;
+    // Broken protocol: the commit point is announced before the message is
+    // published...
+    uint64_t seq = recorder.Commit(kDomainPersonMessages, kCreator, length);
+    recorder.CommitAt(seq, kDomainForumPosts, kForum, length);
+    // ...so the interleaved read's watermark promises an edge its snapshot
+    // cannot contain.
+    ObserveOnce(store, &recorder, 0);
+    SNB_RETURN_IF_ERROR(store.AddMessage(MakePost(static_cast<uint64_t>(i))));
+  }
+  *out = recorder.TakeHistory();
+  return util::Status::Ok();
+}
+
+}  // namespace snb::validate

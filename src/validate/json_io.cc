@@ -1,0 +1,135 @@
+#include "validate/json_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace snb::validate::jsonio {
+namespace {
+
+util::Status FieldError(const char* what, const char* key,
+                        const char* problem) {
+  return util::Status::InvalidArgument(std::string(what) + ": field \"" + key +
+                                       "\" " + problem);
+}
+
+}  // namespace
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendKey(std::string* out, const char* key) {
+  AppendEscaped(out, key);
+  out->push_back(':');
+}
+
+void AppendU64Field(std::string* out, const char* key, uint64_t v) {
+  AppendKey(out, key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64Field(std::string* out, const char* key, int64_t v) {
+  AppendKey(out, key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendU64StrField(std::string* out, const char* key, uint64_t v) {
+  AppendKey(out, key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->push_back('"');
+  *out += buf;
+  out->push_back('"');
+}
+
+util::Status GetU64(const obs::JsonValue& obj, const char* key, uint64_t* out,
+                    const char* what) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is missing");
+  if (v->kind == obs::JsonValue::Kind::kNumber) {
+    *out = static_cast<uint64_t>(v->number);
+    return util::Status::Ok();
+  }
+  if (v->kind == obs::JsonValue::Kind::kString) {
+    *out = std::strtoull(v->string.c_str(), nullptr, 10);
+    return util::Status::Ok();
+  }
+  return FieldError(what, key, "is not a number");
+}
+
+util::Status GetI64(const obs::JsonValue& obj, const char* key, int64_t* out,
+                    const char* what) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FieldError(what, key, "is missing");
+  if (v->kind == obs::JsonValue::Kind::kNumber) {
+    *out = static_cast<int64_t>(v->number);
+    return util::Status::Ok();
+  }
+  if (v->kind == obs::JsonValue::Kind::kString) {
+    *out = std::strtoll(v->string.c_str(), nullptr, 10);
+    return util::Status::Ok();
+  }
+  return FieldError(what, key, "is not a number");
+}
+
+util::Status GetString(const obs::JsonValue& obj, const char* key,
+                       std::string* out, const char* what) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != obs::JsonValue::Kind::kString) {
+    return FieldError(what, key, "is missing or not a string");
+  }
+  *out = v->string;
+  return util::Status::Ok();
+}
+
+util::Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open " + path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return util::Status::Internal("read error on " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace snb::validate::jsonio

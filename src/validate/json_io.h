@@ -1,0 +1,45 @@
+// Small JSON writing/reading helpers shared by the validation artifacts
+// (golden sets, fuzz regression files). Writing emits exactly the subset
+// obs::ParseJson accepts; reading wraps obs::JsonValue lookups with typed
+// error messages. Unsigned 64-bit fields that may exceed 2^53 (seeds) are
+// written as decimal strings; GetU64 accepts both forms.
+#ifndef SNB_VALIDATE_JSON_IO_H_
+#define SNB_VALIDATE_JSON_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/report.h"
+#include "util/status.h"
+
+namespace snb::validate::jsonio {
+
+/// Appends `s` as a quoted, escaped JSON string.
+void AppendEscaped(std::string* out, const std::string& s);
+
+/// Appends `"key":`.
+void AppendKey(std::string* out, const char* key);
+
+/// Appends `"key":<decimal>`.
+void AppendU64Field(std::string* out, const char* key, uint64_t v);
+void AppendI64Field(std::string* out, const char* key, int64_t v);
+
+/// Appends `"key":"<decimal>"`. Use for 64-bit ids that may exceed 2^53
+/// (e.g. schema::kInvalidId); GetU64 reads either encoding.
+void AppendU64StrField(std::string* out, const char* key, uint64_t v);
+
+/// Reads an unsigned/signed integer stored as a JSON number or a decimal
+/// string. `what` names the artifact for error messages.
+util::Status GetU64(const obs::JsonValue& obj, const char* key, uint64_t* out,
+                    const char* what);
+util::Status GetI64(const obs::JsonValue& obj, const char* key, int64_t* out,
+                    const char* what);
+util::Status GetString(const obs::JsonValue& obj, const char* key,
+                       std::string* out, const char* what);
+
+/// Reads an entire file into `*out`.
+util::Status ReadWholeFile(const std::string& path, std::string* out);
+
+}  // namespace snb::validate::jsonio
+
+#endif  // SNB_VALIDATE_JSON_IO_H_

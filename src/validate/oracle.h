@@ -1,0 +1,106 @@
+// Naive reference oracle for the 21 SNB-Interactive read queries.
+//
+// Third, independent implementation used by the differential fuzzer: every
+// query is evaluated by brute-force scans over the plain schema structs
+// (O(V*E) style — no adjacency lists, no sorted indexes, no binary
+// searches), so a bug in the store's or the relational engine's physical
+// plan cannot be replicated here by construction. Semantics (filters,
+// windows, tie-breaks, truncation points) intentionally mirror
+// snb::queries — see each query's comment there for the contract.
+//
+// The oracle reads a SocialNetwork snapshot; it knows nothing about
+// concurrency. Dictionaries-derived inputs (city -> country, company ->
+// country, tag-class membership) are passed in, exactly like the
+// corresponding snb::queries signatures.
+#ifndef SNB_VALIDATE_ORACLE_H_
+#define SNB_VALIDATE_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "queries/complex_queries.h"
+#include "queries/short_queries.h"
+#include "schema/entities.h"
+
+namespace snb::validate {
+
+/// Brute-force evaluator over one immutable SocialNetwork snapshot.
+class Oracle {
+ public:
+  /// Keeps a reference; `network` must outlive the oracle.
+  explicit Oracle(const schema::SocialNetwork& network) : net_(network) {}
+
+  std::vector<queries::Q1Result> Query1(schema::PersonId start,
+                                        const std::string& first_name,
+                                        int limit = 20) const;
+  std::vector<queries::Q2Result> Query2(schema::PersonId start,
+                                        util::TimestampMs max_date,
+                                        int limit = 20) const;
+  std::vector<queries::Q3Result> Query3(
+      schema::PersonId start, const std::vector<schema::PlaceId>& city_country,
+      schema::PlaceId country_x, schema::PlaceId country_y,
+      util::TimestampMs start_date, int duration_days, int limit = 20) const;
+  std::vector<queries::Q4Result> Query4(schema::PersonId start,
+                                        util::TimestampMs start_date,
+                                        int duration_days,
+                                        int limit = 10) const;
+  std::vector<queries::Q5Result> Query5(schema::PersonId start,
+                                        util::TimestampMs min_date,
+                                        int limit = 20) const;
+  std::vector<queries::Q6Result> Query6(schema::PersonId start,
+                                        schema::TagId tag,
+                                        int limit = 10) const;
+  std::vector<queries::Q7Result> Query7(schema::PersonId start,
+                                        int limit = 20) const;
+  std::vector<queries::Q8Result> Query8(schema::PersonId start,
+                                        int limit = 20) const;
+  std::vector<queries::Q9Result> Query9(schema::PersonId start,
+                                        util::TimestampMs max_date,
+                                        int limit = 20) const;
+  std::vector<queries::Q10Result> Query10(schema::PersonId start,
+                                          int horoscope_month,
+                                          int limit = 10) const;
+  std::vector<queries::Q11Result> Query11(
+      schema::PersonId start,
+      const std::vector<schema::PlaceId>& company_country,
+      schema::PlaceId country, uint16_t max_work_year, int limit = 10) const;
+  std::vector<queries::Q12Result> Query12(
+      schema::PersonId start, const std::vector<bool>& tag_in_class,
+      int limit = 20) const;
+  int Query13(schema::PersonId person1, schema::PersonId person2) const;
+  std::vector<queries::Q14Result> Query14(schema::PersonId person1,
+                                          schema::PersonId person2) const;
+
+  queries::S1Result ShortQuery1PersonProfile(schema::PersonId person) const;
+  std::vector<queries::S2Result> ShortQuery2RecentMessages(
+      schema::PersonId person, int limit = 10) const;
+  std::vector<queries::S3Result> ShortQuery3Friends(
+      schema::PersonId person) const;
+  queries::S4Result ShortQuery4MessageContent(schema::MessageId message) const;
+  queries::S5Result ShortQuery5MessageCreator(schema::MessageId message) const;
+  queries::S6Result ShortQuery6MessageForum(schema::MessageId message) const;
+  std::vector<queries::S7Result> ShortQuery7MessageReplies(
+      schema::MessageId message) const;
+
+  // Exposed scan helpers (shared by the queries above and by tests).
+
+  /// nullptr when absent; O(|persons|).
+  const schema::Person* FindPerson(schema::PersonId id) const;
+  const schema::Message* FindMessage(schema::MessageId id) const;
+  const schema::Forum* FindForum(schema::ForumId id) const;
+  /// Direct friend ids, sorted ascending; O(|knows|).
+  std::vector<schema::PersonId> FriendIds(schema::PersonId person) const;
+  /// Friends plus friends-of-friends, excluding `person`, sorted.
+  std::vector<schema::PersonId> TwoHopCircle(schema::PersonId person) const;
+  bool AreFriends(schema::PersonId a, schema::PersonId b) const;
+  /// Messages created by `person`, sorted by (creation date, id).
+  std::vector<const schema::Message*> MessagesOf(
+      schema::PersonId person) const;
+
+ private:
+  const schema::SocialNetwork& net_;
+};
+
+}  // namespace snb::validate
+
+#endif  // SNB_VALIDATE_ORACLE_H_

@@ -299,7 +299,7 @@ TEST(ReportTest, JsonRoundTripPreservesStructure) {
   JsonValue v;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
-  EXPECT_EQ(v.Find("schema")->string, "snb-report-v2");
+  EXPECT_EQ(v.Find("schema")->string, "snb-report-v3");
   EXPECT_EQ(v.Find("title")->string, "unit-test run");
 
   const JsonValue* ops = v.Find("ops");

@@ -7,6 +7,7 @@
 #include "queries/complex_queries.h"
 #include "queries/query9_plans.h"
 #include "queries/short_queries.h"
+#include "queries/update_queries.h"
 #include "store/graph_store.h"
 
 namespace snb::queries {
@@ -122,6 +123,141 @@ TEST(QueriesEdgeTest, Query3ZeroDurationAndSameCountry) {
   EXPECT_TRUE(Query3(store, 0, city_country, 1, 2,
                      util::kNetworkStartMs, 0)
                   .empty());
+}
+
+// A dataset-loaded store shared by the boundary batteries below.
+class LoadedEdgeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::DatagenConfig config;
+    config.num_persons = 120;
+    config.split_update_stream = false;
+    dataset_ = new datagen::Dataset(datagen::Generate(config));
+    store_ = new store::GraphStore();
+    ASSERT_TRUE(store_->BulkLoad(dataset_->bulk).ok());
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete dataset_;
+    store_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Every complex query with the given start person must come back empty.
+  static void ExpectAllComplexEmpty(schema::PersonId start) {
+    const store::GraphStore& store = *store_;
+    std::vector<schema::PlaceId> city_country(200, 0);
+    std::vector<schema::PlaceId> company_country(200, 0);
+    std::vector<bool> tag_class(200, true);
+    EXPECT_TRUE(Query1(store, start, "Yang").empty());
+    EXPECT_TRUE(Query2(store, start, util::NetworkEndMs()).empty());
+    EXPECT_TRUE(Query3(store, start, city_country, 1, 2,
+                       util::kNetworkStartMs, 900)
+                    .empty());
+    EXPECT_TRUE(Query4(store, start, util::kNetworkStartMs, 900).empty());
+    EXPECT_TRUE(Query5(store, start, util::kNetworkStartMs).empty());
+    EXPECT_TRUE(Query6(store, start, 0).empty());
+    EXPECT_TRUE(Query7(store, start).empty());
+    EXPECT_TRUE(Query8(store, start).empty());
+    EXPECT_TRUE(Query9(store, start, util::NetworkEndMs()).empty());
+    EXPECT_TRUE(Query10(store, start, 6).empty());
+    EXPECT_TRUE(Query11(store, start, company_country, 0, 2030).empty());
+    EXPECT_TRUE(Query12(store, start, tag_class).empty());
+    EXPECT_EQ(Query13(store, start, 0), -1);
+    EXPECT_EQ(Query13(store, 0, start), -1);
+    EXPECT_TRUE(Query14(store, start, 0).empty());
+  }
+
+  static datagen::Dataset* dataset_;
+  static store::GraphStore* store_;
+};
+
+datagen::Dataset* LoadedEdgeTest::dataset_ = nullptr;
+store::GraphStore* LoadedEdgeTest::store_ = nullptr;
+
+TEST_F(LoadedEdgeTest, NonexistentPersonIsEmptyForEveryComplexQuery) {
+  const schema::PersonId ghost = 1u << 20;
+  ExpectAllComplexEmpty(ghost);
+  EXPECT_FALSE(ShortQuery1PersonProfile(*store_, ghost).found);
+  EXPECT_TRUE(ShortQuery2RecentMessages(*store_, ghost).empty());
+  EXPECT_TRUE(ShortQuery3Friends(*store_, ghost).empty());
+}
+
+TEST_F(LoadedEdgeTest, ZeroFriendPersonIsEmptyForEveryComplexQuery) {
+  // A hermit added on top of the populated graph: present, but with no
+  // Knows edges, messages, or likes, so every neighbourhood query is empty.
+  const schema::PersonId hermit = 555000;
+  ASSERT_TRUE(store_->AddPerson(MakePerson(hermit)).ok());
+  ExpectAllComplexEmpty(hermit);
+  // Except the degenerate self-path, which is well-defined.
+  EXPECT_EQ(Query13(*store_, hermit, hermit), 0);
+  EXPECT_TRUE(ShortQuery1PersonProfile(*store_, hermit).found);
+  EXPECT_TRUE(ShortQuery2RecentMessages(*store_, hermit).empty());
+  EXPECT_TRUE(ShortQuery3Friends(*store_, hermit).empty());
+}
+
+TEST_F(LoadedEdgeTest, DateWindowBeforeEpochIsEmpty) {
+  // Every generated message date is >= kNetworkStartMs, so windows that
+  // close strictly before the epoch must match nothing for any person.
+  const store::GraphStore& store = *store_;
+  util::TimestampMs before = util::kNetworkStartMs - util::kMillisPerDay;
+  std::vector<schema::PlaceId> city_country(200, 0);
+  for (schema::PersonId p : {0u, 17u, 63u, 119u}) {
+    EXPECT_TRUE(Query2(store, p, before).empty());
+    EXPECT_TRUE(Query3(store, p, city_country, 1, 2,
+                       before - 30 * util::kMillisPerDay, 30)
+                    .empty());
+    EXPECT_TRUE(Query4(store, p, before - 30 * util::kMillisPerDay, 30)
+                    .empty());
+    EXPECT_TRUE(Query9(store, p, before).empty());
+    // Q5's window is open-ended upward, so the before-epoch boundary sits
+    // on the other side: a min_date after the network end matches nothing.
+    EXPECT_TRUE(Query5(store, p, util::NetworkEndMs() + 1).empty());
+  }
+}
+
+TEST_F(LoadedEdgeTest, LimitZeroIsEmptyForEveryLimitedQuery) {
+  const store::GraphStore& store = *store_;
+  std::vector<schema::PlaceId> city_country(200, 0);
+  std::vector<schema::PlaceId> company_country(200, 0);
+  std::vector<bool> tag_class(200, true);
+  for (schema::PersonId p : {0u, 63u}) {
+    EXPECT_TRUE(Query1(store, p, "Yang", 0).empty());
+    EXPECT_TRUE(Query2(store, p, util::NetworkEndMs(), 0).empty());
+    EXPECT_TRUE(Query3(store, p, city_country, 1, 2, util::kNetworkStartMs,
+                       900, 0)
+                    .empty());
+    EXPECT_TRUE(Query4(store, p, util::kNetworkStartMs, 900, 0).empty());
+    EXPECT_TRUE(Query5(store, p, util::kNetworkStartMs, 0).empty());
+    EXPECT_TRUE(Query6(store, p, 0, 0).empty());
+    EXPECT_TRUE(Query7(store, p, 0).empty());
+    EXPECT_TRUE(Query8(store, p, 0).empty());
+    EXPECT_TRUE(Query9(store, p, util::NetworkEndMs(), 0).empty());
+    EXPECT_TRUE(Query10(store, p, 6, 0).empty());
+    EXPECT_TRUE(Query11(store, p, company_country, 0, 2030, 0).empty());
+    EXPECT_TRUE(Query12(store, p, tag_class, 0).empty());
+  }
+}
+
+TEST(QueriesEdgeTest, ApplyUpdateRejectsCorruptKinds) {
+  store::GraphStore store;
+  datagen::UpdateOperation op;
+  op.payload = schema::Like{};
+  // Out-of-range kind bytes (0 is below the enum range, 99 above it).
+  op.kind = static_cast<datagen::UpdateKind>(0);
+  EXPECT_EQ(ApplyUpdate(store, op).code(),
+            util::StatusCode::kInvalidArgument);
+  op.kind = static_cast<datagen::UpdateKind>(99);
+  EXPECT_EQ(ApplyUpdate(store, op).code(),
+            util::StatusCode::kInvalidArgument);
+  // Valid kind whose payload holds the wrong alternative.
+  op.kind = datagen::UpdateKind::kAddPerson;
+  util::Status st = ApplyUpdate(store, op);
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(st.message().empty());
+  // Nothing leaked into the store.
+  EXPECT_EQ(store.NumPersons(), 0u);
+  EXPECT_EQ(store.NumLikes(), 0u);
 }
 
 TEST(QueriesEdgeTest, Q12EmptyTagClass) {

@@ -254,6 +254,89 @@ TEST_F(RelationalTest, ShortReadsAgree) {
   }
 }
 
+// The fixture above compares the two backends only after the full update
+// stream has been replayed. This test makes the staging explicit: the
+// backends must agree on the bulk snapshot, after half the updates, and
+// after all of them — and the updates genuinely change the store, so the
+// post-update comparisons are not vacuously equal to the bulk ones.
+TEST_F(RelationalTest, BackendsAgreeAtEveryUpdateStage) {
+  datagen::DatagenConfig config;
+  config.num_persons = 120;
+  datagen::Dataset ds = datagen::Generate(config);
+  store::GraphStore graph;
+  RelationalDb db;
+  ASSERT_TRUE(graph.BulkLoad(ds.bulk).ok());
+  ASSERT_TRUE(db.BulkLoad(ds.bulk).ok());
+  const std::vector<schema::PersonId> probes = {0, 17, 63, 119};
+
+  auto compare = [&](const char* stage) {
+    for (schema::PersonId p : probes) {
+      auto a1 = Query1(db, p, "Yang");
+      auto b1 = queries::Query1(graph, p, "Yang");
+      ASSERT_EQ(a1.size(), b1.size()) << stage << " Q1 person " << p;
+      for (size_t i = 0; i < a1.size(); ++i) {
+        EXPECT_EQ(a1[i].person_id, b1[i].person_id) << stage;
+        EXPECT_EQ(a1[i].distance, b1[i].distance) << stage;
+      }
+      auto a9 = Query9(db, p, util::NetworkEndMs());
+      auto b9 = queries::Query9(graph, p, util::NetworkEndMs());
+      ASSERT_EQ(a9.size(), b9.size()) << stage << " Q9 person " << p;
+      for (size_t i = 0; i < a9.size(); ++i) {
+        EXPECT_EQ(a9[i].message_id, b9[i].message_id) << stage;
+        EXPECT_EQ(a9[i].creation_date, b9[i].creation_date) << stage;
+      }
+      auto as1 = ShortQuery1PersonProfile(db, p);
+      auto bs1 = queries::ShortQuery1PersonProfile(graph, p);
+      EXPECT_EQ(as1.found, bs1.found) << stage;
+      EXPECT_EQ(as1.first_name, bs1.first_name) << stage;
+      auto as2 = ShortQuery2RecentMessages(db, p);
+      auto bs2 = queries::ShortQuery2RecentMessages(graph, p);
+      ASSERT_EQ(as2.size(), bs2.size()) << stage << " S2 person " << p;
+      for (size_t i = 0; i < as2.size(); ++i) {
+        EXPECT_EQ(as2[i].message_id, bs2[i].message_id) << stage;
+        EXPECT_EQ(as2[i].root_post_id, bs2[i].root_post_id) << stage;
+      }
+      auto as3 = ShortQuery3Friends(db, p);
+      auto bs3 = queries::ShortQuery3Friends(graph, p);
+      ASSERT_EQ(as3.size(), bs3.size()) << stage << " S3 person " << p;
+    }
+  };
+
+  compare("bulk");
+  const uint64_t bulk_messages = graph.NumMessages();
+  const size_t half = ds.updates.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(queries::ApplyUpdate(graph, ds.updates[i]).ok());
+    ASSERT_TRUE(ApplyUpdate(db, ds.updates[i]).ok());
+  }
+  compare("half");
+  for (size_t i = half; i < ds.updates.size(); ++i) {
+    ASSERT_TRUE(queries::ApplyUpdate(graph, ds.updates[i]).ok());
+    ASSERT_TRUE(ApplyUpdate(db, ds.updates[i]).ok());
+  }
+  compare("full");
+  ASSERT_FALSE(ds.updates.empty());
+  EXPECT_GT(graph.NumMessages(), bulk_messages);
+  EXPECT_EQ(db.NumMessages(), graph.NumMessages());
+}
+
+TEST_F(RelationalTest, ApplyUpdateRejectsCorruptKinds) {
+  RelationalDb db;
+  datagen::UpdateOperation op;
+  op.payload = schema::Like{};
+  op.kind = static_cast<datagen::UpdateKind>(0);
+  EXPECT_EQ(ApplyUpdate(db, op).code(), util::StatusCode::kInvalidArgument);
+  op.kind = static_cast<datagen::UpdateKind>(99);
+  EXPECT_EQ(ApplyUpdate(db, op).code(), util::StatusCode::kInvalidArgument);
+  // Valid kind, wrong payload alternative.
+  op.kind = datagen::UpdateKind::kAddForum;
+  util::Status st = ApplyUpdate(db, op);
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(st.message().empty());
+  EXPECT_EQ(db.NumForums(), 0u);
+  EXPECT_EQ(db.NumLikes(), 0u);
+}
+
 TEST_F(RelationalTest, RejectsMissingDependencies) {
   RelationalDb db;
   schema::Knows k{1, 2, 100};

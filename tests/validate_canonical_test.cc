@@ -1,0 +1,108 @@
+// Canonical result serialization must be byte-stable across platforms and
+// locales: these are the bytes golden sets and fuzz artifacts store.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "validate/canonical.h"
+
+namespace snb::validate {
+namespace {
+
+TEST(FormatDoubleTest, StableShortestRoundTripForms) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-0.0), "0");  // Signed zero normalized.
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(-1.5), "-1.5");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  // Q14 weights are k/2 sums — always exactly representable.
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+}
+
+TEST(FormatDoubleTest, SeventeenDigitsRoundTrip) {
+  for (double v : {0.1, 1.0 / 3.0, 123456.789, 1e-300, 1e300, 0.30000000000000004}) {
+    std::string s = FormatDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+    std::string again = FormatDouble(std::stod(s));
+    EXPECT_EQ(again, s);
+  }
+}
+
+TEST(FormatDoubleTest, LocaleDoesNotLeakIntoOutput) {
+  // Locales with ',' decimal separators must not change the bytes. Not
+  // every container ships non-C locales; skip silently when absent.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR"};
+  std::string saved = std::setlocale(LC_ALL, nullptr);
+  bool tried = false;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) == nullptr) continue;
+    tried = true;
+    EXPECT_EQ(FormatDouble(1.5), "1.5") << "under locale " << name;
+    EXPECT_EQ(FormatDouble(-12345.75), "-12345.75") << "under locale " << name;
+    EXPECT_EQ(FormatU64(1234567), "1234567") << "under locale " << name;
+    EXPECT_EQ(FormatI64(-1234567), "-1234567") << "under locale " << name;
+    break;
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+  if (!tried) GTEST_SKIP() << "no non-C locale installed";
+}
+
+TEST(FormatIntTest, FullRange) {
+  EXPECT_EQ(FormatU64(0), "0");
+  EXPECT_EQ(FormatU64(~0ULL), "18446744073709551615");
+  EXPECT_EQ(FormatI64(std::numeric_limits<int64_t>::min()),
+            "-9223372036854775808");
+  EXPECT_EQ(FormatI64(std::numeric_limits<int64_t>::max()),
+            "9223372036854775807");
+}
+
+TEST(CanonicalRowTest, EveryFieldAppearsInOrder) {
+  queries::Q1Result q1;
+  q1.person_id = 42;
+  q1.distance = 2;
+  q1.last_name = "Ng";
+  q1.city_id = 7;
+  q1.university_id = 3;
+  q1.company_id = 9;
+  EXPECT_EQ(CanonicalRow(q1), "42|2|Ng|7|3|9");
+
+  queries::Q7Result q7;
+  q7.liker_id = 5;
+  q7.message_id = 11;
+  q7.like_date = 1262304000000;
+  q7.latency_minutes = 90;
+  q7.is_outside_friendship = true;
+  EXPECT_EQ(CanonicalRow(q7), "5|11|1262304000000|90|1");
+
+  queries::Q14Result q14;
+  q14.path = {1, 2, 3};
+  q14.weight = 1.5;
+  EXPECT_EQ(CanonicalRow(q14), "1,2,3|1.5");
+
+  queries::S1Result s1;  // Not-found renders with found=0 leading.
+  EXPECT_EQ(CanonicalRow(s1).substr(0, 2), "0|");
+}
+
+TEST(CanonicalRowTest, ScalarAndSetHelpers) {
+  EXPECT_EQ(CanonicalScalar(-1), std::vector<std::string>{"-1"});
+  EXPECT_EQ(CanonicalScalar(3), std::vector<std::string>{"3"});
+
+  std::vector<queries::Q5Result> rows(2);
+  rows[0].forum_id = 10;
+  rows[0].post_count = 4;
+  rows[1].forum_id = 3;
+  rows[1].post_count = 4;
+  std::vector<std::string> canonical = CanonicalRows(rows);
+  ASSERT_EQ(canonical.size(), 2u);
+  EXPECT_EQ(canonical[0], "10|4");
+  EXPECT_EQ(canonical[1], "3|4");  // Returned order preserved, not re-sorted.
+}
+
+}  // namespace
+}  // namespace snb::validate
