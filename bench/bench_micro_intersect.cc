@@ -1,0 +1,133 @@
+// Microbenchmark of the sorted-set intersection kernels (src/exec):
+// branch-free scalar merge vs galloping vs SIMD vs the adaptive
+// Intersect() entry point, swept across list-length ratios from 1:1 to
+// 1:1000 — the shapes friend-of-friend expansion and mutual-friend
+// counting actually produce (comparable lists for two average persons,
+// extreme ratios when a hub's list meets a small circle).
+//
+// Every (ratio, kernel) cell is cross-checked against
+// std::set_intersection before timing; any divergence exits nonzero, so
+// the bench doubles as a correctness gate (scripts/check.sh runs it with
+// --smoke: small lists, one reported rep, full cross-check).
+//
+// Usage: bench_micro_intersect [--smoke]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/intersect.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace snb::bench {
+namespace {
+
+using Kernel = size_t (*)(const uint64_t*, size_t, const uint64_t*, size_t,
+                          uint64_t*);
+
+/// Strictly ascending list of `n` ids with mean gap `gap` (controls how
+/// interleaved the two lists are; gap 2 gives ~50% overlap density).
+std::vector<uint64_t> MakeSortedList(uint64_t seed, size_t n, uint64_t gap) {
+  util::Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v += 1 + rng.Next() % (2 * gap - 1);
+    out[i] = v;
+  }
+  return out;
+}
+
+struct Cell {
+  const char* name;
+  Kernel kernel;
+};
+
+int RunSweep(bool smoke) {
+  PrintHeader("micro: sorted-set intersection kernels (scalar/gallop/SIMD)");
+  std::printf("  simd available: %s\n",
+              exec::SimdAvailable() ? "yes (AVX2)" : "no (scalar fallback)");
+
+  const size_t base = smoke ? 512 : 4096;
+  const size_t reps = smoke ? 3 : 200;
+  const size_t ratios[] = {1, 4, 16, 64, 256, 1000};
+  const Cell cells[] = {
+      {"scalar", exec::IntersectScalar},
+      {"gallop", exec::IntersectGalloping},
+      {"simd", exec::IntersectSimd},
+      {"adaptive", exec::Intersect},
+  };
+
+  std::printf("  %-8s %8s %9s", "ratio", "|a|", "|b|");
+  for (const Cell& c : cells) std::printf(" %10s", c.name);
+  std::printf("   (ns/output row; lower is better)\n");
+
+  for (size_t ratio : ratios) {
+    size_t na = base;
+    size_t nb = base * ratio;
+    // Match value ranges so the lists actually interleave at every ratio.
+    std::vector<uint64_t> a = MakeSortedList(0x5eed + ratio, na, 2 * ratio);
+    std::vector<uint64_t> b = MakeSortedList(0xcafe + ratio, nb, 2);
+    std::vector<uint64_t> expect(std::min(na, nb));
+    expect.resize(static_cast<size_t>(
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              expect.begin()) -
+        expect.begin()));
+
+    std::printf("  1:%-6zu %8zu %9zu", ratio, na, nb);
+    for (const Cell& c : cells) {
+      std::vector<uint64_t> out(std::min(na, nb));
+      size_t n = c.kernel(a.data(), na, b.data(), nb, out.data());
+      if (n != expect.size() ||
+          !std::equal(expect.begin(), expect.end(), out.begin())) {
+        std::fprintf(stderr,
+                     "\nkernel %s disagrees with std::set_intersection at "
+                     "ratio 1:%zu (%zu vs %zu rows)\n",
+                     c.name, ratio, n, expect.size());
+        return 1;
+      }
+      // IntersectCount must agree with the materializing kernels too.
+      if (exec::IntersectCount(a.data(), na, b.data(), nb) != expect.size()) {
+        std::fprintf(stderr, "\nIntersectCount disagrees at ratio 1:%zu\n",
+                     ratio);
+        return 1;
+      }
+      util::Stopwatch watch;
+      size_t sink = 0;
+      for (size_t r = 0; r < reps; ++r) {
+        sink += c.kernel(a.data(), na, b.data(), nb, out.data());
+      }
+      uint64_t nanos = watch.ElapsedNanos();
+      double per_row = sink == 0 ? 0.0
+                                 : static_cast<double>(nanos) /
+                                       static_cast<double>(sink);
+      std::printf(" %10.2f", per_row);
+    }
+    std::printf("   |a∩b|=%zu\n", expect.size());
+  }
+  std::printf(
+      "\n  Expected shape: scalar wins near 1:1 (branch-free merge is\n"
+      "  O(na+nb) but with tiny constants), galloping takes over past\n"
+      "  ~1:%zu (O(na log nb)); SIMD tracks scalar with a constant-factor\n"
+      "  win where supported. `adaptive` should ride the envelope.\n\n",
+      exec::kGallopRatio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace snb::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 1;
+    }
+  }
+  return snb::bench::RunSweep(smoke);
+}

@@ -55,4 +55,16 @@ std::string Bar(double value, double max_value, int width) {
   return std::string(n, '#');
 }
 
+bool SetExecModeFromFlag(const std::string& value) {
+  exec::ExecMode mode;
+  if (!exec::ParseExecMode(value, &mode)) {
+    std::fprintf(stderr,
+                 "unknown --exec value '%s' (expected scalar|batched)\n",
+                 value.c_str());
+    return false;
+  }
+  exec::SetDefaultExecMode(mode);
+  return true;
+}
+
 }  // namespace snb::bench

@@ -17,6 +17,7 @@
 //
 //   ./examples/benchmark_run [scale_factor] [acceleration] [report_path]
 //                            [--listen <port>] [--trace-out <path>]
+//                            [--exec scalar|batched]
 //
 //   --listen <port>    serve GET /metrics (Prometheus text) and
 //                      GET /report.json from a live snapshot while the
@@ -24,6 +25,10 @@
 //   --trace-out <path> record every executed operation into a bounded
 //                      ring and flush a Chrome-trace/Perfetto JSON
 //                      (one lane per driver thread, T_GC-wait sub-spans).
+//   --exec <engine>    run Q5/Q9/Q14 through the block-at-a-time engine
+//                      ("batched") or the row-at-a-time one ("scalar",
+//                      default); report.json records the choice as
+//                      "exec_mode".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +39,7 @@
 #include "datagen/datagen.h"
 #include "driver/driver.h"
 #include "driver/query_mix.h"
+#include "exec/exec_mode.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -56,6 +62,15 @@ int main(int argc, char** argv) {
       listen_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
+      exec::ExecMode exec_mode;
+      if (!exec::ParseExecMode(argv[++i], &exec_mode)) {
+        std::fprintf(stderr,
+                     "unknown --exec value '%s' (expected scalar|batched)\n",
+                     argv[i]);
+        return 1;
+      }
+      exec::SetDefaultExecMode(exec_mode);
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -71,8 +86,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("=== SNB-Interactive benchmark run (mini SF %.2f) ===\n\n",
-              scale_factor);
+  std::printf("=== SNB-Interactive benchmark run (mini SF %.2f, %s"
+              " engine) ===\n\n",
+              scale_factor, exec::ExecModeName(exec::DefaultExecMode()));
   datagen::DatagenConfig config =
       datagen::DatagenConfig::ForScaleFactor(scale_factor);
   datagen::Dataset dataset = datagen::Generate(config);
@@ -224,6 +240,7 @@ int main(int argc, char** argv) {
   obs::RunReport run_report;
   run_report.title = "snb-interactive benchmark_run SF " +
                      std::to_string(scale_factor);
+  run_report.exec_mode = exec::ExecModeName(exec::DefaultExecMode());
   run_report.metrics = metrics.Snapshot();  // Re-snapshot: gauges now set.
   run_report.has_driver = true;
   run_report.driver = driver::MakeDriverSection(report);

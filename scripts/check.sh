@@ -43,6 +43,11 @@ test -s "${smoke_report}" || {
   exit 1
 }
 
+echo "== exec smoke: intersection-kernel cross-check =="
+# Every (ratio, kernel) cell is verified against std::set_intersection
+# before timing; the binary exits nonzero on any divergence.
+./build/bench/bench_micro_intersect --smoke
+
 echo "== driver smoke: throttled run with trace export + compliance audit =="
 # Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
 # was sustained AND the compliance audit passed; self-validates report.json
@@ -70,6 +75,11 @@ echo "== validation smoke: golden emit + replay (serial and threaded) =="
   --threads 1 --mode sequential
 ./build/tools/validate_run --replay "${smoke_golden}" \
   --threads 8 --mode windowed
+# Batched engine replay: the golden rows were emitted by the scalar
+# engine, so a passing --exec=batched replay proves the block-at-a-time
+# Q5/Q9/Q14 plans byte-identical on the full battery.
+./build/tools/validate_run --replay "${smoke_golden}" \
+  --threads 1 --mode sequential --exec batched
 
 echo "== perf-regression gate: compare against committed baseline =="
 # Thresholds are deliberately generous: the gate exists to catch order-of-

@@ -1,0 +1,171 @@
+// Batched hash join: open-addressing u64 tables and block probe helpers.
+//
+// The scalar plans use std::unordered_set/map on their join hot paths; on
+// small keys that pays a pointer chase and an allocation per node. The
+// batched engine joins through flat power-of-two tables with linear
+// probing (Mix64-scrambled keys, load factor <= 0.5): build once from the
+// key column, then probe whole blocks and emit a selection vector of
+// matching row indices, so the probe loop touches one contiguous table
+// and one contiguous key column.
+//
+// Keys are entity ids, all < 2^40 (the store rejects larger), so ~0ULL
+// (schema::kInvalidId) is safe as the empty-slot sentinel. Tables are
+// build-once/probe-many within a single query execution on one thread —
+// no concurrency, no tombstones, no resize-under-probe.
+#ifndef SNB_EXEC_HASH_JOIN_H_
+#define SNB_EXEC_HASH_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace snb::exec {
+
+/// Flat hash set over u64 keys (the join build side when no payload is
+/// needed: semi-joins like "creator in two-hop circle").
+class HashSet64 {
+ public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  explicit HashSet64(size_t expected = 0) { Rebuild(expected); }
+
+  void Reserve(size_t expected) { Rebuild(expected); }
+
+  /// Inserting kEmpty and inserting beyond the reserved count are
+  /// programming errors; the table never resizes during probing.
+  void Insert(uint64_t key) {
+    if (size_ + 1 > slots_.size() / 2) Grow();
+    size_t idx = IndexOf(key);
+    while (slots_[idx] != kEmpty) {
+      if (slots_[idx] == key) return;
+      idx = (idx + 1) & mask_;
+    }
+    slots_[idx] = key;
+    ++size_;
+  }
+
+  bool Contains(uint64_t key) const {
+    size_t idx = IndexOf(key);
+    while (slots_[idx] != kEmpty) {
+      if (slots_[idx] == key) return true;
+      idx = (idx + 1) & mask_;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Block probe: writes the indices of the hits among keys[0..n) into
+  /// `sel` (room for n) and returns the hit count. The branchy Contains
+  /// is hoisted into one tight loop over the key column.
+  size_t ProbeBatch(const uint64_t* keys, size_t n, uint32_t* sel) const {
+    size_t hits = 0;
+    for (size_t r = 0; r < n; ++r) {
+      sel[hits] = static_cast<uint32_t>(r);
+      hits += static_cast<size_t>(Contains(keys[r]));
+    }
+    return hits;
+  }
+
+ private:
+  size_t IndexOf(uint64_t key) const { return util::Mix64(key) & mask_; }
+
+  void Rebuild(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2 + 1) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (uint64_t key : old) {
+      if (key != kEmpty) {
+        size_t idx = IndexOf(key);
+        while (slots_[idx] != kEmpty) idx = (idx + 1) & mask_;
+        slots_[idx] = key;
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// Flat hash map u64 -> u64 (join build side with payload, e.g. the
+/// needed-pair accumulator index in the batched Q14 weight join).
+class HashMap64 {
+ public:
+  static constexpr uint64_t kEmpty = ~0ULL;
+
+  explicit HashMap64(size_t expected = 0) { Rebuild(expected); }
+
+  void Reserve(size_t expected) { Rebuild(expected); }
+
+  /// Inserts or overwrites.
+  void Put(uint64_t key, uint64_t value) {
+    if (size_ + 1 > keys_.size() / 2) Grow();
+    size_t idx = IndexOf(key);
+    while (keys_[idx] != kEmpty && keys_[idx] != key) {
+      idx = (idx + 1) & mask_;
+    }
+    if (keys_[idx] == kEmpty) {
+      keys_[idx] = key;
+      ++size_;
+    }
+    values_[idx] = value;
+  }
+
+  /// nullptr when absent; the pointer is valid until the next Put.
+  const uint64_t* Find(uint64_t key) const {
+    size_t idx = IndexOf(key);
+    while (keys_[idx] != kEmpty) {
+      if (keys_[idx] == key) return &values_[idx];
+      idx = (idx + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t IndexOf(uint64_t key) const { return util::Mix64(key) & mask_; }
+
+  void Rebuild(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2 + 1) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, 0);
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint64_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    values_.assign(old_keys.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmpty) Put(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace snb::exec
+
+#endif  // SNB_EXEC_HASH_JOIN_H_

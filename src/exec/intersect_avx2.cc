@@ -1,0 +1,63 @@
+// AVX2 set-intersection kernel. This is the ONLY translation unit compiled
+// with -mavx2 (see src/exec/CMakeLists.txt); the rest of the tree stays at
+// the baseline ISA and reaches this code through the runtime dispatch in
+// IntersectSimd(), so the binary keeps running on pre-AVX2 hardware.
+//
+// Shape: compare 4-lane blocks of each list all-pairs (one vector equality
+// per rotation of the b block), turn the lane mask into compressed stores,
+// then advance whichever block has the smaller maximum. Correctness
+// argument for the advance rule: a block is discarded only when its max is
+// <= the other block's max, and every element of the discarded block was
+// all-pairs compared against the other block in this iteration; any
+// not-yet-seen element of the other list is strictly greater than that
+// block's max, hence greater than every discarded element — ascending,
+// duplicate-free inputs — so no common element can be missed. The scalar
+// merge finishes the tails. tests/exec_intersect_test.cc drives block
+// boundaries (sizes around multiples of 4) against std::set_intersection.
+#include <cstddef>
+#include <cstdint>
+
+#if defined(SNB_EXEC_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace snb::exec {
+
+size_t IntersectScalar(const uint64_t* a, size_t na, const uint64_t* b,
+                       size_t nb, uint64_t* out);
+
+size_t IntersectAvx2(const uint64_t* a, size_t na, const uint64_t* b,
+                     size_t nb, uint64_t* out) {
+  size_t i = 0, j = 0, k = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    // All-pairs 4x4 equality: vb rotated by 0..3 lanes. Each a-lane can
+    // match at most one b value (inputs are duplicate-free), so OR-ing
+    // the four masks cannot double-count a lane.
+    __m256i eq = _mm256_cmpeq_epi64(va, vb);
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x39)));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x4E)));
+    eq = _mm256_or_si256(
+        eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, 0x93)));
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    while (mask != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[k++] = a[i + static_cast<size_t>(lane)];
+      mask &= mask - 1;
+    }
+    const uint64_t amax = a[i + 3];
+    const uint64_t bmax = b[j + 3];
+    i += amax <= bmax ? 4 : 0;
+    j += bmax <= amax ? 4 : 0;
+  }
+  return k + IntersectScalar(a + i, na - i, b + j, nb - j, out + k);
+}
+
+}  // namespace snb::exec
+
+#endif  // SNB_EXEC_HAVE_AVX2

@@ -131,6 +131,12 @@ struct ValidationSection {
 
 struct RunReport {
   std::string title;
+  /// Execution engine the run used for the batched-capable queries
+  /// ("scalar" or "batched", exec::ExecModeName). Optional — omitted from
+  /// the JSON when empty, so pre-existing readers and archived baselines
+  /// are unaffected (the schema tag stays snb-report-v3; the field is an
+  /// in-place superset extension per the evolution rule above).
+  std::string exec_mode;
   MetricsSnapshot metrics;
   bool has_driver = false;
   DriverSection driver;

@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/exec_mode.h"
+#include "queries/batched_queries.h"
+
 namespace snb::queries {
 namespace {
 
@@ -257,6 +260,14 @@ std::vector<Q4Result> Query4(const GraphStore& store, PersonId start,
 
 std::vector<Q5Result> Query5(const GraphStore& store, PersonId start,
                              TimestampMs min_date, int limit) {
+  if (exec::DefaultExecMode() == exec::ExecMode::kBatched) {
+    return Query5Batched(store, start, min_date, limit);
+  }
+  return Query5Scalar(store, start, min_date, limit);
+}
+
+std::vector<Q5Result> Query5Scalar(const GraphStore& store, PersonId start,
+                                   TimestampMs min_date, int limit) {
   auto pin = store.ReadLock();
   std::vector<PersonId> circle = TwoHopCircleLocked(store, pin, start);
   std::unordered_set<PersonId> circle_set(circle.begin(), circle.end());
@@ -397,6 +408,14 @@ std::vector<Q8Result> Query8(const GraphStore& store, PersonId start,
 
 std::vector<Q9Result> Query9(const GraphStore& store, PersonId start,
                              TimestampMs max_date, int limit) {
+  if (exec::DefaultExecMode() == exec::ExecMode::kBatched) {
+    return Query9Batched(store, start, max_date, limit);
+  }
+  return Query9Scalar(store, start, max_date, limit);
+}
+
+std::vector<Q9Result> Query9Scalar(const GraphStore& store, PersonId start,
+                                   TimestampMs max_date, int limit) {
   auto pin = store.ReadLock();
   std::vector<Q9Result> candidates;
   for (PersonId pid : TwoHopCircleLocked(store, pin, start)) {
@@ -633,6 +652,14 @@ double PairWeight(const GraphStore& store, const util::EpochPin& pin,
 
 std::vector<Q14Result> Query14(const GraphStore& store, PersonId person1,
                                PersonId person2) {
+  if (exec::DefaultExecMode() == exec::ExecMode::kBatched) {
+    return Query14Batched(store, person1, person2);
+  }
+  return Query14Scalar(store, person1, person2);
+}
+
+std::vector<Q14Result> Query14Scalar(const GraphStore& store,
+                                     PersonId person1, PersonId person2) {
   auto pin = store.ReadLock();
   std::vector<Q14Result> results;
   if (store.FindPerson(pin, person1) == nullptr ||

@@ -4,6 +4,11 @@
 // handwritten intended plans (the same style as the LDBC API reference
 // implementations for Neo4j/Sparksee). Every query takes its own read
 // snapshot and is safe to run concurrently with updates.
+//
+// Q5, Q9 and Q14 — the heaviest templates — additionally have batched
+// (block-at-a-time) plans; the entry points here dispatch on the
+// process-wide exec::DefaultExecMode(), and queries/batched_queries.h
+// exposes engine-explicit variants for tests, fuzzing and ablation.
 #ifndef SNB_QUERIES_COMPLEX_QUERIES_H_
 #define SNB_QUERIES_COMPLEX_QUERIES_H_
 

@@ -1,0 +1,45 @@
+// Column extraction from adjacency snapshots for the batched engine.
+//
+// The store keeps adjacency lists as arrays of small structs (FriendEdge,
+// DatedEdge) — the right layout for the row-at-a-time readers and for the
+// RCU publication protocol. The batched engine (src/exec) wants dense u64
+// columns it can hand to the set kernels and probe loops. These helpers
+// are that seam: copy one column of an adjacency View into a caller-owned
+// buffer, preserving the view's order (friend lists are ascending by
+// neighbour id, so the copied column is strictly ascending and
+// duplicate-free — exactly what exec::Intersect requires).
+//
+// The copies are deliberate, not an abstraction tax to optimize away: a
+// query extracts a list once and then runs multiple kernel passes over the
+// dense column, and the copy also decouples kernel runtime from the RCU
+// buffer lifetime rules.
+#ifndef SNB_STORE_ADJACENCY_BLOCKS_H_
+#define SNB_STORE_ADJACENCY_BLOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/graph_store.h"
+#include "util/rcu_vector.h"
+
+namespace snb::store {
+
+/// Neighbour-id column of a friend adjacency snapshot, replacing `*out`.
+/// Strictly ascending (the PersonRecord::friends invariant).
+inline void CopyFriendIds(const util::RcuVector<FriendEdge>::View& view,
+                          std::vector<uint64_t>* out) {
+  out->resize(view.size());
+  for (size_t i = 0; i < view.size(); ++i) (*out)[i] = view[i].other;
+}
+
+/// Id column of a (id, date) adjacency snapshot, replacing `*out`. Order
+/// follows the view (message lists: date-ascending, ids NOT sorted).
+inline void CopyDatedIds(const util::RcuVector<DatedEdge>::View& view,
+                         std::vector<uint64_t>* out) {
+  out->resize(view.size());
+  for (size_t i = 0; i < view.size(); ++i) (*out)[i] = view[i].id;
+}
+
+}  // namespace snb::store
+
+#endif  // SNB_STORE_ADJACENCY_BLOCKS_H_

@@ -1,11 +1,14 @@
-// Differential query fuzzing across three independent implementations.
+// Differential query fuzzing across independent implementations.
 //
 // Property-based harness: generate many small random-but-correlated social
 // networks, run every read query with randomized bindings against the graph
 // store (snb::queries), the relational baseline (snb::rel) and the naive
 // scan oracle (snb::validate::Oracle), and require canonical-row equality.
-// The oracle is the arbiter: a backend whose rows differ from the oracle's
-// is the mismatch, regardless of whether the other backend agrees with it.
+// Queries with a batched (block-at-a-time) engine port — complex Q5, Q9 and
+// Q14 — additionally run through queries::Query{5,9,14}Batched, so every
+// fuzz graph exercises scalar vs batched vs oracle three ways. The oracle
+// is the arbiter: a backend whose rows differ from the oracle's is the
+// mismatch, regardless of whether the other backends agree with it.
 //
 // On a mismatch the failing graph is shrunk — entities are greedily removed
 // (respecting referential closure) while the mismatch persists — and the
@@ -52,7 +55,7 @@ struct FuzzBinding {
 /// A (possibly shrunk) reproducing counterexample.
 struct FuzzMismatch {
   uint64_t graph_seed = 0;  // Seed the original graph came from.
-  std::string backend;      // "store" or "relational".
+  std::string backend;      // "store", "store-batched" or "relational".
   FuzzBinding binding;
   std::vector<std::string> expected;  // Oracle rows.
   std::vector<std::string> actual;    // Mismatching backend's rows.
