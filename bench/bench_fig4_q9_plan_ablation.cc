@@ -11,10 +11,16 @@
 //
 // Usage:
 //   bench_fig4_q9_plan_ablation [--report <path>] [--params N]
+//                               [--perf-counters]
 // With --report the bench also writes a self-validated report.json
 // carrying the intended plan's operator profile — the smoke artifact
 // checked by scripts/check.sh. Exits nonzero when the emitted report
-// fails validation.
+// fails validation. With --perf-counters the per-operator rows gain
+// hardware-counter columns (IPC, LLC misses per kilo instruction) from
+// the perf_event group each TraceSpan scopes, so the hash-vs-INL
+// penalty can be located micro-architecturally — and the report's
+// q9_profile rows carry the same counters for compare_reports.py to
+// gate on. Degrades to wall-clock-only where perf_event_open is denied.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "curation/parameter_curation.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "queries/batched_queries.h"
 #include "queries/query9_plans.h"
@@ -42,10 +49,24 @@ const char* Short(JoinStrategy s) {
 struct Options {
   std::string report_path;  // Empty = no report.
   size_t num_params = 20;
+  bool perf_counters = false;
 };
+
+/// One per-operator profile row: wall time, rows, and — when the
+/// invocations ran with live counters — IPC and LLC miss rate.
+void PrintProfileRow(const std::string& op, const obs::OperatorStats& s) {
+  std::printf("    %-26s %10.3f ms %12llu rows", op.c_str(), s.TimeMs(),
+              (unsigned long long)s.rows);
+  if (s.hw.valid() && s.hw_invocations > 0) {
+    std::printf("   ipc=%.2f llc/ki=%.2f", s.hw.Ipc(),
+                s.hw.LlcMissesPerKiloInstr());
+  }
+  std::printf("\n");
+}
 
 int Run(const Options& options) {
   PrintHeader("Figure 4 — Query 9 intended plan & join-type ablation");
+  if (options.perf_counters) EnablePerfCounters();
   std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf);
   curation::PcTable table =
       curation::BuildTwoHopTable(world->dataset.stats);
@@ -106,9 +127,7 @@ int Run(const Options& options) {
                 (unsigned long long)(agg.build_tuples / params.size()),
                 plan.note);
     for (const auto& [op, op_stats] : queries::ProfileRows(profile)) {
-      std::printf("    %-26s %10.3f ms %12llu rows\n", op.c_str(),
-                  op_stats.TimeMs(),
-                  (unsigned long long)op_stats.rows);
+      PrintProfileRow(op, op_stats);
     }
     if (plan.note[0] == 'i') {
       intended_ms = stats.Mean();
@@ -158,9 +177,7 @@ int Run(const Options& options) {
                 (unsigned long long)(agg.join3_output / params.size()), "-",
                 "block-at-a-time (src/exec)");
     for (const auto& [op, op_stats] : queries::ProfileRows(profile)) {
-      std::printf("    %-26s %10.3f ms %12llu rows\n", op.c_str(),
-                  op_stats.TimeMs(),
-                  (unsigned long long)op_stats.rows);
+      PrintProfileRow(op, op_stats);
     }
   }
 
@@ -185,6 +202,7 @@ int Run(const Options& options) {
   report.title = "fig4 q9 plan ablation (" + std::to_string(params.size()) +
                  " curated params/plan)";
   StampExecMode(&report);
+  StampProvenance(&report);
   report.metrics = metrics.Snapshot();
   report.has_q9_profile = true;
   report.q9_profile = queries::MakeQ9ProfileSection(
@@ -216,9 +234,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--params") == 0 && i + 1 < argc) {
       options.num_params = static_cast<size_t>(std::atoi(argv[++i]));
       if (options.num_params == 0) options.num_params = 1;
+    } else if (std::strcmp(argv[i], "--perf-counters") == 0) {
+      options.perf_counters = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--report <path>] [--params N]\n", argv[0]);
+                   "usage: %s [--report <path>] [--params N] "
+                   "[--perf-counters]\n",
+                   argv[0]);
       return 1;
     }
   }

@@ -55,6 +55,13 @@ std::string Bar(double value, double max_value, int width) {
   return std::string(n, '#');
 }
 
+void EnablePerfCounters() {
+  obs::perf::Backend backend = obs::perf::Enable();
+  std::printf("  perf counters: backend=%s (%s)\n",
+              obs::perf::BackendName(backend),
+              obs::perf::BackendMessage().c_str());
+}
+
 bool SetExecModeFromFlag(const std::string& value) {
   exec::ExecMode mode;
   if (!exec::ParseExecMode(value, &mode)) {

@@ -13,6 +13,7 @@
 
 #include "datagen/datagen.h"
 #include "exec/exec_mode.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "schema/dictionaries.h"
 #include "store/graph_store.h"
@@ -67,6 +68,24 @@ bool SetExecModeFromFlag(const std::string& value);
 /// "exec_mode", schema snb-report-v3 superset field).
 inline void StampExecMode(obs::RunReport* report) {
   report->exec_mode = exec::ExecModeName(exec::DefaultExecMode());
+}
+
+/// Handles a `--perf-counters` flag: probes and enables the
+/// hardware-counter backend and prints the outcome. Safe where
+/// perf_event_open is denied — the no-op backend keeps the bench
+/// running counter-less.
+void EnablePerfCounters();
+
+/// Stamps build provenance (git SHA, compiler, SIMD, sanitizer) and —
+/// once the perf subsystem has been enabled — the perf backend state
+/// into the report (schema snb-report-v4 superset fields).
+inline void StampProvenance(obs::RunReport* report) {
+  report->has_provenance = true;
+  report->provenance = obs::BuildProvenance();
+  if (obs::perf::ActiveBackend() != obs::perf::Backend::kDisabled) {
+    report->has_perf = true;
+    report->perf = obs::CurrentPerfSection();
+  }
 }
 
 }  // namespace snb::bench

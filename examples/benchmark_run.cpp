@@ -11,24 +11,32 @@
 //      compliance audit passed (>= 95% of operations started within the
 //      lateness window); report the acceleration factor and per-query
 //      latencies (p50/p95/p99), and write the machine-readable artifacts:
-//      report.json (schema snb-report-v3, incl. the compliance audit and a
-//      Q9 per-operator profile) and report.prom (Prometheus text
-//      exposition).
+//      report.json (schema snb-report-v4, incl. the compliance audit, a
+//      Q9 per-operator profile and build provenance) and report.prom
+//      (Prometheus text exposition).
 //
 //   ./examples/benchmark_run [scale_factor] [acceleration] [report_path]
 //                            [--listen <port>] [--trace-out <path>]
-//                            [--exec scalar|batched]
+//                            [--exec scalar|batched] [--perf-counters]
 //
-//   --listen <port>    serve GET /metrics (Prometheus text) and
-//                      GET /report.json from a live snapshot while the
-//                      run executes (0 picks an ephemeral port).
+//   --listen <port>    serve GET /metrics (Prometheus text),
+//                      GET /report.json (live snapshot) and GET /healthz
+//                      while the run executes (0 picks an ephemeral port).
 //   --trace-out <path> record every executed operation into a bounded
 //                      ring and flush a Chrome-trace/Perfetto JSON
-//                      (one lane per driver thread, T_GC-wait sub-spans).
+//                      (one lane per driver thread, T_GC-wait sub-spans,
+//                      hw-counter tracks when counters are live).
 //   --exec <engine>    run Q5/Q9/Q14 through the block-at-a-time engine
 //                      ("batched") or the row-at-a-time one ("scalar",
 //                      default); report.json records the choice as
 //                      "exec_mode".
+//   --perf-counters    attach per-thread perf_event counter groups
+//                      (cycles/instructions/LLC/branch misses) so every
+//                      op row carries IPC and miss rates, and collect
+//                      slow-query dossiers for the tail of every op type.
+//                      Falls back to a no-op backend (run still valid,
+//                      counters marked unavailable) where perf_event_open
+//                      is denied — containers, CI.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +48,10 @@
 #include "driver/driver.h"
 #include "driver/query_mix.h"
 #include "exec/exec_mode.h"
+#include "obs/dossier.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "obs/trace_buffer.h"
 #include "queries/query9_plans.h"
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
   std::string report_path = "report.json";
   int listen_port = -1;
   std::string trace_path;
+  bool perf_counters = false;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +73,8 @@ int main(int argc, char** argv) {
       listen_port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perf-counters") == 0) {
+      perf_counters = true;
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec::ExecMode exec_mode;
       if (!exec::ParseExecMode(argv[++i], &exec_mode)) {
@@ -135,6 +148,19 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::TraceBuffer> trace;
   if (!trace_path.empty()) trace = std::make_unique<obs::TraceBuffer>();
 
+  // Hardware counters + tail attribution. Enable() probes perf_event_open
+  // and degrades to the no-op backend where the syscall is denied; dossier
+  // collection is latency-triggered, so it produces tail attributions
+  // (without counter columns) even on the no-op backend.
+  std::unique_ptr<obs::DossierCollector> dossiers;
+  if (perf_counters) {
+    obs::perf::Backend backend = obs::perf::Enable();
+    std::printf("perf counters: backend=%s (%s)\n\n",
+                obs::perf::BackendName(backend),
+                obs::perf::BackendMessage().c_str());
+    dossiers = std::make_unique<obs::DossierCollector>(/*keep_per_op=*/3);
+  }
+
   // Live observer: /metrics and /report.json rebuild from the registry at
   // most every 250 ms, so curl/Prometheus can watch the run as it executes.
   obs::HttpExporter exporter;
@@ -161,7 +187,8 @@ int main(int argc, char** argv) {
 
   driver::StoreConnector connector(&store, &dataset.updates, &dictionaries,
                                    &metrics, driver::ShortReadWalkConfig(),
-                                   /*dispatch_overhead_us=*/0, trace.get());
+                                   /*dispatch_overhead_us=*/0, trace.get(),
+                                   dossiers.get());
   driver::DriverConfig driver_config;
   driver_config.num_partitions = 4;
   driver_config.acceleration = acceleration;
@@ -200,16 +227,23 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   obs::MetricsSnapshot snap = metrics.Snapshot();
-  std::printf("%-18s %8s %10s %10s %10s %10s\n", "operation", "count",
-              "p50 ms", "p95 ms", "p99 ms", "max ms");
+  bool hw_live = obs::perf::CountersLive();
+  std::printf("%-18s %8s %10s %10s %10s %10s%s\n", "operation", "count",
+              "p50 ms", "p95 ms", "p99 ms", "max ms",
+              hw_live ? "      ipc   llc/kinst" : "");
   for (size_t i = 0; i < obs::kNumOpTypes; ++i) {
     const obs::OpSnapshot& op = snap.ops[i];
     if (op.count == 0) continue;
-    std::printf("%-18s %8llu %10.3f %10.3f %10.3f %10.3f\n",
+    std::printf("%-18s %8llu %10.3f %10.3f %10.3f %10.3f",
                 obs::OpTypeName(static_cast<obs::OpType>(i)),
                 (unsigned long long)op.count, op.PercentileUs(50) / 1000.0,
                 op.PercentileUs(95) / 1000.0, op.PercentileUs(99) / 1000.0,
                 op.MaxUs() / 1000.0);
+    if (hw_live && op.hw.valid()) {
+      std::printf(" %8.2f %11.3f", op.hw.Ipc(),
+                  op.hw.LlcMissesPerKiloInstr());
+    }
+    std::printf("\n");
   }
 
   // Profile the intended Q9 plan (INL-INL-HASH, Figure 4) on a handful of
@@ -249,6 +283,39 @@ int main(int argc, char** argv) {
   run_report.has_q9_profile = true;
   run_report.q9_profile =
       queries::MakeQ9ProfileSection(q9_profile, "INL-INL-INL");
+  run_report.has_provenance = true;
+  run_report.provenance = obs::BuildProvenance();
+  if (perf_counters) {
+    run_report.has_perf = true;
+    run_report.perf = obs::CurrentPerfSection();
+  }
+  if (dossiers != nullptr) {
+    run_report.dossiers = dossiers->Snapshot();
+    std::printf("\nslow-query dossiers: %zu kept (slowest %zu per op"
+                " type)\n",
+                run_report.dossiers.size(), dossiers->keep_per_op());
+    for (size_t i = 0; i < run_report.dossiers.size() && i < 5; ++i) {
+      const obs::SlowQueryDossier& d = run_report.dossiers[i];
+      std::printf("  %-14s seq %-8llu %10.3f ms, %zu operator rows%s\n",
+                  obs::OpTypeName(d.op), (unsigned long long)d.seq,
+                  static_cast<double>(d.latency_ns) / 1e6,
+                  d.operators.size(),
+                  d.hw.valid() ? ", hw counters attached" : "");
+    }
+  }
+  if (trace != nullptr) {
+    run_report.has_trace_stats = true;
+    run_report.trace_stats.recorded = trace->recorded();
+    run_report.trace_stats.dropped = trace->dropped();
+    for (const auto& lane : trace->PerLaneStats()) {
+      obs::TraceStatsSection::LaneRow row;
+      row.lane = lane.lane;
+      row.recorded = lane.recorded;
+      row.retained = lane.retained;
+      row.dropped = lane.dropped;
+      run_report.trace_stats.lanes.push_back(row);
+    }
+  }
   std::string json = obs::ToJson(run_report);
   util::Status valid = obs::ValidateReportJson(json);
   if (!valid.ok()) {

@@ -51,18 +51,31 @@ echo "== exec smoke: intersection-kernel cross-check =="
 echo "== driver smoke: throttled run with trace export + compliance audit =="
 # Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
 # was sustained AND the compliance audit passed; self-validates report.json
-# (schema snb-report-v3 incl. the compliance section) before writing it.
+# (schema snb-report-v4 incl. the compliance section) before writing it.
+# --perf-counters arms the hardware-counter backend (degrading to no-op
+# where perf_event_open is denied) and the slow-query dossier collector.
 ./build/examples/benchmark_run 0.05 0 "${bench_today}" \
-  --trace-out "${smoke_trace}"
+  --trace-out "${smoke_trace}" --perf-counters
 # The trace must be valid JSON with per-thread lanes (Chrome-trace format);
-# the obs tests check B/E pairing, here we gate on parse + shape.
-python3 - "${smoke_trace}" <<'EOF'
+# the obs tests check B/E pairing, here we gate on parse + shape. The
+# report must carry tail attribution: at least one slow-query dossier and
+# the perf/provenance sections, whatever backend the probe landed on.
+python3 - "${smoke_trace}" "${bench_today}" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 events = doc["traceEvents"]
 lanes = {e["tid"] for e in events if e.get("ph") in ("B", "E")}
 assert events and lanes, "trace has no spans"
 print(f"trace OK: {len(events)} events across {len(lanes)} lanes")
+report = json.load(open(sys.argv[2]))
+assert report["schema"] == "snb-report-v4", report["schema"]
+assert report["perf"]["backend"] in ("noop", "linux"), report["perf"]
+assert report["provenance"]["git_sha"], "provenance missing git sha"
+dossiers = report.get("dossiers", [])
+assert len(dossiers) >= 1, "driver smoke kept no slow-query dossiers"
+with_ops = sum(1 for d in dossiers if d.get("operators"))
+print(f"report OK: backend={report['perf']['backend']}, "
+      f"{len(dossiers)} dossiers ({with_ops} with operator breakdowns)")
 EOF
 
 echo "== validation smoke: golden emit + replay (serial and threaded) =="

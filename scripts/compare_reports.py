@@ -11,10 +11,17 @@ candidate regressed past the configured thresholds:
     --latency-slack-ms absolute (the slack keeps micro-latencies from
     tripping the relative check on scheduler noise);
   * the schedule-compliance on-time fraction dropped more than
-    --max-compliance-drop (absolute).
+    --max-compliance-drop (absolute);
+  * a shared op's hardware-counter ratios regressed: IPC dropped more
+    than --max-ipc-drop (fraction of baseline), or LLC misses per kilo
+    instruction inflated more than --max-llc-miss-inflation (fraction)
+    AND more than --llc-miss-slack absolute. Counter ratios only exist
+    in snb-report-v4 runs with live perf counters; when either report
+    lacks them for an op, that op's counter checks are skipped — so
+    wall-clock-only baselines keep working.
 
 Only op types present in BOTH reports are compared, so baselines survive
-query-mix additions. Accepts schema snb-report-v1, v2 and v3 (v1 simply
+query-mix additions. Accepts schema snb-report-v1 through v4 (v1 simply
 has no compliance section to compare; the v3 validation section is not
 a performance artifact and is ignored here).
 
@@ -29,7 +36,8 @@ import json
 import sys
 
 PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
-ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2", "snb-report-v3")
+ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2", "snb-report-v3",
+                    "snb-report-v4")
 
 
 def load_report(path):
@@ -73,6 +81,21 @@ def main():
     parser.add_argument("--min-count", type=int, default=8, metavar="N",
                         help="skip ops with fewer samples in either report "
                              "(default 8)")
+    parser.add_argument("--max-ipc-drop", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="max allowed relative per-op IPC drop "
+                             "(default 0.2; needs v4 counter fields)")
+    parser.add_argument("--max-llc-miss-inflation", type=float, default=0.5,
+                        metavar="FRAC",
+                        help="max allowed relative growth of per-op LLC "
+                             "misses per kilo instruction (default 0.5)")
+    parser.add_argument("--llc-miss-slack", type=float, default=0.5,
+                        metavar="MPKI",
+                        help="absolute misses/kinstr growth below this never "
+                             "fails the LLC check (default 0.5)")
+    parser.add_argument("--min-hw-samples", type=int, default=8, metavar="N",
+                        help="skip counter checks for ops with fewer "
+                             "counter-attached samples (default 8)")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -109,6 +132,26 @@ def main():
                     f"{name} {pct}: {c[pct]:.3f} ms > ceiling {ceiling:.3f} "
                     f"(baseline {b[pct]:.3f}, max inflation "
                     f"{args.max_latency_inflation:.0%})")
+        # Hardware-counter ratios (v4 runs with live counters only).
+        if min(b.get("hw_samples", 0), c.get("hw_samples", 0)) \
+                >= args.min_hw_samples:
+            if "ipc" in b and "ipc" in c and b["ipc"] > 0:
+                checks += 1
+                floor = b["ipc"] * (1.0 - args.max_ipc_drop)
+                if c["ipc"] < floor:
+                    regressions.append(
+                        f"{name} ipc: {c['ipc']:.3f} < floor {floor:.3f} "
+                        f"(baseline {b['ipc']:.3f}, max drop "
+                        f"{args.max_ipc_drop:.0%})")
+            key = "llc_miss_per_kinstr"
+            if key in b and key in c:
+                checks += 1
+                ceiling = b[key] * (1.0 + args.max_llc_miss_inflation)
+                if c[key] > ceiling and c[key] - b[key] > args.llc_miss_slack:
+                    regressions.append(
+                        f"{name} {key}: {c[key]:.3f} > ceiling "
+                        f"{ceiling:.3f} (baseline {b[key]:.3f}, max "
+                        f"inflation {args.max_llc_miss_inflation:.0%})")
 
     # Compliance (v2 only; absent section in either report = not compared).
     base_frac = base.get("compliance", {}).get("on_time_fraction")

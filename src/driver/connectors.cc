@@ -4,8 +4,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "exec/exec_mode.h"
+#include "queries/batched_queries.h"
 #include "queries/complex_queries.h"
+#include "queries/query9_plans.h"
 #include "queries/short_queries.h"
 #include "queries/update_queries.h"
 #include "util/stopwatch.h"
@@ -38,14 +42,16 @@ StoreConnector::StoreConnector(
     const std::vector<datagen::UpdateOperation>* updates,
     const schema::Dictionaries* dictionaries,
     obs::MetricsRegistry* metrics, ShortReadWalkConfig walk,
-    int64_t dispatch_overhead_us, obs::TraceBuffer* trace)
+    int64_t dispatch_overhead_us, obs::TraceBuffer* trace,
+    obs::DossierCollector* dossiers)
     : store_(store),
       updates_(updates),
       dict_(dictionaries),
       metrics_(metrics),
       walk_(walk),
       dispatch_overhead_us_(dispatch_overhead_us),
-      trace_(trace) {
+      trace_(trace),
+      dossiers_(dossiers) {
   for (const schema::City& c : dict_->cities()) {
     city_country_.push_back(c.country_id);
   }
@@ -85,9 +91,14 @@ Status StoreConnector::Execute(const Operation& op) {
 
 Status StoreConnector::ExecuteComplex(const Operation& op) {
   Stopwatch watch;
+  obs::perf::ScopedHwCounts hw_scope;
   SpinFor(dispatch_overhead_us_);
   std::vector<schema::PersonId> result_persons;
   std::vector<schema::MessageId> result_messages;
+  // Filled for Q9 when dossiers are armed: the tail-attribution pass needs
+  // the per-operator breakdown, and only the profiled plan entry points
+  // produce one.
+  std::optional<queries::Q9OperatorProfile> q9_profile;
   switch (op.query_id) {
     case 1: {
       auto rows = queries::Query1(*store_, op.person_param,
@@ -146,8 +157,26 @@ Status StoreConnector::ExecuteComplex(const Operation& op) {
       break;
     }
     case 9: {
-      auto rows = queries::Query9(*store_, op.person_param,
-                                  static_cast<util::TimestampMs>(op.aux0));
+      auto max_date = static_cast<util::TimestampMs>(op.aux0);
+      std::vector<queries::Q9Result> rows;
+      if (dossiers_ != nullptr) {
+        // Result-identical profiled variants of the engine Query9 would
+        // pick anyway (both are differentially fuzzed against Query9).
+        q9_profile.emplace();
+        if (exec::DefaultExecMode() == exec::ExecMode::kBatched) {
+          rows = queries::Query9Batched(*store_, op.person_param, max_date,
+                                        20, nullptr, &*q9_profile);
+        } else {
+          rows = queries::Query9WithPlan(
+              *store_, op.person_param, max_date, 20,
+              queries::JoinStrategy::kIndexNestedLoop,
+              queries::JoinStrategy::kIndexNestedLoop,
+              queries::JoinStrategy::kIndexNestedLoop, nullptr,
+              &*q9_profile);
+        }
+      } else {
+        rows = queries::Query9(*store_, op.person_param, max_date);
+      }
       for (const auto& r : rows) {
         result_persons.push_back(r.creator_id);
         result_messages.push_back(r.message_id);
@@ -186,10 +215,27 @@ Status StoreConnector::ExecuteComplex(const Operation& op) {
     default:
       return Status::InvalidArgument("complex query id out of range");
   }
+  uint64_t latency_ns = watch.ElapsedNanos();
+  obs::perf::HwCounts hw = hw_scope.Delta();
   if (metrics_ != nullptr) {
-    metrics_->RecordLatencyNs(obs::ComplexOp(op.query_id),
-                              watch.ElapsedNanos());
+    metrics_->RecordLatencyNs(obs::ComplexOp(op.query_id), latency_ns);
+    metrics_->RecordHwCounts(obs::ComplexOp(op.query_id), hw);
   }
+  std::vector<obs::DossierOperatorRow> operators;
+  if (q9_profile.has_value()) {
+    for (auto& [name, stats] : queries::ProfileRows(*q9_profile)) {
+      obs::DossierOperatorRow row;
+      row.name = name;
+      row.invocations = stats.invocations;
+      row.time_ns = stats.time_ns;
+      row.rows = stats.rows;
+      row.hw = stats.hw;
+      row.hw_invocations = stats.hw_invocations;
+      operators.push_back(std::move(row));
+    }
+  }
+  OfferDossier(obs::ComplexOp(op.query_id), latency_ns, hw,
+               std::move(operators));
   RunShortReadWalk(op, result_persons, result_messages);
   return Status::Ok();
 }
@@ -205,6 +251,7 @@ Status StoreConnector::ExecuteShort(uint8_t query_id,
     event.exec_begin_ns = trace_->NowNs();
   }
   Stopwatch watch;
+  obs::perf::ScopedHwCounts hw_scope;
   SpinFor(dispatch_overhead_us_);
   switch (query_id) {
     case 1:
@@ -231,13 +278,18 @@ Status StoreConnector::ExecuteShort(uint8_t query_id,
     default:
       return Status::InvalidArgument("short query id out of range");
   }
+  uint64_t latency_ns = watch.ElapsedNanos();
+  obs::perf::HwCounts hw = hw_scope.Delta();
   if (metrics_ != nullptr) {
-    metrics_->RecordLatencyNs(obs::ShortOp(query_id), watch.ElapsedNanos());
+    metrics_->RecordLatencyNs(obs::ShortOp(query_id), latency_ns);
+    metrics_->RecordHwCounts(obs::ShortOp(query_id), hw);
   }
   if (trace_ != nullptr) {
     event.end_ns = trace_->NowNs();
+    event.hw = hw;
     trace_->Record(event);
   }
+  OfferDossier(obs::ShortOp(query_id), latency_ns, hw, {});
   short_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -248,13 +300,33 @@ Status StoreConnector::ExecuteUpdate(const Operation& op) {
   }
   const datagen::UpdateOperation& update = (*updates_)[op.update_index];
   Stopwatch watch;
+  obs::perf::ScopedHwCounts hw_scope;
   SpinFor(dispatch_overhead_us_);
   Status status = queries::ApplyUpdate(*store_, update);
+  uint64_t latency_ns = watch.ElapsedNanos();
+  obs::perf::HwCounts hw = hw_scope.Delta();
+  obs::OpType op_type = obs::UpdateOp(static_cast<int>(update.kind));
   if (metrics_ != nullptr) {
-    metrics_->RecordLatencyNs(
-        obs::UpdateOp(static_cast<int>(update.kind)), watch.ElapsedNanos());
+    metrics_->RecordLatencyNs(op_type, latency_ns);
+    metrics_->RecordHwCounts(op_type, hw);
   }
+  OfferDossier(op_type, latency_ns, hw, {});
   return status;
+}
+
+void StoreConnector::OfferDossier(
+    obs::OpType op, uint64_t latency_ns, const obs::perf::HwCounts& hw,
+    std::vector<obs::DossierOperatorRow> operators) {
+  if (dossiers_ == nullptr) return;
+  uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (!dossiers_->WouldKeep(op, latency_ns)) return;
+  obs::SlowQueryDossier d;
+  d.op = op;
+  d.seq = seq;
+  d.latency_ns = latency_ns;
+  d.hw = hw;
+  d.operators = std::move(operators);
+  dossiers_->Offer(std::move(d));
 }
 
 void StoreConnector::RunShortReadWalk(

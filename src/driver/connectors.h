@@ -9,7 +9,9 @@
 
 #include "datagen/datagen.h"
 #include "driver/operation.h"
+#include "obs/dossier.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace_buffer.h"
 #include "schema/dictionaries.h"
 #include "store/graph_store.h"
@@ -50,13 +52,19 @@ class StoreConnector : public Connector {
   /// `trace` may be null; when set, every short read executed here (in
   /// particular the walk-spawned ones the driver never sees) records a
   /// trace span, nesting inside the seeding complex read's span.
+  /// `dossiers` may be null; when set, every executed operation is offered
+  /// to the collector with its whole-op hardware-counter delta, and Q9
+  /// additionally runs through its profiled plan so tail dossiers carry a
+  /// per-operator breakdown (results are identical to Query9 — see
+  /// queries/query9_plans.h).
   StoreConnector(store::GraphStore* store,
                  const std::vector<datagen::UpdateOperation>* updates,
                  const schema::Dictionaries* dictionaries,
                  obs::MetricsRegistry* metrics,
                  ShortReadWalkConfig walk = ShortReadWalkConfig(),
                  int64_t dispatch_overhead_us = 0,
-                 obs::TraceBuffer* trace = nullptr);
+                 obs::TraceBuffer* trace = nullptr,
+                 obs::DossierCollector* dossiers = nullptr);
 
   util::Status Execute(const Operation& op) override;
 
@@ -77,6 +85,12 @@ class StoreConnector : public Connector {
                         const std::vector<schema::PersonId>& persons,
                         const std::vector<schema::MessageId>& messages);
 
+  /// Offers one executed operation to the dossier collector (no-op when
+  /// collection is off or the instance is not a tail candidate).
+  void OfferDossier(obs::OpType op, uint64_t latency_ns,
+                    const obs::perf::HwCounts& hw,
+                    std::vector<obs::DossierOperatorRow> operators);
+
   store::GraphStore* store_;
   const std::vector<datagen::UpdateOperation>* updates_;
   const schema::Dictionaries* dict_;
@@ -84,6 +98,9 @@ class StoreConnector : public Connector {
   ShortReadWalkConfig walk_;
   int64_t dispatch_overhead_us_ = 0;
   obs::TraceBuffer* trace_ = nullptr;
+  obs::DossierCollector* dossiers_ = nullptr;
+  /// Operation sequence numbers for dossier identification.
+  std::atomic<uint64_t> op_seq_{0};
   std::vector<schema::PlaceId> city_country_;
   std::vector<schema::PlaceId> company_country_;
   /// tag_in_class_[c][t]: tag t belongs to tag class c.

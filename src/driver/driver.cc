@@ -10,6 +10,7 @@
 #include "datagen/config.h"
 #include "driver/dependency_services.h"
 #include "driver/run_audit.h"
+#include "obs/perf_counters.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
 #include "util/thread_annotations.h"
@@ -198,7 +199,9 @@ void RunStream(const std::vector<const Operation*>& ops,
         event.sched_ns = trace->ToBufferNs(throttle.DeadlineFor(op->due_time));
       }
       event.exec_begin_ns = trace->NowNs();
+      obs::perf::ScopedHwCounts hw_scope;
       state->RecordResult(connector.Execute(*op));
+      event.hw = hw_scope.Delta();
       event.end_ns = trace->NowNs();
       trace->Record(event);
     } else {
@@ -307,7 +310,9 @@ void ExecuteWindowedOp(const Operation& op, Connector& connector,
     event.sched_ns = trace->ToBufferNs(throttle.DeadlineFor(op.due_time));
   }
   event.exec_begin_ns = trace->NowNs();
+  obs::perf::ScopedHwCounts hw_scope;
   state->RecordResult(connector.Execute(op));
+  event.hw = hw_scope.Delta();
   event.end_ns = trace->NowNs();
   trace->Record(event);
 }

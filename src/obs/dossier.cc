@@ -1,0 +1,43 @@
+#include "obs/dossier.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace snb::obs {
+
+void DossierCollector::Offer(SlowQueryDossier d) {
+  size_t idx = static_cast<size_t>(d.op);
+  if (idx >= kNumOpTypes) return;
+  util::MutexLock lock(&mu_);
+  std::vector<SlowQueryDossier>& kept = kept_[idx];
+  // Re-check under the lock: the floor may have risen since WouldKeep.
+  if (kept.size() >= keep_per_op_ && d.latency_ns <= kept.back().latency_ns) {
+    return;
+  }
+  auto pos = std::upper_bound(
+      kept.begin(), kept.end(), d.latency_ns,
+      [](uint64_t lat, const SlowQueryDossier& k) { return lat > k.latency_ns; });
+  kept.insert(pos, std::move(d));
+  if (kept.size() > keep_per_op_) kept.pop_back();
+  if (kept.size() == keep_per_op_) {
+    floor_ns_[idx].store(kept.back().latency_ns, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowQueryDossier> DossierCollector::Snapshot() const {
+  util::MutexLock lock(&mu_);
+  std::vector<SlowQueryDossier> out;
+  for (size_t i = 0; i < kNumOpTypes; ++i) {
+    out.insert(out.end(), kept_[i].begin(), kept_[i].end());
+  }
+  return out;
+}
+
+size_t DossierCollector::Size() const {
+  util::MutexLock lock(&mu_);
+  size_t total = 0;
+  for (size_t i = 0; i < kNumOpTypes; ++i) total += kept_[i].size();
+  return total;
+}
+
+}  // namespace snb::obs

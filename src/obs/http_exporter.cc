@@ -138,7 +138,8 @@ void HttpExporter::ServeConnection(int fd) {
   if (line_end == std::string::npos) line_end = request.size();
   std::string line = request.substr(0, line_end);
   if (line.rfind("GET ", 0) != 0) {
-    SendResponse(fd, 400, "text/plain", "only GET is supported\n");
+    SendResponse(fd, 400, "text/plain; charset=utf-8",
+                 "only GET is supported\n");
     return;
   }
   size_t path_end = line.find(' ', 4);
@@ -147,6 +148,14 @@ void HttpExporter::ServeConnection(int fd) {
                                         : path_end - 4);
   size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
+
+  // Liveness probe: answers as long as the serve thread runs, without
+  // touching any ContentFn (no snapshot merge, no cache) — the probe must
+  // stay cheap and must not report "healthy" based on stale cache.
+  if (path == "/healthz") {
+    SendResponse(fd, 200, "text/plain; charset=utf-8", "ok\n");
+    return;
+  }
 
   for (Route& route : routes_) {
     if (route.path != path) continue;
@@ -161,7 +170,8 @@ void HttpExporter::ServeConnection(int fd) {
     SendResponse(fd, 200, route.content_type, route.cached_body);
     return;
   }
-  SendResponse(fd, 404, "text/plain", "unknown path " + path + "\n");
+  SendResponse(fd, 404, "text/plain; charset=utf-8",
+               "unknown path " + path + "\n");
 }
 
 }  // namespace snb::obs

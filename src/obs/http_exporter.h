@@ -3,9 +3,11 @@
 // A benchmark run is opaque while it executes: report.json lands only at
 // the end, and attaching a profiler perturbs the measurement. This
 // exporter serves the existing text artifacts over HTTP while the run is
-// in flight — `GET /metrics` (Prometheus text exposition, scrapeable) and
+// in flight — `GET /metrics` (Prometheus text exposition, scrapeable),
 // `GET /report.json` (the snb-report document built from a live
-// snapshot) — with no dependencies beyond POSIX sockets.
+// snapshot), and a built-in `GET /healthz` liveness probe that bypasses
+// every handler (no snapshot, no cache) — with no dependencies beyond
+// POSIX sockets.
 //
 // Design: one background thread runs a blocking accept loop and serves
 // connections sequentially; handlers are registered as content callbacks

@@ -142,6 +142,18 @@ void MetricsRegistry::AddCounter(Counter c, uint64_t delta) {
       delta, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::RecordHwCounts(OpType op, const perf::HwCounts& delta) {
+  if (!delta.valid()) return;
+  OpCell& cell = LocalShard().ops[static_cast<size_t>(op)];
+  for (size_t m = 0; m < perf::kNumHwMetrics; ++m) {
+    if (delta.mask & (1u << m)) {
+      cell.hw[m].fetch_add(delta.v[m], std::memory_order_relaxed);
+    }
+  }
+  cell.hw_mask.fetch_or(delta.mask, std::memory_order_relaxed);
+  cell.hw_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   for (OpSnapshot& op : snap.ops) op.min_ns = ~uint64_t{0};
@@ -157,6 +169,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       uint64_t hi = cell.max_ns.load(std::memory_order_relaxed);
       if (lo < out.min_ns) out.min_ns = lo;
       if (hi > out.max_ns) out.max_ns = hi;
+      perf::HwCounts shard_hw;
+      shard_hw.mask = cell.hw_mask.load(std::memory_order_relaxed);
+      for (size_t m = 0; m < perf::kNumHwMetrics; ++m) {
+        shard_hw.v[m] = cell.hw[m].load(std::memory_order_relaxed);
+      }
+      out.hw.Accumulate(shard_hw);
+      out.hw_samples += cell.hw_samples.load(std::memory_order_relaxed);
       for (size_t b = 0; b < LogBuckets::kNumBuckets; ++b) {
         out.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
       }

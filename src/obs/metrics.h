@@ -33,6 +33,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/perf_counters.h"
+
 namespace snb::obs {
 
 // ---- Metric identity ------------------------------------------------------
@@ -149,12 +151,17 @@ struct LogBuckets {
 
 // ---- Snapshots ------------------------------------------------------------
 
-/// Merged view of one operation type's latency series.
+/// Merged view of one operation type's latency series. `hw` totals the
+/// hardware-counter deltas recorded alongside latencies (hw.mask == 0 when
+/// counters were unavailable for the whole run); `hw_samples` counts how
+/// many recorded operations carried valid counters.
 struct OpSnapshot {
   uint64_t count = 0;
   uint64_t sum_ns = 0;
   uint64_t min_ns = 0;  // 0 when count == 0.
   uint64_t max_ns = 0;
+  perf::HwCounts hw;
+  uint64_t hw_samples = 0;
   std::array<uint64_t, LogBuckets::kNumBuckets> buckets{};
 
   double MeanUs() const {
@@ -221,6 +228,11 @@ class MetricsRegistry {
   /// Accumulates `delta` onto a counter. Lock-free.
   void AddCounter(Counter c, uint64_t delta = 1);
 
+  /// Accumulates one operation's hardware-counter delta onto `op`'s
+  /// series. Lock-free; a no-op when `delta` is invalid (counters
+  /// unavailable), so call sites need no backend checks.
+  void RecordHwCounts(OpType op, const perf::HwCounts& delta);
+
   /// Overwrites a gauge with an instantaneous value.
   void SetGauge(Gauge g, uint64_t value) {
     gauges_[static_cast<size_t>(g)].store(value, std::memory_order_relaxed);
@@ -235,6 +247,9 @@ class MetricsRegistry {
     std::atomic<uint64_t> sum_ns{0};
     std::atomic<uint64_t> min_ns{~uint64_t{0}};
     std::atomic<uint64_t> max_ns{0};
+    std::atomic<uint64_t> hw[perf::kNumHwMetrics] = {};
+    std::atomic<uint32_t> hw_mask{0};
+    std::atomic<uint64_t> hw_samples{0};
     std::atomic<uint64_t> buckets[LogBuckets::kNumBuckets];
   };
 

@@ -1,0 +1,323 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/mutex.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace snb::obs::perf {
+namespace {
+
+const char* const kHwMetricNames[kNumHwMetrics] = {
+    "hw.cycles",       "hw.instructions", "hw.llc_load_misses",
+    "hw.branch_misses", "hw.task_clock_ns",
+};
+
+/// Backend state. `g_session` is bumped on every Enable()/ResetForTest()
+/// so thread-local counter groups opened under an older session re-open
+/// lazily instead of reading stale fds.
+std::atomic<Backend> g_backend{Backend::kDisabled};
+std::atomic<uint64_t> g_session{0};
+std::atomic<int> g_forced_errno{0};
+
+/// Guards g_message (written by Enable/Reset, read by BackendMessage —
+/// both cold paths).
+util::Mutex g_message_mu;
+std::string& MessageStorage() {
+  static std::string storage;
+  return storage;
+}
+
+void SetMessage(const std::string& message) {
+  util::MutexLock lock(&g_message_mu);
+  MessageStorage() = message;
+}
+
+#if defined(__linux__)
+
+long PerfEventOpen(struct perf_event_attr* attr, pid_t pid, int cpu,
+                   int group_fd, unsigned long flags) {
+  int forced = g_forced_errno.load(std::memory_order_relaxed);
+  if (forced != 0) {
+    errno = forced;
+    return -1;
+  }
+  return ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// (type, config) of each HwMetric's perf event. User-space only
+/// (exclude_kernel) so perf_event_paranoid <= 2 suffices.
+void FillAttr(HwMetric m, struct perf_event_attr* attr) {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  attr->exclude_kernel = 1;
+  attr->exclude_hv = 1;
+  attr->read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                      PERF_FORMAT_TOTAL_TIME_ENABLED |
+                      PERF_FORMAT_TOTAL_TIME_RUNNING;
+  switch (m) {
+    case HwMetric::kCycles:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case HwMetric::kInstructions:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case HwMetric::kLlcLoadMisses:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_LL |
+                     (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case HwMetric::kBranchMisses:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_BRANCH_MISSES;
+      break;
+    case HwMetric::kTaskClockNs:
+      attr->type = PERF_TYPE_SOFTWARE;
+      attr->config = PERF_COUNT_SW_TASK_CLOCK;
+      break;
+    case HwMetric::kCount:
+      break;
+  }
+}
+
+/// One thread's counter group: a leader plus followers sharing one group
+/// read (a single read() syscall yields a consistent snapshot of every
+/// open counter). Metrics whose event fails to open (PMU slot pressure,
+/// unsupported cache event in a VM) are simply absent from the mask.
+class ThreadGroup {
+ public:
+  ~ThreadGroup() { Close(); }
+
+  HwCounts Read(uint64_t session) {
+    if (session != session_) {
+      Close();
+      session_ = session;
+      Open();
+    }
+    HwCounts out;
+    if (leader_fd_ < 0) return out;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // then (value, id) per counter.
+    uint64_t buf[3 + 2 * kNumHwMetrics] = {};
+    ssize_t n = ::read(leader_fd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(uint64_t))) return out;
+    uint64_t nr = buf[0];
+    uint64_t enabled = buf[1];
+    uint64_t running = buf[2];
+    if (running == 0) return out;  // Group never scheduled onto the PMU.
+    double scale = running < enabled
+                       ? static_cast<double>(enabled) /
+                             static_cast<double>(running)
+                       : 1.0;
+    for (uint64_t i = 0; i < nr && i < kNumHwMetrics; ++i) {
+      uint64_t value = buf[3 + 2 * i];
+      uint64_t id = buf[3 + 2 * i + 1];
+      for (size_t m = 0; m < kNumHwMetrics; ++m) {
+        if (ids_[m] != id || fds_[m] < 0) continue;
+        out.v[m] = scale == 1.0
+                       ? value
+                       : static_cast<uint64_t>(
+                             static_cast<double>(value) * scale);
+        out.mask |= 1u << m;
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void Open() {
+    for (size_t m = 0; m < kNumHwMetrics; ++m) {
+      struct perf_event_attr attr;
+      FillAttr(static_cast<HwMetric>(m), &attr);
+      attr.disabled = leader_fd_ < 0 ? 1 : 0;  // Leader starts the group.
+      int fd = static_cast<int>(
+          PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, leader_fd_, 0));
+      if (fd < 0) continue;
+      uint64_t id = 0;
+      if (::ioctl(fd, PERF_EVENT_IOC_ID, &id) != 0) {
+        ::close(fd);
+        continue;
+      }
+      fds_[m] = fd;
+      ids_[m] = id;
+      if (leader_fd_ < 0) leader_fd_ = fd;
+    }
+    if (leader_fd_ >= 0) {
+      ::ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ::ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    }
+  }
+
+  void Close() {
+    for (size_t m = 0; m < kNumHwMetrics; ++m) {
+      if (fds_[m] >= 0) ::close(fds_[m]);
+      fds_[m] = -1;
+      ids_[m] = 0;
+    }
+    leader_fd_ = -1;
+  }
+
+  int leader_fd_ = -1;
+  int fds_[kNumHwMetrics] = {-1, -1, -1, -1, -1};
+  uint64_t ids_[kNumHwMetrics] = {};
+  uint64_t session_ = 0;  // 0 never matches a live session (they start at 1).
+};
+
+ThreadGroup& LocalGroup() {
+  thread_local ThreadGroup group;
+  return group;
+}
+
+/// Probe: can this process open a plain user-space cycles counter on the
+/// calling thread? Returns 0 or the failing errno.
+int ProbeCycles() {
+  struct perf_event_attr attr;
+  FillAttr(HwMetric::kCycles, &attr);
+  attr.disabled = 1;
+  long fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+  if (fd < 0) return errno != 0 ? errno : EIO;
+  ::close(static_cast<int>(fd));
+  return 0;
+}
+
+#else  // !__linux__
+
+int ProbeCycles() { return ENOSYS; }
+
+#endif  // __linux__
+
+}  // namespace
+
+const char* HwMetricName(HwMetric m) {
+  size_t i = static_cast<size_t>(m);
+  return i < kNumHwMetrics ? kHwMetricNames[i] : "unknown";
+}
+
+HwCounts HwCounts::DeltaSince(const HwCounts& earlier) const {
+  HwCounts out;
+  out.mask = mask & earlier.mask;
+  for (size_t m = 0; m < kNumHwMetrics; ++m) {
+    if ((out.mask & (1u << m)) == 0) continue;
+    out.v[m] = v[m] >= earlier.v[m] ? v[m] - earlier.v[m] : 0;
+  }
+  return out;
+}
+
+void HwCounts::Accumulate(const HwCounts& other) {
+  if (!other.valid()) return;
+  mask |= other.mask;
+  for (size_t m = 0; m < kNumHwMetrics; ++m) {
+    if (other.mask & (1u << m)) v[m] += other.v[m];
+  }
+}
+
+double HwCounts::Ipc() const {
+  if (!Has(HwMetric::kCycles) || !Has(HwMetric::kInstructions)) return 0.0;
+  uint64_t cycles = Value(HwMetric::kCycles);
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(Value(HwMetric::kInstructions)) /
+         static_cast<double>(cycles);
+}
+
+double HwCounts::LlcMissesPerKiloInstr() const {
+  if (!Has(HwMetric::kLlcLoadMisses) || !Has(HwMetric::kInstructions)) {
+    return 0.0;
+  }
+  uint64_t instr = Value(HwMetric::kInstructions);
+  if (instr == 0) return 0.0;
+  return 1000.0 * static_cast<double>(Value(HwMetric::kLlcLoadMisses)) /
+         static_cast<double>(instr);
+}
+
+double HwCounts::BranchMissesPerKiloInstr() const {
+  if (!Has(HwMetric::kBranchMisses) || !Has(HwMetric::kInstructions)) {
+    return 0.0;
+  }
+  uint64_t instr = Value(HwMetric::kInstructions);
+  if (instr == 0) return 0.0;
+  return 1000.0 * static_cast<double>(Value(HwMetric::kBranchMisses)) /
+         static_cast<double>(instr);
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kDisabled:
+      return "disabled";
+    case Backend::kNoop:
+      return "noop";
+    case Backend::kLinux:
+      return "linux";
+  }
+  return "unknown";
+}
+
+Backend Enable(const EnableOptions& options) {
+  g_session.fetch_add(1, std::memory_order_relaxed);
+  const char* forced_env = std::getenv("SNB_PERF_FORCE_NOOP");
+  if (options.force_noop ||
+      (forced_env != nullptr && forced_env[0] != '\0' &&
+       std::strcmp(forced_env, "0") != 0)) {
+    SetMessage(options.force_noop ? "no-op backend forced by caller"
+                                  : "no-op backend forced by "
+                                    "SNB_PERF_FORCE_NOOP");
+    g_backend.store(Backend::kNoop, std::memory_order_release);
+    return Backend::kNoop;
+  }
+  int err = ProbeCycles();
+  if (err != 0) {
+    SetMessage(std::string("perf_event_open failed: ") +
+               std::strerror(err) +
+               " — hardware counters unavailable, continuing with the "
+               "no-op backend");
+    g_backend.store(Backend::kNoop, std::memory_order_release);
+    return Backend::kNoop;
+  }
+  SetMessage("hardware counters live (per-thread perf_event groups)");
+  g_backend.store(Backend::kLinux, std::memory_order_release);
+  return Backend::kLinux;
+}
+
+void ResetForTest() {
+  g_session.fetch_add(1, std::memory_order_relaxed);
+  g_backend.store(Backend::kDisabled, std::memory_order_release);
+  SetMessage("");
+}
+
+Backend ActiveBackend() {
+  return g_backend.load(std::memory_order_acquire);
+}
+
+bool CountersLive() { return ActiveBackend() == Backend::kLinux; }
+
+std::string BackendMessage() {
+  util::MutexLock lock(&g_message_mu);
+  return MessageStorage();
+}
+
+void SetPerfEventOpenErrnoForTest(int err) {
+  g_forced_errno.store(err, std::memory_order_relaxed);
+}
+
+HwCounts ReadThreadCounters() {
+#if defined(__linux__)
+  if (!CountersLive()) return HwCounts{};
+  return LocalGroup().Read(g_session.load(std::memory_order_relaxed));
+#else
+  return HwCounts{};
+#endif
+}
+
+}  // namespace snb::obs::perf

@@ -6,6 +6,25 @@
 #include <cstdio>
 #include <cstdlib>
 
+// Provenance macros come from CMake (src/obs/CMakeLists.txt); default to
+// "unknown" so non-CMake builds (e.g. single-file test compiles) still
+// link.
+#ifndef SNB_PROVENANCE_GIT_SHA
+#define SNB_PROVENANCE_GIT_SHA "unknown"
+#endif
+#ifndef SNB_PROVENANCE_COMPILER
+#define SNB_PROVENANCE_COMPILER "unknown"
+#endif
+#ifndef SNB_PROVENANCE_BUILD_TYPE
+#define SNB_PROVENANCE_BUILD_TYPE ""
+#endif
+#ifndef SNB_PROVENANCE_SANITIZE
+#define SNB_PROVENANCE_SANITIZE "none"
+#endif
+#ifndef SNB_PROVENANCE_SIMD
+#define SNB_PROVENANCE_SIMD 0
+#endif
+
 namespace snb::obs {
 namespace {
 
@@ -59,6 +78,61 @@ void AppendU64(std::string* out, uint64_t v) {
 void AppendKey(std::string* out, const char* key) {
   AppendEscaped(out, key);
   out->push_back(':');
+}
+
+/// Appends hardware-counter ratio fields derived from `hw` averaged over
+/// `samples` operations, each preceded by a comma (callers are mid-object).
+/// Emits nothing when the counts are invalid — counter-less rows keep the
+/// exact pre-v4 shape.
+void AppendHwFields(std::string* out, const perf::HwCounts& hw,
+                    uint64_t samples) {
+  if (!hw.valid() || samples == 0) return;
+  double n = static_cast<double>(samples);
+  *out += ",";
+  AppendKey(out, "hw_samples");
+  AppendU64(out, samples);
+  if (hw.Has(perf::HwMetric::kCycles) &&
+      hw.Has(perf::HwMetric::kInstructions)) {
+    *out += ",";
+    AppendKey(out, "ipc");
+    AppendDouble(out, hw.Ipc());
+  }
+  if (hw.Has(perf::HwMetric::kCycles)) {
+    *out += ",";
+    AppendKey(out, "cycles_per_op");
+    AppendDouble(out,
+                 static_cast<double>(hw.Value(perf::HwMetric::kCycles)) / n);
+  }
+  if (hw.Has(perf::HwMetric::kInstructions)) {
+    *out += ",";
+    AppendKey(out, "instructions_per_op");
+    AppendDouble(
+        out, static_cast<double>(hw.Value(perf::HwMetric::kInstructions)) / n);
+  }
+  if (hw.Has(perf::HwMetric::kLlcLoadMisses)) {
+    *out += ",";
+    AppendKey(out, "llc_miss_per_op");
+    AppendDouble(
+        out,
+        static_cast<double>(hw.Value(perf::HwMetric::kLlcLoadMisses)) / n);
+    if (hw.Has(perf::HwMetric::kInstructions)) {
+      *out += ",";
+      AppendKey(out, "llc_miss_per_kinstr");
+      AppendDouble(out, hw.LlcMissesPerKiloInstr());
+    }
+  }
+  if (hw.Has(perf::HwMetric::kBranchMisses)) {
+    *out += ",";
+    AppendKey(out, "branch_miss_per_op");
+    AppendDouble(
+        out,
+        static_cast<double>(hw.Value(perf::HwMetric::kBranchMisses)) / n);
+    if (hw.Has(perf::HwMetric::kInstructions)) {
+      *out += ",";
+      AppendKey(out, "branch_miss_per_kinstr");
+      AppendDouble(out, hw.BranchMissesPerKiloInstr());
+    }
+  }
 }
 
 // ---- JSON parser ----------------------------------------------------------
@@ -280,7 +354,7 @@ std::string ToJson(const RunReport& report) {
   out.reserve(16 * 1024);
   out += "{";
   AppendKey(&out, "schema");
-  out += "\"snb-report-v3\",";
+  out += "\"snb-report-v4\",";
   AppendKey(&out, "title");
   AppendEscaped(&out, report.title);
   out += ",";
@@ -326,6 +400,7 @@ std::string ToJson(const RunReport& report) {
     out += ",";
     AppendKey(&out, "max_ms");
     AppendDouble(&out, op.MaxUs() / 1000.0);
+    AppendHwFields(&out, op.hw, op.hw_samples);
     out += "}";
   }
   out += "],";
@@ -471,6 +546,7 @@ std::string ToJson(const RunReport& report) {
       out += ",";
       AppendKey(&out, "rows");
       AppendU64(&out, entry.stats.rows);
+      AppendHwFields(&out, entry.stats.hw, entry.stats.hw_invocations);
       out += "}";
     }
     out += "]}";
@@ -510,8 +586,141 @@ std::string ToJson(const RunReport& report) {
     out += "}";
   }
 
+  if (report.has_provenance) {
+    const ProvenanceSection& p = report.provenance;
+    out += ",";
+    AppendKey(&out, "provenance");
+    out += "{";
+    AppendKey(&out, "git_sha");
+    AppendEscaped(&out, p.git_sha);
+    out += ",";
+    AppendKey(&out, "compiler");
+    AppendEscaped(&out, p.compiler);
+    out += ",";
+    AppendKey(&out, "build_type");
+    AppendEscaped(&out, p.build_type);
+    out += ",";
+    AppendKey(&out, "simd");
+    out += p.simd ? "true" : "false";
+    out += ",";
+    AppendKey(&out, "sanitizer");
+    AppendEscaped(&out, p.sanitizer);
+    out += "}";
+  }
+
+  if (report.has_perf) {
+    const PerfSection& p = report.perf;
+    out += ",";
+    AppendKey(&out, "perf");
+    out += "{";
+    AppendKey(&out, "backend");
+    AppendEscaped(&out, p.backend);
+    out += ",";
+    AppendKey(&out, "counters_available");
+    out += p.counters_available ? "true" : "false";
+    out += ",";
+    AppendKey(&out, "message");
+    AppendEscaped(&out, p.message);
+    out += "}";
+  }
+
+  if (!report.dossiers.empty()) {
+    out += ",";
+    AppendKey(&out, "dossiers");
+    out += "[";
+    for (size_t i = 0; i < report.dossiers.size(); ++i) {
+      const SlowQueryDossier& d = report.dossiers[i];
+      if (i != 0) out += ",";
+      out += "{";
+      AppendKey(&out, "op");
+      AppendEscaped(&out, OpTypeName(d.op));
+      out += ",";
+      AppendKey(&out, "seq");
+      AppendU64(&out, d.seq);
+      out += ",";
+      AppendKey(&out, "latency_ms");
+      AppendDouble(&out, static_cast<double>(d.latency_ns) / 1e6);
+      AppendHwFields(&out, d.hw, 1);
+      out += ",";
+      AppendKey(&out, "operators");
+      out += "[";
+      for (size_t j = 0; j < d.operators.size(); ++j) {
+        const DossierOperatorRow& row = d.operators[j];
+        if (j != 0) out += ",";
+        out += "{";
+        AppendKey(&out, "name");
+        AppendEscaped(&out, row.name);
+        out += ",";
+        AppendKey(&out, "invocations");
+        AppendU64(&out, row.invocations);
+        out += ",";
+        AppendKey(&out, "time_ms");
+        AppendDouble(&out, static_cast<double>(row.time_ns) / 1e6);
+        out += ",";
+        AppendKey(&out, "rows");
+        AppendU64(&out, row.rows);
+        AppendHwFields(&out, row.hw, row.hw_invocations);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]";
+  }
+
+  if (report.has_trace_stats) {
+    const TraceStatsSection& t = report.trace_stats;
+    out += ",";
+    AppendKey(&out, "trace");
+    out += "{";
+    AppendKey(&out, "recorded");
+    AppendU64(&out, t.recorded);
+    out += ",";
+    AppendKey(&out, "dropped");
+    AppendU64(&out, t.dropped);
+    out += ",";
+    AppendKey(&out, "lanes");
+    out += "[";
+    for (size_t i = 0; i < t.lanes.size(); ++i) {
+      const TraceStatsSection::LaneRow& lane = t.lanes[i];
+      if (i != 0) out += ",";
+      out += "{";
+      AppendKey(&out, "lane");
+      AppendU64(&out, lane.lane);
+      out += ",";
+      AppendKey(&out, "recorded");
+      AppendU64(&out, lane.recorded);
+      out += ",";
+      AppendKey(&out, "retained");
+      AppendU64(&out, lane.retained);
+      out += ",";
+      AppendKey(&out, "dropped");
+      AppendU64(&out, lane.dropped);
+      out += "}";
+    }
+    out += "]}";
+  }
+
   out += "}";
   return out;
+}
+
+ProvenanceSection BuildProvenance() {
+  ProvenanceSection p;
+  p.git_sha = SNB_PROVENANCE_GIT_SHA;
+  p.compiler = SNB_PROVENANCE_COMPILER;
+  p.build_type = SNB_PROVENANCE_BUILD_TYPE;
+  p.simd = SNB_PROVENANCE_SIMD != 0;
+  p.sanitizer = SNB_PROVENANCE_SANITIZE;
+  if (p.sanitizer.empty()) p.sanitizer = "none";
+  return p;
+}
+
+PerfSection CurrentPerfSection() {
+  PerfSection p;
+  p.backend = perf::BackendName(perf::ActiveBackend());
+  p.counters_available = perf::CountersLive();
+  p.message = perf::BackendMessage();
+  return p;
 }
 
 std::string EscapePromLabelValue(const std::string& value) {
@@ -620,12 +829,13 @@ util::Status ValidateReportJson(const std::string& json) {
     return util::Status::InvalidArgument("report root is not an object");
   }
   const JsonValue* schema = root.Find("schema");
-  // Each version is a superset of its predecessors; archived v1/v2
+  // Each version is a superset of its predecessors; archived v1-v3
   // reports must keep validating.
   if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
       (schema->string != "snb-report-v1" &&
        schema->string != "snb-report-v2" &&
-       schema->string != "snb-report-v3")) {
+       schema->string != "snb-report-v3" &&
+       schema->string != "snb-report-v4")) {
     return util::Status::InvalidArgument("missing/unknown schema tag");
   }
   const JsonValue* exec_mode = root.Find("exec_mode");
@@ -732,6 +942,95 @@ util::Status ValidateReportJson(const std::string& json) {
     if (passed->boolean && diffs != 0.0) {
       return util::Status::InvalidArgument(
           "validation section passed with non-zero diffs");
+    }
+  }
+  const JsonValue* provenance = root.Find("provenance");
+  if (provenance != nullptr) {
+    const JsonValue* sha = provenance->Find("git_sha");
+    const JsonValue* compiler = provenance->Find("compiler");
+    if (sha == nullptr || sha->kind != JsonValue::Kind::kString ||
+        sha->string.empty() || compiler == nullptr ||
+        compiler->kind != JsonValue::Kind::kString) {
+      return util::Status::InvalidArgument(
+          "provenance section lacks git_sha/compiler strings");
+    }
+  }
+  const JsonValue* perf = root.Find("perf");
+  if (perf != nullptr) {
+    const JsonValue* backend = perf->Find("backend");
+    if (backend == nullptr || backend->kind != JsonValue::Kind::kString ||
+        (backend->string != "disabled" && backend->string != "noop" &&
+         backend->string != "linux")) {
+      return util::Status::InvalidArgument(
+          "perf section has a missing/unknown backend");
+    }
+    const JsonValue* available = perf->Find("counters_available");
+    if (available == nullptr ||
+        available->kind != JsonValue::Kind::kBool) {
+      return util::Status::InvalidArgument(
+          "perf section lacks a boolean counters_available");
+    }
+    // Only the linux backend can produce live counters.
+    if (available->boolean && backend->string != "linux") {
+      return util::Status::InvalidArgument(
+          "perf section claims counters without the linux backend");
+    }
+  }
+  const JsonValue* dossiers = root.Find("dossiers");
+  if (dossiers != nullptr) {
+    if (dossiers->kind != JsonValue::Kind::kArray) {
+      return util::Status::InvalidArgument("dossiers is not an array");
+    }
+    for (const JsonValue& d : dossiers->array) {
+      const JsonValue* op = d.Find("op");
+      if (op == nullptr || op->kind != JsonValue::Kind::kString) {
+        return util::Status::InvalidArgument("dossier lacks an op name");
+      }
+      if (NumberOr(d, "latency_ms", -1.0) < 0.0) {
+        return util::Status::InvalidArgument(
+            "dossier " + op->string + " lacks a latency");
+      }
+      const JsonValue* operators = d.Find("operators");
+      if (operators == nullptr ||
+          operators->kind != JsonValue::Kind::kArray) {
+        return util::Status::InvalidArgument(
+            "dossier " + op->string + " lacks an operators array");
+      }
+    }
+  }
+  const JsonValue* trace = root.Find("trace");
+  if (trace != nullptr) {
+    double recorded = NumberOr(*trace, "recorded", -1.0);
+    double dropped = NumberOr(*trace, "dropped", -1.0);
+    if (recorded < 0.0 || dropped < 0.0 || dropped > recorded + 1e-9) {
+      return util::Status::InvalidArgument(
+          "trace section accounting is inconsistent");
+    }
+    const JsonValue* lanes = trace->Find("lanes");
+    if (lanes != nullptr) {
+      if (lanes->kind != JsonValue::Kind::kArray) {
+        return util::Status::InvalidArgument("trace lanes is not an array");
+      }
+      double lane_recorded = 0.0;
+      double lane_dropped = 0.0;
+      for (const JsonValue& lane : lanes->array) {
+        double rec = NumberOr(lane, "recorded", -1.0);
+        double ret = NumberOr(lane, "retained", -1.0);
+        double drop = NumberOr(lane, "dropped", -1.0);
+        if (rec < 0.0 || ret < 0.0 || drop < 0.0 ||
+            std::abs(ret + drop - rec) > 1e-6) {
+          return util::Status::InvalidArgument(
+              "trace lane row does not satisfy recorded == retained + "
+              "dropped");
+        }
+        lane_recorded += rec;
+        lane_dropped += drop;
+      }
+      if (std::abs(lane_recorded - recorded) > 1e-6 ||
+          std::abs(lane_dropped - dropped) > 1e-6) {
+        return util::Status::InvalidArgument(
+            "trace lane rows do not sum to the aggregate counts");
+      }
     }
   }
   return util::Status::Ok();

@@ -10,18 +10,20 @@
 // lateness histogram and per-op worst offenders) and a Q9 per-operator
 // profile (the Figure 4 choke point).
 //
-// The JSON schema ("snb-report-v3") is stable and self-validating:
+// The JSON schema ("snb-report-v4") is stable and self-validating:
 // ValidateReportJson re-parses an emitted document and checks structural
 // invariants (non-empty op table, monotone percentiles, compliance
 // consistency), which is what the bench smoke mode in scripts/check.sh
 // runs. Each version is a strict superset of its predecessor — every
 // field keeps its name and shape; v2 added the optional "compliance"
-// section and v3 adds the optional "validation" section (golden-replay
-// outcome, see src/validate/golden.h) — and the validator still accepts
-// v1 and v2 documents, so pre-existing readers and archived baselines
-// keep working. A deliberately small JSON parser is exposed for tests and
-// validation; it handles exactly what the writer emits (objects, arrays,
-// strings, finite numbers, bools, null).
+// section, v3 the optional "validation" section (golden-replay outcome,
+// see src/validate/golden.h), and v4 adds the optional "provenance",
+// "perf", "dossiers" and "trace" sections plus hardware-counter fields
+// (ipc, cycles_per_op, ...) on op and q9_profile rows — and the validator
+// still accepts v1–v3 documents, so pre-existing readers and archived
+// baselines keep working. A deliberately small JSON parser is exposed for
+// tests and validation; it handles exactly what the writer emits
+// (objects, arrays, strings, finite numbers, bools, null).
 #ifndef SNB_OBS_REPORT_H_
 #define SNB_OBS_REPORT_H_
 
@@ -30,7 +32,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/dossier.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -129,13 +133,51 @@ struct ValidationSection {
   std::string first_divergence;
 };
 
+/// Build/run provenance stamped into every report so counter numbers are
+/// comparable across machines and configs. New in schema v4.
+struct ProvenanceSection {
+  std::string git_sha;     // HEAD at configure time; "unknown" outside git.
+  std::string compiler;    // e.g. "GNU 13.2.0".
+  std::string build_type;  // CMAKE_BUILD_TYPE; may be empty.
+  bool simd = false;       // SNB_SIMD at build time.
+  std::string sanitizer;   // SNB_SANITIZE value or "none".
+};
+
+/// Provenance captured at build time (CMake stamps the values in as
+/// compile definitions on the obs library).
+ProvenanceSection BuildProvenance();
+
+/// Hardware-counter subsystem outcome for the run. New in schema v4.
+struct PerfSection {
+  std::string backend;  // perf::BackendName: disabled / noop / linux.
+  bool counters_available = false;
+  std::string message;  // perf::BackendMessage at report time.
+};
+
+/// PerfSection describing the perf backend's current state.
+PerfSection CurrentPerfSection();
+
+/// Trace-buffer accounting: how much of the run trace was retained and,
+/// per lane, how much a wrapped ring dropped. New in schema v4.
+struct TraceStatsSection {
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  struct LaneRow {
+    uint32_t lane = 0;
+    uint64_t recorded = 0;
+    uint64_t retained = 0;
+    uint64_t dropped = 0;
+  };
+  std::vector<LaneRow> lanes;
+};
+
 struct RunReport {
   std::string title;
   /// Execution engine the run used for the batched-capable queries
   /// ("scalar" or "batched", exec::ExecModeName). Optional — omitted from
   /// the JSON when empty, so pre-existing readers and archived baselines
-  /// are unaffected (the schema tag stays snb-report-v3; the field is an
-  /// in-place superset extension per the evolution rule above).
+  /// are unaffected (the field is an in-place superset extension per the
+  /// evolution rule above).
   std::string exec_mode;
   MetricsSnapshot metrics;
   bool has_driver = false;
@@ -146,10 +188,19 @@ struct RunReport {
   Q9ProfileSection q9_profile;
   bool has_validation = false;
   ValidationSection validation;
+  bool has_provenance = false;
+  ProvenanceSection provenance;
+  bool has_perf = false;
+  PerfSection perf;
+  /// Slow-query dossiers (emitted when non-empty). New in schema v4.
+  std::vector<SlowQueryDossier> dossiers;
+  bool has_trace_stats = false;
+  TraceStatsSection trace_stats;
 };
 
-/// Serializes the report as schema "snb-report-v3". Op types with zero
-/// samples are omitted from the "ops" table.
+/// Serializes the report as schema "snb-report-v4". Op types with zero
+/// samples are omitted from the "ops" table; hardware-counter fields are
+/// omitted per row when that row never saw live counters.
 std::string ToJson(const RunReport& report);
 
 /// Escapes a Prometheus label value per the text exposition format:
@@ -161,12 +212,14 @@ std::string EscapePromLabelValue(const std::string& value);
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Structural validation of an emitted report.json: parses, checks the
-/// schema tag (v1, v2 or v3), a non-empty "ops" array, per-op monotone
+/// schema tag (v1 through v4), a non-empty "ops" array, per-op monotone
 /// percentiles (p50 <= p90 <= p95 <= p99 <= max), and — when present —
 /// compliance-section consistency (fraction in [0,1], on-time count not
-/// exceeding scheduled count) and validation-section consistency (a
-/// passing replay must report zero diffs). Used by tests and the check.sh
-/// smoke modes.
+/// exceeding scheduled count), validation-section consistency (a passing
+/// replay must report zero diffs), perf/provenance shape, dossier rows
+/// (op name + non-negative latency) and trace accounting (per-lane
+/// recorded == retained + dropped). Used by tests and the check.sh smoke
+/// modes.
 util::Status ValidateReportJson(const std::string& json);
 
 /// Writes `content` to `path` atomically enough for a report artifact

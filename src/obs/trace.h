@@ -17,29 +17,44 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/perf_counters.h"
+
 namespace snb::obs {
 
-/// Accumulated cost of one plan operator across invocations.
+/// Accumulated cost of one plan operator across invocations. `hw` carries
+/// hardware-counter totals for the `hw_invocations` invocations that ran
+/// with live counters (0 when the perf backend is no-op/disabled, so
+/// wall-clock profiling keeps working counter-less).
 struct OperatorStats {
   uint64_t invocations = 0;
   uint64_t time_ns = 0;
   uint64_t rows = 0;
+  perf::HwCounts hw;
+  uint64_t hw_invocations = 0;
 
   void Merge(const OperatorStats& other) {
     invocations += other.invocations;
     time_ns += other.time_ns;
     rows += other.rows;
+    hw.Accumulate(other.hw);
+    hw_invocations += other.hw_invocations;
   }
 
   double TimeMs() const { return static_cast<double>(time_ns) / 1e6; }
 };
 
 /// RAII timer for one operator invocation. Disengaged when sink == nullptr.
+/// When the perf backend is live the span also attributes the thread's
+/// counter deltas (cycles, instructions, misses) to the sink, so operator
+/// rows carry IPC and miss rates alongside wall time.
 class TraceSpan {
  public:
   TraceSpan() = default;
   explicit TraceSpan(OperatorStats* sink) : sink_(sink) {
-    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+      if (perf::CountersLive()) hw_begin_ = perf::ReadThreadCounters();
+    }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -57,12 +72,21 @@ class TraceSpan {
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count());
     sink_->rows += rows_;
+    if (hw_begin_.valid()) {
+      perf::HwCounts delta =
+          perf::ReadThreadCounters().DeltaSince(hw_begin_);
+      if (delta.valid()) {
+        sink_->hw.Accumulate(delta);
+        sink_->hw_invocations += 1;
+      }
+    }
   }
 
  private:
   OperatorStats* sink_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   uint64_t rows_ = 0;
+  perf::HwCounts hw_begin_;
 };
 
 }  // namespace snb::obs

@@ -80,6 +80,24 @@ void EmitEnd(std::string* out, bool* first, uint16_t lane, uint64_t ts_ns) {
   *out += "}";
 }
 
+/// Chrome-trace counter sample ("C" phase). Counter tracks are keyed by
+/// (pid, name), so the lane number is folded into the name to give every
+/// driver thread its own track.
+void EmitCounter(std::string* out, bool* first, const std::string& name,
+                 uint64_t ts_ns, double value) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  *out += R"({"ph":"C","pid":0,"name":)";
+  AppendEscapedString(out, name.c_str());
+  *out += ",\"ts\":";
+  AppendTsUs(out, ts_ns);
+  *out += ",\"args\":{\"value\":";
+  *out += buf;
+  *out += "}}";
+}
+
 void EmitMetadata(std::string* out, bool* first, const char* name,
                   int64_t tid, const std::string& value) {
   if (!*first) *out += ",\n";
@@ -163,6 +181,22 @@ uint64_t TraceBuffer::dropped() const {
   return total;
 }
 
+std::vector<TraceBuffer::LaneStats> TraceBuffer::PerLaneStats() const {
+  std::vector<LaneStats> out;
+  for (size_t i = 0; i < kMaxLanes; ++i) {
+    const auto& lane = lanes_[i];
+    if (lane == nullptr) continue;
+    util::MutexLock lock(&lane->mu);
+    LaneStats stats;
+    stats.lane = static_cast<uint16_t>(i);
+    stats.recorded = lane->recorded;
+    stats.retained = lane->ring.size();
+    stats.dropped = lane->recorded - lane->ring.size();
+    out.push_back(stats);
+  }
+  return out;
+}
+
 std::vector<TraceEvent> TraceBuffer::Events() const {
   std::vector<TraceEvent> out;
   for (const auto& lane : lanes_) {
@@ -236,6 +270,26 @@ std::string ToChromeTraceJson(const TraceBuffer& buffer) {
     while (!open.empty()) {
       EmitEnd(&out, &first, lane, open.back().end_ns);
       open.pop_back();
+    }
+
+    // Hardware-counter tracks: one IPC and one LLC-miss-rate sample per
+    // operation that carried a valid counter delta, stamped at the
+    // operation's end. Lanes without counters emit nothing, so the
+    // counter-less trace is byte-identical to the pre-perf format.
+    const std::string lane_tag = " lane " + std::to_string(lane);
+    for (size_t e = i; e < lane_end; ++e) {
+      const TraceEvent& ev = events[e];
+      if (!ev.hw.valid()) continue;
+      if (ev.hw.Has(perf::HwMetric::kCycles) &&
+          ev.hw.Has(perf::HwMetric::kInstructions)) {
+        EmitCounter(&out, &first, "hw.ipc" + lane_tag, ev.end_ns,
+                    ev.hw.Ipc());
+      }
+      if (ev.hw.Has(perf::HwMetric::kLlcLoadMisses) &&
+          ev.hw.Has(perf::HwMetric::kInstructions)) {
+        EmitCounter(&out, &first, "hw.llc_miss_per_kinstr" + lane_tag,
+                    ev.end_ns, ev.hw.LlcMissesPerKiloInstr());
+      }
     }
     i = lane_end;
   }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -52,6 +53,9 @@ struct TraceEvent {
   /// Actual execution window (the span compared against sched_ns).
   uint64_t exec_begin_ns = 0;
   uint64_t end_ns = 0;
+  /// Hardware-counter delta over the execution window (mask == 0 when the
+  /// perf backend was not live). Rendered as Perfetto counter tracks.
+  perf::HwCounts hw;
 };
 
 /// Bounded multi-lane trace sink. Record() is safe from any thread; each
@@ -83,6 +87,19 @@ class TraceBuffer {
   uint64_t recorded() const;
   /// Events lost to ring overwrites.
   uint64_t dropped() const;
+
+  /// Recorded/dropped accounting for one lane, so ring overwrites surface
+  /// per thread instead of vanishing into an aggregate.
+  struct LaneStats {
+    uint16_t lane = 0;
+    uint64_t recorded = 0;
+    uint64_t retained = 0;
+    uint64_t dropped = 0;
+  };
+  /// Stats for every active lane, in lane order. A lane whose ring
+  /// wrapped reports dropped > 0; report.json lists these rows so a
+  /// truncated trace is visible, not silent.
+  std::vector<LaneStats> PerLaneStats() const;
 
   /// Stable snapshot of all retained events, sorted by (lane,
   /// exec_begin_ns, -end_ns) — the emission order the exporter wants.

@@ -102,6 +102,74 @@ class CompareReportsTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertIn("REGRESSION: compliance", result.stdout)
 
+    def hw_ops(self, ipc, llc_mpki, hw_samples=100):
+        return [{"op": "complex_9", "count": 100,
+                 "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 4.0,
+                 "hw_samples": hw_samples, "ipc": ipc,
+                 "llc_miss_per_kinstr": llc_mpki}]
+
+    def test_v4_identical_counter_reports_pass(self):
+        doc = make_report(schema="snb-report-v4", ops=self.hw_ops(2.0, 1.0))
+        base = self.write("base.json", doc)
+        cand = self.write("cand.json", doc)
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_injected_ipc_regression_fails(self):
+        # IPC halves (well past the default 20% drop): the gate must trip
+        # even though every wall-clock number is identical.
+        base = self.write("base.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 1.0)))
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(1.0, 1.0)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("complex_9 ipc", result.stdout)
+
+    def test_small_ipc_wobble_passes(self):
+        base = self.write("base.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 1.0)))
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(1.9, 1.0)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_llc_miss_inflation_fails(self):
+        base = self.write("base.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 1.0)))
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 3.0)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("llc_miss_per_kinstr", result.stdout)
+
+    def test_llc_slack_absorbs_small_absolute_growth(self):
+        # 0.1 -> 0.4 misses/kinstr is 4x relative but only 0.3 absolute —
+        # under the 0.5 slack, so near-zero baselines don't trip on noise.
+        base = self.write("base.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 0.1)))
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 0.4)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_counterless_baseline_skips_hw_checks(self):
+        # A wall-clock-only baseline (no hw fields) must not be compared
+        # against a candidate that happens to carry counters.
+        base = self.write("base.json", make_report())
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(0.1, 50.0)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_too_few_hw_samples_skips_hw_checks(self):
+        base = self.write("base.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(2.0, 1.0)))
+        cand = self.write("cand.json", make_report(
+            schema="snb-report-v4", ops=self.hw_ops(0.5, 1.0, hw_samples=2)))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
     def test_unknown_schema_is_bad_input(self):
         base = self.write("base.json", make_report(schema="not-a-report"))
         cand = self.write("cand.json", make_report())

@@ -118,11 +118,34 @@ TEST(HttpExporterTest, CachesWithinRefreshInterval) {
   exporter.Stop();
 }
 
+TEST(HttpExporterTest, HealthzIsBuiltInAndBypassesContentBuilders) {
+  std::atomic<int> builds{0};
+  HttpExporter exporter;
+  exporter.Handle("/metrics", "text/plain", [&builds] {
+    builds.fetch_add(1);
+    return "ok\n";
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  std::string response = Get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos);
+  EXPECT_EQ(BodyOf(response), "ok\n");
+  // A liveness probe must not trigger (possibly expensive) content
+  // builders or touch the cache.
+  EXPECT_EQ(builds.load(), 0);
+  exporter.Stop();
+}
+
 TEST(HttpExporterTest, UnknownPathIs404AndNonGetIs400) {
   HttpExporter exporter;
   exporter.Handle("/metrics", "text/plain", [] { return "ok\n"; });
   ASSERT_TRUE(exporter.Start(0).ok());
-  EXPECT_NE(Get(exporter.port(), "/nope").find("404"), std::string::npos);
+  std::string not_found = Get(exporter.port(), "/nope");
+  EXPECT_NE(not_found.find("404"), std::string::npos);
+  // Error responses carry a proper Content-Type, not a bare status line.
+  EXPECT_NE(not_found.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos);
   // Query strings are stripped before matching.
   EXPECT_NE(Get(exporter.port(), "/metrics?x=1").find("200"),
             std::string::npos);

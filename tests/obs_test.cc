@@ -299,7 +299,7 @@ TEST(ReportTest, JsonRoundTripPreservesStructure) {
   JsonValue v;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
-  EXPECT_EQ(v.Find("schema")->string, "snb-report-v3");
+  EXPECT_EQ(v.Find("schema")->string, "snb-report-v4");
   EXPECT_EQ(v.Find("title")->string, "unit-test run");
 
   const JsonValue* ops = v.Find("ops");
@@ -566,6 +566,42 @@ TEST(TraceBufferTest, RingBoundOverwritesOldestAndCounts) {
     EXPECT_GE(e.exec_begin_ns, 84u * 10);
   }
   CheckChromeTrace(ToChromeTraceJson(buffer), nullptr);
+}
+
+TEST(TraceBufferTest, PerLaneStatsAccountForEveryRecordedEvent) {
+  TraceBuffer buffer(/*events_per_lane=*/8);
+  constexpr int kThreads = 3;
+  const int counts[kThreads] = {4, 8, 30};  // Under, at, past the ring bound.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&buffer, n = counts[t]] {
+      for (int i = 0; i < n; ++i) {
+        TraceEvent event;
+        event.op = ShortOp(1);
+        event.exec_begin_ns = static_cast<uint64_t>(i) * 10;
+        event.end_ns = event.exec_begin_ns + 5;
+        buffer.Record(event);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<TraceBuffer::LaneStats> lanes = buffer.PerLaneStats();
+  ASSERT_EQ(lanes.size(), static_cast<size_t>(kThreads));
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  for (const TraceBuffer::LaneStats& lane : lanes) {
+    EXPECT_EQ(lane.recorded, lane.retained + lane.dropped)
+        << "lane " << lane.lane;
+    EXPECT_LE(lane.retained, 8u);
+    recorded += lane.recorded;
+    dropped += lane.dropped;
+  }
+  // Lane rows must sum to the aggregate counters: no event unaccounted.
+  EXPECT_EQ(recorded, buffer.recorded());
+  EXPECT_EQ(dropped, buffer.dropped());
+  EXPECT_EQ(recorded, 42u);
+  EXPECT_EQ(dropped, 22u);  // Only the 30-event lane wraps: 30 - 8.
 }
 
 TEST(TraceBufferTest, SchedArgsOnlyOnScheduledOps) {

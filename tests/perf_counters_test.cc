@@ -1,0 +1,387 @@
+// Tests of the hardware-counter subsystem (obs/perf_counters.h), the
+// slow-query dossier collector, and their report.json v4 surface.
+//
+// The central contract under test is graceful degradation: a forced
+// perf_event_open failure (ENOSYS, EACCES — the container/CI reality)
+// must install the no-op backend and still produce a *valid* report that
+// marks counters unavailable, never fabricated zeros. The live-counter
+// test runs only where the probe actually succeeds and skips elsewhere,
+// so the suite is green on every machine.
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/dossier.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace snb::obs {
+namespace {
+
+using perf::Backend;
+using perf::HwCounts;
+using perf::HwMetric;
+
+/// Restores the subsystem to kDisabled and clears test hooks, whatever a
+/// test did to it.
+struct PerfReset {
+  ~PerfReset() {
+    perf::SetPerfEventOpenErrnoForTest(0);
+    ::unsetenv("SNB_PERF_FORCE_NOOP");
+    perf::ResetForTest();
+  }
+};
+
+HwCounts MakeCounts(uint64_t cycles, uint64_t instructions,
+                    uint64_t llc = 0, uint64_t branches = 0) {
+  HwCounts c;
+  c.v[static_cast<size_t>(HwMetric::kCycles)] = cycles;
+  c.v[static_cast<size_t>(HwMetric::kInstructions)] = instructions;
+  c.v[static_cast<size_t>(HwMetric::kLlcLoadMisses)] = llc;
+  c.v[static_cast<size_t>(HwMetric::kBranchMisses)] = branches;
+  c.mask = (1u << static_cast<uint32_t>(HwMetric::kCycles)) |
+           (1u << static_cast<uint32_t>(HwMetric::kInstructions)) |
+           (1u << static_cast<uint32_t>(HwMetric::kLlcLoadMisses)) |
+           (1u << static_cast<uint32_t>(HwMetric::kBranchMisses));
+  return c;
+}
+
+// ---- HwCounts arithmetic --------------------------------------------------
+
+TEST(HwCountsTest, EmptyIsInvalidAndRatiosAreZero) {
+  HwCounts c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c.Ipc(), 0.0);
+  EXPECT_EQ(c.LlcMissesPerKiloInstr(), 0.0);
+  EXPECT_EQ(c.BranchMissesPerKiloInstr(), 0.0);
+}
+
+TEST(HwCountsTest, DeltaSinceIntersectsMasksAndSaturates) {
+  HwCounts begin = MakeCounts(1000, 3000, 10, 5);
+  HwCounts end = MakeCounts(1500, 4200, 12, 4);
+  // Drop instructions from the later reading: the delta must not claim it.
+  end.mask &= ~(1u << static_cast<uint32_t>(HwMetric::kInstructions));
+  HwCounts d = end.DeltaSince(begin);
+  EXPECT_TRUE(d.Has(HwMetric::kCycles));
+  EXPECT_FALSE(d.Has(HwMetric::kInstructions));
+  EXPECT_EQ(d.Value(HwMetric::kCycles), 500u);
+  EXPECT_EQ(d.Value(HwMetric::kLlcLoadMisses), 2u);
+  // branch 4 < begin 5: saturates at 0 instead of wrapping.
+  EXPECT_EQ(d.Value(HwMetric::kBranchMisses), 0u);
+}
+
+TEST(HwCountsTest, AccumulateSkipsInvalidAndUnionsMasks) {
+  HwCounts sum = MakeCounts(100, 200);
+  HwCounts invalid;
+  sum.Accumulate(invalid);
+  EXPECT_EQ(sum.Value(HwMetric::kCycles), 100u);
+
+  HwCounts more;
+  more.v[static_cast<size_t>(HwMetric::kTaskClockNs)] = 999;
+  more.mask = 1u << static_cast<uint32_t>(HwMetric::kTaskClockNs);
+  sum.Accumulate(more);
+  EXPECT_TRUE(sum.Has(HwMetric::kCycles));
+  EXPECT_TRUE(sum.Has(HwMetric::kTaskClockNs));
+  EXPECT_EQ(sum.Value(HwMetric::kTaskClockNs), 999u);
+}
+
+TEST(HwCountsTest, DerivedRatios) {
+  HwCounts c = MakeCounts(/*cycles=*/1000, /*instructions=*/2500,
+                          /*llc=*/5, /*branches=*/25);
+  EXPECT_DOUBLE_EQ(c.Ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(c.LlcMissesPerKiloInstr(), 2.0);
+  EXPECT_DOUBLE_EQ(c.BranchMissesPerKiloInstr(), 10.0);
+  // Missing cycles: IPC is 0, not a division by garbage.
+  c.mask &= ~(1u << static_cast<uint32_t>(HwMetric::kCycles));
+  EXPECT_EQ(c.Ipc(), 0.0);
+}
+
+TEST(HwCountsTest, MetricNamesAreStableDottedIdentifiers) {
+  EXPECT_STREQ(perf::HwMetricName(HwMetric::kCycles), "hw.cycles");
+  EXPECT_STREQ(perf::HwMetricName(HwMetric::kLlcLoadMisses),
+               "hw.llc_load_misses");
+  for (size_t i = 0; i < perf::kNumHwMetrics; ++i) {
+    std::string name = perf::HwMetricName(static_cast<HwMetric>(i));
+    EXPECT_EQ(name.rfind("hw.", 0), 0u) << name;
+  }
+}
+
+// ---- Backend state machine ------------------------------------------------
+
+TEST(PerfBackendTest, DisabledUntilEnabledAndReadsAreEmpty) {
+  PerfReset reset;
+  perf::ResetForTest();
+  EXPECT_EQ(perf::ActiveBackend(), Backend::kDisabled);
+  EXPECT_FALSE(perf::CountersLive());
+  EXPECT_FALSE(perf::ReadThreadCounters().valid());
+  perf::ScopedHwCounts scope;
+  EXPECT_FALSE(scope.Delta().valid());
+}
+
+TEST(PerfBackendTest, ForcedEnosysFallsBackToNoop) {
+  PerfReset reset;
+  perf::SetPerfEventOpenErrnoForTest(ENOSYS);
+  EXPECT_EQ(perf::Enable(), Backend::kNoop);
+  EXPECT_EQ(perf::ActiveBackend(), Backend::kNoop);
+  EXPECT_FALSE(perf::CountersLive());
+  EXPECT_FALSE(perf::ReadThreadCounters().valid());
+  EXPECT_NE(perf::BackendMessage().find("perf_event_open failed"),
+            std::string::npos)
+      << perf::BackendMessage();
+}
+
+TEST(PerfBackendTest, ForcedEaccesFallsBackToNoop) {
+  PerfReset reset;
+  perf::SetPerfEventOpenErrnoForTest(EACCES);
+  EXPECT_EQ(perf::Enable(), Backend::kNoop);
+  EXPECT_FALSE(perf::CountersLive());
+}
+
+TEST(PerfBackendTest, ForceNoopOptionAndEnvSkipTheProbe) {
+  PerfReset reset;
+  perf::EnableOptions options;
+  options.force_noop = true;
+  EXPECT_EQ(perf::Enable(options), Backend::kNoop);
+
+  perf::ResetForTest();
+  ::setenv("SNB_PERF_FORCE_NOOP", "1", 1);
+  EXPECT_EQ(perf::Enable(), Backend::kNoop);
+
+  // "0" means not forced: the probe runs (outcome is machine-dependent,
+  // but it must not be *forced* noop — assert it is a decided backend).
+  perf::ResetForTest();
+  ::setenv("SNB_PERF_FORCE_NOOP", "0", 1);
+  Backend probed = perf::Enable();
+  EXPECT_NE(probed, Backend::kDisabled);
+}
+
+TEST(PerfBackendTest, NoopBackendStillTimesSpansWithoutCounters) {
+  PerfReset reset;
+  perf::SetPerfEventOpenErrnoForTest(EACCES);
+  perf::Enable();
+  OperatorStats stats;
+  {
+    TraceSpan span(&stats);
+    span.AddRows(7);
+  }
+  EXPECT_EQ(stats.invocations, 1u);
+  EXPECT_EQ(stats.rows, 7u);
+  EXPECT_EQ(stats.hw_invocations, 0u);
+  EXPECT_FALSE(stats.hw.valid());
+}
+
+TEST(PerfBackendTest, LiveCountersMeasureRealWork) {
+  PerfReset reset;
+  if (perf::Enable() != Backend::kLinux) {
+    GTEST_SKIP() << "perf_event_open unavailable here: "
+                 << perf::BackendMessage();
+  }
+  OperatorStats stats;
+  volatile uint64_t sink = 0;
+  {
+    TraceSpan span(&stats);
+    for (uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i;
+  }
+  ASSERT_EQ(stats.hw_invocations, 1u);
+  ASSERT_TRUE(stats.hw.valid());
+  // 2M additions retire at least 1M instructions on any ISA.
+  ASSERT_TRUE(stats.hw.Has(HwMetric::kInstructions));
+  EXPECT_GT(stats.hw.Value(HwMetric::kInstructions), 1'000'000u);
+  EXPECT_GT(stats.hw.Ipc(), 0.0);
+}
+
+// ---- Dossier collector ----------------------------------------------------
+
+SlowQueryDossier MakeDossier(OpType op, uint64_t seq, uint64_t latency_ns) {
+  SlowQueryDossier d;
+  d.op = op;
+  d.seq = seq;
+  d.latency_ns = latency_ns;
+  return d;
+}
+
+TEST(DossierCollectorTest, KeepsSlowestNPerOpSortedDescending) {
+  DossierCollector collector(/*keep_per_op=*/3);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    collector.Offer(MakeDossier(ComplexOp(9), i, i * 100));
+  }
+  // A second op type keeps its own slots.
+  collector.Offer(MakeDossier(ShortOp(1), 99, 50));
+  EXPECT_EQ(collector.Size(), 4u);
+
+  std::vector<SlowQueryDossier> kept = collector.Snapshot();
+  std::vector<uint64_t> q9_latencies;
+  for (const SlowQueryDossier& d : kept) {
+    if (d.op == ComplexOp(9)) q9_latencies.push_back(d.latency_ns);
+  }
+  ASSERT_EQ(q9_latencies.size(), 3u);
+  EXPECT_EQ(q9_latencies[0], 1000u);
+  EXPECT_EQ(q9_latencies[1], 900u);
+  EXPECT_EQ(q9_latencies[2], 800u);
+}
+
+TEST(DossierCollectorTest, FloorRejectsNonTailOncefull) {
+  DossierCollector collector(/*keep_per_op=*/2);
+  // Until the slot set is full every positive latency is a candidate.
+  EXPECT_TRUE(collector.WouldKeep(ComplexOp(2), 1));
+  collector.Offer(MakeDossier(ComplexOp(2), 0, 500));
+  collector.Offer(MakeDossier(ComplexOp(2), 1, 700));
+  // Floor is now 500: equal-or-smaller latencies are pre-filtered.
+  EXPECT_FALSE(collector.WouldKeep(ComplexOp(2), 500));
+  EXPECT_TRUE(collector.WouldKeep(ComplexOp(2), 501));
+  // Offering below the floor anyway must not displace a kept dossier.
+  collector.Offer(MakeDossier(ComplexOp(2), 2, 100));
+  EXPECT_EQ(collector.Size(), 2u);
+  // A genuine tail instance evicts the 500 and raises the floor.
+  collector.Offer(MakeDossier(ComplexOp(2), 3, 900));
+  EXPECT_EQ(collector.Size(), 2u);
+  EXPECT_FALSE(collector.WouldKeep(ComplexOp(2), 700));
+  std::vector<SlowQueryDossier> kept = collector.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].latency_ns, 900u);
+  EXPECT_EQ(kept[1].latency_ns, 700u);
+}
+
+TEST(DossierCollectorTest, ZeroKeepIsClampedToOne) {
+  DossierCollector collector(/*keep_per_op=*/0);
+  EXPECT_EQ(collector.keep_per_op(), 1u);
+  collector.Offer(MakeDossier(UpdateOp(1), 0, 10));
+  collector.Offer(MakeDossier(UpdateOp(1), 1, 20));
+  EXPECT_EQ(collector.Size(), 1u);
+  EXPECT_EQ(collector.Snapshot()[0].latency_ns, 20u);
+}
+
+// ---- Report v4 surface ----------------------------------------------------
+
+/// A minimal metrics snapshot so reports validate (non-empty op table).
+MetricsSnapshot OneOpSnapshot() {
+  MetricsRegistry registry;
+  for (int i = 0; i < 16; ++i) {
+    registry.RecordLatencyMicros(ComplexOp(9), 1000 + i * 50);
+  }
+  return registry.Snapshot();
+}
+
+TEST(ReportV4Test, NoopBackendYieldsValidReportWithCountersUnavailable) {
+  PerfReset reset;
+  perf::SetPerfEventOpenErrnoForTest(ENOSYS);
+  perf::Enable();
+
+  RunReport report;
+  report.title = "forced-noop run";
+  report.metrics = OneOpSnapshot();
+  report.has_provenance = true;
+  report.provenance = BuildProvenance();
+  report.has_perf = true;
+  report.perf = CurrentPerfSection();
+  EXPECT_EQ(report.perf.backend, "noop");
+  EXPECT_FALSE(report.perf.counters_available);
+
+  std::string json = ToJson(report);
+  util::Status status = ValidateReportJson(json);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->string, "snb-report-v4");
+  const JsonValue* perf_section = doc.Find("perf");
+  ASSERT_NE(perf_section, nullptr);
+  EXPECT_EQ(perf_section->Find("backend")->string, "noop");
+  EXPECT_FALSE(perf_section->Find("counters_available")->boolean);
+  // No live counters anywhere: the op rows must not fabricate hw fields.
+  EXPECT_EQ(json.find("\"ipc\""), std::string::npos);
+}
+
+TEST(ReportV4Test, ValidatorRejectsAvailableCountersOnNoopBackend) {
+  RunReport report;
+  report.metrics = OneOpSnapshot();
+  report.has_perf = true;
+  report.perf.backend = "noop";
+  report.perf.counters_available = true;  // Contradiction.
+  util::Status status = ValidateReportJson(ToJson(report));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ReportV4Test, DossierAndTraceSectionsRoundTrip) {
+  RunReport report;
+  report.metrics = OneOpSnapshot();
+
+  SlowQueryDossier d = MakeDossier(ComplexOp(9), 42, 7'000'000);
+  d.hw = MakeCounts(1000, 2000, 3, 4);
+  DossierOperatorRow row;
+  row.name = "join3_messages";
+  row.invocations = 1;
+  row.time_ns = 5'000'000;
+  row.rows = 1234;
+  row.hw = MakeCounts(800, 1500);
+  row.hw_invocations = 1;
+  d.operators.push_back(row);
+  report.dossiers.push_back(d);
+
+  report.has_trace_stats = true;
+  report.trace_stats.recorded = 100;
+  report.trace_stats.dropped = 20;
+  TraceStatsSection::LaneRow lane;
+  lane.lane = 0;
+  lane.recorded = 100;
+  lane.retained = 80;
+  lane.dropped = 20;
+  report.trace_stats.lanes.push_back(lane);
+
+  std::string json = ToJson(report);
+  util::Status status = ValidateReportJson(json);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  const JsonValue* dossiers = doc.Find("dossiers");
+  ASSERT_NE(dossiers, nullptr);
+  ASSERT_EQ(dossiers->array.size(), 1u);
+  const JsonValue& entry = dossiers->array[0];
+  EXPECT_EQ(entry.Find("op")->string, OpTypeName(ComplexOp(9)));
+  EXPECT_EQ(entry.Find("seq")->number, 42.0);
+  EXPECT_NEAR(entry.Find("latency_ms")->number, 7.0, 1e-9);
+  EXPECT_NEAR(entry.Find("ipc")->number, 2.0, 1e-9);
+  const JsonValue* operators = entry.Find("operators");
+  ASSERT_NE(operators, nullptr);
+  ASSERT_EQ(operators->array.size(), 1u);
+  EXPECT_EQ(operators->array[0].Find("name")->string, "join3_messages");
+  EXPECT_EQ(operators->array[0].Find("rows")->number, 1234.0);
+
+  const JsonValue* trace = doc.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->Find("recorded")->number, 100.0);
+  EXPECT_EQ(trace->Find("lanes")->array.size(), 1u);
+}
+
+TEST(ReportV4Test, ValidatorRejectsInconsistentTraceAccounting) {
+  RunReport report;
+  report.metrics = OneOpSnapshot();
+  report.has_trace_stats = true;
+  report.trace_stats.recorded = 100;
+  report.trace_stats.dropped = 20;
+  TraceStatsSection::LaneRow lane;
+  lane.lane = 0;
+  lane.recorded = 100;
+  lane.retained = 90;  // 90 + 20 != 100.
+  lane.dropped = 20;
+  report.trace_stats.lanes.push_back(lane);
+  util::Status status = ValidateReportJson(ToJson(report));
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ReportV4Test, ProvenanceIsAlwaysPopulated) {
+  ProvenanceSection p = BuildProvenance();
+  EXPECT_FALSE(p.git_sha.empty());
+  EXPECT_FALSE(p.compiler.empty());
+  EXPECT_FALSE(p.sanitizer.empty());
+}
+
+}  // namespace
+}  // namespace snb::obs
