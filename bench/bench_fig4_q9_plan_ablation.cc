@@ -11,7 +11,7 @@
 //
 // Usage:
 //   bench_fig4_q9_plan_ablation [--report <path>] [--params N]
-//                               [--perf-counters]
+//                               [--perf-counters] [--cpu-profile <path>]
 // With --report the bench also writes a self-validated report.json
 // carrying the intended plan's operator profile — the smoke artifact
 // checked by scripts/check.sh. Exits nonzero when the emitted report
@@ -21,6 +21,9 @@
 // penalty can be located micro-architecturally — and the report's
 // q9_profile rows carry the same counters for compare_reports.py to
 // gate on. Degrades to wall-clock-only where perf_event_open is denied.
+// With --cpu-profile the sampling profiler runs across the ablation and
+// the folded stacks land at <path> (operator labels from the same
+// TraceSpans), plus a report "profile" section when --report is given.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -29,6 +32,7 @@
 #include "curation/parameter_curation.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
+#include "obs/prof.h"
 #include "obs/report.h"
 #include "queries/batched_queries.h"
 #include "queries/query9_plans.h"
@@ -47,7 +51,8 @@ const char* Short(JoinStrategy s) {
 }
 
 struct Options {
-  std::string report_path;  // Empty = no report.
+  std::string report_path;       // Empty = no report.
+  std::string cpu_profile_path;  // Empty = no sampling profiler.
   size_t num_params = 20;
   bool perf_counters = false;
 };
@@ -67,6 +72,13 @@ void PrintProfileRow(const std::string& op, const obs::OperatorStats& s) {
 int Run(const Options& options) {
   PrintHeader("Figure 4 — Query 9 intended plan & join-type ablation");
   if (options.perf_counters) EnablePerfCounters();
+  if (!options.cpu_profile_path.empty()) EnableCpuProfiler();
+  // Every Q9 execution below runs on this thread; the lane + op context
+  // give the profiler full attribution (opr: labels come from the
+  // TraceSpans inside the plans themselves).
+  obs::prof::ScopedThreadRegistration prof_main("bench.main");
+  obs::prof::ScopedOpContext prof_q9(
+      static_cast<uint16_t>(obs::ComplexOp(9)));
   std::unique_ptr<BenchWorld> world = MakeWorld(kMediumSf);
   curation::PcTable table =
       curation::BuildTwoHopTable(world->dataset.stats);
@@ -196,13 +208,16 @@ int Run(const Options& options) {
   std::printf("  batched vs intended scalar plan speedup: %.2fx\n\n",
               batched_ms > 0 ? intended_ms / batched_ms : 0.0);
 
-  if (options.report_path.empty()) return 0;
-
   obs::RunReport report;
   report.title = "fig4 q9 plan ablation (" + std::to_string(params.size()) +
                  " curated params/plan)";
   StampExecMode(&report);
   StampProvenance(&report);
+  if (!options.cpu_profile_path.empty()) {
+    StampProfile(&report, options.cpu_profile_path);
+  }
+  if (options.report_path.empty()) return 0;
+
   report.metrics = metrics.Snapshot();
   report.has_q9_profile = true;
   report.q9_profile = queries::MakeQ9ProfileSection(
@@ -236,10 +251,14 @@ int main(int argc, char** argv) {
       if (options.num_params == 0) options.num_params = 1;
     } else if (std::strcmp(argv[i], "--perf-counters") == 0) {
       options.perf_counters = true;
+    } else if (std::strcmp(argv[i], "--cpu-profile") == 0 && i + 1 < argc) {
+      options.cpu_profile_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--cpu-profile=", 14) == 0) {
+      options.cpu_profile_path = argv[i] + 14;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--report <path>] [--params N] "
-                   "[--perf-counters]\n",
+                   "[--perf-counters] [--cpu-profile <path>]\n",
                    argv[0]);
       return 1;
     }

@@ -62,6 +62,31 @@ void EnablePerfCounters() {
               obs::perf::BackendMessage().c_str());
 }
 
+void EnableCpuProfiler() {
+  obs::prof::Backend backend = obs::prof::Enable();
+  std::printf("  cpu profiler: backend=%s (%s)\n",
+              obs::prof::BackendName(backend),
+              obs::prof::BackendMessage().c_str());
+}
+
+void StampProfile(obs::RunReport* report, const std::string& path) {
+  obs::prof::FoldedProfile folded = obs::prof::Collect();
+  report->has_profile = true;
+  report->profile = obs::MakeProfileSection(folded);
+  if (!path.empty()) {
+    util::Status status =
+        obs::WriteFileReport(path, obs::prof::ToFoldedText(folded));
+    if (!status.ok()) {
+      std::fprintf(stderr, "cpu-profile write failed: %s\n",
+                   status.ToString().c_str());
+      return;
+    }
+    std::printf("  cpu profile: wrote %s (%zu folded stacks, %llu samples)\n",
+                path.c_str(), folded.stacks.size(),
+                static_cast<unsigned long long>(folded.accounting.captured));
+  }
+}
+
 bool SetExecModeFromFlag(const std::string& value) {
   exec::ExecMode mode;
   if (!exec::ParseExecMode(value, &mode)) {

@@ -76,6 +76,17 @@ inline void StampExecMode(obs::RunReport* report) {
 /// running counter-less.
 void EnablePerfCounters();
 
+/// Handles a `--cpu-profile=PATH` flag: probes and enables the sampling
+/// CPU profiler and prints the outcome. Safe where per-thread POSIX
+/// timers are unavailable — the no-op backend keeps the bench running
+/// sample-less (the folded artifact is then empty but still written).
+void EnableCpuProfiler();
+
+/// Stamps the profiler section (schema snb-report-v5 superset field) from
+/// a collected profile and writes the folded-stack artifact to `path`
+/// when non-empty. Call after the measured region, before WriteReport.
+void StampProfile(obs::RunReport* report, const std::string& path);
+
 /// Stamps build provenance (git SHA, compiler, SIMD, sanitizer) and —
 /// once the perf subsystem has been enabled — the perf backend state
 /// into the report (schema snb-report-v4 superset fields).

@@ -11,16 +11,19 @@
 //      compliance audit passed (>= 95% of operations started within the
 //      lateness window); report the acceleration factor and per-query
 //      latencies (p50/p95/p99), and write the machine-readable artifacts:
-//      report.json (schema snb-report-v4, incl. the compliance audit, a
-//      Q9 per-operator profile and build provenance) and report.prom
-//      (Prometheus text exposition).
+//      report.json (schema snb-report-v5, incl. the compliance audit, a
+//      Q9 per-operator profile, build provenance and the CPU-profile
+//      section) and report.prom (Prometheus text exposition).
 //
 //   ./examples/benchmark_run [scale_factor] [acceleration] [report_path]
 //                            [--listen <port>] [--trace-out <path>]
 //                            [--exec scalar|batched] [--perf-counters]
+//                            [--cpu-profile=<path>]
 //
 //   --listen <port>    serve GET /metrics (Prometheus text),
-//                      GET /report.json (live snapshot) and GET /healthz
+//                      GET /report.json (live snapshot), GET /healthz and
+//                      GET /profile?seconds=N (on-demand folded-stack
+//                      capture; 503 while the profiler backend is no-op)
 //                      while the run executes (0 picks an ephemeral port).
 //   --trace-out <path> record every executed operation into a bounded
 //                      ring and flush a Chrome-trace/Perfetto JSON
@@ -37,11 +40,21 @@
 //                      Falls back to a no-op backend (run still valid,
 //                      counters marked unavailable) where perf_event_open
 //                      is denied — containers, CI.
+//   --cpu-profile <path>  additionally write the sampling CPU profile as
+//                      collapsed stacks ("folded" text, one line per
+//                      unique stack) to <path>; scripts/profile_view.py
+//                      turns it into a flamegraph SVG or speedscope JSON.
+//                      The profiler itself is always on (it degrades to a
+//                      no-op backend under seccomp/sanitizers or with
+//                      SNB_PROF_FORCE_NOOP=1); the flag only adds the
+//                      artifact.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/datagen.h"
@@ -52,10 +65,12 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
+#include "obs/prof.h"
 #include "obs/report.h"
 #include "obs/trace_buffer.h"
 #include "queries/query9_plans.h"
 #include "store/graph_store.h"
+#include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
   using namespace snb;
@@ -65,6 +80,7 @@ int main(int argc, char** argv) {
   std::string report_path = "report.json";
   int listen_port = -1;
   std::string trace_path;
+  std::string cpu_profile_path;
   bool perf_counters = false;
 
   int positional = 0;
@@ -75,6 +91,10 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--perf-counters") == 0) {
       perf_counters = true;
+    } else if (std::strncmp(argv[i], "--cpu-profile=", 14) == 0) {
+      cpu_profile_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--cpu-profile") == 0 && i + 1 < argc) {
+      cpu_profile_path = argv[++i];
     } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
       exec::ExecMode exec_mode;
       if (!exec::ParseExecMode(argv[++i], &exec_mode)) {
@@ -161,6 +181,15 @@ int main(int argc, char** argv) {
     dossiers = std::make_unique<obs::DossierCollector>(/*keep_per_op=*/3);
   }
 
+  // Always-on sampling CPU profiler. Enabled after datagen + bulk load so
+  // the samples cover the replay itself; degrades to a no-op backend when
+  // per-thread timers are unavailable (seccomp, sanitizers,
+  // SNB_PROF_FORCE_NOOP) without invalidating the run.
+  obs::prof::Backend prof_backend = obs::prof::Enable();
+  std::printf("cpu profiler: backend=%s (%s)\n\n",
+              obs::prof::BackendName(prof_backend),
+              obs::prof::BackendMessage().c_str());
+
   // Live observer: /metrics and /report.json rebuild from the registry at
   // most every 250 ms, so curl/Prometheus can watch the run as it executes.
   obs::HttpExporter exporter;
@@ -176,12 +205,41 @@ int main(int argc, char** argv) {
       live.metrics = metrics.Snapshot();
       return obs::ToJson(live);
     });
+    // On-demand capture window: two Collect() snapshots N seconds apart,
+    // served as collapsed stacks. 503 + JSON error while the profiler
+    // backend is no-op, matching the /healthz convention of never lying.
+    exporter.HandleDynamic("/profile", [](const std::string& query) {
+      obs::HttpExporter::HttpResponse resp;
+      if (!obs::prof::SamplingLive()) {
+        resp.status = 503;
+        resp.content_type = "application/json";
+        resp.body = std::string("{\"error\":\"profiler unavailable\","
+                                "\"backend\":\"") +
+                    obs::prof::BackendName(obs::prof::ActiveBackend()) +
+                    "\"}\n";
+        return resp;
+      }
+      int seconds = 1;
+      size_t pos = query.find("seconds=");
+      if (pos != std::string::npos) {
+        seconds = std::atoi(query.c_str() + pos + 8);
+      }
+      if (seconds < 1) seconds = 1;
+      if (seconds > 30) seconds = 30;
+      obs::prof::FoldedProfile before = obs::prof::Collect();
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      obs::prof::FoldedProfile after = obs::prof::Collect();
+      resp.content_type = "text/plain; version=folded";
+      resp.body = obs::prof::ToFoldedText(obs::prof::DeltaSince(before, after));
+      return resp;
+    });
     status = exporter.Start(static_cast<uint16_t>(listen_port));
     if (!status.ok()) {
       std::fprintf(stderr, "--listen failed: %s\n", status.ToString().c_str());
       return 1;
     }
-    std::printf("serving http://localhost:%u/metrics and /report.json\n\n",
+    std::printf("serving http://localhost:%u/metrics, /report.json and"
+                " /profile\n\n",
                 exporter.port());
   }
 
@@ -250,13 +308,30 @@ int main(int argc, char** argv) {
   // real parameters so the report carries a per-operator section.
   queries::Q9OperatorProfile q9_profile;
   {
+    // The main thread joins the profiled population only for this block,
+    // attributed to complex.Q9 — its report-assembly work stays unsampled.
+    obs::prof::ScopedThreadRegistration prof_main("main");
+    obs::prof::ScopedOpContext prof_q9(
+        static_cast<uint16_t>(obs::ComplexOp(9)));
     std::vector<schema::PersonId> persons;
     {
       auto pin = store.ReadLock();
       persons = store.PersonIds(pin);
     }
+    // At least 5 executions for the operator rows; keep going (bounded)
+    // until the block has burned ~60 ms of CPU so the sampling profiler
+    // collects a meaningful number of operator-labelled samples even at
+    // kernel-tick sampling granularity (per-thread CPU timers fire at
+    // multi-ms resolution on HZ=250 kernels regardless of the requested
+    // interval).
+    util::Stopwatch block_watch;
     int runs = 0;
-    for (size_t i = 0; i < persons.size() && runs < 5; i += 17, ++runs) {
+    for (size_t i = 0; runs < 150; i += 17, ++runs) {
+      if (i >= persons.size()) {
+        if (persons.empty()) break;
+        i %= persons.size();
+      }
+      if (runs >= 5 && block_watch.ElapsedNanos() > 60'000'000) break;
       queries::Query9WithPlan(
           store, persons[i], workload.operations.back().due_time, 20,
           queries::JoinStrategy::kIndexNestedLoop,
@@ -264,11 +339,30 @@ int main(int argc, char** argv) {
           queries::JoinStrategy::kIndexNestedLoop, nullptr, &q9_profile);
     }
   }
-  std::printf("\nQ9 operator profile (INL-INL-INL, 5 executions):\n");
+  std::printf("\nQ9 operator profile (INL-INL-INL):\n");
   for (const auto& [name, stats] : queries::ProfileRows(q9_profile)) {
     std::printf("  %-26s %6llu calls %10.3f ms %10llu rows\n", name.c_str(),
                 (unsigned long long)stats.invocations, stats.TimeMs(),
                 (unsigned long long)stats.rows);
+  }
+
+  // Collected after the Q9 block so its samples (main-thread lane) are
+  // folded in; driver lanes folded their totals when their threads exited.
+  obs::prof::FoldedProfile folded = obs::prof::Collect();
+  {
+    const obs::prof::SampleAccounting& acc = folded.accounting;
+    double overhead_pct =
+        acc.task_clock_ns > 0
+            ? 100.0 * static_cast<double>(acc.self_overhead_ns) /
+                  static_cast<double>(acc.task_clock_ns)
+            : 0.0;
+    std::printf("\ncpu profile: %llu samples captured (%llu attributed,"
+                " %llu unattributed, %llu dropped) across %u threads,"
+                " self-overhead %.3f%% of task-clock\n",
+                (unsigned long long)acc.captured,
+                (unsigned long long)acc.attributed,
+                (unsigned long long)acc.unattributed,
+                (unsigned long long)acc.dropped, acc.threads, overhead_pct);
   }
 
   obs::RunReport run_report;
@@ -285,6 +379,14 @@ int main(int argc, char** argv) {
       queries::MakeQ9ProfileSection(q9_profile, "INL-INL-INL");
   run_report.has_provenance = true;
   run_report.provenance = obs::BuildProvenance();
+  run_report.has_profile = true;
+  run_report.profile = obs::MakeProfileSection(folded);
+  for (size_t i = 0; i < run_report.profile.top_frames.size() && i < 4; ++i) {
+    const obs::ProfileSection::OpFrames& row = run_report.profile.top_frames[i];
+    std::printf("  hottest under %-16s (%llu samples): %s\n", row.op.c_str(),
+                (unsigned long long)row.samples,
+                row.frames.empty() ? "-" : row.frames[0].frame.c_str());
+  }
   if (perf_counters) {
     run_report.has_perf = true;
     run_report.perf = obs::CurrentPerfSection();
@@ -332,6 +434,18 @@ int main(int argc, char** argv) {
   (void)obs::WriteFileReport(prom_path,
                              obs::ToPrometheusText(run_report.metrics));
   std::printf("\nwrote %s and %s\n", report_path.c_str(), prom_path.c_str());
+
+  if (!cpu_profile_path.empty()) {
+    status = obs::WriteFileReport(cpu_profile_path,
+                                  obs::prof::ToFoldedText(folded));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu folded stacks, %llu samples)\n",
+                cpu_profile_path.c_str(), folded.stacks.size(),
+                (unsigned long long)folded.accounting.captured);
+  }
 
   if (trace != nullptr) {
     status = obs::WriteFileReport(trace_path, obs::ToChromeTraceJson(*trace));

@@ -26,10 +26,13 @@ echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 smoke_report="$(mktemp -t snb-smoke-report.XXXXXX.json)"
 smoke_trace="$(mktemp -t snb-smoke-trace.XXXXXX.json)"
 smoke_golden="$(mktemp -t snb-smoke-golden.XXXXXX.json)"
+smoke_folded="$(mktemp -t snb-smoke-prof.XXXXXX.folded)"
+smoke_svg="$(mktemp -t snb-smoke-prof.XXXXXX.svg)"
 bench_today="BENCH_$(date +%F).json"
 cleanup() {
   local status=$?
   rm -f "${smoke_report}" "${smoke_trace}" "${smoke_golden}"
+  rm -f "${smoke_folded}" "${smoke_svg}"
   # A failed run must not leave a half-written bench artifact behind: the
   # next invocation would seed BENCH_baseline.json from it.
   if [[ ${status} -ne 0 ]]; then
@@ -51,11 +54,13 @@ echo "== exec smoke: intersection-kernel cross-check =="
 echo "== driver smoke: throttled run with trace export + compliance audit =="
 # Small SF, auto acceleration (~5 s replay). Exits nonzero unless the pace
 # was sustained AND the compliance audit passed; self-validates report.json
-# (schema snb-report-v4 incl. the compliance section) before writing it.
+# (schema snb-report-v5 incl. the compliance section) before writing it.
 # --perf-counters arms the hardware-counter backend (degrading to no-op
-# where perf_event_open is denied) and the slow-query dossier collector.
+# where perf_event_open is denied) and the slow-query dossier collector;
+# --cpu-profile arms the sampling profiler and writes the folded stacks.
 ./build/examples/benchmark_run 0.05 0 "${bench_today}" \
-  --trace-out "${smoke_trace}" --perf-counters
+  --trace-out "${smoke_trace}" --perf-counters \
+  --cpu-profile "${smoke_folded}"
 # The trace must be valid JSON with per-thread lanes (Chrome-trace format);
 # the obs tests check B/E pairing, here we gate on parse + shape. The
 # report must carry tail attribution: at least one slow-query dossier and
@@ -68,7 +73,7 @@ lanes = {e["tid"] for e in events if e.get("ph") in ("B", "E")}
 assert events and lanes, "trace has no spans"
 print(f"trace OK: {len(events)} events across {len(lanes)} lanes")
 report = json.load(open(sys.argv[2]))
-assert report["schema"] == "snb-report-v4", report["schema"]
+assert report["schema"] == "snb-report-v5", report["schema"]
 assert report["perf"]["backend"] in ("noop", "linux"), report["perf"]
 assert report["provenance"]["git_sha"], "provenance missing git sha"
 dossiers = report.get("dossiers", [])
@@ -76,7 +81,35 @@ assert len(dossiers) >= 1, "driver smoke kept no slow-query dossiers"
 with_ops = sum(1 for d in dossiers if d.get("operators"))
 print(f"report OK: backend={report['perf']['backend']}, "
       f"{len(dossiers)} dossiers ({with_ops} with operator breakdowns)")
+prof = report["profile"]
+assert prof["backend"] in ("noop", "timer"), prof
+acct = (prof["attributed"], prof["unattributed"], prof["dropped"])
+assert prof["captured"] == sum(acct), (prof["captured"], acct)
+if prof["backend"] == "timer":
+    assert prof["captured"] > 0, "timer backend captured no samples"
+    # The acceptance bar: >= 80% of samples attributed to a known op.
+    frac = prof["attributed"] / prof["captured"]
+    assert frac >= 0.8, f"only {frac:.0%} of samples attributed"
+    print(f"profile OK: {prof['captured']} samples, {frac:.0%} attributed, "
+          f"{prof['threads']} threads")
+else:
+    print(f"profile OK: backend=noop ({prof.get('message', '')})")
 EOF
+# The folded artifact must carry per-lane stacks and render through the
+# dependency-free viewer (flamegraph SVG) when sampling was live.
+if grep -q "^thread:" "${smoke_folded}"; then
+  grep -q "op:" "${smoke_folded}" || {
+    echo "folded profile has no op-attributed stacks" >&2
+    exit 1
+  }
+  python3 scripts/profile_view.py "${smoke_folded}" --svg "${smoke_svg}"
+  test -s "${smoke_svg}" || {
+    echo "profile_view.py produced an empty SVG" >&2
+    exit 1
+  }
+else
+  echo "profiler unavailable here; folded artifact empty (expected shape)"
+fi
 
 echo "== validation smoke: golden emit + replay (serial and threaded) =="
 # Time-boxed profile: a small golden set (~1 s to emit, <1 s per replay)

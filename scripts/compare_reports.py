@@ -18,10 +18,16 @@ candidate regressed past the configured thresholds:
     AND more than --llc-miss-slack absolute. Counter ratios only exist
     in snb-report-v4 runs with live perf counters; when either report
     lacks them for an op, that op's counter checks are skipped — so
-    wall-clock-only baselines keep working.
+    wall-clock-only baselines keep working;
+  * the candidate's sampling-profiler self-overhead exceeded
+    --max-profiler-overhead (fraction of the profiled task-clock). This
+    is an absolute gate on the candidate alone — no baseline profile is
+    needed — and it only engages when the candidate ran the timer
+    backend with at least --min-prof-samples samples (a 3-sample run
+    cannot estimate overhead).
 
 Only op types present in BOTH reports are compared, so baselines survive
-query-mix additions. Accepts schema snb-report-v1 through v4 (v1 simply
+query-mix additions. Accepts schema snb-report-v1 through v5 (v1 simply
 has no compliance section to compare; the v3 validation section is not
 a performance artifact and is ignored here).
 
@@ -37,7 +43,7 @@ import sys
 
 PERCENTILES = ("p50_ms", "p95_ms", "p99_ms")
 ACCEPTED_SCHEMAS = ("snb-report-v1", "snb-report-v2", "snb-report-v3",
-                    "snb-report-v4")
+                    "snb-report-v4", "snb-report-v5")
 
 
 def load_report(path):
@@ -96,6 +102,14 @@ def main():
     parser.add_argument("--min-hw-samples", type=int, default=8, metavar="N",
                         help="skip counter checks for ops with fewer "
                              "counter-attached samples (default 8)")
+    parser.add_argument("--max-profiler-overhead", type=float, default=0.02,
+                        metavar="FRAC",
+                        help="max allowed candidate profiler self-overhead "
+                             "as a fraction of task-clock (default 0.02)")
+    parser.add_argument("--min-prof-samples", type=int, default=200,
+                        metavar="N",
+                        help="skip the overhead gate below this many "
+                             "captured samples (default 200)")
     args = parser.parse_args()
 
     base = load_report(args.baseline)
@@ -163,6 +177,23 @@ def main():
             regressions.append(
                 f"compliance: on-time fraction {cand_frac:.4f} < floor "
                 f"{floor:.4f} (baseline {base_frac:.4f})")
+
+    # Profiler self-overhead: an absolute gate on the candidate (v5 runs
+    # with a live timer backend only). The profiler must stay invisible;
+    # a baseline is no defense for a 5%-overhead "always-on" profiler.
+    prof = cand.get("profile", {})
+    if (prof.get("backend") == "timer"
+            and prof.get("captured", 0) >= args.min_prof_samples
+            and prof.get("task_clock_ns", 0) > 0):
+        checks += 1
+        frac = prof.get("self_overhead_ns", 0) / prof["task_clock_ns"]
+        if frac > args.max_profiler_overhead:
+            regressions.append(
+                f"profiler self-overhead: {frac:.2%} of task-clock > max "
+                f"{args.max_profiler_overhead:.2%} "
+                f"({prof.get('self_overhead_ns', 0)} ns over "
+                f"{prof['task_clock_ns']} ns, "
+                f"{prof.get('captured', 0)} samples)")
 
     print(f"compared {args.candidate} against {args.baseline}: "
           f"{checks} checks, {len(regressions)} regressions")

@@ -11,6 +11,7 @@
 #include "driver/dependency_services.h"
 #include "driver/run_audit.h"
 #include "obs/perf_counters.h"
+#include "obs/prof.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
 #include "util/thread_annotations.h"
@@ -149,6 +150,10 @@ void RunStream(const std::vector<const Operation*>& ops,
                const Throttle& throttle, RunState* state,
                obs::MetricsRegistry* metrics, obs::TraceBuffer* trace) {
   for (const Operation* op : ops) {
+    // CPU burned anywhere in this iteration — dependency wait, throttle
+    // spin, execution — is on behalf of this op; attribute all of it.
+    obs::prof::ScopedOpContext prof_op(
+        static_cast<uint16_t>(TraceOpType(*op)));
     bool is_dependency =
         op->is_dependency ||
         (mode == ExecutionMode::kParallelGct &&
@@ -274,6 +279,8 @@ DriverReport RunStreamed(const std::vector<Operation>& operations,
   workers.reserve(partitions);
   for (uint32_t p = 0; p < partitions; ++p) {
     workers.emplace_back([&, p] {
+      std::string lane = "driver." + std::to_string(p);
+      obs::prof::ScopedThreadRegistration prof_thread(lane.c_str());
       RunStream(streams[p], connector, config.mode, lds[p], &gds, throttle,
                 &state, config.metrics, config.trace);
     });
@@ -291,6 +298,10 @@ void ExecuteWindowedOp(const Operation& op, Connector& connector,
                        const Throttle& throttle, RunState* state,
                        obs::MetricsRegistry* metrics,
                        obs::TraceBuffer* trace) {
+  // Pool workers register lazily under a shared lane (idempotent after
+  // the first window) and unregister at thread exit.
+  obs::prof::RegisterCurrentThread("driver.pool");
+  obs::prof::ScopedOpContext prof_op(static_cast<uint16_t>(TraceOpType(op)));
   if (throttle.throttled()) {
     int64_t lag_us = throttle.LatenessMicros(op.due_time);
     state->RecordLag(lag_us, throttle.ScheduledSecond(op.due_time));

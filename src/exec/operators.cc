@@ -23,7 +23,7 @@ TwoHopStats ExpandTwoHopSorted(const store::GraphStore& store,
   // join1: the direct friend list, already sorted by neighbour id.
   std::vector<uint64_t> direct;
   {
-    obs::TraceSpan span(join1_sink);
+    obs::TraceSpan span(join1_sink, "join1");
     store::CopyFriendIds(p->friends.view(), &direct);
     stats.direct = direct.size();
     span.AddRows(stats.direct);
@@ -35,7 +35,7 @@ TwoHopStats ExpandTwoHopSorted(const store::GraphStore& store,
   // same element set, same final order.
   std::vector<uint64_t> fof;
   {
-    obs::TraceSpan span(join2_sink);
+    obs::TraceSpan span(join2_sink, "join2");
     std::vector<uint64_t> ids;
     std::vector<uint64_t> fresh;
     for (uint64_t f : direct) {
@@ -101,7 +101,7 @@ bool MessageScanOperator::OpenNextPerson() {
 }
 
 bool MessageScanOperator::Next(Batch* out) {
-  obs::TraceSpan span(stats_);
+  obs::TraceSpan span(stats_, "message_scan");
   out->clear();
   while (out->size < kBatchCapacity) {
     if (pos_ == end_ && !OpenNextPerson()) break;

@@ -29,6 +29,8 @@ std::string StatusLine(int code) {
       return "HTTP/1.1 200 OK\r\n";
     case 404:
       return "HTTP/1.1 404 Not Found\r\n";
+    case 503:
+      return "HTTP/1.1 503 Service Unavailable\r\n";
     default:
       return "HTTP/1.1 400 Bad Request\r\n";
   }
@@ -52,6 +54,13 @@ void HttpExporter::Handle(std::string path, std::string content_type,
   route.path = std::move(path);
   route.content_type = std::move(content_type);
   route.build = std::move(fn);
+  routes_.push_back(std::move(route));
+}
+
+void HttpExporter::HandleDynamic(std::string path, DynamicFn fn) {
+  Route route;
+  route.path = std::move(path);
+  route.build_dynamic = std::move(fn);
   routes_.push_back(std::move(route));
 }
 
@@ -146,8 +155,12 @@ void HttpExporter::ServeConnection(int fd) {
   std::string path = line.substr(4, path_end == std::string::npos
                                         ? std::string::npos
                                         : path_end - 4);
+  std::string query_string;
   size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path.resize(query);
+  }
 
   // Liveness probe: answers as long as the serve thread runs, without
   // touching any ContentFn (no snapshot merge, no cache) — the probe must
@@ -159,6 +172,13 @@ void HttpExporter::ServeConnection(int fd) {
 
   for (Route& route : routes_) {
     if (route.path != path) continue;
+    if (route.build_dynamic) {
+      // Dynamic routes bypass the cache: the handler sees every request
+      // (e.g. /profile?seconds=N captures a fresh window per call).
+      HttpResponse resp = route.build_dynamic(query_string);
+      SendResponse(fd, resp.status, resp.content_type, resp.body);
+      return;
+    }
     auto now = std::chrono::steady_clock::now();
     if (!route.cache_valid ||
         now - route.cached_at >=

@@ -5,17 +5,21 @@
 // exporter serves the existing text artifacts over HTTP while the run is
 // in flight — `GET /metrics` (Prometheus text exposition, scrapeable),
 // `GET /report.json` (the snb-report document built from a live
-// snapshot), and a built-in `GET /healthz` liveness probe that bypasses
-// every handler (no snapshot, no cache) — with no dependencies beyond
-// POSIX sockets.
+// snapshot), `GET /profile?seconds=N` (an on-demand sampling-profiler
+// capture window, see HandleDynamic), and a built-in `GET /healthz`
+// liveness probe that bypasses every handler (no snapshot, no cache) —
+// with no dependencies beyond POSIX sockets.
 //
 // Design: one background thread runs a blocking accept loop and serves
 // connections sequentially; handlers are registered as content callbacks
 // before Start(). Responses are cached per path and rebuilt at most once
 // per refresh interval, so an aggressive scraper cannot turn
 // MetricsRegistry::Snapshot() merges into measurable load on the run.
-// Serving is deliberately simple (HTTP/1.0-style close-after-response);
-// the clients are curl, Prometheus, and the raw-socket test.
+// Dynamic routes (HandleDynamic) opt out of the cache and see the raw
+// query string — they choose their own status code and content type per
+// request (the /profile 503-when-unavailable contract). Serving is
+// deliberately simple (HTTP/1.0-style close-after-response); the clients
+// are curl, Prometheus, and the raw-socket test.
 #ifndef SNB_OBS_HTTP_EXPORTER_H_
 #define SNB_OBS_HTTP_EXPORTER_H_
 
@@ -47,6 +51,24 @@ class HttpExporter {
   /// "/metrics"). Must be called before Start().
   void Handle(std::string path, std::string content_type, ContentFn fn);
 
+  /// A full per-request response: dynamic routes pick status, type and
+  /// body themselves (e.g. /profile answers 503 + JSON error while the
+  /// profiler backend is no-op, folded text otherwise).
+  struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Builds the response for one request; receives the raw query string
+  /// (text after '?', without it; empty when absent). Never cached:
+  /// every request re-invokes the handler.
+  using DynamicFn = std::function<HttpResponse(const std::string& query)>;
+
+  /// Registers `fn` as an uncached dynamic handler for exact path
+  /// `path`. Must be called before Start().
+  void HandleDynamic(std::string path, DynamicFn fn);
+
   /// Cached responses younger than this are served without re-invoking
   /// their ContentFn. 0 rebuilds on every request. Default 250 ms.
   void set_refresh_interval_ms(int64_t ms) { refresh_interval_ms_ = ms; }
@@ -69,7 +91,9 @@ class HttpExporter {
     std::string path;
     std::string content_type;
     ContentFn build;
-    // Response cache (accessed only from the serve thread after Start).
+    DynamicFn build_dynamic;  // Non-null for HandleDynamic routes.
+    // Response cache (accessed only from the serve thread after Start;
+    // dynamic routes never populate it).
     std::string cached_body;
     std::chrono::steady_clock::time_point cached_at{};
     bool cache_valid = false;

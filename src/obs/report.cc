@@ -1,10 +1,12 @@
 #include "obs/report.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 // Provenance macros come from CMake (src/obs/CMakeLists.txt); default to
 // "unknown" so non-CMake builds (e.g. single-file test compiles) still
@@ -354,7 +356,7 @@ std::string ToJson(const RunReport& report) {
   out.reserve(16 * 1024);
   out += "{";
   AppendKey(&out, "schema");
-  out += "\"snb-report-v4\",";
+  out += "\"snb-report-v5\",";
   AppendKey(&out, "title");
   AppendEscaped(&out, report.title);
   out += ",";
@@ -700,6 +702,70 @@ std::string ToJson(const RunReport& report) {
     out += "]}";
   }
 
+  if (report.has_profile) {
+    const ProfileSection& p = report.profile;
+    out += ",";
+    AppendKey(&out, "profile");
+    out += "{";
+    AppendKey(&out, "backend");
+    AppendEscaped(&out, p.backend);
+    out += ",";
+    AppendKey(&out, "message");
+    AppendEscaped(&out, p.message);
+    out += ",";
+    AppendKey(&out, "interval_us");
+    AppendU64(&out, p.interval_us);
+    out += ",";
+    AppendKey(&out, "captured");
+    AppendU64(&out, p.captured);
+    out += ",";
+    AppendKey(&out, "attributed");
+    AppendU64(&out, p.attributed);
+    out += ",";
+    AppendKey(&out, "unattributed");
+    AppendU64(&out, p.unattributed);
+    out += ",";
+    AppendKey(&out, "dropped");
+    AppendU64(&out, p.dropped);
+    out += ",";
+    AppendKey(&out, "self_overhead_ns");
+    AppendU64(&out, p.self_overhead_ns);
+    out += ",";
+    AppendKey(&out, "task_clock_ns");
+    AppendU64(&out, p.task_clock_ns);
+    out += ",";
+    AppendKey(&out, "threads");
+    AppendU64(&out, p.threads);
+    out += ",";
+    AppendKey(&out, "top_frames");
+    out += "[";
+    for (size_t i = 0; i < p.top_frames.size(); ++i) {
+      const ProfileSection::OpFrames& op = p.top_frames[i];
+      if (i != 0) out += ",";
+      out += "{";
+      AppendKey(&out, "op");
+      AppendEscaped(&out, op.op);
+      out += ",";
+      AppendKey(&out, "samples");
+      AppendU64(&out, op.samples);
+      out += ",";
+      AppendKey(&out, "frames");
+      out += "[";
+      for (size_t j = 0; j < op.frames.size(); ++j) {
+        if (j != 0) out += ",";
+        out += "{";
+        AppendKey(&out, "frame");
+        AppendEscaped(&out, op.frames[j].frame);
+        out += ",";
+        AppendKey(&out, "samples");
+        AppendU64(&out, op.frames[j].samples);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+
   out += "}";
   return out;
 }
@@ -721,6 +787,58 @@ PerfSection CurrentPerfSection() {
   p.counters_available = perf::CountersLive();
   p.message = perf::BackendMessage();
   return p;
+}
+
+ProfileSection MakeProfileSection(const prof::FoldedProfile& profile,
+                                  size_t top_n) {
+  ProfileSection out;
+  out.backend = prof::BackendName(profile.backend);
+  out.message = profile.message;
+  out.interval_us = profile.interval_us;
+  out.captured = profile.accounting.captured;
+  out.attributed = profile.accounting.attributed;
+  out.unattributed = profile.accounting.unattributed;
+  out.dropped = profile.accounting.dropped;
+  out.self_overhead_ns = profile.accounting.self_overhead_ns;
+  out.task_clock_ns = profile.accounting.task_clock_ns;
+  out.threads = profile.accounting.threads;
+
+  // Rank leaf frames (self samples) within each op. A stack's leaf is
+  // its last rendered frame; frame-less stacks fall back to the
+  // operator label, then to a placeholder.
+  std::map<std::string, std::map<std::string, uint64_t>> per_op;
+  for (const prof::FoldedStack& stack : profile.stacks) {
+    std::string op = stack.op.empty() ? "(unattributed)" : stack.op;
+    std::string leaf = !stack.frames.empty()
+                           ? stack.frames.back()
+                           : (!stack.op_label.empty() ? stack.op_label
+                                                      : "[no frames]");
+    per_op[op][leaf] += stack.count;
+  }
+  for (const auto& [op, frames] : per_op) {
+    ProfileSection::OpFrames row;
+    row.op = op;
+    std::vector<ProfileSection::FrameRow> ranked;
+    ranked.reserve(frames.size());
+    for (const auto& [frame, samples] : frames) {
+      row.samples += samples;
+      ranked.push_back({frame, samples});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const ProfileSection::FrameRow& a,
+                        const ProfileSection::FrameRow& b) {
+                       return a.samples > b.samples;
+                     });
+    if (ranked.size() > top_n) ranked.resize(top_n);
+    row.frames = std::move(ranked);
+    out.top_frames.push_back(std::move(row));
+  }
+  std::stable_sort(out.top_frames.begin(), out.top_frames.end(),
+                   [](const ProfileSection::OpFrames& a,
+                      const ProfileSection::OpFrames& b) {
+                     return a.samples > b.samples;
+                   });
+  return out;
 }
 
 std::string EscapePromLabelValue(const std::string& value) {
@@ -829,13 +947,14 @@ util::Status ValidateReportJson(const std::string& json) {
     return util::Status::InvalidArgument("report root is not an object");
   }
   const JsonValue* schema = root.Find("schema");
-  // Each version is a superset of its predecessors; archived v1-v3
+  // Each version is a superset of its predecessors; archived v1-v4
   // reports must keep validating.
   if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
       (schema->string != "snb-report-v1" &&
        schema->string != "snb-report-v2" &&
        schema->string != "snb-report-v3" &&
-       schema->string != "snb-report-v4")) {
+       schema->string != "snb-report-v4" &&
+       schema->string != "snb-report-v5")) {
     return util::Status::InvalidArgument("missing/unknown schema tag");
   }
   const JsonValue* exec_mode = root.Find("exec_mode");
@@ -1030,6 +1149,89 @@ util::Status ValidateReportJson(const std::string& json) {
           std::abs(lane_dropped - dropped) > 1e-6) {
         return util::Status::InvalidArgument(
             "trace lane rows do not sum to the aggregate counts");
+      }
+    }
+  }
+  const JsonValue* profile = root.Find("profile");
+  if (profile != nullptr) {
+    if (profile->kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("profile is not an object");
+    }
+    const JsonValue* backend = profile->Find("backend");
+    if (backend == nullptr || backend->kind != JsonValue::Kind::kString ||
+        (backend->string != "disabled" && backend->string != "noop" &&
+         backend->string != "timer")) {
+      return util::Status::InvalidArgument(
+          "profile backend is not one of disabled/noop/timer");
+    }
+    double captured = NumberOr(*profile, "captured", -1.0);
+    double attributed = NumberOr(*profile, "attributed", -1.0);
+    double unattributed = NumberOr(*profile, "unattributed", -1.0);
+    double dropped = NumberOr(*profile, "dropped", -1.0);
+    double overhead = NumberOr(*profile, "self_overhead_ns", -1.0);
+    double task_clock = NumberOr(*profile, "task_clock_ns", -1.0);
+    if (captured < 0.0 || attributed < 0.0 || unattributed < 0.0 ||
+        dropped < 0.0 || overhead < 0.0 || task_clock < 0.0) {
+      return util::Status::InvalidArgument(
+          "profile accounting fields are missing or negative");
+    }
+    // The conservation invariant the collator maintains by construction;
+    // a report violating it was assembled by hand or corrupted.
+    if (std::abs(captured - (attributed + unattributed + dropped)) > 1e-6) {
+      return util::Status::InvalidArgument(
+          "profile accounting does not satisfy captured == attributed + "
+          "unattributed + dropped");
+    }
+    // Handler time is a subset of the sampled threads' CPU time, so it
+    // can never exceed the task clock.
+    if (overhead > task_clock + 1e-6) {
+      return util::Status::InvalidArgument(
+          "profile self-overhead exceeds the task clock");
+    }
+    if (backend->string != "timer" && captured > 0.0) {
+      return util::Status::InvalidArgument(
+          "profile captured samples under a non-timer backend");
+    }
+    const JsonValue* top_frames = profile->Find("top_frames");
+    if (top_frames != nullptr) {
+      if (top_frames->kind != JsonValue::Kind::kArray) {
+        return util::Status::InvalidArgument(
+            "profile top_frames is not an array");
+      }
+      for (const JsonValue& op_row : top_frames->array) {
+        const JsonValue* op = op_row.Find("op");
+        if (op == nullptr || op->kind != JsonValue::Kind::kString ||
+            op->string.empty()) {
+          return util::Status::InvalidArgument(
+              "profile top_frames row lacks an op name");
+        }
+        if (NumberOr(op_row, "samples", -1.0) < 0.0) {
+          return util::Status::InvalidArgument(
+              "profile top_frames row " + op->string + " lacks samples");
+        }
+        const JsonValue* frames = op_row.Find("frames");
+        if (frames == nullptr || frames->kind != JsonValue::Kind::kArray) {
+          return util::Status::InvalidArgument(
+              "profile top_frames row " + op->string +
+              " lacks a frames array");
+        }
+        // Every sampled stack contributes a leaf (a placeholder at
+        // worst), so an op that claims samples must show frames.
+        if (frames->array.empty() &&
+            NumberOr(op_row, "samples", 0.0) > 0.0) {
+          return util::Status::InvalidArgument(
+              "profile top_frames row " + op->string +
+              " has samples but no frames");
+        }
+        for (const JsonValue& frame : frames->array) {
+          const JsonValue* name = frame.Find("frame");
+          if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+              NumberOr(frame, "samples", -1.0) < 0.0) {
+            return util::Status::InvalidArgument(
+                "profile frame row under " + op->string +
+                " lacks frame/samples");
+          }
+        }
       }
     }
   }

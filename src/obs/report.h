@@ -10,20 +10,22 @@
 // lateness histogram and per-op worst offenders) and a Q9 per-operator
 // profile (the Figure 4 choke point).
 //
-// The JSON schema ("snb-report-v4") is stable and self-validating:
+// The JSON schema ("snb-report-v5") is stable and self-validating:
 // ValidateReportJson re-parses an emitted document and checks structural
 // invariants (non-empty op table, monotone percentiles, compliance
 // consistency), which is what the bench smoke mode in scripts/check.sh
 // runs. Each version is a strict superset of its predecessor — every
 // field keeps its name and shape; v2 added the optional "compliance"
 // section, v3 the optional "validation" section (golden-replay outcome,
-// see src/validate/golden.h), and v4 adds the optional "provenance",
-// "perf", "dossiers" and "trace" sections plus hardware-counter fields
-// (ipc, cycles_per_op, ...) on op and q9_profile rows — and the validator
-// still accepts v1–v3 documents, so pre-existing readers and archived
-// baselines keep working. A deliberately small JSON parser is exposed for
-// tests and validation; it handles exactly what the writer emits
-// (objects, arrays, strings, finite numbers, bools, null).
+// see src/validate/golden.h), v4 the optional "provenance", "perf",
+// "dossiers" and "trace" sections plus hardware-counter fields (ipc,
+// cycles_per_op, ...) on op and q9_profile rows, and v5 adds the
+// optional "profile" section (sampling-profiler accounting + top frames
+// per op, see src/obs/prof.h) — and the validator still accepts v1–v4
+// documents, so pre-existing readers and archived baselines keep
+// working. A deliberately small JSON parser is exposed for tests and
+// validation; it handles exactly what the writer emits (objects,
+// arrays, strings, finite numbers, bools, null).
 #ifndef SNB_OBS_REPORT_H_
 #define SNB_OBS_REPORT_H_
 
@@ -35,6 +37,7 @@
 #include "obs/dossier.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -171,6 +174,40 @@ struct TraceStatsSection {
   std::vector<LaneRow> lanes;
 };
 
+/// Sampling-CPU-profiler outcome: backend state, conserved sample
+/// accounting and the hottest frames per operation type. New in schema
+/// v5. The accounting invariants (captured == attributed + unattributed
+/// + dropped, self-overhead bounded by task-clock) are checked by
+/// ValidateReportJson and gated by scripts/compare_reports.py.
+struct ProfileSection {
+  std::string backend;  // prof::BackendName: disabled / noop / timer.
+  std::string message;  // prof::BackendMessage at report time.
+  uint32_t interval_us = 0;
+  uint64_t captured = 0;
+  uint64_t attributed = 0;
+  uint64_t unattributed = 0;
+  uint64_t dropped = 0;
+  uint64_t self_overhead_ns = 0;
+  uint64_t task_clock_ns = 0;
+  uint32_t threads = 0;
+  struct FrameRow {
+    std::string frame;    // Symbolized leaf frame (or operator label).
+    uint64_t samples = 0;
+  };
+  struct OpFrames {
+    std::string op;       // OpTypeName, or "(unattributed)".
+    uint64_t samples = 0; // All samples under this op.
+    std::vector<FrameRow> frames;  // Top-N leaf frames, descending.
+  };
+  /// Per-op leaf-frame ranking, ops sorted by samples descending.
+  std::vector<OpFrames> top_frames;
+};
+
+/// Builds the report section from a collected profile: per-op sample
+/// totals and the `top_n` hottest leaf frames of each op.
+ProfileSection MakeProfileSection(const prof::FoldedProfile& profile,
+                                  size_t top_n = 5);
+
 struct RunReport {
   std::string title;
   /// Execution engine the run used for the batched-capable queries
@@ -196,9 +233,11 @@ struct RunReport {
   std::vector<SlowQueryDossier> dossiers;
   bool has_trace_stats = false;
   TraceStatsSection trace_stats;
+  bool has_profile = false;
+  ProfileSection profile;
 };
 
-/// Serializes the report as schema "snb-report-v4". Op types with zero
+/// Serializes the report as schema "snb-report-v5". Op types with zero
 /// samples are omitted from the "ops" table; hardware-counter fields are
 /// omitted per row when that row never saw live counters.
 std::string ToJson(const RunReport& report);
@@ -212,14 +251,16 @@ std::string EscapePromLabelValue(const std::string& value);
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 
 /// Structural validation of an emitted report.json: parses, checks the
-/// schema tag (v1 through v4), a non-empty "ops" array, per-op monotone
+/// schema tag (v1 through v5), a non-empty "ops" array, per-op monotone
 /// percentiles (p50 <= p90 <= p95 <= p99 <= max), and — when present —
 /// compliance-section consistency (fraction in [0,1], on-time count not
 /// exceeding scheduled count), validation-section consistency (a passing
 /// replay must report zero diffs), perf/provenance shape, dossier rows
-/// (op name + non-negative latency) and trace accounting (per-lane
-/// recorded == retained + dropped). Used by tests and the check.sh smoke
-/// modes.
+/// (op name + non-negative latency), trace accounting (per-lane
+/// recorded == retained + dropped) and profile accounting (captured ==
+/// attributed + unattributed + dropped, self-overhead not exceeding the
+/// task clock, samples only under the timer backend). Used by tests and
+/// the check.sh smoke modes.
 util::Status ValidateReportJson(const std::string& json);
 
 /// Writes `content` to `path` atomically enough for a report artifact

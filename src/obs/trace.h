@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "obs/perf_counters.h"
+#include "obs/prof.h"
 
 namespace snb::obs {
 
@@ -47,10 +48,17 @@ struct OperatorStats {
 /// When the perf backend is live the span also attributes the thread's
 /// counter deltas (cycles, instructions, misses) to the sink, so operator
 /// rows carry IPC and miss rates alongside wall time.
+///
+/// `label` additionally names the operator to the sampling profiler
+/// (prof::ScopedOperatorLabel): CPU samples taken inside the span fold
+/// under "opr:<label>". The label engages independently of the sink —
+/// batched plans trace with null sinks on the hot path yet still want
+/// operator-attributed samples — and must have static storage duration.
 class TraceSpan {
  public:
   TraceSpan() = default;
-  explicit TraceSpan(OperatorStats* sink) : sink_(sink) {
+  explicit TraceSpan(OperatorStats* sink, const char* label = nullptr)
+      : prof_label_(label), sink_(sink) {
     if (sink_ != nullptr) {
       start_ = std::chrono::steady_clock::now();
       if (perf::CountersLive()) hw_begin_ = perf::ReadThreadCounters();
@@ -83,6 +91,9 @@ class TraceSpan {
   }
 
  private:
+  // First member: the label outlives the timing reads on destruction,
+  // so samples landing in the epilogue still carry the operator.
+  prof::ScopedOperatorLabel prof_label_{nullptr};
   OperatorStats* sink_ = nullptr;
   std::chrono::steady_clock::time_point start_;
   uint64_t rows_ = 0;

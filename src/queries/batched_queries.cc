@@ -135,7 +135,7 @@ std::vector<Q9Result> Query9Batched(const GraphStore& store, PersonId start,
                                  sink(&Q9OperatorProfile::join3));
   exec::Batch batch;
   while (scan.Next(&batch)) {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit), "sort_limit");
     for (size_t r = 0; r < batch.size; ++r) {
       top.Push({batch.a[r], batch.b[r], batch.date[r]});
     }
@@ -143,7 +143,7 @@ std::vector<Q9Result> Query9Batched(const GraphStore& store, PersonId start,
   }
   stats->join3_output = scan.rows_emitted();
 
-  obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit));
+  obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit), "sort_limit");
   std::vector<Q9Result> out = top.Drain();
   span.AddRows(out.size());
   return out;

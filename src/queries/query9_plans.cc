@@ -104,7 +104,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   // A hash-join plan builds its table once per join over the full relation.
   std::unique_ptr<FriendsHashTable> friends_hash;
   if (join1 == JoinStrategy::kHash || join2 == JoinStrategy::kHash) {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::hash_build));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::hash_build), "hash_build");
     friends_hash = std::make_unique<FriendsHashTable>(store, pin, stats);
     span.AddRows(stats->build_tuples);
   }
@@ -112,7 +112,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   // join1: person |>< friends.
   std::vector<PersonId> friends;
   {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::join1));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join1), "join1");
     JoinFriends(store, pin, join1, friends_hash.get(), start, [&](PersonId f) {
       friends.push_back(f);
       ++stats->join1_output;
@@ -124,7 +124,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   std::unordered_set<PersonId> circle(friends.begin(), friends.end());
   circle.erase(start);
   {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::join2));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join2), "join2");
     for (PersonId f : friends) {
       JoinFriends(store, pin, join2, friends_hash.get(), f, [&](PersonId ff) {
         ++stats->join2_output;
@@ -137,7 +137,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   // join3: circle |>< messages (creation_date < max_date).
   std::vector<Q9Result> candidates;
   {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::join3));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::join3), "join3");
     if (join3 == JoinStrategy::kIndexNestedLoop) {
       for (PersonId pid : circle) {
         const PersonRecord* p = store.FindPerson(pin, pid);
@@ -165,7 +165,7 @@ std::vector<Q9Result> Query9WithPlan(const GraphStore& store,
   }
 
   {
-    obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit));
+    obs::TraceSpan span(sink(&Q9OperatorProfile::sort_limit), "sort_limit");
     std::sort(candidates.begin(), candidates.end(),
               [](const Q9Result& a, const Q9Result& b) {
                 if (a.creation_date != b.creation_date) {

@@ -170,6 +170,61 @@ class CompareReportsTest(unittest.TestCase):
         result = self.run_compare(base, cand)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
+    def profile_report(self, backend="timer", captured=1000,
+                       overhead_ns=10_000, task_clock_ns=10_000_000):
+        doc = make_report(schema="snb-report-v5")
+        doc["profile"] = {
+            "backend": backend, "captured": captured,
+            "attributed": captured, "unattributed": 0, "dropped": 0,
+            "self_overhead_ns": overhead_ns,
+            "task_clock_ns": task_clock_ns,
+        }
+        return doc
+
+    def test_low_profiler_overhead_passes(self):
+        base = self.write("base.json", make_report())
+        # 10 us over 10 ms = 0.1%, well under the 2% gate.
+        cand = self.write("cand.json", self.profile_report())
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_excessive_profiler_overhead_fails(self):
+        base = self.write("base.json", make_report())
+        # 500 us over 10 ms = 5% — past the 2% default gate. The gate is
+        # absolute on the candidate: the baseline carries no profile.
+        cand = self.write("cand.json",
+                          self.profile_report(overhead_ns=500_000))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("profiler self-overhead", result.stdout)
+
+    def test_few_samples_skip_overhead_gate(self):
+        base = self.write("base.json", make_report())
+        # Same 5% overhead ratio, but from 3 samples: too noisy to gate.
+        cand = self.write("cand.json",
+                          self.profile_report(captured=3,
+                                              overhead_ns=500_000))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_noop_backend_skips_overhead_gate(self):
+        base = self.write("base.json", make_report())
+        cand = self.write("cand.json",
+                          self.profile_report(backend="noop", captured=0,
+                                              overhead_ns=0,
+                                              task_clock_ns=0))
+        result = self.run_compare(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_overhead_threshold_is_tunable(self):
+        base = self.write("base.json", make_report())
+        # 0.1% overhead trips a deliberately cruel 0.01% threshold.
+        cand = self.write("cand.json", self.profile_report())
+        result = self.run_compare(base, cand,
+                                  "--max-profiler-overhead", "0.0001")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("profiler self-overhead", result.stdout)
+
     def test_unknown_schema_is_bad_input(self):
         base = self.write("base.json", make_report(schema="not-a-report"))
         cand = self.write("cand.json", make_report())

@@ -155,6 +155,61 @@ TEST(HttpExporterTest, UnknownPathIs404AndNonGetIs400) {
   exporter.Stop();
 }
 
+TEST(HttpExporterTest, DynamicRouteSeesQueryStringAndPicksStatus) {
+  std::atomic<int> calls{0};
+  HttpExporter exporter;
+  exporter.HandleDynamic("/profile", [&calls](const std::string& query) {
+    calls.fetch_add(1);
+    HttpExporter::HttpResponse resp;
+    if (query == "fail=1") {
+      // The /profile 503 contract: unavailable backends answer with a
+      // machine-readable JSON error, not a 200 with an empty body.
+      resp.status = 503;
+      resp.content_type = "application/json";
+      resp.body = "{\"error\":\"profiler unavailable\"}";
+      return resp;
+    }
+    resp.content_type = "text/plain; version=folded";
+    resp.body = "query=" + query + "\n";
+    return resp;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  std::string response = Get(exporter.port(), "/profile?seconds=2");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=folded"),
+            std::string::npos);
+  EXPECT_EQ(BodyOf(response), "query=seconds=2\n");
+
+  // No query string: the handler sees an empty string, not a crash.
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "query=\n");
+
+  response = Get(exporter.port(), "/profile?fail=1");
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(BodyOf(response), "{\"error\":\"profiler unavailable\"}");
+  EXPECT_EQ(calls.load(), 3);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, DynamicRoutesAreNeverCached) {
+  std::atomic<int> calls{0};
+  HttpExporter exporter;
+  exporter.set_refresh_interval_ms(60'000);  // Cache would pin forever.
+  exporter.HandleDynamic("/profile", [&calls](const std::string&) {
+    HttpExporter::HttpResponse resp;
+    resp.body = "call " + std::to_string(calls.fetch_add(1) + 1) + "\n";
+    return resp;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "call 1\n");
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "call 2\n");
+  EXPECT_EQ(calls.load(), 2);
+  exporter.Stop();
+}
+
 TEST(HttpExporterTest, StartRejectsDoubleStartAndBusyPort) {
   HttpExporter first;
   first.Handle("/x", "text/plain", [] { return "x"; });

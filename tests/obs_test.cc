@@ -299,7 +299,7 @@ TEST(ReportTest, JsonRoundTripPreservesStructure) {
   JsonValue v;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
-  EXPECT_EQ(v.Find("schema")->string, "snb-report-v4");
+  EXPECT_EQ(v.Find("schema")->string, "snb-report-v5");
   EXPECT_EQ(v.Find("title")->string, "unit-test run");
 
   const JsonValue* ops = v.Find("ops");
@@ -466,6 +466,159 @@ TEST(ReportTest, ValidatorStillAcceptsV1Documents) {
                   "\"count\":2,\"p50_ms\":1.0,\"p90_ms\":2.0,"
                   "\"p95_ms\":3.0,\"p99_ms\":4.0,\"max_ms\":5.0}]}")
                   .ok());
+}
+
+// ---- Profile section (v5) -------------------------------------------------
+
+/// A structurally valid v5 profile section to perturb per invariant.
+ProfileSection MakeProfile() {
+  ProfileSection p;
+  p.backend = "timer";
+  p.message = "sampling live";
+  p.interval_us = 997;
+  p.captured = 100;
+  p.attributed = 90;
+  p.unattributed = 8;
+  p.dropped = 2;
+  p.self_overhead_ns = 50'000;
+  p.task_clock_ns = 500'000'000;
+  p.threads = 5;
+  ProfileSection::OpFrames op;
+  op.op = "complex.Q9";
+  op.samples = 90;
+  op.frames.push_back({"snb::queries::Query9WithPlan", 60});
+  op.frames.push_back({"snb::store::MessageIndex::Scan", 30});
+  p.top_frames.push_back(op);
+  return p;
+}
+
+TEST(ReportTest, ProfileSectionRoundTrip) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  std::string json = ToJson(report);
+  ASSERT_TRUE(ValidateReportJson(json).ok()) << json.substr(0, 300);
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  const JsonValue* profile = v.Find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->Find("backend")->string, "timer");
+  EXPECT_DOUBLE_EQ(profile->Find("captured")->number, 100.0);
+  EXPECT_DOUBLE_EQ(profile->Find("self_overhead_ns")->number, 50'000.0);
+  const JsonValue* top = profile->Find("top_frames");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->array.size(), 1u);
+  EXPECT_EQ(top->array[0].Find("op")->string, "complex.Q9");
+  ASSERT_EQ(top->array[0].Find("frames")->array.size(), 2u);
+  EXPECT_EQ(top->array[0].Find("frames")->array[0].Find("frame")->string,
+            "snb::queries::Query9WithPlan");
+}
+
+TEST(ReportTest, ValidatorRejectsUnconservedProfileAccounting) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  report.profile.attributed = 50;  // 50 + 8 + 2 != 100.
+  util::Status status = ValidateReportJson(ToJson(report));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("captured == attributed"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST(ReportTest, ValidatorRejectsOverheadExceedingTaskClock) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  // Handler time is a subset of sampled CPU time; more is impossible.
+  report.profile.self_overhead_ns = report.profile.task_clock_ns + 1;
+  util::Status status = ValidateReportJson(ToJson(report));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("task clock"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ReportTest, ValidatorRejectsUnknownProfileBackend) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  report.profile.backend = "quantum";
+  EXPECT_FALSE(ValidateReportJson(ToJson(report)).ok());
+}
+
+TEST(ReportTest, ValidatorRejectsSamplesUnderNoopBackend) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  // A no-op backend cannot have captured anything: fabricated samples.
+  report.profile.backend = "noop";
+  util::Status status = ValidateReportJson(ToJson(report));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("non-timer"), std::string::npos)
+      << status.ToString();
+
+  // The degradation shape CI actually produces — noop with all-zero
+  // accounting — stays valid.
+  report.profile = ProfileSection();
+  report.profile.backend = "noop";
+  report.profile.message = "forced no-op (SNB_PROF_FORCE_NOOP)";
+  EXPECT_TRUE(ValidateReportJson(ToJson(report)).ok());
+}
+
+TEST(ReportTest, ValidatorRejectsMalformedTopFrames) {
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = MakeProfile();
+  report.profile.top_frames[0].frames.clear();  // Op row with no frames.
+  EXPECT_FALSE(ValidateReportJson(ToJson(report)).ok());
+}
+
+TEST(ReportTest, MakeProfileSectionRanksLeafFramesPerOp) {
+  prof::FoldedProfile folded;
+  folded.backend = prof::Backend::kTimer;
+  folded.message = "sampling live";
+  folded.interval_us = 997;
+  folded.accounting.captured = 60;
+  folded.accounting.attributed = 50;
+  folded.accounting.unattributed = 10;
+  folded.accounting.threads = 2;
+  auto stack = [](const char* lane, const char* op,
+                  std::vector<std::string> frames, uint64_t count) {
+    prof::FoldedStack s;
+    s.lane = lane;
+    s.op = op;
+    s.frames = std::move(frames);
+    s.count = count;
+    return s;
+  };
+  // Two stacks share the leaf "Scan" under Q9 (different callers), so
+  // its self-samples merge: 20 + 15 = 35, ranking above "Sort" (15).
+  folded.stacks.push_back(stack("d.0", "complex.Q9", {"main", "Scan"}, 20));
+  folded.stacks.push_back(stack("d.1", "complex.Q9", {"run", "Scan"}, 15));
+  folded.stacks.push_back(stack("d.0", "complex.Q9", {"main", "Sort"}, 15));
+  folded.stacks.push_back(stack("d.0", "", {"main", "Wait"}, 10));
+
+  ProfileSection p = MakeProfileSection(folded, /*top_n=*/2);
+  EXPECT_EQ(p.backend, "timer");
+  EXPECT_EQ(p.captured, 60u);
+  ASSERT_EQ(p.top_frames.size(), 2u);
+  // Ops ranked by total samples: Q9 (50) before unattributed (10).
+  EXPECT_EQ(p.top_frames[0].op, "complex.Q9");
+  EXPECT_EQ(p.top_frames[0].samples, 50u);
+  ASSERT_EQ(p.top_frames[0].frames.size(), 2u);
+  EXPECT_EQ(p.top_frames[0].frames[0].frame, "Scan");
+  EXPECT_EQ(p.top_frames[0].frames[0].samples, 35u);
+  EXPECT_EQ(p.top_frames[0].frames[1].frame, "Sort");
+  EXPECT_EQ(p.top_frames[0].frames[1].samples, 15u);
+  EXPECT_EQ(p.top_frames[1].op, "(unattributed)");
+
+  // The emitted JSON validates as a v5 document end to end.
+  RunReport report = MakeSampleReport();
+  report.has_profile = true;
+  report.profile = p;
+  EXPECT_TRUE(ValidateReportJson(ToJson(report)).ok());
 }
 
 // ---- TraceBuffer ----------------------------------------------------------

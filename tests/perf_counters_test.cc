@@ -288,7 +288,7 @@ TEST(ReportV4Test, NoopBackendYieldsValidReportWithCountersUnavailable) {
   JsonValue doc;
   std::string error;
   ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
-  EXPECT_EQ(doc.Find("schema")->string, "snb-report-v4");
+  EXPECT_EQ(doc.Find("schema")->string, "snb-report-v5");
   const JsonValue* perf_section = doc.Find("perf");
   ASSERT_NE(perf_section, nullptr);
   EXPECT_EQ(perf_section->Find("backend")->string, "noop");
