@@ -208,7 +208,9 @@ int main(int argc, char** argv) {
     // On-demand capture window: two Collect() snapshots N seconds apart,
     // served as collapsed stacks. 503 + JSON error while the profiler
     // backend is no-op, matching the /healthz convention of never lying.
-    exporter.HandleDynamic("/profile", [](const std::string& query) {
+    // Runs on the exporter's dynamic worker thread (never the accept
+    // loop), so /healthz and /metrics answer throughout the window.
+    exporter.HandleDynamic("/profile", [&exporter](const std::string& query) {
       obs::HttpExporter::HttpResponse resp;
       if (!obs::prof::SamplingLive()) {
         resp.status = 503;
@@ -227,7 +229,14 @@ int main(int argc, char** argv) {
       if (seconds < 1) seconds = 1;
       if (seconds > 30) seconds = 30;
       obs::prof::FoldedProfile before = obs::prof::Collect();
-      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      // Sliced wait: Stop() retires the listener before joining this
+      // worker, so a capture in flight ends early at shutdown (serving
+      // whatever the window gathered) instead of holding the join for
+      // up to the full 30 s.
+      for (int waited_ms = 0; waited_ms < seconds * 1000 && exporter.running();
+           waited_ms += 100) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
       obs::prof::FoldedProfile after = obs::prof::Collect();
       resp.content_type = "text/plain; version=folded";
       resp.body = obs::prof::ToFoldedText(obs::prof::DeltaSince(before, after));

@@ -111,6 +111,10 @@ void HttpExporter::Stop() {
   // fd is closed only after the thread joined.
   ::shutdown(fd, SHUT_RDWR);
   if (server_.joinable()) server_.join();
+  // A dynamic capture may still be in flight on its worker thread; its
+  // handler sees running() == false (the fd was retired above) and is
+  // expected to finish promptly.
+  if (dynamic_worker_.joinable()) dynamic_worker_.join();
   ::close(fd);
 }
 
@@ -127,12 +131,11 @@ void HttpExporter::ServeLoop() {
     timeval tv{};
     tv.tv_sec = 2;
     ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ServeConnection(client);
-    ::close(client);
+    if (!ServeConnection(client)) ::close(client);
   }
 }
 
-void HttpExporter::ServeConnection(int fd) {
+bool HttpExporter::ServeConnection(int fd) {
   // Read until the end of the request head (or a defensive size cap);
   // only the request line matters.
   std::string request;
@@ -149,7 +152,7 @@ void HttpExporter::ServeConnection(int fd) {
   if (line.rfind("GET ", 0) != 0) {
     SendResponse(fd, 400, "text/plain; charset=utf-8",
                  "only GET is supported\n");
-    return;
+    return false;
   }
   size_t path_end = line.find(' ', 4);
   std::string path = line.substr(4, path_end == std::string::npos
@@ -167,17 +170,37 @@ void HttpExporter::ServeConnection(int fd) {
   // stay cheap and must not report "healthy" based on stale cache.
   if (path == "/healthz") {
     SendResponse(fd, 200, "text/plain; charset=utf-8", "ok\n");
-    return;
+    return false;
   }
 
   for (Route& route : routes_) {
     if (route.path != path) continue;
     if (route.build_dynamic) {
-      // Dynamic routes bypass the cache: the handler sees every request
-      // (e.g. /profile?seconds=N captures a fresh window per call).
-      HttpResponse resp = route.build_dynamic(query_string);
-      SendResponse(fd, resp.status, resp.content_type, resp.body);
-      return;
+      // Dynamic routes bypass the cache and run on their own worker
+      // thread: a handler may block for a whole capture window (e.g.
+      // /profile?seconds=N), and the accept loop must keep answering
+      // /healthz and the cached routes meanwhile. One at a time — a
+      // concurrent dynamic request is refused, not queued behind a
+      // window it did not ask for.
+      if (dynamic_busy_.exchange(true, std::memory_order_acq_rel)) {
+        SendResponse(fd, 503, "application/json",
+                     "{\"error\":\"a capture is already in progress\"}\n");
+        return false;
+      }
+      // The previous worker (if any) cleared busy before closing its
+      // client, so this join at most waits out that close().
+      if (dynamic_worker_.joinable()) dynamic_worker_.join();
+      DynamicFn* handler = &route.build_dynamic;  // routes_ is immutable
+                                                  // after Start().
+      dynamic_worker_ = std::thread([this, handler, fd, query_string] {
+        HttpResponse resp = (*handler)(query_string);
+        SendResponse(fd, resp.status, resp.content_type, resp.body);
+        // Busy clears before close(): a client that read the response to
+        // EOF is guaranteed its next dynamic request is not refused.
+        dynamic_busy_.store(false, std::memory_order_release);
+        ::close(fd);
+      });
+      return true;
     }
     auto now = std::chrono::steady_clock::now();
     if (!route.cache_valid ||
@@ -188,10 +211,11 @@ void HttpExporter::ServeConnection(int fd) {
       route.cache_valid = true;
     }
     SendResponse(fd, 200, route.content_type, route.cached_body);
-    return;
+    return false;
   }
   SendResponse(fd, 404, "text/plain; charset=utf-8",
                "unknown path " + path + "\n");
+  return false;
 }
 
 }  // namespace snb::obs

@@ -11,15 +11,20 @@
 // with no dependencies beyond POSIX sockets.
 //
 // Design: one background thread runs a blocking accept loop and serves
-// connections sequentially; handlers are registered as content callbacks
-// before Start(). Responses are cached per path and rebuilt at most once
-// per refresh interval, so an aggressive scraper cannot turn
+// cached routes sequentially; handlers are registered as content
+// callbacks before Start(). Responses are cached per path and rebuilt at
+// most once per refresh interval, so an aggressive scraper cannot turn
 // MetricsRegistry::Snapshot() merges into measurable load on the run.
 // Dynamic routes (HandleDynamic) opt out of the cache and see the raw
 // query string — they choose their own status code and content type per
-// request (the /profile 503-when-unavailable contract). Serving is
-// deliberately simple (HTTP/1.0-style close-after-response); the clients
-// are curl, Prometheus, and the raw-socket test.
+// request (the /profile 503-when-unavailable contract). Because a
+// dynamic handler may run for seconds (/profile?seconds=N captures a
+// whole window), it is served on its own worker thread: the accept loop
+// hands the connection off and keeps answering /healthz and the cached
+// routes throughout. One dynamic request runs at a time; a concurrent
+// one is refused immediately with 503 + JSON error rather than queued.
+// Serving is deliberately simple (HTTP/1.0-style close-after-response);
+// the clients are curl, Prometheus, and the raw-socket test.
 #ifndef SNB_OBS_HTTP_EXPORTER_H_
 #define SNB_OBS_HTTP_EXPORTER_H_
 
@@ -62,7 +67,10 @@ class HttpExporter {
 
   /// Builds the response for one request; receives the raw query string
   /// (text after '?', without it; empty when absent). Never cached:
-  /// every request re-invokes the handler.
+  /// every request re-invokes the handler. Runs on a dedicated worker
+  /// thread (not the accept loop), so it may block for a capture
+  /// window — but Stop() joins it, so a long-running handler should
+  /// poll running() and bail out early once the exporter is stopping.
   using DynamicFn = std::function<HttpResponse(const std::string& query)>;
 
   /// Registers `fn` as an uncached dynamic handler for exact path
@@ -100,7 +108,9 @@ class HttpExporter {
   };
 
   void ServeLoop();
-  void ServeConnection(int fd);
+  /// Serves one connection; returns true when ownership of `fd` was
+  /// handed to the dynamic worker thread (which sends and closes it).
+  bool ServeConnection(int fd);
 
   std::vector<Route> routes_;
   int64_t refresh_interval_ms_ = 250;
@@ -109,6 +119,12 @@ class HttpExporter {
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::thread server_;
+  /// The in-flight dynamic request, if any. `dynamic_busy_` is set by
+  /// the serve thread when it hands a connection off and cleared by the
+  /// worker as its last action; the serve thread reaps the finished
+  /// worker before launching the next one, Stop() reaps the last.
+  std::thread dynamic_worker_;
+  std::atomic<bool> dynamic_busy_{false};
 };
 
 }  // namespace snb::obs

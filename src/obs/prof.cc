@@ -160,8 +160,13 @@ State& S() {
 thread_local ThreadState* tls_state = nullptr;
 
 /// Unregisters at thread exit for threads that never close their scope
-/// explicitly (lazily-registered pool workers).
+/// explicitly (lazily-registered pool workers). A thread_local with a
+/// destructor is only constructed — and its at-thread-exit destructor
+/// only registered — on first odr-use, so RegisterCurrentThread calls
+/// EnsureConstructed(); without that, pool threads would retire with
+/// their timers armed and dangling pthread_t handles in the registry.
 struct TlsOwner {
+  void EnsureConstructed() {}
   ~TlsOwner() { UnregisterCurrentThread(); }
 };
 thread_local TlsOwner tls_owner;
@@ -279,9 +284,10 @@ int TimerCreateForThread(pid_t tid, pthread_t thread, timer_t* out) {
   int forced = g_forced_errno.load(std::memory_order_relaxed);
   if (forced != 0) return forced;
   clockid_t clock;
-  if (::pthread_getcpuclockid(thread, &clock) != 0) {
-    return errno != 0 ? errno : EINVAL;
-  }
+  // pthread_getcpuclockid returns its error code directly (it does not
+  // set errno), so reading errno here would report unrelated stale state.
+  int rc = ::pthread_getcpuclockid(thread, &clock);
+  if (rc != 0) return rc;
   struct sigevent sev;
   std::memset(&sev, 0, sizeof(sev));
   sev.sigev_notify = SIGEV_THREAD_ID;
@@ -626,6 +632,11 @@ void SetTimerCreateErrnoForTest(int err) {
   g_forced_errno.store(err, std::memory_order_relaxed);
 }
 
+size_t LiveRegisteredThreadsForTest() {
+  util::MutexLock lock(&g_prof_mu);
+  return S().registry.size();
+}
+
 void RegisterCurrentThread(const char* lane_name) {
 #if defined(__linux__)
   if (tls_state != nullptr) return;
@@ -636,6 +647,10 @@ void RegisterCurrentThread(const char* lane_name) {
   st->tid = CurrentTid();
   st->pthread = pthread_self();
   CaptureStackBounds(&st->stack_lo, &st->stack_hi);
+  // Odr-use the TLS owner now: this runs its lazy construction and
+  // registers its destructor (the at-thread-exit unregister) with the
+  // C++ runtime for this thread.
+  tls_owner.EnsureConstructed();
   util::MutexLock lock(&g_prof_mu);
   st->lane_id = InternLaneLocked(st->lane);
   st->cpu_base_ns = SelfCpuNs();

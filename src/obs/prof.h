@@ -88,6 +88,11 @@ std::string BackendMessage();
 /// path; 0 restores the real syscall.
 void SetTimerCreateErrnoForTest(int err);
 
+/// Number of currently-registered (live) threads. Test hook: asserts
+/// that lazily-registered threads really unregister at thread exit, so
+/// Collect() never reads the CPU clock of a dead pthread.
+size_t LiveRegisteredThreadsForTest();
+
 // ---- Thread registration --------------------------------------------------
 
 /// Registers the calling thread under `lane_name` ("driver.0", "main"):

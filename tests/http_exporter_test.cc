@@ -8,14 +8,18 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "util/mutex.h"
 
 namespace snb::obs {
 namespace {
@@ -207,6 +211,58 @@ TEST(HttpExporterTest, DynamicRoutesAreNeverCached) {
   EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "call 1\n");
   EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "call 2\n");
   EXPECT_EQ(calls.load(), 2);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, DynamicCaptureDoesNotBlockTheServeThread) {
+  // A /profile capture can hold its handler for many seconds; the serve
+  // thread must keep answering /healthz and cached routes meanwhile, and
+  // a concurrent capture must be refused immediately, not queued.
+  util::Mutex mu;
+  std::condition_variable_any cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  HttpExporter exporter;
+  exporter.Handle("/metrics", "text/plain", [] { return "m\n"; });
+  exporter.HandleDynamic("/profile", [&](const std::string&) {
+    entered.fetch_add(1);
+    util::MutexLock lock(&mu);
+    cv.wait(lock, [&] { return release; });
+    HttpExporter::HttpResponse resp;
+    resp.body = "done\n";
+    return resp;
+  });
+  ASSERT_TRUE(exporter.Start(0).ok());
+
+  std::string slow_response;
+  std::thread slow(
+      [&] { slow_response = Get(exporter.port(), "/profile"); });
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The capture is in flight on its own worker thread: the probe and the
+  // cached routes still answer.
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/healthz")), "ok\n");
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/metrics")), "m\n");
+  // A second capture while one runs: immediate 503, handler not invoked.
+  std::string busy = Get(exporter.port(), "/profile");
+  EXPECT_NE(busy.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(BodyOf(busy).find("already in progress"), std::string::npos);
+  EXPECT_EQ(entered.load(), 1);
+
+  {
+    util::MutexLock lock(&mu);
+    release = true;
+  }
+  cv.notify_all();
+  slow.join();
+  EXPECT_EQ(BodyOf(slow_response), "done\n");
+  // The worker clears busy before closing the client socket, and Get()
+  // reads to EOF: once the slow response completed, a fresh capture is
+  // guaranteed to be accepted again.
+  EXPECT_EQ(BodyOf(Get(exporter.port(), "/profile")), "done\n");
+  EXPECT_EQ(entered.load(), 2);
   exporter.Stop();
 }
 

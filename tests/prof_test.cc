@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <ctime>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -124,6 +125,25 @@ TEST(ProfBackendTest, RegistrationIsSafeOnEveryBackend) {
     BurnCpuMs(5);
   }
   EXPECT_EQ(prof::Collect().accounting.captured, 0u);
+}
+
+TEST(ProfBackendTest, LazyRegistrationUnregistersAtThreadExit) {
+  ProfReset reset;
+  // The driver.pool path: RegisterCurrentThread with no explicit
+  // unregister scope. The TLS owner's destructor must fire at thread
+  // exit (it only does if registration odr-uses it), or the registry
+  // would keep a dead thread whose pthread_t Collect() then probes.
+  std::thread worker([] {
+    prof::RegisterCurrentThread("test.pool");
+    BurnCpuMs(2);
+    EXPECT_EQ(prof::LiveRegisteredThreadsForTest(), 1u);
+  });
+  worker.join();
+  EXPECT_EQ(prof::LiveRegisteredThreadsForTest(), 0u);
+  // Collect() after the thread died must see only retired accounting,
+  // never touch the dead thread's CPU clock.
+  FoldedProfile p = prof::Collect();
+  EXPECT_EQ(p.accounting.threads, 1u);
 }
 
 TEST(ProfBackendTest, ResetReturnsToDisabled) {
