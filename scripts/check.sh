@@ -17,6 +17,36 @@ cmake --build build -j"${jobs}"
 echo "== lint gate =="
 scripts/lint.sh
 
+echo "== static invariants: binary call-graph checker =="
+# ctest -L static runs the mutation fixtures (each seeded violation must
+# be caught, with its root -> forbidden-symbol path) and the production
+# gate: the real manifest against the probe binary.
+(cd build && ctest -L static --output-on-failure)
+# Mutate self-test on the *production* path: inject a malloc into the
+# SIGPROF handler, rebuild the probe against the mutated TU, and require
+# the checker to reject it with exactly the signal_safe rule. The
+# fixtures prove the engine detects violations under the fixture
+# manifest; this proves the shipped manifest + tags still guard the real
+# handler — a checker that rotted into vacuity fails here.
+mutdir="$(mktemp -d)"
+sed -e 's@^#include "util/invariant_root.h"@&\nstatic void* volatile g_snb_mutation_sink;@' \
+    -e 's@SNB_INVARIANT_ROOT("signal_safe");@&\n  g_snb_mutation_sink = std::malloc(16);@' \
+    src/obs/prof.cc > "${mutdir}/prof_mutated.cc"
+grep -q 'g_snb_mutation_sink = std::malloc' "${mutdir}/prof_mutated.cc" || {
+  echo "mutation anchor not found in src/obs/prof.cc; update check.sh" >&2
+  exit 1
+}
+g++ -std=c++20 -O2 -DNDEBUG -DSNB_INVARIANTS=1 -fno-omit-frame-pointer \
+  -Isrc "${mutdir}/prof_mutated.cc" tools/snb_invariants/probe_main.cc \
+  build/src/obs/libsnb_obs.a build/src/store/libsnb_store.a \
+  build/src/schema/libsnb_schema.a build/src/util/libsnb_util.a \
+  -o "${mutdir}/probe_mutated" -lpthread -ldl -lrt
+./build/tools/snb_invariants/snb_invariants \
+  --manifest tools/snb_invariants/invariants.toml \
+  --binary "${mutdir}/probe_mutated" \
+  --expect-violations signal_safe
+rm -rf "${mutdir}"
+
 echo "== obs: registry/report/exporter tests + bench smoke with profiling =="
 (cd build && ctest -L obs --output-on-failure)
 # One complex-read bench with operator profiling on, emitting report.json.

@@ -25,7 +25,7 @@ violation() {
 # Tracked C++ sources, lint scope. tests/negative is excluded: those files
 # exist to violate the rules.
 cxx_sources() {
-  find src bench examples tests \
+  find src bench examples tests tools \
     \( -name "*.h" -o -name "*.cc" -o -name "*.cpp" \) \
     -not -path "tests/negative/*" | sort
 }
@@ -52,17 +52,33 @@ if [[ "${1:-}" == "--format-check" ]]; then
 fi
 
 # ---- clang-tidy over compile_commands.json ---------------------------------
+# One clang-tidy process per file, nproc at a time. Each worker writes
+# its diagnostics to a private log and appends the file name to a shared
+# failure list (single short O_APPEND writes, so no interleaving);
+# results are reported in sorted order, so output is deterministic no
+# matter how the parallel runs finish.
 if command -v clang-tidy >/dev/null 2>&1; then
   if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
-    note "clang-tidy over ${BUILD_DIR}/compile_commands.json"
-    while IFS= read -r f; do
-      case "$f" in
-        *.h) continue ;;  # Headers are covered through their includers.
-      esac
-      if ! clang-tidy -p "${BUILD_DIR}" --quiet "$f" >/dev/null; then
+    note "clang-tidy over ${BUILD_DIR}/compile_commands.json ($(nproc) jobs)"
+    TIDY_DIR=$(mktemp -d)
+    trap 'rm -rf "$TIDY_DIR"' EXIT
+    export BUILD_DIR TIDY_DIR
+    # Headers are covered through their includers.
+    cxx_sources | grep -vE '\.h$' |
+      xargs -r -P "$(nproc)" -n 1 bash -c '
+        f="$1"
+        log="${TIDY_DIR}/${f//\//__}.log"
+        if ! clang-tidy -p "${BUILD_DIR}" --quiet "$f" >"$log" 2>&1; then
+          echo "$f" >> "${TIDY_DIR}/failed"
+        fi' tidy-worker
+    if [[ -s "${TIDY_DIR}/failed" ]]; then
+      while IFS= read -r f; do
         violation "clang-tidy: $f"
-      fi
-    done < <(cxx_sources)
+        sed 's/^/    /' "${TIDY_DIR}/${f//\//__}.log" >&2 || true
+      done < <(sort "${TIDY_DIR}/failed")
+    else
+      note "clang-tidy: all sources clean"
+    fi
   else
     note "no ${BUILD_DIR}/compile_commands.json; configure first" \
          "(cmake -B ${BUILD_DIR} -S .) — skipping clang-tidy"

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "util/invariant_root.h"
+
 namespace snb::obs {
 namespace {
 
@@ -122,6 +124,10 @@ MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
 }
 
 void MetricsRegistry::RecordLatencyNs(OpType op, uint64_t ns) {
+  // Checked by tools/snb_invariants: the record paths advertise
+  // lock-freedom (metrics.h), so their closures must never reach a
+  // util::Mutex or futex-backed wait.
+  SNB_INVARIANT_ROOT("lockfree");
   OpCell& cell = LocalShard().ops[static_cast<size_t>(op)];
   cell.count.fetch_add(1, std::memory_order_relaxed);
   cell.sum_ns.fetch_add(ns, std::memory_order_relaxed);
@@ -138,11 +144,13 @@ void MetricsRegistry::RecordLatencyNs(OpType op, uint64_t ns) {
 }
 
 void MetricsRegistry::AddCounter(Counter c, uint64_t delta) {
+  SNB_INVARIANT_ROOT("lockfree");
   LocalShard().counters[static_cast<size_t>(c)].fetch_add(
       delta, std::memory_order_relaxed);
 }
 
 void MetricsRegistry::RecordHwCounts(OpType op, const perf::HwCounts& delta) {
+  SNB_INVARIANT_ROOT("lockfree");
   if (!delta.valid()) return;
   OpCell& cell = LocalShard().ops[static_cast<size_t>(op)];
   for (size_t m = 0; m < perf::kNumHwMetrics; ++m) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "util/invariant_root.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -251,6 +252,11 @@ uint16_t WalkStack(void* ucontext_ptr, const ThreadState* st,
 }
 
 void ProfSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
+  // Checked by tools/snb_invariants: everything this handler can reach
+  // must stay async-signal-safe (allowlist) and lock-free (the SPSC ring
+  // push must never contend with the thread it interrupted).
+  SNB_INVARIANT_ROOT("signal_safe");
+  SNB_INVARIANT_ROOT("lockfree");
   int saved_errno = errno;
   ThreadState* st = tls_state;
   if (st != nullptr &&
@@ -397,7 +403,15 @@ void FoldSampleLocked(const ThreadState* st, const Sample& s)
   ++S().folds[key];
 }
 
-void DrainThreadLocked(ThreadState* st) SNB_REQUIRES(g_prof_mu) {
+// noinline/used: the SPSC pop side must survive as a standalone symbol
+// so tools/snb_invariants can verify its closure (it would otherwise
+// inline into its lone caller and vanish from the binary).
+__attribute__((noinline, used)) void DrainThreadLocked(ThreadState* st)
+    SNB_REQUIRES(g_prof_mu) {
+  // The consumer end of the sample ring: pairs with the handler's push.
+  // It runs under g_prof_mu but must not itself take locks — the ring
+  // protocol is what keeps the producer signal context wait-free.
+  SNB_INVARIANT_ROOT("lockfree");
   uint32_t tail = st->tail.load(std::memory_order_relaxed);
   uint32_t head = st->head.load(std::memory_order_acquire);
   while (tail != head) {

@@ -220,6 +220,7 @@ Status GraphStore::AddLikeLocked(const schema::Like& like) {
 
 bool GraphStore::AreFriends(const util::EpochPin& pin, schema::PersonId a,
                             schema::PersonId b) const {
+  SNB_INVARIANT_ROOT("pinned_read");
   const PersonRecord* pa = FindPerson(pin, a);
   if (pa == nullptr) return false;
   auto friends = pa->friends.view();

@@ -47,6 +47,7 @@
 #include "schema/entities.h"
 #include "store/dense_table.h"
 #include "util/epoch.h"
+#include "util/invariant_root.h"
 #include "util/mutex.h"
 #include "util/rcu_vector.h"
 #include "util/status.h"
@@ -218,16 +219,23 @@ class GraphStore {
   /// nullptr when absent.
   const PersonRecord* FindPerson(const util::EpochPin& /*pin*/,
                                  schema::PersonId id) const {
+    // Checked by tools/snb_invariants ("pinned_read"): an epoch-pinned
+    // accessor must never allocate, lock, sleep, or touch the kernel —
+    // a pinned reader that blocks stalls every writer's grace period.
+    // (Same for the two accessors below and AreFriends.)
+    SNB_INVARIANT_ROOT("pinned_read");
     const PersonRecord* p = persons_.Slot(id);
     return p != nullptr && p->present() ? p : nullptr;
   }
   const ForumRecord* FindForum(const util::EpochPin& /*pin*/,
                                schema::ForumId id) const {
+    SNB_INVARIANT_ROOT("pinned_read");
     const ForumRecord* f = forums_.Slot(id);
     return f != nullptr && f->present() ? f : nullptr;
   }
   const MessageRecord* FindMessage(const util::EpochPin& /*pin*/,
                                    schema::MessageId id) const {
+    SNB_INVARIANT_ROOT("pinned_read");
     const MessageRecord* m = messages_.Slot(id);
     return m != nullptr && m->present() ? m : nullptr;
   }

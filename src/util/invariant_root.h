@@ -1,0 +1,79 @@
+// SNB_INVARIANT_ROOT("domain"): declare the enclosing function a root of a
+// binary-level reachability invariant, checked by tools/snb_invariants.
+//
+// The repo carries three runtime invariants that comments alone cannot
+// enforce: the SIGPROF handler must stay async-signal-safe, epoch-pinned
+// snapshot reads must never block or allocate, and the metrics/SPSC-ring
+// hot paths must stay lock-free. This macro is the source-side half of the
+// enforcement: it plants a zero-cost tag the checker reads back out of the
+// built binary, so the set of checked roots lives next to the code it
+// describes instead of drifting in a separate list.
+//
+// Mechanism: the macro defines a function-local `static const char` array
+// (constant-initialized — no guard variable, no code, no runtime cost) in
+// a dedicated ELF section named
+//
+//     snb_invariants.<domain>.<line>
+//
+// The variable's mangled name (`_ZZ<function>E snb_invariant_root_<line>`)
+// encodes the enclosing function; the section name encodes the domain.
+// tools/snb_invariants scans the symbol table for symbols whose section
+// starts with "snb_invariants.", demangles each to recover (domain,
+// function), and then verifies the declared rule for that domain over the
+// whole-program direct-call graph reconstructed from `objdump -d`.
+//
+// The per-tag section name (rather than one shared "snb_invariants"
+// section) is load-bearing: tags inside header-inline functions have
+// vague (comdat) linkage while tags inside .cc-local functions do not,
+// and GCC refuses to mix comdat and non-comdat definitions in one named
+// section ("section type conflict"). One section per tag sidesteps the
+// conflict while keeping the "dedicated ELF section" discovery contract.
+//
+// Usage — first statement of the function body, domain as a string
+// literal matching a rule name in tools/snb_invariants/invariants.toml:
+//
+//   const PersonRecord* FindPerson(const util::EpochPin&, PersonId id) {
+//     SNB_INVARIANT_ROOT("pinned_read");
+//     ...
+//   }
+//
+// Constraints:
+//   * The macro must be placed inside a C++ (mangled) function body; the
+//     checker recovers the function from the tag's mangled name, which a
+//     C-linkage function does not carry.
+//   * A function may carry several tags (one per domain).
+//   * Roots that the optimizer could inline out of existence entirely must
+//     either be odr-anchored by tools/snb_invariants/probe_main.cc (the
+//     probe takes their address through a volatile pointer, forcing an
+//     out-of-line copy whose body the checker analyzes) or be marked
+//     noinline at their definition. A tag whose function has no symbol in
+//     the analyzed binary is a hard checker error, never silently skipped.
+//
+// SNB_INVARIANTS=OFF (cmake -DSNB_INVARIANTS=OFF) compiles the macro to
+// nothing; binaries then carry no tags and the checker has nothing to
+// verify. The default is ON in every build type — the tags cost a few
+// bytes of rodata and zero instructions.
+#ifndef SNB_UTIL_INVARIANT_ROOT_H_
+#define SNB_UTIL_INVARIANT_ROOT_H_
+
+#if defined(SNB_INVARIANTS) && SNB_INVARIANTS
+
+#define SNB_INVARIANT_ROOT_STR_INNER(x) #x
+#define SNB_INVARIANT_ROOT_STR(x) SNB_INVARIANT_ROOT_STR_INNER(x)
+#define SNB_INVARIANT_ROOT_CAT_INNER(a, b) a##b
+#define SNB_INVARIANT_ROOT_CAT(a, b) SNB_INVARIANT_ROOT_CAT_INNER(a, b)
+
+#define SNB_INVARIANT_ROOT(domain)                                        \
+  static const char SNB_INVARIANT_ROOT_CAT(snb_invariant_root_,           \
+                                           __LINE__)[]                    \
+      __attribute__((used,                                                \
+                     section("snb_invariants." domain                     \
+                             "." SNB_INVARIANT_ROOT_STR(__LINE__)))) = ""
+
+#else  // !SNB_INVARIANTS
+
+#define SNB_INVARIANT_ROOT(domain) static_assert(true, "")
+
+#endif  // SNB_INVARIANTS
+
+#endif  // SNB_UTIL_INVARIANT_ROOT_H_

@@ -1,0 +1,51 @@
+// Control fixture for tools/snb_invariants: one compliant root per rule
+// domain. The checker must report zero violations here — it proves the
+// harness (tag emission, objdump parsing, manifest) is wired correctly,
+// so a caught violation in the sibling fixtures means detection, not a
+// broken setup.
+#include <time.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/invariant_root.h"
+
+namespace fixture {
+
+std::atomic<uint64_t> g_counter{0};
+volatile uint64_t g_sink = 0;
+
+// Signal-safe: touches only the fixture manifest's allowlist
+// (clock_gettime via vDSO PLT).
+__attribute__((noinline, used)) void CleanHandler() {
+  SNB_INVARIANT_ROOT("signal_safe");
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  g_sink = static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Pinned read: pure arithmetic leaf.
+__attribute__((noinline, used)) uint64_t CleanPinnedRead(uint64_t x) {
+  SNB_INVARIANT_ROOT("pinned_read");
+  return x * 2654435761u + 17;
+}
+
+// Lock-free: a single atomic RMW.
+__attribute__((noinline, used)) void CleanRecord(uint64_t delta) {
+  SNB_INVARIANT_ROOT("lockfree");
+  g_counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace fixture
+
+// Volatile pointers keep the roots address-taken so the compiler cannot
+// inline the calls below and discard the standalone bodies.
+void (*volatile g_handler)() = &fixture::CleanHandler;
+uint64_t (*volatile g_pinned)(uint64_t) = &fixture::CleanPinnedRead;
+void (*volatile g_record)(uint64_t) = &fixture::CleanRecord;
+
+int main(int argc, char**) {
+  g_handler();
+  g_record(g_pinned(static_cast<uint64_t>(argc)));
+  return 0;
+}

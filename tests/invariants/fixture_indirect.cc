@@ -1,0 +1,27 @@
+// Mutation fixture: an epoch-pinned read path that calls through a
+// function pointer. Static reachability cannot see through it, so the
+// checker must flag the indirect transfer conservatively (the rule's
+// indirect_allow is empty) rather than silently assuming the target is
+// benign.
+#include <cstdint>
+
+#include "util/invariant_root.h"
+
+namespace fixture {
+
+__attribute__((noinline, used)) uint64_t Leaf(uint64_t x) { return x ^ 42; }
+
+uint64_t (*volatile g_fp)(uint64_t) = &Leaf;
+
+__attribute__((noinline, used)) uint64_t IndirectPinnedRead(uint64_t x) {
+  SNB_INVARIANT_ROOT("pinned_read");
+  return g_fp(x);  // The violation under test: an unvetted indirect call.
+}
+
+}  // namespace fixture
+
+uint64_t (*volatile g_pinned)(uint64_t) = &fixture::IndirectPinnedRead;
+
+int main(int argc, char**) {
+  return static_cast<int>(g_pinned(static_cast<uint64_t>(argc)) & 1);
+}

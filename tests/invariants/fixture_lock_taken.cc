@@ -1,0 +1,29 @@
+// Mutation fixture: a "lock-free" record path that quietly takes a
+// util::Mutex. The wrapper inlines down to pthread_mutex_lock /
+// pthread_mutex_unlock in the binary, which is exactly the futex-backed
+// symbol pair the lockfree denylist watches for; the checker must print
+// BadRecord -> pthread_mutex_lock.
+#include <cstdint>
+
+#include "util/invariant_root.h"
+#include "util/mutex.h"
+
+namespace fixture {
+
+snb::util::Mutex g_mu;
+uint64_t g_counter SNB_GUARDED_BY(g_mu) = 0;
+
+__attribute__((noinline, used)) void BadRecord(uint64_t delta) {
+  SNB_INVARIANT_ROOT("lockfree");
+  snb::util::MutexLock lock(&g_mu);  // The violation under test.
+  g_counter += delta;
+}
+
+}  // namespace fixture
+
+void (*volatile g_record)(uint64_t) = &fixture::BadRecord;
+
+int main(int argc, char**) {
+  g_record(static_cast<uint64_t>(argc));
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Mutation fixture: an epoch-pinned read path that blocks. nanosleep
+// inside a pin stalls every writer's grace period — the checker must
+// report the denylist hit with the path BadPinnedRead -> nanosleep (and
+// the allocation it also performs).
+#include <time.h>
+
+#include <cstdint>
+
+#include "util/invariant_root.h"
+
+namespace fixture {
+
+int* volatile g_sink = nullptr;
+
+__attribute__((noinline, used)) uint64_t BadPinnedRead(uint64_t x) {
+  SNB_INVARIANT_ROOT("pinned_read");
+  timespec ts{0, static_cast<long>(x % 1000)};
+  ::nanosleep(&ts, nullptr);    // Blocking syscall under a pin.
+  g_sink = new int[x % 7 + 1];  // And an allocation for good measure.
+  delete[] g_sink;
+  return x + 1;
+}
+
+}  // namespace fixture
+
+uint64_t (*volatile g_pinned)(uint64_t) = &fixture::BadPinnedRead;
+
+int main(int argc, char**) {
+  return static_cast<int>(g_pinned(static_cast<uint64_t>(argc)) & 1);
+}

@@ -1,0 +1,28 @@
+// Mutation fixture: a "signal handler" that allocates. malloc is the
+// classic async-signal-safety bug (deadlock on the allocator lock the
+// interrupted thread may hold); the checker must flag the closure as
+// outside the signal_safe allowlist and print the path
+//   BadHandler -> malloc.
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/invariant_root.h"
+
+namespace fixture {
+
+void* volatile g_sink = nullptr;
+
+__attribute__((noinline, used)) void BadHandler() {
+  SNB_INVARIANT_ROOT("signal_safe");
+  g_sink = std::malloc(64);  // NOLINT: the violation under test.
+}
+
+}  // namespace fixture
+
+void (*volatile g_handler)() = &fixture::BadHandler;
+
+int main() {
+  g_handler();
+  std::free(fixture::g_sink);
+  return 0;
+}

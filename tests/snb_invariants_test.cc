@@ -1,0 +1,476 @@
+// Unit tests for tools/snb_invariants: the TOML-subset parser, the
+// objdump disassembly/symbol-table parsers, glob and clone-suffix
+// handling, and the rule engine on synthetic call graphs. The end-to-end
+// behaviour (real binaries, real objdump) is covered by the fixture
+// tests in tests/invariants/.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "snb_invariants/callgraph.h"
+#include "snb_invariants/check.h"
+#include "snb_invariants/minitoml.h"
+
+namespace snb::inv {
+namespace {
+
+// ---- MiniToml --------------------------------------------------------------
+
+TEST(MiniToml, ScalarsTablesAndComments) {
+  toml::Value doc;
+  std::string error;
+  ASSERT_TRUE(toml::Parse("# header comment\n"
+                          "schema = \"v1\"  # trailing comment\n"
+                          "count = -3\n"
+                          "flag = true\n"
+                          "[nested.table]\n"
+                          "key = \"x # not a comment\"\n",
+                          &doc, &error))
+      << error;
+  EXPECT_EQ(doc.Find("schema")->str, "v1");
+  EXPECT_EQ(doc.Find("count")->integer, -3);
+  EXPECT_TRUE(doc.Find("flag")->boolean);
+  const toml::Value* nested = doc.Find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->Find("table")->Find("key")->str, "x # not a comment");
+}
+
+TEST(MiniToml, MultiLineArraysAndEscapes) {
+  toml::Value doc;
+  std::string error;
+  ASSERT_TRUE(toml::Parse("list = [\n"
+                          "  \"a\\\"b\",  # escaped quote\n"
+                          "  \"tab\\t\",\n"
+                          "]\n",
+                          &doc, &error))
+      << error;
+  const toml::Value* list = doc.Find("list");
+  ASSERT_EQ(list->array.size(), 2u);
+  EXPECT_EQ(list->array[0].str, "a\"b");
+  EXPECT_EQ(list->array[1].str, "tab\t");
+}
+
+TEST(MiniToml, ArrayOfTablesWithNestedChildren) {
+  toml::Value doc;
+  std::string error;
+  ASSERT_TRUE(toml::Parse("[[rule]]\n"
+                          "name = \"first\"\n"
+                          "[[rule.suppress]]\n"
+                          "edge = \"a -> b\"\n"
+                          "[[rule]]\n"
+                          "name = \"second\"\n",
+                          &doc, &error))
+      << error;
+  const toml::Value* rules = doc.Find("rule");
+  ASSERT_EQ(rules->kind, toml::Value::Kind::kTableArray);
+  ASSERT_EQ(rules->array.size(), 2u);
+  EXPECT_EQ(rules->array[0].Find("name")->str, "first");
+  const toml::Value* suppress = rules->array[0].Find("suppress");
+  ASSERT_NE(suppress, nullptr);
+  ASSERT_EQ(suppress->array.size(), 1u);
+  EXPECT_EQ(suppress->array[0].Find("edge")->str, "a -> b");
+  EXPECT_EQ(rules->array[1].Find("name")->str, "second");
+  EXPECT_EQ(rules->array[1].Find("suppress"), nullptr);
+}
+
+TEST(MiniToml, ErrorsCarryLineNumbers) {
+  toml::Value doc;
+  std::string error;
+  EXPECT_FALSE(toml::Parse("a = \"ok\"\na = \"dup\"\n", &doc, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+
+  EXPECT_FALSE(toml::Parse("s = \"unterminated\n", &doc, &error));
+  EXPECT_FALSE(toml::Parse("s = \"bad \\q escape\"\n", &doc, &error));
+  EXPECT_FALSE(toml::Parse("just a line\n", &doc, &error));
+}
+
+// ---- Globs and symbol names ------------------------------------------------
+
+TEST(GlobMatch, Basics) {
+  EXPECT_TRUE(GlobMatch("malloc", "malloc"));
+  EXPECT_FALSE(GlobMatch("malloc", "xmalloc"));
+  EXPECT_TRUE(GlobMatch("pthread_mutex_*", "pthread_mutex_lock"));
+  EXPECT_TRUE(GlobMatch("operator new*", "operator new(unsigned long)"));
+  EXPECT_TRUE(GlobMatch("snb::util::Mutex::*", "snb::util::Mutex::Lock()"));
+  EXPECT_FALSE(GlobMatch("snb::util::Mutex::*", "snb::util::MutexLock()"));
+  EXPECT_TRUE(GlobMatch("*::S()", "snb::obs::prof::(anonymous namespace)::S()"));
+  EXPECT_TRUE(GlobMatch("f?", "fn"));
+  EXPECT_FALSE(GlobMatch("f?", "f"));
+  EXPECT_TRUE(GlobMatch("*", "anything at all"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "a-x-b-y-c"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "a-x-c"));
+}
+
+TEST(StripCloneSuffix, GccCloneForms) {
+  std::string sfx;
+  EXPECT_EQ(StripCloneSuffix("_ZN1fEv.cold", &sfx), "_ZN1fEv");
+  EXPECT_EQ(sfx, ".cold");
+  EXPECT_EQ(StripCloneSuffix("_ZN1fEv.part.7", &sfx), "_ZN1fEv");
+  EXPECT_EQ(sfx, ".part.7");
+  EXPECT_EQ(StripCloneSuffix("_ZN1fEv.constprop.0.isra.3", &sfx),
+            "_ZN1fEv");
+  EXPECT_EQ(sfx, ".constprop.0.isra.3");
+  // Not clone suffixes: left alone.
+  EXPECT_EQ(StripCloneSuffix("_ZN1fEv", &sfx), "_ZN1fEv");
+  EXPECT_EQ(sfx, "");
+  EXPECT_EQ(StripCloneSuffix("vtable.for.thing", &sfx), "vtable.for.thing");
+}
+
+TEST(Demangle, PassthroughAndCxx) {
+  EXPECT_EQ(Demangle("malloc"), "malloc");  // C symbols pass through.
+  EXPECT_EQ(Demangle("_ZN3snb1fEv"), "snb::f()");
+  EXPECT_EQ(Demangle("_Znwm"), "operator new(unsigned long)");
+}
+
+// ---- Disassembly parsing ---------------------------------------------------
+
+// Hand-written in objdump -d --no-show-raw-insn format. Covers: direct
+// calls, a forward tail jump (target function appears later in the
+// text), a conditional tail jump, an indirect call, an indirect
+// register jump, a jump-table jump (indexed memory operand), a lock
+// prefix, a PLT stub, a mid-function call target, and two local
+// functions sharing one name (anonymous-namespace aliasing).
+const char kDisasm[] =
+    "\n"
+    "binary:     file format elf64-x86-64\n"
+    "\n"
+    "Disassembly of section .text:\n"
+    "\n"
+    "0000000000001000 <_ZN4demo4rootEv>:\n"
+    "    1000:\tpush   %rbp\n"
+    "    1001:\tcall   1100 <_ZN4demo6helperEv>\n"
+    "    1006:\tcall   1108 <_ZN4demo6helperEv+0x8>\n"
+    "    100b:\tjne    1200 <_ZN4demo4tailEv>\n"
+    "    1010:\tcall   *%rax\n"
+    "    1012:\tjmp    *0x2000(,%rdi,8)\n"
+    "    1019:\tlock   addl $0x1,(%rdi)\n"
+    "    101d:\tjmp    1030 <_ZN4demo4rootEv+0x30>\n"
+    "    1030:\tret\n"
+    "\n"
+    "0000000000001100 <_ZN4demo6helperEv>:\n"
+    "    1100:\tcall   1300 <malloc@plt>\n"
+    "    1105:\tret\n"
+    "    1108:\tret\n"
+    "\n"
+    "0000000000001200 <_ZN4demo4tailEv>:\n"
+    "    1200:\tjmp    *%rdx\n"
+    "\n"
+    "0000000000001300 <malloc@plt>:\n"
+    "    1300:\tjmp    *0x2fca(%rip)\n"
+    "\n"
+    "0000000000001400 <_ZN12_GLOBAL__N_15localEv>:\n"
+    "    1400:\tret\n"
+    "\n"
+    "0000000000001500 <_ZN12_GLOBAL__N_15localEv>:\n"
+    "    1500:\tcall   1400 <_ZN12_GLOBAL__N_15localEv>\n"
+    "    1505:\tret\n";
+
+TEST(CallGraphParse, NodesEdgesAndNames) {
+  CallGraph g = CallGraph::FromDisassembly(kDisasm);
+  ASSERT_EQ(g.funcs().size(), 6u);
+
+  const FuncNode& root = g.funcs().at(0x1000);
+  EXPECT_EQ(root.match_name, "demo::root()");
+  // Edges: helper (direct), helper (mid-function target, deduped),
+  // tail (conditional tail jump). The intra-function jmp to 0x1030 is
+  // not an edge; the jump-table jmp is counted, not flagged.
+  ASSERT_EQ(root.callees.size(), 2u);
+  EXPECT_EQ(root.callees[0], 0x1100u);
+  EXPECT_EQ(root.callees[1], 0x1200u);
+  ASSERT_EQ(root.indirect.size(), 1u);
+  EXPECT_EQ(root.indirect[0].addr, 0x1010u);
+  EXPECT_EQ(root.jump_table_jmps, 1u);
+
+  const FuncNode& helper = g.funcs().at(0x1100);
+  ASSERT_EQ(helper.callees.size(), 1u);
+  EXPECT_EQ(helper.callees[0], 0x1300u);
+
+  // The indirect tail transfer in tail() is flagged like a call.
+  EXPECT_EQ(g.funcs().at(0x1200).indirect.size(), 1u);
+
+  // PLT stub: leaf, demangle-matched name, GOT jump not flagged.
+  const FuncNode& plt = g.funcs().at(0x1300);
+  EXPECT_TRUE(plt.plt);
+  EXPECT_EQ(plt.match_name, "malloc");
+  EXPECT_EQ(plt.display, "malloc@plt");
+  EXPECT_TRUE(plt.indirect.empty());
+  EXPECT_TRUE(plt.callees.empty());
+}
+
+TEST(CallGraphParse, LocalSymbolAliasing) {
+  CallGraph g = CallGraph::FromDisassembly(kDisasm);
+  // Two distinct functions share the anonymous-namespace mangled name:
+  // both must exist (keyed by address) and both resolve by match name.
+  std::vector<const FuncNode*> locals =
+      g.ByMatchName("(anonymous namespace)::local()");
+  ASSERT_EQ(locals.size(), 2u);
+  EXPECT_NE(locals[0]->addr, locals[1]->addr);
+  const FuncNode& caller = g.funcs().at(0x1500);
+  ASSERT_EQ(caller.callees.size(), 1u);
+  EXPECT_EQ(caller.callees[0], 0x1400u);
+}
+
+TEST(CallGraphParse, ContainingResolvesMidFunctionAddresses) {
+  CallGraph g = CallGraph::FromDisassembly(kDisasm);
+  EXPECT_EQ(g.Containing(0x1108)->addr, 0x1100u);
+  EXPECT_EQ(g.Containing(0x0fff), nullptr);
+}
+
+// ---- Symbol table and root tags --------------------------------------------
+
+const char kSymtab[] =
+    "binary:     file format elf64-x86-64\n"
+    "\n"
+    "SYMBOL TABLE:\n"
+    "0000000000001000 l     F .text\t0000000000000042 _ZN4demo4rootEv\n"
+    "0000000000004000 l     O snb_invariants.pinned_read.226\t"
+    "0000000000000001 _ZZN4demo4rootEvE22snb_invariant_root_226\n"
+    "0000000000004001 u     O snb_invariants.lockfree.90\t"
+    "0000000000000001 .hidden _ZZN4demo6helperEvE21snb_invariant_root_90\n"
+    "0000000000004002 g     O .rodata\t0000000000000008 not_a_tag\n";
+
+TEST(SymbolTable, ParseAndExtractTags) {
+  std::vector<SymbolEntry> symbols = ParseSymbolTable(kSymtab);
+  ASSERT_EQ(symbols.size(), 4u);
+  EXPECT_EQ(symbols[0].section, ".text");
+  EXPECT_EQ(symbols[0].size, 0x42u);
+
+  std::vector<std::string> errors;
+  std::vector<RootTag> tags = ExtractRootTags(symbols, &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0].domain, "pinned_read");
+  EXPECT_EQ(tags[0].function, "demo::root()");
+  EXPECT_EQ(tags[1].domain, "lockfree");
+  EXPECT_EQ(tags[1].function, "demo::helper()");
+}
+
+TEST(SymbolTable, MalformedTagIsAnError) {
+  // A tag symbol with no recoverable enclosing function (C linkage).
+  std::vector<SymbolEntry> symbols = {
+      {0x4000, "snb_invariants.pinned_read.9", 1, "plain_c_tag"}};
+  std::vector<std::string> errors;
+  std::vector<RootTag> tags = ExtractRootTags(symbols, &errors);
+  EXPECT_TRUE(tags.empty());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("plain_c_tag"), std::string::npos);
+}
+
+// ---- Manifest interpretation -----------------------------------------------
+
+TEST(Manifest, ParsesRulesAndSuppressions) {
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\n"
+      "name = \"lockfree\"\n"
+      "mode = \"denylist\"\n"
+      "deny = [\"pthread_mutex_*\"]\n"
+      "[[rule.suppress]]\n"
+      "edge = \"a::b() -> c::d()\"\n"
+      "justification = \"d is init-only, runs before threads\"\n",
+      &m, &error))
+      << error;
+  ASSERT_EQ(m.rules.size(), 1u);
+  EXPECT_EQ(m.rules[0].mode, RuleSpec::Mode::kDenylist);
+  ASSERT_EQ(m.rules[0].suppress.size(), 1u);
+  EXPECT_EQ(m.rules[0].suppress[0].caller, "a::b()");
+  EXPECT_EQ(m.rules[0].suppress[0].callee, "c::d()");
+}
+
+TEST(Manifest, RejectsBadInput) {
+  Manifest m;
+  std::string error;
+  // Wrong schema.
+  EXPECT_FALSE(ParseManifest("schema = \"v0\"\n[[rule]]\nname = \"x\"\n",
+                             &m, &error));
+  // Suppression without justification.
+  EXPECT_FALSE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\nname = \"r\"\nmode = \"denylist\"\ndeny = [\"x\"]\n"
+      "[[rule.suppress]]\nedge = \"a -> b\"\n",
+      &m, &error));
+  EXPECT_NE(error.find("justification"), std::string::npos) << error;
+  // Unknown key (typo'd "allowlist" list name).
+  EXPECT_FALSE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\nname = \"r\"\nmode = \"allowlist\"\nallows = [\"x\"]\n",
+      &m, &error));
+  EXPECT_NE(error.find("unknown rule key"), std::string::npos) << error;
+  // Allowlist mode with no allow patterns.
+  EXPECT_FALSE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\nname = \"r\"\nmode = \"allowlist\"\n",
+      &m, &error));
+  // Duplicate rule name.
+  EXPECT_FALSE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\nname = \"r\"\nmode = \"denylist\"\ndeny = [\"x\"]\n"
+      "[[rule]]\nname = \"r\"\nmode = \"denylist\"\ndeny = [\"y\"]\n",
+      &m, &error));
+}
+
+// ---- Rule engine on synthetic graphs ---------------------------------------
+
+// root -> mid -> pthread_mutex_lock@plt, root -> leaf.
+const char kEngineDisasm[] =
+    "0000000000001000 <_ZN4demo4rootEv>:\n"
+    "    1000:\tcall   1100 <_ZN4demo3midEv>\n"
+    "    1005:\tcall   1200 <_ZN4demo4leafEv>\n"
+    "    100a:\tret\n"
+    "0000000000001100 <_ZN4demo3midEv>:\n"
+    "    1100:\tcall   1300 <pthread_mutex_lock@plt>\n"
+    "    1105:\tret\n"
+    "0000000000001200 <_ZN4demo4leafEv>:\n"
+    "    1200:\tret\n"
+    "0000000000001300 <pthread_mutex_lock@plt>:\n"
+    "    1300:\tjmp    *0x2fca(%rip)\n";
+
+Manifest DenyMutexManifest() {
+  Manifest m;
+  std::string error;
+  EXPECT_TRUE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\n"
+      "name = \"lockfree\"\n"
+      "mode = \"denylist\"\n"
+      "deny = [\"pthread_mutex_*\"]\n",
+      &m, &error))
+      << error;
+  return m;
+}
+
+std::vector<RootTag> TagRoot(const std::string& domain) {
+  return {{domain, "demo::root()", "sym"}};
+}
+
+TEST(CheckBinary, DenylistHitReportsShortestPath) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  CheckResult r =
+      CheckBinary(g, TagRoot("lockfree"), DenyMutexManifest(), {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  const Violation& v = r.violations[0];
+  EXPECT_EQ(v.kind, Violation::Kind::kForbiddenSymbol);
+  ASSERT_EQ(v.path.size(), 3u);
+  EXPECT_EQ(v.path[0], "demo::root()");
+  EXPECT_EQ(v.path[1], "demo::mid()");
+  EXPECT_EQ(v.path[2], "pthread_mutex_lock@plt");
+  std::string rendered = FormatViolation(v);
+  EXPECT_NE(rendered.find("FAIL [lockfree]"), std::string::npos);
+  EXPECT_NE(rendered.find("-> pthread_mutex_lock@plt"), std::string::npos);
+}
+
+TEST(CheckBinary, SuppressionCutsTheEdgeAndUnusedOnesWarn) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\n"
+      "name = \"lockfree\"\n"
+      "mode = \"denylist\"\n"
+      "deny = [\"pthread_mutex_*\"]\n"
+      "[[rule.suppress]]\n"
+      "edge = \"demo::mid() -> pthread_mutex_lock\"\n"
+      "justification = \"init-only path, runs single-threaded\"\n"
+      "[[rule.suppress]]\n"
+      "edge = \"nobody() -> nothing()\"\n"
+      "justification = \"stale suppression that matches no edge\"\n",
+      &m, &error))
+      << error;
+  CheckResult r = CheckBinary(g, TagRoot("lockfree"), m, {});
+  EXPECT_TRUE(r.violations.empty());
+  // Exactly one warning: the unused suppression (the used one is fine).
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_NE(r.warnings[0].find("nobody() -> nothing()"), std::string::npos);
+}
+
+TEST(CheckBinary, AllowlistFlagsFirstOffenderOnly) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\n"
+      "name = \"signal_safe\"\n"
+      "mode = \"allowlist\"\n"
+      "allow = [\"demo::leaf()\"]\n",
+      &m, &error))
+      << error;
+  CheckResult r = CheckBinary(g, TagRoot("signal_safe"), m, {});
+  // The root itself is exempt; mid() is outside the allowlist and the
+  // traversal stops there (pthread_mutex_lock is not reported again).
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kOutsideAllowlist);
+  EXPECT_EQ(r.violations[0].path.back(), "demo::mid()");
+}
+
+TEST(CheckBinary, IndirectCallsAreConservativeViolations) {
+  const char disasm[] =
+      "0000000000001000 <_ZN4demo4rootEv>:\n"
+      "    1000:\tcall   *%rax\n"
+      "    1002:\tret\n";
+  CallGraph g = CallGraph::FromDisassembly(disasm);
+  CheckResult r =
+      CheckBinary(g, TagRoot("lockfree"), DenyMutexManifest(), {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kIndirectCall);
+
+  // indirect_allow vouches for the function and clears the report.
+  Manifest m;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      "schema = \"snb-invariants-v1\"\n"
+      "[[rule]]\n"
+      "name = \"lockfree\"\n"
+      "mode = \"denylist\"\n"
+      "deny = [\"pthread_mutex_*\"]\n"
+      "indirect_allow = [\"demo::root()\"]\n",
+      &m, &error))
+      << error;
+  r = CheckBinary(g, TagRoot("lockfree"), m, {});
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(CheckBinary, MissingRootIsHardErrorUnlessDowngraded) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  std::vector<RootTag> tags = {{"lockfree", "demo::inlined_away()", "sym"}};
+  CheckResult r = CheckBinary(g, tags, DenyMutexManifest(), {});
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kMissingRoot);
+
+  CheckOptions opts;
+  opts.allow_inlined_roots = true;
+  r = CheckBinary(g, tags, DenyMutexManifest(), opts);
+  EXPECT_TRUE(r.violations.empty());
+  // Two warnings: the downgraded missing root, and — since that was the
+  // rule's only root — the rule being skipped.
+  ASSERT_EQ(r.warnings.size(), 2u);
+  EXPECT_NE(r.warnings[0].find("demo::inlined_away()"), std::string::npos);
+  EXPECT_NE(r.warnings[1].find("skipped"), std::string::npos);
+}
+
+TEST(CheckBinary, RuleWithNoRootsIsSkippedWithWarning) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  CheckResult r = CheckBinary(g, {}, DenyMutexManifest(), {});
+  EXPECT_TRUE(r.violations.empty());
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_NE(r.warnings[0].find("skipped"), std::string::npos);
+}
+
+TEST(CheckBinary, TagForUnknownDomainWarns) {
+  CallGraph g = CallGraph::FromDisassembly(kEngineDisasm);
+  CheckResult r =
+      CheckBinary(g, TagRoot("no_such_rule"), DenyMutexManifest(), {});
+  bool found = false;
+  for (const std::string& w : r.warnings) {
+    found = found || w.find("no_such_rule") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace snb::inv

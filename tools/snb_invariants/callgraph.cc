@@ -1,0 +1,307 @@
+#include "snb_invariants/callgraph.h"
+
+#include <cxxabi.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace snb::inv {
+namespace {
+
+bool IsHexDigit(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+/// Splits on any whitespace run.
+std::vector<std::string> Tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// Instruction prefixes objdump prints as separate leading tokens.
+bool IsPrefixToken(const std::string& t) {
+  return t == "lock" || t == "rep" || t == "repz" || t == "repnz" ||
+         t == "notrack" || t == "bnd" || t == "data16" || t == "cs";
+}
+
+struct PendingTransfer {
+  uint64_t from_func = 0;
+  uint64_t target = 0;
+  bool call = false;  // call insn (jumps only become edges cross-function).
+};
+
+}  // namespace
+
+std::string Demangle(const std::string& mangled) {
+  int status = -1;
+  char* out = abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+  if (status != 0 || out == nullptr) {
+    std::free(out);
+    return mangled;
+  }
+  std::string result(out);
+  std::free(out);
+  return result;
+}
+
+std::string StripCloneSuffix(const std::string& raw, std::string* suffix) {
+  std::string base = raw;
+  std::string sfx;
+  for (;;) {
+    size_t dot = base.rfind('.');
+    if (dot == std::string::npos || dot == 0) break;
+    std::string tail = base.substr(dot + 1);
+    if (tail == "cold") {
+      sfx = base.substr(dot) + sfx;
+      base.resize(dot);
+      continue;
+    }
+    if (AllDigits(tail)) {
+      size_t dot2 = base.rfind('.', dot - 1);
+      if (dot2 == std::string::npos) break;
+      std::string name = base.substr(dot2 + 1, dot - dot2 - 1);
+      if (name == "part" || name == "constprop" || name == "isra" ||
+          name == "cold" || name == "lto_priv") {
+        sfx = base.substr(dot2) + sfx;
+        base.resize(dot2);
+        continue;
+      }
+    }
+    break;
+  }
+  *suffix = sfx;
+  return base;
+}
+
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  // Iterative glob with single-star backtracking.
+  size_t p = 0, t = 0;
+  size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+CallGraph CallGraph::FromDisassembly(const std::string& text) {
+  CallGraph g;
+  FuncNode* current = nullptr;
+  // All direct transfers resolve in a second pass: a forward call/jump
+  // targets a function that has not been parsed yet, so Containing()
+  // cannot be consulted mid-stream.
+  std::vector<PendingTransfer> transfers;
+  std::set<std::pair<uint64_t, uint64_t>> edges;  // Dedup (from, to).
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string line = nl == std::string::npos
+                           ? text.substr(pos)
+                           : text.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? text.size() : nl + 1;
+
+    // Function header: "0000000000401000 <label>:".
+    if (!line.empty() && IsHexDigit(line[0])) {
+      size_t sp = line.find(' ');
+      if (sp != std::string::npos && sp + 1 < line.size() &&
+          line[sp + 1] == '<' && line.back() == ':' &&
+          line[line.size() - 2] == '>') {
+        FuncNode node;
+        node.addr = std::strtoull(line.substr(0, sp).c_str(), nullptr, 16);
+        node.raw = line.substr(sp + 2, line.size() - sp - 4);
+        if (node.raw.size() > 4 &&
+            node.raw.compare(node.raw.size() - 4, 4, "@plt") == 0) {
+          node.plt = true;
+          node.match_name =
+              Demangle(node.raw.substr(0, node.raw.size() - 4));
+          node.display = node.match_name + "@plt";
+        } else {
+          std::string sfx;
+          std::string base = StripCloneSuffix(node.raw, &sfx);
+          node.match_name = Demangle(base);
+          node.display = sfx.empty() ? node.match_name
+                                     : node.match_name + " [" + sfx + "]";
+        }
+        uint64_t addr = node.addr;
+        auto [it, inserted] = g.funcs_.emplace(addr, std::move(node));
+        current = &it->second;
+        if (inserted) {
+          g.by_match_.emplace(it->second.match_name, addr);
+        }
+        continue;
+      }
+    }
+
+    // Instruction line: "  84621:\t<insn>".
+    if (current == nullptr || current->plt) continue;
+    size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t hex_start = i;
+    while (i < line.size() && IsHexDigit(line[i])) ++i;
+    if (i == hex_start || i >= line.size() || line[i] != ':') continue;
+    uint64_t insn_addr =
+        std::strtoull(line.substr(hex_start, i - hex_start).c_str(),
+                      nullptr, 16);
+    std::vector<std::string> toks = Tokens(line.substr(i + 1));
+    size_t m = 0;
+    while (m < toks.size() && IsPrefixToken(toks[m])) ++m;
+    if (m >= toks.size()) continue;
+    const std::string& mnemonic = toks[m];
+    std::string operand = m + 1 < toks.size() ? toks[m + 1] : "";
+
+    bool is_call = mnemonic == "call" || mnemonic == "callq";
+    bool is_jump = !is_call && !mnemonic.empty() && mnemonic[0] == 'j';
+    if (!is_call && !is_jump) continue;
+
+    if (!operand.empty() && operand[0] == '*') {
+      // Indexed memory operand => compiler jump table (intra-function).
+      // Anything else (*%reg, *mem single-pointer) is a real indirect
+      // transfer the rules must see.
+      bool indexed = operand.find(',') != std::string::npos;
+      if (is_jump && indexed) {
+        ++current->jump_table_jmps;
+      } else {
+        current->indirect.push_back(
+            {insn_addr, mnemonic + " " + operand});
+      }
+      continue;
+    }
+    if (operand.empty() || !IsHexDigit(operand[0])) continue;
+    uint64_t target = std::strtoull(operand.c_str(), nullptr, 16);
+    transfers.push_back({current->addr, target, is_call});
+  }
+
+  for (const PendingTransfer& t : transfers) {
+    const FuncNode* target = g.Containing(t.target);
+    if (target == nullptr) continue;
+    // A jump landing in its own function is ordinary control flow; a
+    // call to the own function is recursion and stays an edge.
+    if (!t.call && target->addr == t.from_func) continue;
+    if (edges.emplace(t.from_func, target->addr).second) {
+      g.funcs_[t.from_func].callees.push_back(target->addr);
+    }
+  }
+  return g;
+}
+
+const FuncNode* CallGraph::Containing(uint64_t addr) const {
+  auto it = funcs_.upper_bound(addr);
+  if (it == funcs_.begin()) return nullptr;
+  return &std::prev(it)->second;
+}
+
+std::vector<const FuncNode*> CallGraph::ByMatchName(
+    const std::string& name) const {
+  std::vector<const FuncNode*> out;
+  auto [lo, hi] = by_match_.equal_range(name);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(&funcs_.at(it->second));
+  }
+  return out;
+}
+
+std::vector<SymbolEntry> ParseSymbolTable(const std::string& text) {
+  std::vector<SymbolEntry> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string line = nl == std::string::npos
+                           ? text.substr(pos)
+                           : text.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? text.size() : nl + 1;
+
+    // "0000000000002004 l     O snb_invariants.x.29 0000000000000001 name"
+    // The flags field is fixed at 7 characters.
+    size_t i = 0;
+    while (i < line.size() && IsHexDigit(line[i])) ++i;
+    if (i < 8 || i >= line.size() || line[i] != ' ') continue;
+    SymbolEntry e;
+    e.addr = std::strtoull(line.substr(0, i).c_str(), nullptr, 16);
+    size_t flags_end = i + 1 + 7;
+    if (flags_end >= line.size()) continue;
+    std::vector<std::string> rest = Tokens(line.substr(flags_end));
+    if (rest.size() < 3) continue;
+    e.section = rest[0];
+    if (!std::all_of(rest[1].begin(), rest[1].end(), IsHexDigit)) continue;
+    e.size = std::strtoull(rest[1].c_str(), nullptr, 16);
+    size_t name_idx = 2;
+    if (rest[name_idx] == ".hidden" && rest.size() > 3) ++name_idx;
+    e.name = rest[name_idx];
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<RootTag> ExtractRootTags(const std::vector<SymbolEntry>& symbols,
+                                     std::vector<std::string>* errors) {
+  constexpr const char kSectionPrefix[] = "snb_invariants.";
+  constexpr const char kTagMarker[] = "::snb_invariant_root_";
+  std::vector<RootTag> out;
+  for (const SymbolEntry& sym : symbols) {
+    if (sym.section.compare(0, sizeof(kSectionPrefix) - 1, kSectionPrefix) !=
+        0) {
+      continue;
+    }
+    std::string rest = sym.section.substr(sizeof(kSectionPrefix) - 1);
+    size_t dot = rest.rfind('.');
+    std::string domain =
+        dot != std::string::npos && AllDigits(rest.substr(dot + 1))
+            ? rest.substr(0, dot)
+            : rest;
+    if (domain.empty()) {
+      errors->push_back("tag symbol '" + sym.name +
+                        "' has a malformed section name '" + sym.section +
+                        "'");
+      continue;
+    }
+    std::string dem = Demangle(sym.name);
+    size_t marker = dem.rfind(kTagMarker);
+    if (marker == std::string::npos || marker == 0) {
+      errors->push_back(
+          "tag symbol '" + sym.name + "' (section '" + sym.section +
+          "') does not name an enclosing function — SNB_INVARIANT_ROOT "
+          "must be placed inside a C++ function body");
+      continue;
+    }
+    RootTag tag;
+    tag.domain = std::move(domain);
+    tag.function = dem.substr(0, marker);
+    tag.symbol = sym.name;
+    out.push_back(std::move(tag));
+  }
+  return out;
+}
+
+}  // namespace snb::inv

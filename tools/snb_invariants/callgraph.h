@@ -1,0 +1,134 @@
+// Whole-program direct-call graph reconstructed from binutils output.
+//
+// objtool-style: the analyzed artifact is the *linked binary*, not the
+// source — what the compiler actually emitted is what runs, inlining,
+// clones and all. Two text inputs, both produced by tools the GCC-only
+// container already ships:
+//
+//   * `objdump -d --no-show-raw-insn -w <bin>`  — disassembly, parsed
+//     into function nodes (keyed by address — local symbol names are NOT
+//     unique: anonymous-namespace functions in different TUs share a
+//     mangled name) with direct-call/tail-jump edges and flagged
+//     indirect transfers;
+//   * `objdump -t <bin>` — the symbol table, used to read back the
+//     SNB_INVARIANT_ROOT tags (symbols in sections named
+//     "snb_invariants.<domain>.<line>").
+//
+// Conservative treatment of control transfers (x86-64; the parser is
+// syntax-driven, so AArch64 `bl` support would slot in the same way):
+//
+//   * `call <addr>`            — direct edge to the function containing
+//                                 <addr> (mid-function targets resolve to
+//                                 their containing function);
+//   * `j*  <addr>` outside the current function — tail-call edge
+//                                 (conditional or not);
+//   * `call *<anything>`       — indirect call: recorded and, by default,
+//                                 a rule violation unless the containing
+//                                 function is allowlisted for indirect
+//                                 calls;
+//   * `jmp *<reg>` / `jmp *<rip-mem>` — indirect tail transfer, treated
+//                                 like an indirect call (except inside
+//                                 @plt stubs, whose GOT jump is the
+//                                 trampoline mechanism itself);
+//   * `jmp *<indexed-mem>` (e.g. `jmp *0x40(,%rax,8)`) — compiler jump
+//                                 table for a switch: intra-function by
+//                                 construction for compiler-generated
+//                                 code, so it is counted but not flagged.
+//                                 This is the documented soundness gap
+//                                 for hand-written assembly, which the
+//                                 repo does not contain.
+//
+// Functions named `<sym>@plt` are external trampolines: they become leaf
+// nodes whose match name is `<sym>` demangled (so a manifest can write
+// "operator new*" instead of "_Znwm*"), and their bodies are not
+// analyzed.
+#ifndef SNB_TOOLS_INVARIANTS_CALLGRAPH_H_
+#define SNB_TOOLS_INVARIANTS_CALLGRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snb::inv {
+
+/// One flagged indirect control transfer inside a function.
+struct IndirectSite {
+  uint64_t addr = 0;     // Instruction address.
+  std::string text;      // Mnemonic + operand, for reporting.
+};
+
+/// One disassembled function.
+struct FuncNode {
+  uint64_t addr = 0;
+  std::string raw;         // objdump label, e.g. "_ZN3snb..." or "free@plt".
+  std::string display;     // Demangled, clone suffix rendered: "f() [.cold]".
+  std::string match_name;  // Demangled base used for pattern matching.
+  bool plt = false;        // External trampoline; body not analyzed.
+  std::vector<uint64_t> callees;       // Unique callee function addresses.
+  std::vector<IndirectSite> indirect;  // Flagged indirect transfers.
+  uint64_t jump_table_jmps = 0;        // Ignored indexed indirect jumps.
+};
+
+class CallGraph {
+ public:
+  /// Builds the graph from `objdump -d --no-show-raw-insn` text. Never
+  /// fails hard: unparseable instruction lines are skipped (objdump emits
+  /// plenty of noise — section banners, ellipses, alignment padding).
+  static CallGraph FromDisassembly(const std::string& text);
+
+  /// Function whose [start, next_start) range covers `addr`; nullptr when
+  /// addr precedes every function.
+  const FuncNode* Containing(uint64_t addr) const;
+
+  /// All functions whose match_name equals `name` (local aliasing and
+  /// clones make this one-to-many).
+  std::vector<const FuncNode*> ByMatchName(const std::string& name) const;
+
+  const std::map<uint64_t, FuncNode>& funcs() const { return funcs_; }
+
+ private:
+  std::map<uint64_t, FuncNode> funcs_;  // Keyed by start address.
+  std::multimap<std::string, uint64_t> by_match_;
+};
+
+/// One `objdump -t` row.
+struct SymbolEntry {
+  uint64_t addr = 0;
+  std::string section;
+  uint64_t size = 0;
+  std::string name;
+};
+
+/// Parses `objdump -t` output; unrecognized lines are skipped.
+std::vector<SymbolEntry> ParseSymbolTable(const std::string& text);
+
+/// One SNB_INVARIANT_ROOT tag read back from the binary.
+struct RootTag {
+  std::string domain;    // From the section name.
+  std::string function;  // Demangled enclosing function.
+  std::string symbol;    // The tag symbol itself (diagnostics).
+};
+
+/// Extracts tags from symbols in "snb_invariants.<domain>.<line>"
+/// sections. Tags whose enclosing function cannot be recovered (C-linkage
+/// functions, malformed symbols) are reported into `errors`.
+std::vector<RootTag> ExtractRootTags(const std::vector<SymbolEntry>& symbols,
+                                     std::vector<std::string>* errors);
+
+/// abi::__cxa_demangle wrapper; returns `mangled` unchanged on failure
+/// (plain C symbols pass through).
+std::string Demangle(const std::string& mangled);
+
+/// Strips GCC clone suffixes (".cold", ".part.N", ".constprop.N",
+/// ".isra.N", ".lto_priv.N"), repeatedly, returning the base symbol.
+/// The removed suffix text lands in *suffix (empty when none).
+std::string StripCloneSuffix(const std::string& raw, std::string* suffix);
+
+/// Glob match with '*' (any run) and '?' (any one char); everything else
+/// literal. Matches the whole string.
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
+}  // namespace snb::inv
+
+#endif  // SNB_TOOLS_INVARIANTS_CALLGRAPH_H_

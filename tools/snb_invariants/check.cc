@@ -1,0 +1,419 @@
+#include "snb_invariants/check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace snb::inv {
+namespace {
+
+bool ReadStringArray(const toml::Value& table, const std::string& key,
+                     std::vector<std::string>* out, std::string* error) {
+  const toml::Value* v = table.Find(key);
+  if (v == nullptr) return true;
+  if (v->kind != toml::Value::Kind::kArray) {
+    *error = "'" + key + "' must be an array of strings";
+    return false;
+  }
+  for (const toml::Value& e : v->array) {
+    if (e.kind != toml::Value::Kind::kString) {
+      *error = "'" + key + "' must contain only strings";
+      return false;
+    }
+    out->push_back(e.str);
+  }
+  return true;
+}
+
+bool InterpretRule(const toml::Value& table, RuleSpec* rule,
+                   std::string* error) {
+  static const std::set<std::string> kKnown = {
+      "name",     "mode",           "roots",   "allow",
+      "deny",     "indirect",       "indirect_allow", "suppress"};
+  for (const std::string& key : table.order) {
+    if (kKnown.count(key) == 0) {
+      *error = "unknown rule key '" + key + "'";
+      return false;
+    }
+  }
+
+  const toml::Value* name = table.Find("name");
+  if (name == nullptr || name->kind != toml::Value::Kind::kString ||
+      name->str.empty()) {
+    *error = "every [[rule]] needs a non-empty string 'name'";
+    return false;
+  }
+  rule->name = name->str;
+
+  const toml::Value* mode = table.Find("mode");
+  if (mode == nullptr || mode->kind != toml::Value::Kind::kString) {
+    *error = "rule '" + rule->name + "': missing 'mode'";
+    return false;
+  }
+  if (mode->str == "allowlist") {
+    rule->mode = RuleSpec::Mode::kAllowlist;
+  } else if (mode->str == "denylist") {
+    rule->mode = RuleSpec::Mode::kDenylist;
+  } else {
+    *error = "rule '" + rule->name + "': mode must be 'allowlist' or "
+             "'denylist', got '" + mode->str + "'";
+    return false;
+  }
+
+  if (!ReadStringArray(table, "roots", &rule->roots, error) ||
+      !ReadStringArray(table, "allow", &rule->allow, error) ||
+      !ReadStringArray(table, "deny", &rule->deny, error) ||
+      !ReadStringArray(table, "indirect_allow", &rule->indirect_allow,
+                       error)) {
+    *error = "rule '" + rule->name + "': " + *error;
+    return false;
+  }
+
+  if (rule->mode == RuleSpec::Mode::kAllowlist && rule->allow.empty()) {
+    *error = "rule '" + rule->name + "': allowlist mode needs a non-empty "
+             "'allow' list";
+    return false;
+  }
+  if (rule->mode == RuleSpec::Mode::kDenylist && rule->deny.empty()) {
+    *error = "rule '" + rule->name + "': denylist mode needs a non-empty "
+             "'deny' list";
+    return false;
+  }
+
+  const toml::Value* indirect = table.Find("indirect");
+  if (indirect != nullptr) {
+    if (indirect->kind != toml::Value::Kind::kString ||
+        (indirect->str != "forbid" && indirect->str != "allow")) {
+      *error = "rule '" + rule->name + "': indirect must be 'forbid' or "
+               "'allow'";
+      return false;
+    }
+    rule->indirect_forbid = indirect->str == "forbid";
+  }
+
+  const toml::Value* suppress = table.Find("suppress");
+  if (suppress != nullptr) {
+    if (suppress->kind != toml::Value::Kind::kTableArray) {
+      *error = "rule '" + rule->name + "': suppress must be declared as "
+               "[[rule.suppress]] tables";
+      return false;
+    }
+    for (const toml::Value& entry : suppress->array) {
+      const toml::Value* edge = entry.Find("edge");
+      const toml::Value* why = entry.Find("justification");
+      if (edge == nullptr || edge->kind != toml::Value::Kind::kString) {
+        *error = "rule '" + rule->name + "': every suppression needs an "
+                 "'edge' string \"caller -> callee\"";
+        return false;
+      }
+      size_t arrow = edge->str.find(" -> ");
+      if (arrow == std::string::npos || arrow == 0 ||
+          arrow + 4 >= edge->str.size()) {
+        *error = "rule '" + rule->name + "': suppression edge '" +
+                 edge->str + "' is not of the form \"caller -> callee\"";
+        return false;
+      }
+      // Suppressions silence the checker; an empty or glib justification
+      // is how silent rot starts, so the string is mandatory and must
+      // carry actual words.
+      if (why == nullptr || why->kind != toml::Value::Kind::kString ||
+          why->str.size() < 10) {
+        *error = "rule '" + rule->name + "': suppression for edge '" +
+                 edge->str + "' needs a 'justification' string (>= 10 "
+                 "chars) explaining why the edge is safe";
+        return false;
+      }
+      SuppressSpec spec;
+      spec.caller = edge->str.substr(0, arrow);
+      spec.callee = edge->str.substr(arrow + 4);
+      spec.justification = why->str;
+      rule->suppress.push_back(std::move(spec));
+    }
+  }
+  return true;
+}
+
+/// True when `node` matches any glob in `patterns`, testing the demangled
+/// match name, the rendered display name, and the raw symbol.
+bool MatchesAny(const std::vector<std::string>& patterns,
+                const FuncNode& node) {
+  for (const std::string& pat : patterns) {
+    if (GlobMatch(pat, node.match_name) || GlobMatch(pat, node.display) ||
+        GlobMatch(pat, node.raw)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string* FirstMatch(const std::vector<std::string>& patterns,
+                              const FuncNode& node) {
+  for (const std::string& pat : patterns) {
+    if (GlobMatch(pat, node.match_name) || GlobMatch(pat, node.display) ||
+        GlobMatch(pat, node.raw)) {
+      return &pat;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool InterpretManifest(const toml::Value& doc, Manifest* out,
+                       std::string* error) {
+  *out = Manifest{};
+  const toml::Value* schema = doc.Find("schema");
+  if (schema == nullptr || schema->kind != toml::Value::Kind::kString ||
+      schema->str != "snb-invariants-v1") {
+    *error = "manifest must declare schema = \"snb-invariants-v1\"";
+    return false;
+  }
+  out->schema = schema->str;
+
+  const toml::Value* rules = doc.Find("rule");
+  if (rules == nullptr || rules->kind != toml::Value::Kind::kTableArray ||
+      rules->array.empty()) {
+    *error = "manifest declares no [[rule]] entries";
+    return false;
+  }
+  std::set<std::string> seen;
+  for (const toml::Value& entry : rules->array) {
+    RuleSpec rule;
+    if (!InterpretRule(entry, &rule, error)) return false;
+    if (!seen.insert(rule.name).second) {
+      *error = "duplicate rule name '" + rule.name + "'";
+      return false;
+    }
+    out->rules.push_back(std::move(rule));
+  }
+  return true;
+}
+
+bool ParseManifest(const std::string& text, Manifest* out,
+                   std::string* error) {
+  toml::Value doc;
+  if (!toml::Parse(text, &doc, error)) return false;
+  return InterpretManifest(doc, out, error);
+}
+
+const char* ViolationKindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kForbiddenSymbol:
+      return "forbidden-symbol";
+    case Violation::Kind::kOutsideAllowlist:
+      return "outside-allowlist";
+    case Violation::Kind::kIndirectCall:
+      return "indirect-call";
+    case Violation::Kind::kMissingRoot:
+      return "missing-root";
+  }
+  return "unknown";
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::string out = "FAIL [" + v.rule + "] " + ViolationKindName(v.kind);
+  if (v.kind == Violation::Kind::kMissingRoot) {
+    out += ": " + v.detail + "\n";
+    return out;
+  }
+  out += ": root '" + v.path.front() + "' reaches '" + v.path.back() +
+         "' (" + v.detail + ")\n";
+  for (size_t i = 0; i < v.path.size(); ++i) {
+    out += i == 0 ? "      " : "   -> ";
+    out += v.path[i];
+    out += '\n';
+  }
+  return out;
+}
+
+CheckResult CheckBinary(const CallGraph& graph,
+                        const std::vector<RootTag>& tags,
+                        const Manifest& manifest,
+                        const CheckOptions& options) {
+  CheckResult result;
+
+  // domain -> tagged function names (deduped; a tag may resolve to
+  // several same-named copies or clones, all of which become roots).
+  std::map<std::string, std::set<std::string>> tagged;
+  for (const RootTag& tag : tags) {
+    tagged[tag.domain].insert(tag.function);
+  }
+  std::set<std::string> rule_names;
+  for (const RuleSpec& rule : manifest.rules) rule_names.insert(rule.name);
+  for (const auto& [domain, fns] : tagged) {
+    if (rule_names.count(domain) == 0) {
+      result.warnings.push_back(
+          "binary carries SNB_INVARIANT_ROOT tags for domain '" + domain +
+          "' but the manifest declares no such rule");
+    }
+  }
+
+  for (const RuleSpec& rule : manifest.rules) {
+    std::vector<const FuncNode*> roots;
+    std::set<uint64_t> root_addrs;
+    auto add_root = [&](const FuncNode* node) {
+      if (root_addrs.insert(node->addr).second) roots.push_back(node);
+    };
+
+    auto tags_it = tagged.find(rule.name);
+    if (tags_it != tagged.end()) {
+      for (const std::string& fn : tags_it->second) {
+        std::vector<const FuncNode*> nodes = graph.ByMatchName(fn);
+        if (nodes.empty()) {
+          std::string what =
+              "SNB_INVARIANT_ROOT(\"" + rule.name + "\") tags '" + fn +
+              "' but the binary has no such function symbol — the root "
+              "was inlined away or stripped, so its invariant cannot be "
+              "checked; anchor it in probe_main.cc or mark it noinline";
+          if (options.allow_inlined_roots) {
+            result.warnings.push_back(what);
+          } else {
+            Violation v;
+            v.rule = rule.name;
+            v.kind = Violation::Kind::kMissingRoot;
+            v.path = {fn};
+            v.detail = what;
+            result.violations.push_back(std::move(v));
+          }
+          continue;
+        }
+        for (const FuncNode* node : nodes) add_root(node);
+      }
+    }
+    for (const std::string& glob : rule.roots) {
+      bool matched = false;
+      for (const auto& [addr, node] : graph.funcs()) {
+        if (GlobMatch(glob, node.match_name) ||
+            GlobMatch(glob, node.raw)) {
+          add_root(&node);
+          matched = true;
+        }
+      }
+      if (!matched) {
+        result.warnings.push_back("rule '" + rule.name + "': root glob '" +
+                                  glob + "' matches no function");
+      }
+    }
+
+    if (roots.empty()) {
+      result.warnings.push_back("rule '" + rule.name +
+                                "': no roots in this binary; skipped");
+      continue;
+    }
+
+    std::vector<bool> suppress_used(rule.suppress.size(), false);
+    std::set<std::string> reported;  // Dedup (kind, offender) per rule.
+    size_t closure_size = 0;
+
+    for (const FuncNode* root : roots) {
+      std::map<uint64_t, uint64_t> parent;  // node -> predecessor.
+      std::deque<uint64_t> queue;
+      std::set<uint64_t> visited;
+      queue.push_back(root->addr);
+      visited.insert(root->addr);
+
+      auto path_to = [&](uint64_t addr) {
+        std::vector<std::string> path;
+        for (uint64_t cur = addr;;) {
+          path.push_back(graph.funcs().at(cur).display);
+          auto it = parent.find(cur);
+          if (it == parent.end()) break;
+          cur = it->second;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      };
+      auto report = [&](const FuncNode& node, Violation::Kind kind,
+                        std::string detail) {
+        std::string key = std::string(ViolationKindName(kind)) + "|" +
+                          node.display;
+        if (!reported.insert(key).second) return;
+        Violation v;
+        v.rule = rule.name;
+        v.kind = kind;
+        v.path = path_to(node.addr);
+        v.detail = std::move(detail);
+        result.violations.push_back(std::move(v));
+      };
+
+      while (!queue.empty()) {
+        uint64_t addr = queue.front();
+        queue.pop_front();
+        const FuncNode& node = graph.funcs().at(addr);
+        bool is_root = root_addrs.count(addr) != 0;
+        bool expand = true;
+
+        if (rule.mode == RuleSpec::Mode::kDenylist) {
+          // Roots are tested too: tagging a function that IS forbidden
+          // should fail loudly, not vacuously pass.
+          if (const std::string* pat = FirstMatch(rule.deny, node)) {
+            report(node, Violation::Kind::kForbiddenSymbol,
+                   "matches deny pattern '" + *pat + "'");
+            expand = false;
+          }
+        } else if (!is_root && !MatchesAny(rule.allow, node)) {
+          report(node, Violation::Kind::kOutsideAllowlist,
+                 "not matched by any allow pattern");
+          expand = false;
+        }
+
+        if (expand && rule.indirect_forbid && !node.indirect.empty() &&
+            !MatchesAny(rule.indirect_allow, node)) {
+          const IndirectSite& site = node.indirect.front();
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "0x%llx",
+                        static_cast<unsigned long long>(site.addr));
+          report(node, Violation::Kind::kIndirectCall,
+                 "indirect transfer '" + site.text + "' at " + buf +
+                     (node.indirect.size() > 1
+                          ? " (+" +
+                                std::to_string(node.indirect.size() - 1) +
+                                " more)"
+                          : ""));
+          // The node's direct callees are still traversed: the indirect
+          // site is reported, the rest of the closure stays checked.
+        }
+
+        if (!expand) continue;
+        for (uint64_t callee_addr : node.callees) {
+          const FuncNode& callee = graph.funcs().at(callee_addr);
+          bool suppressed = false;
+          for (size_t i = 0; i < rule.suppress.size(); ++i) {
+            const SuppressSpec& s = rule.suppress[i];
+            if ((GlobMatch(s.caller, node.match_name) ||
+                 GlobMatch(s.caller, node.display)) &&
+                (GlobMatch(s.callee, callee.match_name) ||
+                 GlobMatch(s.callee, callee.display))) {
+              suppress_used[i] = true;
+              suppressed = true;
+              break;
+            }
+          }
+          if (suppressed || visited.count(callee_addr) != 0) continue;
+          visited.insert(callee_addr);
+          parent[callee_addr] = addr;
+          queue.push_back(callee_addr);
+        }
+      }
+      closure_size = std::max(closure_size, visited.size());
+    }
+
+    for (size_t i = 0; i < rule.suppress.size(); ++i) {
+      if (!suppress_used[i]) {
+        result.warnings.push_back(
+            "rule '" + rule.name + "': suppression '" +
+            rule.suppress[i].caller + " -> " + rule.suppress[i].callee +
+            "' matched no edge — delete it or fix the globs");
+      }
+    }
+    result.notes.push_back(
+        "rule '" + rule.name + "': " + std::to_string(roots.size()) +
+        " root(s), closure of " + std::to_string(closure_size) +
+        " function(s)");
+  }
+  return result;
+}
+
+}  // namespace snb::inv

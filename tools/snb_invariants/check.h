@@ -1,0 +1,114 @@
+// Rule engine: evaluates declared reachability invariants over the
+// direct-call graph.
+//
+// A rule is a domain ("signal_safe", "pinned_read", "lockfree", ...) with
+// roots — functions carrying SNB_INVARIANT_ROOT tags for that domain,
+// plus optional manifest-listed root globs — and one of two modes:
+//
+//   * allowlist: every function in the roots' transitive callee closure
+//     must match an `allow` glob (async-signal-safety: the handler may
+//     only ever reach an explicitly blessed set);
+//   * denylist: no function in the closure may match a `deny` glob
+//     (pin discipline / lock-freedom: the fast path must not reach
+//     malloc / pthread_mutex_lock / ...).
+//
+// Indirect calls defeat static reachability, so they are conservative
+// violations by default: any flagged indirect transfer inside the closure
+// fails the rule unless the containing function matches an
+// `indirect_allow` glob (the per-edge analogue of objtool's
+// ANNOTATE_RETPOLINE_SAFE).
+//
+// Per-edge suppressions ("caller -> callee" glob pairs) cut individual
+// edges out of the traversal; each requires a non-empty justification
+// string in the manifest, and suppressions that matched nothing are
+// surfaced as warnings so dead entries cannot accumulate.
+//
+// Every violation carries the shortest call path from a root to the
+// offending node (BFS parent chain), which is the line a reader needs to
+// either fix the code or write an honest suppression.
+#ifndef SNB_TOOLS_INVARIANTS_CHECK_H_
+#define SNB_TOOLS_INVARIANTS_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "snb_invariants/callgraph.h"
+#include "snb_invariants/minitoml.h"
+
+namespace snb::inv {
+
+struct SuppressSpec {
+  std::string caller;  // Glob over the caller's display/match name.
+  std::string callee;  // Glob over the callee's display/match name.
+  std::string justification;
+};
+
+struct RuleSpec {
+  enum class Mode { kAllowlist, kDenylist };
+
+  std::string name;  // == tag domain.
+  Mode mode = Mode::kDenylist;
+  std::vector<std::string> roots;  // Extra root globs (match names).
+  std::vector<std::string> allow;
+  std::vector<std::string> deny;
+  bool indirect_forbid = true;
+  std::vector<std::string> indirect_allow;
+  std::vector<SuppressSpec> suppress;
+};
+
+struct Manifest {
+  std::string schema;
+  std::vector<RuleSpec> rules;
+};
+
+/// Interprets a parsed TOML document as a manifest. Unknown keys, missing
+/// mode lists, and suppressions without a justification are hard errors.
+bool InterpretManifest(const toml::Value& doc, Manifest* out,
+                       std::string* error);
+
+/// Convenience: parse text then interpret.
+bool ParseManifest(const std::string& text, Manifest* out,
+                   std::string* error);
+
+struct Violation {
+  enum class Kind {
+    kForbiddenSymbol,   // Denylist hit.
+    kOutsideAllowlist,  // Allowlist miss.
+    kIndirectCall,      // Unvetted indirect transfer in the closure.
+    kMissingRoot,       // Tag present but function absent from the binary.
+  };
+
+  std::string rule;
+  Kind kind = Kind::kForbiddenSymbol;
+  std::vector<std::string> path;  // Display names, root first.
+  std::string detail;             // Matched pattern / site text.
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  std::vector<std::string> warnings;  // Unused suppressions, skipped rules.
+  std::vector<std::string> notes;     // Per-rule closure statistics.
+};
+
+struct CheckOptions {
+  /// Downgrade kMissingRoot to a warning (exploratory runs on binaries
+  /// that never odr-anchor the inline roots, e.g. benchmark_run).
+  bool allow_inlined_roots = false;
+};
+
+/// Evaluates every manifest rule against one binary's graph and tags.
+/// Rules whose domain has no tag and no matching extra root in this
+/// binary are skipped with a warning (the fixtures share one manifest).
+CheckResult CheckBinary(const CallGraph& graph,
+                        const std::vector<RootTag>& tags,
+                        const Manifest& manifest,
+                        const CheckOptions& options);
+
+/// Human-readable rendering of one violation (multi-line, indented path).
+std::string FormatViolation(const Violation& v);
+
+const char* ViolationKindName(Violation::Kind kind);
+
+}  // namespace snb::inv
+
+#endif  // SNB_TOOLS_INVARIANTS_CHECK_H_

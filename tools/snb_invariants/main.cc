@@ -1,0 +1,235 @@
+// snb_invariants — objtool-style binary invariant checker.
+//
+// Usage:
+//   snb_invariants --manifest tools/snb_invariants/invariants.toml \
+//                  --binary build/src/snb_server [--binary ...]
+//
+// Disassembles each binary with binutils objdump (no clang/LLVM
+// dependency), reconstructs the direct-call graph, reads back the
+// SNB_INVARIANT_ROOT tags planted in snb_invariants.* ELF sections, and
+// verifies every manifest rule. Violations print as shortest call paths
+// root -> ... -> forbidden symbol.
+//
+// Exit codes: 0 clean (or --expect-violations satisfied), 1 violations,
+// 2 usage / infrastructure failure (objdump missing, unreadable files).
+//
+// --expect-violations r1,r2 flips the tool into mutation self-test mode:
+// it exits 0 and prints the "SELF-TEST OK" sentinel only when the set of
+// rules that fired matches the expectation exactly. The sentinel exists
+// because ctest PASS_REGULAR_EXPRESSION ignores exit codes — the fixture
+// tests grep for it.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snb_invariants/callgraph.h"
+#include "snb_invariants/check.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --manifest <toml> --binary <elf>...\n"
+      << "  --binary <elf>            binary to check (repeatable)\n"
+      << "  --manifest <toml>         invariant manifest\n"
+      << "  --objdump <path>          objdump to use (default: objdump)\n"
+      << "  --expect-violations r1,r2 self-test: require exactly these\n"
+      << "                            rules to fire, then exit 0\n"
+      << "  --allow-inlined-roots     downgrade missing-root to warning\n"
+      << "  --verbose                 print per-rule closure statistics\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Runs `cmd` and captures stdout. Returns false on spawn failure or
+/// non-zero exit.
+bool RunCommand(const std::string& cmd, std::string* out,
+                std::string* error) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    *error = "failed to spawn: " + cmd;
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out->append(buf, n);
+  }
+  int status = pclose(pipe);
+  if (status != 0) {
+    *error = "command failed (status " + std::to_string(status) +
+             "): " + cmd;
+    return false;
+  }
+  return true;
+}
+
+/// Minimal shell quoting; single quotes in paths are rejected upstream.
+std::string Quote(const std::string& s) { return "'" + s + "'"; }
+
+std::set<std::string> SplitCommas(const std::string& s) {
+  std::set<std::string> out;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, ',')) {
+    if (!cur.empty()) out.insert(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string objdump = "objdump";
+  std::vector<std::string> binaries;
+  std::string expect;
+  bool self_test = false;
+  snb::inv::CheckOptions options;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--manifest") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      manifest_path = v;
+    } else if (arg == "--binary") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      binaries.push_back(v);
+    } else if (arg == "--objdump") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      objdump = v;
+    } else if (arg == "--expect-violations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      expect = v;
+      self_test = true;
+    } else if (arg == "--allow-inlined-roots") {
+      options.allow_inlined_roots = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "snb_invariants: unknown argument '" << arg << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (manifest_path.empty() || binaries.empty()) return Usage(argv[0]);
+  for (const std::string& path : binaries) {
+    if (path.find('\'') != std::string::npos) {
+      std::cerr << "snb_invariants: path contains a quote: " << path
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::string manifest_text;
+  if (!ReadFile(manifest_path, &manifest_text)) {
+    std::cerr << "snb_invariants: cannot read manifest " << manifest_path
+              << "\n";
+    return 2;
+  }
+  snb::inv::Manifest manifest;
+  std::string error;
+  if (!snb::inv::ParseManifest(manifest_text, &manifest, &error)) {
+    std::cerr << "snb_invariants: " << manifest_path << ": " << error
+              << "\n";
+    return 2;
+  }
+
+  std::set<std::string> fired;  // Rules with >= 1 violation, any binary.
+  size_t total_violations = 0;
+
+  for (const std::string& binary : binaries) {
+    std::string disasm, symtab;
+    if (!RunCommand(objdump + " -d --no-show-raw-insn -w " + Quote(binary),
+                    &disasm, &error) ||
+        !RunCommand(objdump + " -t " + Quote(binary), &symtab, &error)) {
+      std::cerr << "snb_invariants: " << error << "\n";
+      return 2;
+    }
+
+    snb::inv::CallGraph graph =
+        snb::inv::CallGraph::FromDisassembly(disasm);
+    if (graph.funcs().empty()) {
+      std::cerr << "snb_invariants: no functions disassembled from "
+                << binary << "\n";
+      return 2;
+    }
+    std::vector<std::string> tag_errors;
+    std::vector<snb::inv::RootTag> tags = snb::inv::ExtractRootTags(
+        snb::inv::ParseSymbolTable(symtab), &tag_errors);
+    for (const std::string& e : tag_errors) {
+      std::cerr << "snb_invariants: " << binary << ": " << e << "\n";
+    }
+    if (!tag_errors.empty()) return 2;
+
+    snb::inv::CheckResult result =
+        snb::inv::CheckBinary(graph, tags, manifest, options);
+
+    std::cout << "== " << binary << " (" << graph.funcs().size()
+              << " functions, " << tags.size() << " root tag(s))\n";
+    for (const std::string& w : result.warnings) {
+      std::cout << "  warning: " << w << "\n";
+    }
+    if (verbose) {
+      for (const std::string& n : result.notes) {
+        std::cout << "  note: " << n << "\n";
+      }
+    }
+    for (const snb::inv::Violation& v : result.violations) {
+      std::cout << snb::inv::FormatViolation(v);
+      fired.insert(v.rule);
+    }
+    total_violations += result.violations.size();
+  }
+
+  if (self_test) {
+    std::set<std::string> expected = SplitCommas(expect);
+    if (fired == expected) {
+      std::cout << "SELF-TEST OK: rules fired as expected (" << expect
+                << ")\n";
+      return 0;
+    }
+    std::cout << "SELF-TEST FAILED: expected rules {" << expect
+              << "} but got {";
+    bool first = true;
+    for (const std::string& r : fired) {
+      if (!first) std::cout << ",";
+      std::cout << r;
+      first = false;
+    }
+    std::cout << "}\n";
+    return 1;
+  }
+
+  if (total_violations > 0) {
+    std::cout << "snb_invariants: " << total_violations
+              << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "snb_invariants: all invariants hold\n";
+  return 0;
+}

@@ -1,0 +1,318 @@
+#include "snb_invariants/minitoml.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace snb::inv::toml {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strips a trailing # comment that is not inside a basic string.
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // Skip the escaped character.
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '#') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+bool IsBareKey(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitPath(const std::string& s) {
+  std::vector<std::string> out;
+  std::string part;
+  std::istringstream in(s);
+  while (std::getline(in, part, '.')) out.push_back(Trim(part));
+  return out;
+}
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  int line = 1;
+  std::string error;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void Fail(const std::string& what) {
+    if (error.empty()) {
+      error = "line " + std::to_string(line) + ": " + what;
+    }
+  }
+
+  /// Reads the next physical line (without the newline); false at EOF.
+  bool NextLine(std::string* out) {
+    if (pos >= text.size()) return false;
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      *out = text.substr(pos);
+      pos = text.size();
+    } else {
+      *out = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  }
+
+  /// Parses a basic "..." string starting at s[i] == '"'. Advances i past
+  /// the closing quote.
+  bool ParseString(const std::string& s, size_t* i, std::string* out) {
+    out->clear();
+    ++*i;  // Opening quote.
+    while (*i < s.size()) {
+      char c = s[*i];
+      if (c == '"') {
+        ++*i;
+        return true;
+      }
+      if (c == '\\') {
+        ++*i;
+        if (*i >= s.size()) break;
+        switch (s[*i]) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default:
+            Fail(std::string("unsupported escape '\\") + s[*i] + "'");
+            return false;
+        }
+        ++*i;
+      } else {
+        out->push_back(c);
+        ++*i;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  /// Parses a scalar (string/bool/int) from s starting at *i; advances *i.
+  bool ParseScalar(const std::string& s, size_t* i, Value* out) {
+    while (*i < s.size() && (s[*i] == ' ' || s[*i] == '\t')) ++*i;
+    if (*i >= s.size()) {
+      Fail("missing value");
+      return false;
+    }
+    if (s[*i] == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(s, i, &out->str);
+    }
+    size_t start = *i;
+    while (*i < s.size() && s[*i] != ',' && s[*i] != ']' && s[*i] != ' ' &&
+           s[*i] != '\t') {
+      ++*i;
+    }
+    std::string tok = s.substr(start, *i - start);
+    if (tok == "true" || tok == "false") {
+      out->kind = Value::Kind::kBool;
+      out->boolean = tok == "true";
+      return true;
+    }
+    size_t digits = tok.size() > 0 && tok[0] == '-' ? 1 : 0;
+    if (digits < tok.size()) {
+      bool all_digits = true;
+      for (size_t k = digits; k < tok.size(); ++k) {
+        if (std::isdigit(static_cast<unsigned char>(tok[k])) == 0) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) {
+        out->kind = Value::Kind::kInt;
+        out->integer = std::stoll(tok);
+        return true;
+      }
+    }
+    Fail("unsupported value '" + tok + "' (expected string, bool, int, "
+         "or array)");
+    return false;
+  }
+
+  /// Parses an array value. `rest` holds the text after '[' on the key's
+  /// line; continuation lines are pulled as needed (multi-line arrays).
+  bool ParseArray(std::string rest, Value* out) {
+    out->kind = Value::Kind::kArray;
+    for (;;) {
+      rest = Trim(StripComment(rest));
+      if (rest.empty()) {
+        std::string next;
+        if (!NextLine(&next)) {
+          Fail("unterminated array");
+          return false;
+        }
+        ++line;
+        rest = next;
+        continue;
+      }
+      if (rest[0] == ']') {
+        if (Trim(rest.substr(1)).empty()) return true;
+        Fail("trailing content after ']'");
+        return false;
+      }
+      if (rest[0] == ',') {
+        rest = rest.substr(1);
+        continue;
+      }
+      Value element;
+      size_t i = 0;
+      if (!ParseScalar(rest, &i, &element)) return false;
+      out->array.push_back(std::move(element));
+      rest = rest.substr(i);
+    }
+  }
+};
+
+/// Walks `path` from the root, creating tables as needed. For each prefix
+/// element that is a kTableArray, descends into its last element. Returns
+/// nullptr (with *error set) when a path element is already a non-table.
+Value* Descend(Value* root, const std::vector<std::string>& path,
+               bool final_is_array, std::string* error, int line) {
+  Value* cur = root;
+  for (size_t i = 0; i < path.size(); ++i) {
+    const std::string& key = path[i];
+    if (!IsBareKey(key)) {
+      *error = "line " + std::to_string(line) + ": bad table name '" +
+               key + "'";
+      return nullptr;
+    }
+    bool last = i + 1 == path.size();
+    auto it = cur->table.find(key);
+    if (it == cur->table.end()) {
+      Value fresh;
+      fresh.kind = last && final_is_array ? Value::Kind::kTableArray
+                                          : Value::Kind::kTable;
+      cur->order.push_back(key);
+      it = cur->table.emplace(key, std::move(fresh)).first;
+    }
+    Value* next = &it->second;
+    if (next->kind == Value::Kind::kTableArray) {
+      if (last && final_is_array) {
+        next->array.emplace_back();
+        next->array.back().kind = Value::Kind::kTable;
+        return &next->array.back();
+      }
+      if (next->array.empty()) {
+        *error = "line " + std::to_string(line) + ": '" + key +
+                 "' used before any [[" + key + "]] element";
+        return nullptr;
+      }
+      cur = &next->array.back();
+    } else if (next->kind == Value::Kind::kTable) {
+      if (last && final_is_array) {
+        *error = "line " + std::to_string(line) + ": '" + key +
+                 "' redefined as array of tables";
+        return nullptr;
+      }
+      cur = next;
+    } else {
+      *error = "line " + std::to_string(line) + ": '" + key +
+               "' is not a table";
+      return nullptr;
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+bool Parse(const std::string& text, Value* root, std::string* error) {
+  *root = Value{};
+  root->kind = Value::Kind::kTable;
+  Parser p(text);
+  Value* current = root;
+
+  std::string raw;
+  while (p.NextLine(&raw)) {
+    std::string stripped = Trim(StripComment(raw));
+    if (stripped.empty()) {
+      ++p.line;
+      continue;
+    }
+
+    if (stripped.front() == '[') {
+      bool is_array = stripped.size() > 1 && stripped[1] == '[';
+      std::string close = is_array ? "]]" : "]";
+      size_t open = is_array ? 2 : 1;
+      size_t end = stripped.find(close, open);
+      if (end == std::string::npos ||
+          !Trim(stripped.substr(end + close.size())).empty()) {
+        p.Fail("malformed table header");
+        break;
+      }
+      std::string path_text = Trim(stripped.substr(open, end - open));
+      Value* target = Descend(root, SplitPath(path_text), is_array, error,
+                              p.line);
+      if (target == nullptr) return false;
+      current = target;
+      ++p.line;
+      continue;
+    }
+
+    size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      p.Fail("expected 'key = value' or a [table] header");
+      break;
+    }
+    std::string key = Trim(stripped.substr(0, eq));
+    if (!IsBareKey(key)) {
+      p.Fail("bad key '" + key + "' (dotted and quoted keys unsupported)");
+      break;
+    }
+    if (current->Has(key)) {
+      p.Fail("duplicate key '" + key + "'");
+      break;
+    }
+    std::string rest = Trim(stripped.substr(eq + 1));
+    Value value;
+    int key_line = p.line;
+    if (!rest.empty() && rest[0] == '[') {
+      if (!p.ParseArray(rest.substr(1), &value)) break;
+    } else {
+      size_t i = 0;
+      if (!p.ParseScalar(rest, &i, &value)) break;
+      if (!Trim(rest.substr(i)).empty()) {
+        p.Fail("trailing content after value");
+        break;
+      }
+    }
+    (void)key_line;
+    current->order.push_back(key);
+    current->table.emplace(std::move(key), std::move(value));
+    ++p.line;
+  }
+
+  if (!p.error.empty()) {
+    *error = p.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snb::inv::toml

@@ -1,0 +1,55 @@
+// Minimal TOML-subset parser for the invariants manifest.
+//
+// The checker must run on the GCC-only container with no third-party
+// libraries, so the manifest format is a small, strictly defined TOML
+// subset parsed here:
+//
+//   * comments (#) and blank lines;
+//   * [table] and nested [table.sub] headers;
+//   * [[array-of-tables]] headers, including nested ones relative to the
+//     most recent parent element ([[rule]] ... [[rule.suppress]]);
+//   * key = "string" (basic strings, \" \\ \n \t escapes);
+//   * key = ["array", "of", "strings"], multi-line, trailing comma ok;
+//   * key = true | false;
+//   * key = 123 (decimal integers, optional leading -).
+//
+// Anything else (dotted keys, inline tables, floats, dates, literal
+// strings) is a parse error with a line number — the manifest is checked
+// in, so failing loudly beats guessing.
+#ifndef SNB_TOOLS_INVARIANTS_MINITOML_H_
+#define SNB_TOOLS_INVARIANTS_MINITOML_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snb::inv::toml {
+
+struct Value {
+  enum class Kind { kString, kInt, kBool, kArray, kTable, kTableArray };
+
+  Kind kind = Kind::kTable;
+  std::string str;
+  int64_t integer = 0;
+  bool boolean = false;
+  /// kArray elements, or kTableArray elements (each a kTable).
+  std::vector<Value> array;
+  /// kTable entries, in insertion order via `order`.
+  std::map<std::string, Value> table;
+  std::vector<std::string> order;
+
+  bool Has(const std::string& key) const { return table.count(key) != 0; }
+  const Value* Find(const std::string& key) const {
+    auto it = table.find(key);
+    return it == table.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses `text` into `*root` (a kTable). On failure returns false and
+/// sets `*error` to "line N: what went wrong".
+bool Parse(const std::string& text, Value* root, std::string* error);
+
+}  // namespace snb::inv::toml
+
+#endif  // SNB_TOOLS_INVARIANTS_MINITOML_H_
