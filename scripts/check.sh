@@ -156,6 +156,12 @@ echo "== validation smoke: golden emit + replay (serial and threaded) =="
 # Q5/Q9/Q14 plans byte-identical on the full battery.
 ./build/tools/validate_run --replay "${smoke_golden}" \
   --threads 1 --mode sequential --exec batched
+# Sharded-store replay: the serial single-shard emission must replay
+# byte-identically on a 2-shard store (hash routing + multi-shard
+# snapshots + per-shard writer locks). The full {1,2,4,8} matrix runs in
+# tests/validate_golden_test.cc and CI's shard-matrix job.
+./build/tools/validate_run --replay "${smoke_golden}" \
+  --threads 2 --mode windowed --shards 2
 
 echo "== perf-regression gate: compare against committed baseline =="
 # Thresholds are deliberately generous: the gate exists to catch order-of-
@@ -164,6 +170,7 @@ echo "== perf-regression gate: compare against committed baseline =="
 if [[ -f BENCH_baseline.json ]]; then
   python3 scripts/compare_reports.py BENCH_baseline.json "${bench_today}" \
     --max-throughput-drop 0.9 \
+    --max-update-throughput-drop 0.9 \
     --max-latency-inflation 4.0 \
     --latency-slack-ms 5.0 \
     --max-compliance-drop 0.5

@@ -12,6 +12,12 @@ candidate regressed past the configured thresholds:
     tripping the relative check on scheduler noise);
   * the schedule-compliance on-time fraction dropped more than
     --max-compliance-drop (absolute);
+  * aggregate update-path throughput (the "update.*" ops' total count
+    divided by their summed count x mean_ms wall time) dropped more than
+    --max-update-throughput-drop (fraction of baseline). This is the
+    sharded store's N=1 regression gate: the single-shard update path
+    must not pay for the sharding machinery. Engages only when both
+    reports carry update rows totalling at least --min-count ops;
   * a shared op's hardware-counter ratios regressed: IPC dropped more
     than --max-ipc-drop (fraction of baseline), or LLC misses per kilo
     instruction inflated more than --max-llc-miss-inflation (fraction)
@@ -80,6 +86,10 @@ def main():
                         metavar="MS",
                         help="absolute growth below this never fails the "
                              "latency check (default 1.0)")
+    parser.add_argument("--max-update-throughput-drop", type=float,
+                        default=0.5, metavar="FRAC",
+                        help="max allowed relative drop of aggregate "
+                             "update.* ops/s (default 0.5)")
     parser.add_argument("--max-compliance-drop", type=float, default=0.05,
                         metavar="FRAC",
                         help="max allowed absolute on-time-fraction drop "
@@ -166,6 +176,28 @@ def main():
                         f"{name} {key}: {c[key]:.3f} > ceiling "
                         f"{ceiling:.3f} (baseline {b[key]:.3f}, max "
                         f"inflation {args.max_llc_miss_inflation:.0%})")
+
+    # Aggregate update-path throughput: Σ count / Σ (count * mean_ms).
+    # The N=1 sharded-store gate — routing hashes, snapshot pins and the
+    # per-shard lock must not slow the degenerate single-shard update path.
+    def update_tput(ops):
+        count = sum(o["count"] for n, o in ops.items()
+                    if n.startswith("update.") and "mean_ms" in o)
+        ms = sum(o["count"] * o["mean_ms"] for n, o in ops.items()
+                 if n.startswith("update.") and "mean_ms" in o)
+        return (count, count / (ms / 1000.0) if ms > 0 else None)
+
+    base_ucount, base_utput = update_tput(base_ops)
+    cand_ucount, cand_utput = update_tput(cand_ops)
+    if (base_utput and cand_utput
+            and min(base_ucount, cand_ucount) >= args.min_count):
+        checks += 1
+        floor = base_utput * (1.0 - args.max_update_throughput_drop)
+        if cand_utput < floor:
+            regressions.append(
+                f"update throughput: {cand_utput:.0f} ops/s < floor "
+                f"{floor:.0f} (baseline {base_utput:.0f}, max drop "
+                f"{args.max_update_throughput_drop:.0%})")
 
     # Compliance (v2 only; absent section in either report = not compared).
     base_frac = base.get("compliance", {}).get("on_time_fraction")

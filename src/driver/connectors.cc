@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "driver/shard_writers.h"
 #include "exec/exec_mode.h"
 #include "queries/batched_queries.h"
 #include "queries/complex_queries.h"
@@ -72,10 +73,10 @@ Status StoreConnector::Execute(const Operation& op) {
   // complex read runs under a single pin. Never wrap reads in a shared
   // lock here — a nested shared_lock would deadlock against a waiting
   // writer in kGlobalLock mode.
-  std::optional<util::EpochPin> outer_pin;
+  std::optional<store::ShardSnapshot> outer_pin;
   if (op.type != OperationType::kUpdate &&
       store_->read_concurrency() == store::ReadConcurrency::kEpoch) {
-    outer_pin = store_->epoch_manager().pin();
+    outer_pin = store_->PinShards();
   }
   switch (op.type) {
     case OperationType::kComplexRead:
@@ -302,7 +303,18 @@ Status StoreConnector::ExecuteUpdate(const Operation& op) {
   Stopwatch watch;
   obs::perf::ScopedHwCounts hw_scope;
   SpinFor(dispatch_overhead_us_);
-  Status status = queries::ApplyUpdate(*store_, update);
+  Status status;
+  if (pool_ != nullptr) {
+    // The dependency services release on submission; the pool's
+    // cross-shard creation watermark confirms the dependency actually
+    // applied on every shard it touched before this update is routed.
+    if (update.dependency_time > 0) {
+      pool_->WaitCompletedThrough(update.dependency_time);
+    }
+    status = pool_->Submit(update);
+  } else {
+    status = queries::ApplyUpdate(*store_, update);
+  }
   uint64_t latency_ns = watch.ElapsedNanos();
   obs::perf::HwCounts hw = hw_scope.Delta();
   obs::OpType op_type = obs::UpdateOp(static_cast<int>(update.kind));
@@ -376,7 +388,7 @@ void StoreConnector::RunShortReadWalk(
 void PublishStoreMetrics(const store::GraphStore& store,
                          obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) return;
-  util::EpochManager::EpochStats epoch = store.epoch_manager().stats();
+  util::EpochManager::EpochStats epoch = store.AggregateEpochStats();
   metrics->SetGauge(obs::Gauge::kEpochAdvances, epoch.advances);
   metrics->SetGauge(obs::Gauge::kEpochRetired, epoch.retired);
   metrics->SetGauge(obs::Gauge::kEpochFreed, epoch.freed);

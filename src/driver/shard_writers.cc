@@ -1,0 +1,341 @@
+#include "driver/shard_writers.h"
+
+#include <chrono>
+#include <string>
+#include <variant>
+
+#include "schema/entities.h"
+
+namespace snb::driver {
+
+ShardWriterPool::ShardWriterPool(store::GraphStore* store, Options options)
+    : store_(store),
+      options_(options),
+      num_shards_(store->num_shards()) {
+  lanes_.reserve(num_shards_);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->queue =
+        std::make_unique<util::SpscQueue<SubOp>>(options_.queue_capacity);
+    lanes_.push_back(std::move(lane));
+  }
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    lanes_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ShardWriterPool::~ShardWriterPool() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+  }
+}
+
+void ShardWriterPool::Enqueue(uint32_t shard, HalfKind kind,
+                              const datagen::UpdateOperation* op) {
+  Lane& lane = *lanes_[shard];
+  SubOp sub;
+  sub.kind = kind;
+  sub.op = op;
+  // Workers pop unconditionally (they skip the mutation when poisoned),
+  // so a full ring always drains and this spin is bounded.
+  while (!lane.queue->TryPush(sub)) {
+    std::this_thread::yield();
+  }
+  lane.enqueued.fetch_add(1, std::memory_order_release);
+}
+
+util::Status ShardWriterPool::Submit(const datagen::UpdateOperation& op) {
+  if (poisoned()) {
+    util::MutexLock lock(&pool_error_mu_);
+    return first_error_;
+  }
+  util::MutexLock submit_lock(&submit_mu_);
+  owned_.push_back(op);
+  const datagen::UpdateOperation* p = &owned_.back();
+  using datagen::UpdateKind;
+  switch (p->kind) {
+    case UpdateKind::kAddPerson: {
+      const auto& person = std::get<schema::Person>(p->payload);
+      Enqueue(store_->ShardOfPersonId(person.id), HalfKind::kPersonCreate, p);
+      break;
+    }
+    case UpdateKind::kAddFriendship: {
+      const auto& knows = std::get<schema::Knows>(p->payload);
+      Enqueue(store_->ShardOfPersonId(knows.person1_id),
+              HalfKind::kFriendHalf1, p);
+      Enqueue(store_->ShardOfPersonId(knows.person2_id),
+              HalfKind::kFriendHalf2, p);
+      break;
+    }
+    case UpdateKind::kAddForum: {
+      const auto& forum = std::get<schema::Forum>(p->payload);
+      Enqueue(store_->ShardOfForumId(forum.id), HalfKind::kForumCreate, p);
+      break;
+    }
+    case UpdateKind::kAddForumMembership: {
+      const auto& m = std::get<schema::ForumMembership>(p->payload);
+      Enqueue(store_->ShardOfPersonId(m.person_id),
+              HalfKind::kMemberPersonSide, p);
+      Enqueue(store_->ShardOfForumId(m.forum_id), HalfKind::kMemberForumSide,
+              p);
+      break;
+    }
+    case UpdateKind::kAddPost:
+    case UpdateKind::kAddComment: {
+      const auto& msg = std::get<schema::Message>(p->payload);
+      // Create before links: when a link half lands on the same lane as
+      // the create, FIFO order alone satisfies its dependency.
+      Enqueue(store_->ShardOfMessageId(msg.id), HalfKind::kMessageCreate, p);
+      Enqueue(store_->ShardOfPersonId(msg.creator_id),
+              HalfKind::kMessageCreatorLink, p);
+      const uint32_t container_shard =
+          msg.reply_to_id != schema::kInvalidId
+              ? store_->ShardOfMessageId(msg.reply_to_id)
+              : store_->ShardOfForumId(msg.forum_id);
+      Enqueue(container_shard, HalfKind::kMessageContainerLink, p);
+      break;
+    }
+    case UpdateKind::kAddLikePost:
+    case UpdateKind::kAddLikeComment: {
+      const auto& like = std::get<schema::Like>(p->payload);
+      Enqueue(store_->ShardOfPersonId(like.person_id),
+              HalfKind::kLikePersonSide, p);
+      Enqueue(store_->ShardOfMessageId(like.message_id),
+              HalfKind::kLikeMessageSide, p);
+      break;
+    }
+  }
+  // Release-publish the submission frontier only after every half of the
+  // op is in its ring; idle lanes fold this into their due floor. Max,
+  // not a plain store: windowed submission interleaves due times.
+  if (p->due_time > submitted_through_.load(std::memory_order_relaxed)) {
+    submitted_through_.store(p->due_time, std::memory_order_release);
+  }
+  return util::Status::Ok();
+}
+
+// Max-advance of a lane's due floor. Only the lane's worker writes the
+// floor, so load + store is race-free; max (not plain store) because
+// windowed submission interleaves due times within a window.
+void ShardWriterPool::AdvanceFloor(Lane& lane, util::TimestampMs t) {
+  if (t > lane.due_floor.load(std::memory_order_relaxed)) {
+    lane.due_floor.store(t, std::memory_order_release);
+  }
+}
+
+void ShardWriterPool::WorkerLoop(uint32_t shard) {
+  Lane& lane = *lanes_[shard];
+  for (;;) {
+    // Snapshot the submission frontier BEFORE the pop attempt: the
+    // producer's pushes happen-before its frontier store, so observing
+    // the ring empty afterwards means every half for ops counted in
+    // `submitted` on this lane has already been applied here.
+    const util::TimestampMs submitted =
+        submitted_through_.load(std::memory_order_acquire);
+    SubOp sub;
+    if (lane.queue->TryPop(&sub)) {
+      ApplyHalf(sub);
+      AdvanceFloor(lane, sub.op->due_time);
+      lane.applied.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    AdvanceFloor(lane, submitted);
+    if (stop_.load(std::memory_order_acquire)) {
+      // Final pushes happen-before the stop store: one more pop attempt
+      // after observing stop sees anything left.
+      if (!lane.queue->TryPop(&sub)) break;
+      ApplyHalf(sub);
+      AdvanceFloor(lane, sub.op->due_time);
+      lane.applied.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+template <typename Pred>
+bool ShardWriterPool::WaitPresent(const Pred& pred, const char* what) {
+  if (pred()) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.wait_timeout_ms);
+  for (;;) {
+    if (pred()) return true;
+    if (poisoned()) return false;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      Poison(util::Status::Aborted(
+          std::string("shard writer dependency wait timed out: ") + what));
+      return false;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ShardWriterPool::ApplyHalf(const SubOp& sub) {
+  const datagen::UpdateOperation& op = *sub.op;
+  util::Status status = util::Status::Ok();
+  if (!poisoned()) {
+    switch (sub.kind) {
+      case HalfKind::kPersonCreate:
+        status = store_->ApplyPersonCreate(
+            std::get<schema::Person>(op.payload));
+        break;
+      case HalfKind::kFriendHalf1: {
+        const auto& k = std::get<schema::Knows>(op.payload);
+        if (WaitPresent(
+                [&] { return store_->PersonPresent(k.person2_id); },
+                "friendship endpoint")) {
+          status = store_->ApplyFriendshipHalf(k.person1_id, k.person2_id,
+                                               k.creation_date,
+                                               /*bump_counters=*/true);
+        }
+        break;
+      }
+      case HalfKind::kFriendHalf2: {
+        const auto& k = std::get<schema::Knows>(op.payload);
+        if (WaitPresent(
+                [&] { return store_->PersonPresent(k.person1_id); },
+                "friendship endpoint")) {
+          status = store_->ApplyFriendshipHalf(k.person2_id, k.person1_id,
+                                               k.creation_date,
+                                               /*bump_counters=*/false);
+        }
+        break;
+      }
+      case HalfKind::kForumCreate: {
+        const auto& f = std::get<schema::Forum>(op.payload);
+        if (WaitPresent(
+                [&] { return store_->PersonPresent(f.moderator_id); },
+                "forum moderator")) {
+          status = store_->ApplyForumCreate(f);
+        }
+        break;
+      }
+      case HalfKind::kMemberPersonSide: {
+        const auto& m = std::get<schema::ForumMembership>(op.payload);
+        if (WaitPresent([&] { return store_->ForumPresent(m.forum_id); },
+                        "membership forum")) {
+          status = store_->ApplyMembershipPersonHalf(m);
+        }
+        break;
+      }
+      case HalfKind::kMemberForumSide: {
+        const auto& m = std::get<schema::ForumMembership>(op.payload);
+        if (WaitPresent([&] { return store_->PersonPresent(m.person_id); },
+                        "membership person")) {
+          status = store_->ApplyMembershipForumHalf(m,
+                                                    /*bump_counters=*/true);
+        }
+        break;
+      }
+      case HalfKind::kMessageCreate: {
+        const auto& msg = std::get<schema::Message>(op.payload);
+        bool deps_ok = WaitPresent(
+            [&] { return store_->PersonPresent(msg.creator_id); },
+            "message creator");
+        if (deps_ok) {
+          deps_ok = msg.reply_to_id != schema::kInvalidId
+                        ? WaitPresent(
+                              [&] {
+                                return store_->MessagePresent(msg.reply_to_id);
+                              },
+                              "comment parent")
+                        : WaitPresent(
+                              [&] {
+                                return store_->ForumPresent(msg.forum_id);
+                              },
+                              "post forum");
+        }
+        if (deps_ok) status = store_->ApplyMessageCreate(msg);
+        break;
+      }
+      case HalfKind::kMessageCreatorLink: {
+        const auto& msg = std::get<schema::Message>(op.payload);
+        if (WaitPresent([&] { return store_->MessagePresent(msg.id); },
+                        "created message")) {
+          status = store_->ApplyMessageCreatorLink(msg);
+        }
+        break;
+      }
+      case HalfKind::kMessageContainerLink: {
+        const auto& msg = std::get<schema::Message>(op.payload);
+        if (WaitPresent([&] { return store_->MessagePresent(msg.id); },
+                        "created message")) {
+          status = store_->ApplyMessageContainerLink(msg);
+        }
+        break;
+      }
+      case HalfKind::kLikePersonSide: {
+        const auto& like = std::get<schema::Like>(op.payload);
+        if (WaitPresent(
+                [&] { return store_->MessagePresent(like.message_id); },
+                "liked message")) {
+          status = store_->ApplyLikePersonHalf(like);
+        }
+        break;
+      }
+      case HalfKind::kLikeMessageSide: {
+        const auto& like = std::get<schema::Like>(op.payload);
+        if (WaitPresent(
+                [&] { return store_->PersonPresent(like.person_id); },
+                "like person")) {
+          status = store_->ApplyLikeMessageHalf(like,
+                                                /*bump_counters=*/true);
+        }
+        break;
+      }
+    }
+  }
+  if (!status.ok()) Poison(status);
+}
+
+util::Status ShardWriterPool::Drain() {
+  for (auto& lane : lanes_) {
+    while (lane->applied.load(std::memory_order_acquire) <
+           lane->enqueued.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  // Idle workers fold the submission frontier into their floors; wait so
+  // CompletedThrough() == submitted frontier after a drain.
+  const util::TimestampMs submitted =
+      submitted_through_.load(std::memory_order_acquire);
+  while (!poisoned() && CompletedThrough() < submitted) {
+    std::this_thread::yield();
+  }
+  util::MutexLock lock(&pool_error_mu_);
+  return first_error_;
+}
+
+util::TimestampMs ShardWriterPool::CompletedThrough() const {
+  util::TimestampMs floor = kTimeMax;
+  for (const auto& lane : lanes_) {
+    const util::TimestampMs f =
+        lane->due_floor.load(std::memory_order_acquire);
+    if (f < floor) floor = f;
+  }
+  return lanes_.empty() ? 0 : floor;
+}
+
+void ShardWriterPool::WaitCompletedThrough(util::TimestampMs t) const {
+  while (!poisoned() && CompletedThrough() < t) {
+    std::this_thread::yield();
+  }
+}
+
+std::vector<uint64_t> ShardWriterPool::WatermarkVector() const {
+  std::vector<uint64_t> v;
+  v.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    v.push_back(lane->applied.load(std::memory_order_acquire));
+  }
+  return v;
+}
+
+void ShardWriterPool::Poison(const util::Status& status) {
+  util::MutexLock lock(&pool_error_mu_);
+  if (first_error_.ok()) first_error_ = status;
+  poisoned_.store(true, std::memory_order_release);
+}
+
+}  // namespace snb::driver

@@ -1,0 +1,195 @@
+// ShardWriterPool: per-shard asynchronous update application.
+//
+// The sharded GraphStore (store/graph_store.h) decomposes every update
+// into per-shard halves, each atomic under its owning shard's writer
+// mutex. This pool gives each shard a dedicated writer thread and an SPSC
+// ring (util/spsc_queue.h): a single producer calls Submit(op), which
+// splits the operation into its halves and routes each to the owning
+// shard's queue; that shard's thread is the only consumer and the only
+// writer of the shard's structures, so shard mutexes stay uncontended and
+// update throughput scales with shards instead of serializing behind one
+// lock (bench_table9_updates measures exactly this).
+//
+// Ordering contract (why readers never see a torn cross-shard edge):
+//   * Within one lane (shard queue) halves apply in submission order —
+//     a single producer pushing to an SPSC ring is FIFO.
+//   * A half whose correctness depends on a record owned by *another*
+//     shard (the cross-shard endpoint of a friendship or like, a
+//     message's record before its creator/container links) spin-waits on
+//     that record's publication via the store's lock-free presence
+//     probes before applying. Presence is monotone, so the wait is
+//     race-free.
+//   * Those waits cannot deadlock: a half only waits on creates from
+//     strictly earlier stream operations (dependency times precede due
+//     times — datagen's split guarantees it) or on its own operation's
+//     create half, and every lane is FIFO from one producer. Any wait
+//     cycle would therefore need an operation to wait on its own create
+//     through a chain of same-position queue entries, which the
+//     create-before-link submission order forbids. An unsatisfiable wait
+//     (invalid stream) times out and poisons the pool instead of
+//     hanging.
+//
+// Because each adjacency list is appended by exactly one lane in
+// submission order and the sorted lists are order-insensitive by
+// construction, the final store state is byte-identical to applying the
+// same stream serially through GraphStore::Add*.
+//
+// The pool also publishes the cross-shard creation watermark dependency
+// services consume: CompletedThrough() is the T_GC analogue "every update
+// with due_time <= t has fully applied on every shard it touches", and
+// the pool implements DependencyWatermark so it can be composed into a
+// GlobalDependencyService tree. Dependency-aware callers (the sequential
+// replay connector path) call WaitCompletedThrough(dependency_time)
+// before executing an operation that reads its dependencies.
+#ifndef SNB_DRIVER_SHARD_WRITERS_H_
+#define SNB_DRIVER_SHARD_WRITERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "datagen/update_stream.h"
+#include "driver/dependency_services.h"
+#include "store/graph_store.h"
+#include "util/mutex.h"
+#include "util/spsc_queue.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace snb::driver {
+
+class ShardWriterPool : public DependencyWatermark {
+ public:
+  struct Options {
+    /// Per-lane ring capacity (rounded up to a power of two). Submit
+    /// blocks (spin + yield) while the target lane is full.
+    size_t queue_capacity = 4096;
+    /// Bound on a cross-shard publication wait before the pool declares
+    /// the stream invalid and poisons itself.
+    int64_t wait_timeout_ms = 20000;
+  };
+
+  explicit ShardWriterPool(store::GraphStore* store)
+      : ShardWriterPool(store, Options()) {}
+  ShardWriterPool(store::GraphStore* store, Options options);
+  ShardWriterPool(const ShardWriterPool&) = delete;
+  ShardWriterPool& operator=(const ShardWriterPool&) = delete;
+  /// Drains outstanding work (best effort), then stops and joins.
+  ~ShardWriterPool() override;
+
+  /// Copies `op`, splits it into per-shard halves and enqueues each on
+  /// its owning shard's lane. Callable from multiple driver threads —
+  /// submissions serialize on an internal mutex (the rings stay
+  /// single-producer); the serialized order is the apply order per lane.
+  /// Errors surface on Drain(). With the due-time-sorted sequential
+  /// producer, CompletedThrough() is continuously exact; under windowed
+  /// concurrent submission it is exact at window barriers (correctness of
+  /// application never depends on it — the workers' own presence waits
+  /// enforce record-creation order).
+  util::Status Submit(const datagen::UpdateOperation& op);
+
+  /// Blocks until every submitted half has applied (or the pool is
+  /// poisoned). Returns the first application error, Ok otherwise.
+  util::Status Drain();
+
+  /// Cross-shard creation watermark: every update with
+  /// due_time <= CompletedThrough() has fully applied on every shard it
+  /// touches. Monotone.
+  util::TimestampMs CompletedThrough() const;
+
+  /// Blocks until CompletedThrough() >= t or the pool is poisoned.
+  void WaitCompletedThrough(util::TimestampMs t) const;
+
+  /// Applied-half count per shard, in shard order — the vector watermark
+  /// the history checker records alongside reader observations.
+  std::vector<uint64_t> WatermarkVector() const;
+
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  uint32_t num_shards() const { return num_shards_; }
+
+  // DependencyWatermark: the pool acts as one aggregate stream whose
+  // T_LI is the submission frontier and T_LC the applied frontier.
+  util::TimestampMs WatermarkTLI() const override {
+    return submitted_through_.load(std::memory_order_acquire);
+  }
+  util::TimestampMs WatermarkTLC() const override {
+    return CompletedThrough();
+  }
+
+ private:
+  enum class HalfKind : uint8_t {
+    kPersonCreate,
+    kFriendHalf1,       // owner = person1, bump_counters
+    kFriendHalf2,       // owner = person2
+    kForumCreate,
+    kMemberPersonSide,
+    kMemberForumSide,   // bump_counters
+    kMessageCreate,     // bump_counters (inside ApplyMessageCreate)
+    kMessageCreatorLink,
+    kMessageContainerLink,
+    kLikePersonSide,
+    kLikeMessageSide,   // bump_counters
+  };
+
+  struct SubOp {
+    HalfKind kind = HalfKind::kPersonCreate;
+    const datagen::UpdateOperation* op = nullptr;
+  };
+
+  struct Lane {
+    std::unique_ptr<util::SpscQueue<SubOp>> queue;
+    std::thread worker;
+    alignas(64) std::atomic<uint64_t> enqueued{0};
+    alignas(64) std::atomic<uint64_t> applied{0};
+    /// Every half owned by this lane whose parent due_time <= due_floor
+    /// has been applied.
+    alignas(64) std::atomic<util::TimestampMs> due_floor{0};
+  };
+
+  void Enqueue(uint32_t shard, HalfKind kind,
+               const datagen::UpdateOperation* op);
+  static void AdvanceFloor(Lane& lane, util::TimestampMs t);
+  void WorkerLoop(uint32_t shard);
+  /// Applies one half; non-Ok return already poisoned the pool.
+  void ApplyHalf(const SubOp& sub);
+  /// Spin-waits for `pred` (a monotone presence probe). False when the
+  /// pool poisoned or the wait timed out (which poisons it).
+  template <typename Pred>
+  bool WaitPresent(const Pred& pred, const char* what);
+  void Poison(const util::Status& status);
+
+  store::GraphStore* const store_;
+  const Options options_;
+  const uint32_t num_shards_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  /// Serializes Submit callers so each ring keeps exactly one producer
+  /// (documented in DESIGN.md's lock table).
+  util::Mutex submit_mu_;
+  /// Producer-owned stable storage for submitted operations; lanes hold
+  /// pointers into it.
+  std::deque<datagen::UpdateOperation> owned_ SNB_GUARDED_BY(submit_mu_);
+
+  /// Due time through which the producer has finished enqueuing every
+  /// half (release-stored after the op's last push; acquire-loaded by
+  /// idle workers before the emptiness check, so an empty lane may
+  /// publish it as its floor).
+  std::atomic<util::TimestampMs> submitted_through_{0};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> poisoned_{false};
+  /// First application/wait error; set once under pool_error_mu_
+  /// (documented in DESIGN.md's lock table).
+  mutable util::Mutex pool_error_mu_;
+  util::Status first_error_ SNB_GUARDED_BY(pool_error_mu_) =
+      util::Status::Ok();
+};
+
+}  // namespace snb::driver
+
+#endif  // SNB_DRIVER_SHARD_WRITERS_H_

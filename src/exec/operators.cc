@@ -11,7 +11,7 @@ using store::DatedEdge;
 using store::PersonRecord;
 
 TwoHopStats ExpandTwoHopSorted(const store::GraphStore& store,
-                               const util::EpochPin& pin, uint64_t start,
+                               const store::ShardSnapshot& pin, uint64_t start,
                                std::vector<uint64_t>* circle,
                                obs::OperatorStats* join1_sink,
                                obs::OperatorStats* join2_sink) {
@@ -65,7 +65,7 @@ TwoHopStats ExpandTwoHopSorted(const store::GraphStore& store,
 }
 
 MessageScanOperator::MessageScanOperator(const store::GraphStore& store,
-                                         const util::EpochPin& pin,
+                                         const store::ShardSnapshot& pin,
                                          const std::vector<uint64_t>& persons,
                                          util::TimestampMs max_date_exclusive,
                                          size_t per_person_limit,

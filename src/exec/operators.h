@@ -1,8 +1,8 @@
 // Physical operators of the batched engine: adjacency scans, two-hop
 // expansion, and the bounded top-k sink.
 //
-// Each operator takes the caller's EpochPin (snapshot-read capability, PR
-// discipline identical to the store accessors) and an optional
+// Each operator takes the caller's ShardSnapshot (snapshot-read
+// capability, discipline identical to the store accessors) and an optional
 // obs::OperatorStats sink — a null sink disengages the TraceSpans
 // entirely, so unprofiled runs take no timestamps.
 #ifndef SNB_EXEC_OPERATORS_H_
@@ -35,7 +35,7 @@ struct TwoHopStats {
 /// (that one hash-dedups then sorts). Spans: join1 = direct expansion,
 /// join2 = friend-of-friend expansion; either sink may be null.
 TwoHopStats ExpandTwoHopSorted(const store::GraphStore& store,
-                               const util::EpochPin& pin, uint64_t start,
+                               const store::ShardSnapshot& pin, uint64_t start,
                                std::vector<uint64_t>* circle,
                                obs::OperatorStats* join1_sink = nullptr,
                                obs::OperatorStats* join2_sink = nullptr);
@@ -56,7 +56,7 @@ class MessageScanOperator : public Operator {
  public:
   /// `persons` must outlive the operator; `stats` may be null.
   MessageScanOperator(const store::GraphStore& store,
-                      const util::EpochPin& pin,
+                      const store::ShardSnapshot& pin,
                       const std::vector<uint64_t>& persons,
                       util::TimestampMs max_date_exclusive,
                       size_t per_person_limit,
@@ -72,7 +72,7 @@ class MessageScanOperator : public Operator {
   bool OpenNextPerson();
 
   const store::GraphStore& store_;
-  const util::EpochPin& pin_;
+  const store::ShardSnapshot& pin_;
   const std::vector<uint64_t>& persons_;
   const util::TimestampMs max_date_exclusive_;
   const size_t per_person_limit_;

@@ -164,7 +164,7 @@ namespace {
 /// order — which is exactly Intersect(friends(p1), friends(p2)) read left
 /// to right, including where a kMaxPaths cut lands.
 std::vector<std::vector<PersonId>> ShortestPaths(const GraphStore& store,
-                                                 const util::EpochPin& pin,
+                                                 const store::ShardSnapshot& pin,
                                                  PersonId person1,
                                                  PersonId person2) {
   std::vector<std::vector<PersonId>> paths;

@@ -23,7 +23,7 @@ using store::PersonRecord;
 using MessageEdges = util::RcuVector<DatedEdge>::View;
 
 std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
-                                      const util::EpochPin& pin,
+                                      const store::ShardSnapshot& pin,
                                       PersonId start) {
   std::vector<PersonId> out;
   const PersonRecord* p = store.FindPerson(pin, start);
@@ -35,7 +35,7 @@ std::vector<PersonId> FriendIdsLocked(const GraphStore& store,
 }
 
 std::vector<PersonId> TwoHopCircleLocked(const GraphStore& store,
-                                         const util::EpochPin& pin,
+                                         const store::ShardSnapshot& pin,
                                          PersonId start) {
   std::vector<PersonId> out;
   const PersonRecord* p = store.FindPerson(pin, start);
@@ -630,7 +630,7 @@ namespace {
 
 /// Interaction weight between two persons: each comment by one replying to
 /// a post of the other adds 1.0, to a comment of the other adds 0.5.
-double PairWeight(const GraphStore& store, const util::EpochPin& pin,
+double PairWeight(const GraphStore& store, const store::ShardSnapshot& pin,
                   PersonId a, PersonId b) {
   double weight = 0.0;
   for (PersonId from : {a, b}) {

@@ -1,0 +1,62 @@
+// Shard routing for the sharded GraphStore.
+//
+// The shard owning an entity must be computable from the entity id alone
+// (FindMessage(id) cannot consult the containing forum), must be stable
+// for the lifetime of the store, and must stay allocation- and lock-free
+// (it runs inside epoch-pinned accessors, which the pinned_read binary
+// invariant forbids from reaching malloc or a mutex). A salted splitmix64
+// finalizer over the id gives uniform placement even for the store's
+// structured id spaces (forum ids are owner * slots_per_person + slot;
+// message ids ascend with creation time), and the per-kind salts keep
+// person i, forum i and message i from systematically co-locating.
+//
+// num_shards == 1 short-circuits to shard 0 before hashing, so the
+// single-shard store pays one predictable branch per routed access.
+#ifndef SNB_STORE_SHARD_ROUTER_H_
+#define SNB_STORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "schema/entities.h"
+
+namespace snb::store {
+
+/// Compile-time ceiling on shards per store; also the size of the
+/// process-wide epoch domain pool (util::EpochManager::kMaxDomains) each
+/// shard index maps onto.
+inline constexpr uint32_t kMaxShards = 8;
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr uint64_t ShardMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint32_t ShardOfPerson(schema::PersonId id, uint32_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<uint32_t>(
+                   ShardMix64(id ^ 0x9e3779b97f4a7c15ULL) % num_shards);
+}
+
+constexpr uint32_t ShardOfForum(schema::ForumId id, uint32_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<uint32_t>(
+                   ShardMix64(id ^ 0xc2b2ae3d27d4eb4fULL) % num_shards);
+}
+
+constexpr uint32_t ShardOfMessage(schema::MessageId id, uint32_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<uint32_t>(
+                   ShardMix64(id ^ 0x165667b19e3779f9ULL) % num_shards);
+}
+
+}  // namespace snb::store
+
+#endif  // SNB_STORE_SHARD_ROUTER_H_

@@ -1,0 +1,79 @@
+// Bounded single-producer / single-consumer ring queue.
+//
+// Built for the sharded store's update fan-out (driver/shard_writers.h):
+// one producer thread splits each update into per-shard sub-operations and
+// pushes them onto the owning shard's queue; that shard's writer thread is
+// the only consumer. With exactly one thread on each end, a head/tail
+// index pair with acquire/release ordering is a complete protocol — no
+// CAS, no locks, and the slots themselves need no atomicity because the
+// index handoff publishes them.
+//
+// head_ is written only by the consumer, tail_ only by the producer; both
+// live on their own cache line so the producer's stores never invalidate
+// the consumer's hot line (and vice versa) except through the indices
+// themselves.
+#ifndef SNB_UTIL_SPSC_QUEUE_H_
+#define SNB_UTIL_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace snb::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so wrapping
+  /// is a mask, not a division.
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    ring_ = std::make_unique<T[]>(cap);
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. False when the ring is full.
+  bool TryPush(const T& value) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    ring_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = ring_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact on either owning thread).
+  size_t size() const {
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  size_t mask_ = 0;
+  std::unique_ptr<T[]> ring_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // Consumer cursor.
+  alignas(64) std::atomic<uint64_t> tail_{0};  // Producer cursor.
+};
+
+}  // namespace snb::util
+
+#endif  // SNB_UTIL_SPSC_QUEUE_H_

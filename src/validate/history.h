@@ -35,11 +35,14 @@
 #ifndef SNB_VALIDATE_HISTORY_H_
 #define SNB_VALIDATE_HISTORY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "store/shard_router.h"
 #include "util/status.h"
 
 namespace snb::validate {
@@ -48,22 +51,30 @@ namespace snb::validate {
 inline constexpr uint32_t kDomainPersonMessages = 0;
 inline constexpr uint32_t kDomainForumPosts = 1;
 
-/// One reader observation under a single epoch pin.
+/// One reader observation under a single multi-shard snapshot.
 struct ReadObservation {
   uint64_t watermark = 0;   // Commit counter loaded before pinning.
   uint32_t domain = 0;      // kDomain* constant.
   uint64_t entity = 0;      // Person or forum id.
   uint64_t edges_seen = 0;  // Adjacency length under the pin.
   uint64_t dangling = 0;    // Adjacency ids that did not resolve.
+  /// Sharded runs: per-shard commit watermarks loaded in ascending shard
+  /// order *before* pinning — mirroring ShardSnapshot's pin order. When
+  /// non-empty, the checker evaluates each commit against the committing
+  /// shard's entry and the scalar `watermark` is ignored.
+  std::vector<uint64_t> watermarks;
 };
 
 /// One writer commit point. Multiple entries may share a `seq` when a
-/// single update touches several adjacency lists.
+/// single update touches several adjacency lists. Sharded runs have one
+/// independent commit counter per shard; `seq` is meaningful only within
+/// the committing shard's sequence.
 struct WriterCommit {
   uint64_t seq = 0;
   uint32_t domain = 0;
   uint64_t entity = 0;
   uint64_t edges_after = 0;  // Entity's adjacency length as of this commit.
+  uint32_t shard = 0;        // Shard whose counter issued `seq`.
 };
 
 /// A recorded run: the writer's commit log plus one observation log per
@@ -90,18 +101,31 @@ struct HistoryCheckOutcome {
 /// Offline checker; pure function of the recorded history.
 HistoryCheckOutcome CheckHistory(const History& history);
 
-/// Collects a history. The commit counter is the only shared state;
-/// per-reader logs are written by exactly one thread each, and the commit
-/// log by the single writer thread.
+/// Collects a history. The per-shard commit counters are the only shared
+/// state; per-reader logs are written by exactly one thread each, and
+/// each shard's commit log by exactly one writer thread.
 class HistoryRecorder {
  public:
-  explicit HistoryRecorder(int num_readers) {
+  explicit HistoryRecorder(int num_readers, uint32_t num_shards = 1)
+      : num_shards_(num_shards) {
     history_.readers.resize(static_cast<size_t>(num_readers));
+    shard_logs_.resize(num_shards);
   }
 
-  /// Reader side: loads the watermark. Call before pinning.
+  /// Reader side: loads shard 0's watermark. Call before pinning.
   uint64_t BeginRead() const {
-    return commit_counter_.load(std::memory_order_acquire);
+    return counters_[0].load(std::memory_order_acquire);
+  }
+
+  /// Reader side: loads every shard's watermark in ascending shard
+  /// order — the same order ShardSnapshot acquires its pins. Call before
+  /// pinning; store the result in ReadObservation::watermarks.
+  std::vector<uint64_t> BeginReadVector() const {
+    std::vector<uint64_t> w(num_shards_);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      w[s] = counters_[s].load(std::memory_order_acquire);
+    }
+    return w;
   }
 
   /// Reader side: appends to reader `reader`'s log (single-threaded per
@@ -110,26 +134,49 @@ class HistoryRecorder {
     history_.readers[static_cast<size_t>(reader)].push_back(observation);
   }
 
-  /// Writer side: announces the next commit point and logs it. Single
-  /// writer thread only.
+  /// Writer side: announces shard 0's next commit point and logs it.
   uint64_t Commit(uint32_t domain, uint64_t entity, uint64_t edges_after) {
-    uint64_t seq = commit_counter_.fetch_add(1, std::memory_order_release) + 1;
-    history_.commits.push_back({seq, domain, entity, edges_after});
-    return seq;
+    return CommitOnShard(0, domain, entity, edges_after);
   }
 
   /// Writer side: logs an additional entry under an already-announced
   /// commit point (one update touching a second adjacency list).
   void CommitAt(uint64_t seq, uint32_t domain, uint64_t entity,
                 uint64_t edges_after) {
-    history_.commits.push_back({seq, domain, entity, edges_after});
+    CommitAtOnShard(0, seq, domain, entity, edges_after);
   }
 
-  /// Moves the history out. Call only after all threads have joined.
-  History TakeHistory() { return std::move(history_); }
+  /// Writer side, sharded: announces shard `shard`'s next commit point.
+  /// Exactly one writer thread per shard.
+  uint64_t CommitOnShard(uint32_t shard, uint32_t domain, uint64_t entity,
+                         uint64_t edges_after) {
+    uint64_t seq =
+        counters_[shard].fetch_add(1, std::memory_order_release) + 1;
+    shard_logs_[shard].push_back({seq, domain, entity, edges_after, shard});
+    return seq;
+  }
+
+  /// Writer side, sharded: an additional entry under shard `shard`'s
+  /// already-announced commit point.
+  void CommitAtOnShard(uint32_t shard, uint64_t seq, uint32_t domain,
+                       uint64_t entity, uint64_t edges_after) {
+    shard_logs_[shard].push_back({seq, domain, entity, edges_after, shard});
+  }
+
+  /// Moves the history out (merging the per-shard commit logs). Call only
+  /// after all threads have joined.
+  History TakeHistory() {
+    for (std::vector<WriterCommit>& log : shard_logs_) {
+      history_.commits.insert(history_.commits.end(), log.begin(), log.end());
+      log.clear();
+    }
+    return std::move(history_);
+  }
 
  private:
-  std::atomic<uint64_t> commit_counter_{0};
+  uint32_t num_shards_;
+  std::array<std::atomic<uint64_t>, store::kMaxShards> counters_{};
+  std::vector<std::vector<WriterCommit>> shard_logs_;
   History history_;
 };
 
@@ -152,6 +199,30 @@ util::Status RecordStoreHistory(const HistoryConfig& config, History* out);
 /// "stale-read" violation for every such read.
 util::Status RecordBrokenWriterHistory(const HistoryConfig& config,
                                        History* out);
+
+/// Sharded stress knobs.
+struct ShardedHistoryConfig {
+  uint32_t num_shards = 4;
+  int num_readers = 4;
+  int reads_per_reader = 100;
+  int commits_per_shard = 100;
+};
+
+/// Concurrent multi-writer stress of the sharded store: one writer thread
+/// per shard posting messages to that shard's creator person and forum,
+/// racing `num_readers` readers that record per-shard watermark vectors
+/// before taking a multi-shard snapshot and resolve every cross-shard
+/// edge under it. Run under TSan; feed the result to CheckHistory.
+util::Status RecordShardedStoreHistory(const ShardedHistoryConfig& config,
+                                       History* out);
+
+/// Deterministic broken fixture for the sharded checker: a reader whose
+/// shard list views predate an update but whose watermark vector was
+/// loaded after its commit — the observable signature of pinning shards
+/// at mismatched epochs. CheckHistory must flag a "stale-read" for every
+/// such observation.
+util::Status RecordMismatchedPinHistory(const ShardedHistoryConfig& config,
+                                        History* out);
 
 }  // namespace snb::validate
 

@@ -1,0 +1,45 @@
+// Mutation fixture: a multi-shard snapshot read that allocates. The
+// sharded store's cross-shard accessors (FindPerson on shard A chasing an
+// adjacency id owned by shard B) run under ShardSnapshot pins on every
+// shard, so an allocation anywhere in the gather path extends every
+// shard's grace period at once — worse than the single-shard case. The
+// checker must report the denylist hit with the path
+// BadCrossShardGather -> operator new[].
+#include <cstdint>
+
+#include "util/invariant_root.h"
+
+namespace fixture {
+
+// Two toy "shards": routing is id parity, each shard owns half the slots.
+struct Shard {
+  uint64_t slots[8];
+};
+
+Shard g_shards[2];
+uint64_t* volatile g_sink = nullptr;
+
+__attribute__((noinline, used)) uint64_t BadCrossShardGather(uint64_t id) {
+  SNB_INVARIANT_ROOT("pinned_read");
+  // Route to the owning shard, then follow an "edge" to the other shard —
+  // the cross-shard chase a ShardSnapshot makes legal.
+  uint64_t local = g_shards[id & 1].slots[id % 8];
+  uint64_t remote = g_shards[(id + 1) & 1].slots[local % 8];
+  // The violation: gathering the cross-shard results into a fresh buffer
+  // while every shard is still pinned.
+  uint64_t* gathered = new uint64_t[2];
+  gathered[0] = local;
+  gathered[1] = remote;
+  g_sink = gathered;
+  uint64_t sum = gathered[0] + gathered[1];
+  delete[] gathered;
+  return sum;
+}
+
+}  // namespace fixture
+
+uint64_t (*volatile g_gather)(uint64_t) = &fixture::BadCrossShardGather;
+
+int main(int argc, char**) {
+  return static_cast<int>(g_gather(static_cast<uint64_t>(argc)) & 1);
+}

@@ -100,6 +100,11 @@ TEST(DifferentialFuzzTest, PerturbationIsCaughtShrunkAndRoundTrips) {
   ASSERT_TRUE(WriteMismatch(mismatch, path).ok());
   FuzzMismatch loaded;
   ASSERT_TRUE(ReadMismatch(path, &loaded).ok());
+  // The shard count the mismatch was found at travels with the artifact,
+  // so the reproducer rebuilds the same store topology.
+  EXPECT_GE(mismatch.shard_count, 1u);
+  EXPECT_LE(mismatch.shard_count, 8u);
+  EXPECT_EQ(loaded.shard_count, mismatch.shard_count);
   EXPECT_EQ(loaded.backend, mismatch.backend);
   EXPECT_EQ(loaded.binding.op, mismatch.binding.op);
   EXPECT_EQ(loaded.expected, mismatch.expected);
@@ -125,6 +130,56 @@ TEST(FuzzArtifactTest, RejectsForeignAndCorruptDocuments) {
   EXPECT_FALSE(MismatchFromJson("{\"schema\":\"other-v9\"}", &out).ok());
   EXPECT_FALSE(
       MismatchFromJson("{\"schema\":\"snb-fuzz-regression-v1\"}", &out).ok());
+}
+
+// v2 artifacts persist the shard count; v1 artifacts (written before the
+// sharded store) must still load, defaulting to a single shard.
+TEST(FuzzArtifactTest, ShardCountRoundTripsAndV1StaysAccepted) {
+  FuzzMismatch m;
+  m.graph_seed = 7;
+  m.shard_count = 4;
+  m.backend = "store";
+  m.binding.op = "short.S3";
+  m.binding.person = 1;
+  m.expected = {"1|First|Last|100"};
+  schema::Person a;
+  a.id = 1;
+  a.first_name = "First";
+  a.last_name = "Last";
+  schema::Person b;
+  b.id = 2;
+  b.first_name = "Other";
+  b.last_name = "Person";
+  m.graph.persons = {a, b};
+  m.graph.knows = {{1, 2, 100}};
+
+  std::string json = MismatchToJson(m);
+  EXPECT_NE(json.find("snb-fuzz-regression-v2"), std::string::npos);
+  FuzzMismatch loaded;
+  ASSERT_TRUE(MismatchFromJson(json, &loaded).ok());
+  EXPECT_EQ(loaded.shard_count, 4u);
+  EXPECT_EQ(loaded.graph_seed, 7u);
+  EXPECT_EQ(loaded.graph.persons.size(), 2u);
+
+  // Downgrade the document to v1 by hand: old tag, no shard_count field.
+  std::string v1 = json;
+  size_t tag = v1.find("snb-fuzz-regression-v2");
+  ASSERT_NE(tag, std::string::npos);
+  v1.replace(tag, 22, "snb-fuzz-regression-v1");
+  size_t field = v1.find("\"shard_count\":4,");
+  ASSERT_NE(field, std::string::npos);
+  v1.erase(field, 16);
+  FuzzMismatch from_v1;
+  ASSERT_TRUE(MismatchFromJson(v1, &from_v1).ok());
+  EXPECT_EQ(from_v1.shard_count, 1u);
+  EXPECT_EQ(from_v1.graph.persons.size(), 2u);
+
+  // A v2 document with an out-of-range count is rejected.
+  std::string bad = json;
+  size_t count = bad.find("\"shard_count\":4");
+  ASSERT_NE(count, std::string::npos);
+  bad.replace(count, 15, "\"shard_count\":9");
+  EXPECT_FALSE(MismatchFromJson(bad, &loaded).ok());
 }
 
 }  // namespace
